@@ -1,0 +1,371 @@
+// Package aipan is a from-scratch, stdlib-only Go reproduction of
+// "Analyzing Corporate Privacy Policies using AI Chatbots" (IMC '24): an
+// automated pipeline that crawls corporate websites for privacy policies
+// and uses AI-chatbot task prompts to extract structured, taxonomy-
+// normalized annotations — collected data types, collection purposes,
+// data retention/protection practices, and user rights — at Russell-3000
+// scale.
+//
+// The package is a facade over the building blocks in internal/: the
+// synthetic study universe and corporate web (the offline stand-ins for
+// the Russell 3000 and the live Internet), the crawler, the HTML→text
+// renderer, the segmentation and annotation tasks, the chatbot backends
+// (deterministic GPT-4/Llama/GPT-3.5-class simulators plus an
+// OpenAI-compatible HTTP client), and the analysis/reporting layer that
+// regenerates every table in the paper.
+//
+// Quick start:
+//
+//	bot := aipan.SimGPT4()
+//	anns, err := aipan.AnalyzeHTML(ctx, bot, policyHTML)
+//
+// Full reproduction:
+//
+//	p, _ := aipan.NewPipeline(aipan.PipelineConfig{})
+//	res, _ := p.Run(ctx)
+//	rep := aipan.NewReport(res.Records, p.Generator())
+//	fmt.Println(rep.Table1(false).Render())
+package aipan
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+
+	"aipan/internal/annotate"
+	"aipan/internal/chatbot"
+	"aipan/internal/core"
+	"aipan/internal/crawler"
+	"aipan/internal/downstream"
+	"aipan/internal/nutrition"
+	"aipan/internal/qa"
+	"aipan/internal/report"
+	"aipan/internal/risk"
+	"aipan/internal/russell"
+	"aipan/internal/segment"
+	"aipan/internal/server"
+	"aipan/internal/stats"
+	"aipan/internal/store"
+	"aipan/internal/taxonomy"
+	"aipan/internal/textify"
+	"aipan/internal/trends"
+	"aipan/internal/virtualweb"
+	"aipan/internal/webgen"
+)
+
+// Core data types of the public API.
+type (
+	// Annotation is one structured annotation (the AIPAN dataset unit).
+	Annotation = annotate.Annotation
+	// Record is one domain's dataset row.
+	Record = store.Record
+	// Funnel carries the Figure 1 pipeline counts.
+	Funnel = core.Funnel
+	// PipelineConfig parameterizes a full run.
+	PipelineConfig = core.Config
+	// Pipeline is a configured end-to-end run.
+	Pipeline = core.Pipeline
+	// RunResult is a completed pipeline run.
+	RunResult = core.Result
+	// Report regenerates the paper's tables from a dataset.
+	Report = report.Report
+	// Table is a rendered analysis table.
+	Table = stats.Table
+	// Chatbot is the provider-agnostic LLM interface.
+	Chatbot = chatbot.Chatbot
+	// ChatbotProfile tunes a simulated chatbot's competence.
+	ChatbotProfile = chatbot.Profile
+	// OpenAIConfig configures the real-LLM HTTP backend.
+	OpenAIConfig = chatbot.OpenAIConfig
+	// CrawlerConfig tunes the privacy-policy crawler.
+	CrawlerConfig = crawler.Config
+	// ModelScore is one model's §6 comparison outcome.
+	ModelScore = report.ModelScore
+	// Generator is the synthetic corporate web with ground truth.
+	Generator = webgen.Generator
+	// AnnotateOption tunes the annotator (glossary size, filters).
+	AnnotateOption = annotate.Option
+)
+
+// DefaultSeed is the AIPAN-3k corpus seed.
+const DefaultSeed = webgen.Seed
+
+// NewPipeline builds the end-to-end pipeline. The zero config reproduces
+// the paper against the synthetic web with the GPT-4-class simulator.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	return core.New(cfg)
+}
+
+// NewReport builds the analysis layer over dataset records; gen may be
+// nil when no ground truth is available (real-web datasets).
+func NewReport(records []Record, gen *Generator) *Report {
+	return report.New(records, gen)
+}
+
+// CompareModels reproduces the §6 model comparison over n policies.
+func CompareModels(ctx context.Context, seed int64, n int) ([]ModelScore, error) {
+	return report.CompareModels(ctx, seed, n)
+}
+
+// SimGPT4 returns the instruction-faithful GPT-4-class simulated chatbot,
+// wrapped with retries and bounded concurrency.
+func SimGPT4() Chatbot {
+	return chatbot.NewClient(chatbot.NewSim(chatbot.GPT4Profile()), chatbot.WithCache(false))
+}
+
+// SimLlama31 returns the Llama-3.1-class simulator (negation errors, §6).
+func SimLlama31() Chatbot {
+	return chatbot.NewClient(chatbot.NewSim(chatbot.Llama31Profile()), chatbot.WithCache(false))
+}
+
+// SimGPT35 returns the GPT-3.5-class simulator (vendor confusion, §6).
+func SimGPT35() Chatbot {
+	return chatbot.NewClient(chatbot.NewSim(chatbot.GPT35Profile()), chatbot.WithCache(false))
+}
+
+// NewOpenAIChatbot returns a Chatbot backed by an OpenAI-compatible
+// chat-completions API, for running the pipeline against a real LLM.
+func NewOpenAIChatbot(cfg OpenAIConfig) (Chatbot, error) {
+	bot, err := chatbot.NewOpenAI(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return chatbot.NewClient(bot), nil
+}
+
+// AnalyzeHTML runs the paper's extraction stack over a single privacy
+// policy: HTML → text, two-step segmentation, per-aspect annotation,
+// hallucination filtering, and repetition dedup.
+func AnalyzeHTML(ctx context.Context, bot Chatbot, html string, opts ...AnnotateOption) ([]Annotation, error) {
+	doc := textify.RenderHTML(html)
+	seg, err := segment.Segment(ctx, bot, doc)
+	if err != nil {
+		return nil, fmt.Errorf("aipan: %w", err)
+	}
+	res, err := annotate.New(bot, opts...).Annotate(ctx, doc, seg)
+	if err != nil {
+		return nil, fmt.Errorf("aipan: %w", err)
+	}
+	return annotate.Dedup(res.Annotations), nil
+}
+
+// SyntheticWeb bundles the offline study substrate: the generated
+// corporate web for the synthetic Russell 3000.
+type SyntheticWeb struct {
+	// Gen renders sites and holds the planted ground truth.
+	Gen *Generator
+}
+
+// NewSyntheticWeb builds the synthetic corporate web for a seed.
+func NewSyntheticWeb(seed int64) *SyntheticWeb {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return &SyntheticWeb{
+		Gen: webgen.New(seed, russell.UniqueDomains(russell.Universe(seed))),
+	}
+}
+
+// Client returns an http.Client that resolves the synthetic web
+// in-process (no sockets).
+func (w *SyntheticWeb) Client() *http.Client {
+	return virtualweb.NewTransport(w.Gen).Client()
+}
+
+// Handler serves the synthetic web over real sockets (see cmd/wwwsim).
+func (w *SyntheticWeb) Handler() http.Handler {
+	return virtualweb.NewHandler(w.Gen)
+}
+
+// Domains lists the study domains in deterministic order.
+func (w *SyntheticWeb) Domains() []string { return w.Gen.Domains() }
+
+// NewCrawler builds the §3.1 privacy-policy crawler.
+func NewCrawler(cfg CrawlerConfig) (*crawler.Crawler, error) {
+	return crawler.New(cfg)
+}
+
+// WriteDataset / ReadDataset persist AIPAN datasets as JSONL.
+func WriteDataset(path string, records []Record) error {
+	return store.WriteJSONL(path, records)
+}
+
+// ReadDataset loads a dataset written by WriteDataset.
+func ReadDataset(path string) ([]Record, error) {
+	return store.ReadJSONL(path)
+}
+
+// FunnelTable renders the paper-vs-measured funnel.
+func FunnelTable(f Funnel) *Table {
+	return report.FunnelTable(report.FunnelNumbers{
+		Companies: f.Companies, Domains: f.Domains, CrawlOK: f.CrawlOK,
+		ExtractOK: f.ExtractOK, Annotated: f.Annotated,
+		AvgPagesCrawled: f.AvgPagesCrawled, AvgPrivacyPages: f.AvgPrivacyPages,
+		WellKnownPolicy: f.WellKnownPolicy, WellKnownPriv: f.WellKnownPriv,
+		MedianWords: f.MedianWords, FallbackUsed: f.FallbackUsed,
+	})
+}
+
+// CompareTable renders the §6 model comparison.
+func CompareTable(scores []ModelScore) *Table {
+	return report.CompareTable(scores)
+}
+
+// Annotator option re-exports.
+var (
+	// WithGlossarySize controls the prompt glossary (0 = full, -1 = none).
+	WithGlossarySize = annotate.WithGlossarySize
+	// WithHallucinationFilter toggles the verbatim-presence check.
+	WithHallucinationFilter = annotate.WithHallucinationFilter
+	// WithSectionFirst toggles section-first annotation.
+	WithSectionFirst = annotate.WithSectionFirst
+)
+
+// RiskScore is one company's privacy-exposure assessment (the §6
+// "legal exposure risk analysis" extension).
+type RiskScore = risk.Score
+
+// ScoreRisk scores every annotated record with the default sensitivity
+// weights and fills sector percentiles.
+func ScoreRisk(records []Record) []RiskScore {
+	return risk.ScoreAll(records, risk.DefaultWeights())
+}
+
+// RiskSectorTable renders the peer-group (sector) comparison.
+func RiskSectorTable(scores []RiskScore) *Table { return risk.SectorTable(scores) }
+
+// RiskTopTable lists the n riskiest companies.
+func RiskTopTable(scores []RiskScore, n int) *Table { return risk.TopTable(scores, n) }
+
+// Classifier is the distilled offline model (the paper's §6 future work:
+// training offline models to replicate the chatbot annotations).
+type Classifier = downstream.NaiveBayes
+
+// ClassifierEval summarizes held-out agreement with the chatbot labels.
+type ClassifierEval = downstream.Eval
+
+// TrainClassifier distills the dataset into an offline classifier for the
+// given task: "aspect" (route sentences to types/purposes/handling/rights)
+// or "types-category" (assign the 34 data-type categories). It returns the
+// model and its held-out evaluation against the chatbot's labels.
+func TrainClassifier(records []Record, task string) (*Classifier, ClassifierEval, error) {
+	var samples []downstream.Sample
+	switch task {
+	case "aspect":
+		samples = downstream.AspectSamples(records)
+	case "types-category":
+		samples = downstream.CategorySamples(records, "types")
+	default:
+		return nil, ClassifierEval{}, fmt.Errorf("aipan: unknown training task %q", task)
+	}
+	train, test := downstream.Split(samples, 0.8, DefaultSeed)
+	model, err := downstream.Train(train, 1)
+	if err != nil {
+		return nil, ClassifierEval{}, fmt.Errorf("aipan: %w", err)
+	}
+	return model, downstream.Evaluate(model, test), nil
+}
+
+// LoadClassifier reads a model written by Classifier.Save.
+func LoadClassifier(path string) (*Classifier, error) {
+	return downstream.Load(path)
+}
+
+// TrendDelta is one category's coverage movement between dataset
+// snapshots (the §6 "trends" analysis).
+type TrendDelta = trends.Delta
+
+// DomainChanges summarizes per-domain practice movement between
+// snapshots.
+type DomainChanges = trends.DomainChanges
+
+// CoverageDeltas compares two dataset snapshots, largest movement first.
+func CoverageDeltas(old, new []Record) []TrendDelta {
+	return trends.CoverageDeltas(old, new)
+}
+
+// CompareDomains diffs per-domain practice sets between snapshots.
+func CompareDomains(old, new []Record) DomainChanges {
+	return trends.CompareDomains(old, new)
+}
+
+// DeltaTable renders the top-n coverage movements.
+func DeltaTable(deltas []TrendDelta, n int) *Table {
+	return trends.DeltaTable(deltas, n)
+}
+
+// PrivacyLabel is a structured privacy nutrition label (the human-readable
+// summary the paper's abstract promises; cf. Pan et al. in related work).
+type PrivacyLabel = nutrition.Label
+
+// NutritionLabel builds a privacy nutrition label from annotations.
+func NutritionLabel(anns []Annotation) PrivacyLabel {
+	return nutrition.Build(anns)
+}
+
+// QAAnswer is a grounded answer to a privacy question, citing the policy
+// evidence carried by the annotations.
+type QAAnswer = qa.Answer
+
+// Ask answers a free-form privacy question ("do they sell my data?",
+// "how long is data kept?") from a policy's annotations. ok=false means
+// no supported question family matched.
+func Ask(question string, anns []Annotation) (QAAnswer, bool) {
+	return qa.Ask(question, anns)
+}
+
+// NewDatasetServer exposes a dataset over the HTTP/JSON API documented in
+// internal/server (summary, domains, per-domain records, nutrition labels,
+// question answering, risk scores, paper tables).
+func NewDatasetServer(records []Record) http.Handler {
+	return server.New(records)
+}
+
+// WriteAnnotationsCSV / WriteDomainsCSV export the dataset in the flat
+// spreadsheet-friendly forms a release ships next to the JSONL.
+func WriteAnnotationsCSV(path string, records []Record) error {
+	return store.WriteAnnotationsCSV(path, records)
+}
+
+// WriteDomainsCSV writes one CSV row per domain.
+func WriteDomainsCSV(path string, records []Record) error {
+	return store.WriteDomainsCSV(path, records)
+}
+
+// TaxonomyCategory / TaxonomyDescriptor are the building blocks of
+// taxonomy extensions.
+type (
+	TaxonomyCategory   = taxonomy.Category
+	TaxonomyDescriptor = taxonomy.Descriptor
+)
+
+// TaxonomyExtension is a user-supplied taxonomy addition: new categories
+// or extra descriptors merged into the prompt glossaries, extraction
+// lexicons, and normalization indexes — the paper's "flexible/
+// programmable pipeline ... comprehensive and extendable taxonomy"
+// (contribution 1).
+type TaxonomyExtension = taxonomy.Extension
+
+// LoadTaxonomyExtension reads an extension from a JSON file and installs
+// it process-wide. Call before building chatbots or pipelines.
+func LoadTaxonomyExtension(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("aipan: %w", err)
+	}
+	defer f.Close()
+	ext, err := taxonomy.LoadExtension(f)
+	if err != nil {
+		return err
+	}
+	return taxonomy.Register(ext)
+}
+
+// RegisterTaxonomyExtension installs an in-memory extension.
+func RegisterTaxonomyExtension(ext TaxonomyExtension) error {
+	return taxonomy.Register(ext)
+}
+
+// ClearTaxonomyExtension restores the base taxonomy.
+func ClearTaxonomyExtension() { taxonomy.ClearExtension() }

@@ -1,0 +1,139 @@
+package aipan_test
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aipan"
+)
+
+const samplePolicy = `<html><body>
+<h1>Privacy Policy</h1>
+<h2>Information We Collect</h2>
+<p>We collect your email address and browsing history, and we use cookies.</p>
+<h2>How We Use Your Information</h2>
+<p>We use data for fraud prevention and analytics.</p>
+<h2>Data Retention</h2>
+<p>We retain data for 2 years.</p>
+<h2>Your Rights</h2>
+<p>You may opt out by clicking the unsubscribe link.</p>
+<h2>Contact</h2><p>privacy@x.example</p>
+</body></html>`
+
+func TestAnalyzeHTML(t *testing.T) {
+	anns, err := aipan.AnalyzeHTML(context.Background(), aipan.SimGPT4(), samplePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) < 6 {
+		t.Fatalf("got %d annotations", len(anns))
+	}
+	aspects := map[string]bool{}
+	for _, a := range anns {
+		aspects[a.Aspect] = true
+	}
+	for _, want := range []string{"types", "purposes", "handling", "rights"} {
+		if !aspects[want] {
+			t.Errorf("missing aspect %s", want)
+		}
+	}
+}
+
+func TestSyntheticWebEndToEnd(t *testing.T) {
+	web := aipan.NewSyntheticWeb(0) // 0 → DefaultSeed
+	if len(web.Domains()) != 2892 {
+		t.Fatalf("domains = %d", len(web.Domains()))
+	}
+	cr, err := aipan.NewCrawler(aipan.CrawlerConfig{Client: web.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cr.CrawlDomain(context.Background(), web.Domains()[1])
+	if res == nil {
+		t.Fatal("nil result")
+	}
+}
+
+func TestPipelineAndDatasetRoundTrip(t *testing.T) {
+	p, err := aipan.NewPipeline(aipan.PipelineConfig{Limit: 25, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ds.jsonl")
+	if err := aipan.WriteDataset(path, res.Records); err != nil {
+		t.Fatal(err)
+	}
+	records, err := aipan.ReadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 25 {
+		t.Fatalf("records = %d", len(records))
+	}
+	rep := aipan.NewReport(records, p.Generator())
+	if rep.AnnotatedCount() == 0 {
+		t.Fatal("no annotated records")
+	}
+	if out := rep.Table1(false).Render(); !strings.Contains(out, "Types (") {
+		t.Error("Table 1 render broken")
+	}
+	if out := aipan.FunnelTable(res.Funnel).Render(); !strings.Contains(out, "2916") {
+		t.Error("funnel render broken")
+	}
+}
+
+func TestSimBackendsDiffer(t *testing.T) {
+	ctx := context.Background()
+	policy := `<html><body><p>This privacy notice does not apply to biometric data.
+We collect your email address.</p></body></html>`
+	gpt4, err := aipan.AnalyzeHTML(ctx, aipan.SimGPT4(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llama, err := aipan.AnalyzeHTML(ctx, aipan.SimLlama31(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(anns []aipan.Annotation, cat string) bool {
+		for _, a := range anns {
+			if a.Category == cat {
+				return true
+			}
+		}
+		return false
+	}
+	if has(gpt4, "Biometric data") {
+		t.Error("GPT-4-class backend extracted the negated mention")
+	}
+	if !has(llama, "Biometric data") {
+		t.Error("Llama-class backend should extract the negated mention")
+	}
+}
+
+func TestOpenAIChatbotValidation(t *testing.T) {
+	if _, err := aipan.NewOpenAIChatbot(aipan.OpenAIConfig{}); err == nil {
+		t.Error("empty OpenAI config should fail validation")
+	}
+	bot, err := aipan.NewOpenAIChatbot(aipan.OpenAIConfig{BaseURL: "http://localhost:1", Model: "m"})
+	if err != nil || bot == nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAnnotateOptionsExposed(t *testing.T) {
+	// The ablation knobs must be reachable from the public API.
+	anns, err := aipan.AnalyzeHTML(context.Background(), aipan.SimGPT4(), samplePolicy,
+		aipan.WithGlossarySize(-1), aipan.WithHallucinationFilter(true), aipan.WithSectionFirst(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anns) == 0 {
+		t.Error("no annotations with options set")
+	}
+}

@@ -1,0 +1,469 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index), plus ablation
+// benches for the design choices the paper motivates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches time the analysis over a shared pipeline fixture;
+// pipeline benches time the end-to-end system; ablation benches attach
+// their quality metric (success rate, precision, prompt tokens) to the
+// timing via b.ReportMetric.
+package aipan_test
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"aipan"
+	"aipan/internal/annotate"
+	"aipan/internal/chatbot"
+	"aipan/internal/core"
+	"aipan/internal/crawler"
+	"aipan/internal/report"
+	"aipan/internal/segment"
+	"aipan/internal/textify"
+	"aipan/internal/virtualweb"
+	"aipan/internal/webgen"
+)
+
+var (
+	benchOnce sync.Once
+	benchRep  *report.Report
+	benchRes  *core.Result
+	benchPipe *core.Pipeline
+	benchErr  error
+)
+
+// benchFixture runs the pipeline once over 400 domains and shares the
+// dataset across the table benches.
+func benchFixture(b *testing.B) (*report.Report, *core.Result) {
+	b.Helper()
+	benchOnce.Do(func() {
+		p, err := core.New(core.Config{Limit: 400, Workers: 8})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchPipe, benchRes = p, res
+		benchRep = report.New(res.Records, p.Generator())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchRep, benchRes
+}
+
+// BenchmarkFigure1PipelineFunnel measures the end-to-end pipeline (crawl →
+// extract → annotate → funnel) per 50 domains — the system of Figure 1.
+func BenchmarkFigure1PipelineFunnel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(core.Config{Limit: 50, Workers: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Funnel.Annotated == 0 {
+			b.Fatal("no annotations")
+		}
+	}
+}
+
+// BenchmarkTable1AnnotationSummary regenerates Table 1 (and Table 4 via
+// the same aggregation path).
+func BenchmarkTable1AnnotationSummary(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := rep.Table1(false).Render(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2aDataTypes regenerates Table 2a (meta-category coverage).
+func BenchmarkTable2aDataTypes(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.Table2Types(false)
+	}
+}
+
+// BenchmarkTable5AllCategories regenerates the full 34-category Table 5.
+func BenchmarkTable5AllCategories(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.Table2Types(true)
+	}
+}
+
+// BenchmarkTable2bPurposes regenerates Table 2b.
+func BenchmarkTable2bPurposes(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.Table2Purposes()
+	}
+}
+
+// BenchmarkTable3HandlingRights regenerates Table 3.
+func BenchmarkTable3HandlingRights(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.Table3()
+	}
+}
+
+// BenchmarkTable6Examples regenerates Table 6.
+func BenchmarkTable6Examples(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep.Table6(4)
+	}
+}
+
+// BenchmarkValidationPrecision scores every annotation against ground
+// truth (§4's precision estimation, exact-population form).
+func BenchmarkValidationPrecision(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var prec float64
+	for i := 0; i < b.N; i++ {
+		ps := rep.PrecisionByAspect()
+		prec = ps[0].Value()
+	}
+	b.ReportMetric(prec*100, "types-precision-%")
+}
+
+// BenchmarkCategoryDistribution computes the §5 distribution claims.
+func BenchmarkCategoryDistribution(b *testing.B) {
+	rep, _ := benchFixture(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var over13 float64
+	for i := 0; i < b.N; i++ {
+		over13 = rep.CategoryDistribution().Over13Cats
+	}
+	b.ReportMetric(over13*100, ">13-categories-%")
+}
+
+// BenchmarkModelComparison reproduces §6 over 6 policies per iteration.
+func BenchmarkModelComparison(b *testing.B) {
+	b.ReportAllocs()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		scores, err := aipan.CompareModels(context.Background(), aipan.DefaultSeed, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = scores[0].TypesPrecision - scores[1].TypesPrecision
+	}
+	b.ReportMetric(gap*100, "gpt4-llama-gap-pts")
+}
+
+// ---------------------------------------------------------------- ablations
+
+// benchPolicyDoc renders one healthy synthetic policy for the annotation
+// ablations.
+func benchPolicyDoc(b *testing.B) *textify.Document {
+	b.Helper()
+	gen := webgen.NewDefault()
+	for _, s := range gen.Sites() {
+		if s.Failure != webgen.FailNone {
+			continue
+		}
+		pages := gen.RenderSite(s.Domain)
+		// Deterministic page choice (map iteration order is random).
+		var paths []string
+		for path := range pages {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			p := pages[path]
+			if strings.Contains(path, "privacy") && p.RedirectTo == "" && len(p.Body) > 4000 {
+				return textify.RenderHTML(p.Body)
+			}
+		}
+	}
+	b.Fatal("no policy page found")
+	return nil
+}
+
+// BenchmarkAblationSectionVsFullText compares section-first annotation
+// against always-whole-text (§3.2.2's design choice), reporting prompt
+// tokens per policy.
+func BenchmarkAblationSectionVsFullText(b *testing.B) {
+	doc := benchPolicyDoc(b)
+	for _, variant := range []struct {
+		name        string
+		sectionOpts []annotate.Option
+	}{
+		{"section-first", nil},
+		{"whole-text", []annotate.Option{annotate.WithSectionFirst(false)}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			var tokens float64
+			for i := 0; i < b.N; i++ {
+				client := chatbot.NewClient(chatbot.NewSim(chatbot.GPT4Profile()), chatbot.WithCache(false))
+				seg, err := segment.Segment(ctx, client, doc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				an := annotate.New(client, variant.sectionOpts...)
+				if _, err := an.Annotate(ctx, doc, seg); err != nil {
+					b.Fatal(err)
+				}
+				tokens = float64(client.Stats().Usage.PromptTokens)
+			}
+			b.ReportMetric(tokens, "prompt-tokens/policy")
+		})
+	}
+}
+
+// BenchmarkAblationSegmentationCascade compares heading-based, text-based,
+// and the paper's two-step cascade segmentation (Appendix B), reporting
+// extraction success over a mixed 60-policy sample.
+func BenchmarkAblationSegmentationCascade(b *testing.B) {
+	gen := webgen.NewDefault()
+	var docs []*textify.Document
+	for _, s := range gen.Sites() {
+		if s.Failure != webgen.FailNone || len(docs) >= 60 {
+			continue
+		}
+		pages := gen.RenderSite(s.Domain)
+		var paths []string
+		for path := range pages {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			p := pages[path]
+			if strings.Contains(path, "privacy") && p.RedirectTo == "" && len(p.Body) > 2000 {
+				docs = append(docs, textify.RenderHTML(p.Body))
+				break
+			}
+		}
+	}
+	ctx := context.Background()
+	bot := chatbot.NewSim(chatbot.GPT4Profile())
+
+	run := func(b *testing.B, segmentFn func(*textify.Document) (*segment.Result, error)) {
+		b.ReportAllocs()
+		var success float64
+		for i := 0; i < b.N; i++ {
+			ok := 0
+			for _, d := range docs {
+				res, err := segmentFn(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Success() {
+					ok++
+				}
+			}
+			success = float64(ok) / float64(len(docs))
+		}
+		b.ReportMetric(success*100, "extraction-success-%")
+	}
+
+	b.Run("cascade", func(b *testing.B) {
+		run(b, func(d *textify.Document) (*segment.Result, error) {
+			return segment.Segment(ctx, bot, d)
+		})
+	})
+	b.Run("headings-only", func(b *testing.B) {
+		run(b, func(d *textify.Document) (*segment.Result, error) {
+			return segment.SegmentHeadingsOnly(ctx, bot, d)
+		})
+	})
+	b.Run("text-only", func(b *testing.B) {
+		run(b, func(d *textify.Document) (*segment.Result, error) {
+			return segment.SegmentTextOnly(ctx, bot, d)
+		})
+	})
+}
+
+// fabricatingBot wraps a backend and injects fabricated extractions — the
+// hallucination class the paper's programmatic check exists to catch.
+type fabricatingBot struct {
+	inner chatbot.Chatbot
+}
+
+func (f *fabricatingBot) Name() string { return "fabricating-" + f.inner.Name() }
+
+func (f *fabricatingBot) Complete(ctx context.Context, req chatbot.Request) (chatbot.Response, error) {
+	resp, err := f.inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if req.Task == chatbot.TaskExtractTypes || req.Task == chatbot.TaskExtractPurposes {
+		if es, perr := chatbot.ParseExtractions(resp.Content); perr == nil {
+			es = append(es,
+				chatbot.Extraction{Line: 1, Text: "astral projection telemetry"},
+				chatbot.Extraction{Line: 2, Text: "dream journal entries"})
+			resp.Content = chatbot.EncodeExtractions(es)
+		}
+	}
+	return resp, nil
+}
+
+// BenchmarkAblationHallucinationFilter measures the cost and the dropped-
+// mention count of the programmatic verbatim-presence check.
+func BenchmarkAblationHallucinationFilter(b *testing.B) {
+	doc := benchPolicyDoc(b)
+	ctx := context.Background()
+	bot := &fabricatingBot{inner: chatbot.NewSim(chatbot.GPT4Profile())}
+	seg, err := segment.Segment(ctx, bot, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		on   bool
+	}{{"filter-on", true}, {"filter-off", false}} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var dropped float64
+			for i := 0; i < b.N; i++ {
+				an := annotate.New(bot, annotate.WithHallucinationFilter(variant.on))
+				res, err := an.Annotate(ctx, doc, seg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dropped = float64(res.Dropped)
+			}
+			b.ReportMetric(dropped, "dropped/policy")
+		})
+	}
+}
+
+// BenchmarkAblationGlossary compares full-glossary prompts against
+// no-glossary prompts (the paper's "more context" claim), reporting unique
+// annotations recovered.
+func BenchmarkAblationGlossary(b *testing.B) {
+	doc := benchPolicyDoc(b)
+	ctx := context.Background()
+	bot := chatbot.NewSim(chatbot.GPT4Profile())
+	seg, err := segment.Segment(ctx, bot, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		size int
+	}{{"full-glossary", 0}, {"no-glossary", -1}} {
+		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var anns float64
+			for i := 0; i < b.N; i++ {
+				an := annotate.New(bot, annotate.WithGlossarySize(variant.size))
+				res, err := an.Annotate(ctx, doc, seg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				anns = float64(len(annotate.Dedup(res.Annotations)))
+			}
+			b.ReportMetric(anns, "annotations/policy")
+		})
+	}
+}
+
+// BenchmarkAblationCrawlPolicy compares the crawler's link policies over a
+// 60-domain sample: footer links only, well-known paths only, and the
+// paper's full 31-page policy — reporting crawl success.
+func BenchmarkAblationCrawlPolicy(b *testing.B) {
+	gen := webgen.NewDefault()
+	client := virtualweb.NewTransport(gen).Client()
+	domains := gen.Domains()[:60]
+	for _, variant := range []struct {
+		name string
+		cfg  crawler.Config
+	}{
+		{"full-policy", crawler.Config{}},
+		{"footer-only", crawler.Config{SkipWellKnown: true, SkipTopLinks: true}},
+		{"well-known-only", crawler.Config{SkipFooter: true, SkipTopLinks: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := variant.cfg
+			cfg.Client = client
+			cr, err := crawler.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			var success float64
+			for i := 0; i < b.N; i++ {
+				ok := 0
+				for _, res := range cr.CrawlAll(context.Background(), domains, 8) {
+					if res.Success {
+						ok++
+					}
+				}
+				success = float64(ok) / float64(len(domains))
+			}
+			b.ReportMetric(success*100, "crawl-success-%")
+		})
+	}
+}
+
+// BenchmarkAnalyzeHTML measures the public one-shot API on a single
+// policy.
+func BenchmarkAnalyzeHTML(b *testing.B) {
+	gen := webgen.NewDefault()
+	var html string
+	for _, s := range gen.Sites() {
+		if s.Failure != webgen.FailNone {
+			continue
+		}
+		pages := gen.RenderSite(s.Domain)
+		var paths []string
+		for path := range pages {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			p := pages[path]
+			if strings.Contains(path, "privacy") && p.RedirectTo == "" && len(p.Body) > 4000 {
+				html = p.Body
+				break
+			}
+		}
+		if html != "" {
+			break
+		}
+	}
+	bot := aipan.SimGPT4()
+	b.SetBytes(int64(len(html)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aipan.AnalyzeHTML(context.Background(), bot, html); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Command aipan is the end-to-end reproduction CLI: it runs the pipeline
+// over the synthetic Russell-3000 web, persists the AIPAN dataset, and
+// regenerates every table and validation figure from the paper.
+//
+// Usage:
+//
+//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000]
+//	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
+//	aipan validate --data aipan.jsonl [--seed 3000]
+//	aipan compare-models [--n 20] [--seed 3000]
+//	aipan all      --out aipan.jsonl [--limit N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"aipan"
+	"aipan/internal/chatbot"
+	"aipan/internal/core"
+	"aipan/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "run":
+		err = cmdRun(args)
+	case "report":
+		err = cmdReport(args)
+	case "validate":
+		err = cmdValidate(args)
+	case "compare-models":
+		err = cmdCompare(args)
+	case "risk":
+		err = cmdRisk(args)
+	case "train":
+		err = cmdTrain(args)
+	case "prompts":
+		err = cmdPrompts(args)
+	case "diff":
+		err = cmdDiff(args)
+	case "serve":
+		err = cmdServe(args)
+	case "all":
+		err = cmdAll(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "aipan: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aipan:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `aipan — large-scale privacy-policy annotation (IMC '24 reproduction)
+
+commands:
+  run             crawl + annotate the corpus, write the JSONL dataset
+  report          regenerate a paper table from a dataset
+  validate        §4 validation: failure audit + precision vs ground truth
+  compare-models  §6 GPT-4- vs Llama- vs GPT-3.5-class comparison
+  risk            privacy-exposure scoring + sector peer comparison
+  train           distill the chatbot annotations into an offline classifier
+  prompts         print the chatbot task prompts (Figure 2 / Appendix C)
+  diff            compare two dataset snapshots (trend analysis)
+  serve           expose a dataset over an HTTP/JSON API
+  all             run + funnel + all tables + validation in one go`)
+}
+
+func botFor(name string) (aipan.Chatbot, error) {
+	switch name {
+	case "sim-gpt4", "":
+		return aipan.SimGPT4(), nil
+	case "sim-llama31":
+		return aipan.SimLlama31(), nil
+	case "sim-gpt35":
+		return aipan.SimGPT35(), nil
+	}
+	if strings.HasPrefix(name, "openai:") {
+		return aipan.NewOpenAIChatbot(aipan.OpenAIConfig{
+			BaseURL: os.Getenv("OPENAI_BASE_URL"),
+			APIKey:  os.Getenv("OPENAI_API_KEY"),
+			Model:   strings.TrimPrefix(name, "openai:"),
+		})
+	}
+	return nil, fmt.Errorf("unknown model %q (sim-gpt4, sim-llama31, sim-gpt35, openai:<model>)", name)
+}
+
+func runPipeline(out string, limit, workers int, seed int64, model, checkpoint string, progress bool) (*core.Result, *aipan.Pipeline, error) {
+	bot, err := botFor(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := aipan.PipelineConfig{Seed: seed, Limit: limit, Workers: workers, Bot: bot, Checkpoint: checkpoint}
+	if progress {
+		cfg.Progress = func(stage string, done, total int) {
+			if done%200 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d", stage, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	p, err := aipan.NewPipeline(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.Run(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
+	if out != "" {
+		if err := aipan.WriteDataset(out, res.Records); err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(res.Records), out)
+	}
+	return res, p, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "aipan.jsonl", "output dataset path")
+	limit := fs.Int("limit", 0, "process only the first N domains (0 = all)")
+	workers := fs.Int("workers", 8, "concurrent domains")
+	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed")
+	model := fs.String("model", "sim-gpt4", "chatbot backend")
+	csvPrefix := fs.String("csv", "", "also write <prefix>-annotations.csv and <prefix>-domains.csv")
+	taxPath := fs.String("taxonomy", "", "JSON taxonomy extension to merge before annotating")
+	checkpoint := fs.String("checkpoint", "", "stream records to this JSONL and resume from it on restart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *taxPath != "" {
+		if err := aipan.LoadTaxonomyExtension(*taxPath); err != nil {
+			return err
+		}
+	}
+	res, _, err := runPipeline(*out, *limit, *workers, *seed, *model, *checkpoint, true)
+	if err != nil {
+		return err
+	}
+	if *csvPrefix != "" {
+		if err := aipan.WriteAnnotationsCSV(*csvPrefix+"-annotations.csv", res.Records); err != nil {
+			return err
+		}
+		if err := aipan.WriteDomainsCSV(*csvPrefix+"-domains.csv", res.Records); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s-annotations.csv and %s-domains.csv\n", *csvPrefix, *csvPrefix)
+	}
+	fmt.Println(aipan.FunnelTable(res.Funnel).Render())
+	return nil
+}
+
+func loadReport(data string, seed int64) (*aipan.Report, error) {
+	records, err := aipan.ReadDataset(data)
+	if err != nil {
+		return nil, err
+	}
+	web := aipan.NewSyntheticWeb(seed)
+	return aipan.NewReport(records, web.Gen), nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	data := fs.String("data", "aipan.jsonl", "dataset path")
+	table := fs.String("table", "1", "funnel|1|2a|2b|3|4|5|6|dist|retention")
+	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed (for ground truth)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := loadReport(*data, *seed)
+	if err != nil {
+		return err
+	}
+	printReportTable(rep, *table)
+	return nil
+}
+
+func printReportTable(rep *aipan.Report, table string) {
+	switch table {
+	case "1":
+		fmt.Println(rep.Table1(false).Render())
+	case "4":
+		fmt.Println(rep.Table1(true).Render())
+	case "2a":
+		fmt.Println(rep.Table2Types(false).Render())
+	case "5":
+		fmt.Println(rep.Table2Types(true).Render())
+	case "2b":
+		fmt.Println(rep.Table2Purposes().Render())
+	case "3":
+		fmt.Println(rep.Table3().Render())
+	case "6":
+		fmt.Println(rep.Table6(4).Render())
+	case "dist":
+		d := rep.CategoryDistribution()
+		fmt.Printf("§5 category distribution (paper values in parentheses)\n")
+		fmt.Printf("  ≥3 categories:  %5.1f%%  (93.5%%)\n", d.AtLeast3Cats*100)
+		fmt.Printf("  >13 categories: %5.1f%%  (52.8%%)\n", d.Over13Cats*100)
+		fmt.Printf("  >22 categories: %5.1f%%  (13.0%%)\n", d.Over22Cats*100)
+		fmt.Printf("  >25 categories: %5.1f%%  (4.8%%)\n", d.Over25Cats*100)
+		fmt.Printf("  CD sector mean: %.1f categories / %.1f descriptors (16.3 / 48.8)\n", d.CDMeanCats, d.CDMeanDescs)
+		fmt.Printf("  'data for sale' companies: %d (26)\n", d.DataForSale)
+	case "retention":
+		s := rep.Retention()
+		fmt.Printf("§5 retention & access drill-down (paper values in parentheses)\n")
+		fmt.Printf("  median stated retention: %.1f years (2)\n", s.MedianDays/365)
+		fmt.Printf("  min: %.0f day(s) %v (1 day)\n", s.MinDays, s.MinDomains)
+		fmt.Printf("  max: %.0f years %v (50 years)\n", s.MaxDays/365, s.MaxDomains)
+		fmt.Printf("  specific protection practices: %.1f%% (39.9%%)\n", s.SpecificProtection*100)
+		if s.IndefiniteTotal > 0 {
+			fmt.Printf("  indefinite retention concerning anonymized/aggregated data: %d of %d (§6 refinement)\n",
+				s.IndefiniteAnonymized, s.IndefiniteTotal)
+		}
+		fmt.Printf("  read/write access: %.1f%% (77.5%%)   read-only: %.1f%% (0.5%%)   none: %.1f%% (22.0%%)\n",
+			s.ReadWriteAccess*100, s.ReadOnlyAccess*100, s.NoAccess*100)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", table)
+	}
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	data := fs.String("data", "aipan.jsonl", "dataset path")
+	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := loadReport(*data, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.AuditTable().Render())
+	fmt.Println(rep.PrecisionTable().Render())
+	fmt.Println("Sampled precision (paper's §4 sample sizes):")
+	for _, p := range rep.SampledPrecision(1) {
+		fmt.Printf("  %-10s %5.1f%%  (%d/%d)\n", p.Aspect, p.Value()*100, p.Correct, p.Total)
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare-models", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of policies (paper: 20)")
+	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scores, err := aipan.CompareModels(context.Background(), *seed, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(aipan.CompareTable(scores).Render())
+	return nil
+}
+
+func cmdRisk(args []string) error {
+	fs := flag.NewFlagSet("risk", flag.ExitOnError)
+	data := fs.String("data", "aipan.jsonl", "dataset path")
+	top := fs.Int("top", 15, "companies to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := aipan.ReadDataset(*data)
+	if err != nil {
+		return err
+	}
+	scores := aipan.ScoreRisk(records)
+	fmt.Println(aipan.RiskSectorTable(scores).Render())
+	fmt.Println(aipan.RiskTopTable(scores, *top).Render())
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "aipan.jsonl", "dataset path")
+	out := fs.String("out", "", "write the trained model JSON here (optional)")
+	task := fs.String("task", "aspect", "aspect | types-category")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := aipan.ReadDataset(*data)
+	if err != nil {
+		return err
+	}
+	model, eval, err := aipan.TrainClassifier(records, *task)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %q: %d classes, held-out accuracy %.1f%%, macro-F1 %.3f (n=%d)\n",
+		*task, len(model.Classes), eval.Accuracy*100, eval.MacroF1, eval.N)
+	classes := append([]string(nil), model.Classes...)
+	for _, c := range classes {
+		m := eval.PerClass[c]
+		if m.Support == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s P %.2f  R %.2f  F1 %.2f  (n=%d)\n", c, m.Precision, m.Recall, m.F1, m.Support)
+	}
+	if *out != "" {
+		if err := model.Save(*out); err != nil {
+			return err
+		}
+		fmt.Println("model written to", *out)
+	}
+	return nil
+}
+
+func cmdPrompts(args []string) error {
+	fs := flag.NewFlagSet("prompts", flag.ExitOnError)
+	task := fs.String("task", "extract-types", "heading-labels | segment-text | extract-types | normalize-types | extract-purposes | normalize-purposes | handling-labels | rights-labels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sample := "[1] We collect your email address and browsing history.\n"
+	var req chatbot.Request
+	switch *task {
+	case chatbot.TaskHeadingLabels:
+		req = chatbot.HeadingLabelsRequest("[1] Information We Collect\n[2]   Cookies\n")
+	case chatbot.TaskSegmentText:
+		req = chatbot.SegmentTextRequest(sample)
+	case chatbot.TaskExtractTypes:
+		req = chatbot.ExtractTypesRequest(sample, 3)
+	case chatbot.TaskNormalizeTypes:
+		req = chatbot.NormalizeTypesRequest([]string{"mailing address"}, 3)
+	case chatbot.TaskExtractPurposes:
+		req = chatbot.ExtractPurposesRequest(sample, 3)
+	case chatbot.TaskNormalizePurposes:
+		req = chatbot.NormalizePurposesRequest([]string{"prevent fraud"}, 3)
+	case chatbot.TaskHandlingLabels:
+		req = chatbot.HandlingLabelsRequest(sample)
+	case chatbot.TaskRightsLabels:
+		req = chatbot.RightsLabelsRequest(sample)
+	default:
+		return fmt.Errorf("unknown task %q", *task)
+	}
+	for _, m := range req.Messages {
+		fmt.Printf("――― %s ―――\n%s\n\n", m.Role, m.Content)
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	oldPath := fs.String("old", "", "older dataset snapshot (required)")
+	newPath := fs.String("new", "", "newer dataset snapshot (required)")
+	top := fs.Int("top", 15, "coverage movements to list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("diff requires --old and --new dataset paths")
+	}
+	oldRecs, err := aipan.ReadDataset(*oldPath)
+	if err != nil {
+		return err
+	}
+	newRecs, err := aipan.ReadDataset(*newPath)
+	if err != nil {
+		return err
+	}
+	deltas := aipan.CoverageDeltas(oldRecs, newRecs)
+	fmt.Println(aipan.DeltaTable(deltas, *top).Render())
+	ch := aipan.CompareDomains(oldRecs, newRecs)
+	fmt.Printf("domains compared: %d (unchanged %d), new: %d, gone: %d\n",
+		ch.Compared, ch.Unchanged, len(ch.NewDomains), len(ch.GoneDomains))
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	data := fs.String("data", "aipan.jsonl", "dataset path")
+	addr := fs.String("addr", ":8090", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	records, err := aipan.ReadDataset(*data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving %d records on %s — try GET /api/summary, /api/label/<domain>, /api/ask/<domain>?q=...\n",
+		len(records), *addr)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           aipan.NewDatasetServer(records),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	out := fs.String("out", "aipan.jsonl", "output dataset path")
+	limit := fs.Int("limit", 0, "process only the first N domains (0 = all)")
+	workers := fs.Int("workers", 8, "concurrent domains")
+	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, p, err := runPipeline(*out, *limit, *workers, *seed, "sim-gpt4", "", true)
+	if err != nil {
+		return err
+	}
+	rep := aipan.NewReport(res.Records, p.Generator())
+	fmt.Println(aipan.FunnelTable(res.Funnel).Render())
+	for _, tbl := range []string{"1", "2a", "2b", "3", "4", "5", "6", "dist", "retention"} {
+		printReportTable(rep, tbl)
+		fmt.Println()
+	}
+	fmt.Println(rep.AuditTable().Render())
+	fmt.Println(rep.PrecisionTable().Render())
+	if cl, ok := p.Bot().(*chatbot.Client); ok {
+		st := cl.Stats()
+		fmt.Printf("chatbot calls: %d (failed %d), tokens: %d prompt / %d completion\n",
+			st.Calls, st.FailedCalls, st.Usage.PromptTokens, st.Usage.CompletionTokens)
+	}
+	_ = report.FunnelNumbers{} // keep the report import for future subcommands
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command policyscan annotates a single privacy policy: feed it an HTML
+// (or plain-text) file and it prints the structured annotations the
+// pipeline would store — collected data types, purposes, retention and
+// protection practices, and user rights.
+//
+// Usage:
+//
+//	policyscan [--model sim-gpt4] [--json] policy.html
+//	policyscan --label policy.html                  # privacy nutrition label
+//	policyscan --ask "do they sell my data?" policy.html
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"aipan"
+)
+
+func main() {
+	model := flag.String("model", "sim-gpt4", "chatbot backend: sim-gpt4, sim-llama31, sim-gpt35")
+	asJSON := flag.Bool("json", false, "emit annotations as JSON")
+	label := flag.Bool("label", false, "render a privacy nutrition label instead of the annotation table")
+	ask := flag.String("ask", "", "answer a privacy question from the policy")
+	taxPath := flag.String("taxonomy", "", "JSON taxonomy extension to merge before annotating")
+	flag.Parse()
+	if *taxPath != "" {
+		if err := aipan.LoadTaxonomyExtension(*taxPath); err != nil {
+			fmt.Fprintln(os.Stderr, "policyscan:", err)
+			os.Exit(1)
+		}
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: policyscan [--model M] [--json|--label|--ask Q] policy.html")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *model, *asJSON, *label, *ask); err != nil {
+		fmt.Fprintln(os.Stderr, "policyscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, model string, asJSON, label bool, ask string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	html := string(data)
+	// Plain-text input: wrap the paragraphs so the HTML pipeline applies.
+	if !strings.Contains(html, "<") {
+		var b strings.Builder
+		for _, para := range strings.Split(html, "\n\n") {
+			fmt.Fprintf(&b, "<p>%s</p>\n", para)
+		}
+		html = b.String()
+	}
+
+	var bot aipan.Chatbot
+	switch model {
+	case "sim-gpt4":
+		bot = aipan.SimGPT4()
+	case "sim-llama31":
+		bot = aipan.SimLlama31()
+	case "sim-gpt35":
+		bot = aipan.SimGPT35()
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	anns, err := aipan.AnalyzeHTML(context.Background(), bot, html)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(anns)
+	}
+	if ask != "" {
+		ans, ok := aipan.Ask(ask, anns)
+		if !ok {
+			return fmt.Errorf("no supported question matched %q (try: sell, delete, retention, opt-out, location, health, collect, security)", ask)
+		}
+		fmt.Println(ans.Text)
+		for _, ev := range ans.Evidence {
+			fmt.Println("  evidence:", ev)
+		}
+		if !ans.Confident {
+			fmt.Println("  (the policy is silent on this; absence of a mention is not proof of absence)")
+		}
+		return nil
+	}
+	if label {
+		fmt.Print(aipan.NutritionLabel(anns).Render(path))
+		return nil
+	}
+
+	sort.SliceStable(anns, func(i, j int) bool {
+		if anns[i].Aspect != anns[j].Aspect {
+			return anns[i].Aspect < anns[j].Aspect
+		}
+		return anns[i].Category < anns[j].Category
+	})
+	t := &aipan.Table{
+		Title:   fmt.Sprintf("%s — %d unique annotations (%s)", path, len(anns), model),
+		Headers: []string{"Aspect", "Meta", "Category", "Descriptor", "Line", "Text"},
+	}
+	for _, a := range anns {
+		t.AddRow(a.Aspect, a.Meta, a.Category, a.Descriptor, fmt.Sprintf("%d", a.Line), clip(a.Text, 40))
+	}
+	fmt.Println(t.Render())
+	return nil
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,54 @@
+// Command wwwsim serves the synthetic Russell-3000 corporate web over a
+// real TCP socket, so the crawler (or a browser, or curl) can talk to the
+// study substrate like the live Internet.
+//
+// Sites are addressed by Host header (curl --resolve) or by path:
+//
+//	wwwsim --addr :8080
+//	curl http://localhost:8080/_site/<domain>/privacy-policy
+//
+// Use --list to print the domains without serving.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"aipan"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", aipan.DefaultSeed, "corpus seed")
+	list := flag.Bool("list", false, "print the synthetic domains and exit")
+	n := flag.Int("n", 20, "number of domains to print with --list (0 = all)")
+	flag.Parse()
+
+	web := aipan.NewSyntheticWeb(*seed)
+	if *list {
+		domains := web.Domains()
+		if *n > 0 && *n < len(domains) {
+			domains = domains[:*n]
+		}
+		for _, d := range domains {
+			fmt.Println(d)
+		}
+		return
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           web.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("wwwsim: serving %d synthetic corporate sites on %s", len(web.Domains()), *addr)
+	log.Printf("wwwsim: try  curl http://localhost%s/_site/%s/", *addr, web.Domains()[0])
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "wwwsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Crawl demo: point the §3.1 privacy-policy crawler at the synthetic
+// corporate web and watch the discovery policy work — footer links,
+// well-known paths, privacy hubs, dedup, and the failure classes.
+//
+//	go run ./examples/crawl-demo
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"aipan"
+)
+
+func main() {
+	ctx := context.Background()
+	web := aipan.NewSyntheticWeb(aipan.DefaultSeed)
+
+	cr, err := aipan.NewCrawler(aipan.CrawlerConfig{Client: web.Client()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	domains := web.Domains()[:8]
+	fmt.Printf("crawling %d synthetic domains...\n\n", len(domains))
+	results := cr.CrawlAll(ctx, domains, 4)
+
+	t := &aipan.Table{Headers: []string{"Domain", "Pages", "Privacy pages", "Crawl OK", "Notes"}}
+	for _, r := range results {
+		notes := ""
+		if site := web.Gen.Site(r.Domain); site != nil && site.Failure != "" {
+			notes = "injected failure: " + string(site.Failure)
+		}
+		if r.PDFCount > 0 {
+			notes += " (PDF policy)"
+		}
+		if r.NonEnglish > 0 {
+			notes += " (non-English dropped)"
+		}
+		if r.DuplicateCount > 0 {
+			notes += fmt.Sprintf(" (%d duplicates removed)", r.DuplicateCount)
+		}
+		t.AddRow(r.Domain,
+			fmt.Sprintf("%d", r.PagesFetched()),
+			fmt.Sprintf("%d", len(r.PrivacyPages)),
+			fmt.Sprintf("%v", r.Success),
+			notes)
+	}
+	fmt.Println(t.Render())
+
+	// Show the discovered privacy-page URLs for the first successful crawl.
+	for _, r := range results {
+		if len(r.PrivacyPages) == 0 {
+			continue
+		}
+		fmt.Printf("privacy pages for %s:\n", r.Domain)
+		for _, p := range r.PrivacyPages {
+			fmt.Printf("  %s (%d bytes)\n", p.FinalURL, len(p.Body))
+		}
+		break
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: annotate a single privacy policy with the GPT-4-class
+// simulated chatbot and print the structured annotations — the smallest
+// possible use of the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"aipan"
+)
+
+// policyHTML is a compact but realistic corporate privacy policy.
+const policyHTML = `<html><head><title>Example Corp Privacy Policy</title></head><body>
+<h1>Privacy Policy</h1>
+<h2>Information We Collect</h2>
+<p>We collect your email address, mailing address, and phone number when you
+create an account. When you browse, our systems record your IP address,
+browser type, and browsing history, and we use cookies and web beacons.</p>
+<p>We do not collect biometric data or social security numbers.</p>
+<h2>How We Use Your Information</h2>
+<p>We use the information we collect for customer service, to personalize
+your experience, to prevent fraud, for analytics, and to send you marketing
+communications about our products.</p>
+<h2>Data Retention and Security</h2>
+<p>We retain your personal information for the period you are actively using
+our services plus six (6) years. Access to personal data is restricted to
+employees on a need-to-know basis, and we use Secure Socket Layer (SSL)
+encryption technology for payment transactions.</p>
+<h2>Your Rights and Choices</h2>
+<p>You may opt out at any time by clicking the unsubscribe link at the bottom
+of our emails. You may request that we correct or update your personal
+information, and you may request that we delete all of your personal
+information from our servers.</p>
+<h2>Changes to This Policy</h2>
+<p>We may update this policy from time to time.</p>
+<h2>Contact Us</h2>
+<p>Email privacy@example.com.</p>
+</body></html>`
+
+func main() {
+	ctx := context.Background()
+	bot := aipan.SimGPT4()
+
+	anns, err := aipan.AnalyzeHTML(ctx, bot, policyHTML)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("extracted %d unique annotations\n\n", len(anns))
+	t := &aipan.Table{Headers: []string{"Aspect", "Category", "Descriptor", "Verbatim text"}}
+	for _, a := range anns {
+		t.AddRow(a.Aspect, a.Category, a.Descriptor, a.Text)
+	}
+	fmt.Println(t.Render())
+
+	// The negated mention must NOT appear (the chatbot is instructed to
+	// ignore "we do not collect ..." contexts).
+	for _, a := range anns {
+		if a.Category == "Biometric data" {
+			log.Fatal("BUG: negated biometric mention was annotated")
+		}
+	}
+	fmt.Println("note: the negated 'we do not collect biometric data' sentence was correctly skipped")
+}

@@ -1,0 +1,54 @@
+// Risk & distill: the paper's §6 roadmap in action. Run the pipeline over
+// a corpus slice, then (1) score every company's privacy exposure with
+// sector peer-group percentiles and (2) distill the chatbot annotations
+// into an offline classifier that replicates them without chatbot calls.
+//
+//	go run ./examples/risk-and-distill
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"aipan"
+)
+
+func main() {
+	ctx := context.Background()
+	fmt.Println("running the pipeline over 400 synthetic domains...")
+	p, err := aipan.NewPipeline(aipan.PipelineConfig{Limit: 400, Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Privacy-exposure scoring ("legal exposure risk analysis", §6).
+	scores := aipan.ScoreRisk(res.Records)
+	fmt.Println()
+	fmt.Println(aipan.RiskSectorTable(scores).Render())
+	fmt.Println(aipan.RiskTopTable(scores, 8).Render())
+
+	// 2. Offline distillation ("training offline LLMs to replicate the
+	// chatbot-generated annotations", §6 future work).
+	model, eval, err := aipan.TrainClassifier(res.Records, "aspect")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distilled aspect classifier: %d classes, held-out accuracy %.1f%% (n=%d)\n",
+		len(model.Classes), eval.Accuracy*100, eval.N)
+
+	// The distilled model routes new sentences with zero chatbot calls.
+	for _, sentence := range []string{
+		"We collect your email address and device identifiers.",
+		"Your information helps us prevent fraud and measure campaigns.",
+		"Records are kept for no longer than twenty-four months.",
+		"You may request deletion of your account at any time.",
+	} {
+		label, margin := model.Predict(sentence)
+		fmt.Printf("  %-62q → %-10s (margin %.1f)\n", sentence, label, margin)
+	}
+}

@@ -1,0 +1,3 @@
+module aipan
+
+go 1.22

@@ -1,0 +1,440 @@
+// Package annotate turns a segmented privacy policy into structured
+// annotations (§3.2.2): collected data types and collection purposes are
+// extracted verbatim and then normalized against the taxonomy (two chatbot
+// tasks each, with zero-shot descriptors for out-of-glossary terms);
+// retention/protection practices and user choices/access are extracted and
+// labeled in one task each. Each aspect is annotated from its own section
+// first, falling back to the whole text when the section yields nothing,
+// and every chatbot-generated mention is programmatically verified to be
+// present in the policy text (the hallucination filter).
+package annotate
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"aipan/internal/chatbot"
+	"aipan/internal/nlp"
+	"aipan/internal/segment"
+	"aipan/internal/taxonomy"
+	"aipan/internal/textify"
+)
+
+// Annotation is one structured, normalized annotation — the unit of the
+// AIPAN dataset.
+type Annotation struct {
+	// Aspect is "types", "purposes", "handling", or "rights".
+	Aspect string `json:"aspect"`
+	// Meta is the meta-category (types/purposes) or label group
+	// (handling/rights), e.g. "Physical profile" or "Data retention".
+	Meta string `json:"meta"`
+	// Category is the category (types/purposes) or practice label
+	// (handling/rights), e.g. "Contact info" or "Stated".
+	Category string `json:"category"`
+	// Descriptor is the normalized descriptor for types/purposes (e.g.
+	// "postal address"); for handling/rights it is empty except for stated
+	// retention periods, where it carries the extracted duration.
+	Descriptor string `json:"descriptor,omitempty"`
+	// Text is the verbatim mention from the policy.
+	Text string `json:"text"`
+	// Line is the source line number in the rendered policy.
+	Line int `json:"line"`
+	// Context is the sentence containing the mention (Table 6's context
+	// column).
+	Context string `json:"context,omitempty"`
+	// Novel marks zero-shot descriptors not present in the glossary.
+	Novel bool `json:"novel,omitempty"`
+	// RetentionDays is the parsed duration for "Stated" retention.
+	RetentionDays int `json:"retention_days,omitempty"`
+	// Scope qualifies the annotation; for "Indefinitely" retention it is
+	// set to "anonymized" when the mention concerns anonymized/aggregated
+	// data — the paper's §6 refinement ("mentions of unlimited retention
+	// periods often concern anonymized or aggregated data, which is less
+	// concerning than personally identifiable information").
+	Scope string `json:"scope,omitempty"`
+}
+
+// Key is the repetition-dedup identity: the paper counts unique
+// annotations "after eliminating repetitive mentions of the same term for
+// each privacy policy".
+func (a Annotation) Key() string {
+	return a.Aspect + "|" + a.Meta + "|" + a.Category + "|" + a.Descriptor
+}
+
+// Result is the annotation outcome for one policy document.
+type Result struct {
+	Annotations []Annotation
+	// FallbackUsed records which aspects fell back to whole-text
+	// annotation (§3.2.2 footnote: at least one fallback for 708/2545
+	// policies).
+	FallbackUsed map[string]bool
+	// Dropped counts mentions removed by the hallucination filter.
+	Dropped int
+}
+
+// Option configures an Annotator.
+type Option func(*Annotator)
+
+// WithGlossarySize controls how many descriptors per category ship in the
+// prompts: 0 = the full glossary (default), n>0 = truncated, -1 = no
+// glossary at all (the ablation in DESIGN.md §4).
+func WithGlossarySize(n int) Option {
+	return func(a *Annotator) { a.glossarySize = n }
+}
+
+// WithHallucinationFilter toggles the programmatic verbatim-presence check
+// (default on; the off switch exists for the ablation bench).
+func WithHallucinationFilter(on bool) Option {
+	return func(a *Annotator) { a.verify = on }
+}
+
+// WithSectionFirst toggles section-first annotation (default on). When
+// off, every aspect is annotated from the whole text — the paper's
+// token-hungry alternative.
+func WithSectionFirst(on bool) Option {
+	return func(a *Annotator) { a.sectionFirst = on }
+}
+
+// Annotator runs the §3.2.2 annotation tasks through a chatbot.
+type Annotator struct {
+	bot          chatbot.Chatbot
+	glossarySize int
+	verify       bool
+	sectionFirst bool
+}
+
+// New builds an Annotator around a chatbot backend.
+func New(bot chatbot.Chatbot, opts ...Option) *Annotator {
+	a := &Annotator{bot: bot, glossarySize: 0, verify: true, sectionFirst: true}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Annotate produces all annotations for one rendered, segmented policy.
+func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *segment.Result) (*Result, error) {
+	res := &Result{FallbackUsed: map[string]bool{}}
+	if err := an.annotateTypes(ctx, doc, seg, res); err != nil {
+		return nil, err
+	}
+	if err := an.annotatePurposes(ctx, doc, seg, res); err != nil {
+		return nil, err
+	}
+	if err := an.annotateHandling(ctx, doc, seg, res); err != nil {
+		return nil, err
+	}
+	if err := an.annotateRights(ctx, doc, seg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sectionOrFallback returns the aspect's numbered text, and whether the
+// whole document was used instead.
+func (an *Annotator) sectionOrFallback(doc *textify.Document, seg *segment.Result, a taxonomy.Aspect) (string, bool) {
+	if an.sectionFirst {
+		if text := seg.NumberedText(a); strings.TrimSpace(text) != "" {
+			return text, false
+		}
+	}
+	return doc.NumberedText(), true
+}
+
+// verifyMention implements the hallucination check: the extracted words
+// must be present (possibly discontinuously) on the referenced line, or
+// anywhere in the policy as a lenient second chance.
+func (an *Annotator) verifyMention(doc *textify.Document, line int, text string) bool {
+	if !an.verify {
+		return true
+	}
+	if l, ok := doc.LineByNumber(line); ok && nlp.ContainsWords(l.Text, text) {
+		return true
+	}
+	for _, l := range doc.Lines {
+		if nlp.ContainsWords(l.Text, text) {
+			return true
+		}
+	}
+	return false
+}
+
+// contextOf recovers the containing sentence for Table 6.
+func contextOf(doc *textify.Document, line int, text string) string {
+	if l, ok := doc.LineByNumber(line); ok {
+		return nlp.SentenceOf(l.Text, text)
+	}
+	return ""
+}
+
+// ------------------------------------------------------- types & purposes
+
+func (an *Annotator) annotateTypes(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
+	return an.annotateNormalized(ctx, doc, seg, res, taxonomy.AspectTypes,
+		func(text string) chatbot.Request { return chatbot.ExtractTypesRequest(text, an.glossarySize) },
+		func(mentions []string) chatbot.Request {
+			return chatbot.NormalizeTypesRequest(mentions, an.glossarySize)
+		},
+		taxonomy.NewTypeIndex())
+}
+
+func (an *Annotator) annotatePurposes(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
+	return an.annotateNormalized(ctx, doc, seg, res, taxonomy.AspectPurposes,
+		func(text string) chatbot.Request { return chatbot.ExtractPurposesRequest(text, an.glossarySize) },
+		func(mentions []string) chatbot.Request {
+			return chatbot.NormalizePurposesRequest(mentions, an.glossarySize)
+		},
+		taxonomy.NewPurposeIndex())
+}
+
+// annotateNormalized runs the two-task extract→normalize flow shared by
+// types and purposes.
+func (an *Annotator) annotateNormalized(
+	ctx context.Context,
+	doc *textify.Document,
+	seg *segment.Result,
+	res *Result,
+	aspect taxonomy.Aspect,
+	extractReq func(string) chatbot.Request,
+	normalizeReq func([]string) chatbot.Request,
+	ix *taxonomy.Index,
+) error {
+	text, usedFallback := an.sectionOrFallback(doc, seg, aspect)
+	if strings.TrimSpace(text) == "" {
+		return nil
+	}
+	extractions, err := an.extract(ctx, extractReq(text))
+	if err != nil {
+		return fmt.Errorf("annotate: extracting %s: %w", aspect, err)
+	}
+	// §3.2.2: fall back to the entire text if the section produced no
+	// annotations.
+	if len(extractions) == 0 && !usedFallback && an.sectionFirst {
+		usedFallback = true
+		extractions, err = an.extract(ctx, extractReq(doc.NumberedText()))
+		if err != nil {
+			return fmt.Errorf("annotate: extracting %s (fallback): %w", aspect, err)
+		}
+	}
+	if usedFallback {
+		res.FallbackUsed[string(aspect)] = true
+	}
+
+	// Hallucination filter, then collect unique surfaces for normalization.
+	var kept []chatbot.Extraction
+	surfaceSet := map[string]bool{}
+	var surfaces []string
+	for _, e := range extractions {
+		if e.Text == "" {
+			continue
+		}
+		if !an.verifyMention(doc, e.Line, e.Text) {
+			res.Dropped++
+			continue
+		}
+		kept = append(kept, e)
+		key := nlp.NormalizeStemmed(e.Text)
+		if !surfaceSet[key] {
+			surfaceSet[key] = true
+			surfaces = append(surfaces, e.Text)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+
+	resp, err := an.bot.Complete(ctx, normalizeReq(surfaces))
+	if err != nil {
+		return fmt.Errorf("annotate: normalizing %s: %w", aspect, err)
+	}
+	norms, err := chatbot.ParseNormalizations(resp.Content)
+	if err != nil {
+		return fmt.Errorf("annotate: %s: %w", aspect, err)
+	}
+	normOf := map[string]chatbot.Normalization{}
+	for _, n := range norms {
+		normOf[nlp.NormalizeStemmed(n.Surface)] = n
+	}
+
+	known := map[string]bool{}
+	for _, c := range ix.Categories() {
+		for _, d := range c.Descriptors {
+			known[nlp.NormalizeStemmed(d.Name)] = true
+		}
+	}
+
+	for _, e := range kept {
+		n, ok := normOf[nlp.NormalizeStemmed(e.Text)]
+		if !ok || n.Category == "" || n.Meta == "" {
+			continue // unplaceable mention: discarded like the paper's junk rows
+		}
+		res.Annotations = append(res.Annotations, Annotation{
+			Aspect:     string(aspect),
+			Meta:       n.Meta,
+			Category:   n.Category,
+			Descriptor: n.Descriptor,
+			Text:       e.Text,
+			Line:       e.Line,
+			Context:    contextOf(doc, e.Line, e.Text),
+			Novel:      !known[nlp.NormalizeStemmed(n.Descriptor)],
+		})
+	}
+	return nil
+}
+
+func (an *Annotator) extract(ctx context.Context, req chatbot.Request) ([]chatbot.Extraction, error) {
+	resp, err := an.bot.Complete(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return chatbot.ParseExtractions(resp.Content)
+}
+
+// ------------------------------------------------------ handling & rights
+
+func (an *Annotator) annotateHandling(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
+	return an.annotateLabeled(ctx, doc, seg, res, taxonomy.AspectHandling, chatbot.HandlingLabelsRequest)
+}
+
+func (an *Annotator) annotateRights(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
+	return an.annotateLabeled(ctx, doc, seg, res, taxonomy.AspectRights, chatbot.RightsLabelsRequest)
+}
+
+func (an *Annotator) annotateLabeled(
+	ctx context.Context,
+	doc *textify.Document,
+	seg *segment.Result,
+	res *Result,
+	aspect taxonomy.Aspect,
+	buildReq func(string) chatbot.Request,
+) error {
+	text, usedFallback := an.sectionOrFallback(doc, seg, aspect)
+	if strings.TrimSpace(text) == "" {
+		return nil
+	}
+	mentions, err := an.labeled(ctx, buildReq(text))
+	if err != nil {
+		return fmt.Errorf("annotate: labeling %s: %w", aspect, err)
+	}
+	if len(mentions) == 0 && !usedFallback && an.sectionFirst {
+		usedFallback = true
+		mentions, err = an.labeled(ctx, buildReq(doc.NumberedText()))
+		if err != nil {
+			return fmt.Errorf("annotate: labeling %s (fallback): %w", aspect, err)
+		}
+	}
+	if usedFallback {
+		res.FallbackUsed[string(aspect)] = true
+	}
+
+	valid := validLabels(aspect)
+	for _, m := range mentions {
+		if m.Text == "" || !valid[m.Group+"|"+m.Label] {
+			res.Dropped++
+			continue
+		}
+		if !an.verifyMention(doc, m.Line, m.Text) {
+			res.Dropped++
+			continue
+		}
+		a := Annotation{
+			Aspect:   string(aspect),
+			Meta:     m.Group,
+			Category: m.Label,
+			Text:     m.Text,
+			Line:     m.Line,
+			Context:  contextOf(doc, m.Line, m.Text),
+		}
+		if m.Group == taxonomy.GroupRetention && m.Label == taxonomy.RetentionStated {
+			if p, ok := nlp.ParseRetention(m.Text); ok {
+				a.RetentionDays = p.Days
+				a.Descriptor = m.Text
+			}
+		}
+		if m.Group == taxonomy.GroupRetention && m.Label == taxonomy.RetentionIndefinitely &&
+			anonymizedScope(a.Context) {
+			a.Scope = ScopeAnonymized
+		}
+		res.Annotations = append(res.Annotations, a)
+	}
+	return nil
+}
+
+func (an *Annotator) labeled(ctx context.Context, req chatbot.Request) ([]chatbot.LabeledMention, error) {
+	resp, err := an.bot.Complete(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return chatbot.ParseLabeledMentions(resp.Content)
+}
+
+// validLabels returns the allowed (group, label) pairs for an aspect, so
+// labels invented by weak models are discarded.
+func validLabels(aspect taxonomy.Aspect) map[string]bool {
+	v := map[string]bool{}
+	var groups [][]taxonomy.Label
+	switch aspect {
+	case taxonomy.AspectHandling:
+		groups = [][]taxonomy.Label{taxonomy.RetentionLabels(), taxonomy.ProtectionLabels()}
+	case taxonomy.AspectRights:
+		groups = [][]taxonomy.Label{taxonomy.ChoiceLabels(), taxonomy.AccessLabels()}
+	}
+	for _, ls := range groups {
+		for _, l := range ls {
+			v[l.Group+"|"+l.Name] = true
+		}
+	}
+	return v
+}
+
+// ScopeAnonymized marks practices that apply to anonymized/aggregated
+// data rather than personally identifiable information.
+const ScopeAnonymized = "anonymized"
+
+// anonymizedScopeTerms flag de-identified data contexts.
+var anonymizedScopeTerms = []string{
+	"anonymized", "anonymised", "aggregated", "aggregate", "de-identified",
+	"deidentified", "pseudonymized", "pseudonymised",
+}
+
+func anonymizedScope(context string) bool {
+	low := strings.ToLower(context)
+	for _, t := range anonymizedScopeTerms {
+		if strings.Contains(low, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Dedup eliminates repetitive mentions of the same term per policy,
+// keeping the first occurrence of each Key (the paper's unique-annotation
+// counting rule for Tables 1–3).
+func Dedup(anns []Annotation) []Annotation {
+	seen := map[string]bool{}
+	out := make([]Annotation, 0, len(anns))
+	for _, a := range anns {
+		k := a.Key()
+		if a.Category == taxonomy.RetentionStated {
+			// Stated periods dedup on the label, not the extracted wording.
+			k = a.Aspect + "|" + a.Meta + "|" + a.Category
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// Merge combines annotations from multiple pages of the same domain and
+// dedups them (the crawl yields 1.8 privacy pages per domain on average).
+func Merge(pages ...[]Annotation) []Annotation {
+	var all []Annotation
+	for _, p := range pages {
+		all = append(all, p...)
+	}
+	return Dedup(all)
+}

@@ -1,0 +1,305 @@
+package annotate
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"aipan/internal/chatbot"
+	"aipan/internal/segment"
+	"aipan/internal/taxonomy"
+	"aipan/internal/textify"
+)
+
+const policyHTML = `<html><body>
+<h1>ACME Privacy Policy</h1>
+<p>Welcome to ACME. This policy describes our practices.</p>
+<h2>Information We Collect</h2>
+<p>We collect your email address, mailing address and phone number.</p>
+<p>We also collect browsing history, cookies, and your IP address.</p>
+<p>We do not collect biometric data.</p>
+<h2>How We Use Your Information</h2>
+<p>We use data for fraud prevention, analytics, and to personalize your experience.</p>
+<p>We may send you marketing communications about our products.</p>
+<h2>Data Retention and Security</h2>
+<p>We retain your personal information for 2 years after account closure.</p>
+<p>Access to personal data is restricted to employees on a need-to-know basis.</p>
+<p>We use appropriate technical and organizational measures to protect your personal data.</p>
+<h2>Your Rights and Choices</h2>
+<p>You may opt out at any time by clicking the unsubscribe link at the bottom of our emails.</p>
+<p>You may request that we correct or update your personal information.</p>
+<p>You may request that we delete all of your personal information from our servers.</p>
+<h2>Contact Us</h2>
+<p>Email privacy@acme.example with questions.</p>
+</body></html>`
+
+func annotated(t *testing.T, html string, opts ...Option) (*Result, *textify.Document) {
+	t.Helper()
+	ctx := context.Background()
+	bot := chatbot.NewSim(chatbot.GPT4Profile())
+	doc := textify.RenderHTML(html)
+	seg, err := segment.Segment(ctx, bot, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(bot, opts...).Annotate(ctx, doc, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, doc
+}
+
+func find(anns []Annotation, aspect, category, descriptor string) *Annotation {
+	for i := range anns {
+		a := &anns[i]
+		if a.Aspect == aspect && a.Category == category &&
+			(descriptor == "" || a.Descriptor == descriptor) {
+			return a
+		}
+	}
+	return nil
+}
+
+func TestAnnotateFullPolicy(t *testing.T) {
+	res, _ := annotated(t, policyHTML)
+	anns := Dedup(res.Annotations)
+
+	// Types.
+	for _, want := range []struct{ cat, desc string }{
+		{"Contact info", "email address"},
+		{"Contact info", "postal address"}, // normalized from "mailing address"
+		{"Contact info", "phone number"},
+		{"Internet usage", "browsing history"},
+		{"Tracking data", "cookies"},
+		{"Online identifier", "ip address"},
+	} {
+		if find(anns, "types", want.cat, want.desc) == nil {
+			t.Errorf("missing type annotation %s/%s", want.cat, want.desc)
+		}
+	}
+	// Negated mention must not be annotated.
+	if a := find(anns, "types", "Biometric data", ""); a != nil {
+		t.Errorf("negated biometric mention annotated: %+v", a)
+	}
+
+	// Purposes.
+	for _, cat := range []string{"Security", "Analytics & research", "User experience", "Advertising & sales"} {
+		if find(anns, "purposes", cat, "") == nil {
+			t.Errorf("missing purpose category %s", cat)
+		}
+	}
+
+	// Handling.
+	stated := find(anns, "handling", taxonomy.RetentionStated, "")
+	if stated == nil {
+		t.Fatal("missing Stated retention")
+	}
+	if stated.RetentionDays != 730 {
+		t.Errorf("retention days = %d, want 730", stated.RetentionDays)
+	}
+	if find(anns, "handling", taxonomy.ProtectionAccess, "") == nil {
+		t.Error("missing Access limit")
+	}
+	if find(anns, "handling", taxonomy.ProtectionGeneric, "") == nil {
+		t.Error("missing Generic protection")
+	}
+
+	// Rights.
+	for _, label := range []string{taxonomy.ChoiceOptOutLink, taxonomy.AccessEdit, taxonomy.AccessFullDelete} {
+		if find(anns, "rights", label, "") == nil {
+			t.Errorf("missing rights label %s", label)
+		}
+	}
+}
+
+func TestAnnotationContextAndLine(t *testing.T) {
+	res, doc := annotated(t, policyHTML)
+	for _, a := range res.Annotations {
+		line, ok := doc.LineByNumber(a.Line)
+		if !ok {
+			t.Errorf("annotation %q references missing line %d", a.Text, a.Line)
+			continue
+		}
+		if a.Context == "" {
+			t.Errorf("annotation %q has no context", a.Text)
+		}
+		if !strings.Contains(line.Text, a.Text) {
+			// Discontinuous extraction is allowed; words must be present.
+			low := strings.ToLower(line.Text)
+			for _, w := range strings.Fields(strings.ToLower(a.Text)) {
+				if !strings.Contains(low, strings.TrimSuffix(w, "s")) {
+					t.Errorf("annotation text %q not on line %d: %q", a.Text, a.Line, line.Text)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestDedupEliminatesRepetition(t *testing.T) {
+	anns := []Annotation{
+		{Aspect: "types", Meta: "Physical profile", Category: "Contact info", Descriptor: "email address", Text: "email address"},
+		{Aspect: "types", Meta: "Physical profile", Category: "Contact info", Descriptor: "email address", Text: "e-mail address"},
+		{Aspect: "types", Meta: "Physical profile", Category: "Contact info", Descriptor: "phone number", Text: "phone number"},
+	}
+	got := Dedup(anns)
+	if len(got) != 2 {
+		t.Errorf("dedup kept %d, want 2", len(got))
+	}
+}
+
+func TestMergeAcrossPages(t *testing.T) {
+	p1 := []Annotation{{Aspect: "types", Meta: "m", Category: "c", Descriptor: "email address"}}
+	p2 := []Annotation{
+		{Aspect: "types", Meta: "m", Category: "c", Descriptor: "email address"},
+		{Aspect: "types", Meta: "m", Category: "c", Descriptor: "phone number"},
+	}
+	got := Merge(p1, p2)
+	if len(got) != 2 {
+		t.Errorf("merged %d, want 2", len(got))
+	}
+}
+
+const shortPolicyHTML = `<html><body><p>
+We collect your email address and use it for customer service.
+We keep data as long as necessary. Contact us to opt out.
+</p></body></html>`
+
+func TestFallbackShortPolicy(t *testing.T) {
+	res, _ := annotated(t, shortPolicyHTML)
+	anns := Dedup(res.Annotations)
+	if find(anns, "types", "Contact info", "email address") == nil {
+		t.Error("missing email address from short policy")
+	}
+	if find(anns, "handling", taxonomy.RetentionLimited, "") == nil {
+		t.Error("missing Limited retention from short policy")
+	}
+}
+
+// hallucinatingBot wraps the sim and injects a fabricated extraction.
+type hallucinatingBot struct {
+	inner chatbot.Chatbot
+}
+
+func (h *hallucinatingBot) Name() string { return "hallucinating" }
+
+func (h *hallucinatingBot) Complete(ctx context.Context, req chatbot.Request) (chatbot.Response, error) {
+	resp, err := h.inner.Complete(ctx, req)
+	if err != nil {
+		return resp, err
+	}
+	if req.Task == chatbot.TaskExtractTypes {
+		es, perr := chatbot.ParseExtractions(resp.Content)
+		if perr == nil {
+			es = append(es, chatbot.Extraction{Line: 1, Text: "quantum soul resonance data"})
+			resp.Content = chatbot.EncodeExtractions(es)
+		}
+	}
+	return resp, nil
+}
+
+func TestHallucinationFilter(t *testing.T) {
+	ctx := context.Background()
+	bot := &hallucinatingBot{inner: chatbot.NewSim(chatbot.GPT4Profile())}
+	doc := textify.RenderHTML(policyHTML)
+	seg, err := segment.Segment(ctx, chatbot.NewSim(chatbot.GPT4Profile()), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(bot).Annotate(ctx, doc, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Annotations {
+		if strings.Contains(a.Text, "quantum soul") {
+			t.Errorf("hallucinated mention survived the filter: %+v", a)
+		}
+	}
+	if res.Dropped == 0 {
+		t.Error("hallucination filter should report dropped mentions")
+	}
+
+	// With the filter disabled, the fabricated mention may slip through to
+	// normalization (and is then dropped only if unplaceable) — verify the
+	// Dropped counter stays lower.
+	res2, err := New(bot, WithHallucinationFilter(false)).Annotate(ctx, doc, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Dropped >= res.Dropped {
+		t.Errorf("filter off should drop fewer: %d vs %d", res2.Dropped, res.Dropped)
+	}
+}
+
+func TestRetentionStatedWording(t *testing.T) {
+	html := `<html><body><h2>Data Retention</h2><h2>Security</h2><h2>Types</h2><h2>Use</h2><h2>Rights</h2><h2>Contact</h2>
+<p>x</p></body></html>`
+	_ = html // the interesting case is the six-year wording below
+	res, _ := annotated(t, `<html><body><p>We retain your personal information for the period you are actively using our services plus six (6) years.</p></body></html>`)
+	anns := Dedup(res.Annotations)
+	stated := find(anns, "handling", taxonomy.RetentionStated, "")
+	if stated == nil {
+		t.Fatal("missing stated retention")
+	}
+	if stated.RetentionDays != 6*365 {
+		t.Errorf("days = %d, want %d", stated.RetentionDays, 6*365)
+	}
+	if !strings.Contains(stated.Text, "six (6) years") {
+		t.Errorf("verbatim wording = %q", stated.Text)
+	}
+}
+
+func TestNovelDescriptorFlagged(t *testing.T) {
+	res, _ := annotated(t, `<html><body><p>We collect pet insurance enrollment records when you register.</p></body></html>`)
+	found := false
+	for _, a := range res.Annotations {
+		if a.Novel {
+			found = true
+			if a.Category == "" {
+				t.Errorf("novel annotation without category: %+v", a)
+			}
+		}
+	}
+	if !found {
+		t.Error("no novel (zero-shot) annotation produced")
+	}
+}
+
+func BenchmarkAnnotatePolicy(b *testing.B) {
+	ctx := context.Background()
+	bot := chatbot.NewSim(chatbot.GPT4Profile())
+	doc := textify.RenderHTML(policyHTML)
+	sg, err := segment.Segment(ctx, bot, doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an := New(bot)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.Annotate(ctx, doc, sg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIndefiniteRetentionAnonymizedScope(t *testing.T) {
+	res, _ := annotated(t, `<html><body><p>Aggregated information may be kept indefinitely.</p></body></html>`)
+	anns := Dedup(res.Annotations)
+	indef := find(anns, "handling", taxonomy.RetentionIndefinitely, "")
+	if indef == nil {
+		t.Fatal("missing Indefinitely annotation")
+	}
+	if indef.Scope != ScopeAnonymized {
+		t.Errorf("scope = %q, want %q (§6 refinement)", indef.Scope, ScopeAnonymized)
+	}
+
+	res2, _ := annotated(t, `<html><body><p>Customer profiles are retained indefinitely on our servers.</p></body></html>`)
+	anns2 := Dedup(res2.Annotations)
+	indef2 := find(anns2, "handling", taxonomy.RetentionIndefinitely, "")
+	if indef2 == nil {
+		t.Fatal("missing second Indefinitely annotation")
+	}
+	if indef2.Scope != "" {
+		t.Errorf("PII retention wrongly scoped as %q", indef2.Scope)
+	}
+}

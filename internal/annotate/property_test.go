@@ -1,0 +1,94 @@
+package annotate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genAnnotation builds a random-but-valid annotation from constrained
+// vocabularies (quick's default string generator would make Key()
+// collisions vanishingly rare and the property vacuous).
+func genAnnotation(r *rand.Rand) Annotation {
+	aspects := []string{"types", "purposes", "handling", "rights"}
+	metas := []string{"A", "B", "C"}
+	cats := []string{"c1", "c2", "c3", "Stated"}
+	descs := []string{"", "d1", "d2"}
+	return Annotation{
+		Aspect:     aspects[r.Intn(len(aspects))],
+		Meta:       metas[r.Intn(len(metas))],
+		Category:   cats[r.Intn(len(cats))],
+		Descriptor: descs[r.Intn(len(descs))],
+		Text:       "t",
+		Line:       r.Intn(100),
+	}
+}
+
+type annList []Annotation
+
+// Generate implements quick.Generator.
+func (annList) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	out := make(annList, n)
+	for i := range out {
+		out[i] = genAnnotation(r)
+	}
+	return reflect.ValueOf(out)
+}
+
+// Property: Dedup is idempotent.
+func TestDedupIdempotentProperty(t *testing.T) {
+	f := func(anns annList) bool {
+		once := Dedup(anns)
+		twice := Dedup(once)
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dedup preserves first-occurrence order and never invents
+// annotations.
+func TestDedupSubsetOrderProperty(t *testing.T) {
+	f := func(anns annList) bool {
+		out := Dedup(anns)
+		if len(out) > len(anns) {
+			return false
+		}
+		// Every output element appears in the input, and output order is a
+		// subsequence of input order.
+		j := 0
+		for _, o := range out {
+			found := false
+			for ; j < len(anns); j++ {
+				if reflect.DeepEqual(anns[j], o) {
+					found = true
+					j++
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Merge(a, b) == Merge(Merge(a), b) — page-at-a-time merging is
+// associative in effect.
+func TestMergeAssociativityProperty(t *testing.T) {
+	f := func(a, b annList) bool {
+		direct := Merge(a, b)
+		staged := Merge(Dedup(a), b)
+		return reflect.DeepEqual(direct, staged)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+// Package chatbot implements the paper's AI-chatbot layer (§3.2): task
+// prompts (Appendix C), strict-JSON answer parsing, token accounting, and
+// several interchangeable backends behind one interface — a deterministic
+// GPT-4-class simulated annotator, degraded GPT-3.5/Llama-class simulators
+// for the §6 model comparison, and an OpenAI-compatible HTTP client for
+// driving a real LLM.
+//
+// The pipeline is chatbot-agnostic by construction: every annotation step
+// renders a textual prompt, sends it through the Chatbot interface, and
+// parses the JSON that comes back. No caller reaches into a backend's
+// internals.
+package chatbot
+
+import (
+	"context"
+	"errors"
+	"strings"
+)
+
+// Role names for chat messages.
+const (
+	RoleSystem    = "system"
+	RoleUser      = "user"
+	RoleAssistant = "assistant"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// Request is a chat-completion request.
+type Request struct {
+	// Task identifies the prompt kind (see the Task* constants). It is
+	// embedded in the prompt text as a "### Task-ID:" line; backends may
+	// dispatch on it the way a real LLM dispatches on the instructions.
+	Task string
+	// Messages is the conversation: a system persona, the task
+	// instructions, and the input document as the final user message.
+	Messages []Message
+	// Temperature is passed through to real LLM backends (the paper runs
+	// annotation at low temperature for consistency).
+	Temperature float64
+	// MaxTokens caps the completion length for real backends.
+	MaxTokens int
+}
+
+// Input returns the final user message — the document under analysis.
+func (r *Request) Input() string {
+	for i := len(r.Messages) - 1; i >= 0; i-- {
+		if r.Messages[i].Role == RoleUser {
+			return r.Messages[i].Content
+		}
+	}
+	return ""
+}
+
+// TaskMessage returns the first user message — the task instructions.
+func (r *Request) TaskMessage() string {
+	for _, m := range r.Messages {
+		if m.Role == RoleUser {
+			return m.Content
+		}
+	}
+	return ""
+}
+
+// Response is a chat completion.
+type Response struct {
+	// Content is the assistant's text (the tasks demand bare JSON).
+	Content string
+	// Model names the backend that produced the response.
+	Model string
+	// Usage is the token accounting for this call.
+	Usage Usage
+}
+
+// Usage counts tokens for a call (approximate for simulated backends).
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+}
+
+// Total returns prompt+completion tokens.
+func (u Usage) Total() int { return u.PromptTokens + u.CompletionTokens }
+
+// Add accumulates another usage record.
+func (u *Usage) Add(v Usage) {
+	u.PromptTokens += v.PromptTokens
+	u.CompletionTokens += v.CompletionTokens
+}
+
+// Chatbot is the provider-agnostic completion interface.
+type Chatbot interface {
+	// Name identifies the model, e.g. "sim-gpt4".
+	Name() string
+	// Complete runs one chat completion.
+	Complete(ctx context.Context, req Request) (Response, error)
+}
+
+// ErrEmptyResponse is returned when a backend produces no content.
+var ErrEmptyResponse = errors.New("chatbot: empty response")
+
+// Task identifiers (the "### Task-ID:" values in prompts).
+const (
+	TaskHeadingLabels     = "heading-labels"
+	TaskSegmentText       = "segment-text"
+	TaskExtractTypes      = "extract-types"
+	TaskNormalizeTypes    = "normalize-types"
+	TaskExtractPurposes   = "extract-purposes"
+	TaskNormalizePurposes = "normalize-purposes"
+	TaskHandlingLabels    = "handling-labels"
+	TaskRightsLabels      = "rights-labels"
+)
+
+// EstimateTokens approximates a token count for accounting: the usual
+// ~4 characters/token heuristic used for budgeting GPT-class models.
+func EstimateTokens(s string) int {
+	n := len(s) / 4
+	if n == 0 && len(s) > 0 {
+		n = 1
+	}
+	return n
+}
+
+// RequestTokens estimates the prompt-token total of a request.
+func RequestTokens(r *Request) int {
+	n := 0
+	for _, m := range r.Messages {
+		n += EstimateTokens(m.Content) + 4
+	}
+	return n
+}
+
+// taskIDFromPrompt recovers the Task-ID marker from a task message; real
+// LLMs ignore the marker, simulated backends dispatch on it.
+func taskIDFromPrompt(task string) string {
+	const marker = "### Task-ID: "
+	i := strings.Index(task, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := task[i+len(marker):]
+	if j := strings.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest)
+}

@@ -1,0 +1,228 @@
+package chatbot
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Client wraps a Chatbot with the operational machinery a large-scale
+// annotation run needs: bounded concurrency, retry with backoff on
+// transient failures, an idempotent response cache (identical prompts are
+// asked once — also what makes re-runs cheap), and aggregate token
+// accounting.
+type Client struct {
+	bot         Chatbot
+	sem         chan struct{}
+	maxRetries  int
+	retryDelay  time.Duration
+	mu          sync.Mutex
+	cache       map[string]Response
+	cacheOn     bool
+	diskDir     string
+	usage       Usage
+	calls       int
+	cacheHits   int
+	failedCalls int
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithConcurrency bounds in-flight completions (default 8).
+func WithConcurrency(n int) ClientOption {
+	return func(c *Client) {
+		if n < 1 {
+			n = 1
+		}
+		c.sem = make(chan struct{}, n)
+	}
+}
+
+// WithRetries sets the retry budget for failed completions (default 2).
+func WithRetries(n int, delay time.Duration) ClientOption {
+	return func(c *Client) {
+		c.maxRetries = n
+		c.retryDelay = delay
+	}
+}
+
+// WithCache toggles the idempotent response cache (default on).
+func WithCache(on bool) ClientOption {
+	return func(c *Client) { c.cacheOn = on }
+}
+
+// WithDiskCache persists responses under dir, keyed by request hash, so
+// interrupted runs against a real (paid) LLM resume without re-spending
+// tokens. Implies the in-memory cache.
+func WithDiskCache(dir string) ClientOption {
+	return func(c *Client) {
+		c.cacheOn = true
+		c.diskDir = dir
+	}
+}
+
+// NewClient wraps bot.
+func NewClient(bot Chatbot, opts ...ClientOption) *Client {
+	c := &Client{
+		bot:        bot,
+		sem:        make(chan struct{}, 8),
+		maxRetries: 2,
+		retryDelay: 50 * time.Millisecond,
+		cache:      map[string]Response{},
+		cacheOn:    true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name reports the wrapped model's name.
+func (c *Client) Name() string { return c.bot.Name() }
+
+// Complete runs a completion through the cache, concurrency gate, and
+// retry loop.
+func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
+	var key string
+	if c.cacheOn {
+		key = cacheKey(&req)
+		c.mu.Lock()
+		if resp, ok := c.cache[key]; ok {
+			c.cacheHits++
+			c.mu.Unlock()
+			return resp, nil
+		}
+		c.mu.Unlock()
+		if resp, ok := c.loadDisk(key); ok {
+			c.mu.Lock()
+			c.cacheHits++
+			c.cache[key] = resp
+			c.mu.Unlock()
+			return resp, nil
+		}
+	}
+
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+
+	var resp Response
+	var err error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(c.retryDelay << (attempt - 1)):
+			case <-ctx.Done():
+				return Response{}, ctx.Err()
+			}
+		}
+		resp, err = c.bot.Complete(ctx, req)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return Response{}, ctx.Err()
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if err != nil {
+		c.failedCalls++
+		return Response{}, fmt.Errorf("chatbot: %s: %w", c.bot.Name(), err)
+	}
+	c.usage.Add(resp.Usage)
+	if c.cacheOn {
+		c.cache[key] = resp
+		c.storeDisk(key, resp)
+	}
+	return resp, nil
+}
+
+// diskResponse is the persisted cache entry.
+type diskResponse struct {
+	Content string `json:"content"`
+	Model   string `json:"model"`
+	Usage   Usage  `json:"usage"`
+}
+
+func (c *Client) diskPath(key string) string {
+	// Two-level fanout keeps directories small at corpus scale.
+	return filepath.Join(c.diskDir, key[:2], key+".json")
+}
+
+func (c *Client) loadDisk(key string) (Response, bool) {
+	if c.diskDir == "" {
+		return Response{}, false
+	}
+	data, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return Response{}, false
+	}
+	var dr diskResponse
+	if err := json.Unmarshal(data, &dr); err != nil {
+		return Response{}, false // corrupt entry: treat as miss
+	}
+	return Response{Content: dr.Content, Model: dr.Model, Usage: dr.Usage}, true
+}
+
+func (c *Client) storeDisk(key string, resp Response) {
+	if c.diskDir == "" {
+		return
+	}
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return // cache is best-effort; the completion already succeeded
+	}
+	data, err := json.Marshal(diskResponse{Content: resp.Content, Model: resp.Model, Usage: resp.Usage})
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// Stats reports aggregate accounting for the client's lifetime.
+type Stats struct {
+	Calls       int
+	CacheHits   int
+	FailedCalls int
+	Usage       Usage
+}
+
+// Stats returns a snapshot of the client's accounting.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Calls: c.calls, CacheHits: c.cacheHits, FailedCalls: c.failedCalls, Usage: c.usage}
+}
+
+func cacheKey(req *Request) string {
+	h := sha256.New()
+	for _, m := range req.Messages {
+		h.Write([]byte(m.Role))
+		h.Write([]byte{0})
+		h.Write([]byte(m.Content))
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "%s|%g|%d", req.Task, req.Temperature, req.MaxTokens)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var _ Chatbot = (*Client)(nil)
+var _ Chatbot = (*Sim)(nil)
+var _ Chatbot = (*OpenAI)(nil)

@@ -1,0 +1,126 @@
+package chatbot
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// OpenAIConfig configures the OpenAI-compatible HTTP backend. The paper
+// drove gpt-4-turbo-2024-04-09 through this wire protocol; any server
+// speaking the chat-completions format works (including local inference
+// servers), so the pipeline can swap a real LLM in for the simulator.
+type OpenAIConfig struct {
+	// BaseURL is the API root, e.g. "https://api.openai.com" or a local
+	// server. Required.
+	BaseURL string
+	// APIKey is sent as a Bearer token when non-empty.
+	APIKey string
+	// Model is the model identifier, e.g. "gpt-4-turbo-2024-04-09".
+	Model string
+	// HTTPClient overrides the default client (30 s timeout).
+	HTTPClient *http.Client
+}
+
+// OpenAI is a Chatbot backed by an OpenAI-compatible chat-completions API.
+type OpenAI struct {
+	cfg    OpenAIConfig
+	client *http.Client
+}
+
+// NewOpenAI validates cfg and returns the backend.
+func NewOpenAI(cfg OpenAIConfig) (*OpenAI, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("chatbot: OpenAIConfig.BaseURL is required")
+	}
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("chatbot: OpenAIConfig.Model is required")
+	}
+	c := cfg.HTTPClient
+	if c == nil {
+		c = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &OpenAI{cfg: cfg, client: c}, nil
+}
+
+// Name implements Chatbot.
+func (o *OpenAI) Name() string { return o.cfg.Model }
+
+type oaRequest struct {
+	Model       string    `json:"model"`
+	Messages    []Message `json:"messages"`
+	Temperature float64   `json:"temperature"`
+	MaxTokens   int       `json:"max_tokens,omitempty"`
+}
+
+type oaResponse struct {
+	Choices []struct {
+		Message struct {
+			Content string `json:"content"`
+		} `json:"message"`
+	} `json:"choices"`
+	Usage struct {
+		PromptTokens     int `json:"prompt_tokens"`
+		CompletionTokens int `json:"completion_tokens"`
+	} `json:"usage"`
+	Error *struct {
+		Message string `json:"message"`
+		Type    string `json:"type"`
+	} `json:"error"`
+}
+
+// Complete implements Chatbot over the chat-completions wire format.
+func (o *OpenAI) Complete(ctx context.Context, req Request) (Response, error) {
+	body, err := json.Marshal(oaRequest{
+		Model:       o.cfg.Model,
+		Messages:    req.Messages,
+		Temperature: req.Temperature,
+		MaxTokens:   req.MaxTokens,
+	})
+	if err != nil {
+		return Response{}, fmt.Errorf("chatbot: encoding request: %w", err)
+	}
+	url := o.cfg.BaseURL + "/v1/chat/completions"
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return Response{}, fmt.Errorf("chatbot: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if o.cfg.APIKey != "" {
+		httpReq.Header.Set("Authorization", "Bearer "+o.cfg.APIKey)
+	}
+	httpResp, err := o.client.Do(httpReq)
+	if err != nil {
+		return Response{}, fmt.Errorf("chatbot: calling %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	if err != nil {
+		return Response{}, fmt.Errorf("chatbot: reading response: %w", err)
+	}
+	var oa oaResponse
+	if err := json.Unmarshal(data, &oa); err != nil {
+		return Response{}, fmt.Errorf("chatbot: decoding response (status %d): %w", httpResp.StatusCode, err)
+	}
+	if oa.Error != nil {
+		return Response{}, fmt.Errorf("chatbot: API error (%s): %s", oa.Error.Type, oa.Error.Message)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return Response{}, fmt.Errorf("chatbot: API returned status %d", httpResp.StatusCode)
+	}
+	if len(oa.Choices) == 0 || oa.Choices[0].Message.Content == "" {
+		return Response{}, ErrEmptyResponse
+	}
+	return Response{
+		Content: oa.Choices[0].Message.Content,
+		Model:   o.cfg.Model,
+		Usage: Usage{
+			PromptTokens:     oa.Usage.PromptTokens,
+			CompletionTokens: oa.Usage.CompletionTokens,
+		},
+	}, nil
+}

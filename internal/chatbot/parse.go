@@ -1,0 +1,213 @@
+package chatbot
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The parsers below decode the strict-JSON tuple formats the task prompts
+// demand. They tolerate the two deviations real LLMs commonly produce —
+// markdown code fences and leading prose — and reject everything else, so
+// malformed completions surface as errors the pipeline can retry
+// (§3.2: "programmatically verify" chatbot output).
+
+// LineLabels is one heading/line with its assigned aspect labels.
+type LineLabels struct {
+	Line   int
+	Labels []string
+}
+
+// Extraction is one verbatim mention located on a numbered line.
+type Extraction struct {
+	Line int
+	Text string
+}
+
+// Normalization maps a surface mention onto the taxonomy.
+type Normalization struct {
+	Surface    string
+	Meta       string
+	Category   string
+	Descriptor string
+}
+
+// LabeledMention is one practice mention with its Table 1 label.
+type LabeledMention struct {
+	Line  int
+	Group string
+	Label string
+	Text  string
+}
+
+// StripJSON extracts the JSON payload from a completion: it removes
+// ```json fences and any prose before the first '[' or '{'.
+func StripJSON(s string) string {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "```") {
+		s = strings.TrimPrefix(s, "```json")
+		s = strings.TrimPrefix(s, "```")
+		if i := strings.LastIndex(s, "```"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+	}
+	start := strings.IndexAny(s, "[{")
+	if start > 0 {
+		s = s[start:]
+	}
+	return strings.TrimSpace(s)
+}
+
+// ParseLineLabels decodes `[[12, ["types"]], [15, ["purposes","handling"]]]`.
+func ParseLineLabels(s string) ([]LineLabels, error) {
+	var raw [][]json.RawMessage
+	if err := json.Unmarshal([]byte(StripJSON(s)), &raw); err != nil {
+		return nil, fmt.Errorf("chatbot: parsing line labels: %w", err)
+	}
+	out := make([]LineLabels, 0, len(raw))
+	for i, tup := range raw {
+		if len(tup) != 2 {
+			return nil, fmt.Errorf("chatbot: line-label tuple %d has %d elements", i, len(tup))
+		}
+		var ll LineLabels
+		if err := json.Unmarshal(tup[0], &ll.Line); err != nil {
+			return nil, fmt.Errorf("chatbot: line-label tuple %d line: %w", i, err)
+		}
+		if err := json.Unmarshal(tup[1], &ll.Labels); err != nil {
+			// Tolerate a bare string label.
+			var one string
+			if err2 := json.Unmarshal(tup[1], &one); err2 != nil {
+				return nil, fmt.Errorf("chatbot: line-label tuple %d labels: %w", i, err)
+			}
+			ll.Labels = []string{one}
+		}
+		out = append(out, ll)
+	}
+	return out, nil
+}
+
+// ParseExtractions decodes `[[4, "email address"], [4, "browsing history"]]`.
+func ParseExtractions(s string) ([]Extraction, error) {
+	var raw [][]json.RawMessage
+	if err := json.Unmarshal([]byte(StripJSON(s)), &raw); err != nil {
+		return nil, fmt.Errorf("chatbot: parsing extractions: %w", err)
+	}
+	out := make([]Extraction, 0, len(raw))
+	for i, tup := range raw {
+		if len(tup) != 2 {
+			return nil, fmt.Errorf("chatbot: extraction tuple %d has %d elements", i, len(tup))
+		}
+		var e Extraction
+		if err := json.Unmarshal(tup[0], &e.Line); err != nil {
+			return nil, fmt.Errorf("chatbot: extraction tuple %d line: %w", i, err)
+		}
+		if err := json.Unmarshal(tup[1], &e.Text); err != nil {
+			return nil, fmt.Errorf("chatbot: extraction tuple %d text: %w", i, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ParseNormalizations decodes
+// `[["mailing address", "Physical profile", "Contact info", "postal address"]]`.
+func ParseNormalizations(s string) ([]Normalization, error) {
+	var raw [][]string
+	if err := json.Unmarshal([]byte(StripJSON(s)), &raw); err != nil {
+		return nil, fmt.Errorf("chatbot: parsing normalizations: %w", err)
+	}
+	out := make([]Normalization, 0, len(raw))
+	for i, tup := range raw {
+		if len(tup) != 4 {
+			return nil, fmt.Errorf("chatbot: normalization tuple %d has %d elements", i, len(tup))
+		}
+		out = append(out, Normalization{
+			Surface: tup[0], Meta: tup[1], Category: tup[2], Descriptor: tup[3],
+		})
+	}
+	return out, nil
+}
+
+// ParseLabeledMentions decodes
+// `[[3, "Data retention", "Stated", "six (6) years"]]`.
+func ParseLabeledMentions(s string) ([]LabeledMention, error) {
+	var raw [][]json.RawMessage
+	if err := json.Unmarshal([]byte(StripJSON(s)), &raw); err != nil {
+		return nil, fmt.Errorf("chatbot: parsing labeled mentions: %w", err)
+	}
+	out := make([]LabeledMention, 0, len(raw))
+	for i, tup := range raw {
+		if len(tup) != 4 {
+			return nil, fmt.Errorf("chatbot: labeled-mention tuple %d has %d elements", i, len(tup))
+		}
+		var m LabeledMention
+		if err := json.Unmarshal(tup[0], &m.Line); err != nil {
+			return nil, fmt.Errorf("chatbot: labeled-mention tuple %d line: %w", i, err)
+		}
+		if err := json.Unmarshal(tup[1], &m.Group); err != nil {
+			return nil, fmt.Errorf("chatbot: labeled-mention tuple %d group: %w", i, err)
+		}
+		if err := json.Unmarshal(tup[2], &m.Label); err != nil {
+			return nil, fmt.Errorf("chatbot: labeled-mention tuple %d label: %w", i, err)
+		}
+		if err := json.Unmarshal(tup[3], &m.Text); err != nil {
+			return nil, fmt.Errorf("chatbot: labeled-mention tuple %d text: %w", i, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// --- Encoders used by simulated backends (kept beside the parsers so the
+// --- wire format lives in one file).
+
+// EncodeLineLabels renders line labels in the task's JSON tuple format.
+func EncodeLineLabels(lls []LineLabels) string {
+	parts := make([]any, len(lls))
+	for i, ll := range lls {
+		labels := ll.Labels
+		if labels == nil {
+			labels = []string{}
+		}
+		parts[i] = []any{ll.Line, labels}
+	}
+	return mustJSON(parts)
+}
+
+// EncodeExtractions renders extractions in the task's JSON tuple format.
+func EncodeExtractions(es []Extraction) string {
+	parts := make([]any, len(es))
+	for i, e := range es {
+		parts[i] = []any{e.Line, e.Text}
+	}
+	return mustJSON(parts)
+}
+
+// EncodeNormalizations renders normalizations in the JSON tuple format.
+func EncodeNormalizations(ns []Normalization) string {
+	parts := make([]any, len(ns))
+	for i, n := range ns {
+		parts[i] = []any{n.Surface, n.Meta, n.Category, n.Descriptor}
+	}
+	return mustJSON(parts)
+}
+
+// EncodeLabeledMentions renders labeled mentions in the JSON tuple format.
+func EncodeLabeledMentions(ms []LabeledMention) string {
+	parts := make([]any, len(ms))
+	for i, m := range ms {
+		parts[i] = []any{m.Line, m.Group, m.Label, m.Text}
+	}
+	return mustJSON(parts)
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Only reachable on unmarshalable types, which the encoders never
+		// construct.
+		panic(err)
+	}
+	return string(b)
+}

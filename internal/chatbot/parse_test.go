@@ -1,0 +1,111 @@
+package chatbot
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStripJSON(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`[[1, ["types"]]]`, `[[1, ["types"]]]`},
+		{"```json\n[[1, \"x\"]]\n```", `[[1, "x"]]`},
+		{"Here is the output:\n[[1, \"x\"]]", `[[1, "x"]]`},
+		{"```\n{\"a\":1}\n```", `{"a":1}`},
+	}
+	for _, c := range cases {
+		if got := StripJSON(c.in); got != c.want {
+			t.Errorf("StripJSON(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseLineLabelsRoundTrip(t *testing.T) {
+	in := []LineLabels{
+		{Line: 1, Labels: []string{"types"}},
+		{Line: 5, Labels: []string{"purposes", "handling"}},
+	}
+	got, err := ParseLineLabels(EncodeLineLabels(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestParseLineLabelsBareString(t *testing.T) {
+	got, err := ParseLineLabels(`[[3, "types"]]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Line != 3 || got[0].Labels[0] != "types" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestParseLineLabelsErrors(t *testing.T) {
+	for _, bad := range []string{`not json`, `[[1]]`, `[["x", ["a"]]]`, `[[1, 2, 3]]`} {
+		if _, err := ParseLineLabels(bad); err == nil {
+			t.Errorf("ParseLineLabels(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseExtractionsRoundTrip(t *testing.T) {
+	in := []Extraction{{Line: 4, Text: "email address"}, {Line: 9, Text: "gps location"}}
+	got, err := ParseExtractions(EncodeExtractions(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestParseExtractionsErrors(t *testing.T) {
+	for _, bad := range []string{`{}`, `[[1]]`, `[[1, 2]]`, `[["a","b"]]`} {
+		if _, err := ParseExtractions(bad); err == nil {
+			t.Errorf("ParseExtractions(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseNormalizationsRoundTrip(t *testing.T) {
+	in := []Normalization{{Surface: "mailing address", Meta: "Physical profile", Category: "Contact info", Descriptor: "postal address"}}
+	got, err := ParseNormalizations(EncodeNormalizations(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestParseLabeledMentionsRoundTrip(t *testing.T) {
+	in := []LabeledMention{{Line: 3, Group: "Data retention", Label: "Stated", Text: "six (6) years"}}
+	got, err := ParseLabeledMentions(EncodeLabeledMentions(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip: %+v != %+v", got, in)
+	}
+}
+
+func TestParseLabeledMentionsErrors(t *testing.T) {
+	for _, bad := range []string{`[[1, "a", "b"]]`, `[["x","a","b","c"]]`} {
+		if _, err := ParseLabeledMentions(bad); err == nil {
+			t.Errorf("ParseLabeledMentions(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEmptyEncodings(t *testing.T) {
+	if got := EncodeExtractions(nil); got != "[]" {
+		t.Errorf("empty extractions = %q", got)
+	}
+	es, err := ParseExtractions("[]")
+	if err != nil || len(es) != 0 {
+		t.Errorf("parse empty: %v %v", es, err)
+	}
+}

@@ -1,0 +1,249 @@
+package chatbot
+
+import (
+	"fmt"
+	"strings"
+
+	"aipan/internal/taxonomy"
+)
+
+// persona is the system message shared by all tasks (Figure 2).
+const persona = "Assume the role of a data privacy expert tasked with analyzing website privacy policies. Carefully follow the instructions, using the provided glossary and example as a guide. Print only the JSON-formatted string in your output without adding any extra information."
+
+func newRequest(task, taskMsg, input string) Request {
+	return Request{
+		Task:        task,
+		Temperature: 0,
+		Messages: []Message{
+			{Role: RoleSystem, Content: persona},
+			{Role: RoleUser, Content: taskMsg},
+			{Role: RoleUser, Content: input},
+		},
+	}
+}
+
+// HeadingLabelsRequest builds the Figure 2a task: label a table of contents
+// (one heading per line, "[n]"-numbered, indented by hierarchy) with the
+// nine section aspects.
+func HeadingLabelsRequest(numberedHeadings string) Request {
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskHeadingLabels + "\n")
+	b.WriteString("**Task:** Use the provided glossary to label a list of section headings (extracted from text that may contain a privacy policy) according to the categories given below:\n\n")
+	writeAspectList(&b)
+	b.WriteString(`
+### Instructions:
+1. Carefully and thoroughly read the section headings provided in the next message.
+   - The input is formatted with one heading per line, each line starting with a line number enclosed in brackets (e.g., "[123]").
+   - The headings are indented to reflect the hierarchy of sections.
+2. Label each heading according to the categories above.
+   - Use the glossary below as examples of terms relevant to each category.
+   - If multiple categories apply to a section, report all of them in your output.
+3. Report labels for **all** headings in the output as a JSON-formatted string.
+   - Format the output as a JSON string containing a list of tuples, with each tuple corresponding to a heading.
+   - Each tuple must include the corresponding line number for the heading and its assigned label(s).
+
+### Glossary:
+The glossary below includes phrases relevant to each category. This glossary is **not** comprehensive; it is crucial that you also identify relevant phrases not listed below.
+`)
+	writeAspectGlossary(&b)
+	b.WriteString("\n### Example:\nInput:\n[1] Information We Collect\n[2]   Cookies\nOutput:\n[[1, [\"types\"]], [2, [\"types\", \"methods\"]]]\n")
+	return newRequest(TaskHeadingLabels, b.String(), numberedHeadings)
+}
+
+// SegmentTextRequest builds the Appendix B fallback task: divide an entire
+// policy text into sections and label every line with the aspects it
+// belongs to.
+func SegmentTextRequest(numberedText string) Request {
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskSegmentText + "\n")
+	b.WriteString("**Task:** Divide the privacy policy text provided in the next message into sections and label each line according to the categories given below:\n\n")
+	writeAspectList(&b)
+	b.WriteString(`
+### Instructions:
+1. Carefully and thoroughly read the privacy policy text provided in the next message.
+   - The input is formatted with each line starting with a line number enclosed in brackets (e.g., "[123]").
+2. Assign every line one or more of the categories above, forming contiguous sections.
+3. Report labels for **all** lines in the output as a JSON-formatted string: a list of tuples, each tuple containing the line number and its assigned label(s).
+
+### Glossary:
+`)
+	writeAspectGlossary(&b)
+	b.WriteString("\n### Example:\nInput:\n[1] We collect your name and email.\nOutput:\n[[1, [\"types\"]]]\n")
+	return newRequest(TaskSegmentText, b.String(), numberedText)
+}
+
+// ExtractTypesRequest builds the Figure 2b task: extract verbatim mentions
+// of collected data types. The glossary ships with the prompt (pass 0 to
+// include every descriptor; the paper attaches the compiled glossary to
+// provide "more context").
+func ExtractTypesRequest(numberedText string, glossaryPerCategory int) Request {
+	ix := taxonomy.NewTypeIndex()
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskExtractTypes + "\n")
+	b.WriteString("**Task:** Meticulously extract and catalog specific data types that are mentioned as being collected.\n")
+	b.WriteString(`
+### Instructions:
+1. Carefully and thoroughly read the privacy policy text provided in the next message.
+   - The input is formatted with each line starting with a line number enclosed in brackets (e.g., "[123]").
+2. Identify **all** explicit mentions of specific data types or categories that are potentially collected (see the glossary for examples).
+   - Identify all mentions regardless of how many times they are repeated throughout the text.
+   - Focus on identifying the collected data types and **not** how they are collected and/or used.
+   - Ignore mentions in hypothetical or negated contexts, e.g., "we do not collect ...".
+   - Separate lists into individual items (e.g., "contact and location information" should be broken down into "contact information" and "location information").
+   - Pinpoint the **exact** word(s) used in the text to describe each data type, even if those words are not continuous.
+3. Report the identified data types in the output as a JSON-formatted string: a list of tuples, each tuple containing the line number where the data type is mentioned and the exact word(s) used to describe it.
+
+### Glossary:
+The glossary below includes some examples of data types. This glossary is **not** comprehensive; it is crucial that you also identify terms not listed below.
+`)
+	if glossaryPerCategory >= 0 {
+		b.WriteString(ix.Glossary(glossaryPerCategory))
+	}
+	b.WriteString("\n### Example:\nInput:\n[4] We collect your email address and browsing history.\nOutput:\n[[4, \"email address\"], [4, \"browsing history\"]]\n")
+	return newRequest(TaskExtractTypes, b.String(), numberedText)
+}
+
+// NormalizeTypesRequest builds the second types task (§3.2.2): categorize
+// extracted mentions and generate normalized descriptors, using the
+// compiled glossary, inventing descriptors for out-of-vocabulary terms.
+func NormalizeTypesRequest(mentions []string, glossaryPerCategory int) Request {
+	ix := taxonomy.NewTypeIndex()
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskNormalizeTypes + "\n")
+	b.WriteString("**Task:** Categorize the extracted data types provided in the next message and generate normalized descriptors (e.g., mapping both \"mailing address\" and \"home address\" to \"postal address\" and categorizing them as \"Contact info\").\n")
+	b.WriteString(`
+### Instructions:
+1. Read the list of extracted data-type mentions in the next message, one per line.
+2. For each mention, assign the meta-category, category, and normalized descriptor from the glossary.
+   - If a mention is not covered by the glossary, generate a descriptor of your own and place it in the most fitting category.
+3. Report the output as a JSON-formatted string: a list of tuples [mention, meta-category, category, descriptor].
+
+### Glossary:
+`)
+	if glossaryPerCategory >= 0 {
+		b.WriteString(ix.Glossary(glossaryPerCategory))
+	}
+	b.WriteString("\n### Example:\nInput:\nmailing address\nOutput:\n[[\"mailing address\", \"Physical profile\", \"Contact info\", \"postal address\"]]\n")
+	return newRequest(TaskNormalizeTypes, b.String(), strings.Join(mentions, "\n"))
+}
+
+// ExtractPurposesRequest builds the purposes extraction task.
+func ExtractPurposesRequest(numberedText string, glossaryPerCategory int) Request {
+	ix := taxonomy.NewPurposeIndex()
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskExtractPurposes + "\n")
+	b.WriteString("**Task:** Meticulously extract and catalog specific purposes for which data is collected, used, or processed.\n")
+	b.WriteString(`
+### Instructions:
+1. Carefully and thoroughly read the privacy policy text provided in the next message.
+   - The input is formatted with each line starting with a line number enclosed in brackets.
+2. Identify **all** explicit mentions of purposes of data collection or use (see the glossary for examples).
+   - Ignore mentions in hypothetical or negated contexts.
+   - Pinpoint the exact word(s) used in the text for each purpose.
+3. Report the output as a JSON-formatted string: a list of tuples [line number, exact words].
+
+### Glossary:
+`)
+	if glossaryPerCategory >= 0 {
+		b.WriteString(ix.Glossary(glossaryPerCategory))
+	}
+	b.WriteString("\n### Example:\nInput:\n[2] We use your data for fraud prevention and analytics.\nOutput:\n[[2, \"fraud prevention\"], [2, \"analytics\"]]\n")
+	return newRequest(TaskExtractPurposes, b.String(), numberedText)
+}
+
+// NormalizePurposesRequest builds the purposes normalization task.
+func NormalizePurposesRequest(mentions []string, glossaryPerCategory int) Request {
+	ix := taxonomy.NewPurposeIndex()
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskNormalizePurposes + "\n")
+	b.WriteString("**Task:** Categorize the extracted data-collection purposes provided in the next message and generate normalized descriptors according to the glossary.\n")
+	b.WriteString(`
+### Instructions:
+1. Read the list of extracted purpose mentions in the next message, one per line.
+2. For each mention, assign the meta-category, category, and normalized descriptor from the glossary; generate a descriptor of your own for terms not listed.
+3. Report the output as a JSON-formatted string: a list of tuples [mention, meta-category, category, descriptor].
+
+### Glossary:
+`)
+	if glossaryPerCategory >= 0 {
+		b.WriteString(ix.Glossary(glossaryPerCategory))
+	}
+	b.WriteString("\n### Example:\nInput:\nprevent fraud\nOutput:\n[[\"prevent fraud\", \"Legal\", \"Security\", \"fraud prevention\"]]\n")
+	return newRequest(TaskNormalizePurposes, b.String(), strings.Join(mentions, "\n"))
+}
+
+// HandlingLabelsRequest builds the data retention/protection task: extract
+// relevant mentions and label them with the Table 1 practice labels.
+func HandlingLabelsRequest(numberedText string) Request {
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskHandlingLabels + "\n")
+	b.WriteString("**Task:** Extract mentions of data retention periods and specific data protection measures, and label them according to the practices listed below.\n\n")
+	writeLabelList(&b, taxonomy.RetentionLabels())
+	writeLabelList(&b, taxonomy.ProtectionLabels())
+	b.WriteString(`
+### Instructions:
+1. Carefully read the privacy policy text provided in the next message (lines numbered "[n]").
+2. Identify every mention of a data retention or data protection practice and assign it exactly one label from the lists above.
+   - For stated retention periods, extract the exact duration wording.
+3. Report the output as a JSON-formatted string: a list of tuples [line number, group, label, exact words].
+
+### Example:
+Input:
+[3] We retain your data for six (6) years and restrict access to employees on a need-to-know basis.
+Output:
+[[3, "Data retention", "Stated", "six (6) years"], [3, "Data protection", "Access limit", "restrict access to employees on a need-to-know basis"]]
+`)
+	return newRequest(TaskHandlingLabels, b.String(), numberedText)
+}
+
+// RightsLabelsRequest builds the user choices/access task.
+func RightsLabelsRequest(numberedText string) Request {
+	var b strings.Builder
+	b.WriteString("### Task-ID: " + TaskRightsLabels + "\n")
+	b.WriteString("**Task:** Extract mentions of user choices (opt-in/opt-out, privacy settings) and user access rights (view, edit, delete, export), and label them according to the practices listed below.\n\n")
+	writeLabelList(&b, taxonomy.ChoiceLabels())
+	writeLabelList(&b, taxonomy.AccessLabels())
+	b.WriteString(`
+### Instructions:
+1. Carefully read the privacy policy text provided in the next message (lines numbered "[n]").
+2. Identify every mention of a user choice or access right and assign it exactly one label from the lists above.
+3. Report the output as a JSON-formatted string: a list of tuples [line number, group, label, exact words].
+
+### Example:
+Input:
+[5] You may opt out by clicking the unsubscribe link, and you can request a copy of your data.
+Output:
+[[5, "User choices", "Opt-out via link", "opt out by clicking the unsubscribe link"], [5, "User access", "Export", "request a copy of your data"]]
+`)
+	return newRequest(TaskRightsLabels, b.String(), numberedText)
+}
+
+func writeAspectList(b *strings.Builder) {
+	for _, a := range taxonomy.Aspects() {
+		fmt.Fprintf(b, "- **%s:** %s\n", a, taxonomy.AspectDescription(a))
+	}
+}
+
+func writeAspectGlossary(b *strings.Builder) {
+	for _, a := range taxonomy.Aspects() {
+		gl := taxonomy.AspectHeadingGlossary(a)
+		fmt.Fprintf(b, "- **%s:** ", a)
+		for i, g := range gl {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%q", g)
+		}
+		b.WriteString("\n")
+	}
+}
+
+func writeLabelList(b *strings.Builder, labels []taxonomy.Label) {
+	if len(labels) > 0 {
+		fmt.Fprintf(b, "**%s labels:**\n", labels[0].Group)
+	}
+	for _, l := range labels {
+		fmt.Fprintf(b, "- **%s:** %s\n", l.Name, l.Desc)
+	}
+	b.WriteString("\n")
+}

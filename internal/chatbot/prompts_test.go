@@ -1,0 +1,134 @@
+package chatbot
+
+import (
+	"strings"
+	"testing"
+
+	"aipan/internal/taxonomy"
+)
+
+// The prompts are the paper's interface to the LLM (Appendix C); these
+// tests pin their structure: persona, Task-ID marker, instructions,
+// glossary, example, and the input travelling as the final user message.
+
+func TestPromptStructureCommon(t *testing.T) {
+	reqs := map[string]Request{
+		TaskHeadingLabels:     HeadingLabelsRequest("[1] Information We Collect\n"),
+		TaskSegmentText:       SegmentTextRequest("[1] text\n"),
+		TaskExtractTypes:      ExtractTypesRequest("[1] text\n", 3),
+		TaskNormalizeTypes:    NormalizeTypesRequest([]string{"mailing address"}, 3),
+		TaskExtractPurposes:   ExtractPurposesRequest("[1] text\n", 3),
+		TaskNormalizePurposes: NormalizePurposesRequest([]string{"prevent fraud"}, 3),
+		TaskHandlingLabels:    HandlingLabelsRequest("[1] text\n"),
+		TaskRightsLabels:      RightsLabelsRequest("[1] text\n"),
+	}
+	for task, req := range reqs {
+		if req.Task != task {
+			t.Errorf("%s: Task field = %q", task, req.Task)
+		}
+		if len(req.Messages) != 3 {
+			t.Fatalf("%s: %d messages, want 3 (system, task, input)", task, len(req.Messages))
+		}
+		if req.Messages[0].Role != RoleSystem ||
+			!strings.Contains(req.Messages[0].Content, "data privacy expert") {
+			t.Errorf("%s: system persona missing", task)
+		}
+		taskMsg := req.TaskMessage()
+		if !strings.Contains(taskMsg, "### Task-ID: "+task) {
+			t.Errorf("%s: Task-ID marker missing", task)
+		}
+		if got := taskIDFromPrompt(taskMsg); got != task {
+			t.Errorf("%s: taskIDFromPrompt = %q", task, got)
+		}
+		if !strings.Contains(taskMsg, "### Instructions:") {
+			t.Errorf("%s: instructions section missing", task)
+		}
+		if !strings.Contains(taskMsg, "### Example:") {
+			t.Errorf("%s: example section missing", task)
+		}
+		if !strings.Contains(taskMsg, "JSON") {
+			t.Errorf("%s: JSON output instruction missing", task)
+		}
+		if req.Temperature != 0 {
+			t.Errorf("%s: temperature = %v, want 0 for consistency", task, req.Temperature)
+		}
+	}
+}
+
+func TestHeadingPromptCoversAllNineAspects(t *testing.T) {
+	req := HeadingLabelsRequest("[1] x\n")
+	msg := req.TaskMessage()
+	for _, a := range taxonomy.Aspects() {
+		if !strings.Contains(msg, "**"+string(a)+":**") {
+			t.Errorf("aspect %q missing from heading prompt", a)
+		}
+	}
+	// The paper's glossary phrases ship with the prompt.
+	if !strings.Contains(msg, `"Information we collect"`) {
+		t.Error("heading glossary examples missing")
+	}
+}
+
+func TestExtractTypesPromptMirrorsFigure2b(t *testing.T) {
+	req := ExtractTypesRequest("[1] x\n", 3)
+	msg := req.TaskMessage()
+	for _, want := range []string{
+		"Ignore mentions in hypothetical or negated contexts",
+		"exact", // pinpoint the exact word(s)
+		"not** comprehensive",
+		"Separate lists into individual items",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Figure 2b instruction %q missing", want)
+		}
+	}
+	// Glossary truncation honored.
+	if strings.Contains(msg, "fax number") {
+		t.Error("glossary size 3 exceeded")
+	}
+	full := ExtractTypesRequest("[1] x\n", 0)
+	if !strings.Contains(full.TaskMessage(), "fax number") {
+		t.Error("full glossary missing entries")
+	}
+	none := ExtractTypesRequest("[1] x\n", -1)
+	if strings.Contains(none.TaskMessage(), "postal address") {
+		t.Error("glossary -1 should omit descriptors")
+	}
+}
+
+func TestHandlingPromptListsAllLabels(t *testing.T) {
+	req := HandlingLabelsRequest("[1] x\n")
+	msg := req.TaskMessage()
+	for _, l := range append(taxonomy.RetentionLabels(), taxonomy.ProtectionLabels()...) {
+		if !strings.Contains(msg, "**"+l.Name+":**") {
+			t.Errorf("handling label %q missing from prompt", l.Name)
+		}
+	}
+}
+
+func TestRightsPromptListsAllLabels(t *testing.T) {
+	req := RightsLabelsRequest("[1] x\n")
+	msg := req.TaskMessage()
+	for _, l := range append(taxonomy.ChoiceLabels(), taxonomy.AccessLabels()...) {
+		if !strings.Contains(msg, "**"+l.Name+":**") {
+			t.Errorf("rights label %q missing from prompt", l.Name)
+		}
+	}
+}
+
+func TestInputIsFinalUserMessage(t *testing.T) {
+	req := ExtractTypesRequest("[42] the policy text\n", 3)
+	if got := req.Input(); got != "[42] the policy text\n" {
+		t.Errorf("Input() = %q", got)
+	}
+}
+
+func TestRequestTokensPositive(t *testing.T) {
+	req := ExtractTypesRequest(strings.Repeat("[1] words words words\n", 50), 0)
+	if n := RequestTokens(&req); n < 100 {
+		t.Errorf("RequestTokens = %d", n)
+	}
+	if EstimateTokens("") != 0 || EstimateTokens("ab") != 1 {
+		t.Error("EstimateTokens edge cases")
+	}
+}

@@ -1,0 +1,356 @@
+// Package core orchestrates the paper's end-to-end pipeline (Figure 1):
+// build the study universe, resolve domains through (simulated) web
+// search, crawl each domain for privacy pages, convert and segment the
+// text, annotate every aspect through the chatbot, and persist one dataset
+// record per domain — tracking the §3/§4 funnel counts along the way.
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"aipan/internal/annotate"
+	"aipan/internal/chatbot"
+	"aipan/internal/crawler"
+	"aipan/internal/russell"
+	"aipan/internal/search"
+	"aipan/internal/stats"
+	"aipan/internal/store"
+	"aipan/internal/textify"
+	"aipan/internal/virtualweb"
+	"aipan/internal/webgen"
+
+	segpkg "aipan/internal/segment"
+)
+
+// Config parameterizes a pipeline run. The zero value runs the full
+// AIPAN-3k reproduction against the synthetic web with the GPT-4-class
+// simulated chatbot.
+type Config struct {
+	// Seed drives universe + web generation (default webgen.Seed).
+	Seed int64
+	// Bot is the annotation chatbot (default: sim GPT-4 behind a Client).
+	Bot chatbot.Chatbot
+	// HTTPClient fetches pages (default: in-process synthetic web).
+	HTTPClient *http.Client
+	// Workers bounds per-domain parallelism (default 8).
+	Workers int
+	// Limit processes only the first N domains (0 = all 2,892).
+	Limit int
+	// AnnotateOptions tune the annotator (glossary size, filters, ...).
+	AnnotateOptions []annotate.Option
+	// Crawler overrides crawl policy knobs (Client is filled in by the
+	// pipeline).
+	Crawler crawler.Config
+	// Progress, when set, receives (stage, done, total) updates.
+	Progress func(stage string, done, total int)
+	// Checkpoint, when set, streams each completed record to this JSONL
+	// file and, on start, skips domains already present in it — an
+	// interrupted multi-hour crawl resumes where it stopped.
+	Checkpoint string
+}
+
+// Pipeline is a configured end-to-end run.
+type Pipeline struct {
+	cfg       Config
+	gen       *webgen.Generator
+	companies []russell.Company
+	domains   []russell.DomainInfo
+	corrected int
+	crawler   *crawler.Crawler
+	bot       chatbot.Chatbot
+	annotator *annotate.Annotator
+}
+
+// Funnel is the §3/§4 pipeline funnel.
+type Funnel struct {
+	Companies       int     // index constituents (paper: 2,916)
+	Domains         int     // unique domains (2,892)
+	SearchCorrected int     // first results fixed in review
+	CrawlOK         int     // ≥1 potential privacy page, status <400 (2,648)
+	ExtractOK       int     // successful text extraction (2,545)
+	Annotated       int     // ≥1 annotation (2,529)
+	AvgPagesCrawled float64 // fetched pages incl. homepage (5.1)
+	AvgPrivacyPages float64 // deduped English privacy pages per crawl-OK domain (1.8)
+	WellKnownPolicy int     // domains where /privacy-policy resolves (54.5%)
+	WellKnownPriv   int     // domains where /privacy resolves (48.6%)
+	MedianWords     float64 // median core policy length (2,671)
+	FallbackUsed    int     // policies with ≥1 whole-text annotation fallback (708)
+}
+
+// Result is a completed run.
+type Result struct {
+	Records []store.Record
+	Funnel  Funnel
+}
+
+// New builds a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = webgen.Seed
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	p := &Pipeline{cfg: cfg}
+
+	// Universe and domain resolution (§3.1).
+	p.companies = russell.Universe(cfg.Seed)
+	res := search.ResolveUniverse(search.NewEngine(p.companies, cfg.Seed), p.companies)
+	p.domains = res.Domains
+	p.corrected = res.Corrected
+
+	// Synthetic web + HTTP client.
+	p.gen = webgen.New(cfg.Seed, p.domains)
+	client := cfg.HTTPClient
+	if client == nil {
+		client = virtualweb.NewTransport(p.gen).Client()
+	}
+	ccfg := cfg.Crawler
+	ccfg.Client = client
+	cr, err := crawler.New(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p.crawler = cr
+
+	// Chatbot + annotator.
+	p.bot = cfg.Bot
+	if p.bot == nil {
+		p.bot = chatbot.NewClient(chatbot.NewSim(chatbot.GPT4Profile()),
+			chatbot.WithConcurrency(cfg.Workers), chatbot.WithCache(false))
+	}
+	p.annotator = annotate.New(p.bot, cfg.AnnotateOptions...)
+	return p, nil
+}
+
+// Generator exposes the synthetic web (ground truth for validation).
+func (p *Pipeline) Generator() *webgen.Generator { return p.gen }
+
+// Domains exposes the resolved study domains.
+func (p *Pipeline) Domains() []russell.DomainInfo { return p.domains }
+
+// Bot exposes the chatbot in use.
+func (p *Pipeline) Bot() chatbot.Chatbot { return p.bot }
+
+// Run executes the full pipeline.
+func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
+	domains := p.domains
+	if p.cfg.Limit > 0 && p.cfg.Limit < len(domains) {
+		domains = domains[:p.cfg.Limit]
+	}
+	records := make([]store.Record, len(domains))
+
+	// Resume from a checkpoint: pre-fill finished domains and skip them.
+	processed := map[string]bool{}
+	var appender *store.Appender
+	if p.cfg.Checkpoint != "" {
+		prior, err := store.LoadCheckpoint(p.cfg.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		byDomain := map[string]*store.Record{}
+		for i := range prior {
+			byDomain[prior[i].Domain] = &prior[i]
+		}
+		for i, d := range domains {
+			if rec, ok := byDomain[d.Domain]; ok {
+				records[i] = *rec
+				processed[d.Domain] = true
+			}
+		}
+		appender, err = store.OpenAppender(p.cfg.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		defer appender.Close()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var done int
+	var mu sync.Mutex
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				records[i] = p.processDomain(ctx, domains[i])
+				mu.Lock()
+				if appender != nil {
+					if err := appender.Append(&records[i]); err != nil && p.cfg.Progress != nil {
+						p.cfg.Progress("checkpoint-error", 0, 0)
+					}
+				}
+				done++
+				if p.cfg.Progress != nil {
+					p.cfg.Progress("process", done, len(domains))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range domains {
+		if processed[domains[i].Domain] {
+			continue
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			close(jobs)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Records: records}
+	res.Funnel = p.funnel(records)
+	return res, nil
+}
+
+// ProcessDomains runs crawl → extract → annotate for a specific domain
+// subset (used by the §6 model-comparison harness), sequentially.
+func (p *Pipeline) ProcessDomains(ctx context.Context, domains []string) ([]store.Record, error) {
+	byDomain := map[string]russell.DomainInfo{}
+	for _, d := range p.domains {
+		byDomain[d.Domain] = d
+	}
+	var out []store.Record
+	for _, dom := range domains {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		info, ok := byDomain[dom]
+		if !ok {
+			return nil, fmt.Errorf("core: domain %q is not in the study universe", dom)
+		}
+		out = append(out, p.processDomain(ctx, info))
+	}
+	return out, nil
+}
+
+// processDomain runs crawl → extract → annotate for one domain.
+func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) store.Record {
+	rec := store.Record{
+		Domain:       d.Domain,
+		Company:      d.Companies[0].Name,
+		Sector:       d.Sector,
+		SectorAbbrev: russell.Abbrev(d.Sector),
+	}
+	for _, c := range d.Companies {
+		rec.Tickers = append(rec.Tickers, c.Ticker)
+	}
+	sort.Strings(rec.Tickers)
+
+	cres := p.crawler.CrawlDomain(ctx, d.Domain)
+	rec.Crawl = store.CrawlInfo{
+		Success:          cres.Success,
+		PagesFetched:     cres.PagesFetched(),
+		PrivacyPages:     len(cres.PrivacyPages),
+		Duplicates:       cres.DuplicateCount,
+		NonEnglish:       cres.NonEnglish,
+		PDFs:             cres.PDFCount,
+		WellKnownPolicy:  cres.WellKnownPolicyOK,
+		WellKnownPrivacy: cres.WellKnownPrivacyOK,
+		Error:            cres.HomeErr,
+	}
+	if !cres.Success || len(cres.PrivacyPages) == 0 {
+		return rec
+	}
+
+	// Extract + segment + annotate each privacy page, then merge. The
+	// whole-text annotation fallback is reported for the domain's main
+	// policy page only (§3.2.2 counts fallbacks per policy; auxiliary
+	// choices/cookie pages always fall back for their missing aspects and
+	// would swamp the statistic).
+	var pageAnns [][]annotate.Annotation
+	fallbacks := map[string]bool{}
+	coreWords := 0
+	mainWords := -1
+	anySuccess, anyFallbackSeg := false, false
+	for _, page := range cres.PrivacyPages {
+		doc := textify.Render(parseHTML(page.Body))
+		seg, err := segpkg.Segment(ctx, p.bot, doc)
+		if err != nil {
+			continue
+		}
+		if !seg.Success() {
+			continue
+		}
+		anySuccess = true
+		anyFallbackSeg = anyFallbackSeg || seg.UsedFallback
+		pageWords := seg.CoreWordCount()
+		coreWords += pageWords
+		ares, err := p.annotator.Annotate(ctx, doc, seg)
+		if err != nil {
+			continue
+		}
+		pageAnns = append(pageAnns, ares.Annotations)
+		if pageWords > mainWords {
+			mainWords = pageWords
+			fallbacks = map[string]bool{}
+			for a := range ares.FallbackUsed {
+				fallbacks[a] = true
+			}
+		}
+	}
+	rec.Extraction = store.ExtractionInfo{
+		Success:      anySuccess,
+		UsedFallback: anyFallbackSeg,
+		CoreWords:    coreWords,
+	}
+	if !anySuccess {
+		return rec
+	}
+	rec.Annotations = annotate.Merge(pageAnns...)
+	for a := range fallbacks {
+		rec.AnnotationFallback = append(rec.AnnotationFallback, a)
+	}
+	sort.Strings(rec.AnnotationFallback)
+	return rec
+}
+
+// funnel aggregates the Figure 1 / §3.1 / §4 counts.
+func (p *Pipeline) funnel(records []store.Record) Funnel {
+	f := Funnel{
+		Companies:       len(p.companies),
+		Domains:         len(records),
+		SearchCorrected: p.corrected,
+	}
+	var pages []float64
+	var privacyPages []float64
+	var words []float64
+	for i := range records {
+		r := &records[i]
+		pages = append(pages, float64(r.Crawl.PagesFetched))
+		if r.Crawl.Success {
+			f.CrawlOK++
+			privacyPages = append(privacyPages, float64(r.Crawl.PrivacyPages))
+		}
+		if r.Crawl.WellKnownPolicy {
+			f.WellKnownPolicy++
+		}
+		if r.Crawl.WellKnownPrivacy {
+			f.WellKnownPriv++
+		}
+		if r.Extraction.Success {
+			f.ExtractOK++
+			words = append(words, float64(r.Extraction.CoreWords))
+		}
+		if r.Annotated() {
+			f.Annotated++
+		}
+		if len(r.AnnotationFallback) > 0 {
+			f.FallbackUsed++
+		}
+	}
+	f.AvgPagesCrawled = stats.Mean(pages)
+	f.AvgPrivacyPages = stats.Mean(privacyPages)
+	f.MedianWords = stats.Median(words)
+	return f
+}

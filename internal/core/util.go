@@ -1,0 +1,7 @@
+package core
+
+import "aipan/internal/htmlx"
+
+// parseHTML is a seam for the HTML parser (kept separate for clarity at
+// the call site in processDomain).
+func parseHTML(src string) *htmlx.Node { return htmlx.Parse(src) }

@@ -1,0 +1,417 @@
+// Package crawler implements the paper's privacy-policy crawler (§3.1):
+// from a domain's homepage it follows up to three footer links containing
+// the word "privacy", tries the well-known /privacy-policy and /privacy
+// paths, then follows up to five "privacy" links from the top of each of
+// those five pages — at most 31 pages per site. Candidate pages are
+// deduplicated by content hash and filtered to English, yielding the
+// domain's potential privacy pages.
+//
+// The crawler is a plain net/http client: point it at the real web or at
+// the in-process synthetic web (internal/virtualweb).
+package crawler
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"aipan/internal/htmlx"
+	"aipan/internal/langid"
+	"aipan/internal/textify"
+)
+
+// Config parameterizes a Crawler. The zero value plus a Client is a
+// paper-faithful configuration.
+type Config struct {
+	// Client performs the HTTP requests. Required.
+	Client *http.Client
+	// UserAgent is sent on every request.
+	UserAgent string
+	// MaxFooterLinks caps footer privacy links followed (default 3).
+	MaxFooterLinks int
+	// MaxTopLinks caps top-of-page privacy links per seed page (default 5).
+	MaxTopLinks int
+	// MaxPages caps total fetched pages per site (default 31).
+	MaxPages int
+	// Delay is the politeness pause between same-site requests.
+	Delay time.Duration
+	// RespectRobots honors robots.txt Disallow rules (default off to match
+	// the paper's measurement crawl; turn on for polite production use).
+	RespectRobots bool
+	// SkipWellKnown disables the /privacy-policy and /privacy probes (the
+	// crawl-policy ablation).
+	SkipWellKnown bool
+	// SkipFooter disables footer-link discovery (ablation).
+	SkipFooter bool
+	// SkipTopLinks disables the second-hop expansion (ablation).
+	SkipTopLinks bool
+	// MaxBodyBytes caps response bodies read (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFooterLinks == 0 {
+		c.MaxFooterLinks = 3
+	}
+	if c.MaxTopLinks == 0 {
+		c.MaxTopLinks = 5
+	}
+	if c.MaxPages == 0 {
+		c.MaxPages = 31
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	if c.UserAgent == "" {
+		c.UserAgent = "aipan-research-crawler/1.0"
+	}
+	return c
+}
+
+// wellKnownPaths are probed on every domain (§3.1).
+var wellKnownPaths = []string{"/privacy-policy", "/privacy"}
+
+// Page is one fetched page.
+type Page struct {
+	// URL is the request URL; FinalURL reflects redirects.
+	URL      string
+	FinalURL string
+	Path     string
+	Status   int
+	// ContentType is the response Content-Type (without parameters).
+	ContentType string
+	Body        string
+	// FetchErr is a transport-level failure (timeout, refused, ...).
+	FetchErr string
+	// Candidate marks potential privacy pages (everything but the
+	// homepage).
+	Candidate bool
+}
+
+// OK reports a fetch that completed with a pre-error status (§3.1's
+// "HTTP status code below 400").
+func (p *Page) OK() bool { return p.FetchErr == "" && p.Status > 0 && p.Status < 400 }
+
+// IsHTML reports an HTML content type.
+func (p *Page) IsHTML() bool {
+	return strings.HasPrefix(p.ContentType, "text/html") || p.ContentType == ""
+}
+
+// IsPDF reports a PDF body (a failure class the paper tracks).
+func (p *Page) IsPDF() bool {
+	return strings.HasPrefix(p.ContentType, "application/pdf") ||
+		strings.HasPrefix(p.Body, "%PDF-")
+}
+
+// Result is a domain's crawl outcome.
+type Result struct {
+	Domain string
+	// Pages lists every fetched page, homepage first.
+	Pages []Page
+	// Success means at least one candidate page returned status < 400.
+	Success bool
+	// PrivacyPages are the candidates that survive pre-processing: fetched
+	// OK, HTML, deduplicated by content hash, and English.
+	PrivacyPages []Page
+	// NonEnglish/DuplicateCount/PDFCount record what pre-processing
+	// removed.
+	NonEnglish     int
+	DuplicateCount int
+	PDFCount       int
+	// WellKnownPolicyOK / WellKnownPrivacyOK report whether the two probed
+	// paths resolved (§3.1 footnote 3: 54.5% and 48.6%).
+	WellKnownPolicyOK  bool
+	WellKnownPrivacyOK bool
+	// HomeErr is set when even the homepage could not be fetched.
+	HomeErr string
+}
+
+// PagesFetched counts fetched pages including the homepage (the paper's
+// 5.1 average).
+func (r *Result) PagesFetched() int { return len(r.Pages) }
+
+// Crawler crawls domains for privacy policies.
+type Crawler struct {
+	cfg Config
+}
+
+// New validates cfg and builds a Crawler.
+func New(cfg Config) (*Crawler, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("crawler: Config.Client is required")
+	}
+	return &Crawler{cfg: cfg.withDefaults()}, nil
+}
+
+// CrawlDomain runs the full discovery policy against one domain.
+func (c *Crawler) CrawlDomain(ctx context.Context, domain string) *Result {
+	res := &Result{Domain: domain}
+	base := &url.URL{Scheme: "http", Host: domain, Path: "/"}
+
+	var rules robotsRules
+	if c.cfg.RespectRobots {
+		rules = c.fetchRobots(ctx, domain)
+	}
+
+	fetched := map[string]*Page{} // by normalized URL
+	fetch := func(u *url.URL, candidate bool) *Page {
+		key := u.String()
+		if p, ok := fetched[key]; ok {
+			return p
+		}
+		if len(fetched) >= c.cfg.MaxPages {
+			return nil
+		}
+		if c.cfg.RespectRobots && !rules.allowed(u.Path) {
+			return nil
+		}
+		if c.cfg.Delay > 0 && len(fetched) > 0 {
+			select {
+			case <-time.After(c.cfg.Delay):
+			case <-ctx.Done():
+				return nil
+			}
+		}
+		p := c.fetchPage(ctx, u)
+		p.Candidate = candidate
+		fetched[key] = p
+		res.Pages = append(res.Pages, *p)
+		return p
+	}
+
+	home := fetch(base, false)
+	if home == nil {
+		res.HomeErr = "crawl budget exhausted"
+		return res
+	}
+	if home.FetchErr != "" {
+		res.HomeErr = home.FetchErr
+	}
+
+	// Seed set: up to 3 footer privacy links + the two well-known paths.
+	var seeds []*url.URL
+	if !c.cfg.SkipFooter && home.OK() && home.IsHTML() {
+		doc := htmlx.Parse(home.Body)
+		links := privacyLinks(doc, base)
+		if n := len(links); n > c.cfg.MaxFooterLinks {
+			links = links[n-c.cfg.MaxFooterLinks:] // bottom-most
+		}
+		seeds = append(seeds, links...)
+	}
+	if !c.cfg.SkipWellKnown {
+		for _, path := range wellKnownPaths {
+			u := *base
+			u.Path = path
+			seeds = append(seeds, &u)
+		}
+	}
+
+	var seedPages []*Page
+	for _, s := range seeds {
+		if sameURL(s, base) {
+			continue
+		}
+		if p := fetch(s, true); p != nil {
+			seedPages = append(seedPages, p)
+			switch s.Path {
+			case "/privacy-policy":
+				res.WellKnownPolicyOK = p.OK()
+			case "/privacy":
+				res.WellKnownPrivacyOK = p.OK()
+			}
+		}
+	}
+
+	// Second hop: up to 5 privacy links from the top of each seed page.
+	if !c.cfg.SkipTopLinks {
+		for _, sp := range seedPages {
+			if !sp.OK() || !sp.IsHTML() {
+				continue
+			}
+			doc := htmlx.Parse(sp.Body)
+			links := privacyLinks(doc, mustParse(sp.FinalURL, domain))
+			if len(links) > c.cfg.MaxTopLinks {
+				links = links[:c.cfg.MaxTopLinks] // top-most
+			}
+			for _, l := range links {
+				if sameURL(l, base) {
+					continue
+				}
+				fetch(l, true)
+			}
+		}
+	}
+
+	c.postProcess(res)
+	return res
+}
+
+// postProcess computes success and the deduplicated English privacy pages.
+func (c *Crawler) postProcess(res *Result) {
+	seenHash := map[[32]byte]bool{}
+	for i := range res.Pages {
+		p := &res.Pages[i]
+		if !p.Candidate || !p.OK() {
+			continue
+		}
+		res.Success = true
+		if p.IsPDF() {
+			res.PDFCount++
+			continue
+		}
+		if !p.IsHTML() {
+			continue
+		}
+		h := sha256.Sum256([]byte(p.Body))
+		if seenHash[h] {
+			res.DuplicateCount++
+			continue
+		}
+		seenHash[h] = true
+		text := textify.RenderHTML(p.Body).Text()
+		if strings.TrimSpace(text) != "" && !langid.IsEnglish(text) {
+			res.NonEnglish++
+			continue
+		}
+		res.PrivacyPages = append(res.PrivacyPages, *p)
+	}
+}
+
+// fetchPage performs one GET.
+func (c *Crawler) fetchPage(ctx context.Context, u *url.URL) *Page {
+	p := &Page{URL: u.String(), Path: u.Path}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
+	if err != nil {
+		p.FetchErr = err.Error()
+		return p
+	}
+	req.Header.Set("User-Agent", c.cfg.UserAgent)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		p.FetchErr = err.Error()
+		return p
+	}
+	defer resp.Body.Close()
+	p.Status = resp.StatusCode
+	p.FinalURL = resp.Request.URL.String()
+	p.Path = resp.Request.URL.Path // reflect redirects
+	ct := resp.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	p.ContentType = strings.TrimSpace(ct)
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		p.FetchErr = err.Error()
+		return p
+	}
+	p.Body = string(body)
+	return p
+}
+
+func (c *Crawler) fetchRobots(ctx context.Context, domain string) robotsRules {
+	u := &url.URL{Scheme: "http", Host: domain, Path: "/robots.txt"}
+	p := c.fetchPage(ctx, u)
+	if !p.OK() {
+		return robotsRules{}
+	}
+	return parseRobots(p.Body, c.cfg.UserAgent)
+}
+
+// privacyLinks extracts same-host links whose text or href contains
+// "privacy", resolved against base, in document order, deduplicated.
+func privacyLinks(doc *htmlx.Node, base *url.URL) []*url.URL {
+	var out []*url.URL
+	seen := map[string]bool{}
+	for _, l := range htmlx.ExtractLinks(doc) {
+		if !strings.Contains(strings.ToLower(l.Text), "privacy") &&
+			!strings.Contains(strings.ToLower(l.Href), "privacy") {
+			continue
+		}
+		href := strings.TrimSpace(l.Href)
+		low := strings.ToLower(href)
+		if strings.HasPrefix(low, "javascript:") || strings.HasPrefix(low, "mailto:") ||
+			strings.HasPrefix(low, "tel:") || strings.HasPrefix(href, "#") {
+			continue
+		}
+		u, err := base.Parse(href)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") {
+			continue
+		}
+		if !strings.EqualFold(stripWWW(u.Host), stripWWW(base.Host)) {
+			continue
+		}
+		u.Fragment = ""
+		key := u.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, u)
+	}
+	return out
+}
+
+func stripWWW(h string) string {
+	return strings.TrimPrefix(strings.ToLower(h), "www.")
+}
+
+func sameURL(a, b *url.URL) bool {
+	pa, pb := a.Path, b.Path
+	if pa == "" {
+		pa = "/"
+	}
+	if pb == "" {
+		pb = "/"
+	}
+	return strings.EqualFold(stripWWW(a.Host), stripWWW(b.Host)) && pa == pb
+}
+
+func mustParse(raw, fallbackHost string) *url.URL {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return &url.URL{Scheme: "http", Host: fallbackHost, Path: "/"}
+	}
+	return u
+}
+
+// CrawlAll crawls domains with a bounded worker pool, preserving input
+// order in the result slice.
+func (c *Crawler) CrawlAll(ctx context.Context, domains []string, workers int) []*Result {
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]*Result, len(domains))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = c.CrawlDomain(ctx, domains[i])
+			}
+		}()
+	}
+	for i := range domains {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			i = len(domains)
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for i := range results {
+		if results[i] == nil {
+			results[i] = &Result{Domain: domains[i], HomeErr: ctx.Err().Error()}
+		}
+	}
+	return results
+}

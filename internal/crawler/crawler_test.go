@@ -1,0 +1,299 @@
+package crawler
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"aipan/internal/russell"
+	"aipan/internal/virtualweb"
+	"aipan/internal/webgen"
+)
+
+func testCrawler(t *testing.T, cfg Config) (*Crawler, *webgen.Generator) {
+	t.Helper()
+	g := webgen.New(webgen.Seed, russell.UniqueDomains(russell.Universe(webgen.Seed)))
+	cfg.Client = virtualweb.NewTransport(g).Client()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g
+}
+
+func firstWithFailure(g *webgen.Generator, class webgen.FailureClass) *webgen.Site {
+	for _, s := range g.Sites() {
+		if s.Failure == class {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestCrawlHealthySite(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	s := firstWithFailure(g, webgen.FailNone)
+	res := c.CrawlDomain(context.Background(), s.Domain)
+	if !res.Success {
+		t.Fatalf("healthy site crawl failed: %+v", res)
+	}
+	if len(res.PrivacyPages) == 0 {
+		t.Fatal("no privacy pages found")
+	}
+	found := false
+	for _, p := range res.PrivacyPages {
+		if strings.Contains(p.Body, "Privacy Policy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no page contains the policy")
+	}
+	if res.PagesFetched() < 2 || res.PagesFetched() > 31 {
+		t.Errorf("pages fetched = %d", res.PagesFetched())
+	}
+}
+
+func TestCrawlFailureClasses(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	ctx := context.Background()
+	for _, class := range []webgen.FailureClass{
+		webgen.FailNoPolicy, webgen.FailBlocked, webgen.FailTimeout,
+		webgen.FailOddLink, webgen.FailJSLink, webgen.FailConsentLink,
+	} {
+		s := firstWithFailure(g, class)
+		if s == nil {
+			t.Fatalf("no site with failure %s", class)
+		}
+		res := c.CrawlDomain(ctx, s.Domain)
+		if res.Success {
+			t.Errorf("crawl of %s site %s should fail, got %d privacy pages (pages: %d)",
+				class, s.Domain, len(res.PrivacyPages), res.PagesFetched())
+		}
+	}
+}
+
+func TestCrawlSucceedsOnExtractionFailureClasses(t *testing.T) {
+	// PDF / non-English / JS-only sites crawl fine (§4 counts them as
+	// extraction failures, not crawl failures).
+	c, g := testCrawler(t, Config{})
+	ctx := context.Background()
+	for _, class := range []webgen.FailureClass{
+		webgen.FailPDFOnly, webgen.FailNonEnglish, webgen.FailJSOnly,
+		webgen.FailImagePolicy, webgen.FailStub,
+	} {
+		s := firstWithFailure(g, class)
+		res := c.CrawlDomain(ctx, s.Domain)
+		if !res.Success {
+			t.Errorf("crawl of %s site %s should succeed", class, s.Domain)
+		}
+		switch class {
+		case webgen.FailPDFOnly:
+			if res.PDFCount == 0 {
+				t.Errorf("pdf site: PDFCount = 0")
+			}
+			if len(res.PrivacyPages) != 0 {
+				t.Errorf("pdf site should yield no HTML privacy pages")
+			}
+		case webgen.FailNonEnglish:
+			if res.NonEnglish == 0 {
+				t.Errorf("non-english site: NonEnglish = 0 (pages %d)", len(res.PrivacyPages))
+			}
+		}
+	}
+}
+
+func TestCrawlDedupsDuplicateContent(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	ctx := context.Background()
+	// Find a site serving /privacy as a duplicate of the entry page.
+	for _, s := range g.Sites() {
+		if s.Failure != webgen.FailNone {
+			continue
+		}
+		pages := g.RenderSite(s.Domain)
+		entryDup := false
+		for path, p := range pages {
+			if path == "/privacy" && p.RedirectTo == "" && p.Status == 0 {
+				entryDup = true
+			}
+		}
+		if !entryDup || !s.Layout.WellKnownPrivacy {
+			continue
+		}
+		res := c.CrawlDomain(ctx, s.Domain)
+		if res.DuplicateCount == 0 {
+			t.Errorf("site %s with duplicate /privacy: DuplicateCount = 0", s.Domain)
+		}
+		return
+	}
+	t.Skip("no duplicate-content site found")
+}
+
+func TestCrawlHubSite(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	for _, s := range g.Sites() {
+		if s.Failure != webgen.FailNone || !s.Layout.Hub {
+			continue
+		}
+		res := c.CrawlDomain(context.Background(), s.Domain)
+		if !res.Success {
+			t.Fatalf("hub site %s crawl failed", s.Domain)
+		}
+		// The actual policy sits one hop past the hub page.
+		var gotStatement bool
+		for _, p := range res.PrivacyPages {
+			if strings.Contains(p.Path, "statement") {
+				gotStatement = true
+			}
+		}
+		if !gotStatement {
+			t.Errorf("hub site %s: statement page not reached; pages: %+v", s.Domain, pagePaths(res))
+		}
+		return
+	}
+	t.Skip("no hub site")
+}
+
+func pagePaths(res *Result) []string {
+	var out []string
+	for _, p := range res.Pages {
+		out = append(out, p.Path)
+	}
+	return out
+}
+
+func TestCrawlRespectsMaxPages(t *testing.T) {
+	c, g := testCrawler(t, Config{MaxPages: 3})
+	s := firstWithFailure(g, webgen.FailNone)
+	res := c.CrawlDomain(context.Background(), s.Domain)
+	if res.PagesFetched() > 3 {
+		t.Errorf("fetched %d pages, cap 3", res.PagesFetched())
+	}
+}
+
+func TestCrawlAblationSkipWellKnown(t *testing.T) {
+	c, g := testCrawler(t, Config{SkipWellKnown: true, SkipFooter: true, SkipTopLinks: true})
+	s := firstWithFailure(g, webgen.FailNone)
+	res := c.CrawlDomain(context.Background(), s.Domain)
+	if res.Success {
+		t.Error("with all discovery disabled, no candidates should be fetched")
+	}
+	if res.PagesFetched() != 1 {
+		t.Errorf("fetched %d pages, want homepage only", res.PagesFetched())
+	}
+}
+
+func TestWellKnownProbeReporting(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	for _, s := range g.Sites() {
+		if s.Failure != webgen.FailNone || !s.Layout.WellKnownPolicy {
+			continue
+		}
+		res := c.CrawlDomain(context.Background(), s.Domain)
+		if !res.WellKnownPolicyOK {
+			t.Errorf("site %s serves /privacy-policy but probe reported failure", s.Domain)
+		}
+		return
+	}
+}
+
+func TestCrawlAll(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	domains := g.Domains()[:12]
+	results := c.CrawlAll(context.Background(), domains, 4)
+	if len(results) != len(domains) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.Domain != domains[i] {
+			t.Errorf("result %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestParseRobots(t *testing.T) {
+	body := `
+# comment
+User-agent: *
+Disallow: /private/
+Disallow: /tmp
+
+User-agent: aipan-research-crawler
+Disallow: /no-bots/
+`
+	r := parseRobots(body, "aipan-research-crawler/1.0")
+	if r.allowed("/no-bots/page") {
+		t.Error("agent-specific rule ignored")
+	}
+	if !r.allowed("/private/x") {
+		t.Error("star rule should not apply when agent group exists")
+	}
+	star := parseRobots(body, "otherbot")
+	if star.allowed("/private/x") || star.allowed("/tmp") {
+		t.Error("star rules not applied")
+	}
+	if !star.allowed("/public") {
+		t.Error("allowed path blocked")
+	}
+	empty := parseRobots("", "x")
+	if !empty.allowed("/anything") {
+		t.Error("empty robots must allow all")
+	}
+}
+
+func TestPrivacyLinkFilters(t *testing.T) {
+	c, g := testCrawler(t, Config{})
+	s := firstWithFailure(g, webgen.FailJSLink)
+	res := c.CrawlDomain(context.Background(), s.Domain)
+	for _, p := range res.Pages {
+		if strings.HasPrefix(p.URL, "javascript:") {
+			t.Error("crawler followed a javascript: link")
+		}
+	}
+}
+
+func BenchmarkCrawlDomain(b *testing.B) {
+	g := webgen.New(webgen.Seed, russell.UniqueDomains(russell.Universe(webgen.Seed)))
+	c, err := New(Config{Client: virtualweb.NewTransport(g).Client()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	domains := g.Domains()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.CrawlDomain(context.Background(), domains[i%len(domains)])
+	}
+}
+
+func TestCrawlPolitenessDelay(t *testing.T) {
+	c, g := testCrawler(t, Config{Delay: 30 * time.Millisecond})
+	s := firstWithFailure(g, webgen.FailNone)
+	start := time.Now()
+	res := c.CrawlDomain(context.Background(), s.Domain)
+	elapsed := time.Since(start)
+	if n := res.PagesFetched(); n > 1 {
+		minimum := time.Duration(n-1) * 30 * time.Millisecond
+		if elapsed < minimum {
+			t.Errorf("crawl of %d pages took %v, politeness demands >= %v", n, elapsed, minimum)
+		}
+	}
+}
+
+func TestCrawlMaxBodyBytes(t *testing.T) {
+	c, g := testCrawler(t, Config{MaxBodyBytes: 512})
+	s := firstWithFailure(g, webgen.FailNone)
+	res := c.CrawlDomain(context.Background(), s.Domain)
+	for _, p := range res.Pages {
+		if len(p.Body) > 512 {
+			t.Errorf("page %s body %d bytes exceeds cap", p.URL, len(p.Body))
+		}
+	}
+}
+
+func TestCrawlerRequiresClient(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil client should be rejected")
+	}
+}

@@ -1,0 +1,72 @@
+package crawler
+
+import (
+	"strings"
+)
+
+// robotsRules is a minimal robots.txt policy: the Disallow rules that
+// apply to our user agent (or *).
+type robotsRules struct {
+	disallow []string
+}
+
+// parseRobots extracts the rules for the given agent, falling back to the
+// "*" group. It implements the subset of the robots exclusion protocol a
+// polite research crawler needs: User-agent groups and Disallow prefixes
+// (Allow lines and wildcards are treated conservatively: a matching
+// Disallow wins).
+func parseRobots(body, agent string) robotsRules {
+	agent = strings.ToLower(agent)
+	var starRules, agentRules []string
+	var inStar, inAgent, agentSeen bool
+	for _, raw := range strings.Split(body, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		i := strings.IndexByte(line, ':')
+		if i < 0 {
+			continue
+		}
+		field := strings.ToLower(strings.TrimSpace(line[:i]))
+		value := strings.TrimSpace(line[i+1:])
+		switch field {
+		case "user-agent":
+			ua := strings.ToLower(value)
+			inStar = ua == "*"
+			inAgent = ua != "*" && (strings.Contains(agent, ua) || strings.Contains(ua, agent))
+			if inAgent {
+				agentSeen = true
+			}
+		case "disallow":
+			if value == "" {
+				continue
+			}
+			if inAgent {
+				agentRules = append(agentRules, value)
+			} else if inStar {
+				starRules = append(starRules, value)
+			}
+		}
+	}
+	if agentSeen {
+		return robotsRules{disallow: agentRules}
+	}
+	return robotsRules{disallow: starRules}
+}
+
+// allowed reports whether the path may be fetched.
+func (r robotsRules) allowed(path string) bool {
+	if path == "" {
+		path = "/"
+	}
+	for _, d := range r.disallow {
+		if strings.HasPrefix(path, d) {
+			return false
+		}
+	}
+	return true
+}

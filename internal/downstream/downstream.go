@@ -1,0 +1,315 @@
+// Package downstream implements the paper's stated future work (§6):
+// "training offline LLMs to replicate the chatbot-generated annotations".
+// The chatbot-produced dataset becomes supervision for cheap local
+// models — here a multinomial naive-Bayes text classifier over stemmed
+// bag-of-words features — that can (a) route policy sentences to the four
+// annotation aspects and (b) assign data-type categories, without any
+// chatbot calls at inference time.
+package downstream
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	"aipan/internal/nlp"
+	"aipan/internal/store"
+)
+
+// Sample is one supervised example distilled from the dataset.
+type Sample struct {
+	// Text is the sentence-level context of an annotation.
+	Text string `json:"text"`
+	// Label is the target class (an aspect or a category).
+	Label string `json:"label"`
+}
+
+// stopwords excluded from features (tiny list tuned for policy prose).
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "and": true, "or": true, "of": true,
+	"to": true, "in": true, "we": true, "you": true, "your": true,
+	"our": true, "us": true, "for": true, "with": true, "is": true,
+	"are": true, "be": true, "may": true, "will": true, "that": true,
+	"this": true, "as": true, "by": true, "on": true, "it": true,
+	"at": true, "from": true, "have": true, "has": true, "can": true,
+}
+
+// features extracts stemmed unigram + bigram tokens.
+func features(text string) []string {
+	words := nlp.Words(text)
+	var toks []string
+	var prev string
+	for _, w := range words {
+		if stopwords[w] {
+			prev = ""
+			continue
+		}
+		s := nlp.Singular(w)
+		toks = append(toks, s)
+		if prev != "" {
+			toks = append(toks, prev+"_"+s)
+		}
+		prev = s
+	}
+	return toks
+}
+
+// NaiveBayes is a multinomial naive-Bayes classifier with Laplace
+// smoothing.
+type NaiveBayes struct {
+	// Alpha is the Laplace smoothing constant.
+	Alpha float64 `json:"alpha"`
+	// Classes lists the known labels.
+	Classes []string `json:"classes"`
+	// Prior holds per-class document counts.
+	Prior map[string]int `json:"prior"`
+	// TokenCounts holds per-class token counts.
+	TokenCounts map[string]map[string]int `json:"token_counts"`
+	// ClassTokens is the total token count per class.
+	ClassTokens map[string]int `json:"class_tokens"`
+	// Vocab is the global vocabulary.
+	Vocab map[string]bool `json:"vocab"`
+	total int
+}
+
+// Train fits a classifier on samples.
+func Train(samples []Sample, alpha float64) (*NaiveBayes, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("downstream: no training samples")
+	}
+	if alpha <= 0 {
+		alpha = 1
+	}
+	nb := &NaiveBayes{
+		Alpha:       alpha,
+		Prior:       map[string]int{},
+		TokenCounts: map[string]map[string]int{},
+		ClassTokens: map[string]int{},
+		Vocab:       map[string]bool{},
+	}
+	for _, s := range samples {
+		if s.Label == "" {
+			continue
+		}
+		if nb.TokenCounts[s.Label] == nil {
+			nb.TokenCounts[s.Label] = map[string]int{}
+			nb.Classes = append(nb.Classes, s.Label)
+		}
+		nb.Prior[s.Label]++
+		nb.total++
+		for _, t := range features(s.Text) {
+			nb.TokenCounts[s.Label][t]++
+			nb.ClassTokens[s.Label]++
+			nb.Vocab[t] = true
+		}
+	}
+	sort.Strings(nb.Classes)
+	if len(nb.Classes) < 2 {
+		return nil, fmt.Errorf("downstream: need at least 2 classes, got %d", len(nb.Classes))
+	}
+	return nb, nil
+}
+
+// Predict returns the most likely class and its log-odds margin over the
+// runner-up (a confidence proxy).
+func (nb *NaiveBayes) Predict(text string) (string, float64) {
+	scores := nb.LogScores(text)
+	best, second := math.Inf(-1), math.Inf(-1)
+	var bestClass string
+	for _, c := range nb.Classes {
+		s := scores[c]
+		if s > best {
+			second = best
+			best, bestClass = s, c
+		} else if s > second {
+			second = s
+		}
+	}
+	return bestClass, best - second
+}
+
+// LogScores returns unnormalized log-posteriors per class.
+func (nb *NaiveBayes) LogScores(text string) map[string]float64 {
+	toks := features(text)
+	v := float64(len(nb.Vocab))
+	out := make(map[string]float64, len(nb.Classes))
+	for _, c := range nb.Classes {
+		score := math.Log(float64(nb.Prior[c]+1) / float64(nb.totalDocs()+len(nb.Classes)))
+		denom := float64(nb.ClassTokens[c]) + nb.Alpha*v
+		for _, t := range toks {
+			if !nb.Vocab[t] {
+				continue
+			}
+			score += math.Log((float64(nb.TokenCounts[c][t]) + nb.Alpha) / denom)
+		}
+		out[c] = score
+	}
+	return out
+}
+
+func (nb *NaiveBayes) totalDocs() int {
+	if nb.total > 0 {
+		return nb.total
+	}
+	n := 0
+	for _, c := range nb.Prior {
+		n += c
+	}
+	nb.total = n
+	return n
+}
+
+// Save writes the model as JSON.
+func (nb *NaiveBayes) Save(path string) error {
+	data, err := json.Marshal(nb)
+	if err != nil {
+		return fmt.Errorf("downstream: encoding model: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("downstream: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(path string) (*NaiveBayes, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("downstream: reading %s: %w", path, err)
+	}
+	var nb NaiveBayes
+	if err := json.Unmarshal(data, &nb); err != nil {
+		return nil, fmt.Errorf("downstream: decoding %s: %w", path, err)
+	}
+	return &nb, nil
+}
+
+// ------------------------------------------------------ dataset building
+
+// AspectSamples distills (context sentence → aspect) pairs from a
+// dataset: the four-way routing task that replaces chatbot segmentation.
+func AspectSamples(records []store.Record) []Sample {
+	var out []Sample
+	seen := map[string]bool{}
+	for _, rec := range records {
+		for _, a := range rec.Annotations {
+			if a.Context == "" {
+				continue
+			}
+			key := a.Aspect + "|" + a.Context
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Sample{Text: a.Context, Label: a.Aspect})
+		}
+	}
+	return out
+}
+
+// CategorySamples distills (mention + context → category) pairs for one
+// aspect — e.g. the 34-way data-type categorization task.
+func CategorySamples(records []store.Record, aspect string) []Sample {
+	var out []Sample
+	seen := map[string]bool{}
+	for _, rec := range records {
+		for _, a := range rec.Annotations {
+			if a.Aspect != aspect || a.Category == "" {
+				continue
+			}
+			text := a.Text + " " + a.Context
+			key := a.Category + "|" + text
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, Sample{Text: text, Label: a.Category})
+		}
+	}
+	return out
+}
+
+// Split deterministically shuffles and partitions samples.
+func Split(samples []Sample, trainFrac float64, seed int64) (train, test []Sample) {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := append([]Sample(nil), samples...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := int(float64(len(shuffled)) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= len(shuffled) {
+		cut = len(shuffled) - 1
+	}
+	return shuffled[:cut], shuffled[cut:]
+}
+
+// ------------------------------------------------------------ evaluation
+
+// Eval summarizes held-out performance.
+type Eval struct {
+	// Accuracy is overall agreement with the chatbot labels.
+	Accuracy float64
+	// MacroF1 averages per-class F1.
+	MacroF1 float64
+	// PerClass holds per-label precision/recall/F1.
+	PerClass map[string]ClassMetrics
+	// N is the evaluation set size.
+	N int
+}
+
+// ClassMetrics is one class's precision/recall/F1.
+type ClassMetrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// Evaluate scores the model on test samples against the chatbot labels.
+func Evaluate(nb *NaiveBayes, test []Sample) Eval {
+	tp := map[string]int{}
+	fp := map[string]int{}
+	fn := map[string]int{}
+	correct := 0
+	for _, s := range test {
+		pred, _ := nb.Predict(s.Text)
+		if pred == s.Label {
+			correct++
+			tp[s.Label]++
+		} else {
+			fp[pred]++
+			fn[s.Label]++
+		}
+	}
+	ev := Eval{PerClass: map[string]ClassMetrics{}, N: len(test)}
+	if len(test) > 0 {
+		ev.Accuracy = float64(correct) / float64(len(test))
+	}
+	var f1sum float64
+	var classes int
+	for _, c := range nb.Classes {
+		m := ClassMetrics{Support: tp[c] + fn[c]}
+		if tp[c]+fp[c] > 0 {
+			m.Precision = float64(tp[c]) / float64(tp[c]+fp[c])
+		}
+		if tp[c]+fn[c] > 0 {
+			m.Recall = float64(tp[c]) / float64(tp[c]+fn[c])
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		ev.PerClass[c] = m
+		if m.Support > 0 {
+			f1sum += m.F1
+			classes++
+		}
+	}
+	if classes > 0 {
+		ev.MacroF1 = f1sum / float64(classes)
+	}
+	return ev
+}

@@ -1,0 +1,191 @@
+package downstream
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"aipan/internal/core"
+	"aipan/internal/store"
+)
+
+var (
+	dsOnce    sync.Once
+	dsRecords []store.Record
+	dsErr     error
+)
+
+// dataset runs the pipeline once over 300 domains to supply training data.
+func dataset(t *testing.T) []store.Record {
+	t.Helper()
+	dsOnce.Do(func() {
+		p, err := core.New(core.Config{Limit: 300, Workers: 8})
+		if err != nil {
+			dsErr = err
+			return
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			dsErr = err
+			return
+		}
+		dsRecords = res.Records
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return dsRecords
+}
+
+func TestTrainToyModel(t *testing.T) {
+	samples := []Sample{
+		{Text: "we collect your email address and phone number", Label: "types"},
+		{Text: "we collect browsing history and cookies", Label: "types"},
+		{Text: "we gather your postal address", Label: "types"},
+		{Text: "we use data for fraud prevention", Label: "purposes"},
+		{Text: "information is used for analytics and marketing", Label: "purposes"},
+		{Text: "we use your data to personalize your experience", Label: "purposes"},
+	}
+	nb, err := Train(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, margin := nb.Predict("we collect your ip address")
+	if pred != "types" {
+		t.Errorf("pred = %s (margin %.2f)", pred, margin)
+	}
+	pred, _ = nb.Predict("your data helps with fraud prevention and analytics")
+	if pred != "purposes" {
+		t.Errorf("pred = %s", pred)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, 1); err == nil {
+		t.Error("empty training set should fail")
+	}
+	if _, err := Train([]Sample{{Text: "x", Label: "a"}}, 1); err == nil {
+		t.Error("single-class training should fail")
+	}
+}
+
+func TestAspectClassifierReplicatesChatbot(t *testing.T) {
+	records := dataset(t)
+	samples := AspectSamples(records)
+	if len(samples) < 500 {
+		t.Fatalf("only %d aspect samples", len(samples))
+	}
+	train, test := Split(samples, 0.8, 42)
+	nb, err := Train(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(nb, test)
+	if ev.Accuracy < 0.85 {
+		t.Errorf("aspect accuracy = %.3f (n=%d), want >= 0.85 — the distilled model should replicate the chatbot", ev.Accuracy, ev.N)
+	}
+	if ev.MacroF1 <= 0 || ev.MacroF1 > 1 {
+		t.Errorf("macro F1 = %.3f", ev.MacroF1)
+	}
+	for _, aspect := range []string{"types", "purposes", "handling", "rights"} {
+		if _, ok := ev.PerClass[aspect]; !ok {
+			t.Errorf("missing class %s in eval", aspect)
+		}
+	}
+}
+
+func TestCategoryClassifier(t *testing.T) {
+	records := dataset(t)
+	samples := CategorySamples(records, "types")
+	if len(samples) < 300 {
+		t.Fatalf("only %d category samples", len(samples))
+	}
+	train, test := Split(samples, 0.8, 7)
+	nb, err := Train(train, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(nb, test)
+	// 30+-way classification from short texts: well above chance.
+	if ev.Accuracy < 0.6 {
+		t.Errorf("category accuracy = %.3f (n=%d, %d classes)", ev.Accuracy, ev.N, len(nb.Classes))
+	}
+}
+
+func TestSplitDeterministicAndDisjoint(t *testing.T) {
+	samples := AspectSamples(dataset(t))
+	tr1, te1 := Split(samples, 0.8, 1)
+	tr2, te2 := Split(samples, 0.8, 1)
+	if !reflect.DeepEqual(tr1, tr2) || !reflect.DeepEqual(te1, te2) {
+		t.Error("split not deterministic")
+	}
+	if len(tr1)+len(te1) != len(samples) {
+		t.Error("split lost samples")
+	}
+	tr3, _ := Split(samples, 0.8, 2)
+	if reflect.DeepEqual(tr1, tr3) {
+		t.Error("different seeds should shuffle differently")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	samples := []Sample{
+		{Text: "we collect email", Label: "types"},
+		{Text: "used for analytics", Label: "purposes"},
+		{Text: "we collect cookies", Label: "types"},
+		{Text: "used for marketing", Label: "purposes"},
+	}
+	nb, err := Train(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := nb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := nb.Predict("we collect your email address")
+	p2, _ := loaded.Predict("we collect your email address")
+	if p1 != p2 {
+		t.Errorf("loaded model predicts %s, original %s", p2, p1)
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	toks := features("We collect your email addresses.")
+	want := map[string]bool{"collect": true, "email": true, "address": true, "email_address": true}
+	got := map[string]bool{}
+	for _, tok := range toks {
+		got[tok] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing feature %q in %v", w, toks)
+		}
+	}
+	if got["your"] || got["we"] {
+		t.Error("stopwords leaked into features")
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	samples := []Sample{
+		{Text: "we collect email addresses and phone numbers", Label: "types"},
+		{Text: "we collect browsing history", Label: "types"},
+		{Text: "used for fraud prevention", Label: "purposes"},
+		{Text: "used for analytics and research", Label: "purposes"},
+	}
+	nb, err := Train(samples, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		nb.Predict("we collect your ip address and device identifiers for analytics")
+	}
+}

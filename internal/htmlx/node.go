@@ -1,0 +1,216 @@
+package htmlx
+
+import (
+	"strings"
+)
+
+// NodeType identifies the kind of a tree node.
+type NodeType int
+
+const (
+	// DocumentNode is the root of a parsed tree.
+	DocumentNode NodeType = iota
+	// ElementNode is an HTML element.
+	ElementNode
+	// TextNode is character data.
+	TextNode
+	// CommentNode is an HTML comment.
+	CommentNode
+	// DoctypeNode is a <!DOCTYPE> declaration.
+	DoctypeNode
+)
+
+// Node is a node in the parsed HTML tree.
+type Node struct {
+	Type NodeType
+	// Data is the element name (lowercased) for elements, or the text for
+	// text/comment nodes.
+	Data string
+	Attr []Attribute
+
+	Parent, FirstChild, LastChild, PrevSibling, NextSibling *Node
+}
+
+// AppendChild adds c as the last child of n.
+func (n *Node) AppendChild(c *Node) {
+	c.Parent = n
+	c.PrevSibling = n.LastChild
+	c.NextSibling = nil
+	if n.LastChild != nil {
+		n.LastChild.NextSibling = c
+	} else {
+		n.FirstChild = c
+	}
+	n.LastChild = c
+}
+
+// AttrVal returns the value of the named attribute and whether it exists.
+func (n *Node) AttrVal(key string) (string, bool) {
+	for _, a := range n.Attr {
+		if strings.EqualFold(a.Key, key) {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// ID returns the element's id attribute (or "").
+func (n *Node) ID() string {
+	v, _ := n.AttrVal("id")
+	return v
+}
+
+// HasClass reports whether the element's class list contains name.
+func (n *Node) HasClass(name string) bool {
+	v, ok := n.AttrVal("class")
+	if !ok {
+		return false
+	}
+	for _, f := range strings.Fields(v) {
+		if strings.EqualFold(f, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsElement reports whether n is an element with the given (lowercase) name.
+func (n *Node) IsElement(name string) bool {
+	return n.Type == ElementNode && n.Data == name
+}
+
+// Walk visits n and all its descendants in document order. If fn returns
+// false for a node, that node's subtree is skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
+		c.Walk(fn)
+	}
+}
+
+// Text returns the concatenated text of the subtree with runs of whitespace
+// collapsed to single spaces, skipping script/style content.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && (c.Data == "script" || c.Data == "style") {
+			return false
+		}
+		if c.Type == TextNode {
+			b.WriteString(c.Data)
+			b.WriteByte(' ')
+		}
+		return true
+	})
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// Find returns the first descendant element (in document order) for which
+// match returns true, or nil.
+func (n *Node) Find(match func(*Node) bool) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if found != nil {
+			return false
+		}
+		if c != n && c.Type == ElementNode && match(c) {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns all descendant elements for which match returns true.
+func (n *Node) FindAll(match func(*Node) bool) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c != n && c.Type == ElementNode && match(c) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// ByTag returns all descendant elements with the given name.
+func (n *Node) ByTag(name string) []*Node {
+	name = strings.ToLower(name)
+	return n.FindAll(func(c *Node) bool { return c.Data == name })
+}
+
+// ByID returns the first descendant with the given id, or nil.
+func (n *Node) ByID(id string) *Node {
+	return n.Find(func(c *Node) bool { return c.ID() == id })
+}
+
+// Ancestor returns the nearest ancestor element with the given name, or nil.
+func (n *Node) Ancestor(name string) *Node {
+	for p := n.Parent; p != nil; p = p.Parent {
+		if p.IsElement(name) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Render serializes the subtree back to HTML. It is primarily a debugging
+// and testing aid; entity escaping is minimal (&, <, > in text; quotes in
+// attribute values).
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Type {
+	case DocumentNode:
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			c.render(b)
+		}
+	case TextNode:
+		b.WriteString(escapeText(n.Data))
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Data)
+		b.WriteString("-->")
+	case DoctypeNode:
+		b.WriteString("<!")
+		b.WriteString(n.Data)
+		b.WriteString(">")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Data)
+		for _, a := range n.Attr {
+			b.WriteByte(' ')
+			b.WriteString(a.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(a.Val))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if IsVoid(n.Data) {
+			return
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			c.render(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Data)
+		b.WriteByte('>')
+	}
+}
+
+func escapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,227 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSimpleTree(t *testing.T) {
+	doc := Parse(`<html><body><div id="main"><p>one</p><p>two</p></div></body></html>`)
+	main := doc.ByID("main")
+	if main == nil {
+		t.Fatal("no #main")
+	}
+	ps := main.ByTag("p")
+	if len(ps) != 2 {
+		t.Fatalf("got %d <p>, want 2", len(ps))
+	}
+	if ps[0].Text() != "one" || ps[1].Text() != "two" {
+		t.Errorf("texts: %q %q", ps[0].Text(), ps[1].Text())
+	}
+}
+
+func TestParseImpliedEndLi(t *testing.T) {
+	doc := Parse(`<ul><li>a<li>b<li>c</ul>`)
+	lis := doc.ByTag("li")
+	if len(lis) != 3 {
+		t.Fatalf("got %d li, want 3", len(lis))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if lis[i].Text() != want {
+			t.Errorf("li %d text %q, want %q", i, lis[i].Text(), want)
+		}
+		if !lis[i].Parent.IsElement("ul") {
+			t.Errorf("li %d parent is %q, want ul", i, lis[i].Parent.Data)
+		}
+	}
+}
+
+func TestParseImpliedEndP(t *testing.T) {
+	doc := Parse(`<p>first<p>second<div>third</div>`)
+	ps := doc.ByTag("p")
+	if len(ps) != 2 {
+		t.Fatalf("got %d p, want 2", len(ps))
+	}
+	if ps[0].Text() != "first" || ps[1].Text() != "second" {
+		t.Errorf("p texts: %q %q", ps[0].Text(), ps[1].Text())
+	}
+	div := doc.ByTag("div")
+	if len(div) != 1 || div[0].Text() != "third" {
+		t.Fatalf("div wrong: %+v", div)
+	}
+	// The div must not be nested inside the p.
+	if div[0].Ancestor("p") != nil {
+		t.Error("div nested inside p")
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	doc := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	trs := doc.ByTag("tr")
+	if len(trs) != 2 {
+		t.Fatalf("got %d tr, want 2", len(trs))
+	}
+	tds := doc.ByTag("td")
+	if len(tds) != 3 {
+		t.Fatalf("got %d td, want 3", len(tds))
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := Parse(`<p>a<br>b<img src="x">c</p>`)
+	ps := doc.ByTag("p")
+	if len(ps) != 1 {
+		t.Fatalf("got %d p", len(ps))
+	}
+	if got := ps[0].Text(); got != "a b c" {
+		t.Errorf("text = %q", got)
+	}
+	br := doc.ByTag("br")
+	if len(br) != 1 || br[0].FirstChild != nil {
+		t.Error("br should be empty void element")
+	}
+}
+
+func TestParseMismatchedEndTags(t *testing.T) {
+	doc := Parse(`<div><b>bold</div></b>trailing`)
+	if doc.Text() != "bold trailing" {
+		t.Errorf("text = %q", doc.Text())
+	}
+}
+
+func TestParseScriptIgnoredInText(t *testing.T) {
+	doc := Parse(`<body><script>var x = "<p>not a tag</p>";</script><p>real</p></body>`)
+	ps := doc.ByTag("p")
+	if len(ps) != 1 || ps[0].Text() != "real" {
+		t.Fatalf("script content leaked into tree: %+v", ps)
+	}
+	if got := doc.Text(); got != "real" {
+		t.Errorf("Text() includes script: %q", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	doc := Parse(`
+		<footer><a href="/privacy" class="legal">Privacy</a><a href="/tos" class="legal big">Terms</a></footer>
+		<nav><a href="/home">Home</a></nav>`)
+	if got := len(Select(doc, "footer a")); got != 2 {
+		t.Errorf("footer a: got %d, want 2", got)
+	}
+	if got := len(Select(doc, "a.legal")); got != 2 {
+		t.Errorf("a.legal: got %d, want 2", got)
+	}
+	if got := len(Select(doc, ".big")); got != 1 {
+		t.Errorf(".big: got %d, want 1", got)
+	}
+	if n := SelectFirst(doc, "nav a"); n == nil || n.Text() != "Home" {
+		t.Errorf("nav a: %+v", n)
+	}
+	if n := SelectFirst(doc, "#nope"); n != nil {
+		t.Errorf("#nope should be nil, got %+v", n)
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	doc := Parse(`<a href="/a">One</a><a>no href</a><a href="">empty</a><a href="/b"><span>Two</span></a>`)
+	links := ExtractLinks(doc)
+	if len(links) != 2 {
+		t.Fatalf("got %d links, want 2: %+v", len(links), links)
+	}
+	if links[0].Href != "/a" || links[0].Text != "One" {
+		t.Errorf("link 0: %+v", links[0])
+	}
+	if links[1].Href != "/b" || links[1].Text != "Two" {
+		t.Errorf("link 1: %+v", links[1])
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<div id="x"><p>hi <b>there</b></p><ul><li>a</li><li>b</li></ul></div>`
+	doc := Parse(src)
+	re := Parse(doc.Render())
+	if doc.Text() != re.Text() {
+		t.Errorf("round trip text changed: %q vs %q", doc.Text(), re.Text())
+	}
+	if len(doc.ByTag("li")) != len(re.ByTag("li")) {
+		t.Error("round trip structure changed")
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 2048 {
+			s = s[:2048]
+		}
+		doc := Parse(s)
+		// The tree must be well-formed: every child's Parent pointer is right.
+		ok := true
+		doc.Walk(func(n *Node) bool {
+			for c := n.FirstChild; c != nil; c = c.NextSibling {
+				if c.Parent != n {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasClassAndAttr(t *testing.T) {
+	doc := Parse(`<div class="a B c" data-k="v"></div>`)
+	d := doc.ByTag("div")[0]
+	if !d.HasClass("b") || !d.HasClass("a") || d.HasClass("d") {
+		t.Error("HasClass broken")
+	}
+	if v, ok := d.AttrVal("DATA-K"); !ok || v != "v" {
+		t.Error("AttrVal case-insensitive lookup broken")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	page := `<html><head><title>T</title></head><body>` +
+		strings.Repeat(`<div class="row"><h2>Heading</h2><p>Body with <a href="/x">link</a> and <b>bold</b>.</p><ul><li>a<li>b<li>c</ul></div>`, 100) +
+		`</body></html>`
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(page)
+	}
+}
+
+func TestSelectAttributeConditions(t *testing.T) {
+	doc := Parse(`
+		<a href="/privacy" rel="nofollow">Privacy</a>
+		<a href="/terms">Terms</a>
+		<a>No href</a>
+		<input type="hidden" name="token">
+		<input type="text" name="q">`)
+	if got := len(Select(doc, "a[href]")); got != 2 {
+		t.Errorf("a[href]: %d, want 2", got)
+	}
+	if got := len(Select(doc, `a[href="/privacy"]`)); got != 1 {
+		t.Errorf(`a[href="/privacy"]: %d, want 1`, got)
+	}
+	if got := len(Select(doc, "a[rel=nofollow]")); got != 1 {
+		t.Errorf("a[rel=nofollow]: %d, want 1", got)
+	}
+	if got := len(Select(doc, "input[type=hidden]")); got != 1 {
+		t.Errorf("input[type=hidden]: %d, want 1", got)
+	}
+	if got := len(Select(doc, "a[download]")); got != 0 {
+		t.Errorf("a[download]: %d, want 0", got)
+	}
+	// Compound with class and attribute.
+	doc2 := Parse(`<a class="nav" target="_blank" href="/x">X</a><a class="nav" href="/y">Y</a>`)
+	if got := len(Select(doc2, "a.nav[target=_blank]")); got != 1 {
+		t.Errorf("compound: %d, want 1", got)
+	}
+	// Malformed selectors degrade gracefully (no panic, no match explosion).
+	for _, sel := range []string{"a[", "a[]", "a[=x]", "[href"} {
+		_ = Select(doc, sel)
+	}
+}

@@ -1,0 +1,164 @@
+package htmlx
+
+import "strings"
+
+// simpleSelector matches a single compound selector: tag, #id, .class,
+// [attr], [attr=value], and combinations like "a.footer-link[href]".
+type simpleSelector struct {
+	tag     string
+	id      string
+	classes []string
+	attrs   []attrCond
+}
+
+// attrCond is one [key] or [key=value] condition.
+type attrCond struct {
+	key      string
+	value    string
+	hasValue bool
+}
+
+func parseSimple(s string) simpleSelector {
+	var sel simpleSelector
+	// Split off [attr...] conditions first.
+	for {
+		open := strings.IndexByte(s, '[')
+		if open < 0 {
+			break
+		}
+		end := strings.IndexByte(s[open:], ']')
+		if end < 0 {
+			s = s[:open]
+			break
+		}
+		body := s[open+1 : open+end]
+		s = s[:open] + s[open+end+1:]
+		cond := attrCond{key: strings.ToLower(strings.TrimSpace(body))}
+		if eq := strings.IndexByte(body, '='); eq >= 0 {
+			cond.key = strings.ToLower(strings.TrimSpace(body[:eq]))
+			cond.value = strings.Trim(strings.TrimSpace(body[eq+1:]), `"'`)
+			cond.hasValue = true
+		}
+		if cond.key != "" {
+			sel.attrs = append(sel.attrs, cond)
+		}
+	}
+	cur := &sel.tag
+	var buf strings.Builder
+	flush := func() {
+		switch cur {
+		case &sel.tag:
+			sel.tag = buf.String()
+		case &sel.id:
+			sel.id = buf.String()
+		default:
+			if buf.Len() > 0 {
+				sel.classes = append(sel.classes, buf.String())
+			}
+		}
+		buf.Reset()
+	}
+	var classMode bool
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '#':
+			flush()
+			cur = &sel.id
+			classMode = false
+		case '.':
+			flush()
+			cur = nil
+			classMode = true
+		default:
+			buf.WriteByte(s[i])
+		}
+	}
+	if classMode {
+		cur = nil
+	}
+	flush()
+	return sel
+}
+
+func (s simpleSelector) matches(n *Node) bool {
+	if n.Type != ElementNode {
+		return false
+	}
+	if s.tag != "" && s.tag != "*" && n.Data != strings.ToLower(s.tag) {
+		return false
+	}
+	if s.id != "" && n.ID() != s.id {
+		return false
+	}
+	for _, c := range s.classes {
+		if !n.HasClass(c) {
+			return false
+		}
+	}
+	for _, a := range s.attrs {
+		v, ok := n.AttrVal(a.key)
+		if !ok {
+			return false
+		}
+		if a.hasValue && v != a.value {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns all descendants of n matching the selector, which supports
+// tag names, #id, .class, [attr] / [attr=value] conditions, compounds
+// ("a.nav[target=_blank]"), and the descendant combinator ("footer a").
+// This is a small, predictable subset of CSS.
+func Select(n *Node, selector string) []*Node {
+	parts := strings.Fields(selector)
+	if len(parts) == 0 {
+		return nil
+	}
+	ctx := []*Node{n}
+	for _, p := range parts {
+		sel := parseSimple(p)
+		var next []*Node
+		seen := map[*Node]bool{}
+		for _, c := range ctx {
+			for _, m := range c.FindAll(sel.matches) {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			}
+		}
+		ctx = next
+	}
+	return ctx
+}
+
+// SelectFirst returns the first match of Select, or nil.
+func SelectFirst(n *Node, selector string) *Node {
+	m := Select(n, selector)
+	if len(m) == 0 {
+		return nil
+	}
+	return m[0]
+}
+
+// Links returns the href values of all <a> descendants, in document order,
+// paired with their anchor text.
+type Link struct {
+	Href string
+	Text string
+}
+
+// ExtractLinks collects every <a href> under n with its visible text.
+func ExtractLinks(n *Node) []Link {
+	var out []Link
+	for _, a := range n.ByTag("a") {
+		href, ok := a.AttrVal("href")
+		if !ok || href == "" {
+			continue
+		}
+		out = append(out, Link{Href: href, Text: a.Text()})
+	}
+	return out
+}

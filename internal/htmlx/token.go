@@ -1,0 +1,108 @@
+// Package htmlx implements an HTML tokenizer and a lenient tree parser
+// sufficient for scraping real-world web pages: void elements, raw-text
+// elements, implied end tags, attribute parsing, entity decoding, comments
+// and doctypes. It is built from scratch on the standard library only.
+//
+// The parser is intentionally forgiving: malformed markup never returns an
+// error; it produces the best tree it can, which is what a scraping pipeline
+// needs when pointed at thousands of corporate websites.
+package htmlx
+
+import (
+	"html"
+	"strings"
+)
+
+// TokenType identifies the kind of a lexical token.
+type TokenType int
+
+const (
+	// ErrorToken is returned when the input is exhausted.
+	ErrorToken TokenType = iota
+	// TextToken is a run of character data.
+	TextToken
+	// StartTagToken is <name attr...>.
+	StartTagToken
+	// EndTagToken is </name>.
+	EndTagToken
+	// SelfClosingTagToken is <name attr.../>.
+	SelfClosingTagToken
+	// CommentToken is <!-- ... -->.
+	CommentToken
+	// DoctypeToken is <!DOCTYPE ...>.
+	DoctypeToken
+)
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	switch t {
+	case ErrorToken:
+		return "Error"
+	case TextToken:
+		return "Text"
+	case StartTagToken:
+		return "StartTag"
+	case EndTagToken:
+		return "EndTag"
+	case SelfClosingTagToken:
+		return "SelfClosingTag"
+	case CommentToken:
+		return "Comment"
+	case DoctypeToken:
+		return "Doctype"
+	}
+	return "Unknown"
+}
+
+// Attribute is a single key="value" pair on a tag.
+type Attribute struct {
+	Key string
+	Val string
+}
+
+// Token is a single lexical element of an HTML document.
+type Token struct {
+	Type TokenType
+	// Data is the tag name for tag tokens (lowercased), the text for text
+	// tokens (entity-decoded), or the comment/doctype body.
+	Data string
+	Attr []Attribute
+}
+
+// AttrVal returns the value of the named attribute and whether it exists.
+// Keys are matched case-insensitively.
+func (t *Token) AttrVal(key string) (string, bool) {
+	for _, a := range t.Attr {
+		if strings.EqualFold(a.Key, key) {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// voidElements never have children or end tags.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements contain raw character data until their matching end tag.
+var rawTextElements = map[string]bool{
+	"script": true, "style": true, "textarea": true, "title": true,
+	"noscript": true,
+}
+
+// IsVoid reports whether the named element is a void element (no end tag).
+func IsVoid(name string) bool { return voidElements[name] }
+
+// IsRawText reports whether the named element holds raw text content.
+func IsRawText(name string) bool { return rawTextElements[name] }
+
+// unescape decodes HTML entities using the standard library table.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	return html.UnescapeString(s)
+}

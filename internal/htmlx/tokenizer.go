@@ -1,0 +1,281 @@
+package htmlx
+
+import (
+	"strings"
+)
+
+// Tokenizer splits HTML source into a stream of Tokens. It never fails on
+// malformed input; garbage is emitted as text or skipped.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, means we are inside a raw-text element and
+	// must scan for its end tag without interpreting markup.
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer reading from src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token. It returns a token of type ErrorToken when
+// the input is exhausted.
+func (z *Tokenizer) Next() Token {
+	if z.pos >= len(z.src) {
+		return Token{Type: ErrorToken}
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.src[z.pos] == '<' {
+		if tok, ok := z.nextMarkup(); ok {
+			return tok
+		}
+		// A lone '<' that does not open valid markup: treat as text.
+	}
+	return z.nextText()
+}
+
+// nextText scans character data up to the next '<' that plausibly begins
+// markup.
+func (z *Tokenizer) nextText() Token {
+	start := z.pos
+	for z.pos < len(z.src) {
+		i := strings.IndexByte(z.src[z.pos:], '<')
+		if i < 0 {
+			z.pos = len(z.src)
+			break
+		}
+		z.pos += i
+		if z.pos > start && z.looksLikeMarkup(z.pos) {
+			break
+		}
+		if z.pos == start && z.looksLikeMarkup(z.pos) {
+			break
+		}
+		z.pos++ // consume the '<' as literal text
+	}
+	return Token{Type: TextToken, Data: unescape(z.src[start:z.pos])}
+}
+
+// looksLikeMarkup reports whether the '<' at index i begins a tag, comment,
+// or doctype (as opposed to a literal less-than sign in text).
+func (z *Tokenizer) looksLikeMarkup(i int) bool {
+	if i+1 >= len(z.src) {
+		return false
+	}
+	c := z.src[i+1]
+	return isAlpha(c) || c == '/' || c == '!' || c == '?'
+}
+
+// nextMarkup consumes a tag/comment/doctype at the current position.
+// It reports ok=false if the '<' does not actually begin markup.
+func (z *Tokenizer) nextMarkup() (Token, bool) {
+	if !z.looksLikeMarkup(z.pos) {
+		return Token{}, false
+	}
+	c := z.src[z.pos+1]
+	switch {
+	case c == '!':
+		if strings.HasPrefix(z.src[z.pos:], "<!--") {
+			return z.nextComment(), true
+		}
+		return z.nextDoctype(), true
+	case c == '?':
+		// Processing instruction (e.g. <?xml ...?>): skip to '>'.
+		end := strings.IndexByte(z.src[z.pos:], '>')
+		if end < 0 {
+			z.pos = len(z.src)
+		} else {
+			z.pos += end + 1
+		}
+		return Token{Type: CommentToken, Data: ""}, true
+	case c == '/':
+		return z.nextEndTag(), true
+	default:
+		return z.nextStartTag(), true
+	}
+}
+
+func (z *Tokenizer) nextComment() Token {
+	z.pos += 4 // consume "<!--"
+	end := strings.Index(z.src[z.pos:], "-->")
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end]
+		z.pos += end + 3
+	}
+	return Token{Type: CommentToken, Data: body}
+}
+
+func (z *Tokenizer) nextDoctype() Token {
+	z.pos += 2 // consume "<!"
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end]
+		z.pos += end + 1
+	}
+	return Token{Type: DoctypeToken, Data: strings.TrimSpace(body)}
+}
+
+func (z *Tokenizer) nextEndTag() Token {
+	z.pos += 2 // consume "</"
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	name := strings.ToLower(z.src[start:z.pos])
+	// Skip to '>'.
+	if i := strings.IndexByte(z.src[z.pos:], '>'); i >= 0 {
+		z.pos += i + 1
+	} else {
+		z.pos = len(z.src)
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+func (z *Tokenizer) nextStartTag() Token {
+	z.pos++ // consume '<'
+	start := z.pos
+	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
+		z.pos++
+	}
+	name := strings.ToLower(z.src[start:z.pos])
+	tok := Token{Type: StartTagToken, Data: name}
+
+	for {
+		z.skipSpace()
+		if z.pos >= len(z.src) {
+			break
+		}
+		c := z.src[z.pos]
+		if c == '>' {
+			z.pos++
+			break
+		}
+		if c == '/' {
+			z.pos++
+			z.skipSpace()
+			if z.pos < len(z.src) && z.src[z.pos] == '>' {
+				z.pos++
+				tok.Type = SelfClosingTagToken
+			}
+			break
+		}
+		key, val, ok := z.nextAttr()
+		if !ok {
+			break
+		}
+		tok.Attr = append(tok.Attr, Attribute{Key: key, Val: val})
+	}
+
+	if tok.Type == StartTagToken && IsRawText(name) {
+		z.rawTag = name
+	}
+	return tok
+}
+
+// nextAttr parses one attribute. ok=false means no progress could be made.
+func (z *Tokenizer) nextAttr() (key, val string, ok bool) {
+	start := z.pos
+	for z.pos < len(z.src) {
+		c := z.src[z.pos]
+		if c == '=' || c == '>' || c == '/' || isSpace(c) {
+			break
+		}
+		z.pos++
+	}
+	if z.pos == start {
+		// Unparseable character; skip it to guarantee progress.
+		z.pos++
+		return "", "", false
+	}
+	key = strings.ToLower(z.src[start:z.pos])
+	z.skipSpace()
+	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
+		return key, "", true
+	}
+	z.pos++ // consume '='
+	z.skipSpace()
+	if z.pos >= len(z.src) {
+		return key, "", true
+	}
+	switch q := z.src[z.pos]; q {
+	case '"', '\'':
+		z.pos++
+		vstart := z.pos
+		i := strings.IndexByte(z.src[z.pos:], q)
+		if i < 0 {
+			val = z.src[vstart:]
+			z.pos = len(z.src)
+		} else {
+			val = z.src[vstart : vstart+i]
+			z.pos += i + 1
+		}
+	default:
+		vstart := z.pos
+		for z.pos < len(z.src) {
+			c := z.src[z.pos]
+			if isSpace(c) || c == '>' {
+				break
+			}
+			z.pos++
+		}
+		val = z.src[vstart:z.pos]
+	}
+	return key, unescape(val), true
+}
+
+// nextRawText scans the content of a raw-text element up to its end tag.
+func (z *Tokenizer) nextRawText() Token {
+	closer := "</" + z.rawTag
+	low := strings.ToLower(z.src[z.pos:])
+	i := strings.Index(low, closer)
+	if i < 0 {
+		text := z.src[z.pos:]
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return Token{Type: TextToken, Data: text}
+	}
+	if i == 0 {
+		// Emit the end tag itself.
+		name := z.rawTag
+		z.rawTag = ""
+		z.pos += len(closer)
+		if j := strings.IndexByte(z.src[z.pos:], '>'); j >= 0 {
+			z.pos += j + 1
+		} else {
+			z.pos = len(z.src)
+		}
+		return Token{Type: EndTagToken, Data: name}
+	}
+	text := z.src[z.pos : z.pos+i]
+	z.pos += i
+	return Token{Type: TextToken, Data: text}
+}
+
+func (z *Tokenizer) skipSpace() {
+	for z.pos < len(z.src) && isSpace(z.src[z.pos]) {
+		z.pos++
+	}
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isAlpha(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isAlpha(c) || (c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':'
+}

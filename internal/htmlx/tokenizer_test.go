@@ -1,0 +1,199 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func collect(src string) []Token {
+	z := NewTokenizer(src)
+	var toks []Token
+	for {
+		t := z.Next()
+		if t.Type == ErrorToken {
+			return toks
+		}
+		toks = append(toks, t)
+	}
+}
+
+func TestTokenizerBasic(t *testing.T) {
+	toks := collect(`<p class="a">Hello <b>world</b></p>`)
+	want := []struct {
+		typ  TokenType
+		data string
+	}{
+		{StartTagToken, "p"},
+		{TextToken, "Hello "},
+		{StartTagToken, "b"},
+		{TextToken, "world"},
+		{EndTagToken, "b"},
+		{EndTagToken, "p"},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w.typ || toks[i].Data != w.data {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Type, toks[i].Data, w.typ, w.data)
+		}
+	}
+	if v, ok := toks[0].AttrVal("class"); !ok || v != "a" {
+		t.Errorf("class attr = %q, %v", v, ok)
+	}
+}
+
+func TestTokenizerAttributes(t *testing.T) {
+	toks := collect(`<a href="/privacy" target=_blank data-x='q"v' disabled>x</a>`)
+	if toks[0].Type != StartTagToken {
+		t.Fatalf("expected start tag, got %v", toks[0])
+	}
+	cases := map[string]string{"href": "/privacy", "target": "_blank", "data-x": `q"v`, "disabled": ""}
+	for k, want := range cases {
+		got, ok := toks[0].AttrVal(k)
+		if !ok || got != want {
+			t.Errorf("attr %q = %q (ok=%v), want %q", k, got, ok, want)
+		}
+	}
+}
+
+func TestTokenizerEntities(t *testing.T) {
+	toks := collect(`<p>AT&amp;T &lt;tag&gt; &copy; &#169;</p>`)
+	if len(toks) < 2 {
+		t.Fatal("too few tokens")
+	}
+	if got := toks[1].Data; got != "AT&T <tag> © ©" {
+		t.Errorf("entity decoding: got %q", got)
+	}
+}
+
+func TestTokenizerSelfClosing(t *testing.T) {
+	toks := collect(`<br/><img src="x.png" />`)
+	if toks[0].Type != SelfClosingTagToken || toks[0].Data != "br" {
+		t.Errorf("got %v %q", toks[0].Type, toks[0].Data)
+	}
+	if toks[1].Type != SelfClosingTagToken || toks[1].Data != "img" {
+		t.Errorf("got %v %q", toks[1].Type, toks[1].Data)
+	}
+}
+
+func TestTokenizerComment(t *testing.T) {
+	toks := collect(`a<!-- hidden <b>markup</b> -->b`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[1].Type != CommentToken || !strings.Contains(toks[1].Data, "hidden") {
+		t.Errorf("comment token wrong: %+v", toks[1])
+	}
+}
+
+func TestTokenizerDoctype(t *testing.T) {
+	toks := collect(`<!DOCTYPE html><html></html>`)
+	if toks[0].Type != DoctypeToken || !strings.EqualFold(toks[0].Data, "doctype html") {
+		t.Errorf("doctype token wrong: %+v", toks[0])
+	}
+}
+
+func TestTokenizerRawText(t *testing.T) {
+	toks := collect(`<script>if (a < b && c > d) { x("</div>"); }</script><p>ok</p>`)
+	// script content must be one opaque text token (it contains "</div>" which
+	// the raw scanner must not treat as markup... note "</div>" inside the
+	// string ends at the real </script>).
+	if toks[0].Type != StartTagToken || toks[0].Data != "script" {
+		t.Fatalf("first token: %+v", toks[0])
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, "a < b") {
+		t.Fatalf("script body not raw: %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "script" {
+		t.Fatalf("script not closed: %+v", toks[2])
+	}
+}
+
+func TestTokenizerStyleRaw(t *testing.T) {
+	toks := collect(`<style>a > b { color: red }</style>`)
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, "a > b") {
+		t.Fatalf("style body not raw: %+v", toks)
+	}
+}
+
+func TestTokenizerLoneLessThan(t *testing.T) {
+	toks := collect(`price < 100 and > 50`)
+	if len(toks) != 1 || toks[0].Type != TextToken {
+		t.Fatalf("got %+v", toks)
+	}
+	if toks[0].Data != "price < 100 and > 50" {
+		t.Errorf("got %q", toks[0].Data)
+	}
+}
+
+func TestTokenizerUnterminatedTag(t *testing.T) {
+	toks := collect(`<a href="x`)
+	if len(toks) == 0 {
+		t.Fatal("no tokens")
+	}
+	// Must terminate; content is best-effort.
+}
+
+func TestTokenizerNeverLoops(t *testing.T) {
+	// A grab-bag of pathological inputs; the tokenizer must always terminate.
+	inputs := []string{
+		"<", "<>", "< >", "<<<>>>", "</>", "<!>", "<!-", "<!--", "<a", "<a ",
+		"<a =x>", "<a 'b'>", "<a b=>", "<a b='x>", "<script>", "<p><p><p>",
+		"&", "&amp", "a<b>c</b <i>", "<?xml?>", "\x00<\x00a>",
+	}
+	for _, in := range inputs {
+		toks := collect(in)
+		_ = toks
+	}
+}
+
+func TestTokenizerTerminationProperty(t *testing.T) {
+	// Property: for arbitrary input the tokenizer terminates and consumed
+	// text round-trips reasonably (no panic, no infinite loop).
+	f := func(s string) bool {
+		if len(s) > 4096 {
+			s = s[:4096]
+		}
+		_ = collect(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizerTextRoundTripProperty(t *testing.T) {
+	// Property: plain text with no markup characters tokenizes to itself.
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '<' || r == '>' || r == '&' || r == 0 {
+				return 'x'
+			}
+			return r
+		}, s)
+		if clean == "" {
+			return true
+		}
+		toks := collect(clean)
+		return len(toks) == 1 && toks[0].Type == TextToken && toks[0].Data == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTokenizer(b *testing.B) {
+	page := strings.Repeat(`<div class="row"><a href="/x">Link &amp; text</a><p>Body with <b>bold</b> words.</p></div>`, 200)
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z := NewTokenizer(page)
+		for {
+			if z.Next().Type == ErrorToken {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package langid identifies the language of a text using stopword-profile
+// scoring. The crawl pipeline (§3.1) drops non-English privacy pages before
+// annotation; this detector distinguishes English from the European
+// languages that dominate non-English corporate sites (German, French,
+// Spanish), which is all the paper's filter needs.
+package langid
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lang is an ISO-639-1 language code.
+type Lang string
+
+// Languages the detector scores.
+const (
+	English Lang = "en"
+	German  Lang = "de"
+	French  Lang = "fr"
+	Spanish Lang = "es"
+	Unknown Lang = "und"
+)
+
+var profiles = map[Lang][]string{
+	English: {
+		"the", "and", "of", "to", "in", "we", "you", "your", "that", "for",
+		"is", "are", "with", "our", "this", "or", "as", "may", "not", "by",
+		"on", "be", "from", "will", "can", "us", "have", "use", "any", "it",
+	},
+	German: {
+		"der", "die", "das", "und", "wir", "sie", "ihre", "nicht", "mit",
+		"von", "für", "auf", "werden", "eine", "ein", "zu", "den", "des",
+		"im", "ist", "daten", "oder", "wie", "bei", "durch", "nach", "dem",
+	},
+	French: {
+		"le", "la", "les", "et", "nous", "vous", "vos", "des", "que", "pour",
+		"dans", "est", "sont", "avec", "votre", "une", "un", "du", "de",
+		"ne", "pas", "sur", "par", "ces", "aux", "être", "données",
+	},
+	Spanish: {
+		"el", "la", "los", "las", "y", "nosotros", "usted", "sus", "que",
+		"para", "en", "es", "son", "con", "su", "una", "un", "del", "de",
+		"no", "por", "se", "datos", "como", "más", "este", "esta",
+	},
+}
+
+var profileSets = func() map[Lang]map[string]bool {
+	m := make(map[Lang]map[string]bool, len(profiles))
+	for l, ws := range profiles {
+		set := make(map[string]bool, len(ws))
+		for _, w := range ws {
+			set[w] = true
+		}
+		m[l] = set
+	}
+	return m
+}()
+
+// Detect returns the best-scoring language and its score (fraction of
+// tokens found in that language's stopword profile). Texts under 5 tokens
+// or with no stopword hits return Unknown.
+func Detect(text string) (Lang, float64) {
+	words := tokenize(text)
+	if len(words) < 5 {
+		return Unknown, 0
+	}
+	best, bestScore := Unknown, 0.0
+	for lang, set := range profileSets {
+		hits := 0
+		for _, w := range words {
+			if set[w] {
+				hits++
+			}
+		}
+		score := float64(hits) / float64(len(words))
+		if score > bestScore {
+			best, bestScore = lang, score
+		}
+	}
+	if bestScore < 0.05 {
+		return Unknown, bestScore
+	}
+	return best, bestScore
+}
+
+// IsEnglish reports whether text is detected as English. This is the
+// predicate the pipeline's pre-processing uses to discard non-English
+// pages (and pages mixing languages, which score poorly for every single
+// profile — the paper discards one such policy in §4).
+func IsEnglish(text string) bool {
+	lang, _ := Detect(text)
+	return lang == English
+}
+
+func tokenize(s string) []string {
+	var out []string
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+		if len(out) >= 4000 {
+			return out // plenty for a confident decision
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package langid
+
+import "testing"
+
+const enText = `We collect personal information that you provide to us, such as your
+name, email address, and phone number. We use this information to provide and
+improve our services, and we may share it with our partners as described in
+this policy. You can opt out of marketing communications at any time.`
+
+const deText = `Wir erheben personenbezogene Daten, die Sie uns zur Verfügung
+stellen, wie zum Beispiel Ihren Namen und Ihre E-Mail-Adresse. Wir verwenden
+diese Daten, um unsere Dienste bereitzustellen und zu verbessern. Sie können
+der Verarbeitung Ihrer Daten jederzeit widersprechen.`
+
+const frText = `Nous recueillons les informations personnelles que vous nous
+fournissez, telles que votre nom et votre adresse électronique. Nous utilisons
+ces données pour fournir et améliorer nos services. Vous pouvez vous opposer
+au traitement de vos données à tout moment.`
+
+const esText = `Recopilamos la información personal que usted nos proporciona,
+como su nombre y su dirección de correo electrónico. Utilizamos estos datos
+para proporcionar y mejorar nuestros servicios. Usted puede oponerse al
+tratamiento de sus datos en cualquier momento.`
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		text string
+		want Lang
+	}{
+		{enText, English},
+		{deText, German},
+		{frText, French},
+		{esText, Spanish},
+	}
+	for _, c := range cases {
+		got, score := Detect(c.text)
+		if got != c.want {
+			t.Errorf("Detect(...) = %v (score %.3f), want %v", got, score, c.want)
+		}
+	}
+}
+
+func TestIsEnglish(t *testing.T) {
+	if !IsEnglish(enText) {
+		t.Error("English text not detected")
+	}
+	if IsEnglish(deText) || IsEnglish(frText) || IsEnglish(esText) {
+		t.Error("non-English text detected as English")
+	}
+}
+
+func TestDetectShortText(t *testing.T) {
+	if lang, _ := Detect("ok"); lang != Unknown {
+		t.Errorf("short text = %v, want Unknown", lang)
+	}
+	if lang, _ := Detect(""); lang != Unknown {
+		t.Errorf("empty = %v, want Unknown", lang)
+	}
+}
+
+func TestDetectGibberish(t *testing.T) {
+	if lang, _ := Detect("zzz qqq xxx www yyy vvv kkk jjj"); lang != Unknown {
+		t.Errorf("gibberish = %v, want Unknown", lang)
+	}
+}
+
+func TestMixedLanguageScoresLow(t *testing.T) {
+	// A 50/50 mixed document should score lower than a pure one for any
+	// single language (the §4 mixed-language policy was discarded).
+	mixed := enText + " " + deText
+	_, mixedScore := Detect(mixed)
+	_, pureScore := Detect(enText)
+	if mixedScore >= pureScore {
+		t.Errorf("mixed score %.3f >= pure score %.3f", mixedScore, pureScore)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Detect(enText)
+	}
+}

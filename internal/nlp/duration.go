@@ -1,0 +1,141 @@
+package nlp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// numberWords maps spelled-out numbers ("six (6) years") to values.
+var numberWords = map[string]int{
+	"one": 1, "two": 2, "three": 3, "four": 4, "five": 5, "six": 6,
+	"seven": 7, "eight": 8, "nine": 9, "ten": 10, "eleven": 11,
+	"twelve": 12, "fifteen": 15, "twenty": 20, "thirty": 30, "sixty": 60,
+	"ninety": 90, "hundred": 100,
+}
+
+// unitDays maps time units to days.
+var unitDays = map[string]int{
+	"day": 1, "week": 7, "month": 30, "year": 365,
+}
+
+// RetentionPeriod is a parsed stated retention duration.
+type RetentionPeriod struct {
+	// Days is the duration normalized to days (months=30, years=365).
+	Days int
+	// Raw is the matched fragment, e.g. "six (6) years".
+	Raw string
+}
+
+// Years returns the period in fractional years.
+func (p RetentionPeriod) Years() float64 { return float64(p.Days) / 365.0 }
+
+// ParseRetention scans text for a stated retention period such as
+// "2 years", "six (6) years", "90 days", "twelve months", "50 years",
+// "1 day". It returns the first match.
+func ParseRetention(text string) (RetentionPeriod, bool) {
+	ws := Words(text)
+	for i, w := range ws {
+		n, ok := parseNumber(w)
+		if !ok {
+			continue
+		}
+		// Allow a parenthesized numeral restatement: "six (6) years" tokenizes
+		// to ["six", "6", "years"]; skip the duplicate numeral.
+		j := i + 1
+		if j < len(ws) {
+			if m, ok2 := parseNumber(ws[j]); ok2 && m == n {
+				j++
+			}
+		}
+		if j >= len(ws) {
+			continue
+		}
+		unit := Singular(ws[j])
+		d, ok := unitDays[unit]
+		if !ok {
+			continue
+		}
+		raw := strings.Join(ws[i:j+1], " ")
+		return RetentionPeriod{Days: n * d, Raw: raw}, true
+	}
+	return RetentionPeriod{}, false
+}
+
+func parseNumber(w string) (int, bool) {
+	if n, err := strconv.Atoi(w); err == nil && n > 0 && n < 1000 {
+		return n, true
+	}
+	if n, ok := numberWords[w]; ok {
+		return n, true
+	}
+	return 0, false
+}
+
+// Levenshtein computes the edit distance between two strings. It is used
+// for fuzzy glossary lookups of near-miss descriptors.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// JaccardWords computes the Jaccard similarity of the stemmed word sets of
+// two phrases, used to cluster near-duplicate descriptors.
+func JaccardWords(a, b string) float64 {
+	sa := map[string]bool{}
+	for _, w := range Words(a) {
+		sa[Singular(w)] = true
+	}
+	sb := map[string]bool{}
+	for _, w := range Words(b) {
+		sb[Singular(w)] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for w := range sa {
+		if sb[w] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,165 @@
+// Package nlp provides the light-weight natural-language machinery the
+// annotation pipeline needs: word and sentence tokenization, normalization,
+// a noun singularizer, fuzzy phrase matching, negation/hypothetical scope
+// detection (§6 of the paper: "ignore mentions in negated contexts"),
+// retention-period parsing, and edit distance.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Words splits s into lowercase word tokens. A token is a maximal run of
+// letters, digits, or internal apostrophes/hyphens ("don't", "opt-out").
+func Words(s string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, strings.ToLower(b.String()))
+			b.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case (r == '\'' || r == '-' || r == '’') && b.Len() > 0 &&
+			i+1 < len(runes) && (unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			if r == '’' {
+				b.WriteRune('\'')
+			} else {
+				b.WriteRune(r)
+			}
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Sentences splits s into sentences on ., !, ? and ; boundaries, keeping
+// abbreviation-like splits (single capital letters, "e.g.", "i.e.") intact.
+func Sentences(s string) []string {
+	var out []string
+	start := 0
+	runes := []rune(s)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' && r != '!' && r != '?' && r != ';' {
+			continue
+		}
+		if r == '.' {
+			// Don't split inside "e.g.", "i.e.", "U.S." or single initials.
+			tail := strings.ToLower(trailingWord(runes[start : i+1]))
+			if tail == "e.g." || tail == "i.e." || tail == "etc." ||
+				(len(tail) == 2 && tail[1] == '.') {
+				continue
+			}
+			// Don't split decimals like "3.5".
+			if i > 0 && i+1 < len(runes) && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+				continue
+			}
+		}
+		sent := strings.TrimSpace(string(runes[start : i+1]))
+		if sent != "" {
+			out = append(out, sent)
+		}
+		start = i + 1
+	}
+	if rest := strings.TrimSpace(string(runes[start:])); rest != "" {
+		out = append(out, rest)
+	}
+	return out
+}
+
+func trailingWord(rs []rune) string {
+	end := len(rs)
+	i := end
+	for i > 0 && !unicode.IsSpace(rs[i-1]) {
+		i--
+	}
+	return string(rs[i:end])
+}
+
+// Normalize lowercases s and collapses whitespace and punctuation edges;
+// it is the canonical form used for descriptor/glossary keys.
+func Normalize(s string) string {
+	return strings.Join(Words(s), " ")
+}
+
+// NormalizeStemmed returns the stemmed canonical form ("email addresses" →
+// "email address") used for repetition dedup and glossary lookup.
+func NormalizeStemmed(s string) string {
+	ws := Words(s)
+	for i, w := range ws {
+		ws[i] = Singular(w)
+	}
+	return strings.Join(ws, " ")
+}
+
+// ContainsWords reports whether every word of phrase appears (stemmed) in
+// text, in order, allowing gaps. This is the hallucination check the paper
+// applies programmatically: "chatbot-generated annotations are indeed
+// present in the privacy policy text", where extracted words "may be
+// discontinuous".
+func ContainsWords(text, phrase string) bool {
+	tw := Words(text)
+	for i := range tw {
+		tw[i] = Singular(tw[i])
+	}
+	pw := Words(phrase)
+	j := 0
+	for _, w := range tw {
+		if j < len(pw) && w == Singular(pw[j]) {
+			j++
+		}
+	}
+	return j == len(pw) && len(pw) > 0
+}
+
+// FindPhrase locates phrase in text allowing stems to differ in number and
+// up to maxGap intervening words between consecutive phrase words. It
+// returns the word-index span [start, end) in text, or ok=false.
+func FindPhrase(text, phrase string, maxGap int) (start, end int, ok bool) {
+	tw := Words(text)
+	pw := Words(phrase)
+	if len(pw) == 0 || len(tw) == 0 {
+		return 0, 0, false
+	}
+	stemmed := make([]string, len(tw))
+	for i, w := range tw {
+		stemmed[i] = Singular(w)
+	}
+	target := make([]string, len(pw))
+	for i, w := range pw {
+		target[i] = Singular(w)
+	}
+	for i := 0; i <= len(stemmed)-1; i++ {
+		if stemmed[i] != target[0] {
+			continue
+		}
+		j, pos := 1, i
+		for j < len(target) {
+			found := -1
+			for k := pos + 1; k <= pos+1+maxGap && k < len(stemmed); k++ {
+				if stemmed[k] == target[j] {
+					found = k
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			pos = found
+			j++
+		}
+		if j == len(target) {
+			return i, pos + 1, true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,224 @@
+// Package nutrition renders a policy's annotations as a privacy
+// "nutrition label" — the human-readable summary format the paper's
+// related work explores (Pan et al., "Automated Generation of Privacy
+// Nutrition Labels from Privacy Policies") and the paper's abstract
+// promises ("human- and machine-readable summaries of privacy policies").
+// The label is pure presentation: everything on it comes straight from
+// the structured annotations.
+package nutrition
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aipan/internal/annotate"
+	"aipan/internal/taxonomy"
+)
+
+// Label is the structured form of a privacy nutrition label.
+type Label struct {
+	// Collected groups collected data descriptors by meta-category.
+	Collected map[string][]string
+	// Purposes lists collection-purpose categories.
+	Purposes []string
+	// SoldOrShared reports explicit third-party sharing or sale.
+	SoldOrShared bool
+	Sold         bool
+	// Retention summarizes the retention story ("2 years", "limited but
+	// unspecified", "indefinite", "not stated").
+	Retention string
+	// RetentionAnonymizedOnly is set when indefinite retention concerns
+	// only anonymized/aggregated data.
+	RetentionAnonymizedOnly bool
+	// Protections lists specific (non-generic) protection practices.
+	Protections []string
+	// Choices lists opt-in/opt-out mechanisms.
+	Choices []string
+	// Access lists user-access rights.
+	Access []string
+}
+
+// Build assembles a Label from deduplicated annotations.
+func Build(anns []annotate.Annotation) Label {
+	l := Label{Collected: map[string][]string{}}
+	var stated string
+	var limited, indefinite, indefAnonOnly bool
+	indefCount, indefAnon := 0, 0
+	seen := map[string]bool{}
+	add := func(list *[]string, v string) {
+		if v == "" || seen[v] {
+			return
+		}
+		seen[v] = true
+		*list = append(*list, v)
+	}
+	for _, a := range anns {
+		switch a.Aspect {
+		case "types":
+			desc := a.Descriptor
+			if desc == "" {
+				desc = a.Text
+			}
+			key := a.Meta + "|" + desc
+			if !seen[key] {
+				seen[key] = true
+				l.Collected[a.Meta] = append(l.Collected[a.Meta], desc)
+			}
+		case "purposes":
+			add(&l.Purposes, a.Category)
+			if a.Category == "Data sharing" || a.Meta == taxonomy.MetaThirdParty && a.Category == "Data sharing" {
+				l.SoldOrShared = true
+			}
+			if a.Descriptor == "data for sale" {
+				l.Sold = true
+				l.SoldOrShared = true
+			}
+		case "handling":
+			switch a.Category {
+			case taxonomy.RetentionStated:
+				if stated == "" && a.Descriptor != "" {
+					stated = a.Descriptor
+				}
+			case taxonomy.RetentionLimited:
+				limited = true
+			case taxonomy.RetentionIndefinitely:
+				indefinite = true
+				indefCount++
+				if a.Scope == annotate.ScopeAnonymized {
+					indefAnon++
+				}
+			default:
+				if a.Meta == taxonomy.GroupProtection && a.Category != taxonomy.ProtectionGeneric {
+					add(&l.Protections, a.Category)
+				}
+			}
+		case "rights":
+			switch a.Meta {
+			case taxonomy.GroupChoices:
+				add(&l.Choices, a.Category)
+			case taxonomy.GroupAccess:
+				add(&l.Access, a.Category)
+			}
+		}
+	}
+	indefAnonOnly = indefinite && indefCount == indefAnon
+
+	switch {
+	case stated != "":
+		l.Retention = stated
+	case indefinite && !limited:
+		l.Retention = "indefinite"
+	case limited:
+		l.Retention = "limited but unspecified"
+	default:
+		l.Retention = "not stated"
+	}
+	l.RetentionAnonymizedOnly = indefAnonOnly
+
+	for meta := range l.Collected {
+		sort.Strings(l.Collected[meta])
+	}
+	sort.Strings(l.Purposes)
+	sort.Strings(l.Protections)
+	sort.Strings(l.Choices)
+	sort.Strings(l.Access)
+	return l
+}
+
+// metaOrder fixes the label's section order.
+var metaOrder = []string{
+	taxonomy.MetaPhysicalProfile, taxonomy.MetaDigitalProfile,
+	taxonomy.MetaBioHealthProfile, taxonomy.MetaFinancialLegal,
+	taxonomy.MetaPhysicalBehavior, taxonomy.MetaDigitalBehavior,
+}
+
+// Render draws the label as a boxed text card.
+func (l Label) Render(title string) string {
+	var b strings.Builder
+	line := strings.Repeat("═", 62)
+	thin := strings.Repeat("─", 62)
+	fmt.Fprintf(&b, "╔%s╗\n", line)
+	fmt.Fprintf(&b, "║ %-60s ║\n", "PRIVACY FACTS — "+clip(title, 43))
+	fmt.Fprintf(&b, "╠%s╣\n", line)
+
+	writeHeader := func(s string) { fmt.Fprintf(&b, "║ %-60s ║\n", s) }
+	writeItem := func(s string) { fmt.Fprintf(&b, "║   %-58s ║\n", clip(s, 58)) }
+	divider := func() { fmt.Fprintf(&b, "╟%s╢\n", thin) }
+
+	writeHeader("DATA COLLECTED")
+	any := false
+	for _, meta := range metaOrder {
+		descs := l.Collected[meta]
+		if len(descs) == 0 {
+			continue
+		}
+		any = true
+		writeItem(fmt.Sprintf("%s: %s", meta, clip(strings.Join(descs, ", "), 58-len(meta)-2)))
+	}
+	if !any {
+		writeItem("none disclosed")
+	}
+
+	divider()
+	writeHeader("USED FOR")
+	if len(l.Purposes) == 0 {
+		writeItem("not stated")
+	}
+	for _, p := range l.Purposes {
+		writeItem(p)
+	}
+
+	divider()
+	writeHeader("SHARING & SALE")
+	switch {
+	case l.Sold:
+		writeItem("⚠ data may be SOLD to third parties")
+	case l.SoldOrShared:
+		writeItem("data shared with third parties")
+	default:
+		writeItem("no explicit third-party sharing purpose stated")
+	}
+
+	divider()
+	writeHeader("RETENTION")
+	ret := l.Retention
+	if l.RetentionAnonymizedOnly {
+		ret += " (anonymized/aggregated data only)"
+	}
+	writeItem(ret)
+
+	divider()
+	writeHeader("SECURITY MEASURES (specific)")
+	if len(l.Protections) == 0 {
+		writeItem("none beyond generic statements")
+	}
+	for _, p := range l.Protections {
+		writeItem(p)
+	}
+
+	divider()
+	writeHeader("YOUR CHOICES & ACCESS")
+	if len(l.Choices) == 0 && len(l.Access) == 0 {
+		writeItem("none stated")
+	}
+	for _, c := range l.Choices {
+		writeItem("choice: " + c)
+	}
+	for _, a := range l.Access {
+		writeItem("access: " + a)
+	}
+
+	fmt.Fprintf(&b, "╚%s╝\n", line)
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if n < 4 {
+		n = 4
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,102 @@
+package nutrition
+
+import (
+	"strings"
+	"testing"
+
+	"aipan/internal/annotate"
+	"aipan/internal/taxonomy"
+)
+
+func sampleAnns() []annotate.Annotation {
+	return []annotate.Annotation{
+		{Aspect: "types", Meta: taxonomy.MetaPhysicalProfile, Category: "Contact info", Descriptor: "email address", Text: "email address"},
+		{Aspect: "types", Meta: taxonomy.MetaDigitalBehavior, Category: "Tracking data", Descriptor: "cookies", Text: "cookies"},
+		{Aspect: "purposes", Meta: taxonomy.MetaOperations, Category: "Basic functioning", Descriptor: "cust. service", Text: "customer service"},
+		{Aspect: "purposes", Meta: taxonomy.MetaThirdParty, Category: "Data sharing", Descriptor: "data for sale", Text: "sell your personal information"},
+		{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionStated, Descriptor: "2 years", Text: "2 years", RetentionDays: 730},
+		{Aspect: "handling", Meta: taxonomy.GroupProtection, Category: taxonomy.ProtectionTransfer, Text: "ssl"},
+		{Aspect: "handling", Meta: taxonomy.GroupProtection, Category: taxonomy.ProtectionGeneric, Text: "safeguards"},
+		{Aspect: "rights", Meta: taxonomy.GroupChoices, Category: taxonomy.ChoiceOptOutLink, Text: "unsubscribe link"},
+		{Aspect: "rights", Meta: taxonomy.GroupAccess, Category: taxonomy.AccessFullDelete, Text: "delete"},
+	}
+}
+
+func TestBuild(t *testing.T) {
+	l := Build(sampleAnns())
+	if got := l.Collected[taxonomy.MetaPhysicalProfile]; len(got) != 1 || got[0] != "email address" {
+		t.Errorf("collected physical: %v", got)
+	}
+	if !l.Sold || !l.SoldOrShared {
+		t.Error("data-for-sale not surfaced")
+	}
+	if l.Retention != "2 years" {
+		t.Errorf("retention = %q", l.Retention)
+	}
+	if len(l.Protections) != 1 || l.Protections[0] != taxonomy.ProtectionTransfer {
+		t.Errorf("protections = %v (generic must be excluded)", l.Protections)
+	}
+	if len(l.Choices) != 1 || len(l.Access) != 1 {
+		t.Errorf("choices/access: %v / %v", l.Choices, l.Access)
+	}
+}
+
+func TestBuildRetentionFallbacks(t *testing.T) {
+	cases := []struct {
+		anns []annotate.Annotation
+		want string
+	}{
+		{nil, "not stated"},
+		{[]annotate.Annotation{{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionLimited}}, "limited but unspecified"},
+		{[]annotate.Annotation{{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionIndefinitely}}, "indefinite"},
+	}
+	for _, c := range cases {
+		if got := Build(c.anns).Retention; got != c.want {
+			t.Errorf("retention = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuildAnonymizedOnly(t *testing.T) {
+	l := Build([]annotate.Annotation{
+		{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionIndefinitely, Scope: annotate.ScopeAnonymized},
+	})
+	if !l.RetentionAnonymizedOnly {
+		t.Error("anonymized-only flag not set")
+	}
+	l2 := Build([]annotate.Annotation{
+		{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionIndefinitely},
+	})
+	if l2.RetentionAnonymizedOnly {
+		t.Error("flag set without anonymized scope")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Build(sampleAnns()).Render("Example Corp")
+	for _, want := range []string{
+		"PRIVACY FACTS", "Example Corp", "DATA COLLECTED", "email address",
+		"SOLD", "2 years", "Secure transfer", "Opt-out via link", "Full delete",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("label missing %q:\n%s", want, out)
+		}
+	}
+	// Box edges intact: every line starts and ends with a box rune.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		r := []rune(line)
+		first, last := r[0], r[len(r)-1]
+		if !strings.ContainsRune("╔╠╟╚║", first) || !strings.ContainsRune("╗╣╢╝║", last) {
+			t.Errorf("broken box line: %q", line)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Build(nil).Render("Empty Co")
+	for _, want := range []string{"none disclosed", "not stated", "none stated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty label missing %q", want)
+		}
+	}
+}

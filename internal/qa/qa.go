@@ -1,0 +1,352 @@
+// Package qa answers common privacy questions from a policy's structured
+// annotations — the question-answering use the paper's related work
+// targets (PrivacyQA, Ravichander et al.), rebuilt on top of normalized
+// annotations instead of raw text: the answer cites the verbatim policy
+// evidence the annotation carries.
+package qa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aipan/internal/annotate"
+	"aipan/internal/nlp"
+	"aipan/internal/taxonomy"
+)
+
+// Answer is a grounded response to a privacy question.
+type Answer struct {
+	// Text is the natural-language answer.
+	Text string
+	// Evidence lists the verbatim policy fragments supporting it.
+	Evidence []string
+	// Confident is false when the annotations simply don't speak to the
+	// question (absence of a mention is not proof of absence).
+	Confident bool
+}
+
+// intent is one supported question family.
+type intent struct {
+	name     string
+	keywords [][]string // any of these keyword groups triggers the intent
+	answer   func(anns []annotate.Annotation) Answer
+}
+
+// intents are matched in order; first hit wins.
+var intents = []intent{
+	{
+		name: "sell",
+		keywords: [][]string{
+			{"sell"}, {"sold"}, {"sale"},
+		},
+		answer: answerSell,
+	},
+	{
+		name: "delete",
+		keywords: [][]string{
+			{"delete"}, {"erase"}, {"remove", "data"}, {"deletion"},
+		},
+		answer: answerDelete,
+	},
+	{
+		name: "retention",
+		keywords: [][]string{
+			{"how", "long"}, {"retain"}, {"retention"}, {"keep", "data"},
+			{"store", "long"},
+		},
+		answer: answerRetention,
+	},
+	{
+		name: "optout",
+		keywords: [][]string{
+			{"opt"}, {"unsubscribe"}, {"stop", "marketing"}, {"marketing", "emails"},
+		},
+		answer: answerOptOut,
+	},
+	{
+		name: "location",
+		keywords: [][]string{
+			{"location"}, {"track", "where"}, {"gps"},
+		},
+		answer: answerCategory("Precise location", "Approximate location"),
+	},
+	{
+		name: "health",
+		keywords: [][]string{
+			{"health"}, {"medical"}, {"biometric"},
+		},
+		answer: answerCategory("Medical info", "Biometric data", "Fitness & health"),
+	},
+	{
+		name: "collect",
+		keywords: [][]string{
+			{"what", "collect"}, {"which", "data"}, {"what", "data"},
+			{"what", "information"}, {"collect"},
+		},
+		answer: answerCollect,
+	},
+	{
+		name: "security",
+		keywords: [][]string{
+			{"secure"}, {"security"}, {"protect"}, {"encrypted"}, {"encryption"},
+		},
+		answer: answerSecurity,
+	},
+}
+
+// Ask answers a free-form question from the annotations. ok=false means
+// no supported intent matched the question.
+func Ask(question string, anns []annotate.Annotation) (Answer, bool) {
+	words := map[string]bool{}
+	for _, w := range nlp.Words(question) {
+		words[nlp.Singular(w)] = true
+	}
+	for _, in := range intents {
+		for _, group := range in.keywords {
+			all := true
+			for _, k := range group {
+				if !words[nlp.Singular(k)] {
+					all = false
+					break
+				}
+			}
+			if all {
+				return in.answer(anns), true
+			}
+		}
+	}
+	return Answer{}, false
+}
+
+// Intents lists the supported question families (for --help output).
+func Intents() []string {
+	out := make([]string, len(intents))
+	for i, in := range intents {
+		out[i] = in.name
+	}
+	return out
+}
+
+// ----------------------------------------------------------- answerers
+
+func collectEvidence(anns []annotate.Annotation, match func(annotate.Annotation) bool, cap int) []string {
+	var ev []string
+	seen := map[string]bool{}
+	for _, a := range anns {
+		if !match(a) || a.Context == "" || seen[a.Context] {
+			continue
+		}
+		seen[a.Context] = true
+		ev = append(ev, a.Context)
+		if len(ev) >= cap {
+			break
+		}
+	}
+	return ev
+}
+
+func answerSell(anns []annotate.Annotation) Answer {
+	for _, a := range anns {
+		if a.Aspect == "purposes" && a.Descriptor == "data for sale" {
+			return Answer{
+				Text:      "Yes — the policy explicitly allows selling personal information to third parties.",
+				Evidence:  []string{a.Context},
+				Confident: true,
+			}
+		}
+	}
+	shared := collectEvidence(anns, func(a annotate.Annotation) bool {
+		return a.Aspect == "purposes" && a.Category == "Data sharing"
+	}, 2)
+	if len(shared) > 0 {
+		return Answer{
+			Text:      "The policy does not mention selling data, but it does describe sharing with third parties.",
+			Evidence:  shared,
+			Confident: true,
+		}
+	}
+	return Answer{
+		Text:      "The policy does not mention selling or sharing data with third parties.",
+		Confident: false,
+	}
+}
+
+func answerDelete(anns []annotate.Annotation) Answer {
+	labels := map[string]annotate.Annotation{}
+	for _, a := range anns {
+		if a.Aspect == "rights" && a.Meta == taxonomy.GroupAccess {
+			labels[a.Category] = a
+		}
+	}
+	if a, ok := labels[taxonomy.AccessFullDelete]; ok {
+		return Answer{
+			Text:      "Yes — you can request full deletion of your data.",
+			Evidence:  []string{a.Context},
+			Confident: true,
+		}
+	}
+	if a, ok := labels[taxonomy.AccessPartialDelete]; ok {
+		return Answer{
+			Text:      "Partially — you can delete some data, but the company may retain the rest.",
+			Evidence:  []string{a.Context},
+			Confident: true,
+		}
+	}
+	if a, ok := labels[taxonomy.AccessDeactivate]; ok {
+		return Answer{
+			Text:      "Only deactivation is offered; the company retains your data.",
+			Evidence:  []string{a.Context},
+			Confident: true,
+		}
+	}
+	return Answer{Text: "The policy does not state a deletion right.", Confident: false}
+}
+
+func answerRetention(anns []annotate.Annotation) Answer {
+	for _, a := range anns {
+		if a.Aspect == "handling" && a.Category == taxonomy.RetentionStated && a.Descriptor != "" {
+			return Answer{
+				Text:      fmt.Sprintf("Data is retained for %s.", a.Descriptor),
+				Evidence:  []string{a.Context},
+				Confident: true,
+			}
+		}
+	}
+	for _, a := range anns {
+		if a.Aspect == "handling" && a.Category == taxonomy.RetentionIndefinitely {
+			text := "Some data may be retained indefinitely."
+			if a.Scope == annotate.ScopeAnonymized {
+				text = "Only anonymized/aggregated data is retained indefinitely."
+			}
+			return Answer{Text: text, Evidence: []string{a.Context}, Confident: true}
+		}
+	}
+	for _, a := range anns {
+		if a.Aspect == "handling" && a.Category == taxonomy.RetentionLimited {
+			return Answer{
+				Text:      "Retention is described as limited, but no specific period is stated.",
+				Evidence:  []string{a.Context},
+				Confident: true,
+			}
+		}
+	}
+	return Answer{Text: "The policy does not state a retention period.", Confident: false}
+}
+
+func answerOptOut(anns []annotate.Annotation) Answer {
+	var mechanisms []string
+	var ev []string
+	for _, a := range anns {
+		if a.Aspect == "rights" && a.Meta == taxonomy.GroupChoices {
+			mechanisms = append(mechanisms, a.Category)
+			if a.Context != "" && len(ev) < 3 {
+				ev = append(ev, a.Context)
+			}
+		}
+	}
+	if len(mechanisms) == 0 {
+		return Answer{Text: "The policy does not describe opt-out choices.", Confident: false}
+	}
+	sort.Strings(mechanisms)
+	return Answer{
+		Text:      "Yes — available choices: " + strings.Join(dedupStrings(mechanisms), ", ") + ".",
+		Evidence:  ev,
+		Confident: true,
+	}
+}
+
+func answerCategory(categories ...string) func([]annotate.Annotation) Answer {
+	return func(anns []annotate.Annotation) Answer {
+		want := map[string]bool{}
+		for _, c := range categories {
+			want[c] = true
+		}
+		var found []string
+		ev := collectEvidence(anns, func(a annotate.Annotation) bool {
+			if a.Aspect == "types" && want[a.Category] {
+				found = append(found, a.Descriptor)
+				return true
+			}
+			return false
+		}, 3)
+		if len(found) == 0 {
+			return Answer{
+				Text:      fmt.Sprintf("The policy does not mention collecting %s.", strings.ToLower(strings.Join(categories, " / "))),
+				Confident: false,
+			}
+		}
+		return Answer{
+			Text:      "Yes — the policy mentions collecting: " + strings.Join(dedupStrings(found), ", ") + ".",
+			Evidence:  ev,
+			Confident: true,
+		}
+	}
+}
+
+func answerCollect(anns []annotate.Annotation) Answer {
+	byCat := map[string][]string{}
+	for _, a := range anns {
+		if a.Aspect == "types" {
+			byCat[a.Category] = append(byCat[a.Category], a.Descriptor)
+		}
+	}
+	if len(byCat) == 0 {
+		return Answer{Text: "The policy does not enumerate collected data types.", Confident: false}
+	}
+	var cats []string
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	var parts []string
+	for _, c := range cats {
+		parts = append(parts, fmt.Sprintf("%s (%s)", c, strings.Join(dedupStrings(byCat[c]), ", ")))
+	}
+	return Answer{
+		Text:      "Collected data: " + strings.Join(parts, "; ") + ".",
+		Confident: true,
+	}
+}
+
+func answerSecurity(anns []annotate.Annotation) Answer {
+	var specific []string
+	ev := collectEvidence(anns, func(a annotate.Annotation) bool {
+		if a.Aspect == "handling" && a.Meta == taxonomy.GroupProtection && a.Category != taxonomy.ProtectionGeneric {
+			specific = append(specific, a.Category)
+			return true
+		}
+		return false
+	}, 3)
+	if len(specific) > 0 {
+		return Answer{
+			Text:      "Specific protections stated: " + strings.Join(dedupStrings(specific), ", ") + ".",
+			Evidence:  ev,
+			Confident: true,
+		}
+	}
+	generic := collectEvidence(anns, func(a annotate.Annotation) bool {
+		return a.Aspect == "handling" && a.Category == taxonomy.ProtectionGeneric
+	}, 1)
+	if len(generic) > 0 {
+		return Answer{
+			Text:      "Only a generic security statement is made; no specific measures are described.",
+			Evidence:  generic,
+			Confident: true,
+		}
+	}
+	return Answer{Text: "The policy does not describe data protection measures.", Confident: false}
+}
+
+func dedupStrings(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+
+	"aipan/internal/annotate"
+	"aipan/internal/taxonomy"
+)
+
+func anns() []annotate.Annotation {
+	return []annotate.Annotation{
+		{Aspect: "types", Meta: taxonomy.MetaPhysicalBehavior, Category: "Precise location", Descriptor: "gps location", Text: "gps location", Context: "We collect gps location when enabled."},
+		{Aspect: "types", Meta: taxonomy.MetaPhysicalProfile, Category: "Contact info", Descriptor: "email address", Text: "email address", Context: "We collect your email address."},
+		{Aspect: "purposes", Meta: taxonomy.MetaThirdParty, Category: "Data sharing", Descriptor: "data for sale", Text: "sell your personal information", Context: "We may sell your personal information to partners."},
+		{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionStated, Descriptor: "six (6) years", Text: "six (6) years", RetentionDays: 2190, Context: "We retain data for six (6) years."},
+		{Aspect: "handling", Meta: taxonomy.GroupProtection, Category: taxonomy.ProtectionTransfer, Text: "ssl", Context: "We use SSL encryption."},
+		{Aspect: "rights", Meta: taxonomy.GroupChoices, Category: taxonomy.ChoiceOptOutLink, Text: "unsubscribe link", Context: "Opt out via the unsubscribe link."},
+		{Aspect: "rights", Meta: taxonomy.GroupAccess, Category: taxonomy.AccessFullDelete, Text: "delete all", Context: "You may request that we delete all of your data."},
+	}
+}
+
+func ask(t *testing.T, q string) Answer {
+	t.Helper()
+	a, ok := Ask(q, anns())
+	if !ok {
+		t.Fatalf("no intent matched %q", q)
+	}
+	return a
+}
+
+func TestSellQuestion(t *testing.T) {
+	a := ask(t, "Do they sell my data?")
+	if !a.Confident || !strings.Contains(a.Text, "selling") && !strings.Contains(a.Text, "Yes") {
+		t.Errorf("answer: %+v", a)
+	}
+	if len(a.Evidence) == 0 {
+		t.Error("no evidence cited")
+	}
+}
+
+func TestSellQuestionWithoutSale(t *testing.T) {
+	noSale := []annotate.Annotation{
+		{Aspect: "purposes", Meta: taxonomy.MetaOperations, Category: "Basic functioning", Descriptor: "cust. service"},
+	}
+	a, ok := Ask("is my data sold?", noSale)
+	if !ok {
+		t.Fatal("intent should match")
+	}
+	if a.Confident {
+		t.Errorf("absence of mention should not be confident: %+v", a)
+	}
+}
+
+func TestDeleteQuestion(t *testing.T) {
+	a := ask(t, "Can I delete my account?")
+	if !strings.Contains(a.Text, "full deletion") {
+		t.Errorf("answer: %q", a.Text)
+	}
+}
+
+func TestRetentionQuestion(t *testing.T) {
+	a := ask(t, "How long do you keep my data?")
+	if !strings.Contains(a.Text, "six (6) years") {
+		t.Errorf("answer: %q", a.Text)
+	}
+}
+
+func TestRetentionAnonymizedAnswer(t *testing.T) {
+	a, ok := Ask("how long is data retained?", []annotate.Annotation{
+		{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionIndefinitely,
+			Scope: annotate.ScopeAnonymized, Context: "Aggregated data kept indefinitely."},
+	})
+	if !ok || !strings.Contains(a.Text, "anonymized") {
+		t.Errorf("answer: %+v (ok=%v)", a, ok)
+	}
+}
+
+func TestOptOutQuestion(t *testing.T) {
+	a := ask(t, "Can I opt out of marketing?")
+	if !strings.Contains(a.Text, taxonomy.ChoiceOptOutLink) {
+		t.Errorf("answer: %q", a.Text)
+	}
+}
+
+func TestLocationQuestion(t *testing.T) {
+	a := ask(t, "Do you track my location?")
+	if !strings.Contains(a.Text, "gps location") {
+		t.Errorf("answer: %q", a.Text)
+	}
+}
+
+func TestHealthQuestionNegative(t *testing.T) {
+	a := ask(t, "Do you collect health data?")
+	if a.Confident {
+		t.Errorf("no health annotations; answer should be unconfident: %+v", a)
+	}
+}
+
+func TestSecurityQuestion(t *testing.T) {
+	a := ask(t, "Is my data encrypted?")
+	if !strings.Contains(a.Text, taxonomy.ProtectionTransfer) {
+		t.Errorf("answer: %q", a.Text)
+	}
+}
+
+func TestCollectQuestion(t *testing.T) {
+	a := ask(t, "What data do you collect about me?")
+	if !strings.Contains(a.Text, "Contact info") || !strings.Contains(a.Text, "email address") {
+		t.Errorf("answer: %q", a.Text)
+	}
+}
+
+func TestUnknownQuestion(t *testing.T) {
+	if _, ok := Ask("what is the meaning of life?", anns()); ok {
+		t.Error("nonsense question should not match an intent")
+	}
+}
+
+func TestIntentsListed(t *testing.T) {
+	if len(Intents()) < 6 {
+		t.Errorf("intents = %v", Intents())
+	}
+}

@@ -1,0 +1,287 @@
+// Package report regenerates the paper's evaluation artifacts from a
+// dataset run: Table 1/4 (annotation summaries), Table 2a/5 (data-type
+// coverage by sector), Table 2b (purposes), Table 3 (handling/rights),
+// Table 6 (example annotations), the §3/§4 pipeline funnel, the §4
+// validation (failure audit and precision against the generator's planted
+// ground truth), the §5 distribution claims, and the §6 model comparison.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aipan/internal/annotate"
+	"aipan/internal/nlp"
+	"aipan/internal/stats"
+	"aipan/internal/store"
+	"aipan/internal/taxonomy"
+	"aipan/internal/webgen"
+)
+
+// Report computes tables over a completed dataset.
+type Report struct {
+	Records []store.Record
+	// Gen supplies ground truth for validation; may be nil for datasets
+	// gathered from the real web.
+	Gen *webgen.Generator
+
+	// annotated caches the records with ≥1 annotation (the paper's §5
+	// denominator: 2,529).
+	annotated []*store.Record
+}
+
+// New builds a Report.
+func New(records []store.Record, gen *webgen.Generator) *Report {
+	r := &Report{Records: records, Gen: gen}
+	for i := range r.Records {
+		if r.Records[i].Annotated() {
+			r.annotated = append(r.annotated, &r.Records[i])
+		}
+	}
+	return r
+}
+
+// AnnotatedCount returns the §5 denominator.
+func (r *Report) AnnotatedCount() int { return len(r.annotated) }
+
+// ---------------------------------------------------------- aggregation
+
+// catKey identifies a (meta, category) cell.
+type catKey struct{ meta, cat string }
+
+// descCount is a descriptor with its corpus-wide unique-annotation count.
+type descCount struct {
+	desc  string
+	count int
+}
+
+// aggregate is the corpus-wide rollup for one aspect.
+type aggregate struct {
+	aspect string
+	// total is the count of unique annotations across the corpus.
+	total int
+	// metaTotals / catTotals count unique annotations.
+	metaTotals map[string]int
+	catTotals  map[catKey]int
+	// descTotals ranks descriptors within each category.
+	descTotals map[catKey]map[string]int
+	// domainCats / domainMetaCats record, per record index, the unique
+	// descriptor count per category/meta for coverage and mean±SD.
+	perDomain []domainAgg
+}
+
+type domainAgg struct {
+	sector    string
+	byCat     map[catKey]int
+	byMeta    map[string]int
+	catCount  int // distinct categories mentioned (for §5 distribution)
+	descCount int // distinct descriptors mentioned
+}
+
+// aggregateAspect rolls up one aspect over the annotated records.
+func (r *Report) aggregateAspect(aspect string) *aggregate {
+	a := &aggregate{
+		aspect:     aspect,
+		metaTotals: map[string]int{},
+		catTotals:  map[catKey]int{},
+		descTotals: map[catKey]map[string]int{},
+	}
+	for _, rec := range r.annotated {
+		da := domainAgg{sector: rec.SectorAbbrev, byCat: map[catKey]int{}, byMeta: map[string]int{}}
+		seenDesc := map[string]bool{}
+		for _, ann := range rec.Annotations {
+			if ann.Aspect != aspect {
+				continue
+			}
+			key := catKey{ann.Meta, ann.Category}
+			dk := ann.Descriptor
+			if dk == "" {
+				dk = ann.Category // handling/rights count by label
+			}
+			uniq := key.meta + "|" + key.cat + "|" + dk
+			if seenDesc[uniq] {
+				continue
+			}
+			seenDesc[uniq] = true
+			a.total++
+			a.metaTotals[ann.Meta]++
+			a.catTotals[key]++
+			if a.descTotals[key] == nil {
+				a.descTotals[key] = map[string]int{}
+			}
+			a.descTotals[key][dk]++
+			da.byCat[key]++
+			da.byMeta[ann.Meta]++
+		}
+		da.catCount = len(da.byCat)
+		for _, n := range da.byCat {
+			da.descCount += n
+		}
+		a.perDomain = append(a.perDomain, da)
+	}
+	return a
+}
+
+// topDescriptors returns the n most common descriptors in a category with
+// within-category percentages, ties broken alphabetically.
+func (a *aggregate) topDescriptors(key catKey, n int) []string {
+	m := a.descTotals[key]
+	var ds []descCount
+	total := 0
+	for d, c := range m {
+		ds = append(ds, descCount{d, c})
+		total += c
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].count != ds[j].count {
+			return ds[i].count > ds[j].count
+		}
+		return ds[i].desc < ds[j].desc
+	})
+	if len(ds) > n {
+		ds = ds[:n]
+	}
+	var out []string
+	for _, d := range ds {
+		pct := 0.0
+		if total > 0 {
+			pct = float64(d.count) / float64(total) * 100
+		}
+		out = append(out, fmt.Sprintf("%s (%.1f%%)", d.desc, pct))
+	}
+	return out
+}
+
+// coverageOf computes coverage and the covered-domain descriptor counts
+// for a category (or meta-category when cat == "").
+func (a *aggregate) coverageOf(meta, cat string) (stats.Coverage, []float64, map[string]*stats.SectorStat) {
+	cov := stats.Coverage{Total: len(a.perDomain)}
+	var values []float64
+	sectors := map[string]*stats.SectorStat{}
+	for _, da := range a.perDomain {
+		n := 0
+		if cat == "" {
+			n = da.byMeta[meta]
+		} else {
+			n = da.byCat[catKey{meta, cat}]
+		}
+		ss, ok := sectors[da.sector]
+		if !ok {
+			ss = &stats.SectorStat{Sector: da.sector}
+			sectors[da.sector] = ss
+		}
+		ss.Coverage.Total++
+		if n > 0 {
+			cov.Covered++
+			values = append(values, float64(n))
+			ss.Coverage.Covered++
+			ss.Values = append(ss.Values, float64(n))
+		}
+	}
+	return cov, values, sectors
+}
+
+// sectorSummary renders the paper's "Highest / 2nd / 3rd / Lowest" sector
+// cells.
+func sectorSummary(sectors map[string]*stats.SectorStat, withValues bool, nTop int) []string {
+	ranked := stats.RankSectors(sectors)
+	// Only consider sectors with enough companies for a stable rate.
+	var eligible []stats.SectorStat
+	for _, s := range ranked {
+		if s.Coverage.Total >= 5 {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		eligible = ranked
+	}
+	cell := func(s stats.SectorStat) string {
+		if withValues && len(s.Values) > 0 {
+			return fmt.Sprintf("%s %s %s", s.Sector, s.Coverage, stats.MeanSD(s.Values))
+		}
+		return fmt.Sprintf("%s %s", s.Sector, s.Coverage)
+	}
+	var out []string
+	for i := 0; i < nTop && i < len(eligible); i++ {
+		out = append(out, cell(eligible[i]))
+	}
+	for len(out) < nTop {
+		out = append(out, "-")
+	}
+	if len(eligible) > 0 {
+		out = append(out, cell(eligible[len(eligible)-1]))
+	} else {
+		out = append(out, "-")
+	}
+	return out
+}
+
+// descriptorKeyEqual compares descriptors modulo casing/inflection.
+func descriptorKeyEqual(a, b string) bool {
+	return nlp.NormalizeStemmed(a) == nlp.NormalizeStemmed(b)
+}
+
+// aspectOrder lists the four annotated aspects in Table 1 order.
+var aspectOrder = []string{"types", "purposes", "handling", "rights"}
+
+// labelGroupsFor returns the Table 1 label groups for handling/rights.
+func labelGroupsFor(aspect string) [][]taxonomy.Label {
+	switch aspect {
+	case "handling":
+		return [][]taxonomy.Label{taxonomy.RetentionLabels(), taxonomy.ProtectionLabels()}
+	case "rights":
+		return [][]taxonomy.Label{taxonomy.ChoiceLabels(), taxonomy.AccessLabels()}
+	}
+	return nil
+}
+
+// uniqueAnnotations flattens the per-domain deduped annotations of one
+// aspect (already unique per domain by construction).
+func (r *Report) uniqueAnnotations(aspect string) []annotate.Annotation {
+	var out []annotate.Annotation
+	for _, rec := range r.annotated {
+		for _, a := range rec.Annotations {
+			if a.Aspect == aspect {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// metaOrderTypes preserves the paper's meta-category order.
+var metaOrderTypes = []string{
+	taxonomy.MetaPhysicalProfile, taxonomy.MetaDigitalProfile,
+	taxonomy.MetaBioHealthProfile, taxonomy.MetaFinancialLegal,
+	taxonomy.MetaPhysicalBehavior, taxonomy.MetaDigitalBehavior,
+}
+
+var metaOrderPurposes = []string{
+	taxonomy.MetaOperations, taxonomy.MetaLegal, taxonomy.MetaThirdParty,
+}
+
+// categoriesOfMeta lists categories of a meta in taxonomy order.
+func categoriesOfMeta(cats []taxonomy.Category, meta string) []taxonomy.Category {
+	var out []taxonomy.Category
+	for _, c := range cats {
+		if c.Meta == meta {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// renderCount formats counts with thousands separators like the paper.
+func renderCount(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}

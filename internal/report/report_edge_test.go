@@ -1,0 +1,115 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"aipan/internal/annotate"
+	"aipan/internal/store"
+)
+
+// Edge cases that don't need the pipeline fixture.
+
+func tinyRecords() []store.Record {
+	return []store.Record{
+		{
+			Domain: "a.example.com", Company: "A", SectorAbbrev: "FS",
+			Crawl:      store.CrawlInfo{Success: true},
+			Extraction: store.ExtractionInfo{Success: true},
+			Annotations: []annotate.Annotation{
+				{Aspect: "types", Meta: "Physical profile", Category: "Contact info", Descriptor: "email address", Text: "email address", Context: "ctx"},
+				{Aspect: "handling", Meta: "Data retention", Category: "Stated", Descriptor: "2 years", Text: "2 years", RetentionDays: 730, Context: "ctx"},
+				{Aspect: "handling", Meta: "Data retention", Category: "Indefinitely", Text: "indefinitely", Context: "Aggregated data kept indefinitely.", Scope: annotate.ScopeAnonymized},
+			},
+		},
+		{
+			Domain: "b.example.com", Company: "B", SectorAbbrev: "EN",
+			Crawl: store.CrawlInfo{Success: false, Error: "timeout"},
+		},
+	}
+}
+
+func TestReportWithoutGroundTruth(t *testing.T) {
+	// Real-web datasets have no generator; validation degrades gracefully.
+	r := New(tinyRecords(), nil)
+	if r.AnnotatedCount() != 1 {
+		t.Fatalf("annotated = %d", r.AnnotatedCount())
+	}
+	audit := r.Audit()
+	if audit.CrawlFailures != 0 || len(audit.ByClass) != 0 {
+		t.Errorf("audit without gen should be empty: %+v", audit)
+	}
+	for _, p := range r.PrecisionByAspect() {
+		if p.Total != 0 {
+			t.Errorf("precision without gen scored %d annotations", p.Total)
+		}
+	}
+	for _, p := range r.SampledPrecision(1) {
+		if p.Total != 0 {
+			t.Errorf("sampled precision without gen scored: %+v", p)
+		}
+	}
+	// Tables still render.
+	if out := r.Table1(false).Render(); !strings.Contains(out, "Contact info") {
+		t.Error("Table 1 broken without gen")
+	}
+	if out := r.Table3().Render(); !strings.Contains(out, "Stated") {
+		t.Error("Table 3 broken without gen")
+	}
+}
+
+func TestRetentionAnonymizedCounting(t *testing.T) {
+	r := New(tinyRecords(), nil)
+	s := r.Retention()
+	if s.IndefiniteTotal != 1 || s.IndefiniteAnonymized != 1 {
+		t.Errorf("indefinite counts: %d / %d", s.IndefiniteAnonymized, s.IndefiniteTotal)
+	}
+	if s.MedianDays != 730 {
+		t.Errorf("median = %v", s.MedianDays)
+	}
+	if len(s.MinDomains) != 1 || s.MinDomains[0] != "a.example.com" {
+		t.Errorf("min domains: %v", s.MinDomains)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := New(nil, nil)
+	if r.AnnotatedCount() != 0 {
+		t.Error("empty report annotated count")
+	}
+	if out := r.Table1(false).Render(); out == "" {
+		t.Error("empty Table 1 should still render headers")
+	}
+	d := r.CategoryDistribution()
+	if d.AtLeast3Cats != 0 {
+		t.Errorf("empty distribution: %+v", d)
+	}
+	s := r.Retention()
+	if s.MedianDays != 0 || s.IndefiniteTotal != 0 {
+		t.Errorf("empty retention: %+v", s)
+	}
+}
+
+func TestSectorSummaryTinySectors(t *testing.T) {
+	// Sectors below the 5-company floor still produce cells (fallback to
+	// all ranked sectors) rather than panicking or emitting empties.
+	r := New(tinyRecords(), nil)
+	tab := r.Table2Types(false)
+	for _, row := range tab.Rows {
+		if len(row) != 8 {
+			t.Errorf("row width %d: %v", len(row), row)
+		}
+	}
+}
+
+func TestTable6SkipsContextlessAnnotations(t *testing.T) {
+	recs := tinyRecords()
+	recs[0].Annotations = append(recs[0].Annotations, annotate.Annotation{
+		Aspect: "rights", Meta: "User access", Category: "Edit", Text: "edit",
+	}) // no Context
+	r := New(recs, nil)
+	out := r.Table6(5).Render()
+	if strings.Contains(out, "Edit") {
+		t.Errorf("contextless annotation appeared in Table 6:\n%s", out)
+	}
+}

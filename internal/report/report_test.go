@@ -1,0 +1,293 @@
+package report
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"aipan/internal/core"
+	"aipan/internal/store"
+	"aipan/internal/webgen"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureRep  *Report
+	fixtureErr  error
+)
+
+// fixture runs the pipeline once over a 400-domain slice and shares the
+// dataset across tests.
+func fixture(t *testing.T) *Report {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		p, err := core.New(core.Config{Limit: 400, Workers: 8})
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		res, err := p.Run(context.Background())
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		fixtureRep = New(res.Records, p.Generator())
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureRep
+}
+
+func TestTable1Compact(t *testing.T) {
+	r := fixture(t)
+	out := r.Table1(false).Render()
+	for _, want := range []string{
+		"Types (", "Purposes (", "Handling (", "Rights (",
+		"Physical profile", "Contact info", "Basic functioning",
+		"Data retention", "User access",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out[:min(len(out), 1500)])
+		}
+	}
+}
+
+func TestTable4FullHasAll34Categories(t *testing.T) {
+	r := fixture(t)
+	out := r.Table1(true).Render()
+	for _, cat := range []string{
+		"Vehicle info", "External data", "Fitness & health", "Diagnostic data",
+		"Physical interaction", "Content consumption",
+	} {
+		if !strings.Contains(out, cat) {
+			t.Errorf("Table 4 missing category %q", cat)
+		}
+	}
+}
+
+func TestTable2TypesCoverageShape(t *testing.T) {
+	r := fixture(t)
+	tab := r.Table2Types(false)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table 2a rows = %d, want 6 meta-categories", len(tab.Rows))
+	}
+	// Physical profile coverage must be the ~90%s; Bio/health the ~30%s —
+	// the paper's ordering (92.6% vs 34.5%).
+	var physical, bio string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "Physical profile":
+			physical = row[2]
+		case "Bio/health profile":
+			bio = row[2]
+		}
+	}
+	pv, bv := pctVal(t, physical), pctVal(t, bio)
+	if pv < 80 || pv > 100 {
+		t.Errorf("Physical profile coverage %s out of band (paper 92.6%%)", physical)
+	}
+	if bv < 20 || bv > 50 {
+		t.Errorf("Bio/health coverage %s out of band (paper 34.5%%)", bio)
+	}
+	if pv <= bv {
+		t.Errorf("ordering violated: physical %s <= bio %s", physical, bio)
+	}
+}
+
+func pctVal(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad pct %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTable2Purposes(t *testing.T) {
+	r := fixture(t)
+	tab := r.Table2Purposes()
+	if len(tab.Rows) != 10 { // 3 metas + 7 categories
+		t.Fatalf("Table 2b rows = %d, want 10", len(tab.Rows))
+	}
+	var ops, sharing float64
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "Operations":
+			ops = pctVal(t, row[1])
+		case "- Data sharing":
+			sharing = pctVal(t, row[1])
+		}
+	}
+	if ops < 90 {
+		t.Errorf("Operations coverage %.1f, paper 97.5", ops)
+	}
+	if sharing > 40 {
+		t.Errorf("Data sharing coverage %.1f, paper 26.1", sharing)
+	}
+	if ops <= sharing {
+		t.Error("Operations must dominate Data sharing")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := fixture(t)
+	tab := r.Table3()
+	if len(tab.Rows) != 21 { // 3+7+5+6 labels
+		t.Fatalf("Table 3 rows = %d, want 21", len(tab.Rows))
+	}
+	vals := map[string]float64{}
+	for _, row := range tab.Rows {
+		vals[row[1]] = pctVal(t, row[2])
+	}
+	// Paper's qualitative findings: Limited >> Stated; Generic dominates
+	// protection; opt-out (contact) >> opt-in; Edit is the top access.
+	if vals["Limited"] <= vals["Stated"] {
+		t.Error("Limited retention should dominate Stated")
+	}
+	if vals["Generic"] <= vals["Access limit"] {
+		t.Error("Generic protection should dominate specifics")
+	}
+	if vals["Opt-out via contact"] <= vals["Opt-in"] {
+		t.Error("opt-out should dominate opt-in (§5)")
+	}
+	if vals["Edit"] <= vals["Deactivate"] {
+		t.Error("Edit should dominate Deactivate")
+	}
+}
+
+func TestTable6Examples(t *testing.T) {
+	r := fixture(t)
+	tab := r.Table6(3)
+	if len(tab.Rows) < 8 {
+		t.Fatalf("Table 6 rows = %d, want >= 8", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] == "" || row[4] == "" {
+			t.Errorf("example without text/context: %v", row)
+		}
+	}
+}
+
+func TestAuditMatchesGroundTruth(t *testing.T) {
+	r := fixture(t)
+	fa := r.Audit()
+	if fa.CrawlFailures == 0 {
+		t.Error("no crawl failures in 400-domain sample (expect ~34)")
+	}
+	// Every crawl failure must carry a crawl-failure class.
+	for class, n := range fa.ByClass {
+		if class == webgen.FailVague && n > 0 {
+			t.Error("vague sites should not appear in the failure audit")
+		}
+	}
+}
+
+func TestPrecisionBands(t *testing.T) {
+	r := fixture(t)
+	for _, p := range r.PrecisionByAspect() {
+		if p.Total == 0 {
+			t.Errorf("no annotations scored for %s", p.Aspect)
+			continue
+		}
+		v := p.Value()
+		if v < 0.80 || v > 1.0 {
+			t.Errorf("%s precision %.3f out of plausible band (paper 89.7–97.5%%)", p.Aspect, v)
+		}
+	}
+}
+
+func TestSampledPrecisionRunsAndBounds(t *testing.T) {
+	r := fixture(t)
+	for _, p := range r.SampledPrecision(1) {
+		if p.Total == 0 {
+			t.Errorf("sampled precision for %s scored nothing", p.Aspect)
+		}
+		if p.Correct > p.Total {
+			t.Errorf("impossible precision %d/%d", p.Correct, p.Total)
+		}
+	}
+}
+
+func TestCategoryDistribution(t *testing.T) {
+	r := fixture(t)
+	d := r.CategoryDistribution()
+	if d.AtLeast3Cats < 0.85 {
+		t.Errorf("≥3 categories = %.3f, paper 0.935", d.AtLeast3Cats)
+	}
+	if !(d.AtLeast3Cats > d.Over13Cats && d.Over13Cats > d.Over22Cats && d.Over22Cats >= d.Over25Cats) {
+		t.Errorf("distribution not monotone: %+v", d)
+	}
+	if d.CDMeanCats <= 10 {
+		t.Errorf("CD mean categories = %.1f, paper 16.3", d.CDMeanCats)
+	}
+}
+
+func TestRetentionSummary(t *testing.T) {
+	r := fixture(t)
+	s := r.Retention()
+	if s.MedianDays < 180 || s.MedianDays > 1825 {
+		t.Errorf("median stated retention %.0f days, paper ~730", s.MedianDays)
+	}
+	if s.ReadWriteAccess <= s.ReadOnlyAccess {
+		t.Error("read/write access should dominate read-only (§5: 77.5% vs 0.5%)")
+	}
+	if s.SpecificProtection <= 0 || s.SpecificProtection >= 1 {
+		t.Errorf("specific protection fraction = %.3f", s.SpecificProtection)
+	}
+}
+
+func TestFunnelTableRenders(t *testing.T) {
+	out := FunnelTable(FunnelNumbers{
+		Companies: 2916, Domains: 2892, CrawlOK: 2648, ExtractOK: 2545,
+		Annotated: 2529, AvgPagesCrawled: 4.5, AvgPrivacyPages: 1.9,
+		WellKnownPolicy: 1532, WellKnownPriv: 1383, MedianWords: 2590,
+		FallbackUsed: 935,
+	}).Render()
+	for _, want := range []string{"2916", "2648", "91.6%", "2671"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("funnel table missing %q", want)
+		}
+	}
+}
+
+func TestRecordsBySector(t *testing.T) {
+	r := fixture(t)
+	by := RecordsBySector(r.Records)
+	total := 0
+	for _, recs := range by {
+		total += len(recs)
+	}
+	if total != len(r.Records) {
+		t.Errorf("sector grouping lost records: %d vs %d", total, len(r.Records))
+	}
+}
+
+func TestReportWithDatasetRoundTrip(t *testing.T) {
+	// The report must work identically over a dataset read back from disk.
+	r := fixture(t)
+	path := t.TempDir() + "/ds.jsonl"
+	if err := store.WriteJSONL(path, r.Records); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.ReadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := New(recs, r.Gen)
+	if r2.AnnotatedCount() != r.AnnotatedCount() {
+		t.Error("annotated count changed across persistence")
+	}
+	if r2.Table1(false).Render() != r.Table1(false).Render() {
+		t.Error("Table 1 changed across persistence")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+// Package risk implements the downstream analyses the paper's conclusion
+// motivates (§6): once policies are normalized annotations, "a variety of
+// statistical analyses such as trends, policy peer group comparisons,
+// policy quality evaluations, as well as legal exposure risk analysis"
+// become straightforward. The scorer turns a company's annotations into
+// an interpretable privacy-exposure score with peer-group (sector)
+// percentiles.
+package risk
+
+import (
+	"fmt"
+	"sort"
+
+	"aipan/internal/stats"
+	"aipan/internal/store"
+	"aipan/internal/taxonomy"
+)
+
+// Weights parameterizes the scoring model. All weights are in score
+// points; exposures add, safeguards subtract.
+type Weights struct {
+	// CategorySensitivity scores each collected data-type category; unseen
+	// categories fall back to DefaultCategory.
+	CategorySensitivity map[string]float64
+	DefaultCategory     float64
+	// PurposeExposure scores collection purposes (third-party use weighs
+	// most).
+	PurposeExposure map[string]float64
+	// SellingPenalty applies when data is explicitly sold ("data for
+	// sale").
+	SellingPenalty float64
+	// ProtectionCredit rewards each distinct specific protection practice.
+	ProtectionCredit float64
+	// RightsCredit rewards each distinct user-access right.
+	RightsCredit float64
+	// OptInCredit rewards consent-before-collection.
+	OptInCredit float64
+	// StatedRetentionCredit rewards an explicit retention period;
+	// IndefiniteRetentionPenalty punishes indefinite retention.
+	StatedRetentionCredit      float64
+	IndefiniteRetentionPenalty float64
+	// VaguenessPenalty applies when a policy has collection but no
+	// handling or rights disclosures at all.
+	VaguenessPenalty float64
+}
+
+// DefaultWeights returns a sensitivity model aligned with common
+// regulatory treatment: biometric/health/financial data are "special
+// category"-grade; behavioral tracking is mid-tier; operational contact
+// data is low.
+func DefaultWeights() Weights {
+	return Weights{
+		CategorySensitivity: map[string]float64{
+			"Biometric data":          5,
+			"Medical info":            5,
+			"Fitness & health":        4,
+			"Physical characteristic": 3,
+			"Social security number":  5,
+			"Personal identifier":     3,
+			"Financial info":          4,
+			"Financial capability":    4,
+			"Insurance info":          3,
+			"Legal info":              4,
+			"Precise location":        4,
+			"Approximate location":    2,
+			"Travel data":             2,
+			"Physical interaction":    2,
+			"Contact info":            1,
+			"Professional info":       2,
+			"Demographic info":        2,
+			"Educational info":        2,
+			"Vehicle info":            2,
+			"Device info":             1,
+			"Online identifier":       1,
+			"Account info":            2,
+			"Network connectivity":    1,
+			"Social media data":       2,
+			"External data":           3,
+			"Internet usage":          2,
+			"Tracking data":           2,
+			"Product/service usage":   1,
+			"Transaction info":        2,
+			"Preferences":             1,
+			"Content generation":      2,
+			"Communication data":      3,
+			"Feedback data":           1,
+			"Content consumption":     2,
+			"Diagnostic data":         1,
+		},
+		DefaultCategory: 2,
+		PurposeExposure: map[string]float64{
+			"Advertising & sales":  3,
+			"Data sharing":         4,
+			"Analytics & research": 1,
+		},
+		SellingPenalty:             6,
+		ProtectionCredit:           1.5,
+		RightsCredit:               1,
+		OptInCredit:                2,
+		StatedRetentionCredit:      1.5,
+		IndefiniteRetentionPenalty: 2,
+		VaguenessPenalty:           4,
+	}
+}
+
+// Score is one company's privacy-exposure assessment.
+type Score struct {
+	Domain  string
+	Company string
+	Sector  string
+	// Collection is the data-sensitivity exposure (sum of distinct
+	// category sensitivities).
+	Collection float64
+	// Purpose is the third-party/analytics exposure.
+	Purpose float64
+	// Safeguards is the credit earned from protections, rights, opt-in,
+	// and stated retention (positive = good).
+	Safeguards float64
+	// Penalties collects selling/indefinite-retention/vagueness hits.
+	Penalties float64
+	// Total = Collection + Purpose + Penalties − Safeguards, floored at 0.
+	Total float64
+	// SectorPercentile ranks Total within the company's sector
+	// (1.0 = riskiest in peer group). Filled by ScoreAll.
+	SectorPercentile float64
+}
+
+// ScoreRecord scores one annotated dataset record.
+func ScoreRecord(rec *store.Record, w Weights) Score {
+	s := Score{Domain: rec.Domain, Company: rec.Company, Sector: rec.SectorAbbrev}
+	seenCat := map[string]bool{}
+	seenPurpose := map[string]bool{}
+	protections := map[string]bool{}
+	rights := map[string]bool{}
+	var optIn, statedRetention, indefinite, selling bool
+	var anyHandling, anyRights bool
+
+	for _, a := range rec.Annotations {
+		switch a.Aspect {
+		case "types":
+			if !seenCat[a.Category] {
+				seenCat[a.Category] = true
+				if v, ok := w.CategorySensitivity[a.Category]; ok {
+					s.Collection += v
+				} else {
+					s.Collection += w.DefaultCategory
+				}
+			}
+		case "purposes":
+			if !seenPurpose[a.Category] {
+				seenPurpose[a.Category] = true
+				s.Purpose += w.PurposeExposure[a.Category]
+			}
+			if a.Descriptor == "data for sale" {
+				selling = true
+			}
+		case "handling":
+			anyHandling = true
+			switch {
+			case a.Meta == taxonomy.GroupProtection && a.Category != taxonomy.ProtectionGeneric:
+				protections[a.Category] = true
+			case a.Category == taxonomy.RetentionStated:
+				statedRetention = true
+			case a.Category == taxonomy.RetentionIndefinitely:
+				indefinite = true
+			}
+		case "rights":
+			anyRights = true
+			if a.Meta == taxonomy.GroupAccess {
+				rights[a.Category] = true
+			}
+			if a.Category == taxonomy.ChoiceOptIn {
+				optIn = true
+			}
+		}
+	}
+
+	s.Safeguards = float64(len(protections))*w.ProtectionCredit +
+		float64(len(rights))*w.RightsCredit
+	if optIn {
+		s.Safeguards += w.OptInCredit
+	}
+	if statedRetention {
+		s.Safeguards += w.StatedRetentionCredit
+	}
+	if selling {
+		s.Penalties += w.SellingPenalty
+	}
+	if indefinite {
+		s.Penalties += w.IndefiniteRetentionPenalty
+	}
+	if len(seenCat) > 0 && !anyHandling && !anyRights {
+		s.Penalties += w.VaguenessPenalty
+	}
+	s.Total = s.Collection + s.Purpose + s.Penalties - s.Safeguards
+	if s.Total < 0 {
+		s.Total = 0
+	}
+	return s
+}
+
+// ScoreAll scores every annotated record and fills sector percentiles,
+// returning scores sorted by Total descending.
+func ScoreAll(records []store.Record, w Weights) []Score {
+	var scores []Score
+	bySector := map[string][]int{}
+	for i := range records {
+		if !records[i].Annotated() {
+			continue
+		}
+		s := ScoreRecord(&records[i], w)
+		bySector[s.Sector] = append(bySector[s.Sector], len(scores))
+		scores = append(scores, s)
+	}
+	for _, idxs := range bySector {
+		sorted := append([]int(nil), idxs...)
+		sort.Slice(sorted, func(a, b int) bool {
+			return scores[sorted[a]].Total < scores[sorted[b]].Total
+		})
+		n := len(sorted)
+		for rank, i := range sorted {
+			if n > 1 {
+				scores[i].SectorPercentile = float64(rank) / float64(n-1)
+			} else {
+				scores[i].SectorPercentile = 0.5
+			}
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Total != scores[j].Total {
+			return scores[i].Total > scores[j].Total
+		}
+		return scores[i].Domain < scores[j].Domain
+	})
+	return scores
+}
+
+// SectorTable summarizes exposure by sector (the paper's peer-group
+// comparison).
+func SectorTable(scores []Score) *stats.Table {
+	bySector := map[string][]float64{}
+	for _, s := range scores {
+		bySector[s.Sector] = append(bySector[s.Sector], s.Total)
+	}
+	type row struct {
+		sector string
+		mean   float64
+		vals   []float64
+	}
+	var rows []row
+	for sec, vals := range bySector {
+		rows = append(rows, row{sec, stats.Mean(vals), vals})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mean > rows[j].mean })
+	t := &stats.Table{
+		Title:   "Privacy-exposure by sector (peer-group comparison)",
+		Headers: []string{"Sector", "Companies", "Mean score", "Median", "P90"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.sector,
+			fmt.Sprintf("%d", len(r.vals)),
+			fmt.Sprintf("%.1f", r.mean),
+			fmt.Sprintf("%.1f", stats.Median(r.vals)),
+			fmt.Sprintf("%.1f", stats.Quantile(r.vals, 0.9)))
+	}
+	return t
+}
+
+// TopTable lists the n riskiest companies.
+func TopTable(scores []Score, n int) *stats.Table {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Top %d privacy-exposure scores", n),
+		Headers: []string{"Company", "Sector", "Collection", "Purpose", "Safeguards", "Penalties", "Total", "Sector pct"},
+	}
+	for i, s := range scores {
+		if i >= n {
+			break
+		}
+		t.AddRow(s.Company, s.Sector,
+			fmt.Sprintf("%.1f", s.Collection),
+			fmt.Sprintf("%.1f", s.Purpose),
+			fmt.Sprintf("%.1f", s.Safeguards),
+			fmt.Sprintf("%.1f", s.Penalties),
+			fmt.Sprintf("%.1f", s.Total),
+			fmt.Sprintf("%.2f", s.SectorPercentile))
+	}
+	return t
+}

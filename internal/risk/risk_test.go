@@ -1,0 +1,161 @@
+package risk
+
+import (
+	"strings"
+	"testing"
+
+	"aipan/internal/annotate"
+	"aipan/internal/store"
+)
+
+func recordWith(anns ...annotate.Annotation) store.Record {
+	return store.Record{
+		Domain: "x.example.com", Company: "X Corp", Sector: "Financials",
+		SectorAbbrev: "FS", Annotations: anns,
+	}
+}
+
+func typeAnn(cat string) annotate.Annotation {
+	return annotate.Annotation{Aspect: "types", Meta: "m", Category: cat, Descriptor: "d", Text: "t"}
+}
+
+func TestSensitiveDataScoresHigher(t *testing.T) {
+	w := DefaultWeights()
+	low := recordWith(typeAnn("Contact info"))
+	high := recordWith(typeAnn("Biometric data"), typeAnn("Medical info"))
+	sl := ScoreRecord(&low, w)
+	sh := ScoreRecord(&high, w)
+	if sh.Total <= sl.Total {
+		t.Errorf("biometric+medical (%.1f) should outscore contact info (%.1f)", sh.Total, sl.Total)
+	}
+}
+
+func TestDuplicateCategoriesCountOnce(t *testing.T) {
+	w := DefaultWeights()
+	one := recordWith(typeAnn("Medical info"))
+	two := recordWith(typeAnn("Medical info"), typeAnn("Medical info"))
+	if ScoreRecord(&one, w).Collection != ScoreRecord(&two, w).Collection {
+		t.Error("duplicate category annotations should not add exposure")
+	}
+}
+
+func TestSafeguardsReduceScore(t *testing.T) {
+	w := DefaultWeights()
+	bare := recordWith(typeAnn("Financial info"))
+	guarded := recordWith(
+		typeAnn("Financial info"),
+		annotate.Annotation{Aspect: "handling", Meta: "Data protection", Category: "Secure storage"},
+		annotate.Annotation{Aspect: "handling", Meta: "Data retention", Category: "Stated", RetentionDays: 730},
+		annotate.Annotation{Aspect: "rights", Meta: "User access", Category: "Full delete"},
+		annotate.Annotation{Aspect: "rights", Meta: "User choices", Category: "Opt-in"},
+	)
+	sb := ScoreRecord(&bare, w)
+	sg := ScoreRecord(&guarded, w)
+	if sg.Total >= sb.Total {
+		t.Errorf("safeguarded policy (%.1f) should score below bare policy (%.1f)", sg.Total, sb.Total)
+	}
+	if sg.Safeguards <= 0 {
+		t.Error("safeguards not credited")
+	}
+	// The bare policy collects with no handling/rights at all → vagueness.
+	if sb.Penalties < w.VaguenessPenalty {
+		t.Errorf("vagueness penalty missing: %.1f", sb.Penalties)
+	}
+}
+
+func TestSellingAndIndefinitePenalties(t *testing.T) {
+	w := DefaultWeights()
+	seller := recordWith(
+		typeAnn("Contact info"),
+		annotate.Annotation{Aspect: "purposes", Meta: "Third-party", Category: "Data sharing", Descriptor: "data for sale"},
+		annotate.Annotation{Aspect: "handling", Meta: "Data retention", Category: "Indefinitely"},
+	)
+	s := ScoreRecord(&seller, w)
+	if s.Penalties < w.SellingPenalty+w.IndefiniteRetentionPenalty {
+		t.Errorf("penalties = %.1f", s.Penalties)
+	}
+}
+
+func TestTotalNeverNegative(t *testing.T) {
+	w := DefaultWeights()
+	rec := recordWith(
+		annotate.Annotation{Aspect: "rights", Meta: "User access", Category: "Edit"},
+		annotate.Annotation{Aspect: "rights", Meta: "User access", Category: "View"},
+		annotate.Annotation{Aspect: "rights", Meta: "User access", Category: "Export"},
+		annotate.Annotation{Aspect: "handling", Meta: "Data protection", Category: "Secure storage"},
+		annotate.Annotation{Aspect: "handling", Meta: "Data protection", Category: "Access limit"},
+	)
+	if s := ScoreRecord(&rec, w); s.Total < 0 {
+		t.Errorf("total = %.1f", s.Total)
+	}
+}
+
+func TestScoreAllPercentilesAndOrdering(t *testing.T) {
+	w := DefaultWeights()
+	records := []store.Record{
+		{Domain: "a.example.com", Company: "A", SectorAbbrev: "FS",
+			Annotations: []annotate.Annotation{typeAnn("Biometric data"), typeAnn("Medical info"), typeAnn("Financial info")}},
+		{Domain: "b.example.com", Company: "B", SectorAbbrev: "FS",
+			Annotations: []annotate.Annotation{typeAnn("Contact info")}},
+		{Domain: "c.example.com", Company: "C", SectorAbbrev: "IT",
+			Annotations: []annotate.Annotation{typeAnn("Tracking data")}},
+		{Domain: "unannotated.example.com", Company: "U", SectorAbbrev: "IT"},
+	}
+	scores := ScoreAll(records, w)
+	if len(scores) != 3 {
+		t.Fatalf("scores = %d, want 3 (unannotated excluded)", len(scores))
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1].Total < scores[i].Total {
+			t.Error("not sorted descending")
+		}
+	}
+	// Within FS, A must rank above B.
+	var pa, pb float64
+	for _, s := range scores {
+		switch s.Company {
+		case "A":
+			pa = s.SectorPercentile
+		case "B":
+			pb = s.SectorPercentile
+		}
+	}
+	if pa <= pb {
+		t.Errorf("A percentile %.2f should exceed B %.2f", pa, pb)
+	}
+}
+
+func TestTables(t *testing.T) {
+	w := DefaultWeights()
+	records := []store.Record{
+		{Domain: "a.example.com", Company: "A", SectorAbbrev: "FS",
+			Annotations: []annotate.Annotation{typeAnn("Biometric data")}},
+		{Domain: "b.example.com", Company: "B", SectorAbbrev: "IT",
+			Annotations: []annotate.Annotation{typeAnn("Contact info")}},
+	}
+	scores := ScoreAll(records, w)
+	sec := SectorTable(scores).Render()
+	if !strings.Contains(sec, "FS") || !strings.Contains(sec, "IT") {
+		t.Errorf("sector table:\n%s", sec)
+	}
+	top := TopTable(scores, 1).Render()
+	if !strings.Contains(top, "A") || strings.Contains(top, "\nB") {
+		t.Errorf("top table:\n%s", top)
+	}
+}
+
+func TestEveryTaxonomyCategoryWeighted(t *testing.T) {
+	w := DefaultWeights()
+	// Every one of the 34 categories should have an explicit sensitivity
+	// (the fallback exists for zero-shot categories only).
+	missing := 0
+	for cat := range w.CategorySensitivity {
+		if w.CategorySensitivity[cat] <= 0 {
+			t.Errorf("category %q has non-positive weight", cat)
+		}
+	}
+	if len(w.CategorySensitivity) < 34 {
+		missing = 34 - len(w.CategorySensitivity)
+		t.Errorf("%d categories missing explicit sensitivity", missing)
+	}
+}

@@ -1,0 +1,120 @@
+package russell
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestUniverseCardinalities(t *testing.T) {
+	u := Universe(3000)
+	if len(u) != NumCompanies {
+		t.Fatalf("companies = %d, want %d", len(u), NumCompanies)
+	}
+	domains := UniqueDomains(u)
+	if len(domains) != NumDomains {
+		t.Fatalf("unique domains = %d, want %d", len(domains), NumDomains)
+	}
+}
+
+func TestUniverseDeterminism(t *testing.T) {
+	a := Universe(3000)
+	b := Universe(3000)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed must give identical universes")
+	}
+	c := Universe(42)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestAllElevenSectorsPresent(t *testing.T) {
+	u := Universe(3000)
+	bySector := map[string]int{}
+	for _, c := range u {
+		bySector[c.Sector]++
+	}
+	if len(bySector) != 11 {
+		t.Fatalf("got %d sectors, want 11: %v", len(bySector), bySector)
+	}
+	for _, s := range Sectors() {
+		if bySector[s] < 50 {
+			t.Errorf("sector %s has only %d companies", s, bySector[s])
+		}
+	}
+}
+
+func TestAbbrev(t *testing.T) {
+	want := map[string]string{
+		ConsumerDiscretionary: "CD", ConsumerStaples: "CS", Energy: "EN",
+		Financials: "FS", HealthCare: "HC", Industrials: "IN",
+		InformationTechnology: "IT", Materials: "MT", RealEstate: "RE",
+		Communication: "TC", Utilities: "UT",
+	}
+	for s, a := range want {
+		if got := Abbrev(s); got != a {
+			t.Errorf("Abbrev(%s) = %s, want %s", s, got, a)
+		}
+	}
+	if Abbrev("bogus") != "??" {
+		t.Error("unknown sector should map to ??")
+	}
+}
+
+func TestDuplicateListingsShareDomain(t *testing.T) {
+	u := Universe(3000)
+	byDomain := map[string][]Company{}
+	for _, c := range u {
+		byDomain[c.Domain] = append(byDomain[c.Domain], c)
+	}
+	nDup := 0
+	for _, cs := range byDomain {
+		if len(cs) == 2 {
+			nDup++
+			if cs[0].Ticker == cs[1].Ticker {
+				t.Errorf("duplicate listing with identical ticker: %+v", cs)
+			}
+			if cs[0].Sector != cs[1].Sector || cs[0].Name != cs[1].Name {
+				t.Errorf("share classes must share name/sector: %+v", cs)
+			}
+		} else if len(cs) > 2 {
+			t.Errorf("domain %s has %d listings", cs[0].Domain, len(cs))
+		}
+	}
+	if nDup != NumCompanies-NumDomains {
+		t.Errorf("duplicate domains = %d, want %d", nDup, NumCompanies-NumDomains)
+	}
+}
+
+func TestUniqueTickersAndNames(t *testing.T) {
+	u := Universe(3000)
+	tickers := map[string]bool{}
+	for _, c := range u {
+		if tickers[c.Ticker] {
+			t.Errorf("duplicate ticker %s", c.Ticker)
+		}
+		tickers[c.Ticker] = true
+		if c.Name == "" || c.Domain == "" {
+			t.Errorf("incomplete company: %+v", c)
+		}
+		if !strings.HasSuffix(c.Domain, ".example.com") {
+			t.Errorf("domain %q not under .example.com", c.Domain)
+		}
+	}
+}
+
+func TestUniqueDomainsSorted(t *testing.T) {
+	ds := UniqueDomains(Universe(3000))
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Domain >= ds[i].Domain {
+			t.Fatal("domains not sorted")
+		}
+	}
+}
+
+func BenchmarkUniverse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Universe(3000)
+	}
+}

@@ -1,0 +1,137 @@
+// Package search simulates the domain-discovery step of §3.1: the paper
+// retrieves the first Google result for each company name and manually
+// reviews the hits. The simulated engine indexes the synthetic universe,
+// returns the right domain for almost every query, and injects a small,
+// deterministic error rate (aggregator/directory sites outranking the
+// company) that the review step then corrects — the same
+// search-then-review workflow over the same interfaces.
+package search
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"aipan/internal/russell"
+)
+
+// errRate is the fraction of queries whose first result is a wrong
+// (directory) domain before manual review.
+const errRate = 0.02
+
+// Result is one ranked hit.
+type Result struct {
+	Domain string
+	Title  string
+}
+
+// Engine is the simulated web-search index.
+type Engine struct {
+	byName map[string]string // normalized company name → domain
+	seed   int64
+}
+
+// NewEngine indexes the universe.
+func NewEngine(companies []russell.Company, seed int64) *Engine {
+	e := &Engine{byName: make(map[string]string, len(companies)), seed: seed}
+	for _, c := range companies {
+		e.byName[normalize(c.Name)] = c.Domain
+	}
+	return e
+}
+
+// Search returns ranked results for a query. The first result is the
+// company's domain except for the deterministic error cases, where a
+// directory site ranks first.
+func (e *Engine) Search(query string) []Result {
+	key := normalize(query)
+	domain, ok := e.byName[key]
+	if !ok {
+		return nil
+	}
+	if e.isErrorCase(key) {
+		return []Result{
+			{Domain: "corporate-directory.example.net", Title: query + " | Company Profile"},
+			{Domain: domain, Title: query + " | Official Site"},
+		}
+	}
+	return []Result{{Domain: domain, Title: query + " | Official Site"}}
+}
+
+// FirstResult mirrors the paper's "first Google search result" usage.
+func (e *Engine) FirstResult(query string) (string, bool) {
+	rs := e.Search(query)
+	if len(rs) == 0 {
+		return "", false
+	}
+	return rs[0].Domain, true
+}
+
+func (e *Engine) isErrorCase(key string) bool {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	var seedBytes [8]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(e.seed >> (8 * i))
+	}
+	h.Write(seedBytes[:])
+	return float64(h.Sum64()%1e6)/1e6 < errRate
+}
+
+// Resolution is the reviewed outcome of resolving the whole universe.
+type Resolution struct {
+	// Domains is the deduplicated domain list (paper: 2,892).
+	Domains []russell.DomainInfo
+	// Corrected counts first results fixed by manual review.
+	Corrected int
+	// Unresolved counts companies with no search result at all.
+	Unresolved int
+}
+
+// ResolveUniverse runs search + manual review over all companies,
+// deduplicating the domains (GOOG/GOOGL-style duplicates collapse here).
+func ResolveUniverse(e *Engine, companies []russell.Company) Resolution {
+	var res Resolution
+	byDomain := map[string]*russell.DomainInfo{}
+	var order []string
+	for _, c := range companies {
+		first, ok := e.FirstResult(c.Name)
+		if !ok {
+			res.Unresolved++
+			continue
+		}
+		// Manual review: an analyst checks the hit against the company and
+		// replaces obvious directory/aggregator results with the official
+		// site (the second hit).
+		if looksLikeDirectory(first) {
+			res.Corrected++
+			for _, r := range e.Search(c.Name)[1:] {
+				if !looksLikeDirectory(r.Domain) {
+					first = r.Domain
+					break
+				}
+			}
+		}
+		d, ok := byDomain[first]
+		if !ok {
+			d = &russell.DomainInfo{Domain: first, Sector: c.Sector}
+			byDomain[first] = d
+			order = append(order, first)
+		}
+		d.Companies = append(d.Companies, c)
+	}
+	sort.Strings(order)
+	for _, dom := range order {
+		res.Domains = append(res.Domains, *byDomain[dom])
+	}
+	return res
+}
+
+// looksLikeDirectory flags aggregator domains the reviewers would reject.
+func looksLikeDirectory(domain string) bool {
+	return strings.Contains(domain, "directory") || strings.Contains(domain, "wiki")
+}
+
+func normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}

@@ -1,0 +1,84 @@
+package search
+
+import (
+	"testing"
+
+	"aipan/internal/russell"
+)
+
+func TestFirstResultResolvesCompanies(t *testing.T) {
+	u := russell.Universe(3000)
+	e := NewEngine(u, 3000)
+	hits := 0
+	for _, c := range u[:200] {
+		d, ok := e.FirstResult(c.Name)
+		if !ok {
+			t.Errorf("no result for %q", c.Name)
+			continue
+		}
+		if d == c.Domain {
+			hits++
+		}
+	}
+	if hits < 190 {
+		t.Errorf("only %d/200 first results correct; error rate too high", hits)
+	}
+	if hits == 200 {
+		t.Log("note: no injected errors in this sample (possible but unlikely)")
+	}
+}
+
+func TestSearchUnknownCompany(t *testing.T) {
+	e := NewEngine(russell.Universe(3000), 3000)
+	if _, ok := e.FirstResult("Totally Unknown Megacorp LLC"); ok {
+		t.Error("unknown company should not resolve")
+	}
+}
+
+func TestResolveUniverse(t *testing.T) {
+	u := russell.Universe(3000)
+	e := NewEngine(u, 3000)
+	res := ResolveUniverse(e, u)
+	if len(res.Domains) != russell.NumDomains {
+		t.Errorf("resolved %d domains, want %d", len(res.Domains), russell.NumDomains)
+	}
+	if res.Unresolved != 0 {
+		t.Errorf("unresolved = %d", res.Unresolved)
+	}
+	// Manual review corrected the directory-site hits: every domain in the
+	// output must be a real company domain.
+	for _, d := range res.Domains {
+		if looksLikeDirectory(d.Domain) {
+			t.Errorf("directory domain %s survived review", d.Domain)
+		}
+	}
+	// Duplicate listings collapse: total companies > total domains.
+	total := 0
+	for _, d := range res.Domains {
+		total += len(d.Companies)
+	}
+	if total != russell.NumCompanies {
+		t.Errorf("companies attached = %d, want %d", total, russell.NumCompanies)
+	}
+}
+
+func TestReviewCorrectsDirectoryHits(t *testing.T) {
+	u := russell.Universe(3000)
+	e := NewEngine(u, 3000)
+	res := ResolveUniverse(e, u)
+	if res.Corrected == 0 {
+		t.Error("expected some corrected hits (errRate 2%)")
+	}
+	if res.Corrected > 150 {
+		t.Errorf("corrected = %d, far above the 2%% target", res.Corrected)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	u := russell.Universe(3000)
+	a := ResolveUniverse(NewEngine(u, 3000), u)
+	b := ResolveUniverse(NewEngine(u, 3000), u)
+	if a.Corrected != b.Corrected || len(a.Domains) != len(b.Domains) {
+		t.Error("resolution not deterministic")
+	}
+}

@@ -1,0 +1,237 @@
+// Package segment implements the paper's two-step segmentation of privacy
+// policies (§3.2.1, Appendix B): (1) detect headings (<h1>..<h6> plus
+// standalone bold lines), build a table of contents, and have the chatbot
+// label each heading with the nine aspects, assigning every body line to
+// the first heading preceding it; (2) if that fails to surface any core
+// aspect, fall back to having the chatbot label the entire text line by
+// line.
+package segment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"aipan/internal/chatbot"
+	"aipan/internal/taxonomy"
+	"aipan/internal/textify"
+)
+
+// minHeadings is the Appendix B threshold: heading-based segmentation only
+// runs when a page contains more than five headings.
+const minHeadings = 5
+
+// Heading is one table-of-contents entry.
+type Heading struct {
+	// Line is the heading's rendered line (with its original number).
+	Line textify.Line
+	// Depth is the 0-based indentation depth in the section hierarchy.
+	Depth int
+}
+
+// Result is a segmented document.
+type Result struct {
+	// Sections maps each aspect to the body lines assigned to it, in
+	// document order, keeping original line numbers.
+	Sections map[taxonomy.Aspect][]textify.Line
+	// Headings is the table of contents (empty when the fallback ran).
+	Headings []Heading
+	// UsedFallback reports that step 2 (full-text analysis) produced the
+	// result.
+	UsedFallback bool
+}
+
+// Success reports a successful extraction per §3.2.1: text was found for
+// at least one aspect other than audiences, changes, or other.
+func (r *Result) Success() bool {
+	for a, lines := range r.Sections {
+		switch a {
+		case taxonomy.AspectAudiences, taxonomy.AspectChanges, taxonomy.AspectOther:
+			continue
+		}
+		if len(lines) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreWordCount counts words across all aspects except audiences, changes
+// and other (the paper's policy-length metric; median 2,671 words).
+func (r *Result) CoreWordCount() int {
+	seen := map[int]bool{}
+	n := 0
+	for a, lines := range r.Sections {
+		switch a {
+		case taxonomy.AspectAudiences, taxonomy.AspectChanges, taxonomy.AspectOther:
+			continue
+		}
+		for _, l := range lines {
+			if !seen[l.Number] {
+				seen[l.Number] = true
+				n += len(strings.Fields(l.Text))
+			}
+		}
+	}
+	return n
+}
+
+// NumberedText renders an aspect's section in the "[n] text" prompt
+// format, preserving original line numbers so downstream annotations refer
+// back to the source document.
+func (r *Result) NumberedText(a taxonomy.Aspect) string {
+	var b strings.Builder
+	for _, l := range r.Sections[a] {
+		fmt.Fprintf(&b, "[%d] %s\n", l.Number, l.Text)
+	}
+	return b.String()
+}
+
+// DetectHeadings extracts the table of contents from a rendered document,
+// recognizing the hierarchy implied by heading levels (<h1>..<h6> followed
+// by bold text, Appendix B).
+func DetectHeadings(doc *textify.Document) []Heading {
+	var hs []Heading
+	var levelStack []int
+	for _, l := range doc.Lines {
+		if !l.IsHeading() {
+			continue
+		}
+		lvl := l.EffectiveLevel()
+		// Depth = number of strictly smaller levels on the stack.
+		for len(levelStack) > 0 && levelStack[len(levelStack)-1] >= lvl {
+			levelStack = levelStack[:len(levelStack)-1]
+		}
+		depth := len(levelStack)
+		levelStack = append(levelStack, lvl)
+		hs = append(hs, Heading{Line: l, Depth: depth})
+	}
+	return hs
+}
+
+// tocText renders the numbered, indented table of contents for the
+// heading-labeling prompt.
+func tocText(hs []Heading) string {
+	var b strings.Builder
+	for _, h := range hs {
+		fmt.Fprintf(&b, "[%d] %s%s\n", h.Line.Number, strings.Repeat("  ", h.Depth), h.Line.Text)
+	}
+	return b.String()
+}
+
+// Segment runs the two-step cascade over a rendered page.
+func Segment(ctx context.Context, bot chatbot.Chatbot, doc *textify.Document) (*Result, error) {
+	if len(doc.Lines) == 0 {
+		return &Result{Sections: map[taxonomy.Aspect][]textify.Line{}}, nil
+	}
+	hs := DetectHeadings(doc)
+	if len(hs) > minHeadings {
+		res, err := segmentByHeadings(ctx, bot, doc, hs)
+		if err != nil {
+			return nil, err
+		}
+		if res.Success() {
+			return res, nil
+		}
+	}
+	return segmentByText(ctx, bot, doc)
+}
+
+// SegmentHeadingsOnly runs only Appendix B step 1 (heading-based
+// segmentation, no fallback) — the ablation baseline. Documents with too
+// few headings yield an empty, unsuccessful result.
+func SegmentHeadingsOnly(ctx context.Context, bot chatbot.Chatbot, doc *textify.Document) (*Result, error) {
+	hs := DetectHeadings(doc)
+	if len(hs) <= minHeadings {
+		return &Result{Sections: map[taxonomy.Aspect][]textify.Line{}, Headings: hs}, nil
+	}
+	return segmentByHeadings(ctx, bot, doc, hs)
+}
+
+// SegmentTextOnly runs only Appendix B step 2 (whole-text analysis) — the
+// other ablation baseline.
+func SegmentTextOnly(ctx context.Context, bot chatbot.Chatbot, doc *textify.Document) (*Result, error) {
+	if len(doc.Lines) == 0 {
+		return &Result{Sections: map[taxonomy.Aspect][]textify.Line{}}, nil
+	}
+	return segmentByText(ctx, bot, doc)
+}
+
+// segmentByHeadings is Appendix B step 1.
+func segmentByHeadings(ctx context.Context, bot chatbot.Chatbot, doc *textify.Document, hs []Heading) (*Result, error) {
+	req := chatbot.HeadingLabelsRequest(tocText(hs))
+	resp, err := bot.Complete(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("segment: labeling headings: %w", err)
+	}
+	labels, err := chatbot.ParseLineLabels(resp.Content)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	aspectsOfHeading := map[int][]taxonomy.Aspect{}
+	for _, ll := range labels {
+		aspectsOfHeading[ll.Line] = toAspects(ll.Labels)
+	}
+
+	res := &Result{Sections: map[taxonomy.Aspect][]textify.Line{}, Headings: hs}
+	// Assign each body line to the first heading preceding it.
+	headingAt := map[int]bool{}
+	for _, h := range hs {
+		headingAt[h.Line.Number] = true
+	}
+	var current []taxonomy.Aspect
+	for _, l := range doc.Lines {
+		if headingAt[l.Number] {
+			current = aspectsOfHeading[l.Number]
+			continue
+		}
+		if len(current) == 0 {
+			// Preamble before the first labeled heading.
+			current = []taxonomy.Aspect{taxonomy.AspectOther}
+		}
+		for _, a := range current {
+			res.Sections[a] = append(res.Sections[a], l)
+		}
+	}
+	return res, nil
+}
+
+// segmentByText is Appendix B step 2: full-text analysis.
+func segmentByText(ctx context.Context, bot chatbot.Chatbot, doc *textify.Document) (*Result, error) {
+	req := chatbot.SegmentTextRequest(doc.NumberedText())
+	resp, err := bot.Complete(ctx, req)
+	if err != nil {
+		return nil, fmt.Errorf("segment: full-text segmentation: %w", err)
+	}
+	labels, err := chatbot.ParseLineLabels(resp.Content)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	res := &Result{Sections: map[taxonomy.Aspect][]textify.Line{}, UsedFallback: true}
+	for _, ll := range labels {
+		line, ok := doc.LineByNumber(ll.Line)
+		if !ok {
+			continue // hallucinated line number: drop
+		}
+		for _, a := range toAspects(ll.Labels) {
+			res.Sections[a] = append(res.Sections[a], line)
+		}
+	}
+	return res, nil
+}
+
+// toAspects converts label strings to known aspects, dropping junk labels
+// a weaker model might emit.
+func toAspects(labels []string) []taxonomy.Aspect {
+	var out []taxonomy.Aspect
+	for _, l := range labels {
+		a := taxonomy.Aspect(strings.ToLower(strings.TrimSpace(l)))
+		for _, known := range taxonomy.Aspects() {
+			if a == known {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package segment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"aipan/internal/chatbot"
+	"aipan/internal/taxonomy"
+	"aipan/internal/textify"
+)
+
+const policyHTML = `<html><body>
+<h1>ACME Privacy Policy</h1>
+<p>This policy explains how ACME handles your data.</p>
+<h2>Information We Collect</h2>
+<p>We collect your email address, postal address and phone number.</p>
+<p>We also collect browsing history and cookies.</p>
+<h2>How We Use Your Information</h2>
+<p>We use data for fraud prevention and analytics.</p>
+<h2>Data Retention and Security</h2>
+<p>We retain data for 2 years and use SSL encryption technology for payment transactions.</p>
+<h2>Your Rights and Choices</h2>
+<p>You may opt out by clicking the unsubscribe link in our emails.</p>
+<h2>Children's Privacy</h2>
+<p>Our services are not directed to children under 13.</p>
+<h2>Changes to this Policy</h2>
+<p>We may update this policy from time to time.</p>
+<h2>Contact Us</h2>
+<p>Email privacy@acme.example.</p>
+</body></html>`
+
+func seg(t *testing.T, html string) *Result {
+	t.Helper()
+	doc := textify.RenderHTML(html)
+	bot := chatbot.NewSim(chatbot.GPT4Profile())
+	res, err := Segment(context.Background(), bot, doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSegmentByHeadings(t *testing.T) {
+	res := seg(t, policyHTML)
+	if res.UsedFallback {
+		t.Fatal("should use heading-based segmentation (8 headings > 5)")
+	}
+	if !res.Success() {
+		t.Fatal("segmentation should succeed")
+	}
+	checkSection := func(a taxonomy.Aspect, substr string) {
+		t.Helper()
+		text := res.NumberedText(a)
+		if !strings.Contains(text, substr) {
+			t.Errorf("aspect %s missing %q; got:\n%s", a, substr, text)
+		}
+	}
+	checkSection(taxonomy.AspectTypes, "email address")
+	checkSection(taxonomy.AspectPurposes, "fraud prevention")
+	checkSection(taxonomy.AspectHandling, "SSL encryption")
+	checkSection(taxonomy.AspectRights, "unsubscribe link")
+	checkSection(taxonomy.AspectAudiences, "children")
+	checkSection(taxonomy.AspectChanges, "update this policy")
+
+	// The types section must NOT contain the rights text.
+	if strings.Contains(res.NumberedText(taxonomy.AspectTypes), "unsubscribe") {
+		t.Error("section bleed: rights text in types section")
+	}
+}
+
+func TestSegmentPreservesLineNumbers(t *testing.T) {
+	doc := textify.RenderHTML(policyHTML)
+	res := seg(t, policyHTML)
+	for _, lines := range res.Sections {
+		for _, l := range lines {
+			orig, ok := doc.LineByNumber(l.Number)
+			if !ok || orig.Text != l.Text {
+				t.Errorf("line %d does not match source: %q vs %q", l.Number, l.Text, orig.Text)
+			}
+		}
+	}
+}
+
+const shortPolicyHTML = `<html><body>
+<p>ACME values your privacy. We collect your email address and device identifiers.
+We use this data to provide our services and prevent fraud.
+We retain data only as long as necessary.
+You may opt out by contacting us at privacy@acme.example.</p>
+</body></html>`
+
+func TestSegmentFallbackForShortPolicy(t *testing.T) {
+	res := seg(t, shortPolicyHTML)
+	if !res.UsedFallback {
+		t.Fatal("short policy (no headings) must use the text-analysis fallback")
+	}
+	if !res.Success() {
+		t.Fatal("fallback segmentation should succeed")
+	}
+	if !strings.Contains(res.NumberedText(taxonomy.AspectTypes), "email address") {
+		t.Errorf("types section: %q", res.NumberedText(taxonomy.AspectTypes))
+	}
+	if !strings.Contains(res.NumberedText(taxonomy.AspectRights), "opt out") {
+		t.Errorf("rights section: %q", res.NumberedText(taxonomy.AspectRights))
+	}
+}
+
+const boldHeadingHTML = `<html><body>
+<div><b>Privacy Policy</b></div>
+<p>Intro text about the company and its practices in general.</p>
+<div><b>What We Collect</b></div>
+<p>We collect your name and email address.</p>
+<div><b>How We Use Data</b></div>
+<p>We use data for analytics.</p>
+<div><b>Data Security</b></div>
+<p>We protect your information with appropriate safeguards.</p>
+<div><b>Your Choices</b></div>
+<p>You can opt out with your consent settings.</p>
+<div><b>Contact</b></div>
+<p>Reach us at privacy@x.example.</p>
+</body></html>`
+
+func TestSegmentBoldHeadings(t *testing.T) {
+	doc := textify.RenderHTML(boldHeadingHTML)
+	hs := DetectHeadings(doc)
+	if len(hs) != 6 {
+		t.Fatalf("detected %d bold headings, want 6", len(hs))
+	}
+	res := seg(t, boldHeadingHTML)
+	if res.UsedFallback {
+		t.Error("bold-heading policy should use heading segmentation")
+	}
+	if !strings.Contains(res.NumberedText(taxonomy.AspectTypes), "name and email") {
+		t.Errorf("types: %q", res.NumberedText(taxonomy.AspectTypes))
+	}
+}
+
+func TestDetectHeadingHierarchy(t *testing.T) {
+	html := `<h1>Top</h1><h2>Sub A</h2><h3>Deep</h3><h2>Sub B</h2><div><b>Bold leaf</b></div>`
+	doc := textify.RenderHTML(html)
+	hs := DetectHeadings(doc)
+	wantDepths := []int{0, 1, 2, 1, 2}
+	if len(hs) != len(wantDepths) {
+		t.Fatalf("got %d headings", len(hs))
+	}
+	for i, h := range hs {
+		if h.Depth != wantDepths[i] {
+			t.Errorf("heading %q depth = %d, want %d", h.Line.Text, h.Depth, wantDepths[i])
+		}
+	}
+}
+
+func TestSegmentEmptyDoc(t *testing.T) {
+	res := seg(t, "")
+	if res.Success() {
+		t.Error("empty doc should not be a successful extraction")
+	}
+	if res.CoreWordCount() != 0 {
+		t.Error("empty doc word count")
+	}
+}
+
+func TestCoreWordCountExcludesBoilerplate(t *testing.T) {
+	res := seg(t, policyHTML)
+	full := textify.RenderHTML(policyHTML).WordCount()
+	core := res.CoreWordCount()
+	if core <= 0 || core >= full {
+		t.Errorf("core word count %d should be positive and below full %d", core, full)
+	}
+}
+
+func TestSuccessRequiresCoreAspect(t *testing.T) {
+	r := &Result{Sections: map[taxonomy.Aspect][]textify.Line{
+		taxonomy.AspectOther:     {{Number: 1, Text: "hello"}},
+		taxonomy.AspectChanges:   {{Number: 2, Text: "changes"}},
+		taxonomy.AspectAudiences: {{Number: 3, Text: "california"}},
+	}}
+	if r.Success() {
+		t.Error("boilerplate-only result must not count as success")
+	}
+	r.Sections[taxonomy.AspectTypes] = []textify.Line{{Number: 4, Text: "email"}}
+	if !r.Success() {
+		t.Error("types section should make it a success")
+	}
+}

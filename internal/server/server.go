@@ -1,0 +1,242 @@
+// Package server exposes a completed AIPAN dataset over a small HTTP/JSON
+// API — the form in which downstream consumers (dashboards, risk tools,
+// browser extensions) would actually use the paper's dataset. Endpoints:
+//
+//	GET /api/summary                 corpus funnel + aspect counts
+//	GET /api/domains?sector=FS       domain list (filterable)
+//	GET /api/domain/{domain}         one record with all annotations
+//	GET /api/label/{domain}          privacy nutrition label (text/plain)
+//	GET /api/ask/{domain}?q=...      grounded question answering
+//	GET /api/risk?top=25             exposure scores
+//	GET /api/table/{1|2a|2b|3|4|5|6} regenerated paper tables (text/plain)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aipan/internal/nutrition"
+	"aipan/internal/qa"
+	"aipan/internal/report"
+	"aipan/internal/risk"
+	"aipan/internal/store"
+)
+
+// Server is the dataset API.
+type Server struct {
+	records  []store.Record
+	byDomain map[string]*store.Record
+	rep      *report.Report
+	mux      *http.ServeMux
+}
+
+// New builds the API over a dataset.
+func New(records []store.Record) *Server {
+	s := &Server{
+		records:  records,
+		byDomain: make(map[string]*store.Record, len(records)),
+		rep:      report.New(records, nil),
+		mux:      http.NewServeMux(),
+	}
+	for i := range records {
+		s.byDomain[records[i].Domain] = &records[i]
+	}
+	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
+	s.mux.HandleFunc("GET /api/domains", s.handleDomains)
+	s.mux.HandleFunc("GET /api/domain/{domain}", s.handleDomain)
+	s.mux.HandleFunc("GET /api/label/{domain}", s.handleLabel)
+	s.mux.HandleFunc("GET /api/ask/{domain}", s.handleAsk)
+	s.mux.HandleFunc("GET /api/risk", s.handleRisk)
+	s.mux.HandleFunc("GET /api/table/{table}", s.handleTable)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Summary is the /api/summary payload.
+type Summary struct {
+	Domains      int            `json:"domains"`
+	CrawlOK      int            `json:"crawl_ok"`
+	ExtractOK    int            `json:"extract_ok"`
+	Annotated    int            `json:"annotated"`
+	Annotations  int            `json:"annotations"`
+	ByAspect     map[string]int `json:"by_aspect"`
+	SectorCounts map[string]int `json:"sector_counts"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	sum := Summary{
+		Domains:      len(s.records),
+		ByAspect:     map[string]int{},
+		SectorCounts: map[string]int{},
+	}
+	for i := range s.records {
+		rec := &s.records[i]
+		if rec.Crawl.Success {
+			sum.CrawlOK++
+		}
+		if rec.Extraction.Success {
+			sum.ExtractOK++
+		}
+		if rec.Annotated() {
+			sum.Annotated++
+		}
+		sum.SectorCounts[rec.SectorAbbrev]++
+		sum.Annotations += len(rec.Annotations)
+		for _, a := range rec.Annotations {
+			sum.ByAspect[a.Aspect]++
+		}
+	}
+	writeJSON(w, sum)
+}
+
+// DomainSummary is one /api/domains row.
+type DomainSummary struct {
+	Domain      string `json:"domain"`
+	Company     string `json:"company"`
+	Sector      string `json:"sector"`
+	Annotations int    `json:"annotations"`
+	CrawlOK     bool   `json:"crawl_ok"`
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	sector := strings.ToUpper(r.URL.Query().Get("sector"))
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	var out []DomainSummary
+	for i := range s.records {
+		rec := &s.records[i]
+		if sector != "" && rec.SectorAbbrev != sector {
+			continue
+		}
+		out = append(out, DomainSummary{
+			Domain: rec.Domain, Company: rec.Company, Sector: rec.SectorAbbrev,
+			Annotations: len(rec.Annotations), CrawlOK: rec.Crawl.Success,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) record(w http.ResponseWriter, r *http.Request) *store.Record {
+	domain := r.PathValue("domain")
+	rec, ok := s.byDomain[domain]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("domain %q not in dataset", domain))
+		return nil
+	}
+	return rec
+}
+
+func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
+	if rec := s.record(w, r); rec != nil {
+		writeJSON(w, rec)
+	}
+}
+
+func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(w, r)
+	if rec == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, nutrition.Build(rec.Annotations).Render(rec.Company))
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(w, r)
+	if rec == nil {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing ?q= question")
+		return
+	}
+	ans, ok := qa.Ask(q, rec.Annotations)
+	if !ok {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("unsupported question; families: %s", strings.Join(qa.Intents(), ", ")))
+		return
+	}
+	writeJSON(w, map[string]any{
+		"question":  q,
+		"answer":    ans.Text,
+		"evidence":  ans.Evidence,
+		"confident": ans.Confident,
+	})
+}
+
+func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
+	top := 25
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "top must be a positive integer")
+			return
+		}
+		top = n
+	}
+	scores := risk.ScoreAll(s.records, risk.DefaultWeights())
+	if len(scores) > top {
+		scores = scores[:top]
+	}
+	writeJSON(w, scores)
+}
+
+func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
+	var out string
+	switch r.PathValue("table") {
+	case "1":
+		out = s.rep.Table1(false).Render()
+	case "4":
+		out = s.rep.Table1(true).Render()
+	case "2a":
+		out = s.rep.Table2Types(false).Render()
+	case "5":
+		out = s.rep.Table2Types(true).Render()
+	case "2b":
+		out = s.rep.Table2Purposes().Render()
+	case "3":
+		out = s.rep.Table3().Render()
+	case "6":
+		out = s.rep.Table6(4).Render()
+	default:
+		writeError(w, http.StatusNotFound, "unknown table (1, 2a, 2b, 3, 4, 5, 6)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, out)
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aipan/internal/annotate"
+	"aipan/internal/store"
+	"aipan/internal/taxonomy"
+)
+
+func testRecords() []store.Record {
+	return []store.Record{
+		{
+			Domain: "acme.example.com", Company: "Acme Corp", Sector: "Financials",
+			SectorAbbrev: "FS",
+			Crawl:        store.CrawlInfo{Success: true, PagesFetched: 5},
+			Extraction:   store.ExtractionInfo{Success: true},
+			Annotations: []annotate.Annotation{
+				{Aspect: "types", Meta: taxonomy.MetaPhysicalProfile, Category: "Contact info", Descriptor: "email address", Text: "email address", Context: "We collect your email address."},
+				{Aspect: "purposes", Meta: taxonomy.MetaThirdParty, Category: "Data sharing", Descriptor: "data for sale", Text: "sell", Context: "We may sell your data."},
+				{Aspect: "handling", Meta: taxonomy.GroupRetention, Category: taxonomy.RetentionStated, Descriptor: "2 years", Text: "2 years", RetentionDays: 730, Context: "We retain data for 2 years."},
+				{Aspect: "rights", Meta: taxonomy.GroupAccess, Category: taxonomy.AccessFullDelete, Text: "delete", Context: "You may delete all data."},
+			},
+		},
+		{
+			Domain: "other.example.com", Company: "Other Inc", Sector: "Energy",
+			SectorAbbrev: "EN",
+			Crawl:        store.CrawlInfo{Success: false, Error: "timeout"},
+		},
+	}
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(testRecords()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestSummary(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/summary")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	var sum Summary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Domains != 2 || sum.Annotated != 1 || sum.CrawlOK != 1 {
+		t.Errorf("summary: %+v", sum)
+	}
+	if sum.ByAspect["types"] != 1 {
+		t.Errorf("by aspect: %v", sum.ByAspect)
+	}
+}
+
+func TestDomainsFilter(t *testing.T) {
+	srv := testServer(t)
+	_, body := get(t, srv.URL+"/api/domains?sector=fs")
+	var rows []DomainSummary
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Domain != "acme.example.com" {
+		t.Errorf("rows: %+v", rows)
+	}
+	status, _ := get(t, srv.URL+"/api/domains?limit=bogus")
+	if status != 400 {
+		t.Errorf("bad limit status = %d", status)
+	}
+}
+
+func TestDomainRecord(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/domain/acme.example.com")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	var rec store.Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Company != "Acme Corp" || len(rec.Annotations) != 4 {
+		t.Errorf("record: %+v", rec)
+	}
+	status, _ = get(t, srv.URL+"/api/domain/nope.example.com")
+	if status != 404 {
+		t.Errorf("missing domain status = %d", status)
+	}
+}
+
+func TestLabelEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/label/acme.example.com")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	for _, want := range []string{"PRIVACY FACTS", "Acme Corp", "email address", "SOLD", "2 years"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("label missing %q", want)
+		}
+	}
+}
+
+func TestAskEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/ask/acme.example.com?q=do+you+sell+my+data")
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var ans map[string]any
+	if err := json.Unmarshal([]byte(body), &ans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ans["answer"].(string), "selling") && !strings.Contains(ans["answer"].(string), "Yes") {
+		t.Errorf("answer: %v", ans)
+	}
+	status, _ = get(t, srv.URL+"/api/ask/acme.example.com")
+	if status != 400 {
+		t.Errorf("missing q status = %d", status)
+	}
+	status, _ = get(t, srv.URL+"/api/ask/acme.example.com?q=meaning+of+life")
+	if status != 422 {
+		t.Errorf("unsupported question status = %d", status)
+	}
+}
+
+func TestRiskEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/risk?top=1")
+	if status != 200 {
+		t.Fatalf("status %d", status)
+	}
+	if !strings.Contains(body, "acme.example.com") {
+		t.Errorf("risk body: %s", body)
+	}
+	status, _ = get(t, srv.URL+"/api/risk?top=0")
+	if status != 400 {
+		t.Errorf("bad top status = %d", status)
+	}
+}
+
+func TestTableEndpoint(t *testing.T) {
+	srv := testServer(t)
+	status, body := get(t, srv.URL+"/api/table/3")
+	if status != 200 || !strings.Contains(body, "Data retention") {
+		t.Errorf("table 3: status %d, body %q", status, body[:min(len(body), 120)])
+	}
+	status, _ = get(t, srv.URL+"/api/table/99")
+	if status != 404 {
+		t.Errorf("unknown table status = %d", status)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/api/summary", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+// Package stats provides the descriptive statistics and table rendering
+// the paper's analysis section (§5) needs: means, standard deviations,
+// medians, coverage percentages, per-sector group-bys, and fixed-width
+// text tables that mirror the paper's layout.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// SD returns the population standard deviation (0 for n < 2).
+func SD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the middle value (mean of middle two for even n).
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the extremes (0,0 for empty input).
+func MinMax(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Pct formats a fraction as a percentage with one decimal ("60.9%").
+func Pct(fraction float64) string {
+	return fmt.Sprintf("%.1f%%", fraction*100)
+}
+
+// MeanSD formats the paper's "mean±sd" cells.
+func MeanSD(xs []float64) string {
+	return fmt.Sprintf("%.1f±%.1f", Mean(xs), SD(xs))
+}
+
+// Coverage is a (covered, total) pair.
+type Coverage struct {
+	Covered int
+	Total   int
+}
+
+// Fraction returns covered/total (0 when total is 0).
+func (c Coverage) Fraction() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Covered) / float64(c.Total)
+}
+
+// String formats the coverage as a percentage.
+func (c Coverage) String() string { return Pct(c.Fraction()) }
+
+// SectorStat is one sector's (coverage, values) pair for a category,
+// used to find the paper's highest/2nd/3rd/lowest sector columns.
+type SectorStat struct {
+	Sector   string
+	Coverage Coverage
+	Values   []float64
+}
+
+// RankSectors sorts sectors by descending coverage (ties broken by name
+// for determinism) and returns them.
+func RankSectors(m map[string]*SectorStat) []SectorStat {
+	out := make([]SectorStat, 0, len(m))
+	for _, s := range m {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i].Coverage.Fraction(), out[j].Coverage.Fraction()
+		if fi != fj {
+			return fi > fj
+		}
+		return out[i].Sector < out[j].Sector
+	})
+	return out
+}
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render produces an aligned text rendering.
+func (t *Table) Render() string {
+	ncol := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Headers) > 0 {
+		writeRow(t.Headers)
+		var sep []string
+		for i := 0; i < ncol; i++ {
+			sep = append(sep, strings.Repeat("-", widths[i]))
+		}
+		writeRow(sep)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanSDMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Errorf("mean = %v", Mean(xs))
+	}
+	if !almost(SD(xs), 2) {
+		t.Errorf("sd = %v", SD(xs))
+	}
+	if !almost(Median(xs), 4.5) {
+		t.Errorf("median = %v", Median(xs))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || SD(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	lo, hi := MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("MinMax empty")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Quantile(xs, 0), 1) || !almost(Quantile(xs, 1), 5) {
+		t.Error("extreme quantiles")
+	}
+	if !almost(Quantile(xs, 0.5), 3) {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile(xs, 0.25), 2) {
+		t.Errorf("q25 = %v", Quantile(xs, 0.25))
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa := math.Mod(math.Abs(a), 1)
+		qb := math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	c := Coverage{Covered: 609, Total: 1000}
+	if c.String() != "60.9%" {
+		t.Errorf("got %s", c.String())
+	}
+	if (Coverage{}).Fraction() != 0 {
+		t.Error("zero coverage")
+	}
+}
+
+func TestPctAndMeanSD(t *testing.T) {
+	if Pct(0.975) != "97.5%" {
+		t.Errorf("Pct = %s", Pct(0.975))
+	}
+	got := MeanSD([]float64{12, 14})
+	if got != "13.0±1.0" {
+		t.Errorf("MeanSD = %s", got)
+	}
+}
+
+func TestRankSectors(t *testing.T) {
+	m := map[string]*SectorStat{
+		"CD": {Sector: "CD", Coverage: Coverage{90, 100}},
+		"EN": {Sector: "EN", Coverage: Coverage{10, 100}},
+		"IT": {Sector: "IT", Coverage: Coverage{95, 100}},
+	}
+	ranked := RankSectors(m)
+	if ranked[0].Sector != "IT" || ranked[2].Sector != "EN" {
+		t.Errorf("ranked = %+v", ranked)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"Category", "Coverage"}}
+	tb.AddRow("Contact info", "86.4%")
+	tb.AddRow("Vehicle info", "5.0%")
+	out := tb.Render()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "Contact info") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the header line.
+	if len(lines[3]) < len("Contact info") {
+		t.Error("row truncated")
+	}
+}

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// annotationHeader is the flat CSV schema: one row per annotation, with
+// the owning domain's metadata repeated — the spreadsheet-friendly form a
+// dataset release ships next to the JSONL.
+var annotationHeader = []string{
+	"domain", "company", "sector", "aspect", "meta", "category",
+	"descriptor", "text", "line", "context", "novel", "retention_days",
+	"scope",
+}
+
+// WriteAnnotationsCSV writes one row per annotation across all records.
+func WriteAnnotationsCSV(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(annotationHeader); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing header: %w", err)
+	}
+	for i := range records {
+		rec := &records[i]
+		for _, a := range rec.Annotations {
+			row := []string{
+				rec.Domain, rec.Company, rec.SectorAbbrev,
+				a.Aspect, a.Meta, a.Category, a.Descriptor, a.Text,
+				strconv.Itoa(a.Line), a.Context,
+				strconv.FormatBool(a.Novel), strconv.Itoa(a.RetentionDays),
+				a.Scope,
+			}
+			if err := w.Write(row); err != nil {
+				f.Close()
+				return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: flushing csv: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// domainHeader is the per-domain CSV schema.
+var domainHeader = []string{
+	"domain", "company", "tickers", "sector", "crawl_success",
+	"pages_fetched", "privacy_pages", "extraction_success", "core_words",
+	"annotations",
+}
+
+// WriteDomainsCSV writes one row per domain.
+func WriteDomainsCSV(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", path, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(domainHeader); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing header: %w", err)
+	}
+	for i := range records {
+		rec := &records[i]
+		row := []string{
+			rec.Domain, rec.Company, join(rec.Tickers), rec.SectorAbbrev,
+			strconv.FormatBool(rec.Crawl.Success),
+			strconv.Itoa(rec.Crawl.PagesFetched),
+			strconv.Itoa(rec.Crawl.PrivacyPages),
+			strconv.FormatBool(rec.Extraction.Success),
+			strconv.Itoa(rec.Extraction.CoreWords),
+			strconv.Itoa(len(rec.Annotations)),
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: flushing csv: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ";"
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestWriteAnnotationsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "annotations.csv")
+	if err := WriteAnnotationsCSV(path, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, path)
+	if len(rows) != 2 { // header + 1 annotation
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "domain" || rows[0][6] != "descriptor" {
+		t.Errorf("header: %v", rows[0])
+	}
+	if rows[1][0] != "a.example.com" || rows[1][6] != "email address" {
+		t.Errorf("row: %v", rows[1])
+	}
+}
+
+func TestWriteDomainsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "domains.csv")
+	if err := WriteDomainsCSV(path, sampleRecords()); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, path)
+	if len(rows) != 3 { // header + 2 domains
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][0] != "a.example.com" || rows[1][4] != "true" {
+		t.Errorf("row 1: %v", rows[1])
+	}
+	if rows[2][0] != "b.example.com" || rows[2][4] != "false" {
+		t.Errorf("row 2: %v", rows[2])
+	}
+}
+
+func TestCSVCommaSafety(t *testing.T) {
+	recs := sampleRecords()
+	recs[0].Annotations[0].Context = `We collect "email, phone" and more.`
+	path := filepath.Join(t.TempDir(), "quoted.csv")
+	if err := WriteAnnotationsCSV(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, path)
+	if rows[1][9] != `We collect "email, phone" and more.` {
+		t.Errorf("quoted context mangled: %q", rows[1][9])
+	}
+}

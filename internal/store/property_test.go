@@ -1,0 +1,119 @@
+package store
+
+import (
+	"encoding/csv"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"aipan/internal/annotate"
+)
+
+// genRecord builds a random dataset record with printable fields.
+func genRecord(r *rand.Rand) Record {
+	word := func() string {
+		letters := "abcdefghijklmnopqrstuvwxyz"
+		n := 1 + r.Intn(10)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	rec := Record{
+		Domain:       word() + ".example.com",
+		Company:      word() + " Corp",
+		Sector:       word(),
+		SectorAbbrev: "FS",
+		Crawl: CrawlInfo{
+			Success:      r.Intn(2) == 0,
+			PagesFetched: r.Intn(31),
+			PrivacyPages: r.Intn(4),
+		},
+		Extraction: ExtractionInfo{Success: r.Intn(2) == 0, CoreWords: r.Intn(5000)},
+	}
+	for i := 0; i < r.Intn(5); i++ {
+		rec.Annotations = append(rec.Annotations, annotate.Annotation{
+			Aspect:   word(),
+			Meta:     word(),
+			Category: word(),
+			Text:     word() + " " + word(),
+			Line:     r.Intn(200),
+			Context:  word() + ", with \"quotes\" and, commas.",
+		})
+	}
+	return rec
+}
+
+type recordList []Record
+
+// Generate implements quick.Generator.
+func (recordList) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size%8 + 1)
+	out := make(recordList, n)
+	for i := range out {
+		out[i] = genRecord(r)
+	}
+	return reflect.ValueOf(out)
+}
+
+// Property: JSONL round-trips arbitrary records exactly.
+func TestJSONLRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(recs recordList) bool {
+		i++
+		path := filepath.Join(dir, "ds.jsonl")
+		if err := WriteJSONL(path, recs); err != nil {
+			return false
+		}
+		got, err := ReadJSONL(path)
+		if err != nil {
+			return false
+		}
+		if len(recs) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual([]Record(recs), got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the annotations CSV has exactly one row per annotation plus a
+// header, regardless of content (quoting-safe).
+func TestCSVRowCountProperty(t *testing.T) {
+	dir := t.TempDir()
+	f := func(recs recordList) bool {
+		path := filepath.Join(dir, "ann.csv")
+		if err := WriteAnnotationsCSV(path, recs); err != nil {
+			return false
+		}
+		want := 1
+		for _, rec := range recs {
+			want += len(rec.Annotations)
+		}
+		rows := readCSVRows(path)
+		return rows == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func readCSVRows(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return -1
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		return -1
+	}
+	return len(rows)
+}

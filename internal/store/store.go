@@ -1,0 +1,183 @@
+// Package store persists the AIPAN dataset: one JSONL record per domain
+// capturing the crawl outcome, extraction outcome, and all annotations —
+// mirroring the dataset the paper released (AIPAN-3k). Writes are atomic
+// (temp file + rename) so interrupted runs never leave a torn dataset.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aipan/internal/annotate"
+)
+
+// CrawlInfo summarizes a domain's crawl.
+type CrawlInfo struct {
+	Success          bool   `json:"success"`
+	PagesFetched     int    `json:"pages_fetched"`
+	PrivacyPages     int    `json:"privacy_pages"`
+	Duplicates       int    `json:"duplicates,omitempty"`
+	NonEnglish       int    `json:"non_english,omitempty"`
+	PDFs             int    `json:"pdfs,omitempty"`
+	WellKnownPolicy  bool   `json:"well_known_policy"`
+	WellKnownPrivacy bool   `json:"well_known_privacy"`
+	Error            string `json:"error,omitempty"`
+}
+
+// ExtractionInfo summarizes segmentation/text extraction.
+type ExtractionInfo struct {
+	Success      bool `json:"success"`
+	UsedFallback bool `json:"used_fallback,omitempty"`
+	CoreWords    int  `json:"core_words,omitempty"`
+}
+
+// Record is one domain's dataset row.
+type Record struct {
+	Domain  string   `json:"domain"`
+	Company string   `json:"company"`
+	Tickers []string `json:"tickers,omitempty"`
+	Sector  string   `json:"sector"`
+	// SectorAbbrev is the paper's two-letter code.
+	SectorAbbrev string         `json:"sector_abbrev"`
+	Crawl        CrawlInfo      `json:"crawl"`
+	Extraction   ExtractionInfo `json:"extraction"`
+	// AnnotationFallback lists aspects that fell back to whole-text
+	// annotation.
+	AnnotationFallback []string `json:"annotation_fallback,omitempty"`
+	// Annotations are the deduplicated unique annotations for the domain.
+	Annotations []annotate.Annotation `json:"annotations,omitempty"`
+}
+
+// Annotated reports whether the record carries at least one annotation
+// (the paper's 2,529 denominator).
+func (r *Record) Annotated() bool { return len(r.Annotations) > 0 }
+
+// WriteJSONL atomically writes records to path.
+func WriteJSONL(path string, records []Record) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".aipan-*.jsonl")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: encoding record %d (%s): %w", i, records[i].Domain, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: flushing: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadJSONL loads a dataset written by WriteJSONL.
+func ReadJSONL(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return nil, fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Appender writes records incrementally — the pipeline's checkpoint
+// stream. Unlike WriteJSONL it appends and flushes per record, so an
+// interrupted run keeps everything processed so far.
+type Appender struct {
+	f   *os.File
+	buf *bufio.Writer
+	enc *json.Encoder
+}
+
+// OpenAppender opens (or creates) a checkpoint file for appending.
+func OpenAppender(path string) (*Appender, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening checkpoint %s: %w", path, err)
+	}
+	buf := bufio.NewWriter(f)
+	return &Appender{f: f, buf: buf, enc: json.NewEncoder(buf)}, nil
+}
+
+// Append writes one record and flushes it to disk.
+func (a *Appender) Append(rec *Record) error {
+	if err := a.enc.Encode(rec); err != nil {
+		return fmt.Errorf("store: appending %s: %w", rec.Domain, err)
+	}
+	if err := a.buf.Flush(); err != nil {
+		return fmt.Errorf("store: flushing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the checkpoint.
+func (a *Appender) Close() error {
+	if err := a.buf.Flush(); err != nil {
+		a.f.Close()
+		return fmt.Errorf("store: flushing checkpoint: %w", err)
+	}
+	if err := a.f.Close(); err != nil {
+		return fmt.Errorf("store: closing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Appender; a missing file
+// returns an empty slice (fresh start).
+func LoadCheckpoint(path string) ([]Record, error) {
+	recs, err := ReadJSONL(path)
+	if err != nil {
+		if os.IsNotExist(errUnwrapAll(err)) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return recs, nil
+}
+
+func errUnwrapAll(err error) error {
+	for {
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return err
+		}
+		next := u.Unwrap()
+		if next == nil {
+			return err
+		}
+		err = next
+	}
+}

@@ -1,0 +1,128 @@
+package taxonomy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The paper's first contribution is a *flexible/programmable* pipeline
+// with a "comprehensive and extendable taxonomy" (§1, §2: "our framework
+// can be easily extended through continuous improvement of our prompts").
+// Extensions let a deployment add categories and descriptors without
+// touching this package: they are merged into everything downstream —
+// prompt glossaries, the simulated annotator's lexicon, and normalization
+// indexes — because all of those are built from TypeCategories() /
+// PurposeCategories().
+
+// Extension is a user-supplied taxonomy addition (typically loaded from a
+// JSON file via the CLI's --taxonomy flag).
+type Extension struct {
+	// TypeCategories are whole new data-type categories.
+	TypeCategories []Category `json:"type_categories,omitempty"`
+	// TypeDescriptors add descriptors to existing categories, keyed by
+	// category name.
+	TypeDescriptors map[string][]Descriptor `json:"type_descriptors,omitempty"`
+	// PurposeCategories / PurposeDescriptors extend the purposes taxonomy.
+	PurposeCategories  []Category              `json:"purpose_categories,omitempty"`
+	PurposeDescriptors map[string][]Descriptor `json:"purpose_descriptors,omitempty"`
+}
+
+var (
+	extMu         sync.RWMutex
+	activeExt     Extension
+	extRegistered bool
+)
+
+// LoadExtension decodes an Extension from JSON.
+func LoadExtension(r io.Reader) (Extension, error) {
+	var ext Extension
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ext); err != nil {
+		return Extension{}, fmt.Errorf("taxonomy: decoding extension: %w", err)
+	}
+	if err := ext.validate(); err != nil {
+		return Extension{}, err
+	}
+	return ext, nil
+}
+
+func (e Extension) validate() error {
+	for _, c := range e.TypeCategories {
+		if c.Name == "" || c.Meta == "" {
+			return fmt.Errorf("taxonomy: extension category needs Name and Meta (got %q/%q)", c.Name, c.Meta)
+		}
+		if len(c.Descriptors) == 0 {
+			return fmt.Errorf("taxonomy: extension category %q has no descriptors", c.Name)
+		}
+	}
+	for _, c := range e.PurposeCategories {
+		if c.Name == "" || c.Meta == "" || len(c.Descriptors) == 0 {
+			return fmt.Errorf("taxonomy: extension purpose category %q incomplete", c.Name)
+		}
+	}
+	return nil
+}
+
+// Register installs an extension process-wide. Call it before building
+// pipelines/chatbots so their glossaries and lexicons include the
+// extension. Registering replaces any previous extension.
+func Register(ext Extension) error {
+	if err := ext.validate(); err != nil {
+		return err
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	activeExt = ext
+	extRegistered = true
+	return nil
+}
+
+// ClearExtension removes the active extension (tests use this).
+func ClearExtension() {
+	extMu.Lock()
+	defer extMu.Unlock()
+	activeExt = Extension{}
+	extRegistered = false
+}
+
+// extendTypes merges the active extension into the base type taxonomy.
+func extendTypes(base []Category) []Category {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	if !extRegistered {
+		return base
+	}
+	return merge(base, activeExt.TypeCategories, activeExt.TypeDescriptors)
+}
+
+// extendPurposes merges the active extension into the purposes taxonomy.
+func extendPurposes(base []Category) []Category {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	if !extRegistered {
+		return base
+	}
+	return merge(base, activeExt.PurposeCategories, activeExt.PurposeDescriptors)
+}
+
+func merge(base, newCats []Category, extra map[string][]Descriptor) []Category {
+	out := make([]Category, len(base))
+	copy(out, base)
+	for i := range out {
+		if ds, ok := extra[out[i].Name]; ok {
+			merged := make([]Descriptor, 0, len(out[i].Descriptors)+len(ds))
+			merged = append(merged, out[i].Descriptors...)
+			merged = append(merged, ds...)
+			out[i].Descriptors = merged
+		}
+	}
+	for _, c := range newCats {
+		if _, exists := FindCategory(out, c.Name); !exists {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+const extJSON = `{
+  "type_categories": [
+    {
+      "Name": "Gaming profile",
+      "Meta": "Digital behavior",
+      "Triggers": ["gaming", "guild"],
+      "Descriptors": [
+        {"Name": "guild membership records", "Synonyms": ["clan membership"]},
+        {"Name": "in-game purchases", "Synonyms": ["virtual item purchases"]}
+      ]
+    }
+  ],
+  "type_descriptors": {
+    "Contact info": [
+      {"Name": "matrix handle", "Synonyms": ["matrix id"]}
+    ]
+  },
+  "purpose_descriptors": {
+    "Security": [
+      {"Name": "anti-cheat enforcement", "Synonyms": ["detect cheating"]}
+    ]
+  }
+}`
+
+func TestLoadAndRegisterExtension(t *testing.T) {
+	defer ClearExtension()
+	ext, err := LoadExtension(strings.NewReader(extJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(ext); err != nil {
+		t.Fatal(err)
+	}
+
+	cats := TypeCategories()
+	if len(cats) != 35 {
+		t.Fatalf("got %d categories, want 35 (34 base + 1 extension)", len(cats))
+	}
+	gaming, ok := FindCategory(cats, "Gaming profile")
+	if !ok || gaming.Meta != MetaDigitalBehavior {
+		t.Fatalf("Gaming profile not merged: %+v", gaming)
+	}
+
+	// The lookup index sees both the new category and the added descriptor.
+	ix := NewTypeIndex()
+	m, ok := ix.Lookup("clan membership")
+	if !ok || m.Category != "Gaming profile" || m.Descriptor != "guild membership records" {
+		t.Errorf("extension synonym lookup: %+v, %v", m, ok)
+	}
+	m, ok = ix.Lookup("matrix handle")
+	if !ok || m.Category != "Contact info" {
+		t.Errorf("added descriptor lookup: %+v, %v", m, ok)
+	}
+	// Zero-shot trigger from the extension category.
+	m, ok = ix.Lookup("guild chat logs")
+	if !ok || m.Category != "Gaming profile" || !m.Novel {
+		t.Errorf("extension trigger zero-shot: %+v, %v", m, ok)
+	}
+
+	// Purposes extension.
+	pix := NewPurposeIndex()
+	m, ok = pix.Lookup("detect cheating")
+	if !ok || m.Descriptor != "anti-cheat enforcement" {
+		t.Errorf("purpose extension lookup: %+v, %v", m, ok)
+	}
+
+	// The prompt glossary carries the extension.
+	if g := ix.Glossary(0); !strings.Contains(g, "Gaming profile") {
+		t.Error("glossary missing extension category")
+	}
+}
+
+func TestClearExtensionRestoresBase(t *testing.T) {
+	ext, err := LoadExtension(strings.NewReader(extJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(ext); err != nil {
+		t.Fatal(err)
+	}
+	ClearExtension()
+	if got := len(TypeCategories()); got != 34 {
+		t.Errorf("after clear: %d categories, want 34", got)
+	}
+	if _, ok := NewTypeIndex().Lookup("clan membership"); ok {
+		t.Error("extension surface survived ClearExtension")
+	}
+}
+
+func TestExtensionValidation(t *testing.T) {
+	bad := []string{
+		`{"type_categories": [{"Name": "", "Meta": "X", "Descriptors": [{"Name": "d"}]}]}`,
+		`{"type_categories": [{"Name": "X", "Meta": "", "Descriptors": [{"Name": "d"}]}]}`,
+		`{"type_categories": [{"Name": "X", "Meta": "M", "Descriptors": []}]}`,
+		`{"purpose_categories": [{"Name": "X", "Meta": "", "Descriptors": []}]}`,
+		`{"unknown_field": 1}`,
+		`not json`,
+	}
+	for _, in := range bad {
+		if _, err := LoadExtension(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadExtension(%q) should fail", in)
+		}
+	}
+}
+
+func TestExtensionDoesNotDuplicateExistingCategory(t *testing.T) {
+	defer ClearExtension()
+	if err := Register(Extension{
+		TypeCategories: []Category{{
+			Name: "Contact info", Meta: MetaPhysicalProfile,
+			Descriptors: []Descriptor{{Name: "dup"}},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, c := range TypeCategories() {
+		if c.Name == "Contact info" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("Contact info appears %d times", n)
+	}
+}

@@ -1,0 +1,384 @@
+package taxonomy
+
+// Label is a handling/rights practice label (Table 1, bottom half): the
+// paper labels extracted mentions with a fixed set of practices based on
+// Wilson et al. rather than free-form descriptors.
+type Label struct {
+	// Name is the label, e.g. "Opt-out via link".
+	Name string
+	// Group is the owning meta-category, e.g. "User choices".
+	Group string
+	// Desc is the one-line description from Table 1.
+	Desc string
+	// Cues are lowercase phrase patterns whose presence in a sentence
+	// signals this practice.
+	Cues []string
+	// Templates are canonical sentences that state the practice; the
+	// synthetic policy generator draws from these.
+	Templates []string
+}
+
+// Label group names.
+const (
+	GroupRetention  = "Data retention"
+	GroupProtection = "Data protection"
+	GroupChoices    = "User choices"
+	GroupAccess     = "User access"
+)
+
+// Retention label names.
+const (
+	RetentionLimited      = "Limited"
+	RetentionStated       = "Stated"
+	RetentionIndefinitely = "Indefinitely"
+)
+
+// RetentionLabels returns the data-retention labels.
+func RetentionLabels() []Label {
+	return []Label{
+		{
+			Name: RetentionLimited, Group: GroupRetention,
+			Desc: "Retention period is limited but unspecified.",
+			Cues: []string{
+				"as long as necessary", "no longer than necessary",
+				"for the period necessary", "as long as needed",
+				"only as long as", "as long as required", "retention period",
+				"until no longer needed", "for as long as your account",
+			},
+			Templates: []string{
+				"We retain your personal information only as long as necessary to fulfill the purposes described in this policy.",
+				"Your data is kept no longer than necessary for our business purposes.",
+				"We will retain your information for as long as your account is active or as needed to provide you services.",
+				"Personal data is stored for the period necessary to achieve the purposes for which it was collected.",
+			},
+		},
+		{
+			Name: RetentionStated, Group: GroupRetention,
+			Desc: "Retention period is specified (and extracted by the chatbot).",
+			Cues: []string{
+				// A numeric period is detected by nlp.ParseRetention; these
+				// anchors restrict the match to retention statements.
+				"retain", "retention", "keep your", "stored for", "kept for",
+				"store your",
+			},
+			Templates: []string{
+				"We retain your personal information for {period} after your last interaction with us.",
+				"Your records are kept for {period} as required by applicable regulations.",
+				"We retain your personal information for the period you are actively using our services plus {period}.",
+			},
+		},
+		{
+			Name: RetentionIndefinitely, Group: GroupRetention,
+			Desc: "Collected data is retained indefinitely.",
+			Cues: []string{
+				"retained indefinitely", "retain indefinitely", "kept indefinitely",
+				"store indefinitely", "retained permanently", "indefinite period",
+			},
+			Templates: []string{
+				"Certain records may be retained indefinitely for archival purposes.",
+				"Aggregated information may be kept indefinitely.",
+			},
+		},
+	}
+}
+
+// Protection label names.
+const (
+	ProtectionGeneric    = "Generic"
+	ProtectionAccess     = "Access limit"
+	ProtectionTransfer   = "Secure transfer"
+	ProtectionStorage    = "Secure storage"
+	ProtectionProgram    = "Privacy program"
+	ProtectionReview     = "Privacy review"
+	ProtectionSecureAuth = "Secure authentication"
+)
+
+// ProtectionLabels returns the data-protection labels.
+func ProtectionLabels() []Label {
+	return []Label{
+		{
+			Name: ProtectionGeneric, Group: GroupProtection,
+			Desc: "Generic statement regarding data protection/security.",
+			Cues: []string{
+				"reasonable safeguards", "appropriate safeguards",
+				"commercially reasonable", "administrative, technical",
+				"technical and organizational measures", "protect your information",
+				"safeguard your", "security measures", "reasonable steps to protect",
+			},
+			Templates: []string{
+				"We strive to protect the information you provide to us through commercially reasonable administrative, technical, and organizational safeguards.",
+				"We use appropriate technical and organizational measures to protect your personal data.",
+				"We take reasonable steps to protect your information from unauthorized access, disclosure, or destruction.",
+			},
+		},
+		{
+			Name: ProtectionAccess, Group: GroupProtection,
+			Desc: "Data access is restricted on a need-to-know basis.",
+			Cues: []string{
+				"need-to-know", "need to know", "access is restricted",
+				"limit access", "restricted to employees", "authorized personnel",
+				"restrict access to",
+			},
+			Templates: []string{
+				"Access to personal data is restricted to employees on a need-to-know basis.",
+				"We limit access to your personal information to authorized personnel who require it to perform their duties.",
+			},
+		},
+		{
+			Name: ProtectionTransfer, Group: GroupProtection,
+			Desc: "Data transfer is secured, e.g., via encryption.",
+			Cues: []string{
+				"ssl", "tls", "encryption technology for payment",
+				"encrypted in transit", "secure socket layer", "encrypted transmission",
+				"encryption in transit", "transmitted securely",
+			},
+			Templates: []string{
+				"We use Secure Socket Layer (SSL) encryption technology for payment transactions.",
+				"Personal data is encrypted in transit using TLS.",
+				"All information you provide is transmitted securely using industry-standard encryption.",
+			},
+		},
+		{
+			Name: ProtectionStorage, Group: GroupProtection,
+			Desc: "Data is stored securely, e.g., in an encrypted format or database.",
+			Cues: []string{
+				"encrypted at rest", "stored in encrypted", "encrypted database",
+				"encrypted format", "secure servers", "stored securely",
+				"encryption at rest",
+			},
+			Templates: []string{
+				"Your personal data is stored in an encrypted format on secure servers.",
+				"We store sensitive information in encrypted databases with encryption at rest.",
+			},
+		},
+		{
+			Name: ProtectionProgram, Group: GroupProtection,
+			Desc: "Company has a data privacy/protection program.",
+			Cues: []string{
+				"privacy program", "data protection program", "information security program",
+				"privacy office", "data protection officer", "security program",
+			},
+			Templates: []string{
+				"We maintain a comprehensive information security program overseen by our data protection officer.",
+				"Our company operates a formal data privacy program aligned with industry standards.",
+			},
+		},
+		{
+			Name: ProtectionReview, Group: GroupProtection,
+			Desc: "Privacy measures and data protection practices are reviewed/audited.",
+			Cues: []string{
+				"regularly review", "periodically review", "audits of our",
+				"security audits", "reviewed and audited", "assess our security",
+				"regular audits",
+			},
+			Templates: []string{
+				"We regularly review and audit our data protection practices.",
+				"Our security measures undergo regular audits by independent assessors.",
+			},
+		},
+		{
+			Name: ProtectionSecureAuth, Group: GroupProtection,
+			Desc: "User authentication is secured, e.g., via encryption or 2FA.",
+			Cues: []string{
+				"two-factor", "multi-factor", "2fa", "mfa",
+				"passwords are encrypted", "passwords are hashed", "secure authentication",
+			},
+			Templates: []string{
+				"Account sign-in is protected by two-factor authentication.",
+				"Passwords are hashed and we offer multi-factor authentication for your account.",
+			},
+		},
+	}
+}
+
+// Choice label names.
+const (
+	ChoiceOptOutContact = "Opt-out via contact"
+	ChoiceOptOutLink    = "Opt-out via link"
+	ChoiceSettings      = "Privacy settings"
+	ChoiceOptIn         = "Opt-in"
+	ChoiceDoNotUse      = "Do not use"
+)
+
+// ChoiceLabels returns the user-choices labels.
+func ChoiceLabels() []Label {
+	return []Label{
+		{
+			Name: ChoiceOptOutContact, Group: GroupChoices,
+			Desc: "Users must directly contact the company (e.g., via email) to opt-out.",
+			Cues: []string{
+				"opt out by contacting", "opt out by emailing", "opt-out by contacting",
+				"to opt out, contact", "to opt out, email", "unsubscribe by contacting",
+				"opt out of marketing by contacting", "contact us to opt out",
+				"by writing to us", "emailing us at", "by contacting us",
+				"contact us using", "opt out of the sharing of your information, contact",
+			},
+			Templates: []string{
+				"You may opt out of marketing communications by contacting us at privacy@{domain}.",
+				"To opt out of the sharing of your information, contact us using the details below.",
+				"You can unsubscribe by contacting our support team or by writing to us at the address above.",
+			},
+		},
+		{
+			Name: ChoiceOptOutLink, Group: GroupChoices,
+			Desc: "Users can opt-out via a link provided by the company.",
+			Cues: []string{
+				"unsubscribe link", "opt-out link", "click the opt-out",
+				"opt out by clicking", "click the unsubscribe", "opt-out of sale",
+				"do not sell or share my personal information link",
+				"following the unsubscribe", "link at the bottom of",
+			},
+			Templates: []string{
+				"You may opt out at any time by clicking the unsubscribe link at the bottom of our emails.",
+				"To submit a request to opt out of the sale or sharing of your personal information, please click the Opt-Out of Sale/Sharing Request tab on this page.",
+				"Use the opt-out link provided in each marketing message to stop receiving them.",
+			},
+		},
+		{
+			Name: ChoiceSettings, Group: GroupChoices,
+			Desc: "Company provides controls via a dedicated privacy settings page.",
+			Cues: []string{
+				"privacy settings", "account settings", "privacy dashboard",
+				"preference center", "privacy preferences page", "settings page",
+				"through your account settings",
+			},
+			Templates: []string{
+				"You may change your preferences as well as update your personal information through your account settings.",
+				"Our privacy dashboard lets you control how your data is used.",
+				"Visit the preference center to manage your communication choices.",
+			},
+		},
+		{
+			Name: ChoiceOptIn, Group: GroupChoices,
+			Desc: "Users must consent before data can be collected, used, or shared.",
+			Cues: []string{
+				"with your consent", "only with your consent", "opt in",
+				"opt-in", "your prior consent", "obtain your consent",
+				"your express consent", "after you consent",
+			},
+			Templates: []string{
+				"We will only collect this information with your prior consent.",
+				"Sensitive data is processed only after you opt in.",
+				"We obtain your express consent before sharing your data for marketing.",
+			},
+		},
+		{
+			Name: ChoiceDoNotUse, Group: GroupChoices,
+			Desc: "The only option is for users to not use a feature or service.",
+			Cues: []string{
+				"do not use our", "not use the service", "stop using our",
+				"discontinue use", "refrain from using", "choose not to use",
+				"should not use",
+			},
+			Templates: []string{
+				"If you do not agree with this policy, please do not use our services.",
+				"Your only option to avoid this collection is to discontinue use of the feature.",
+				"If you prefer that we not collect this data, choose not to use the mobile application.",
+			},
+		},
+	}
+}
+
+// Access label names.
+const (
+	AccessEdit          = "Edit"
+	AccessFullDelete    = "Full delete"
+	AccessView          = "View"
+	AccessExport        = "Export"
+	AccessPartialDelete = "Partial delete"
+	AccessDeactivate    = "Deactivate"
+)
+
+// AccessLabels returns the user-access labels.
+func AccessLabels() []Label {
+	return []Label{
+		{
+			Name: AccessEdit, Group: GroupAccess,
+			Desc: "Users can modify, correct, or delete specific data.",
+			Cues: []string{
+				"correct your", "update your personal", "modify your",
+				"rectify", "edit your", "update certain of your",
+				"correct inaccuracies", "request correction",
+			},
+			Templates: []string{
+				"You may request that we correct or update your personal information.",
+				"We offer self-help tools that allow you to see and/or update certain of your personal information in our records.",
+				"You have the right to rectify inaccurate personal data we hold about you.",
+			},
+		},
+		{
+			Name: AccessFullDelete, Group: GroupAccess,
+			Desc: "Users can fully delete their account (all data is removed from servers/databases).",
+			Cues: []string{
+				"delete your account and all", "request deletion of your personal",
+				"erase all of your", "right to deletion", "delete all of your data",
+				"permanently delete your account", "request that we delete",
+			},
+			Templates: []string{
+				"You may request that we delete all of your personal information from our servers.",
+				"You have the right to deletion: upon request we will permanently delete your account and associated data.",
+			},
+		},
+		{
+			Name: AccessView, Group: GroupAccess,
+			Desc: "Users can view their data.",
+			Cues: []string{
+				"view your", "access the personal information we hold",
+				"right to access", "request access to your", "see your personal",
+				"know what personal information", "access to the personal information",
+				"request access to the",
+			},
+			Templates: []string{
+				"You may request access to the personal information we hold about you.",
+				"You have the right to know what personal information we have collected and to view it.",
+			},
+		},
+		{
+			Name: AccessExport, Group: GroupAccess,
+			Desc: "Users can export or obtain a copy of their data.",
+			Cues: []string{
+				"copy of your", "export your", "data portability",
+				"portable copy", "download your data", "obtain a copy",
+			},
+			Templates: []string{
+				"You may obtain a copy of your personal data in a portable format.",
+				"You can export your data at any time under your data portability rights.",
+			},
+		},
+		{
+			Name: AccessPartialDelete, Group: GroupAccess,
+			Desc: "Users can partially delete their account (company may retain some of their data).",
+			Cues: []string{
+				"we may retain certain information", "retain some of your",
+				"delete certain of your", "except where retention is required",
+				"some information may be retained", "residual copies",
+			},
+			Templates: []string{
+				"You may delete certain of your information, although we may retain some of your data as required by law.",
+				"Upon deletion requests, some information may be retained in our backup systems.",
+			},
+		},
+		{
+			Name: AccessDeactivate, Group: GroupAccess,
+			Desc: "Users can deactivate their account (company retains access to their data).",
+			Cues: []string{
+				"deactivate your account", "disable your account",
+				"suspend your account", "deactivation",
+			},
+			Templates: []string{
+				"You may deactivate your account at any time; we retain your data while the account is deactivated.",
+				"Account deactivation is available from your profile page.",
+			},
+		},
+	}
+}
+
+// AllLabelGroups returns the four label groups in Table 1 order.
+func AllLabelGroups() map[string][]Label {
+	return map[string][]Label{
+		GroupRetention:  RetentionLabels(),
+		GroupProtection: ProtectionLabels(),
+		GroupChoices:    ChoiceLabels(),
+		GroupAccess:     AccessLabels(),
+	}
+}

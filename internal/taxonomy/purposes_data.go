@@ -1,0 +1,113 @@
+package taxonomy
+
+// Meta-category names for data-collection purposes (Table 1, middle).
+const (
+	MetaOperations = "Operations"
+	MetaLegal      = "Legal"
+	MetaThirdParty = "Third-party"
+)
+
+// PurposeCategories returns the collection-purposes taxonomy: 3
+// meta-categories, 7 categories, 48 normalized descriptors (§3.2.2).
+// Registered extensions (see extension.go) are merged in.
+func PurposeCategories() []Category {
+	return extendPurposes(basePurposeCategories())
+}
+
+func basePurposeCategories() []Category {
+	return []Category{
+		{
+			Name: "Basic functioning", Meta: MetaOperations,
+			Triggers: []string{"service", "operate", "fulfill", "deliver", "process"},
+			Descriptors: []Descriptor{
+				{Name: "cust. service", Synonyms: []string{"customer service", "provide customer service", "customer support", "respond to your inquiries"}},
+				{Name: "cust. communication", Synonyms: []string{"customer communication", "communicate with you", "send you notifications", "contact you"}},
+				{Name: "transaction processing", Synonyms: []string{"process transactions", "process your transactions"}},
+				{Name: "order fulfillment", Synonyms: []string{"fulfill your orders", "fulfill orders", "deliver products", "process and ship orders"}},
+				{Name: "account management", Synonyms: []string{"manage your account", "maintain your account", "create your account"}},
+				{Name: "service provision", Synonyms: []string{"provide our services", "provide the services", "operate our services", "deliver our services"}},
+				{Name: "contract fulfillment", Synonyms: []string{"performance of a contract", "perform our contract", "conduct business with you"}},
+				{Name: "payment processing", Synonyms: []string{"process payments", "process your payments", "billing"}},
+			},
+		},
+		{
+			Name: "User experience", Meta: MetaOperations,
+			Triggers: []string{"improve", "personalize", "experience", "customize"},
+			Descriptors: []Descriptor{
+				{Name: "product improvement", Synonyms: []string{"improve our products", "improve our services", "improve our website", "enhance our services"}},
+				{Name: "personalization", Synonyms: []string{"personalize your experience", "personalize content", "tailor content"}},
+				{Name: "quality assurance", Synonyms: []string{"quality control", "ensure quality", "monitor quality"}},
+				{Name: "user experience enhancement", Synonyms: []string{"enhance your experience", "improve user experience", "enhance the user experience"}},
+				{Name: "customization", Synonyms: []string{"customize our offerings", "customize the services"}},
+				{Name: "troubleshooting", Synonyms: []string{"diagnose problems", "fix issues", "resolve technical issues"}},
+			},
+		},
+		{
+			Name: "Analytics & research", Meta: MetaOperations,
+			Triggers: []string{"analytics", "research", "analyze", "statistics", "trends"},
+			Descriptors: []Descriptor{
+				{Name: "analytics", Synonyms: []string{"perform analytics", "data analytics", "analyze usage", "web analytics"}},
+				{Name: "product/service development", Synonyms: []string{"develop new products", "product development", "develop new services", "develop new features"}},
+				{Name: "research", Synonyms: []string{"conduct research", "internal research", "research purposes"}},
+				{Name: "market research", Synonyms: []string{"conduct market research", "understand our market"}},
+				{Name: "statistical analysis", Synonyms: []string{"compile statistics", "statistical purposes", "aggregate statistics"}},
+				{Name: "performance measurement", Synonyms: []string{"measure performance", "measure the effectiveness"}},
+				{Name: "trend analysis", Synonyms: []string{"analyze trends", "identify usage trends"}},
+			},
+		},
+		{
+			Name: "Legal & compliance", Meta: MetaLegal,
+			Triggers: []string{"legal", "compliance", "law", "regulation", "dispute"},
+			Descriptors: []Descriptor{
+				{Name: "legal compliance", Synonyms: []string{"comply with the law", "comply with legal obligations", "comply with applicable laws", "meet legal requirements"}},
+				{Name: "regulatory compliance", Synonyms: []string{"comply with regulations", "regulatory requirements", "comply with regulatory obligations"}},
+				{Name: "policy compliance", Synonyms: []string{"enforce our policies", "enforce our terms", "enforce our terms of service"}},
+				{Name: "legal obligations", Synonyms: []string{"satisfy legal obligations", "respond to legal process"}},
+				{Name: "dispute resolution", Synonyms: []string{"resolve disputes", "handle disputes"}},
+				{Name: "law enforcement requests", Synonyms: []string{"respond to law enforcement", "cooperate with law enforcement"}},
+				{Name: "record keeping", Synonyms: []string{"maintain records", "keep business records"}},
+			},
+		},
+		{
+			Name: "Security", Meta: MetaLegal,
+			Triggers: []string{"security", "fraud", "protect", "safety", "authenticate"},
+			Descriptors: []Descriptor{
+				{Name: "fraud prevention", Synonyms: []string{"prevent fraud", "detect fraud", "detect and prevent fraud", "fraud detection"}},
+				{Name: "authentication", Synonyms: []string{"authenticate users", "verify your account", "authenticate your identity"}},
+				{Name: "product/service safety", Synonyms: []string{"keep our services safe", "ensure the safety of our services", "maintain the security of our services"}},
+				{Name: "security monitoring", Synonyms: []string{"monitor for security", "monitor for security incidents", "detect security incidents"}},
+				{Name: "threat detection", Synonyms: []string{"detect threats", "identify malicious activity"}},
+				{Name: "identity verification", Synonyms: []string{"verify your identity", "confirm your identity"}},
+				{Name: "abuse prevention", Synonyms: []string{"prevent abuse", "prevent misuse", "protect against unauthorized access"}},
+			},
+		},
+		{
+			Name: "Advertising & sales", Meta: MetaThirdParty,
+			Triggers: []string{"advertising", "marketing", "promotion", "advertisement"},
+			Descriptors: []Descriptor{
+				{Name: "direct marketing", Synonyms: []string{"send you marketing communications", "marketing purposes", "send marketing emails", "email marketing"}},
+				{Name: "promotions", Synonyms: []string{"send you promotions", "promotional offers", "offer promotions", "special offers"}},
+				{Name: "targeted advertising", Synonyms: []string{"serve targeted ads", "interest-based advertising", "personalized advertising", "behavioral advertising"}},
+				{Name: "advertising measurement", Synonyms: []string{"measure ad effectiveness", "measure advertising campaigns"}},
+				{Name: "cross-context advertising", Synonyms: []string{"cross-context behavioral advertising", "advertising across services"}},
+				{Name: "lead generation", Synonyms: []string{"identify prospective customers", "generate leads"}},
+				{Name: "sales outreach", Synonyms: []string{"contact you about products", "sales communications"}},
+			},
+		},
+		{
+			Name: "Data sharing", Meta: MetaThirdParty,
+			Triggers: []string{"share", "sharing", "disclose", "sell", "anonymize"},
+			Descriptors: []Descriptor{
+				{Name: "third-party sharing", Synonyms: []string{"share with third parties", "disclose to third parties", "share your data with third parties"}},
+				{Name: "sharing with partners", Synonyms: []string{"share with our partners", "provide personal information to our affiliated businesses", "share with business partners"}},
+				{Name: "anonymization", Synonyms: []string{"anonymize your data", "aggregate and anonymize", "de-identify data"}},
+				{Name: "data sharing with affiliates", Synonyms: []string{"share with affiliates", "share within our corporate family"}},
+				{Name: "data for sale", Synonyms: []string{"sell your personal information", "sale of personal information", "sell data to third parties"}},
+				{Name: "aggregate data sharing", Synonyms: []string{"share aggregated data", "disclose aggregate information"}},
+			},
+		},
+	}
+}
+
+// NewPurposeIndex builds the lookup index over the purposes taxonomy.
+func NewPurposeIndex() *Index { return NewIndex(PurposeCategories()) }

@@ -1,0 +1,399 @@
+package taxonomy
+
+// Meta-category names for collected data types (Table 4).
+const (
+	MetaPhysicalProfile  = "Physical profile"
+	MetaDigitalProfile   = "Digital profile"
+	MetaBioHealthProfile = "Bio/health profile"
+	MetaFinancialLegal   = "Financial/legal profile"
+	MetaPhysicalBehavior = "Physical behavior"
+	MetaDigitalBehavior  = "Digital behavior"
+)
+
+// TypeCategories returns the full collected-data-types taxonomy: 6
+// meta-categories and 34 categories mirroring Table 4, with 125+
+// normalized descriptors and their surface-form synonyms. Registered
+// extensions (see extension.go) are merged in.
+func TypeCategories() []Category {
+	return extendTypes(baseTypeCategories())
+}
+
+func baseTypeCategories() []Category {
+	return []Category{
+		// ------------------------- Physical profile -------------------------
+		{
+			Name: "Contact info", Meta: MetaPhysicalProfile,
+			Triggers: []string{"contact", "email", "phone", "address"},
+			Descriptors: []Descriptor{
+				{Name: "email address", Synonyms: []string{"e-mail address", "email", "electronic mail address"}},
+				{Name: "postal address", Synonyms: []string{"mailing address", "home address", "street address", "physical address", "shipping address"}},
+				{Name: "phone number", Synonyms: []string{"telephone number", "mobile number", "mobile phone number", "cell phone number"}},
+				{Name: "fax number", Synonyms: []string{"facsimile number"}},
+				{Name: "emergency contact", Synonyms: []string{"emergency contact details"}},
+			},
+		},
+		{
+			Name: "Personal identifier", Meta: MetaPhysicalProfile,
+			Triggers: []string{"identifier", "identity", "passport", "license"},
+			Descriptors: []Descriptor{
+				{Name: "name", Synonyms: []string{"full name", "first and last name", "legal name", "your name"}},
+				{Name: "unique personal identifier", Synonyms: []string{"unique identifier", "personal identifier"}},
+				{Name: "social security number", Synonyms: []string{"ssn", "social security"}},
+				{Name: "date of birth", Synonyms: []string{"birth date", "birthdate", "dob"}},
+				{Name: "driver's license", Synonyms: []string{"driver's license number", "drivers license"}},
+				{Name: "passport number", Synonyms: []string{"passport", "passport details"}},
+				{Name: "government-issued identifier", Synonyms: []string{"government id", "national identification number", "tax identification number"}},
+			},
+		},
+		{
+			Name: "Professional info", Meta: MetaPhysicalProfile,
+			Triggers: []string{"employment", "employer", "job", "professional", "occupation"},
+			Descriptors: []Descriptor{
+				{Name: "employment history", Synonyms: []string{"work history", "employment records", "employment information"}},
+				{Name: "employer details", Synonyms: []string{"employer name", "company you work for", "employer information"}},
+				{Name: "job title", Synonyms: []string{"position", "title and role", "job role"}},
+				{Name: "professional qualifications", Synonyms: []string{"professional certifications", "licenses held"}},
+				{Name: "resume", Synonyms: []string{"curriculum vitae", "cv", "application materials"}},
+			},
+		},
+		{
+			Name: "Demographic info", Meta: MetaPhysicalProfile,
+			Triggers: []string{"demographic", "gender", "age", "ethnicity", "marital"},
+			Descriptors: []Descriptor{
+				{Name: "gender", Synonyms: []string{"sex", "gender identity"}},
+				{Name: "age", Synonyms: []string{"age range", "age group"}},
+				{Name: "demographic info", Synonyms: []string{"demographic information", "demographic data", "demographics"}},
+				{Name: "ethnicity", Synonyms: []string{"race", "racial or ethnic origin"}},
+				{Name: "marital status", Synonyms: []string{"family status"}},
+				{Name: "household data", Synonyms: []string{"household information", "household composition"}},
+				{Name: "nationality", Synonyms: []string{"country of origin"}},
+				{Name: "citizenship", Synonyms: []string{"citizenships held", "residency status"}},
+			},
+		},
+		{
+			Name: "Educational info", Meta: MetaPhysicalProfile,
+			Triggers: []string{"education", "school", "degree", "academic"},
+			Descriptors: []Descriptor{
+				{Name: "educational info", Synonyms: []string{"education information", "education history", "educational background"}},
+				{Name: "schools attended", Synonyms: []string{"institutions attended"}},
+				{Name: "degrees earned", Synonyms: []string{"degrees", "academic degrees"}},
+				{Name: "academic records", Synonyms: []string{"transcripts", "grades"}},
+			},
+		},
+		{
+			Name: "Vehicle info", Meta: MetaPhysicalProfile,
+			Triggers: []string{"vehicle", "vin", "car"},
+			Descriptors: []Descriptor{
+				{Name: "vehicle info", Synonyms: []string{"vehicle information", "vehicle details"}},
+				{Name: "vin", Synonyms: []string{"vehicle identification number"}},
+				{Name: "vehicle registration", Synonyms: []string{"registration details"}},
+				{Name: "license plate", Synonyms: []string{"license plate number"}},
+			},
+		},
+		// ------------------------- Digital profile --------------------------
+		{
+			Name: "Device info", Meta: MetaDigitalProfile,
+			Triggers: []string{"device", "browser", "hardware"},
+			Descriptors: []Descriptor{
+				{Name: "browser type", Synonyms: []string{"type of browser", "browser version", "type of browser software"}},
+				{Name: "operating system", Synonyms: []string{"os version", "type of operating system"}},
+				{Name: "device identifier", Synonyms: []string{"device id", "device identifiers", "advertising identifier", "idfa"}},
+				{Name: "device type", Synonyms: []string{"device model", "hardware model", "type of device"}},
+				{Name: "screen resolution", Synonyms: []string{"display settings"}},
+				{Name: "device settings", Synonyms: []string{"time zone setting", "language setting of the device"}},
+			},
+		},
+		{
+			Name: "Online identifier", Meta: MetaDigitalProfile,
+			Triggers: []string{"ip", "mac", "online"},
+			Descriptors: []Descriptor{
+				{Name: "ip address", Synonyms: []string{"internet protocol address", "internet address", "current internet address"}},
+				{Name: "online identifier", Synonyms: []string{"online identifiers"}},
+				{Name: "domain name", Synonyms: []string{"domain"}},
+				{Name: "mac address", Synonyms: []string{"media access control address"}},
+			},
+		},
+		{
+			Name: "Account info", Meta: MetaDigitalProfile,
+			Triggers: []string{"account", "username", "password", "login", "credential"},
+			Descriptors: []Descriptor{
+				{Name: "username", Synonyms: []string{"user name", "login name", "user id"}},
+				{Name: "password", Synonyms: []string{"passwords", "login credentials"}},
+				{Name: "account info", Synonyms: []string{"account information", "account details"}},
+				{Name: "account number", Synonyms: []string{"customer number", "membership number"}},
+				{Name: "security questions", Synonyms: []string{"security question answers"}},
+			},
+		},
+		{
+			Name: "Network connectivity", Meta: MetaDigitalProfile,
+			Triggers: []string{"isp", "network", "wifi", "connection", "bandwidth"},
+			Descriptors: []Descriptor{
+				{Name: "isp", Synonyms: []string{"internet service provider"}},
+				{Name: "internet connection", Synonyms: []string{"connection information", "connection speed"}},
+				{Name: "network traffic", Synonyms: []string{"traffic data"}},
+				{Name: "connection type", Synonyms: []string{"type of connection"}},
+				{Name: "wifi network", Synonyms: []string{"wireless network information"}},
+			},
+		},
+		{
+			Name: "Social media data", Meta: MetaDigitalProfile,
+			Triggers: []string{"social"},
+			Descriptors: []Descriptor{
+				{Name: "social media handle", Synonyms: []string{"social media username", "social media account name"}},
+				{Name: "profile picture", Synonyms: []string{"profile photo", "avatar"}},
+				{Name: "social media data", Synonyms: []string{"social media information", "social media profile", "social network data"}},
+				{Name: "friends list", Synonyms: []string{"social connections", "contact lists from social media"}},
+			},
+		},
+		{
+			Name: "External data", Meta: MetaDigitalProfile,
+			Triggers: []string{"third-party", "partner", "inference", "broker"},
+			Descriptors: []Descriptor{
+				{Name: "third-party data", Synonyms: []string{"data from third parties", "information from third parties", "third party sources"}},
+				{Name: "data from partners", Synonyms: []string{"partner data", "information from our partners"}},
+				{Name: "inferences", Synonyms: []string{"inferences drawn", "derived data", "inferred preferences"}},
+				{Name: "publicly available data", Synonyms: []string{"public records", "publicly available sources"}},
+			},
+		},
+		// ----------------------- Bio/health profile -------------------------
+		{
+			Name: "Medical info", Meta: MetaBioHealthProfile,
+			Triggers: []string{"medical", "health", "prescription", "diagnosis", "disability"},
+			Descriptors: []Descriptor{
+				{Name: "medical info", Synonyms: []string{"medical information", "health information", "medical data"}},
+				{Name: "medical conditions", Synonyms: []string{"health conditions", "diagnoses"}},
+				{Name: "disability status", Synonyms: []string{"disability information"}},
+				{Name: "prescription information", Synonyms: []string{"medications", "prescription records"}},
+				{Name: "medical records", Synonyms: []string{"health records", "patient records"}},
+			},
+		},
+		{
+			Name: "Biometric data", Meta: MetaBioHealthProfile,
+			Triggers: []string{"biometric", "fingerprint", "facial", "retina", "iris", "voiceprint"},
+			Descriptors: []Descriptor{
+				{Name: "biometric data", Synonyms: []string{"biometric information", "biometric identifiers"}},
+				{Name: "facial data", Synonyms: []string{"face geometry", "facial recognition data", "facial imagery"}},
+				{Name: "fingerprint", Synonyms: []string{"fingerprints", "palm prints or fingerprints"}},
+				{Name: "voice print", Synonyms: []string{"voice prints", "voice recognition data"}},
+				{Name: "retina scan", Synonyms: []string{"imagery of the iris or retina", "iris scan"}},
+			},
+		},
+		{
+			Name: "Physical characteristic", Meta: MetaBioHealthProfile,
+			Triggers: []string{"weight", "height", "appearance"},
+			Descriptors: []Descriptor{
+				{Name: "physical characteristics", Synonyms: []string{"physical description", "physical attributes"}},
+				{Name: "weight", Synonyms: []string{"body weight"}},
+				{Name: "height", Synonyms: []string{"body height"}},
+				{Name: "hair color", Synonyms: nil},
+				{Name: "eye color", Synonyms: nil},
+			},
+		},
+		{
+			Name: "Fitness & health", Meta: MetaBioHealthProfile,
+			Triggers: []string{"fitness", "sleep", "exercise", "wellness"},
+			Descriptors: []Descriptor{
+				{Name: "physical activity info", Synonyms: []string{"activity data", "exercise data", "fitness data"}},
+				{Name: "sleep patterns", Synonyms: []string{"sleep data"}},
+				{Name: "health metrics", Synonyms: []string{"heart rate", "vital signs"}},
+				{Name: "steps taken", Synonyms: []string{"step count"}},
+			},
+		},
+		// ---------------------- Financial/legal profile ---------------------
+		{
+			Name: "Financial info", Meta: MetaFinancialLegal,
+			Triggers: []string{"financial", "payment", "bank", "billing", "card"},
+			Descriptors: []Descriptor{
+				{Name: "payment card info", Synonyms: []string{"credit card number", "debit card information", "payment card details", "credit card information"}},
+				{Name: "financial info", Synonyms: []string{"financial information", "financial data", "financial details"}},
+				{Name: "bank account info", Synonyms: []string{"bank account number", "banking information", "bank details"}},
+				{Name: "billing information", Synonyms: []string{"billing address", "billing details"}},
+			},
+		},
+		{
+			Name: "Legal info", Meta: MetaFinancialLegal,
+			Triggers: []string{"legal", "criminal", "signature", "court", "immigration"},
+			Descriptors: []Descriptor{
+				{Name: "signature", Synonyms: []string{"electronic signature", "e-signature"}},
+				{Name: "background checks", Synonyms: []string{"background check results", "background screening"}},
+				{Name: "criminal records", Synonyms: []string{"criminal history", "criminal convictions"}},
+				{Name: "court records", Synonyms: []string{"litigation records"}},
+				{Name: "immigration status", Synonyms: []string{"visa status", "work authorization"}},
+			},
+		},
+		{
+			Name: "Financial capability", Meta: MetaFinancialLegal,
+			Triggers: []string{"income", "credit", "salary", "assets", "loan"},
+			Descriptors: []Descriptor{
+				{Name: "income", Synonyms: []string{"salary", "income level", "earnings"}},
+				{Name: "credit history", Synonyms: []string{"credit records", "credit reports"}},
+				{Name: "credit score", Synonyms: []string{"credit rating", "creditworthiness"}},
+				{Name: "assets", Synonyms: []string{"asset information", "investment information"}},
+				{Name: "student loan information", Synonyms: []string{"student loan financial information", "loan information"}},
+			},
+		},
+		{
+			Name: "Insurance info", Meta: MetaFinancialLegal,
+			Triggers: []string{"insurance", "claim"},
+			Descriptors: []Descriptor{
+				{Name: "health insurance", Synonyms: []string{"health insurance information", "insurance coverage"}},
+				{Name: "insurance policy number", Synonyms: []string{"policy number"}},
+				{Name: "insurance info", Synonyms: []string{"insurance information", "insurance details"}},
+				{Name: "insurance claims", Synonyms: []string{"claims history", "claim information"}},
+			},
+		},
+		// ------------------------ Physical behavior -------------------------
+		{
+			Name: "Precise location", Meta: MetaPhysicalBehavior,
+			Triggers: []string{"gps", "geolocation"},
+			Descriptors: []Descriptor{
+				{Name: "gps location", Synonyms: []string{"gps coordinates", "latitude and longitude coordinates", "gps data"}},
+				{Name: "precise location", Synonyms: []string{"precise geolocation", "exact location", "precise geolocation data"}},
+				{Name: "device location", Synonyms: []string{"location of your device", "real-time location"}},
+			},
+		},
+		{
+			Name: "Approximate location", Meta: MetaPhysicalBehavior,
+			Triggers: []string{"location", "country", "city", "region"},
+			Descriptors: []Descriptor{
+				{Name: "country", Synonyms: []string{"country of residence"}},
+				{Name: "zip code", Synonyms: []string{"postal code", "zip or postal code"}},
+				{Name: "approximate location", Synonyms: []string{"general location", "approximate geolocation", "coarse location"}},
+				{Name: "city", Synonyms: []string{"city of residence"}},
+				{Name: "geographic region", Synonyms: []string{"state or province", "region of residence"}},
+			},
+		},
+		{
+			Name: "Travel data", Meta: MetaPhysicalBehavior,
+			Triggers: []string{"travel", "trip", "movement", "itinerary"},
+			Descriptors: []Descriptor{
+				{Name: "movement patterns", Synonyms: []string{"movement data"}},
+				{Name: "travel history", Synonyms: []string{"trip history", "travel records"}},
+				{Name: "travel data", Synonyms: []string{"travel information", "itinerary details"}},
+				{Name: "flight information", Synonyms: []string{"booking details"}},
+			},
+		},
+		{
+			Name: "Physical interaction", Meta: MetaPhysicalBehavior,
+			Triggers: []string{"in-store", "store", "event", "visit"},
+			Descriptors: []Descriptor{
+				{Name: "in-store interactions", Synonyms: []string{"in-store behavior", "store visits"}},
+				{Name: "event participation", Synonyms: []string{"event attendance", "events you attend"}},
+				{Name: "interactions", Synonyms: []string{"physical interactions"}},
+				{Name: "cctv footage", Synonyms: []string{"security camera footage", "video surveillance"}},
+			},
+		},
+		// ------------------------- Digital behavior -------------------------
+		{
+			Name: "Internet usage", Meta: MetaDigitalBehavior,
+			Triggers: []string{"browsing", "search", "click", "webpage"},
+			Descriptors: []Descriptor{
+				{Name: "browsing history", Synonyms: []string{"browsing activity", "web browsing history", "browsing behavior"}},
+				{Name: "search history", Synonyms: []string{"search queries", "search terms"}},
+				{Name: "click behavior", Synonyms: []string{"clickstream data", "click patterns", "links clicked"}},
+				{Name: "pages visited", Synonyms: []string{"pages viewed", "pages you visit"}},
+				{Name: "time spent on site", Synonyms: []string{"session duration", "time spent on pages"}},
+				{Name: "referring url", Synonyms: []string{"referring website", "referral source", "referring webpage"}},
+			},
+		},
+		{
+			Name: "Tracking data", Meta: MetaDigitalBehavior,
+			Triggers: []string{"cookie", "beacon", "pixel", "tracking"},
+			Descriptors: []Descriptor{
+				{Name: "cookies", Synonyms: []string{"cookie data", "cookie identifiers", "browser cookies"}},
+				{Name: "web beacons", Synonyms: []string{"beacons", "clear gifs"}},
+				{Name: "online tracking technologies", Synonyms: []string{"tracking technologies", "similar technologies"}},
+				{Name: "pixel tags", Synonyms: []string{"tracking pixels", "pixels"}},
+				{Name: "local storage", Synonyms: []string{"local storage objects", "flash cookies"}},
+			},
+		},
+		{
+			Name: "Product/service usage", Meta: MetaDigitalBehavior,
+			Triggers: []string{"usage", "engagement", "app"},
+			Descriptors: []Descriptor{
+				{Name: "user engagement metrics", Synonyms: []string{"engagement data", "engagement metrics"}},
+				{Name: "website usage", Synonyms: []string{"use of our website", "site usage", "website activity"}},
+				{Name: "app usage", Synonyms: []string{"application usage", "use of our app", "app activity"}},
+				{Name: "feature usage", Synonyms: []string{"features used", "features you use"}},
+				{Name: "usage data", Synonyms: []string{"usage information", "service usage data"}},
+			},
+		},
+		{
+			Name: "Transaction info", Meta: MetaDigitalBehavior,
+			Triggers: []string{"purchase", "transaction", "order", "commercial"},
+			Descriptors: []Descriptor{
+				{Name: "purchase history", Synonyms: []string{"purchasing history", "products purchased", "purchase records"}},
+				{Name: "transaction info", Synonyms: []string{"transaction information", "transaction history", "transaction details"}},
+				{Name: "commercial info", Synonyms: []string{"commercial information"}},
+				{Name: "order details", Synonyms: []string{"order information", "order history"}},
+			},
+		},
+		{
+			Name: "Preferences", Meta: MetaDigitalBehavior,
+			Triggers: []string{"preference", "interest"},
+			Descriptors: []Descriptor{
+				{Name: "language preferences", Synonyms: []string{"preferred language", "language settings"}},
+				{Name: "preferences", Synonyms: []string{"your preferences", "user preferences", "personal preferences"}},
+				{Name: "product preferences", Synonyms: []string{"shopping preferences", "product interests"}},
+				{Name: "marketing preferences", Synonyms: []string{"communication preferences", "contact preferences"}},
+				{Name: "interests", Synonyms: []string{"areas of interest", "hobbies and interests"}},
+			},
+		},
+		{
+			Name: "Content generation", Meta: MetaDigitalBehavior,
+			Triggers: []string{"upload", "post", "comment", "user-generated", "recording"},
+			Descriptors: []Descriptor{
+				{Name: "uploaded media", Synonyms: []string{"photos and videos you upload", "uploaded photos", "uploaded content", "images you provide"}},
+				{Name: "comments & posts", Synonyms: []string{"comments and posts", "posts you make", "comments you leave"}},
+				{Name: "audio recordings", Synonyms: []string{"voice recordings", "recordings of calls"}},
+				{Name: "user-generated content", Synonyms: []string{"content you create", "content you submit"}},
+				{Name: "reviews", Synonyms: []string{"product reviews", "ratings and reviews"}},
+			},
+		},
+		{
+			Name: "Communication data", Meta: MetaDigitalBehavior,
+			Triggers: []string{"communication", "message", "chat", "correspondence"},
+			Descriptors: []Descriptor{
+				{Name: "email records", Synonyms: []string{"email correspondence", "emails you send us"}},
+				{Name: "call records", Synonyms: []string{"call logs", "records of calls"}},
+				{Name: "communication data", Synonyms: []string{"communications with us", "communication records", "correspondence"}},
+				{Name: "chat logs", Synonyms: []string{"chat transcripts", "chat messages"}},
+				{Name: "messages", Synonyms: []string{"message content", "messages you send"}},
+			},
+		},
+		{
+			Name: "Feedback data", Meta: MetaDigitalBehavior,
+			Triggers: []string{"survey", "feedback"},
+			Descriptors: []Descriptor{
+				{Name: "survey responses", Synonyms: []string{"survey answers", "responses to surveys"}},
+				{Name: "cust. service interactions", Synonyms: []string{"customer service interactions", "support interactions", "customer support records"}},
+				{Name: "feedback data", Synonyms: []string{"feedback you provide", "customer feedback"}},
+				{Name: "contest entries", Synonyms: []string{"sweepstakes entries", "promotion entries"}},
+			},
+		},
+		{
+			Name: "Content consumption", Meta: MetaDigitalBehavior,
+			Triggers: []string{"download", "accessed", "viewed", "watched"},
+			Descriptors: []Descriptor{
+				{Name: "accessed content", Synonyms: []string{"content you access", "content viewed", "content you view"}},
+				{Name: "downloaded content", Synonyms: []string{"downloads", "files you download"}},
+				{Name: "access logs", Synonyms: []string{"access times", "log-in records"}},
+				{Name: "videos watched", Synonyms: []string{"viewing history", "watch history"}},
+			},
+		},
+		{
+			Name: "Diagnostic data", Meta: MetaDigitalBehavior,
+			Triggers: []string{"diagnostic", "crash", "error", "log", "performance"},
+			Descriptors: []Descriptor{
+				{Name: "error reports", Synonyms: []string{"error logs"}},
+				{Name: "crash reports", Synonyms: []string{"crash data", "crash logs"}},
+				{Name: "diagnostic data", Synonyms: []string{"diagnostic information", "diagnostics"}},
+				{Name: "performance data", Synonyms: []string{"performance metrics", "system performance data"}},
+				{Name: "log files", Synonyms: []string{"server logs", "log data"}},
+			},
+		},
+	}
+}
+
+// NewTypeIndex builds the lookup index over the data-types taxonomy.
+func NewTypeIndex() *Index { return NewIndex(TypeCategories()) }

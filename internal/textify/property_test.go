@@ -1,0 +1,79 @@
+package textify
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: rendering arbitrary HTML never panics, line numbers are
+// sequential starting at 1, and no line is empty.
+func TestRenderInvariantsProperty(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 4096 {
+			s = s[:4096]
+		}
+		d := RenderHTML(s)
+		for i, l := range d.Lines {
+			if l.Number != i+1 {
+				return false
+			}
+			if strings.TrimSpace(l.Text) == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NumberedText contains exactly one "[n]" marker per line and
+// LineByNumber round-trips every line.
+func TestNumberedTextRoundTripProperty(t *testing.T) {
+	f := func(paras []string) bool {
+		var b strings.Builder
+		for _, p := range paras {
+			clean := strings.Map(func(r rune) rune {
+				if r == '<' || r == '>' || r == '&' {
+					return ' '
+				}
+				return r
+			}, p)
+			b.WriteString("<p>")
+			b.WriteString(clean)
+			b.WriteString("</p>")
+		}
+		d := RenderHTML(b.String())
+		for _, l := range d.Lines {
+			got, ok := d.LineByNumber(l.Number)
+			if !ok || got.Text != l.Text {
+				return false
+			}
+		}
+		lines := strings.Count(d.NumberedText(), "[")
+		return lines >= len(d.Lines) // each line carries its marker
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: word count equals the sum of per-line field counts.
+func TestWordCountConsistencyProperty(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 2048 {
+			s = s[:2048]
+		}
+		d := RenderHTML(s)
+		n := 0
+		for _, l := range d.Lines {
+			n += len(strings.Fields(l.Text))
+		}
+		return n == d.WordCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

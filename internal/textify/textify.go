@@ -1,0 +1,227 @@
+// Package textify converts parsed HTML into annotated plain text, playing
+// the role the inscriptis library plays in the paper (§3.2.1): it renders
+// block-level layout into lines and records, for every line, whether it was
+// an <h1>..<h6> heading or a standalone bold line — the two signals the
+// paper's segmentation step (Appendix B) relies on.
+package textify
+
+import (
+	"fmt"
+	"strings"
+
+	"aipan/internal/htmlx"
+)
+
+// Line is one rendered line of text with layout metadata.
+type Line struct {
+	// Number is the 1-based line number used in chatbot prompts ("[12]").
+	Number int
+	// Text is the rendered text of the line, whitespace-collapsed.
+	Text string
+	// HeadingLevel is 1..6 for text inside <h1>..<h6>, 0 otherwise.
+	HeadingLevel int
+	// Bold reports that every character on the line came from inside
+	// <b>/<strong> (the "bold text on a separate line" heading heuristic).
+	Bold bool
+	// ListItem reports the line began a <li>.
+	ListItem bool
+}
+
+// IsHeading reports whether the line should be treated as a section heading
+// per Appendix B: an <h1>..<h6> line, or an all-bold standalone line.
+func (l Line) IsHeading() bool {
+	return l.HeadingLevel > 0 || (l.Bold && l.Text != "" && !l.ListItem)
+}
+
+// EffectiveLevel returns the heading hierarchy level: 1..6 for <hN>, 7 for
+// standalone bold lines (which the paper ranks below <h6>), 0 for body text.
+func (l Line) EffectiveLevel() int {
+	if l.HeadingLevel > 0 {
+		return l.HeadingLevel
+	}
+	if l.Bold && l.Text != "" && !l.ListItem {
+		return 7
+	}
+	return 0
+}
+
+// Document is the rendered form of a page.
+type Document struct {
+	Title string
+	Lines []Line
+}
+
+// Text returns the plain text, one line per Line.
+func (d *Document) Text() string {
+	parts := make([]string, len(d.Lines))
+	for i, l := range d.Lines {
+		parts[i] = l.Text
+	}
+	return strings.Join(parts, "\n")
+}
+
+// NumberedText renders the document in the "[n] text" format the paper's
+// prompts require.
+func (d *Document) NumberedText() string {
+	var b strings.Builder
+	for _, l := range d.Lines {
+		fmt.Fprintf(&b, "[%d] %s\n", l.Number, l.Text)
+	}
+	return b.String()
+}
+
+// WordCount returns the total number of whitespace-delimited words.
+func (d *Document) WordCount() int {
+	n := 0
+	for _, l := range d.Lines {
+		n += len(strings.Fields(l.Text))
+	}
+	return n
+}
+
+// LineByNumber returns the line with the given number, or a zero Line.
+func (d *Document) LineByNumber(n int) (Line, bool) {
+	i := n - 1
+	if i < 0 || i >= len(d.Lines) {
+		return Line{}, false
+	}
+	return d.Lines[i], true
+}
+
+// blockElements force a line break before and after their content.
+var blockElements = map[string]bool{
+	"address": true, "article": true, "aside": true, "blockquote": true,
+	"div": true, "dl": true, "dd": true, "dt": true, "fieldset": true,
+	"figure": true, "figcaption": true, "footer": true, "form": true,
+	"h1": true, "h2": true, "h3": true, "h4": true, "h5": true, "h6": true,
+	"header": true, "hr": true, "li": true, "main": true, "nav": true,
+	"ol": true, "p": true, "pre": true, "section": true, "table": true,
+	"tr": true, "ul": true, "details": true, "summary": true,
+}
+
+// skipElements are never rendered.
+var skipElements = map[string]bool{
+	"script": true, "style": true, "noscript": true, "head": true,
+	"iframe": true, "svg": true, "template": true, "select": true,
+	"button": true,
+}
+
+type renderer struct {
+	lines []lineBuf
+	cur   lineBuf
+}
+
+type lineBuf struct {
+	b          strings.Builder
+	sawBold    bool
+	sawPlain   bool
+	headingLvl int
+	listItem   bool
+}
+
+func (r *renderer) breakLine() {
+	if strings.TrimSpace(r.cur.b.String()) != "" {
+		r.lines = append(r.lines, r.cur)
+	}
+	r.cur = lineBuf{}
+}
+
+func (r *renderer) appendText(s string, boldDepth, headingLvl int) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return
+	}
+	if r.cur.b.Len() > 0 {
+		r.cur.b.WriteByte(' ')
+	}
+	r.cur.b.WriteString(strings.Join(fields, " "))
+	if boldDepth > 0 {
+		r.cur.sawBold = true
+	} else {
+		r.cur.sawPlain = true
+	}
+	if headingLvl > r.cur.headingLvl {
+		r.cur.headingLvl = headingLvl
+	}
+}
+
+func (r *renderer) walk(n *htmlx.Node, boldDepth, headingLvl int) {
+	switch n.Type {
+	case htmlx.TextNode:
+		r.appendText(n.Data, boldDepth, headingLvl)
+		return
+	case htmlx.CommentNode, htmlx.DoctypeNode:
+		return
+	case htmlx.ElementNode:
+		name := n.Data
+		if skipElements[name] {
+			return
+		}
+		if name == "title" {
+			return // handled separately
+		}
+		if name == "br" {
+			r.breakLine()
+			return
+		}
+		isBlock := blockElements[name]
+		if isBlock {
+			r.breakLine()
+		}
+		switch name {
+		case "b", "strong":
+			boldDepth++
+		case "h1", "h2", "h3", "h4", "h5", "h6":
+			headingLvl = int(name[1] - '0')
+		case "li":
+			r.cur.listItem = true
+			r.appendText("*", boldDepth, headingLvl)
+			// reset sawPlain: the bullet itself shouldn't count as plain text
+			// for bold-line detection, but keeping it is harmless since list
+			// items are excluded from the bold-heading heuristic anyway.
+		case "td", "th":
+			// Cells are joined on the row's line with a spacer.
+			if r.cur.b.Len() > 0 {
+				r.cur.b.WriteString("  ")
+			}
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			r.walk(c, boldDepth, headingLvl)
+		}
+		if isBlock {
+			r.breakLine()
+		}
+	case htmlx.DocumentNode:
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			r.walk(c, boldDepth, headingLvl)
+		}
+	}
+}
+
+// Render converts a parsed HTML tree into a Document.
+func Render(root *htmlx.Node) *Document {
+	r := &renderer{}
+	r.walk(root, 0, 0)
+	r.breakLine()
+
+	doc := &Document{}
+	if t := root.Find(func(n *htmlx.Node) bool { return n.IsElement("title") }); t != nil {
+		doc.Title = t.Text()
+	}
+	for i := range r.lines {
+		lb := &r.lines[i]
+		doc.Lines = append(doc.Lines, Line{
+			Number:       i + 1,
+			Text:         strings.TrimSpace(lb.b.String()),
+			HeadingLevel: lb.headingLvl,
+			Bold:         lb.sawBold && !lb.sawPlain,
+			ListItem:     lb.listItem,
+		})
+	}
+	return doc
+}
+
+// RenderHTML parses src and renders it in one step.
+func RenderHTML(src string) *Document {
+	return Render(htmlx.Parse(src))
+}

@@ -1,0 +1,148 @@
+package textify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicBlocks(t *testing.T) {
+	d := RenderHTML(`<h1>Privacy Policy</h1><p>We collect data.</p><p>We share data.</p>`)
+	if len(d.Lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(d.Lines), d.Text())
+	}
+	if d.Lines[0].Text != "Privacy Policy" || d.Lines[0].HeadingLevel != 1 {
+		t.Errorf("line 0: %+v", d.Lines[0])
+	}
+	if !d.Lines[0].IsHeading() {
+		t.Error("h1 not a heading")
+	}
+	if d.Lines[1].IsHeading() || d.Lines[2].IsHeading() {
+		t.Error("paragraphs flagged as headings")
+	}
+}
+
+func TestRenderInlineStaysOnLine(t *testing.T) {
+	d := RenderHTML(`<p>We collect <b>email</b> and <i>phone</i> data.</p>`)
+	if len(d.Lines) != 1 {
+		t.Fatalf("got %d lines: %q", len(d.Lines), d.Text())
+	}
+	if d.Lines[0].Text != "We collect email and phone data." {
+		t.Errorf("text: %q", d.Lines[0].Text)
+	}
+	if d.Lines[0].Bold {
+		t.Error("mixed line should not be Bold")
+	}
+	if d.Lines[0].IsHeading() {
+		t.Error("inline bold must not make a heading")
+	}
+}
+
+func TestRenderStandaloneBoldHeading(t *testing.T) {
+	d := RenderHTML(`<div><b>Information We Collect</b></div><p>Names and emails.</p>`)
+	if len(d.Lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(d.Lines), d.Text())
+	}
+	if !d.Lines[0].Bold || !d.Lines[0].IsHeading() {
+		t.Errorf("standalone bold should be heading: %+v", d.Lines[0])
+	}
+	if d.Lines[0].EffectiveLevel() != 7 {
+		t.Errorf("bold heading level = %d, want 7", d.Lines[0].EffectiveLevel())
+	}
+}
+
+func TestRenderLists(t *testing.T) {
+	d := RenderHTML(`<ul><li>email address</li><li><b>phone number</b></li></ul>`)
+	if len(d.Lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(d.Lines), d.Text())
+	}
+	if !strings.HasPrefix(d.Lines[0].Text, "* ") {
+		t.Errorf("bullet missing: %q", d.Lines[0].Text)
+	}
+	if !d.Lines[0].ListItem {
+		t.Error("ListItem not set")
+	}
+	// Bold list items must not count as headings.
+	if d.Lines[1].IsHeading() {
+		t.Error("bold list item flagged as heading")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	d := RenderHTML(`<table><tr><td>Category</td><td>Example</td></tr><tr><td>Contact</td><td>email</td></tr></table>`)
+	if len(d.Lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(d.Lines), d.Text())
+	}
+	if !strings.Contains(d.Lines[0].Text, "Category") || !strings.Contains(d.Lines[0].Text, "Example") {
+		t.Errorf("row 0: %q", d.Lines[0].Text)
+	}
+}
+
+func TestRenderSkipsScriptsAndHead(t *testing.T) {
+	d := RenderHTML(`<html><head><title>ACME</title><style>p{}</style></head><body><script>x()</script><p>visible</p></body></html>`)
+	if d.Title != "ACME" {
+		t.Errorf("title = %q", d.Title)
+	}
+	if d.Text() != "visible" {
+		t.Errorf("text = %q", d.Text())
+	}
+}
+
+func TestRenderBr(t *testing.T) {
+	d := RenderHTML(`<p>line one<br>line two</p>`)
+	if len(d.Lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(d.Lines), d.Text())
+	}
+}
+
+func TestNumberedText(t *testing.T) {
+	d := RenderHTML(`<p>a</p><p>b</p>`)
+	want := "[1] a\n[2] b\n"
+	if got := d.NumberedText(); got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	l, ok := d.LineByNumber(2)
+	if !ok || l.Text != "b" {
+		t.Errorf("LineByNumber(2) = %+v, %v", l, ok)
+	}
+	if _, ok := d.LineByNumber(99); ok {
+		t.Error("LineByNumber(99) should fail")
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	d := RenderHTML(`<p>one two three</p><p>four five</p>`)
+	if d.WordCount() != 5 {
+		t.Errorf("WordCount = %d", d.WordCount())
+	}
+}
+
+func TestWhitespaceCollapse(t *testing.T) {
+	d := RenderHTML("<p>  a \n\t b   <span> c</span></p>")
+	if d.Lines[0].Text != "a b c" {
+		t.Errorf("got %q", d.Lines[0].Text)
+	}
+}
+
+func TestHeadingLevels(t *testing.T) {
+	d := RenderHTML(`<h2>Two</h2><h4>Four</h4>`)
+	if d.Lines[0].EffectiveLevel() != 2 || d.Lines[1].EffectiveLevel() != 4 {
+		t.Errorf("levels: %d %d", d.Lines[0].EffectiveLevel(), d.Lines[1].EffectiveLevel())
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	d := RenderHTML(``)
+	if len(d.Lines) != 0 || d.WordCount() != 0 {
+		t.Errorf("empty doc: %+v", d)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	page := `<html><body>` + strings.Repeat(
+		`<h2>Section</h2><p>We collect your <b>email address</b>, phone number and postal address for customer service.</p><ul><li>cookies</li><li>ip address</li></ul>`, 100) + `</body></html>`
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RenderHTML(page)
+	}
+}

@@ -1,0 +1,181 @@
+// Package trends compares two dataset snapshots — e.g. two crawls of the
+// same universe taken months apart — and reports how the privacy-policy
+// ecosystem moved: per-category coverage deltas and per-domain practice
+// changes. It implements the "trends" analysis the paper's conclusion
+// names as a downstream use of normalized annotations (§6).
+package trends
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aipan/internal/stats"
+	"aipan/internal/store"
+)
+
+// Delta is one (aspect, meta, category) coverage movement between
+// snapshots.
+type Delta struct {
+	Aspect   string
+	Meta     string
+	Category string
+	// OldCov / NewCov are coverage fractions over annotated domains.
+	OldCov float64
+	NewCov float64
+}
+
+// Change returns NewCov − OldCov.
+func (d Delta) Change() float64 { return d.NewCov - d.OldCov }
+
+// coverage computes per-(aspect,meta,category) coverage for a snapshot.
+func coverage(records []store.Record) (map[[3]string]float64, int) {
+	counts := map[[3]string]int{}
+	annotated := 0
+	for i := range records {
+		rec := &records[i]
+		if !rec.Annotated() {
+			continue
+		}
+		annotated++
+		seen := map[[3]string]bool{}
+		for _, a := range rec.Annotations {
+			key := [3]string{a.Aspect, a.Meta, a.Category}
+			if !seen[key] {
+				seen[key] = true
+				counts[key]++
+			}
+		}
+	}
+	out := make(map[[3]string]float64, len(counts))
+	for k, c := range counts {
+		out[k] = float64(c) / float64(max(1, annotated))
+	}
+	return out, annotated
+}
+
+// CoverageDeltas compares snapshots, returning deltas sorted by absolute
+// movement (largest first, ties by name for determinism).
+func CoverageDeltas(old, new []store.Record) []Delta {
+	oldCov, _ := coverage(old)
+	newCov, _ := coverage(new)
+	keys := map[[3]string]bool{}
+	for k := range oldCov {
+		keys[k] = true
+	}
+	for k := range newCov {
+		keys[k] = true
+	}
+	var out []Delta
+	for k := range keys {
+		out = append(out, Delta{
+			Aspect: k[0], Meta: k[1], Category: k[2],
+			OldCov: oldCov[k], NewCov: newCov[k],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := math.Abs(out[i].Change()), math.Abs(out[j].Change())
+		if ci != cj {
+			return ci > cj
+		}
+		if out[i].Aspect != out[j].Aspect {
+			return out[i].Aspect < out[j].Aspect
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// DomainChanges summarizes per-domain practice movement.
+type DomainChanges struct {
+	// NewDomains / GoneDomains appear in only one snapshot.
+	NewDomains  []string
+	GoneDomains []string
+	// Gained / Lost count domains that added or dropped a practice,
+	// keyed "aspect|meta|category".
+	Gained map[string]int
+	Lost   map[string]int
+	// Unchanged counts domains whose practice sets are identical.
+	Unchanged int
+	// Compared counts domains present and annotated in both snapshots.
+	Compared int
+}
+
+// CompareDomains diffs the per-domain practice sets of two snapshots.
+func CompareDomains(old, new []store.Record) DomainChanges {
+	practiceSet := func(rec *store.Record) map[string]bool {
+		s := map[string]bool{}
+		for _, a := range rec.Annotations {
+			s[a.Aspect+"|"+a.Meta+"|"+a.Category] = true
+		}
+		return s
+	}
+	oldBy := map[string]*store.Record{}
+	for i := range old {
+		oldBy[old[i].Domain] = &old[i]
+	}
+	ch := DomainChanges{Gained: map[string]int{}, Lost: map[string]int{}}
+	newSeen := map[string]bool{}
+	for i := range new {
+		rec := &new[i]
+		newSeen[rec.Domain] = true
+		oldRec, ok := oldBy[rec.Domain]
+		if !ok {
+			ch.NewDomains = append(ch.NewDomains, rec.Domain)
+			continue
+		}
+		if !rec.Annotated() || !oldRec.Annotated() {
+			continue
+		}
+		ch.Compared++
+		oldSet, newSet := practiceSet(oldRec), practiceSet(rec)
+		changed := false
+		for k := range newSet {
+			if !oldSet[k] {
+				ch.Gained[k]++
+				changed = true
+			}
+		}
+		for k := range oldSet {
+			if !newSet[k] {
+				ch.Lost[k]++
+				changed = true
+			}
+		}
+		if !changed {
+			ch.Unchanged++
+		}
+	}
+	for i := range old {
+		if !newSeen[old[i].Domain] {
+			ch.GoneDomains = append(ch.GoneDomains, old[i].Domain)
+		}
+	}
+	sort.Strings(ch.NewDomains)
+	sort.Strings(ch.GoneDomains)
+	return ch
+}
+
+// DeltaTable renders the top-n coverage movements.
+func DeltaTable(deltas []Delta, n int) *stats.Table {
+	t := &stats.Table{
+		Title:   "Coverage movement between snapshots",
+		Headers: []string{"Aspect", "Category", "Old", "New", "Δ"},
+	}
+	for i, d := range deltas {
+		if i >= n {
+			break
+		}
+		t.AddRow(d.Aspect, d.Category,
+			stats.Pct(d.OldCov), stats.Pct(d.NewCov),
+			fmt.Sprintf("%+.1f pts", d.Change()*100))
+	}
+	return t
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

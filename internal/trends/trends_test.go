@@ -1,0 +1,114 @@
+package trends
+
+import (
+	"strings"
+	"testing"
+
+	"aipan/internal/annotate"
+	"aipan/internal/store"
+)
+
+func rec(domain string, practices ...string) store.Record {
+	r := store.Record{Domain: domain, SectorAbbrev: "IT"}
+	for _, p := range practices {
+		parts := strings.SplitN(p, "|", 3)
+		r.Annotations = append(r.Annotations, annotate.Annotation{
+			Aspect: parts[0], Meta: parts[1], Category: parts[2], Text: "t",
+		})
+	}
+	return r
+}
+
+func TestCoverageDeltas(t *testing.T) {
+	old := []store.Record{
+		rec("a.example.com", "types|Physical profile|Contact info"),
+		rec("b.example.com", "types|Physical profile|Contact info"),
+	}
+	new := []store.Record{
+		rec("a.example.com", "types|Physical profile|Contact info", "rights|User access|Full delete"),
+		rec("b.example.com", "rights|User access|Full delete"),
+	}
+	deltas := CoverageDeltas(old, new)
+	byCat := map[string]Delta{}
+	for _, d := range deltas {
+		byCat[d.Category] = d
+	}
+	fd := byCat["Full delete"]
+	if fd.OldCov != 0 || fd.NewCov != 1 {
+		t.Errorf("Full delete delta: %+v", fd)
+	}
+	ci := byCat["Contact info"]
+	if ci.OldCov != 1 || ci.NewCov != 0.5 {
+		t.Errorf("Contact info delta: %+v", ci)
+	}
+	// Sorted by |change|: Full delete (+1.0) before Contact info (−0.5).
+	if deltas[0].Category != "Full delete" {
+		t.Errorf("first delta = %+v", deltas[0])
+	}
+}
+
+func TestCompareDomains(t *testing.T) {
+	old := []store.Record{
+		rec("a.example.com", "types|m|Contact info"),
+		rec("gone.example.com", "types|m|Contact info"),
+		rec("same.example.com", "rights|m|Edit"),
+	}
+	new := []store.Record{
+		rec("a.example.com", "types|m|Contact info", "handling|m|Stated"),
+		rec("same.example.com", "rights|m|Edit"),
+		rec("fresh.example.com", "types|m|Contact info"),
+	}
+	ch := CompareDomains(old, new)
+	if len(ch.NewDomains) != 1 || ch.NewDomains[0] != "fresh.example.com" {
+		t.Errorf("new domains: %v", ch.NewDomains)
+	}
+	if len(ch.GoneDomains) != 1 || ch.GoneDomains[0] != "gone.example.com" {
+		t.Errorf("gone domains: %v", ch.GoneDomains)
+	}
+	if ch.Compared != 2 || ch.Unchanged != 1 {
+		t.Errorf("compared=%d unchanged=%d", ch.Compared, ch.Unchanged)
+	}
+	if ch.Gained["handling|m|Stated"] != 1 {
+		t.Errorf("gained: %v", ch.Gained)
+	}
+	if len(ch.Lost) != 0 {
+		t.Errorf("lost: %v", ch.Lost)
+	}
+}
+
+func TestDeltaTable(t *testing.T) {
+	deltas := []Delta{
+		{Aspect: "types", Category: "Contact info", OldCov: 0.8, NewCov: 0.9},
+		{Aspect: "rights", Category: "Edit", OldCov: 0.7, NewCov: 0.6},
+	}
+	out := DeltaTable(deltas, 1).Render()
+	if !strings.Contains(out, "Contact info") || strings.Contains(out, "Edit") {
+		t.Errorf("table:\n%s", out)
+	}
+	if !strings.Contains(out, "+10.0 pts") {
+		t.Errorf("delta formatting:\n%s", out)
+	}
+}
+
+func TestIdenticalSnapshotsNoMovement(t *testing.T) {
+	snap := []store.Record{rec("a.example.com", "types|m|Contact info")}
+	for _, d := range CoverageDeltas(snap, snap) {
+		if d.Change() != 0 {
+			t.Errorf("movement in identical snapshots: %+v", d)
+		}
+	}
+	ch := CompareDomains(snap, snap)
+	if ch.Unchanged != 1 || len(ch.Gained) != 0 || len(ch.Lost) != 0 {
+		t.Errorf("identical snapshots changed: %+v", ch)
+	}
+}
+
+func TestEmptySnapshots(t *testing.T) {
+	if got := CoverageDeltas(nil, nil); len(got) != 0 {
+		t.Errorf("deltas over empty snapshots: %v", got)
+	}
+	ch := CompareDomains(nil, nil)
+	if ch.Compared != 0 {
+		t.Errorf("compared = %d", ch.Compared)
+	}
+}

@@ -1,0 +1,24 @@
+package virtualweb
+
+import (
+	"sync"
+
+	"aipan/internal/webgen"
+)
+
+// atomicMap is a small typed wrapper over sync.Map for the render cache.
+type atomicMap struct {
+	m sync.Map
+}
+
+func (a *atomicMap) load(host string) (map[string]webgen.Page, bool) {
+	v, ok := a.m.Load(host)
+	if !ok {
+		return nil, false
+	}
+	return v.(map[string]webgen.Page), true
+}
+
+func (a *atomicMap) store(host string, pages map[string]webgen.Page) {
+	a.m.Store(host, pages)
+}

@@ -1,0 +1,118 @@
+package webgen
+
+// This file encodes the published shape of the privacy-policy ecosystem —
+// the paper's Tables 2b, 3 and 5 — as sampling targets. The generator
+// draws each synthetic company's policy profile from these distributions,
+// so the corpus the pipeline measures has the ecosystem's published
+// structure and the experiment harness can compare measured-vs-paper rows.
+
+// CatStats is one category's sampling target: overall coverage (fraction
+// of companies mentioning the category at all), the mean/SD of unique
+// descriptor counts among those companies, and per-sector coverage
+// overrides for the sectors the paper names (Table 5's highest/lowest
+// columns). Unnamed sectors fall back to the overall coverage.
+type CatStats struct {
+	Category  string
+	Cov       float64
+	Mean, SD  float64
+	SectorCov map[string]float64
+}
+
+// typeTargets encodes Table 5 (collected data types, all 34 categories).
+var typeTargets = []CatStats{
+	{"Contact info", .864, 3.6, 1.4, map[string]float64{"HC": .910, "TC": .908, "CD": .904, "FS": .774}},
+	{"Personal identifier", .895, 3.4, 2.6, map[string]float64{"TC": .939, "CD": .918, "CS": .913, "EN": .778}},
+	{"Professional info", .590, 4.5, 5.0, map[string]float64{"IT": .687, "HC": .656, "TC": .653, "UT": .444}},
+	{"Demographic info", .499, 4.7, 4.2, map[string]float64{"TC": .673, "CD": .653, "CS": .621, "MT": .298}},
+	{"Educational info", .279, 2.2, 2.3, map[string]float64{"HC": .346, "FS": .314, "CS": .282, "MT": .158}},
+	{"Vehicle info", .050, 3.0, 8.2, map[string]float64{"CD": .113, "RE": .097, "IN": .080, "HC": .004}},
+	{"Device info", .744, 4.0, 2.9, map[string]float64{"TC": .888, "CD": .863, "IT": .830, "FS": .583}},
+	{"Online identifier", .809, 1.7, 0.9, map[string]float64{"TC": .888, "CD": .883, "UT": .870, "FS": .657}},
+	{"Account info", .500, 2.4, 1.6, map[string]float64{"CD": .646, "TC": .622, "IT": .604, "EN": .303}},
+	{"Network connectivity", .295, 1.5, 1.0, map[string]float64{"CD": .450, "TC": .449, "IT": .347, "EN": .141}},
+	{"Social media data", .233, 1.6, 1.2, map[string]float64{"CD": .395, "TC": .367, "CS": .340, "MT": .096}},
+	{"External data", .124, 1.7, 1.4, map[string]float64{"TC": .235, "UT": .185, "CS": .175, "EN": .051}},
+	{"Medical info", .283, 3.7, 3.5, map[string]float64{"HC": .501, "CS": .311, "FS": .280, "EN": .111}},
+	{"Biometric data", .164, 2.6, 3.0, map[string]float64{"FS": .202, "HC": .191, "CD": .189, "EN": .030}},
+	{"Physical characteristic", .112, 1.5, 1.1, map[string]float64{"CS": .165, "FS": .161, "CD": .144, "EN": .040}},
+	{"Fitness & health", .035, 2.2, 2.5, map[string]float64{"TC": .071, "CD": .052, "HC": .047, "IT": .015}},
+	{"Financial info", .539, 3.2, 2.3, map[string]float64{"CD": .735, "UT": .648, "FS": .639, "EN": .273}},
+	{"Legal info", .287, 2.3, 2.1, map[string]float64{"FS": .359, "CD": .330, "RE": .323, "MT": .167}},
+	{"Financial capability", .215, 2.5, 2.1, map[string]float64{"FS": .516, "RE": .226, "CD": .192, "CS": .087}},
+	{"Insurance info", .148, 2.0, 1.7, map[string]float64{"FS": .242, "HC": .222, "CD": .134, "MT": .061}},
+	{"Precise location", .509, 1.5, 0.9, map[string]float64{"TC": .714, "CD": .684, "CS": .592, "EN": .253}},
+	{"Approximate location", .333, 1.8, 1.2, map[string]float64{"TC": .541, "IT": .449, "CD": .430, "UT": .167}},
+	{"Travel data", .066, 1.6, 1.9, map[string]float64{"IN": .104, "CD": .096, "TC": .092, "UT": .019}},
+	{"Physical interaction", .028, 1.2, 0.5, map[string]float64{"CD": .065, "RE": .040, "IN": .036, "FS": .016}},
+	{"Internet usage", .728, 3.8, 2.8, map[string]float64{"TC": .847, "CD": .832, "CS": .806, "EN": .485}},
+	{"Tracking data", .467, 2.3, 1.6, map[string]float64{"CD": .550, "IT": .542, "TC": .510, "FS": .377}},
+	{"Product/service usage", .508, 2.1, 1.8, map[string]float64{"TC": .724, "CD": .619, "CS": .602, "EN": .323}},
+	{"Transaction info", .439, 2.2, 1.5, map[string]float64{"CD": .639, "FS": .601, "CS": .583, "EN": .212}},
+	{"Preferences", .491, 2.0, 1.3, map[string]float64{"CD": .656, "CS": .641, "TC": .541, "UT": .296}},
+	{"Content generation", .328, 2.3, 1.9, map[string]float64{"CD": .495, "TC": .418, "CS": .417, "UT": .130}},
+	{"Communication data", .338, 1.9, 1.4, map[string]float64{"TC": .480, "CD": .426, "IT": .390, "UT": .111}},
+	{"Feedback data", .253, 1.8, 1.2, map[string]float64{"CD": .371, "CS": .340, "IT": .310, "EN": .121}},
+	{"Content consumption", .267, 1.3, 0.8, map[string]float64{"TC": .469, "IT": .347, "CS": .330, "UT": .111}},
+	{"Diagnostic data", .143, 1.6, 1.3, map[string]float64{"TC": .265, "IT": .220, "IN": .171, "EN": .040}},
+}
+
+// purposeTargets encodes Table 2b (collection purposes, 7 categories).
+var purposeTargets = []CatStats{
+	{"Basic functioning", .951, 9.1, 7.8, map[string]float64{"CS": .990, "TC": .980, "HC": .974, "EN": .889}},
+	{"User experience", .865, 3.9, 2.9, map[string]float64{"CS": .932, "IT": .923, "CD": .921, "FS": .751}},
+	{"Analytics & research", .813, 4.1, 3.1, map[string]float64{"CD": .893, "TC": .888, "CS": .874, "EN": .667}},
+	{"Legal & compliance", .732, 4.1, 3.3, map[string]float64{"TC": .827, "FS": .783, "CD": .780, "EN": .475}},
+	{"Security", .725, 4.1, 3.3, map[string]float64{"TC": .857, "CS": .796, "CD": .790, "EN": .535}},
+	{"Advertising & sales", .780, 3.0, 2.3, map[string]float64{"CD": .911, "CS": .854, "IT": .848, "EN": .515}},
+	{"Data sharing", .261, 2.1, 2.3, map[string]float64{"TC": .367, "RE": .355, "HC": .303, "FS": .182}},
+}
+
+// LabelStats is one handling/rights label's coverage target (Table 3).
+type LabelStats struct {
+	Group     string
+	Label     string
+	Cov       float64
+	SectorCov map[string]float64
+}
+
+// labelTargets encodes Table 3 (data handling and user rights).
+var labelTargets = []LabelStats{
+	{"Data retention", "Limited", .609, map[string]float64{"TC": .816, "IT": .814, "UT": .259}},
+	{"Data retention", "Stated", .099, map[string]float64{"IT": .164, "TC": .153, "UT": .056}},
+	{"Data retention", "Indefinitely", .055, map[string]float64{"HC": .065, "TC": .061, "CD": .045}},
+	{"Data protection", "Generic", .731, map[string]float64{"RE": .782, "IT": .765, "EN": .636}},
+	{"Data protection", "Access limit", .191, map[string]float64{"FS": .294, "IT": .220, "MT": .114}},
+	{"Data protection", "Secure transfer", .140, map[string]float64{"UT": .185, "TC": .184, "EN": .071}},
+	{"Data protection", "Secure storage", .161, map[string]float64{"FS": .316, "IT": .214, "CS": .049}},
+	{"Data protection", "Privacy program", .099, map[string]float64{"IT": .164, "FS": .143, "RE": .032}},
+	{"Data protection", "Privacy review", .068, map[string]float64{"IT": .130, "UT": .111, "CS": .029}},
+	{"Data protection", "Secure authentication", .042, map[string]float64{"FS": .072, "IT": .053, "MT": .018}},
+	{"User choices", "Opt-out via contact", .652, map[string]float64{"TC": .724, "IT": .718, "EN": .434}},
+	{"User choices", "Opt-out via link", .361, map[string]float64{"TC": .612, "CS": .602, "EN": .172}},
+	{"User choices", "Privacy settings", .177, map[string]float64{"TC": .296, "IT": .245, "EN": .081}},
+	{"User choices", "Opt-in", .177, map[string]float64{"CS": .223, "UT": .222, "TC": .122}},
+	{"User choices", "Do not use", .105, map[string]float64{"UT": .148, "CS": .136, "RE": .081}},
+	{"User access", "Edit", .716, map[string]float64{"IT": .854, "TC": .806, "EN": .434}},
+	{"User access", "Full delete", .535, map[string]float64{"CD": .639, "TC": .622, "UT": .278}},
+	{"User access", "View", .456, map[string]float64{"IT": .573, "TC": .520, "UT": .278}},
+	{"User access", "Export", .429, map[string]float64{"IT": .610, "CS": .495, "UT": .185}},
+	{"User access", "Partial delete", .112, map[string]float64{"TC": .224, "IT": .146, "UT": .019}},
+	{"User access", "Deactivate", .025, map[string]float64{"TC": .082, "UT": .056, "IN": .008}},
+}
+
+// coverageFor resolves a target coverage for a sector abbreviation.
+func coverageFor(overall float64, overrides map[string]float64, sectorAbbrev string) float64 {
+	if v, ok := overrides[sectorAbbrev]; ok {
+		return v
+	}
+	return overall
+}
+
+// statedRetentionDays is the sampling pool for explicit retention periods,
+// weighted so the median lands at 2 years (§5: median 2 years, min 1 day,
+// max 50 years — the extremes are pinned to specific domains by the
+// sampler).
+var statedRetentionDays = []int{
+	30, 90, 180, 365, 365, 730, 730, 730, 730, 1095, 1095, 1825, 1825,
+	2190, 2555, 3650,
+}

@@ -1,0 +1,410 @@
+package webgen
+
+import (
+	"fmt"
+	"strings"
+
+	"aipan/internal/taxonomy"
+)
+
+// Page is one servable resource of a synthetic site.
+type Page struct {
+	// Status is the HTTP status code (200, 403, 404, ...).
+	Status int
+	// ContentType is the response Content-Type.
+	ContentType string
+	// Body is the response body.
+	Body string
+	// RedirectTo makes the page a 301 to another path.
+	RedirectTo string
+	// Hang simulates a crawler timeout: the transport fails the request.
+	Hang bool
+}
+
+// germanPolicy is the non-English failure body (dropped by the language
+// filter, as in §4).
+const germanPolicy = `Wir erheben personenbezogene Daten, die Sie uns zur Verfügung stellen,
+etwa Ihren Namen, Ihre Postanschrift und Ihre E-Mail-Adresse. Diese Daten verwenden wir,
+um unsere Dienste bereitzustellen und zu verbessern, zur Betrugsprävention sowie zur
+Erfüllung gesetzlicher Pflichten. Wir bewahren Ihre Daten nur so lange auf, wie es für
+die beschriebenen Zwecke erforderlich ist. Sie haben das Recht, Auskunft über die von
+uns gespeicherten Daten zu verlangen, deren Berichtigung oder Löschung zu fordern und
+der Verarbeitung zu widersprechen. Bitte kontaktieren Sie unser Datenschutzteam, wenn
+Sie Fragen zu dieser Erklärung haben. Diese Erklärung kann von Zeit zu Zeit angepasst
+werden; die jeweils aktuelle Fassung finden Sie auf dieser Seite.`
+
+// RenderSite produces every page of a site, keyed by URL path.
+func (g *Generator) RenderSite(domain string) map[string]Page {
+	s := g.sites[domain]
+	if s == nil {
+		return nil
+	}
+	pages := map[string]Page{}
+
+	switch s.Failure {
+	case FailBlocked:
+		pages["/"] = Page{Status: 403, ContentType: "text/html", Body: "<html><body><h1>403 Forbidden</h1></body></html>"}
+		pages["*"] = pages["/"]
+		return pages
+	case FailTimeout:
+		pages["/"] = Page{Hang: true}
+		pages["*"] = pages["/"]
+		return pages
+	}
+
+	entry, footerLinks, headerLinks := g.layoutPaths(s)
+	pages["/"] = g.homePage(s, footerLinks)
+	pages["/about"] = g.simplePage(s, "About "+s.Company, "We are a "+strings.ToLower(s.Sector)+" company serving customers nationwide.", footerLinks)
+	pages["/careers"] = g.simplePage(s, "Careers", "Join the "+s.Company+" team.", footerLinks)
+	pages["/terms"] = g.simplePage(s, "Terms of Use", "These terms govern your use of our services.", footerLinks)
+
+	switch s.Failure {
+	case FailNoPolicy:
+		return pages
+	case FailOddLink:
+		// The policy exists at a path the crawler's privacy heuristics miss.
+		pages["/legal"] = g.policyPage(s, headerLinks, footerLinks, g.generatePolicy(s))
+		return pages
+	case FailJSLink:
+		// Homepage carries a javascript: link instead of a navigable href;
+		// the policy hides at an unguessable path.
+		pages["/p/9f3a2b"] = g.policyPage(s, headerLinks, footerLinks, g.generatePolicy(s))
+		return pages
+	case FailConsentLink:
+		// Link only exists inside a script-built consent box.
+		pages["/privacy-settings-center"] = g.policyPage(s, headerLinks, footerLinks, g.generatePolicy(s))
+		return pages
+	case FailPDFOnly:
+		pages["/privacy-policy.pdf"] = Page{
+			Status:      200,
+			ContentType: "application/pdf",
+			Body:        "%PDF-1.4\n1 0 obj << /Type /Catalog >>\nstream ... privacy policy ... endstream\n%%EOF",
+		}
+		return pages
+	case FailNonEnglish:
+		pages[entry] = g.wrapPolicyBody(s, headerLinks, footerLinks,
+			"<h1>Datenschutzerklärung</h1><p>"+strings.ReplaceAll(germanPolicy, "\n", " ")+"</p>")
+	case FailJSOnly:
+		pages[entry] = g.wrapPolicyBody(s, headerLinks, footerLinks,
+			`<div id="app"></div><script>fetch('/api/policy.json').then(r=>r.json()).then(p=>{document.getElementById('app').innerHTML=p.html});</script>`)
+	case FailImagePolicy:
+		pages[entry] = g.wrapPolicyBody(s, headerLinks, footerLinks,
+			`<h1>Privacy Policy</h1><img src="/assets/privacy-policy.png" alt="">`)
+	case FailStub:
+		pages[entry] = g.wrapPolicyBody(s, headerLinks, footerLinks,
+			`<h1>Privacy Policy</h1><p>Our updated statement is being finalized and will appear here soon. Thank you for your patience.</p>`)
+	case FailVague:
+		pages[entry] = g.policyPage(s, headerLinks, footerLinks, vaguePolicy(s))
+	default:
+		pages[entry] = g.policyPage(s, headerLinks, footerLinks, g.mainSections(s))
+	}
+
+	g.addAuxiliaryPages(s, pages, entry, headerLinks, footerLinks)
+	return pages
+}
+
+// layoutPaths decides the entry path and the header/footer link sets.
+func (g *Generator) layoutPaths(s *Site) (entry string, footer, header []link) {
+	l := s.Layout
+	switch {
+	case s.Failure == FailPDFOnly:
+		entry = "/privacy-policy.pdf"
+	case l.Hub:
+		entry = "/privacy-center/statement"
+	default:
+		// Many real policies live at bespoke paths, with the well-known
+		// paths redirecting; this keeps footer links and well-known probes
+		// on distinct URLs (the paper's 5.1 pages/site average).
+		rng := g.rngFor(s.Domain, "entry")
+		if l.WellKnownPolicy && rng.Float64() < 0.45 {
+			entry = "/privacy-policy"
+		} else {
+			entry = pick(rng, []string{
+				"/legal/privacy", "/corporate/privacy", "/privacy-notice",
+				"/legal/privacy-policy", "/about/privacy",
+			})
+		}
+	}
+
+	footer = []link{{"/about", "About"}, {"/careers", "Careers"}, {"/terms", "Terms of Use"}}
+	switch s.Failure {
+	case FailNoPolicy:
+		// no privacy footer link at all
+	case FailJSLink:
+		footer = append(footer, link{"javascript:openPrivacy()", "Privacy Policy"})
+	case FailConsentLink:
+		// The privacy anchor only exists inside a script string.
+	default:
+		if l.FooterLabel != "" {
+			target := entry
+			if l.Hub {
+				target = "/privacy-center"
+			}
+			footer = append(footer, link{target, l.FooterLabel})
+		}
+		if l.ChoicesPage {
+			footer = append(footer, link{"/privacy-choices", "Your Privacy Choices"})
+		}
+		if l.CANotice {
+			footer = append(footer, link{"/privacy/ca-notice", "CA Privacy Notice"})
+		}
+	}
+
+	if l.MultiPage && s.hasCategory("Tracking data") && s.Failure == FailNone {
+		header = append(header, link{"/privacy/cookies", "Cookie and Privacy Preferences"})
+	}
+	if l.ChoicesPage && s.Failure == FailNone {
+		header = append(header, link{"/privacy-choices", "Your Privacy Choices"})
+	}
+	return entry, footer, header
+}
+
+// addAuxiliaryPages emits hub, alias, cookie, and choices pages.
+func (g *Generator) addAuxiliaryPages(s *Site, pages map[string]Page, entry string, header, footer []link) {
+	l := s.Layout
+	if l.Hub {
+		hub := `<h1>` + s.Company + ` Privacy Center</h1>
+<p><a href="/privacy-center/statement">Privacy Statement</a></p>
+<p><a href="/privacy-center/faq">Privacy FAQs</a></p>
+<p>Learn how we approach your privacy across our products.</p>`
+		pages["/privacy-center"] = g.wrapPolicyBody(s, nil, footer, hub)
+		pages["/privacy-center/faq"] = g.wrapPolicyBody(s, nil, footer,
+			`<h1>Privacy FAQs</h1><p>Answers to common questions about our privacy practices.</p>`)
+	}
+	// Well-known aliases: /privacy duplicates or redirects to the entry.
+	if l.WellKnownPolicy && entry != "/privacy-policy" {
+		pages["/privacy-policy"] = Page{RedirectTo: entry, Status: 301}
+	}
+	if l.WellKnownPrivacy && entry != "/privacy" {
+		if g.rngFor(s.Domain, "alias").Float64() < 0.5 {
+			pages["/privacy"] = Page{RedirectTo: entry, Status: 301}
+		} else if p, ok := pages[entry]; ok {
+			pages["/privacy"] = p // duplicate content → dedup by hash
+		}
+	}
+	if l.MultiPage && s.hasCategory("Tracking data") && s.Failure == FailNone {
+		pages["/privacy/cookies"] = g.cookiePage(s, footer)
+	}
+	if l.ChoicesPage && s.Failure == FailNone {
+		pages["/privacy-choices"] = g.choicesPage(s, footer)
+	}
+	if l.CANotice && s.Failure == FailNone {
+		// Jurisdiction notices usually just forward to the main policy.
+		pages["/privacy/ca-notice"] = Page{RedirectTo: entry, Status: 301}
+	}
+}
+
+// mainSections returns the policy sections, with tracking-data content
+// moved to the cookie page on multi-page sites.
+func (g *Generator) mainSections(s *Site) []policySection {
+	secs := g.generatePolicy(s)
+	if !(s.Layout.MultiPage && s.hasCategory("Tracking data")) {
+		return secs
+	}
+	// Remove tracking surfaces from the types section; they live on
+	// /privacy/cookies instead (exercising cross-page annotation merge).
+	tracking := s.trackingSurfaces()
+	for i := range secs {
+		if secs[i].Aspect != taxonomy.AspectTypes {
+			continue
+		}
+		var paras []string
+		for _, p := range secs[i].Paras {
+			if containsAnyFold(p, tracking) {
+				continue
+			}
+			paras = append(paras, p)
+		}
+		secs[i].Paras = paras
+		var bullets []string
+		for _, b := range secs[i].Bullets {
+			if containsAnyFold(b, tracking) {
+				continue
+			}
+			bullets = append(bullets, b)
+		}
+		secs[i].Bullets = bullets
+	}
+	return secs
+}
+
+func (s *Site) trackingSurfaces() []string {
+	var out []string
+	for _, m := range s.Truth.Types {
+		if m.Category == "Tracking data" {
+			out = append(out, m.Surface)
+		}
+	}
+	return out
+}
+
+func containsAnyFold(text string, subs []string) bool {
+	low := strings.ToLower(text)
+	for _, sub := range subs {
+		if strings.Contains(low, strings.ToLower(sub)) {
+			return true
+		}
+	}
+	return false
+}
+
+// cookiePage carries the tracking-data content on multi-page sites.
+func (g *Generator) cookiePage(s *Site, footer []link) Page {
+	var b strings.Builder
+	b.WriteString("<h1>Cookie and Privacy Preferences</h1>")
+	b.WriteString("<p>This page explains the technologies our sites place on your device.</p>")
+	var surfaces []string
+	for _, m := range s.Truth.Types {
+		if m.Category == "Tracking data" {
+			surfaces = append(surfaces, m.Surface)
+		}
+	}
+	fmt.Fprintf(&b, "<p>When you browse our sites, we collect %s.</p>", joinAnd(surfaces))
+	b.WriteString("<p>Your browser controls let you refuse some of these technologies.</p>")
+	return g.wrapPolicyBody(s, nil, footer, b.String())
+}
+
+// choicesPage is the "Your Privacy Choices" opt-out page.
+func (g *Generator) choicesPage(s *Site, footer []link) Page {
+	var b strings.Builder
+	b.WriteString("<h1>Your Privacy Choices</h1>")
+	hasLinkOptOut := false
+	for _, r := range s.Truth.Rights {
+		if r.Label == taxonomy.ChoiceOptOutLink {
+			hasLinkOptOut = true
+		}
+	}
+	if hasLinkOptOut {
+		b.WriteString("<p>To submit a request to opt out of the sale or sharing of your personal information, please click the Opt-Out of Sale/Sharing Request tab on this page.</p>")
+	} else {
+		b.WriteString("<p>Use the form below to tell us how you would like to hear from us.</p>")
+	}
+	return g.wrapPolicyBody(s, nil, footer, b.String())
+}
+
+// vaguePolicy builds the zero-annotation failure class: proper structure,
+// nothing specific enough to annotate.
+func vaguePolicy(s *Site) []policySection {
+	return []policySection{
+		{Aspect: taxonomy.AspectOther, Heading: "Introduction",
+			Paras: []string{s.Company + " values the trust you place in us. This statement explains our general approach."}},
+		{Aspect: taxonomy.AspectTypes, Heading: "Information We Collect",
+			Paras: []string{"We collect what you choose to share with us in the course of doing business together."}},
+		{Aspect: taxonomy.AspectPurposes, Heading: "How We Use Your Information",
+			Paras: []string{"What you share helps us run the company and serve you better."}},
+		{Aspect: taxonomy.AspectHandling, Heading: "Data Security",
+			Paras: []string{"We take care with everything entrusted to us."}},
+		{Aspect: taxonomy.AspectRights, Heading: "Your Rights",
+			Paras: []string{"Reach out with any concerns and our team will respond."}},
+		{Aspect: taxonomy.AspectOther, Heading: "Contact Us",
+			Paras: []string{"Write to our office at the address on our About page."}},
+	}
+}
+
+// ----------------------------------------------------------------- HTML
+
+type link struct{ href, text string }
+
+func (g *Generator) homePage(s *Site, footer []link) Page {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head><body>", s.Company)
+	b.WriteString(navHTML())
+	fmt.Fprintf(&b, `<main><h1>%s</h1><p>Welcome to %s, a leader in %s. Explore our products and learn more about what we do.</p>`,
+		s.Company, s.Company, strings.ToLower(s.Sector))
+	b.WriteString(`<p>Founded to serve customers with integrity, we operate across the country and keep our communities at the center of our work.</p></main>`)
+	if s.Failure == FailConsentLink {
+		b.WriteString(`<script>var consent='<div class="consent"><a href="/privacy-settings-center">Privacy Policy</a></div>';document.body.insertAdjacentHTML('beforeend', consent);</script>`)
+	}
+	b.WriteString(footerHTML(footer))
+	b.WriteString("</body></html>")
+	return Page{Status: 200, ContentType: "text/html; charset=utf-8", Body: b.String()}
+}
+
+func (g *Generator) simplePage(s *Site, title, body string, footer []link) Page {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s | %s</title></head><body>", title, s.Company)
+	b.WriteString(navHTML())
+	fmt.Fprintf(&b, "<main><h1>%s</h1><p>%s</p></main>", title, body)
+	b.WriteString(footerHTML(footer))
+	b.WriteString("</body></html>")
+	return Page{Status: 200, ContentType: "text/html; charset=utf-8", Body: b.String()}
+}
+
+// policyPage renders policy sections with the site's heading style.
+func (g *Generator) policyPage(s *Site, header, footer []link, secs []policySection) Page {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>Privacy Policy | %s</title></head><body>", s.Company)
+	b.WriteString(navHTML())
+	if len(header) > 0 {
+		b.WriteString("<div class=\"policy-nav\">")
+		for _, l := range header {
+			fmt.Fprintf(&b, `<a href="%s">%s</a> `, l.href, l.text)
+		}
+		b.WriteString("</div>")
+	}
+	b.WriteString("<main><h1>Privacy Policy</h1>")
+	for _, sec := range secs {
+		switch s.Layout.HeadingStyle {
+		case "h2":
+			if sec.Heading != "" {
+				fmt.Fprintf(&b, "<h2>%s</h2>", sec.Heading)
+			}
+		case "bold":
+			if sec.Heading != "" {
+				fmt.Fprintf(&b, "<div><b>%s</b></div>", sec.Heading)
+			}
+		case "none":
+			// short/heading-free policies trigger the Appendix B fallback
+		}
+		for _, p := range sec.Paras {
+			if p != "" {
+				fmt.Fprintf(&b, "<p>%s</p>", p)
+			}
+		}
+		if len(sec.Bullets) > 0 {
+			b.WriteString("<ul>")
+			for _, item := range sec.Bullets {
+				fmt.Fprintf(&b, "<li>%s</li>", item)
+			}
+			b.WriteString("</ul>")
+		}
+	}
+	b.WriteString("</main>")
+	b.WriteString(footerHTML(footer))
+	b.WriteString("</body></html>")
+	return Page{Status: 200, ContentType: "text/html; charset=utf-8", Body: b.String()}
+}
+
+// wrapPolicyBody wraps a raw body fragment in the site chrome.
+func (g *Generator) wrapPolicyBody(s *Site, header, footer []link, body string) Page {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>Privacy | %s</title></head><body>", s.Company)
+	b.WriteString(navHTML())
+	if len(header) > 0 {
+		b.WriteString("<div class=\"policy-nav\">")
+		for _, l := range header {
+			fmt.Fprintf(&b, `<a href="%s">%s</a> `, l.href, l.text)
+		}
+		b.WriteString("</div>")
+	}
+	b.WriteString("<main>")
+	b.WriteString(body)
+	b.WriteString("</main>")
+	b.WriteString(footerHTML(footer))
+	b.WriteString("</body></html>")
+	return Page{Status: 200, ContentType: "text/html; charset=utf-8", Body: b.String()}
+}
+
+func navHTML() string {
+	return `<nav><a href="/">Home</a> <a href="/about">About</a> <a href="/careers">Careers</a></nav>`
+}
+
+func footerHTML(links []link) string {
+	var b strings.Builder
+	b.WriteString("<footer>")
+	for _, l := range links {
+		fmt.Fprintf(&b, `<a href="%s">%s</a> `, l.href, l.text)
+	}
+	b.WriteString("<span>© 2024 All rights reserved.</span></footer>")
+	return b.String()
+}

@@ -1,0 +1,341 @@
+package webgen
+
+import (
+	"math"
+	"math/rand"
+
+	"aipan/internal/taxonomy"
+)
+
+// novelPhrases are out-of-glossary data types planted occasionally to
+// exercise the pipeline's zero-shot descriptor generation. Each contains a
+// category trigger word so a competent annotator can place it.
+var novelPhrases = []PlantedMention{
+	{Meta: "Financial/legal profile", Category: "Insurance info", Surface: "pet insurance enrollment records", Novel: true},
+	{Meta: "Physical profile", Category: "Professional info", Surface: "union membership employment records", Novel: true},
+	{Meta: "Digital behavior", Category: "Diagnostic data", Surface: "battery diagnostic logs", Novel: true},
+	{Meta: "Physical behavior", Category: "Travel data", Surface: "commute travel logs", Novel: true},
+	{Meta: "Digital profile", Category: "Social media data", Surface: "social media follower metrics", Novel: true},
+	{Meta: "Bio/health profile", Category: "Fitness & health", Surface: "gym fitness attendance records", Novel: true},
+}
+
+// decoyPool are sensitive data types used in "we do not collect X"
+// sentences (§6's negated-context trap for weak models).
+var decoyPool = []PlantedMention{
+	{Meta: "Bio/health profile", Category: "Biometric data", Descriptor: "biometric data", Surface: "biometric data"},
+	{Meta: "Physical profile", Category: "Personal identifier", Descriptor: "social security number", Surface: "social security numbers"},
+	{Meta: "Bio/health profile", Category: "Medical info", Descriptor: "medical records", Surface: "medical records"},
+	{Meta: "Physical behavior", Category: "Precise location", Descriptor: "gps location", Surface: "gps location"},
+	{Meta: "Financial/legal profile", Category: "Financial capability", Descriptor: "credit score", Surface: "credit scores"},
+	{Meta: "Bio/health profile", Category: "Fitness & health", Descriptor: "sleep patterns", Surface: "sleep patterns"},
+	{Meta: "Physical profile", Category: "Demographic info", Descriptor: "ethnicity", Surface: "ethnicity"},
+	{Meta: "Financial/legal profile", Category: "Legal info", Descriptor: "criminal records", Surface: "criminal records"},
+	{Meta: "Digital profile", Category: "Social media data", Descriptor: "friends list", Surface: "friends lists"},
+	{Meta: "Digital behavior", Category: "Communication data", Descriptor: "call records", Surface: "call records"},
+	{Meta: "Physical behavior", Category: "Travel data", Descriptor: "travel history", Surface: "travel history"},
+	{Meta: "Physical profile", Category: "Vehicle info", Descriptor: "license plate", Surface: "license plate numbers"},
+}
+
+// vendorPool are the marketing platforms planted for the GPT-3.5
+// confusion experiment.
+var vendorPool = []string{
+	"ActiveCampaign", "MailChimp", "Salesforce", "HubSpot", "Marketo",
+	"Zendesk", "Braze", "Klaviyo",
+}
+
+// Rates of optional content (fractions of non-failed sites).
+const (
+	decoyRate  = 0.22
+	novelRate  = 0.05
+	vendorRate = 0.08
+)
+
+// rareDescriptors caps the inclusion probability of descriptors the paper
+// found to be much rarer than their category ("data for sale": 26
+// companies in the whole corpus, §5).
+var rareDescriptors = map[string]float64{
+	"data for sale": 0.16, // tuned so ~26 companies mention it corpus-wide (§5)
+}
+
+// sample draws the site's layout and ground truth from the calibrated
+// distributions. Failed sites get layout quirks but (mostly) no truth.
+func (g *Generator) sample(s *Site) {
+	rng := g.rngFor(s.Domain, "profile")
+	s.Layout = g.sampleLayout(rng, s)
+	switch s.Failure {
+	case FailNoPolicy, FailBlocked, FailTimeout, FailStub, FailNonEnglish,
+		FailJSOnly, FailImagePolicy, FailPDFOnly, FailVague:
+		// No recoverable ground truth behind these failure classes (the
+		// PDF/JS/image/German policies exist in-world but the pipeline is
+		// expected to fail on them, so they contribute no truth rows).
+		return
+	}
+	g.sampleTruth(rng, s)
+}
+
+func (g *Generator) sampleLayout(rng *rand.Rand, s *Site) Layout {
+	l := Layout{
+		FooterLabel: pick(rng, []string{"Privacy Policy", "Privacy Policy", "Privacy", "Privacy Notice"}),
+		// §3.1 footnote 3 targets 54.5% and 48.6% of all domains; the rates
+		// are grossed up because failure-class sites can't serve them.
+		WellKnownPolicy:  rng.Float64() < 0.592,
+		WellKnownPrivacy: rng.Float64() < 0.527,
+		Hub:              rng.Float64() < 0.12,
+		MultiPage:        rng.Float64() < 0.30,
+		ChoicesPage:      rng.Float64() < 0.50,
+		CANotice:         rng.Float64() < 0.40,
+		HeadingStyle:     pickWeighted(rng, []string{"h2", "bold", "none"}, []float64{0.68, 0.22, 0.10}),
+		UseBullets:       rng.Float64() < 0.35,
+	}
+	switch s.Failure {
+	case FailNoPolicy:
+		l.FooterLabel = ""
+		l.WellKnownPolicy, l.WellKnownPrivacy, l.Hub = false, false, false
+		l.ChoicesPage, l.MultiPage, l.CANotice = false, false, false
+	case FailOddLink:
+		l.FooterLabel = "Legal Notices"
+		l.WellKnownPolicy, l.WellKnownPrivacy, l.Hub = false, false, false
+		l.ChoicesPage, l.MultiPage, l.CANotice = false, false, false
+	case FailJSLink, FailConsentLink:
+		l.WellKnownPolicy, l.WellKnownPrivacy, l.Hub = false, false, false
+		l.ChoicesPage, l.MultiPage, l.CANotice = false, false, false
+	case FailPDFOnly:
+		l.Hub, l.MultiPage, l.ChoicesPage, l.CANotice = false, false, false, false
+	}
+	return l
+}
+
+func (g *Generator) sampleTruth(rng *rand.Rand, s *Site) {
+	abbrev := s.SectorAbbrev
+	t := &s.Truth
+
+	// Collected data types: one coverage draw per category, then a clamped
+	// gaussian number of unique descriptors. Categories within a
+	// meta-category are correlated through a shared per-site factor
+	// (Gaussian copula): real policies that mention one bio/health
+	// category tend to mention the others, which is why the paper's
+	// meta-level coverage sits far below the independent union.
+	typeCats := taxonomy.TypeCategories()
+	zSite := rng.NormFloat64() // site-level appetite for data collection
+	metaFactor := map[string]float64{}
+	for _, target := range typeTargets {
+		cov := coverageFor(target.Cov, target.SectorCov, abbrev)
+		cat, ok := taxonomy.FindCategory(typeCats, target.Category)
+		if !ok {
+			continue
+		}
+		z, seen := metaFactor[cat.Meta]
+		if !seen {
+			z = rng.NormFloat64()
+			metaFactor[cat.Meta] = z
+		}
+		if !copulaInclude(rng, zSite, z, cov) {
+			continue
+		}
+		n := gauss(rng, target.Mean, target.SD, 1, len(cat.Descriptors))
+		for _, di := range weightedPerm(rng, len(cat.Descriptors))[:n] {
+			d := cat.Descriptors[di]
+			t.Types = append(t.Types, PlantedMention{
+				Meta:       cat.Meta,
+				Category:   cat.Name,
+				Descriptor: d.Name,
+				Surface:    surfaceFor(rng, d),
+			})
+		}
+	}
+
+	// Purposes (same within-meta correlation).
+	purposeCats := taxonomy.PurposeCategories()
+	purposeFactor := map[string]float64{}
+	for _, target := range purposeTargets {
+		cov := coverageFor(target.Cov, target.SectorCov, abbrev)
+		cat, ok := taxonomy.FindCategory(purposeCats, target.Category)
+		if !ok {
+			continue
+		}
+		z, seen := purposeFactor[cat.Meta]
+		if !seen {
+			z = rng.NormFloat64()
+			purposeFactor[cat.Meta] = z
+		}
+		if !copulaInclude(rng, zSite, z, cov) {
+			continue
+		}
+		n := gauss(rng, target.Mean, target.SD, 1, len(cat.Descriptors))
+		for _, di := range weightedPerm(rng, len(cat.Descriptors))[:n] {
+			d := cat.Descriptors[di]
+			if p, rare := rareDescriptors[d.Name]; rare && rng.Float64() >= p {
+				continue
+			}
+			t.Purposes = append(t.Purposes, PlantedMention{
+				Meta:       cat.Meta,
+				Category:   cat.Name,
+				Descriptor: d.Name,
+				Surface:    surfaceFor(rng, d),
+			})
+		}
+	}
+
+	// Handling and rights practices: correlated within each label group
+	// (a policy that enumerates one specific protection tends to enumerate
+	// several; one that's silent on access is silent throughout — the
+	// paper's 39.9% any-specific-protection and 22% no-access figures).
+	groupFactor := map[string]float64{}
+	for _, target := range labelTargets {
+		cov := coverageFor(target.Cov, target.SectorCov, abbrev)
+		zg, seen := groupFactor[target.Group]
+		if !seen {
+			zg = rng.NormFloat64()
+			groupFactor[target.Group] = zg
+		}
+		if !copulaInclude(rng, zSite, zg, cov) {
+			continue
+		}
+		pl := PlantedLabel{Group: target.Group, Label: target.Label}
+		if target.Label == "Stated" {
+			pl.RetentionDays = statedRetentionDays[rng.Intn(len(statedRetentionDays))]
+		}
+		switch target.Group {
+		case taxonomy.GroupRetention, taxonomy.GroupProtection:
+			t.Handling = append(t.Handling, pl)
+		default:
+			t.Rights = append(t.Rights, pl)
+		}
+	}
+
+	// Every policy needs at least a basic-functioning purpose to read like
+	// a policy at all; the coverage targets make this near-certain anyway.
+	if len(t.Purposes) == 0 {
+		cat := purposeCats[0]
+		d := cat.Descriptors[rng.Intn(len(cat.Descriptors))]
+		t.Purposes = append(t.Purposes, PlantedMention{
+			Meta: cat.Meta, Category: cat.Name, Descriptor: d.Name,
+			Surface: surfaceFor(rng, d),
+		})
+	}
+
+	// Negated decoys, zero-shot novelties, vendor mentions. Real policies
+	// negate liberally ("we do not collect ..."), which is exactly the
+	// trap the §6 comparison measures, so decoy-bearing sites carry
+	// several negated surfaces.
+	if rng.Float64() < decoyRate {
+		nDecoys := 2 + rng.Intn(4)
+		for _, di := range rng.Perm(len(decoyPool)) {
+			if len(t.Decoys) >= nDecoys {
+				break
+			}
+			d := decoyPool[di]
+			if !s.hasCategory(d.Category) {
+				t.Decoys = append(t.Decoys, d)
+			}
+		}
+	}
+	if rng.Float64() < novelRate {
+		np := novelPhrases[rng.Intn(len(novelPhrases))]
+		np.Descriptor = np.Surface
+		t.Types = append(t.Types, np)
+	}
+	if rng.Float64() < vendorRate {
+		t.Vendor = vendorPool[rng.Intn(len(vendorPool))]
+	}
+}
+
+// hasCategory reports whether the site's planted types include a category
+// (decoys must not collide with genuinely collected categories).
+func (s *Site) hasCategory(cat string) bool {
+	for _, m := range s.Truth.Types {
+		if m.Category == cat {
+			return true
+		}
+	}
+	return false
+}
+
+// surfaceFor picks the wording: the descriptor itself or one of its
+// synonyms (exercising normalization).
+func surfaceFor(rng *rand.Rand, d taxonomy.Descriptor) string {
+	if len(d.Synonyms) == 0 || rng.Float64() < 0.55 {
+		return d.Name
+	}
+	return d.Synonyms[rng.Intn(len(d.Synonyms))]
+}
+
+func pick(rng *rand.Rand, opts []string) string {
+	return opts[rng.Intn(len(opts))]
+}
+
+func pickWeighted(rng *rand.Rand, opts []string, weights []float64) string {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		if r < w {
+			return opts[i]
+		}
+		r -= w
+	}
+	return opts[len(opts)-1]
+}
+
+// Copula weights: categories correlate through a site-level factor (some
+// companies are simply data-hungry across the board — the paper's §5 tail
+// of companies collecting from 22+ categories) and a meta-level factor
+// (mentioning one bio/health category predicts the others).
+const (
+	siteWeight = 0.30
+	metaWeight = 0.38
+)
+
+// copulaInclude draws category inclusion: include iff
+// Φ(√w₁·zSite + √w₂·zMeta + √(1−w₁−w₂)·ε) < cov.
+func copulaInclude(rng *rand.Rand, zSite, zMeta, cov float64) bool {
+	if cov <= 0 {
+		return false
+	}
+	if cov >= 1 {
+		return true
+	}
+	x := math.Sqrt(siteWeight)*zSite + math.Sqrt(metaWeight)*zMeta +
+		math.Sqrt(1-siteWeight-metaWeight)*rng.NormFloat64()
+	return phi(x) < cov
+}
+
+// phi is the standard normal CDF.
+func phi(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// weightedPerm returns a permutation biased toward low indices (weight
+// ∝ 1/(rank+1)^1.6), so the paper's top descriptors dominate the way
+// Table 4's within-category percentages do.
+func weightedPerm(rng *rand.Rand, n int) []int {
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.6)
+	}
+	out := make([]int, 0, n)
+	taken := make([]bool, n)
+	for len(out) < n {
+		total := 0.0
+		for i, w := range weights {
+			if !taken[i] {
+				total += w
+			}
+		}
+		r := rng.Float64() * total
+		for i, w := range weights {
+			if taken[i] {
+				continue
+			}
+			if r < w {
+				taken[i] = true
+				out = append(out, i)
+				break
+			}
+			r -= w
+		}
+	}
+	return out
+}

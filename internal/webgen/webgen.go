@@ -1,0 +1,280 @@
+// Package webgen synthesizes the study's measurement substrate: a
+// deterministic corporate web for the synthetic Russell 3000. Each domain
+// gets a policy profile drawn from the paper's published per-sector
+// distributions (calibration.go), rendered into a realistic corporate
+// website (homepage, footer links, privacy pages in varied layouts and
+// heading styles), with §4's failure taxonomy injected at the measured
+// rates. Because the generator records the ground truth it plants, the
+// pipeline's precision/recall can be computed exactly.
+package webgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"aipan/internal/russell"
+)
+
+// Seed is the default corpus seed (AIPAN-3k).
+const Seed int64 = 3000
+
+// FailureClass is the §4 failure taxonomy.
+type FailureClass string
+
+// Failure classes. The first group causes crawl failures (no potential
+// privacy page reached), the second extraction failures (crawled but no
+// text extracted), the third annotation failures (extracted but nothing
+// annotatable).
+const (
+	FailNone FailureClass = ""
+	// Crawl failures (paper: 244 domains).
+	FailNoPolicy    FailureClass = "no-policy"    // site has no privacy policy at all
+	FailBlocked     FailureClass = "blocked"      // 403 to crawlers
+	FailTimeout     FailureClass = "timeout"      // server hangs / connection error
+	FailOddLink     FailureClass = "odd-link"     // policy linked as "Legal Notices"
+	FailJSLink      FailureClass = "js-link"      // privacy link triggers a JavaScript action
+	FailConsentLink FailureClass = "consent-link" // link only inside a JS consent box
+	// Extraction failures (paper: 103 domains).
+	FailPDFOnly     FailureClass = "pdf-only"     // policy is a PDF
+	FailNonEnglish  FailureClass = "non-english"  // policy not in English
+	FailJSOnly      FailureClass = "js-only"      // content loaded dynamically
+	FailImagePolicy FailureClass = "image-policy" // policy embedded as an image
+	FailStub        FailureClass = "stub"         // placeholder page, no policy text
+	// Annotation failures (paper: 16 domains).
+	FailVague FailureClass = "vague" // real policy text, nothing specific
+)
+
+// failurePlan allocates §4's failure classes across the corpus, scaled
+// from the paper's 50-sample audit to its 244 crawl failures + 103
+// extraction failures, plus the 16 zero-annotation domains.
+var failurePlan = []struct {
+	class FailureClass
+	count int
+}{
+	{FailNoPolicy, 180},
+	{FailBlocked, 25},
+	{FailTimeout, 15},
+	{FailOddLink, 16},
+	{FailJSLink, 4},
+	{FailConsentLink, 4},
+	{FailPDFOnly, 35},
+	{FailNonEnglish, 14},
+	{FailJSOnly, 20},
+	{FailImagePolicy, 6},
+	{FailStub, 28},
+	{FailVague, 16},
+}
+
+// IsCrawlFailure reports whether the class prevents the crawler from
+// reaching any potential privacy page.
+func (f FailureClass) IsCrawlFailure() bool {
+	switch f {
+	case FailNoPolicy, FailBlocked, FailTimeout, FailOddLink, FailJSLink, FailConsentLink:
+		return true
+	}
+	return false
+}
+
+// IsExtractionFailure reports whether the class lets the crawl succeed but
+// defeats text extraction.
+func (f FailureClass) IsExtractionFailure() bool {
+	switch f {
+	case FailPDFOnly, FailNonEnglish, FailJSOnly, FailImagePolicy, FailStub:
+		return true
+	}
+	return false
+}
+
+// PlantedMention is one ground-truth data-type or purpose mention.
+type PlantedMention struct {
+	Meta       string
+	Category   string
+	Descriptor string
+	// Surface is the wording used in the text (a glossary synonym or the
+	// descriptor itself).
+	Surface string
+	// Novel marks an out-of-glossary phrase planted to exercise zero-shot
+	// annotation.
+	Novel bool
+}
+
+// PlantedLabel is one ground-truth handling/rights practice.
+type PlantedLabel struct {
+	Group string
+	Label string
+	// RetentionDays is set for stated retention periods.
+	RetentionDays int
+}
+
+// GroundTruth records everything the generator wrote into a policy.
+type GroundTruth struct {
+	Types    []PlantedMention
+	Purposes []PlantedMention
+	Handling []PlantedLabel
+	Rights   []PlantedLabel
+	// Decoys are data types mentioned ONLY in negated contexts ("we do not
+	// collect X"); extracting one is a precision error (§6).
+	Decoys []PlantedMention
+	// Vendor is a marketing-platform name planted in the text; extracting
+	// it as a data type is the GPT-3.5 confusion error (§6).
+	Vendor string
+}
+
+// Layout controls how the website exposes its policy.
+type Layout struct {
+	// FooterLabel is the footer anchor text ("Privacy Policy", "Privacy",
+	// "Legal Notices" for the odd-link failure, "" for none).
+	FooterLabel string
+	// WellKnownPolicy serves /privacy-policy (§3.1: 54.5% of domains).
+	WellKnownPolicy bool
+	// WellKnownPrivacy serves /privacy (48.6%).
+	WellKnownPrivacy bool
+	// Hub routes the footer link to a privacy center page that links to
+	// the actual policy.
+	Hub bool
+	// MultiPage splits tracking-data content onto a separate
+	// cookie/privacy-preferences page.
+	MultiPage bool
+	// ChoicesPage adds a "Your Privacy Choices" opt-out page.
+	ChoicesPage bool
+	// CANotice adds a "CA Privacy Notice" footer link that redirects to
+	// the main policy (a very common real-world pattern).
+	CANotice bool
+	// HeadingStyle is "h2", "bold", or "none" (short/fallback policies).
+	HeadingStyle string
+	// UseBullets renders data-type lists as <ul> bullets.
+	UseBullets bool
+}
+
+// Site is one synthetic corporate website with its ground truth.
+type Site struct {
+	Domain       string
+	Company      string
+	Sector       string
+	SectorAbbrev string
+	Failure      FailureClass
+	Layout       Layout
+	Truth        GroundTruth
+	// StatedExtreme pins the §5 retention extremes (1 = the 1-day minimum,
+	// 2 = the 50-year maximum).
+	statedExtreme int
+}
+
+// Generator produces and caches sites for a universe.
+type Generator struct {
+	seed  int64
+	sites map[string]*Site
+	order []string
+}
+
+// New builds the generator for a deduplicated domain list.
+func New(seed int64, domains []russell.DomainInfo) *Generator {
+	g := &Generator{seed: seed, sites: make(map[string]*Site, len(domains))}
+	for _, d := range domains {
+		company := d.Companies[0].Name
+		g.sites[d.Domain] = &Site{
+			Domain:       d.Domain,
+			Company:      company,
+			Sector:       d.Sector,
+			SectorAbbrev: russell.Abbrev(d.Sector),
+		}
+		g.order = append(g.order, d.Domain)
+	}
+	sort.Strings(g.order)
+	g.assignFailures()
+	for _, dom := range g.order {
+		g.sample(g.sites[dom])
+	}
+	g.pinRetentionExtremes()
+	return g
+}
+
+// NewDefault builds the full AIPAN-3k corpus generator.
+func NewDefault() *Generator {
+	return New(Seed, russell.UniqueDomains(russell.Universe(Seed)))
+}
+
+// Site returns the site for a domain (nil if unknown).
+func (g *Generator) Site(domain string) *Site { return g.sites[domain] }
+
+// Sites returns all sites in deterministic (domain-sorted) order.
+func (g *Generator) Sites() []*Site {
+	out := make([]*Site, len(g.order))
+	for i, d := range g.order {
+		out[i] = g.sites[d]
+	}
+	return out
+}
+
+// Domains returns all domains in sorted order.
+func (g *Generator) Domains() []string {
+	return append([]string(nil), g.order...)
+}
+
+// assignFailures deterministically spreads the failure plan across the
+// corpus.
+func (g *Generator) assignFailures() {
+	rng := rand.New(rand.NewSource(g.seed ^ 0xFA11))
+	perm := rng.Perm(len(g.order))
+	i := 0
+	for _, fp := range failurePlan {
+		for n := 0; n < fp.count && i < len(perm); n++ {
+			g.sites[g.order[perm[i]]].Failure = fp.class
+			i++
+		}
+	}
+}
+
+// rngFor derives a per-domain deterministic RNG.
+func (g *Generator) rngFor(domain, purpose string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", g.seed, domain, purpose)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// pinRetentionExtremes forces the §5 extremes: two domains with a 1-day
+// stated period and one with 50 years.
+func (g *Generator) pinRetentionExtremes() {
+	var stated []*Site
+	for _, d := range g.order {
+		s := g.sites[d]
+		if s.Failure != FailNone {
+			continue
+		}
+		for i := range s.Truth.Handling {
+			if s.Truth.Handling[i].Label == "Stated" {
+				stated = append(stated, s)
+				break
+			}
+		}
+	}
+	if len(stated) < 3 {
+		return
+	}
+	set := func(s *Site, days, kind int) {
+		for i := range s.Truth.Handling {
+			if s.Truth.Handling[i].Label == "Stated" {
+				s.Truth.Handling[i].RetentionDays = days
+			}
+		}
+		s.statedExtreme = kind
+	}
+	set(stated[0], 1, 1)
+	set(stated[1], 1, 1)
+	set(stated[len(stated)-1], 50*365, 2)
+}
+
+// gauss draws a clamped normal deviate.
+func gauss(rng *rand.Rand, mean, sd float64, lo, hi int) int {
+	v := int(math.Round(rng.NormFloat64()*sd + mean))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}

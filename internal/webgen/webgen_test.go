@@ -1,0 +1,322 @@
+package webgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aipan/internal/russell"
+	"aipan/internal/textify"
+)
+
+func testGen(t *testing.T) *Generator {
+	t.Helper()
+	return New(Seed, russell.UniqueDomains(russell.Universe(Seed)))
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := testGen(t)
+	g2 := testGen(t)
+	d := g1.Domains()[42]
+	p1 := g1.RenderSite(d)
+	p2 := g2.RenderSite(d)
+	if len(p1) != len(p2) {
+		t.Fatalf("page counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for path, pg := range p1 {
+		if p2[path].Body != pg.Body {
+			t.Fatalf("page %s differs between identical seeds", path)
+		}
+	}
+}
+
+func TestFailurePlanCounts(t *testing.T) {
+	g := testGen(t)
+	counts := map[FailureClass]int{}
+	for _, s := range g.Sites() {
+		counts[s.Failure]++
+	}
+	crawlFails, extractFails := 0, 0
+	for c, n := range counts {
+		if c.IsCrawlFailure() {
+			crawlFails += n
+		}
+		if c.IsExtractionFailure() {
+			extractFails += n
+		}
+	}
+	if crawlFails != 244 {
+		t.Errorf("crawl failures = %d, want 244 (§4)", crawlFails)
+	}
+	if extractFails != 103 {
+		t.Errorf("extraction failures = %d, want 103 (§4)", extractFails)
+	}
+	if counts[FailVague] != 16 {
+		t.Errorf("vague (zero-annotation) domains = %d, want 16", counts[FailVague])
+	}
+	healthy := len(g.Sites()) - crawlFails - extractFails - counts[FailVague]
+	if healthy != 2892-244-103-16 {
+		t.Errorf("healthy sites = %d", healthy)
+	}
+}
+
+func TestRenderedSiteHasPlantedSurfaces(t *testing.T) {
+	g := testGen(t)
+	checked := 0
+	for _, s := range g.Sites() {
+		if s.Failure != FailNone || checked >= 25 {
+			continue
+		}
+		checked++
+		pages := g.RenderSite(s.Domain)
+		var all strings.Builder
+		for _, p := range pages {
+			all.WriteString(strings.ToLower(p.Body))
+			all.WriteString("\n")
+		}
+		text := all.String()
+		for _, m := range s.Truth.Types {
+			if !strings.Contains(text, strings.ToLower(m.Surface)) {
+				t.Errorf("%s: planted type surface %q not in rendered site", s.Domain, m.Surface)
+			}
+		}
+		for _, m := range s.Truth.Purposes {
+			if !strings.Contains(text, strings.ToLower(m.Surface)) {
+				t.Errorf("%s: planted purpose surface %q not in rendered site", s.Domain, m.Surface)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no healthy sites checked")
+	}
+}
+
+func TestHomePageFooterLink(t *testing.T) {
+	g := testGen(t)
+	for _, s := range g.Sites() {
+		if s.Failure != FailNone {
+			continue
+		}
+		home := g.RenderSite(s.Domain)["/"]
+		if home.Status != 200 {
+			t.Fatalf("%s homepage status %d", s.Domain, home.Status)
+		}
+		if !strings.Contains(strings.ToLower(home.Body), "privacy") {
+			t.Fatalf("%s homepage has no privacy link", s.Domain)
+		}
+		break
+	}
+}
+
+func TestFailureRendering(t *testing.T) {
+	g := testGen(t)
+	seen := map[FailureClass]bool{}
+	for _, s := range g.Sites() {
+		if seen[s.Failure] {
+			continue
+		}
+		seen[s.Failure] = true
+		pages := g.RenderSite(s.Domain)
+		switch s.Failure {
+		case FailBlocked:
+			if pages["/"].Status != 403 {
+				t.Errorf("blocked site status = %d", pages["/"].Status)
+			}
+		case FailTimeout:
+			if !pages["/"].Hang {
+				t.Error("timeout site must hang")
+			}
+		case FailNoPolicy:
+			if strings.Contains(strings.ToLower(pages["/"].Body), `>privacy`) {
+				t.Error("no-policy site has privacy link")
+			}
+			if _, ok := pages["/privacy-policy"]; ok {
+				t.Error("no-policy site serves /privacy-policy")
+			}
+		case FailOddLink:
+			if !strings.Contains(pages["/"].Body, "Legal Notices") {
+				t.Error("odd-link site missing Legal Notices link")
+			}
+			if _, ok := pages["/legal"]; !ok {
+				t.Error("odd-link site missing /legal")
+			}
+		case FailPDFOnly:
+			pdf, ok := pages["/privacy-policy.pdf"]
+			if !ok || pdf.ContentType != "application/pdf" {
+				t.Errorf("pdf-only site: %+v", pdf)
+			}
+		case FailJSLink:
+			if !strings.Contains(pages["/"].Body, "javascript:") {
+				t.Error("js-link site missing javascript href")
+			}
+		}
+	}
+	for _, c := range []FailureClass{FailBlocked, FailTimeout, FailNoPolicy, FailOddLink, FailPDFOnly, FailJSLink} {
+		if !seen[c] {
+			t.Errorf("failure class %s not present in corpus", c)
+		}
+	}
+}
+
+func TestVaguePolicyHasNoExtractableContent(t *testing.T) {
+	g := testGen(t)
+	for _, s := range g.Sites() {
+		if s.Failure != FailVague {
+			continue
+		}
+		pages := g.RenderSite(s.Domain)
+		found := false
+		for path, p := range pages {
+			if strings.Contains(path, "privacy") {
+				found = true
+				low := strings.ToLower(p.Body)
+				for _, banned := range []string{"email address", "cookie", "fraud", "opt out", "retain", "encrypt"} {
+					if strings.Contains(low, banned) {
+						t.Errorf("vague site %s contains %q", s.Domain, banned)
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("vague site %s serves no privacy page", s.Domain)
+		}
+		break
+	}
+}
+
+func TestPlantedCoverageMatchesCalibration(t *testing.T) {
+	g := testGen(t)
+	healthy := 0
+	catCount := map[string]int{}
+	for _, s := range g.Sites() {
+		if s.Failure != FailNone {
+			continue
+		}
+		healthy++
+		seen := map[string]bool{}
+		for _, m := range s.Truth.Types {
+			if !seen[m.Category] {
+				seen[m.Category] = true
+				catCount[m.Category]++
+			}
+		}
+	}
+	for _, target := range []struct {
+		cat string
+		cov float64
+	}{
+		{"Contact info", .864},
+		{"Online identifier", .809},
+		{"Vehicle info", .050},
+		{"Medical info", .283},
+	} {
+		got := float64(catCount[target.cat]) / float64(healthy)
+		if math.Abs(got-target.cov) > 0.05 {
+			t.Errorf("planted coverage for %s = %.3f, want ≈%.3f", target.cat, got, target.cov)
+		}
+	}
+}
+
+func TestRetentionExtremesPinned(t *testing.T) {
+	g := testGen(t)
+	oneDay, fiftyYears := 0, 0
+	for _, s := range g.Sites() {
+		for _, h := range s.Truth.Handling {
+			if h.Label == "Stated" {
+				if h.RetentionDays == 1 {
+					oneDay++
+				}
+				if h.RetentionDays == 50*365 {
+					fiftyYears++
+				}
+			}
+		}
+	}
+	if oneDay < 2 {
+		t.Errorf("1-day retention sites = %d, want >= 2 (§5)", oneDay)
+	}
+	if fiftyYears < 1 {
+		t.Errorf("50-year retention sites = %d, want >= 1 (§5)", fiftyYears)
+	}
+}
+
+func TestPolicyWordCountRealistic(t *testing.T) {
+	g := testGen(t)
+	var counts []int
+	for _, s := range g.Sites() {
+		if s.Failure != FailNone {
+			continue
+		}
+		pages := g.RenderSite(s.Domain)
+		entry, _, _ := g.layoutPaths(s)
+		doc := textify.RenderHTML(pages[entry].Body)
+		counts = append(counts, doc.WordCount())
+		if len(counts) >= 80 {
+			break
+		}
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	mean := sum / len(counts)
+	if mean < 400 || mean > 6000 {
+		t.Errorf("mean policy length %d words implausible (paper median 2,671)", mean)
+	}
+}
+
+func TestDecoysAndVendorsPresent(t *testing.T) {
+	g := testGen(t)
+	decoys, vendors, novel := 0, 0, 0
+	for _, s := range g.Sites() {
+		decoys += len(s.Truth.Decoys)
+		if s.Truth.Vendor != "" {
+			vendors++
+		}
+		for _, m := range s.Truth.Types {
+			if m.Novel {
+				novel++
+			}
+		}
+	}
+	if decoys < 100 {
+		t.Errorf("decoys = %d, want >= 100", decoys)
+	}
+	if vendors < 100 {
+		t.Errorf("vendor mentions = %d, want >= 100", vendors)
+	}
+	if novel < 50 {
+		t.Errorf("novel phrases = %d, want >= 50", novel)
+	}
+}
+
+func TestRedirectAliases(t *testing.T) {
+	g := testGen(t)
+	foundRedirect := false
+	for _, s := range g.Sites() {
+		if s.Failure != FailNone {
+			continue
+		}
+		pages := g.RenderSite(s.Domain)
+		for _, p := range pages {
+			if p.RedirectTo != "" {
+				foundRedirect = true
+				if _, ok := pages[p.RedirectTo]; !ok {
+					t.Errorf("%s: redirect to missing page %s", s.Domain, p.RedirectTo)
+				}
+			}
+		}
+		if foundRedirect {
+			break
+		}
+	}
+}
+
+func BenchmarkRenderSite(b *testing.B) {
+	g := NewDefault()
+	domains := g.Domains()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.RenderSite(domains[i%len(domains)])
+	}
+}
