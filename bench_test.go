@@ -12,6 +12,7 @@ package aipan_test
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -77,6 +78,33 @@ func BenchmarkFigure1PipelineFunnel(b *testing.B) {
 		if res.Funnel.Annotated == 0 {
 			b.Fatal("no annotations")
 		}
+	}
+	b.ReportMetric(float64(50*b.N)/b.Elapsed().Seconds(), "domains/sec")
+}
+
+// BenchmarkPipelineScaling sweeps the domain-worker count over the same
+// 50-domain run, exposing how the stage-parallel engine scales (on a
+// multi-core box the curve flattens once workers × LLM fan-out saturates
+// the cores; determinism tests guarantee the outputs stay identical).
+func BenchmarkPipelineScaling(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p, err := core.New(core.Config{Limit: 50, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := p.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Funnel.Annotated == 0 {
+					b.Fatal("no annotations")
+				}
+			}
+			b.ReportMetric(float64(50*b.N)/b.Elapsed().Seconds(), "domains/sec")
+		})
 	}
 }
 

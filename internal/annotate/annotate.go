@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"aipan/internal/chatbot"
 	"aipan/internal/nlp"
@@ -113,51 +114,90 @@ func New(bot chatbot.Chatbot, opts ...Option) *Annotator {
 	return a
 }
 
+// docContext bundles the per-document state shared by the four aspect
+// annotations: the rendered document, its segmentation, the numbered
+// whole-text prompt rendering (built once instead of once per fallback),
+// and the lazily-built token index backing the hallucination filter.
+type docContext struct {
+	doc      *textify.Document
+	seg      *segment.Result
+	numbered string
+
+	tokensOnce sync.Once
+	tokens     *docIndex
+}
+
+// index returns the document token index, building it on first use (the
+// filter-off ablation never pays for it).
+func (dc *docContext) index() *docIndex {
+	dc.tokensOnce.Do(func() { dc.tokens = indexDocument(dc.doc) })
+	return dc.tokens
+}
+
 // Annotate produces all annotations for one rendered, segmented policy.
+//
+// The four aspects (types, purposes, handling, rights) are annotated
+// concurrently — each is an independent chain of chatbot calls, so a
+// shared concurrency-bounded chatbot.Client sees up to four in-flight
+// requests per policy instead of one. Each aspect accumulates into its own
+// partial Result; the partials are merged in fixed aspect order, so the
+// output is byte-identical to a sequential run.
 func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *segment.Result) (*Result, error) {
+	dc := &docContext{doc: doc, seg: seg, numbered: doc.NumberedText()}
+	aspects := []func(context.Context, *docContext, *Result) error{
+		an.annotateTypes, an.annotatePurposes, an.annotateHandling, an.annotateRights,
+	}
+	partials := make([]Result, len(aspects))
+	errs := make([]error, len(aspects))
+	var wg sync.WaitGroup
+	for i := range aspects {
+		partials[i].FallbackUsed = map[string]bool{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = aspects[i](ctx, dc, &partials[i])
+		}(i)
+	}
+	wg.Wait()
+
 	res := &Result{FallbackUsed: map[string]bool{}}
-	if err := an.annotateTypes(ctx, doc, seg, res); err != nil {
-		return nil, err
-	}
-	if err := an.annotatePurposes(ctx, doc, seg, res); err != nil {
-		return nil, err
-	}
-	if err := an.annotateHandling(ctx, doc, seg, res); err != nil {
-		return nil, err
-	}
-	if err := an.annotateRights(ctx, doc, seg, res); err != nil {
-		return nil, err
+	for i := range partials {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Annotations = append(res.Annotations, partials[i].Annotations...)
+		res.Dropped += partials[i].Dropped
+		for a := range partials[i].FallbackUsed {
+			res.FallbackUsed[a] = true
+		}
 	}
 	return res, nil
 }
 
 // sectionOrFallback returns the aspect's numbered text, and whether the
 // whole document was used instead.
-func (an *Annotator) sectionOrFallback(doc *textify.Document, seg *segment.Result, a taxonomy.Aspect) (string, bool) {
+func (an *Annotator) sectionOrFallback(dc *docContext, a taxonomy.Aspect) (string, bool) {
 	if an.sectionFirst {
-		if text := seg.NumberedText(a); strings.TrimSpace(text) != "" {
+		if text := dc.seg.NumberedText(a); strings.TrimSpace(text) != "" {
 			return text, false
 		}
 	}
-	return doc.NumberedText(), true
+	return dc.numbered, true
 }
 
 // verifyMention implements the hallucination check: the extracted words
 // must be present (possibly discontinuously) on the referenced line, or
 // anywhere in the policy as a lenient second chance.
-func (an *Annotator) verifyMention(doc *textify.Document, line int, text string) bool {
+func (an *Annotator) verifyMention(dc *docContext, line int, text string) bool {
 	if !an.verify {
 		return true
 	}
-	if l, ok := doc.LineByNumber(line); ok && nlp.ContainsWords(l.Text, text) {
+	ix := dc.index()
+	pw := stemmedWords(text)
+	if ix.lineContains(line-1, pw) {
 		return true
 	}
-	for _, l := range doc.Lines {
-		if nlp.ContainsWords(l.Text, text) {
-			return true
-		}
-	}
-	return false
+	return ix.anywhere(pw)
 }
 
 // contextOf recovers the containing sentence for Table 6.
@@ -170,8 +210,8 @@ func contextOf(doc *textify.Document, line int, text string) string {
 
 // ------------------------------------------------------- types & purposes
 
-func (an *Annotator) annotateTypes(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
-	return an.annotateNormalized(ctx, doc, seg, res, taxonomy.AspectTypes,
+func (an *Annotator) annotateTypes(ctx context.Context, dc *docContext, res *Result) error {
+	return an.annotateNormalized(ctx, dc, res, taxonomy.AspectTypes,
 		func(text string) chatbot.Request { return chatbot.ExtractTypesRequest(text, an.glossarySize) },
 		func(mentions []string) chatbot.Request {
 			return chatbot.NormalizeTypesRequest(mentions, an.glossarySize)
@@ -179,8 +219,8 @@ func (an *Annotator) annotateTypes(ctx context.Context, doc *textify.Document, s
 		taxonomy.NewTypeIndex())
 }
 
-func (an *Annotator) annotatePurposes(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
-	return an.annotateNormalized(ctx, doc, seg, res, taxonomy.AspectPurposes,
+func (an *Annotator) annotatePurposes(ctx context.Context, dc *docContext, res *Result) error {
+	return an.annotateNormalized(ctx, dc, res, taxonomy.AspectPurposes,
 		func(text string) chatbot.Request { return chatbot.ExtractPurposesRequest(text, an.glossarySize) },
 		func(mentions []string) chatbot.Request {
 			return chatbot.NormalizePurposesRequest(mentions, an.glossarySize)
@@ -192,15 +232,14 @@ func (an *Annotator) annotatePurposes(ctx context.Context, doc *textify.Document
 // types and purposes.
 func (an *Annotator) annotateNormalized(
 	ctx context.Context,
-	doc *textify.Document,
-	seg *segment.Result,
+	dc *docContext,
 	res *Result,
 	aspect taxonomy.Aspect,
 	extractReq func(string) chatbot.Request,
 	normalizeReq func([]string) chatbot.Request,
 	ix *taxonomy.Index,
 ) error {
-	text, usedFallback := an.sectionOrFallback(doc, seg, aspect)
+	text, usedFallback := an.sectionOrFallback(dc, aspect)
 	if strings.TrimSpace(text) == "" {
 		return nil
 	}
@@ -212,7 +251,7 @@ func (an *Annotator) annotateNormalized(
 	// annotations.
 	if len(extractions) == 0 && !usedFallback && an.sectionFirst {
 		usedFallback = true
-		extractions, err = an.extract(ctx, extractReq(doc.NumberedText()))
+		extractions, err = an.extract(ctx, extractReq(dc.numbered))
 		if err != nil {
 			return fmt.Errorf("annotate: extracting %s (fallback): %w", aspect, err)
 		}
@@ -229,7 +268,7 @@ func (an *Annotator) annotateNormalized(
 		if e.Text == "" {
 			continue
 		}
-		if !an.verifyMention(doc, e.Line, e.Text) {
+		if !an.verifyMention(dc, e.Line, e.Text) {
 			res.Dropped++
 			continue
 		}
@@ -257,12 +296,7 @@ func (an *Annotator) annotateNormalized(
 		normOf[nlp.NormalizeStemmed(n.Surface)] = n
 	}
 
-	known := map[string]bool{}
-	for _, c := range ix.Categories() {
-		for _, d := range c.Descriptors {
-			known[nlp.NormalizeStemmed(d.Name)] = true
-		}
-	}
+	known := ix.KnownDescriptors()
 
 	for _, e := range kept {
 		n, ok := normOf[nlp.NormalizeStemmed(e.Text)]
@@ -276,7 +310,7 @@ func (an *Annotator) annotateNormalized(
 			Descriptor: n.Descriptor,
 			Text:       e.Text,
 			Line:       e.Line,
-			Context:    contextOf(doc, e.Line, e.Text),
+			Context:    contextOf(dc.doc, e.Line, e.Text),
 			Novel:      !known[nlp.NormalizeStemmed(n.Descriptor)],
 		})
 	}
@@ -293,23 +327,22 @@ func (an *Annotator) extract(ctx context.Context, req chatbot.Request) ([]chatbo
 
 // ------------------------------------------------------ handling & rights
 
-func (an *Annotator) annotateHandling(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
-	return an.annotateLabeled(ctx, doc, seg, res, taxonomy.AspectHandling, chatbot.HandlingLabelsRequest)
+func (an *Annotator) annotateHandling(ctx context.Context, dc *docContext, res *Result) error {
+	return an.annotateLabeled(ctx, dc, res, taxonomy.AspectHandling, chatbot.HandlingLabelsRequest)
 }
 
-func (an *Annotator) annotateRights(ctx context.Context, doc *textify.Document, seg *segment.Result, res *Result) error {
-	return an.annotateLabeled(ctx, doc, seg, res, taxonomy.AspectRights, chatbot.RightsLabelsRequest)
+func (an *Annotator) annotateRights(ctx context.Context, dc *docContext, res *Result) error {
+	return an.annotateLabeled(ctx, dc, res, taxonomy.AspectRights, chatbot.RightsLabelsRequest)
 }
 
 func (an *Annotator) annotateLabeled(
 	ctx context.Context,
-	doc *textify.Document,
-	seg *segment.Result,
+	dc *docContext,
 	res *Result,
 	aspect taxonomy.Aspect,
 	buildReq func(string) chatbot.Request,
 ) error {
-	text, usedFallback := an.sectionOrFallback(doc, seg, aspect)
+	text, usedFallback := an.sectionOrFallback(dc, aspect)
 	if strings.TrimSpace(text) == "" {
 		return nil
 	}
@@ -319,7 +352,7 @@ func (an *Annotator) annotateLabeled(
 	}
 	if len(mentions) == 0 && !usedFallback && an.sectionFirst {
 		usedFallback = true
-		mentions, err = an.labeled(ctx, buildReq(doc.NumberedText()))
+		mentions, err = an.labeled(ctx, buildReq(dc.numbered))
 		if err != nil {
 			return fmt.Errorf("annotate: labeling %s (fallback): %w", aspect, err)
 		}
@@ -334,7 +367,7 @@ func (an *Annotator) annotateLabeled(
 			res.Dropped++
 			continue
 		}
-		if !an.verifyMention(doc, m.Line, m.Text) {
+		if !an.verifyMention(dc, m.Line, m.Text) {
 			res.Dropped++
 			continue
 		}
@@ -344,7 +377,7 @@ func (an *Annotator) annotateLabeled(
 			Category: m.Label,
 			Text:     m.Text,
 			Line:     m.Line,
-			Context:  contextOf(doc, m.Line, m.Text),
+			Context:  contextOf(dc.doc, m.Line, m.Text),
 		}
 		if m.Group == taxonomy.GroupRetention && m.Label == taxonomy.RetentionStated {
 			if p, ok := nlp.ParseRetention(m.Text); ok {

@@ -1,0 +1,94 @@
+package annotate
+
+import (
+	"aipan/internal/nlp"
+	"aipan/internal/textify"
+)
+
+// docIndex is the per-document token index behind the hallucination
+// filter. The filter's lenient second chance ("the mention appears
+// anywhere in the policy") used to re-tokenize every line for every
+// mention — O(document × mentions), quadratic on large policies. The
+// index tokenizes and stems each line exactly once and keeps a posting
+// map from stemmed token to the lines containing it, so the whole-policy
+// check only runs the ordered-subsequence match on lines that contain
+// every token of the phrase.
+type docIndex struct {
+	// lines holds the stemmed token sequence of each rendered line,
+	// indexed by line number - 1.
+	lines [][]string
+	// byWord maps a stemmed token to the ascending indexes of the lines
+	// containing it.
+	byWord map[string][]int
+}
+
+// indexDocument tokenizes and stems every line of doc once.
+func indexDocument(doc *textify.Document) *docIndex {
+	ix := &docIndex{lines: make([][]string, len(doc.Lines)), byWord: map[string][]int{}}
+	for i, l := range doc.Lines {
+		ws := nlp.Words(l.Text)
+		for j, w := range ws {
+			ws[j] = nlp.Singular(w)
+		}
+		ix.lines[i] = ws
+		for _, w := range ws {
+			post := ix.byWord[w]
+			if len(post) == 0 || post[len(post)-1] != i {
+				ix.byWord[w] = append(post, i)
+			}
+		}
+	}
+	return ix
+}
+
+// stemmedWords returns phrase's stemmed token sequence — the form both
+// sides of the containment check are compared in (see nlp.ContainsWords).
+func stemmedWords(phrase string) []string {
+	ws := nlp.Words(phrase)
+	for i, w := range ws {
+		ws[i] = nlp.Singular(w)
+	}
+	return ws
+}
+
+// lineContains reports whether the line at index li contains phrase (as
+// pre-stemmed tokens pw) as an ordered, possibly discontinuous
+// subsequence — exactly nlp.ContainsWords(lineText, phrase).
+func (ix *docIndex) lineContains(li int, pw []string) bool {
+	if len(pw) == 0 || li < 0 || li >= len(ix.lines) {
+		return false
+	}
+	j := 0
+	for _, w := range ix.lines[li] {
+		if j < len(pw) && w == pw[j] {
+			j++
+		}
+	}
+	return j == len(pw)
+}
+
+// anywhere reports whether any line of the document contains pw. Candidate
+// lines come from the shortest posting list among pw's tokens (a line that
+// matches must contain every token), so large policies no longer pay a
+// full-document scan per mention.
+func (ix *docIndex) anywhere(pw []string) bool {
+	if len(pw) == 0 {
+		return false
+	}
+	var cand []int
+	for i, w := range pw {
+		post, ok := ix.byWord[w]
+		if !ok {
+			return false
+		}
+		if i == 0 || len(post) < len(cand) {
+			cand = post
+		}
+	}
+	for _, li := range cand {
+		if ix.lineContains(li, pw) {
+			return true
+		}
+	}
+	return false
+}

@@ -120,9 +120,15 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 	var err error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
+			// time.NewTimer instead of time.After: when the context wins the
+			// race the timer is released immediately rather than lingering
+			// until it fires — under high LLM concurrency a canceled run
+			// would otherwise strand one timer per in-flight backoff.
+			t := time.NewTimer(c.retryDelay << (attempt - 1))
 			select {
-			case <-time.After(c.retryDelay << (attempt - 1)):
+			case <-t.C:
 			case <-ctx.Done():
+				t.Stop()
 				return Response{}, ctx.Err()
 			}
 		}

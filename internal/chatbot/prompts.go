@@ -77,7 +77,6 @@ func SegmentTextRequest(numberedText string) Request {
 // include every descriptor; the paper attaches the compiled glossary to
 // provide "more context").
 func ExtractTypesRequest(numberedText string, glossaryPerCategory int) Request {
-	ix := taxonomy.NewTypeIndex()
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskExtractTypes + "\n")
 	b.WriteString("**Task:** Meticulously extract and catalog specific data types that are mentioned as being collected.\n")
@@ -97,7 +96,7 @@ func ExtractTypesRequest(numberedText string, glossaryPerCategory int) Request {
 The glossary below includes some examples of data types. This glossary is **not** comprehensive; it is crucial that you also identify terms not listed below.
 `)
 	if glossaryPerCategory >= 0 {
-		b.WriteString(ix.Glossary(glossaryPerCategory))
+		b.WriteString(taxonomy.TypeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\n[4] We collect your email address and browsing history.\nOutput:\n[[4, \"email address\"], [4, \"browsing history\"]]\n")
 	return newRequest(TaskExtractTypes, b.String(), numberedText)
@@ -107,7 +106,6 @@ The glossary below includes some examples of data types. This glossary is **not*
 // extracted mentions and generate normalized descriptors, using the
 // compiled glossary, inventing descriptors for out-of-vocabulary terms.
 func NormalizeTypesRequest(mentions []string, glossaryPerCategory int) Request {
-	ix := taxonomy.NewTypeIndex()
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskNormalizeTypes + "\n")
 	b.WriteString("**Task:** Categorize the extracted data types provided in the next message and generate normalized descriptors (e.g., mapping both \"mailing address\" and \"home address\" to \"postal address\" and categorizing them as \"Contact info\").\n")
@@ -121,7 +119,7 @@ func NormalizeTypesRequest(mentions []string, glossaryPerCategory int) Request {
 ### Glossary:
 `)
 	if glossaryPerCategory >= 0 {
-		b.WriteString(ix.Glossary(glossaryPerCategory))
+		b.WriteString(taxonomy.TypeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\nmailing address\nOutput:\n[[\"mailing address\", \"Physical profile\", \"Contact info\", \"postal address\"]]\n")
 	return newRequest(TaskNormalizeTypes, b.String(), strings.Join(mentions, "\n"))
@@ -129,7 +127,6 @@ func NormalizeTypesRequest(mentions []string, glossaryPerCategory int) Request {
 
 // ExtractPurposesRequest builds the purposes extraction task.
 func ExtractPurposesRequest(numberedText string, glossaryPerCategory int) Request {
-	ix := taxonomy.NewPurposeIndex()
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskExtractPurposes + "\n")
 	b.WriteString("**Task:** Meticulously extract and catalog specific purposes for which data is collected, used, or processed.\n")
@@ -145,7 +142,7 @@ func ExtractPurposesRequest(numberedText string, glossaryPerCategory int) Reques
 ### Glossary:
 `)
 	if glossaryPerCategory >= 0 {
-		b.WriteString(ix.Glossary(glossaryPerCategory))
+		b.WriteString(taxonomy.PurposeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\n[2] We use your data for fraud prevention and analytics.\nOutput:\n[[2, \"fraud prevention\"], [2, \"analytics\"]]\n")
 	return newRequest(TaskExtractPurposes, b.String(), numberedText)
@@ -153,7 +150,6 @@ func ExtractPurposesRequest(numberedText string, glossaryPerCategory int) Reques
 
 // NormalizePurposesRequest builds the purposes normalization task.
 func NormalizePurposesRequest(mentions []string, glossaryPerCategory int) Request {
-	ix := taxonomy.NewPurposeIndex()
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskNormalizePurposes + "\n")
 	b.WriteString("**Task:** Categorize the extracted data-collection purposes provided in the next message and generate normalized descriptors according to the glossary.\n")
@@ -166,7 +162,7 @@ func NormalizePurposesRequest(mentions []string, glossaryPerCategory int) Reques
 ### Glossary:
 `)
 	if glossaryPerCategory >= 0 {
-		b.WriteString(ix.Glossary(glossaryPerCategory))
+		b.WriteString(taxonomy.PurposeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\nprevent fraud\nOutput:\n[[\"prevent fraud\", \"Legal\", \"Security\", \"fraud prevention\"]]\n")
 	return newRequest(TaskNormalizePurposes, b.String(), strings.Join(mentions, "\n"))

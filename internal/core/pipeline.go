@@ -16,7 +16,6 @@ import (
 	"aipan/internal/chatbot"
 	"aipan/internal/crawler"
 	"aipan/internal/russell"
-	"aipan/internal/search"
 	"aipan/internal/stats"
 	"aipan/internal/store"
 	"aipan/internal/textify"
@@ -38,6 +37,11 @@ type Config struct {
 	HTTPClient *http.Client
 	// Workers bounds per-domain parallelism (default 8).
 	Workers int
+	// LLMConcurrency bounds in-flight chatbot calls across all workers
+	// (default 4×Workers — each domain worker fans out its four annotation
+	// aspects concurrently). Ignored when Bot is supplied: a caller-built
+	// chatbot carries its own concurrency limit.
+	LLMConcurrency int
 	// Limit processes only the first N domains (0 = all 2,892).
 	Limit int
 	// AnnotateOptions tune the annotator (glossary size, filters, ...).
@@ -95,16 +99,19 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
+	if cfg.LLMConcurrency <= 0 {
+		cfg.LLMConcurrency = 4 * cfg.Workers
+	}
 	p := &Pipeline{cfg: cfg}
 
-	// Universe and domain resolution (§3.1).
-	p.companies = russell.Universe(cfg.Seed)
-	res := search.ResolveUniverse(search.NewEngine(p.companies, cfg.Seed), p.companies)
-	p.domains = res.Domains
-	p.corrected = res.Corrected
+	// Universe, domain resolution (§3.1), and the synthetic web — all a
+	// deterministic function of the seed, shared across pipelines.
+	corp := corpusFor(cfg.Seed)
+	p.companies = corp.companies
+	p.domains = corp.domains
+	p.corrected = corp.corrected
+	p.gen = corp.gen
 
-	// Synthetic web + HTTP client.
-	p.gen = webgen.New(cfg.Seed, p.domains)
 	client := cfg.HTTPClient
 	if client == nil {
 		client = virtualweb.NewTransport(p.gen).Client()
@@ -121,7 +128,7 @@ func New(cfg Config) (*Pipeline, error) {
 	p.bot = cfg.Bot
 	if p.bot == nil {
 		p.bot = chatbot.NewClient(chatbot.NewSim(chatbot.GPT4Profile()),
-			chatbot.WithConcurrency(cfg.Workers), chatbot.WithCache(false))
+			chatbot.WithConcurrency(cfg.LLMConcurrency), chatbot.WithCache(false))
 	}
 	p.annotator = annotate.New(p.bot, cfg.AnnotateOptions...)
 	return p, nil
@@ -172,24 +179,44 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var done int
-	var mu sync.Mutex
+	// appendMu guards only the checkpoint write; progressMu serializes the
+	// user's Progress callback (callbacks are not required to be
+	// goroutine-safe). Keeping them separate means a slow checkpoint fsync
+	// never blocks progress reporting, and vice versa.
+	var appendMu, progressMu sync.Mutex
+	report := func(stage string, done, total int) {
+		if p.cfg.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		p.cfg.Progress(stage, done, total)
+	}
 	for w := 0; w < p.cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				records[i] = p.processDomain(ctx, domains[i])
-				mu.Lock()
-				if appender != nil {
-					if err := appender.Append(&records[i]); err != nil && p.cfg.Progress != nil {
-						p.cfg.Progress("checkpoint-error", 0, 0)
+				if appender != nil && ctx.Err() == nil {
+					// Skip the write once the run is canceled: a domain
+					// interrupted mid-processing produces a truncated record
+					// that would poison the checkpoint and be trusted as
+					// complete on resume.
+					appendMu.Lock()
+					err := appender.Append(&records[i])
+					appendMu.Unlock()
+					if err != nil {
+						report("checkpoint-error", 0, 0)
 					}
 				}
+				progressMu.Lock()
 				done++
+				d := done
 				if p.cfg.Progress != nil {
-					p.cfg.Progress("process", done, len(domains))
+					p.cfg.Progress("process", d, len(domains))
 				}
-				mu.Unlock()
+				progressMu.Unlock()
 			}
 		}()
 	}
@@ -263,38 +290,69 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		return rec
 	}
 
-	// Extract + segment + annotate each privacy page, then merge. The
-	// whole-text annotation fallback is reported for the domain's main
-	// policy page only (§3.2.2 counts fallbacks per policy; auxiliary
-	// choices/cookie pages always fall back for their missing aspects and
-	// would swamp the statistic).
+	// Extract + segment + annotate each privacy page — concurrently, since
+	// pages are independent — then fold the outcomes in page order so every
+	// aggregate (coreWords sum, first-wins main-page tie break, merge input
+	// order) matches the sequential loop byte for byte. The whole-text
+	// annotation fallback is reported for the domain's main policy page
+	// only (§3.2.2 counts fallbacks per policy; auxiliary choices/cookie
+	// pages always fall back for their missing aspects and would swamp the
+	// statistic).
+	type pageOutcome struct {
+		segOK        bool
+		usedFallback bool
+		pageWords    int
+		annOK        bool
+		anns         []annotate.Annotation
+		annFallbacks map[string]bool
+	}
+	outcomes := make([]pageOutcome, len(cres.PrivacyPages))
+	var pwg sync.WaitGroup
+	for pi := range cres.PrivacyPages {
+		pwg.Add(1)
+		go func(pi int) {
+			defer pwg.Done()
+			out := &outcomes[pi]
+			doc := textify.Render(parseHTML(cres.PrivacyPages[pi].Body))
+			seg, err := segpkg.Segment(ctx, p.bot, doc)
+			if err != nil || !seg.Success() {
+				return
+			}
+			out.segOK = true
+			out.usedFallback = seg.UsedFallback
+			out.pageWords = seg.CoreWordCount()
+			ares, err := p.annotator.Annotate(ctx, doc, seg)
+			if err != nil {
+				return
+			}
+			out.annOK = true
+			out.anns = ares.Annotations
+			out.annFallbacks = ares.FallbackUsed
+		}(pi)
+	}
+	pwg.Wait()
+
 	var pageAnns [][]annotate.Annotation
 	fallbacks := map[string]bool{}
 	coreWords := 0
 	mainWords := -1
 	anySuccess, anyFallbackSeg := false, false
-	for _, page := range cres.PrivacyPages {
-		doc := textify.Render(parseHTML(page.Body))
-		seg, err := segpkg.Segment(ctx, p.bot, doc)
-		if err != nil {
-			continue
-		}
-		if !seg.Success() {
+	for pi := range outcomes {
+		out := &outcomes[pi]
+		if !out.segOK {
 			continue
 		}
 		anySuccess = true
-		anyFallbackSeg = anyFallbackSeg || seg.UsedFallback
-		pageWords := seg.CoreWordCount()
-		coreWords += pageWords
-		ares, err := p.annotator.Annotate(ctx, doc, seg)
-		if err != nil {
+		anyFallbackSeg = anyFallbackSeg || out.usedFallback
+		coreWords += out.pageWords
+		if !out.annOK {
 			continue
 		}
-		pageAnns = append(pageAnns, ares.Annotations)
-		if pageWords > mainWords {
-			mainWords = pageWords
+		pageAnns = append(pageAnns, out.anns)
+		if out.pageWords > mainWords {
+			mainWords = out.pageWords
 			fallbacks = map[string]bool{}
-			for a := range ares.FallbackUsed {
+			for a := range out.annFallbacks {
 				fallbacks[a] = true
 			}
 		}

@@ -149,7 +149,116 @@ func New(cfg Config) (*Crawler, error) {
 	return &Crawler{cfg: cfg.withDefaults()}, nil
 }
 
+// pageSlot is one planned fetch: the placeholder Page plus whether the
+// fetch actually ran (a slot planned before a context cancellation may
+// never execute, and then must not appear in Result.Pages — exactly like
+// a sequential crawl that stopped at the same point).
+type pageSlot struct {
+	u       *url.URL
+	page    *Page
+	fetched bool
+}
+
+// crawlPlan is the per-domain bookkeeping of the stage-parallel crawl.
+// Each stage first *plans* its fetches sequentially — applying the dedup,
+// budget, and robots rules in the exact order a sequential crawl would —
+// and then executes the planned fetches concurrently (or serially under a
+// politeness delay). Because which URLs are fetched and the order of
+// Result.Pages are fixed at planning time, the crawl outcome is
+// byte-identical to a fully sequential run.
+type crawlPlan struct {
+	c       *Crawler
+	rules   robotsRules
+	planned map[string]*pageSlot // by normalized URL
+	order   []*pageSlot          // first-plan order = sequential fetch order
+	pending []*pageSlot          // planned in the current stage, not yet run
+	done    int                  // fetches performed (politeness-gate state)
+}
+
+// plan applies the sequential admission rules for u and returns the
+// placeholder page: an existing page for a duplicate URL, nil when the
+// budget is exhausted or robots.txt disallows the path.
+func (cp *crawlPlan) plan(u *url.URL, candidate bool) *Page {
+	key := u.String()
+	if s, ok := cp.planned[key]; ok {
+		return s.page
+	}
+	if len(cp.planned) >= cp.c.cfg.MaxPages {
+		return nil
+	}
+	if cp.c.cfg.RespectRobots && !cp.rules.allowed(u.Path) {
+		return nil
+	}
+	s := &pageSlot{u: u, page: &Page{URL: key, Path: u.Path, Candidate: candidate}}
+	cp.planned[key] = s
+	cp.order = append(cp.order, s)
+	cp.pending = append(cp.pending, s)
+	return s.page
+}
+
+// run executes the current stage's pending fetches. With no politeness
+// delay the stage fans out concurrently (the per-site page cap bounds the
+// goroutines); with Delay > 0 it serializes, pausing between requests.
+func (cp *crawlPlan) run(ctx context.Context) {
+	pending := cp.pending
+	cp.pending = nil
+	if cp.c.cfg.Delay > 0 || len(pending) <= 1 {
+		for _, s := range pending {
+			if cp.done > 0 && cp.c.cfg.Delay > 0 {
+				if !sleepCtx(ctx, cp.c.cfg.Delay) {
+					return // canceled: remaining slots stay unfetched
+				}
+			}
+			cp.fetchSlot(ctx, s)
+			cp.done++
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, s := range pending {
+		wg.Add(1)
+		go func(s *pageSlot) {
+			defer wg.Done()
+			cp.fetchSlot(ctx, s)
+		}(s)
+	}
+	wg.Wait()
+	cp.done += len(pending)
+}
+
+// fetchSlot performs the GET for one slot, preserving the planned
+// Candidate flag. cp.done is updated by run, not here, so the concurrent
+// path stays race-free.
+func (cp *crawlPlan) fetchSlot(ctx context.Context, s *pageSlot) {
+	candidate := s.page.Candidate
+	p := cp.c.fetchPage(ctx, s.u)
+	p.Candidate = candidate
+	*s.page = *p
+	s.fetched = true
+}
+
+// sleepCtx pauses for d, returning false if ctx was canceled first. Unlike
+// a bare time.After, the timer is released immediately on cancellation —
+// a politeness crawl over thousands of domains would otherwise strand one
+// timer allocation per in-flight delay.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // CrawlDomain runs the full discovery policy against one domain.
+//
+// The crawl is stage-parallel: the homepage is fetched alone (it seeds
+// everything), then the seed set (footer links + well-known paths) is
+// fetched concurrently, then the second-hop links are fetched
+// concurrently. A politeness Delay > 0 serializes the fetches instead.
+// See crawlPlan for why the result is identical to a sequential crawl.
 func (c *Crawler) CrawlDomain(ctx context.Context, domain string) *Result {
 	res := &Result{Domain: domain}
 	base := &url.URL{Scheme: "http", Host: domain, Path: "/"}
@@ -159,33 +268,10 @@ func (c *Crawler) CrawlDomain(ctx context.Context, domain string) *Result {
 		rules = c.fetchRobots(ctx, domain)
 	}
 
-	fetched := map[string]*Page{} // by normalized URL
-	fetch := func(u *url.URL, candidate bool) *Page {
-		key := u.String()
-		if p, ok := fetched[key]; ok {
-			return p
-		}
-		if len(fetched) >= c.cfg.MaxPages {
-			return nil
-		}
-		if c.cfg.RespectRobots && !rules.allowed(u.Path) {
-			return nil
-		}
-		if c.cfg.Delay > 0 && len(fetched) > 0 {
-			select {
-			case <-time.After(c.cfg.Delay):
-			case <-ctx.Done():
-				return nil
-			}
-		}
-		p := c.fetchPage(ctx, u)
-		p.Candidate = candidate
-		fetched[key] = p
-		res.Pages = append(res.Pages, *p)
-		return p
-	}
+	cp := &crawlPlan{c: c, rules: rules, planned: map[string]*pageSlot{}}
 
-	home := fetch(base, false)
+	home := cp.plan(base, false)
+	cp.run(ctx)
 	if home == nil {
 		res.HomeErr = "crawl budget exhausted"
 		return res
@@ -212,23 +298,35 @@ func (c *Crawler) CrawlDomain(ctx context.Context, domain string) *Result {
 		}
 	}
 
-	var seedPages []*Page
+	// Plan the whole seed stage, then fetch it in one concurrent burst.
+	type seedRef struct {
+		path string // request path (pre-redirect), for the well-known probes
+		page *Page
+	}
+	var seedRefs []seedRef
 	for _, s := range seeds {
 		if sameURL(s, base) {
 			continue
 		}
-		if p := fetch(s, true); p != nil {
-			seedPages = append(seedPages, p)
-			switch s.Path {
-			case "/privacy-policy":
-				res.WellKnownPolicyOK = p.OK()
-			case "/privacy":
-				res.WellKnownPrivacyOK = p.OK()
-			}
+		if p := cp.plan(s, true); p != nil {
+			seedRefs = append(seedRefs, seedRef{path: s.Path, page: p})
+		}
+	}
+	cp.run(ctx)
+
+	var seedPages []*Page
+	for _, sr := range seedRefs {
+		seedPages = append(seedPages, sr.page)
+		switch sr.path {
+		case "/privacy-policy":
+			res.WellKnownPolicyOK = sr.page.OK()
+		case "/privacy":
+			res.WellKnownPrivacyOK = sr.page.OK()
 		}
 	}
 
-	// Second hop: up to 5 privacy links from the top of each seed page.
+	// Second hop: up to 5 privacy links from the top of each seed page,
+	// planned in seed order, fetched concurrently.
 	if !c.cfg.SkipTopLinks {
 		for _, sp := range seedPages {
 			if !sp.OK() || !sp.IsHTML() {
@@ -243,8 +341,17 @@ func (c *Crawler) CrawlDomain(ctx context.Context, domain string) *Result {
 				if sameURL(l, base) {
 					continue
 				}
-				fetch(l, true)
+				cp.plan(l, true)
 			}
+		}
+		cp.run(ctx)
+	}
+
+	// Pages appear in planning order — the order a sequential crawl would
+	// have fetched them — skipping slots a cancellation left unfetched.
+	for _, s := range cp.order {
+		if s.fetched {
+			res.Pages = append(res.Pages, *s.page)
 		}
 	}
 

@@ -1,0 +1,122 @@
+package taxonomy
+
+import "sync"
+
+// The taxonomy is consulted on every prompt build and every normalization
+// lookup — at corpus scale that is hundreds of thousands of calls — yet it
+// only changes when an extension is registered. The caches below build the
+// base category literals once, and the merged categories, lookup indexes,
+// and rendered prompt glossaries once per extension generation, turning
+// per-call construction (a double-digit share of pipeline CPU) into a map
+// read.
+
+var (
+	baseTypesOnce    sync.Once
+	baseTypesVal     []Category
+	basePurposesOnce sync.Once
+	basePurposesVal  []Category
+)
+
+func cachedBaseTypes() []Category {
+	baseTypesOnce.Do(func() { baseTypesVal = baseTypeCategories() })
+	return baseTypesVal
+}
+
+func cachedBasePurposes() []Category {
+	basePurposesOnce.Do(func() { basePurposesVal = basePurposeCategories() })
+	return basePurposesVal
+}
+
+// glossaryKey identifies one rendered glossary variant.
+type glossaryKey struct {
+	types bool // types vs purposes
+	max   int  // maxPerCategory
+}
+
+// taxCache holds everything derived from the merged taxonomy for one
+// extension generation. All cached values are shared and must be treated
+// as read-only by callers.
+type taxCache struct {
+	mu         sync.Mutex
+	gen        uint64
+	built      bool
+	types      []Category
+	purposes   []Category
+	typeIx     *Index
+	purposeIx  *Index
+	glossaries map[glossaryKey]string
+}
+
+var cache taxCache
+
+// refresh rebuilds the derived data if the extension generation moved.
+// Called with cache.mu held.
+func (c *taxCache) refresh() {
+	gen := generation()
+	if c.built && c.gen == gen {
+		return
+	}
+	c.gen = gen
+	c.built = true
+	c.types = extendTypes(cachedBaseTypes())
+	c.purposes = extendPurposes(cachedBasePurposes())
+	c.typeIx = NewIndex(c.types)
+	c.purposeIx = NewIndex(c.purposes)
+	c.glossaries = map[glossaryKey]string{}
+}
+
+func cachedTypeCategories() []Category {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.refresh()
+	return cache.types
+}
+
+func cachedPurposeCategories() []Category {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.refresh()
+	return cache.purposes
+}
+
+func cachedTypeIndex() *Index {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.refresh()
+	return cache.typeIx
+}
+
+func cachedPurposeIndex() *Index {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.refresh()
+	return cache.purposeIx
+}
+
+// TypeGlossary renders (and caches) the data-types prompt glossary with up
+// to maxPerCategory descriptors per category. Equivalent to
+// NewTypeIndex().Glossary(maxPerCategory) without the per-call rendering.
+func TypeGlossary(maxPerCategory int) string {
+	return cachedGlossary(glossaryKey{types: true, max: maxPerCategory})
+}
+
+// PurposeGlossary is TypeGlossary for the purposes taxonomy.
+func PurposeGlossary(maxPerCategory int) string {
+	return cachedGlossary(glossaryKey{types: false, max: maxPerCategory})
+}
+
+func cachedGlossary(key glossaryKey) string {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.refresh()
+	if g, ok := cache.glossaries[key]; ok {
+		return g
+	}
+	ix := cache.typeIx
+	if !key.types {
+		ix = cache.purposeIx
+	}
+	g := ix.Glossary(key.max)
+	cache.glossaries[key] = g
+	return g
+}

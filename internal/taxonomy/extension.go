@@ -33,7 +33,18 @@ var (
 	extMu         sync.RWMutex
 	activeExt     Extension
 	extRegistered bool
+	// extGen increments on every Register/ClearExtension; the derived-data
+	// caches in cache.go key on it so they rebuild exactly when the merged
+	// taxonomy can have changed.
+	extGen uint64
 )
+
+// generation returns the current extension generation.
+func generation() uint64 {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	return extGen
+}
 
 // LoadExtension decodes an Extension from JSON.
 func LoadExtension(r io.Reader) (Extension, error) {
@@ -77,6 +88,7 @@ func Register(ext Extension) error {
 	defer extMu.Unlock()
 	activeExt = ext
 	extRegistered = true
+	extGen++
 	return nil
 }
 
@@ -86,6 +98,7 @@ func ClearExtension() {
 	defer extMu.Unlock()
 	activeExt = Extension{}
 	extRegistered = false
+	extGen++
 }
 
 // extendTypes merges the active extension into the base type taxonomy.

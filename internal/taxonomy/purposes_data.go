@@ -10,8 +10,10 @@ const (
 // PurposeCategories returns the collection-purposes taxonomy: 3
 // meta-categories, 7 categories, 48 normalized descriptors (§3.2.2).
 // Registered extensions (see extension.go) are merged in.
+// The returned top-level slice is a fresh copy, but the Category contents
+// are shared with a process-wide cache and must be treated as read-only.
 func PurposeCategories() []Category {
-	return extendPurposes(basePurposeCategories())
+	return append([]Category(nil), cachedPurposeCategories()...)
 }
 
 func basePurposeCategories() []Category {
@@ -110,4 +112,6 @@ func basePurposeCategories() []Category {
 }
 
 // NewPurposeIndex builds the lookup index over the purposes taxonomy.
-func NewPurposeIndex() *Index { return NewIndex(PurposeCategories()) }
+// NewPurposeIndex returns the shared, read-only index over
+// PurposeCategories(); see NewTypeIndex.
+func NewPurposeIndex() *Index { return cachedPurposeIndex() }

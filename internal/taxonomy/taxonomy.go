@@ -10,6 +10,7 @@ package taxonomy
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"aipan/internal/nlp"
 )
@@ -152,11 +153,15 @@ type Match struct {
 	Novel bool
 }
 
-// Index resolves surface phrases to taxonomy matches.
+// Index resolves surface phrases to taxonomy matches. An Index is
+// read-only after construction and safe for concurrent use.
 type Index struct {
 	exact      map[string]Match // stemmed surface form → match
 	categories []Category
 	triggers   []triggerRule
+
+	knownOnce sync.Once
+	known     map[string]bool
 }
 
 type triggerRule struct {
@@ -279,6 +284,22 @@ func stripQualifiers(key string) string {
 
 // Categories returns the categories backing this index.
 func (ix *Index) Categories() []Category { return ix.categories }
+
+// KnownDescriptors returns the stemmed canonical forms of every descriptor
+// name in the index (used to flag zero-shot "novel" descriptors). The set
+// is computed once per index and shared: treat it as read-only.
+func (ix *Index) KnownDescriptors() map[string]bool {
+	ix.knownOnce.Do(func() {
+		known := make(map[string]bool)
+		for _, c := range ix.categories {
+			for _, d := range c.Descriptors {
+				known[nlp.NormalizeStemmed(d.Name)] = true
+			}
+		}
+		ix.known = known
+	})
+	return ix.known
+}
 
 // Glossary renders the taxonomy as the textual glossary attached to
 // chatbot prompts (Figure 2), listing up to maxPerCategory descriptors per

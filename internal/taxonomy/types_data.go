@@ -14,8 +14,11 @@ const (
 // meta-categories and 34 categories mirroring Table 4, with 125+
 // normalized descriptors and their surface-form synonyms. Registered
 // extensions (see extension.go) are merged in.
+// The returned top-level slice is a fresh copy, but the Category contents
+// (descriptor and synonym slices) are shared with a process-wide cache and
+// must be treated as read-only.
 func TypeCategories() []Category {
-	return extendTypes(baseTypeCategories())
+	return append([]Category(nil), cachedTypeCategories()...)
 }
 
 func baseTypeCategories() []Category {
@@ -396,4 +399,7 @@ func baseTypeCategories() []Category {
 }
 
 // NewTypeIndex builds the lookup index over the data-types taxonomy.
-func NewTypeIndex() *Index { return NewIndex(TypeCategories()) }
+// NewTypeIndex returns the shared, read-only index over TypeCategories().
+// The index is rebuilt only when an extension is (un)registered; concurrent
+// Lookup calls are safe.
+func NewTypeIndex() *Index { return cachedTypeIndex() }
