@@ -30,6 +30,7 @@ package aipan
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 
@@ -39,6 +40,7 @@ import (
 	"aipan/internal/crawler"
 	"aipan/internal/downstream"
 	"aipan/internal/nutrition"
+	"aipan/internal/obs"
 	"aipan/internal/qa"
 	"aipan/internal/report"
 	"aipan/internal/risk"
@@ -90,6 +92,39 @@ type (
 
 // DefaultSeed is the AIPAN-3k corpus seed.
 const DefaultSeed = webgen.Seed
+
+// Observability re-exports (see internal/obs and DESIGN.md §9).
+type (
+	// Metrics is the concurrency-safe metrics registry (counters, gauges,
+	// histograms) exported in the Prometheus text format. Pass one via
+	// PipelineConfig.Registry to isolate a run's metrics; nil uses the
+	// process-wide default.
+	Metrics = obs.Registry
+	// Logger is the leveled, structured key=value logger. Pass one via
+	// PipelineConfig.Logger; nil disables logging.
+	Logger = obs.Logger
+	// TraceSummary is the per-run stage tree (wall-time aggregates)
+	// attached to RunResult.Trace.
+	TraceSummary = obs.TraceSummary
+)
+
+// DefaultMetrics returns the process-wide metrics registry that all
+// components report into unless given an explicit registry.
+func DefaultMetrics() *Metrics { return obs.Default() }
+
+// MetricsHandler serves reg (nil = DefaultMetrics) in the Prometheus text
+// exposition format, for mounting on any mux.
+func MetricsHandler(reg *Metrics) http.Handler { return obs.MetricsHandler(reg) }
+
+// NewLogger builds a structured logger writing to w at the given level
+// ("debug", "info", "warn", "error"; "" = info).
+func NewLogger(w io.Writer, level string) (*Logger, error) {
+	lv, err := obs.ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewLogger(w, lv), nil
+}
 
 // NewPipeline builds the end-to-end pipeline. The zero config reproduces
 // the paper against the synthetic web with the GPT-4-class simulator.

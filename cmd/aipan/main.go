@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000]
+//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--metrics-addr :9090]
 //	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
 //	aipan validate --data aipan.jsonl [--seed 3000]
 //	aipan compare-models [--n 20] [--seed 3000]
@@ -23,6 +23,7 @@ import (
 	"aipan"
 	"aipan/internal/chatbot"
 	"aipan/internal/core"
+	"aipan/internal/obs"
 	"aipan/internal/report"
 )
 
@@ -102,12 +103,40 @@ func botFor(name string) (aipan.Chatbot, error) {
 	return nil, fmt.Errorf("unknown model %q (sim-gpt4, sim-llama31, sim-gpt35, openai:<model>)", name)
 }
 
-func runPipeline(out string, limit, workers int, seed int64, model, checkpoint string, progress bool) (*core.Result, *aipan.Pipeline, error) {
+// obsFlags are the observability knobs shared by run and all.
+type obsFlags struct {
+	metricsAddr string
+	logLevel    string
+}
+
+func (o *obsFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&o.metricsAddr, "metrics-addr", "",
+		"serve /metrics and /debug/pprof on this address for the run's lifetime (e.g. :9090)")
+	fs.StringVar(&o.logLevel, "log-level", "",
+		"emit structured logs to stderr at this level: debug | info | warn | error (default off)")
+}
+
+func runPipeline(out string, limit, workers int, seed int64, model, checkpoint string, progress bool, of obsFlags) (*core.Result, *aipan.Pipeline, error) {
 	bot, err := botFor(model)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg := aipan.PipelineConfig{Seed: seed, Limit: limit, Workers: workers, Bot: bot, Checkpoint: checkpoint}
+	if of.logLevel != "" {
+		logger, err := aipan.NewLogger(os.Stderr, of.logLevel)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Logger = logger
+	}
+	if of.metricsAddr != "" {
+		dbg, err := obs.StartDebugServer(of.metricsAddr, aipan.DefaultMetrics(), cfg.Logger)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://localhost%s/metrics (pprof under /debug/pprof/)\n", of.metricsAddr)
+	}
 	if progress {
 		cfg.Progress = func(stage string, done, total int) {
 			if done%200 == 0 || done == total {
@@ -145,6 +174,8 @@ func cmdRun(args []string) error {
 	csvPrefix := fs.String("csv", "", "also write <prefix>-annotations.csv and <prefix>-domains.csv")
 	taxPath := fs.String("taxonomy", "", "JSON taxonomy extension to merge before annotating")
 	checkpoint := fs.String("checkpoint", "", "stream records to this JSONL and resume from it on restart")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,7 +184,7 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	res, _, err := runPipeline(*out, *limit, *workers, *seed, *model, *checkpoint, true)
+	res, _, err := runPipeline(*out, *limit, *workers, *seed, *model, *checkpoint, true, of)
 	if err != nil {
 		return err
 	}
@@ -413,10 +444,12 @@ func cmdAll(args []string) error {
 	limit := fs.Int("limit", 0, "process only the first N domains (0 = all)")
 	workers := fs.Int("workers", 8, "concurrent domains")
 	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed")
+	var of obsFlags
+	of.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, p, err := runPipeline(*out, *limit, *workers, *seed, "sim-gpt4", "", true)
+	res, p, err := runPipeline(*out, *limit, *workers, *seed, "sim-gpt4", "", true, of)
 	if err != nil {
 		return err
 	}

@@ -13,12 +13,12 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"time"
 
 	"aipan"
+	"aipan/internal/obs"
 )
 
 func main() {
@@ -26,7 +26,16 @@ func main() {
 	seed := flag.Int64("seed", aipan.DefaultSeed, "corpus seed")
 	list := flag.Bool("list", false, "print the synthetic domains and exit")
 	n := flag.Int("n", 20, "number of domains to print with --list (0 = all)")
+	metricsAddr := flag.String("metrics-addr", "", "also serve /metrics and /debug/pprof on this address (e.g. :9090)")
+	logLevel := flag.String("log-level", "info", "debug | info | warn | error")
 	flag.Parse()
+
+	logger, err := aipan.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wwwsim:", err)
+		os.Exit(2)
+	}
+	log := logger.With("wwwsim")
 
 	web := aipan.NewSyntheticWeb(*seed)
 	if *list {
@@ -40,15 +49,26 @@ func main() {
 		return
 	}
 
+	reg := aipan.DefaultMetrics()
+	if *metricsAddr != "" {
+		dbg, err := obs.StartDebugServer(*metricsAddr, reg, log)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wwwsim:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		log.Info("metrics server listening", "addr", *metricsAddr)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           web.Handler(),
+		Handler:           obs.InstrumentHandler(reg, "virtualweb", web.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("wwwsim: serving %d synthetic corporate sites on %s", len(web.Domains()), *addr)
-	log.Printf("wwwsim: try  curl http://localhost%s/_site/%s/", *addr, web.Domains()[0])
+	log.Info("serving synthetic corporate web", "sites", len(web.Domains()), "addr", *addr)
+	log.Info("example request", "curl", fmt.Sprintf("http://localhost%s/_site/%s/", *addr, web.Domains()[0]))
 	if err := srv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "wwwsim:", err)
+		log.Error("server failed", "err", err)
 		os.Exit(1)
 	}
 }

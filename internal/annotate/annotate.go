@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"aipan/internal/chatbot"
 	"aipan/internal/nlp"
+	"aipan/internal/obs"
 	"aipan/internal/segment"
 	"aipan/internal/taxonomy"
 	"aipan/internal/textify"
@@ -97,12 +99,40 @@ func WithSectionFirst(on bool) Option {
 	return func(a *Annotator) { a.sectionFirst = on }
 }
 
+// WithRegistry routes the annotator's metrics to reg instead of the
+// process-wide default registry.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(a *Annotator) { a.met = newAnnMetrics(reg) }
+}
+
 // Annotator runs the §3.2.2 annotation tasks through a chatbot.
 type Annotator struct {
 	bot          chatbot.Chatbot
 	glossarySize int
 	verify       bool
 	sectionFirst bool
+	met          *annMetrics
+}
+
+// annMetrics instruments the per-aspect annotation chains.
+type annMetrics struct {
+	aspectDur *obs.HistogramVec // by aspect
+	dropped   *obs.Counter
+	fallbacks *obs.CounterVec // by aspect
+}
+
+func newAnnMetrics(reg *obs.Registry) *annMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &annMetrics{
+		aspectDur: reg.HistogramVec("aipan_annotate_aspect_duration_seconds",
+			"Wall time of one aspect's annotation chain (extract, filter, normalize).", nil, "aspect"),
+		dropped: reg.Counter("aipan_annotate_hallucination_dropped_total",
+			"Mentions removed by the verbatim-presence hallucination filter."),
+		fallbacks: reg.CounterVec("aipan_annotate_fallbacks_total",
+			"Aspect annotations that fell back to whole-text extraction.", "aspect"),
+	}
 }
 
 // New builds an Annotator around a chatbot backend.
@@ -110,6 +140,9 @@ func New(bot chatbot.Chatbot, opts ...Option) *Annotator {
 	a := &Annotator{bot: bot, glossarySize: 0, verify: true, sectionFirst: true}
 	for _, o := range opts {
 		o(a)
+	}
+	if a.met == nil {
+		a.met = newAnnMetrics(nil)
 	}
 	return a
 }
@@ -144,8 +177,14 @@ func (dc *docContext) index() *docIndex {
 // output is byte-identical to a sequential run.
 func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *segment.Result) (*Result, error) {
 	dc := &docContext{doc: doc, seg: seg, numbered: doc.NumberedText()}
-	aspects := []func(context.Context, *docContext, *Result) error{
-		an.annotateTypes, an.annotatePurposes, an.annotateHandling, an.annotateRights,
+	aspects := []struct {
+		name string
+		fn   func(context.Context, *docContext, *Result) error
+	}{
+		{"types", an.annotateTypes},
+		{"purposes", an.annotatePurposes},
+		{"handling", an.annotateHandling},
+		{"rights", an.annotateRights},
 	}
 	partials := make([]Result, len(aspects))
 	errs := make([]error, len(aspects))
@@ -155,7 +194,11 @@ func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *s
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = aspects[i](ctx, dc, &partials[i])
+			actx, span := obs.StartSpan(ctx, "annotate."+aspects[i].name)
+			start := time.Now()
+			errs[i] = aspects[i].fn(actx, dc, &partials[i])
+			an.met.aspectDur.With(aspects[i].name).Observe(time.Since(start).Seconds())
+			span.End()
 		}(i)
 	}
 	wg.Wait()
@@ -171,7 +214,18 @@ func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *s
 			res.FallbackUsed[a] = true
 		}
 	}
+	res.recordMetrics(an.met)
 	return res, nil
+}
+
+// recordMetrics folds one document's outcome into the annotator's
+// instruments after the partials are merged (single-threaded, so counter
+// totals equal the summed Result fields exactly).
+func (r *Result) recordMetrics(met *annMetrics) {
+	met.dropped.Add(float64(r.Dropped))
+	for aspect := range r.FallbackUsed {
+		met.fallbacks.With(aspect).Inc()
+	}
 }
 
 // sectionOrFallback returns the aspect's numbered text, and whether the

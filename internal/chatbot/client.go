@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"aipan/internal/obs"
 )
 
 // Client wraps a Chatbot with the operational machinery a large-scale
@@ -30,6 +32,39 @@ type Client struct {
 	calls       int
 	cacheHits   int
 	failedCalls int
+	met         *clientMetrics
+}
+
+// clientMetrics is the client's instrument set: call latency per task,
+// outcome counters, retry/backoff attempts, token totals, and the
+// in-flight gauge to read against the configured concurrency bound.
+type clientMetrics struct {
+	callDur   *obs.HistogramVec // by task
+	calls     *obs.CounterVec   // by result (ok, error)
+	cacheHits *obs.Counter
+	retries   *obs.Counter
+	inflight  *obs.Gauge
+	tokens    *obs.CounterVec // by kind (prompt, completion)
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &clientMetrics{
+		callDur: reg.HistogramVec("aipan_chatbot_call_duration_seconds",
+			"Chatbot completion latency (including retries and backoff) by task.", nil, "task"),
+		calls: reg.CounterVec("aipan_chatbot_calls_total",
+			"Chatbot completions by result (cache hits not included).", "result"),
+		cacheHits: reg.Counter("aipan_chatbot_cache_hits_total",
+			"Completions answered from the idempotent response cache."),
+		retries: reg.Counter("aipan_chatbot_retries_total",
+			"Retry attempts after transient completion failures."),
+		inflight: reg.Gauge("aipan_chatbot_inflight",
+			"Completions currently in flight (bounded by the concurrency gate)."),
+		tokens: reg.CounterVec("aipan_chatbot_tokens_total",
+			"Tokens consumed by kind (prompt, completion); simulated backends report estimates.", "kind"),
+	}
 }
 
 // ClientOption configures a Client.
@@ -68,6 +103,12 @@ func WithDiskCache(dir string) ClientOption {
 	}
 }
 
+// WithRegistry routes the client's metrics to reg instead of the
+// process-wide default registry.
+func WithRegistry(reg *obs.Registry) ClientOption {
+	return func(c *Client) { c.met = newClientMetrics(reg) }
+}
+
 // NewClient wraps bot.
 func NewClient(bot Chatbot, opts ...ClientOption) *Client {
 	c := &Client{
@@ -80,6 +121,9 @@ func NewClient(bot Chatbot, opts ...ClientOption) *Client {
 	}
 	for _, o := range opts {
 		o(c)
+	}
+	if c.met == nil {
+		c.met = newClientMetrics(nil)
 	}
 	return c
 }
@@ -97,6 +141,7 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 		if resp, ok := c.cache[key]; ok {
 			c.cacheHits++
 			c.mu.Unlock()
+			c.met.cacheHits.Inc()
 			return resp, nil
 		}
 		c.mu.Unlock()
@@ -105,6 +150,7 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 			c.cacheHits++
 			c.cache[key] = resp
 			c.mu.Unlock()
+			c.met.cacheHits.Inc()
 			return resp, nil
 		}
 	}
@@ -115,11 +161,16 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 		return Response{}, ctx.Err()
 	}
 	defer func() { <-c.sem }()
+	c.met.inflight.Inc()
+	defer c.met.inflight.Dec()
+	start := time.Now()
+	defer func() { c.met.callDur.With(req.Task).Observe(time.Since(start).Seconds()) }()
 
 	var resp Response
 	var err error
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
+			c.met.retries.Inc()
 			// time.NewTimer instead of time.After: when the context wins the
 			// race the timer is released immediately rather than lingering
 			// until it fires — under high LLM concurrency a canceled run
@@ -146,8 +197,12 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 	c.calls++
 	if err != nil {
 		c.failedCalls++
+		c.met.calls.With("error").Inc()
 		return Response{}, fmt.Errorf("chatbot: %s: %w", c.bot.Name(), err)
 	}
+	c.met.calls.With("ok").Inc()
+	c.met.tokens.With("prompt").Add(float64(resp.Usage.PromptTokens))
+	c.met.tokens.With("completion").Add(float64(resp.Usage.CompletionTokens))
 	c.usage.Add(resp.Usage)
 	if c.cacheOn {
 		c.cache[key] = resp

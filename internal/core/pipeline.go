@@ -15,6 +15,7 @@ import (
 	"aipan/internal/annotate"
 	"aipan/internal/chatbot"
 	"aipan/internal/crawler"
+	"aipan/internal/obs"
 	"aipan/internal/russell"
 	"aipan/internal/stats"
 	"aipan/internal/store"
@@ -49,12 +50,30 @@ type Config struct {
 	// Crawler overrides crawl policy knobs (Client is filled in by the
 	// pipeline).
 	Crawler crawler.Config
-	// Progress, when set, receives (stage, done, total) updates.
+	// Progress, when set, receives (stage, done, total) updates. The
+	// callback is serialized under a mutex, so it need not be
+	// goroutine-safe. For the "process" stage, done is cumulative —
+	// resumed runs start at the checkpointed count, so a progress bar
+	// drawn from these ticks always reflects overall completion — and
+	// ticks arrive in strictly increasing done order. Every Run ends with
+	// exactly one terminal (stage, total, total) tick, even on error or
+	// cancellation, so consumers can close out their display
+	// unconditionally. "checkpoint-error" is a pseudo-stage reported as
+	// (0, 0) when a checkpoint append fails; it never carries the
+	// terminal tick.
 	Progress func(stage string, done, total int)
 	// Checkpoint, when set, streams each completed record to this JSONL
 	// file and, on start, skips domains already present in it — an
 	// interrupted multi-hour crawl resumes where it stopped.
 	Checkpoint string
+	// Registry receives all pipeline metrics — its own and those of the
+	// crawler, chatbot client, and annotator it builds (default: the
+	// process-wide obs.Default() registry). Tests pass a fresh registry
+	// for isolation.
+	Registry *obs.Registry
+	// Logger, when set, receives structured run events, scoped per
+	// component ("core", "crawler", ...). Nil disables logging.
+	Logger *obs.Logger
 }
 
 // Pipeline is a configured end-to-end run.
@@ -67,6 +86,54 @@ type Pipeline struct {
 	crawler   *crawler.Crawler
 	bot       chatbot.Chatbot
 	annotator *annotate.Annotator
+	reg       *obs.Registry
+	log       *obs.Logger
+	met       *pipeMetrics
+}
+
+// pipeMetrics instruments the orchestration layer: dispatch backlog,
+// throughput, checkpoint IO, and the end-of-run funnel snapshot.
+type pipeMetrics struct {
+	queueDepth *obs.Gauge
+	domains    *obs.Counter
+	ckptWrites *obs.Counter
+	ckptErrors *obs.Counter
+	funnel     *obs.GaugeVec // by stage
+}
+
+func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &pipeMetrics{
+		queueDepth: reg.Gauge("aipan_pipeline_queue_depth",
+			"Domains waiting to be dispatched to a worker."),
+		domains: reg.Counter("aipan_pipeline_domains_processed_total",
+			"Domains fully processed (crawl through annotate) this process."),
+		ckptWrites: reg.Counter("aipan_pipeline_checkpoint_writes_total",
+			"Records appended to the checkpoint file."),
+		ckptErrors: reg.Counter("aipan_pipeline_checkpoint_errors_total",
+			"Failed checkpoint appends (also reported as the checkpoint-error progress pseudo-stage)."),
+		funnel: reg.GaugeVec("aipan_funnel",
+			"Figure 1 funnel counts from the most recently completed run, by stage.", "stage"),
+	}
+}
+
+// setFunnel publishes every Funnel field as a gauge; values match the
+// returned core.Result.Funnel exactly.
+func (m *pipeMetrics) setFunnel(f Funnel) {
+	m.funnel.With("companies").Set(float64(f.Companies))
+	m.funnel.With("domains").Set(float64(f.Domains))
+	m.funnel.With("search_corrected").Set(float64(f.SearchCorrected))
+	m.funnel.With("crawl_ok").Set(float64(f.CrawlOK))
+	m.funnel.With("extract_ok").Set(float64(f.ExtractOK))
+	m.funnel.With("annotated").Set(float64(f.Annotated))
+	m.funnel.With("avg_pages_crawled").Set(f.AvgPagesCrawled)
+	m.funnel.With("avg_privacy_pages").Set(f.AvgPrivacyPages)
+	m.funnel.With("well_known_policy").Set(float64(f.WellKnownPolicy))
+	m.funnel.With("well_known_privacy").Set(float64(f.WellKnownPriv))
+	m.funnel.With("median_words").Set(f.MedianWords)
+	m.funnel.With("fallback_used").Set(float64(f.FallbackUsed))
 }
 
 // Funnel is the §3/§4 pipeline funnel.
@@ -89,6 +156,11 @@ type Funnel struct {
 type Result struct {
 	Records []store.Record
 	Funnel  Funnel
+	// Trace is the per-run stage tree with aggregated wall times. It is
+	// observability metadata, not dataset content: it is never persisted
+	// alongside the records and is excluded from determinism
+	// comparisons (span durations vary run to run).
+	Trace *obs.TraceSummary
 }
 
 // New builds a pipeline.
@@ -102,7 +174,8 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.LLMConcurrency <= 0 {
 		cfg.LLMConcurrency = 4 * cfg.Workers
 	}
-	p := &Pipeline{cfg: cfg}
+	p := &Pipeline{cfg: cfg, reg: cfg.Registry, log: cfg.Logger.With("core")}
+	p.met = newPipeMetrics(cfg.Registry)
 
 	// Universe, domain resolution (§3.1), and the synthetic web — all a
 	// deterministic function of the seed, shared across pipelines.
@@ -118,6 +191,12 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	ccfg := cfg.Crawler
 	ccfg.Client = client
+	if ccfg.Registry == nil {
+		ccfg.Registry = cfg.Registry
+	}
+	if ccfg.Logger == nil {
+		ccfg.Logger = cfg.Logger
+	}
 	cr, err := crawler.New(ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -128,9 +207,12 @@ func New(cfg Config) (*Pipeline, error) {
 	p.bot = cfg.Bot
 	if p.bot == nil {
 		p.bot = chatbot.NewClient(chatbot.NewSim(chatbot.GPT4Profile()),
-			chatbot.WithConcurrency(cfg.LLMConcurrency), chatbot.WithCache(false))
+			chatbot.WithConcurrency(cfg.LLMConcurrency), chatbot.WithCache(false),
+			chatbot.WithRegistry(cfg.Registry))
 	}
-	p.annotator = annotate.New(p.bot, cfg.AnnotateOptions...)
+	// WithRegistry goes first so caller-supplied options can override it.
+	aopts := append([]annotate.Option{annotate.WithRegistry(cfg.Registry)}, cfg.AnnotateOptions...)
+	p.annotator = annotate.New(p.bot, aopts...)
 	return p, nil
 }
 
@@ -150,6 +232,42 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		domains = domains[:p.cfg.Limit]
 	}
 	records := make([]store.Record, len(domains))
+
+	// One tracer per run; spans started anywhere below nest into its
+	// stage tree, which is attached to the Result as Trace.
+	tracer := obs.NewTracer(p.reg)
+	ctx = obs.WithTracer(ctx, tracer)
+	ctx, runSpan := obs.StartSpan(ctx, "run")
+	runEnded := false
+	endRun := func() {
+		if !runEnded {
+			runEnded = true
+			runSpan.End()
+		}
+	}
+	defer endRun()
+
+	// Progress bookkeeping. done is cumulative: a resumed run starts at
+	// the checkpointed count so ticks report overall completion, and the
+	// deferred finish() guarantees exactly one terminal
+	// ("process", total, total) tick on every return path — early error,
+	// cancellation, or a fully-resumed run with no work left — unless a
+	// worker tick already reached done == total.
+	var progressMu sync.Mutex
+	var done int
+	finalSent := false
+	finish := func() {
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		if finalSent {
+			return
+		}
+		finalSent = true
+		if p.cfg.Progress != nil {
+			p.cfg.Progress("process", len(domains), len(domains))
+		}
+	}
+	defer finish()
 
 	// Resume from a checkpoint: pre-fill finished domains and skip them.
 	processed := map[string]bool{}
@@ -175,15 +293,17 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		}
 		defer appender.Close()
 	}
+	done = len(processed)
+	p.log.Info("run starting", "domains", len(domains), "resumed", len(processed),
+		"workers", p.cfg.Workers, "llm_concurrency", p.cfg.LLMConcurrency)
 
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	var done int
 	// appendMu guards only the checkpoint write; progressMu serializes the
 	// user's Progress callback (callbacks are not required to be
 	// goroutine-safe). Keeping them separate means a slow checkpoint fsync
 	// never blocks progress reporting, and vice versa.
-	var appendMu, progressMu sync.Mutex
+	var appendMu sync.Mutex
 	report := func(stage string, done, total int) {
 		if p.cfg.Progress == nil {
 			return
@@ -198,6 +318,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			defer wg.Done()
 			for i := range jobs {
 				records[i] = p.processDomain(ctx, domains[i])
+				p.met.domains.Inc()
 				if appender != nil && ctx.Err() == nil {
 					// Skip the write once the run is canceled: a domain
 					// interrupted mid-processing produces a truncated record
@@ -207,12 +328,19 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 					err := appender.Append(&records[i])
 					appendMu.Unlock()
 					if err != nil {
+						p.met.ckptErrors.Inc()
+						p.log.Error("checkpoint append failed", "domain", domains[i].Domain, "err", err)
 						report("checkpoint-error", 0, 0)
+					} else {
+						p.met.ckptWrites.Inc()
 					}
 				}
 				progressMu.Lock()
 				done++
 				d := done
+				if d == len(domains) {
+					finalSent = true // this tick IS the terminal tick
+				}
 				if p.cfg.Progress != nil {
 					p.cfg.Progress("process", d, len(domains))
 				}
@@ -220,23 +348,35 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			}
 		}()
 	}
+	pending := len(domains) - len(processed)
+	p.met.queueDepth.Set(float64(pending))
 	for i := range domains {
 		if processed[domains[i].Domain] {
 			continue
 		}
 		select {
 		case jobs <- i:
+			pending--
+			p.met.queueDepth.Set(float64(pending))
 		case <-ctx.Done():
 			close(jobs)
 			wg.Wait()
+			p.log.Warn("run canceled", "dispatched", len(domains)-len(processed)-pending,
+				"domains", len(domains))
 			return nil, ctx.Err()
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	endRun()
 
 	res := &Result{Records: records}
 	res.Funnel = p.funnel(records)
+	p.met.setFunnel(res.Funnel)
+	res.Trace = tracer.Summary()
+	p.log.Info("run complete", "domains", len(domains),
+		"crawl_ok", res.Funnel.CrawlOK, "extract_ok", res.Funnel.ExtractOK,
+		"annotated", res.Funnel.Annotated)
 	return res, nil
 }
 
@@ -274,7 +414,12 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 	}
 	sort.Strings(rec.Tickers)
 
-	cres := p.crawler.CrawlDomain(ctx, d.Domain)
+	ctx, dspan := obs.StartSpan(ctx, "domain")
+	defer dspan.End()
+
+	cctx, cspan := obs.StartSpan(ctx, "crawl")
+	cres := p.crawler.CrawlDomain(cctx, d.Domain)
+	cspan.End()
 	rec.Crawl = store.CrawlInfo{
 		Success:          cres.Success,
 		PagesFetched:     cres.PagesFetched(),
@@ -313,15 +458,21 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		go func(pi int) {
 			defer pwg.Done()
 			out := &outcomes[pi]
+			pctx, pspan := obs.StartSpan(ctx, "page")
+			defer pspan.End()
 			doc := textify.Render(parseHTML(cres.PrivacyPages[pi].Body))
-			seg, err := segpkg.Segment(ctx, p.bot, doc)
+			sctx, sspan := obs.StartSpan(pctx, "segment")
+			seg, err := segpkg.Segment(sctx, p.bot, doc)
+			sspan.End()
 			if err != nil || !seg.Success() {
 				return
 			}
 			out.segOK = true
 			out.usedFallback = seg.UsedFallback
 			out.pageWords = seg.CoreWordCount()
-			ares, err := p.annotator.Annotate(ctx, doc, seg)
+			actx, aspan := obs.StartSpan(pctx, "annotate")
+			ares, err := p.annotator.Annotate(actx, doc, seg)
+			aspan.End()
 			if err != nil {
 				return
 			}

@@ -162,10 +162,13 @@ func TestCheckpointResume(t *testing.T) {
 	}
 
 	// Second run resumes: every domain is already checkpointed, so no
-	// chatbot work happens (the progress callback never fires).
+	// chatbot work happens. The progress callback still fires exactly
+	// once — the guaranteed terminal (total, total) tick that lets
+	// progress bars close even when there is nothing left to do.
 	calls := 0
+	var lastDone, lastTotal int
 	p2, err := New(Config{Limit: 12, Workers: 4, Checkpoint: ckpt,
-		Progress: func(string, int, int) { calls++ }})
+		Progress: func(_ string, done, total int) { calls++; lastDone, lastTotal = done, total }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +176,9 @@ func TestCheckpointResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 0 {
-		t.Errorf("resume reprocessed %d domains, want 0", calls)
+	if calls != 1 || lastDone != 12 || lastTotal != 12 {
+		t.Errorf("resume progress: %d calls, last (%d, %d), want exactly one (12, 12) terminal tick",
+			calls, lastDone, lastTotal)
 	}
 	if len(res2.Records) != len(res1.Records) {
 		t.Fatalf("record counts differ: %d vs %d", len(res2.Records), len(res1.Records))

@@ -23,6 +23,7 @@ import (
 
 	"aipan/internal/htmlx"
 	"aipan/internal/langid"
+	"aipan/internal/obs"
 	"aipan/internal/textify"
 )
 
@@ -53,6 +54,11 @@ type Config struct {
 	SkipTopLinks bool
 	// MaxBodyBytes caps response bodies read (default 4 MiB).
 	MaxBodyBytes int64
+	// Registry receives crawl metrics (default obs.Default()).
+	Registry *obs.Registry
+	// Logger, when set, receives per-fetch debug events and per-domain
+	// warnings (failed homepages). Nil disables logging.
+	Logger *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +145,58 @@ func (r *Result) PagesFetched() int { return len(r.Pages) }
 // Crawler crawls domains for privacy policies.
 type Crawler struct {
 	cfg Config
+	met *metrics
+	log *obs.Logger
+}
+
+// metrics is the crawler's instrument set (see DESIGN.md §9).
+type metrics struct {
+	fetchDur        *obs.HistogramVec // by status class
+	fetches         *obs.CounterVec   // by status class
+	robotsDenied    *obs.Counter
+	politenessWaits *obs.Counter
+	politenessSecs  *obs.Counter
+	domains         *obs.CounterVec // by outcome
+	privacyPages    *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &metrics{
+		fetchDur: reg.HistogramVec("aipan_crawler_fetch_duration_seconds",
+			"Page fetch latency by HTTP status class.", nil, "status_class"),
+		fetches: reg.CounterVec("aipan_crawler_fetches_total",
+			"Pages fetched by HTTP status class (error = transport failure).", "status_class"),
+		robotsDenied: reg.Counter("aipan_crawler_robots_denied_total",
+			"Planned fetches dropped by robots.txt Disallow rules."),
+		politenessWaits: reg.Counter("aipan_crawler_politeness_waits_total",
+			"Politeness-delay pauses taken between same-site requests."),
+		politenessSecs: reg.Counter("aipan_crawler_politeness_wait_seconds_total",
+			"Total seconds spent in politeness-delay pauses."),
+		domains: reg.CounterVec("aipan_crawler_domains_total",
+			"Domains crawled by outcome (ok, no_policy, error).", "outcome"),
+		privacyPages: reg.Counter("aipan_crawler_privacy_pages_total",
+			"Deduplicated English privacy pages surviving pre-processing."),
+	}
+}
+
+// statusClass buckets a fetched page for the fetch metrics.
+func statusClass(p *Page) string {
+	switch {
+	case p.FetchErr != "":
+		return "error"
+	case p.Status >= 500:
+		return "5xx"
+	case p.Status >= 400:
+		return "4xx"
+	case p.Status >= 300:
+		return "3xx"
+	case p.Status >= 200:
+		return "2xx"
+	}
+	return "1xx"
 }
 
 // New validates cfg and builds a Crawler.
@@ -146,7 +204,11 @@ func New(cfg Config) (*Crawler, error) {
 	if cfg.Client == nil {
 		return nil, fmt.Errorf("crawler: Config.Client is required")
 	}
-	return &Crawler{cfg: cfg.withDefaults()}, nil
+	return &Crawler{
+		cfg: cfg.withDefaults(),
+		met: newMetrics(cfg.Registry),
+		log: cfg.Logger.With("crawler"),
+	}, nil
 }
 
 // pageSlot is one planned fetch: the placeholder Page plus whether the
@@ -187,6 +249,8 @@ func (cp *crawlPlan) plan(u *url.URL, candidate bool) *Page {
 		return nil
 	}
 	if cp.c.cfg.RespectRobots && !cp.rules.allowed(u.Path) {
+		cp.c.met.robotsDenied.Inc()
+		cp.c.log.Debug("robots.txt denied fetch", "url", key)
 		return nil
 	}
 	s := &pageSlot{u: u, page: &Page{URL: key, Path: u.Path, Candidate: candidate}}
@@ -205,6 +269,8 @@ func (cp *crawlPlan) run(ctx context.Context) {
 	if cp.c.cfg.Delay > 0 || len(pending) <= 1 {
 		for _, s := range pending {
 			if cp.done > 0 && cp.c.cfg.Delay > 0 {
+				cp.c.met.politenessWaits.Inc()
+				cp.c.met.politenessSecs.Add(cp.c.cfg.Delay.Seconds())
 				if !sleepCtx(ctx, cp.c.cfg.Delay) {
 					return // canceled: remaining slots stay unfetched
 				}
@@ -356,6 +422,16 @@ func (c *Crawler) CrawlDomain(ctx context.Context, domain string) *Result {
 	}
 
 	c.postProcess(res)
+	switch {
+	case res.Success:
+		c.met.domains.With("ok").Inc()
+	case res.HomeErr != "":
+		c.met.domains.With("error").Inc()
+		c.log.Warn("domain crawl failed", "domain", domain, "err", res.HomeErr)
+	default:
+		c.met.domains.With("no_policy").Inc()
+	}
+	c.met.privacyPages.Add(float64(len(res.PrivacyPages)))
 	return res
 }
 
@@ -390,8 +466,20 @@ func (c *Crawler) postProcess(res *Result) {
 	}
 }
 
-// fetchPage performs one GET.
+// fetchPage performs one GET, recording latency and status-class metrics.
 func (c *Crawler) fetchPage(ctx context.Context, u *url.URL) *Page {
+	start := time.Now()
+	p := c.doFetch(ctx, u)
+	class := statusClass(p)
+	c.met.fetchDur.With(class).Observe(time.Since(start).Seconds())
+	c.met.fetches.With(class).Inc()
+	if p.FetchErr != "" {
+		c.log.Debug("fetch failed", "url", p.URL, "err", p.FetchErr)
+	}
+	return p
+}
+
+func (c *Crawler) doFetch(ctx context.Context, u *url.URL) *Page {
 	p := &Page{URL: u.String(), Path: u.Path}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type of the Prometheus text
+// exposition format served on /metrics.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format: families sorted by name, series sorted by label
+// values, histograms as cumulative _bucket/_sum/_count triples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.expose(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Expose renders the registry to a string (the /metrics payload).
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}
+
+func (f *family) expose(b *strings.Builder) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	all := make([]*series, 0, len(keys))
+	for _, k := range keys {
+		all = append(all, f.series[k])
+	}
+	f.mu.RUnlock()
+	if len(all) == 0 {
+		return
+	}
+
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range all {
+		switch f.typ {
+		case typeCounter:
+			writeSample(b, f.name, f.labels, s.labelValues, "", "", s.counter.Value())
+		case typeGauge:
+			writeSample(b, f.name, f.labels, s.labelValues, "", "", s.gauge.Value())
+		case typeHistogram:
+			h := s.hist
+			var cum uint64
+			for i, upper := range h.upper {
+				cum += h.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labels, s.labelValues,
+					"le", formatFloat(upper), float64(cum))
+			}
+			cum += h.counts[len(h.upper)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", float64(cum))
+			writeSample(b, f.name+"_sum", f.labels, s.labelValues, "", "", h.Sum())
+			writeSample(b, f.name+"_count", f.labels, s.labelValues, "", "", float64(h.Count()))
+		}
+	}
+}
+
+// writeSample emits one exposition line; extraKey/extraVal append a
+// trailing label (the histogram "le" bound).
+func writeSample(b *strings.Builder, name string, labels, values []string, extraKey, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			// %q escapes backslashes, quotes, and newlines — exactly the
+			// label-value escaping the exposition format requires.
+			fmt.Fprintf(b, "%s=%q", l, values[i])
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraKey, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// MetricsHandler serves reg in the Prometheus text exposition format.
+func MetricsHandler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ExpositionContentType)
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// DebugMux returns a mux with /metrics and the net/http/pprof endpoints —
+// the scrape surface a live run exposes via --metrics-addr.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebugServer listens on addr and serves DebugMux in the background,
+// returning the server so the caller can Close it. Listening errors are
+// returned synchronously; serve-loop errors go to log.
+func StartDebugServer(addr string, reg *Registry, log *Logger) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(reg), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Error("debug server failed", "addr", addr, "err", err)
+		}
+	}()
+	return srv, nil
+}
+
+// InstrumentHandler wraps next with request-count and latency metrics:
+// aipan_http_requests_total{handler,code} and
+// aipan_http_request_duration_seconds{handler}.
+func InstrumentHandler(reg *Registry, handler string, next http.Handler) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	requests := reg.CounterVec("aipan_http_requests_total",
+		"HTTP requests served, by handler and status code.", "handler", "code")
+	duration := reg.HistogramVec("aipan_http_request_duration_seconds",
+		"HTTP request latency by handler.", nil, "handler")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		requests.With(handler, strconv.Itoa(sw.status)).Inc()
+		duration.With(handler).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status      int
+	wroteHeader bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wroteHeader {
+		w.status = status
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(b)
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severity levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel parses a level name ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger is a leveled, structured key=value logger. Scoped children share
+// the parent's writer, mutex, and level, so SetLevel on any of them
+// affects the family. A nil *Logger is a valid no-op logger — plumbing
+// may pass loggers around without nil checks.
+type Logger struct {
+	mu        *sync.Mutex
+	out       io.Writer
+	level     *atomic.Int32
+	component string
+	now       func() time.Time
+}
+
+// NewLogger builds a logger writing one line per event to w, dropping
+// events below level.
+func NewLogger(w io.Writer, level Level) *Logger {
+	lv := &atomic.Int32{}
+	lv.Store(int32(level))
+	return &Logger{mu: &sync.Mutex{}, out: w, level: lv, now: time.Now}
+}
+
+// With returns a child logger scoped to a component; nested scopes join
+// with dots ("pipeline.crawler").
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	if child.component != "" {
+		child.component += "." + component
+	} else {
+		child.component = component
+	}
+	return &child
+}
+
+// SetLevel changes the minimum severity for the logger and all loggers
+// sharing its scope family.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.level.Store(int32(level))
+}
+
+// Enabled reports whether events at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.level.Load()
+}
+
+// Debug logs at debug level. kvs are alternating key/value pairs.
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kvs ...any) { l.log(LevelInfo, msg, kvs) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kvs ...any) { l.log(LevelWarn, msg, kvs) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+func (l *Logger) log(level Level, msg string, kvs []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("time=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	if l.component != "" {
+		b.WriteString(" component=")
+		writeLogValue(&b, l.component)
+	}
+	b.WriteString(" msg=")
+	writeLogValue(&b, msg)
+	for i := 0; i < len(kvs); i += 2 {
+		key, val := "!BADKEY", kvs[i]
+		if i+1 < len(kvs) {
+			key, val = fmt.Sprint(kvs[i]), kvs[i+1]
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		writeLogValue(&b, fmt.Sprint(val))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = io.WriteString(l.out, b.String())
+}
+
+// writeLogValue quotes values that would break the key=value grammar.
+func writeLogValue(b *strings.Builder, s string) {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		b.WriteString(strconv.Quote(s))
+		return
+	}
+	b.WriteString(s)
+}

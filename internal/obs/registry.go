@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets: latency-shaped seconds
+// from 5ms to 10s (the Prometheus client default).
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. All methods are safe for concurrent use; metric
+// writes are lock-free atomics.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that instruments fall back to
+// when no registry is injected.
+func Default() *Registry { return defaultRegistry }
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one metric name: its metadata plus the series per label-value
+// combination.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted, without +Inf
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+// series is one labeled instance of a family; exactly one of the metric
+// fields is non-nil, matching the family type.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// register returns the family for name, creating it on first use.
+// Re-registering with a different type or label set is a programming
+// error and panics, like the Prometheus client's MustRegister.
+func (r *Registry) register(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s%v, was %s%v",
+				name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		series: map[string]*series{},
+	}
+	if typ == typeHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		f.buckets = append([]float64(nil), buckets...)
+		sort.Float64s(f.buckets)
+	}
+	r.families[name] = f
+	return f
+}
+
+// with returns the series for the given label values, creating it on
+// first use.
+func (f *family) with(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ------------------------------------------------------------ instruments
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add adjusts the value by v.
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution: per-bucket counts plus total
+// sum and count, exposed cumulatively like a Prometheus histogram.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; counts has one extra +Inf slot
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with v <= upper bound
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// ------------------------------------------------------------------- vecs
+
+// CounterVec is a counter family with labels.
+type CounterVec struct {
+	fam *family
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.fam.with(values).counter }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct {
+	fam *family
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.fam.with(values).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct {
+	fam *family
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.fam.with(values).hist }
+
+// --------------------------------------------------------- registry sugar
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, typeCounter, nil, nil).with(nil).counter
+}
+
+// CounterVec registers (or fetches) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, typeGauge, nil, nil).with(nil).gauge
+}
+
+// GaugeVec registers (or fetches) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers (or fetches) an unlabeled histogram. A nil buckets
+// slice selects DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, buckets).with(nil).hist
+}
+
+// HistogramVec registers (or fetches) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{fam: r.register(name, help, typeHistogram, labels, buckets)}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// StageDurationMetric is the histogram every span feeds, labeled by span
+// name.
+const StageDurationMetric = "aipan_stage_duration_seconds"
+
+// Tracer aggregates spans into a per-run stage tree. One Tracer is
+// created per pipeline run, attached to the context with WithTracer, and
+// summarized into core.Result when the run completes. All methods are
+// safe for concurrent use.
+type Tracer struct {
+	hist *HistogramVec
+
+	mu   sync.Mutex
+	root map[string]*stageAgg
+}
+
+type stageAgg struct {
+	count    int
+	total    time.Duration
+	max      time.Duration
+	children map[string]*stageAgg
+}
+
+// NewTracer builds a tracer recording span durations into reg (nil =
+// Default()).
+func NewTracer(reg *Registry) *Tracer {
+	if reg == nil {
+		reg = Default()
+	}
+	return &Tracer{
+		hist: reg.HistogramVec(StageDurationMetric,
+			"Wall time of pipeline stages, labeled by span name.", nil, "stage"),
+		root: map[string]*stageAgg{},
+	}
+}
+
+type tracerKey struct{}
+
+type spanKey struct{}
+
+// WithTracer attaches tr to the context; StartSpan finds it there.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFrom returns the tracer attached to ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// Span is one timed region. Spans nest through the context: StartSpan
+// under an active span records the new span as its child in the trace
+// tree. A nil *Span (no tracer in the context) is a no-op.
+type Span struct {
+	tracer *Tracer
+	path   []string
+	start  time.Time
+}
+
+// StartSpan begins a span named name. The returned context carries the
+// span so nested StartSpan calls build the stage tree; call End when the
+// region completes. Without a Tracer in ctx it returns ctx unchanged and
+// a nil (no-op) span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	var path []string
+	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
+		path = make([]string, 0, len(parent.path)+1)
+		path = append(append(path, parent.path...), name)
+	} else {
+		path = []string{name}
+	}
+	s := &Span{tracer: tr, path: path, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// End records the span's duration into the stage histogram and the trace
+// tree. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tracer.record(s.path, time.Since(s.start))
+}
+
+func (t *Tracer) record(path []string, d time.Duration) {
+	t.hist.With(path[len(path)-1]).Observe(d.Seconds())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	level := t.root
+	for i, name := range path {
+		agg := level[name]
+		if agg == nil {
+			agg = &stageAgg{children: map[string]*stageAgg{}}
+			level[name] = agg
+		}
+		if i == len(path)-1 {
+			agg.count++
+			agg.total += d
+			if d > agg.max {
+				agg.max = d
+			}
+		}
+		level = agg.children
+	}
+}
+
+// StageSummary is one node of the per-run trace summary.
+type StageSummary struct {
+	// Name is the span name ("crawl", "annotate.types", ...).
+	Name string `json:"name"`
+	// Count is how many spans completed at this node.
+	Count int `json:"count"`
+	// Total is the summed wall time across those spans (they may overlap
+	// under concurrency, so Total can exceed the run's wall clock).
+	Total time.Duration `json:"total"`
+	// Max is the slowest single span.
+	Max time.Duration `json:"max"`
+	// Children are nested stages, sorted by name.
+	Children []StageSummary `json:"children,omitempty"`
+}
+
+// TraceSummary is the per-run stage tree with aggregated durations.
+type TraceSummary struct {
+	Stages []StageSummary `json:"stages"`
+}
+
+// Summary snapshots the trace tree, stages sorted by name at every level.
+func (t *Tracer) Summary() *TraceSummary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &TraceSummary{Stages: summarize(t.root)}
+}
+
+func summarize(level map[string]*stageAgg) []StageSummary {
+	names := make([]string, 0, len(level))
+	for name := range level {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]StageSummary, 0, len(names))
+	for _, name := range names {
+		agg := level[name]
+		out = append(out, StageSummary{
+			Name:     name,
+			Count:    agg.count,
+			Total:    agg.total,
+			Max:      agg.max,
+			Children: summarize(agg.children),
+		})
+	}
+	return out
+}
+
+// String renders the stage tree as an indented table.
+func (ts *TraceSummary) String() string {
+	var b strings.Builder
+	var walk func(stages []StageSummary, depth int)
+	walk = func(stages []StageSummary, depth int) {
+		for _, s := range stages {
+			avg := time.Duration(0)
+			if s.Count > 0 {
+				avg = s.Total / time.Duration(s.Count)
+			}
+			fmt.Fprintf(&b, "%s%-24s count=%-6d total=%-12s avg=%-12s max=%s\n",
+				strings.Repeat("  ", depth), s.Name, s.Count,
+				s.Total.Round(time.Microsecond), avg.Round(time.Microsecond),
+				s.Max.Round(time.Microsecond))
+			walk(s.Children, depth+1)
+		}
+	}
+	walk(ts.Stages, 0)
+	return b.String()
+}

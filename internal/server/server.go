@@ -9,17 +9,21 @@
 //	GET /api/ask/{domain}?q=...      grounded question answering
 //	GET /api/risk?top=25             exposure scores
 //	GET /api/table/{1|2a|2b|3|4|5|6} regenerated paper tables (text/plain)
+//	GET /metrics                     Prometheus text exposition
+//	GET /debug/pprof/...             net/http/pprof profiles
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
 
 	"aipan/internal/nutrition"
+	"aipan/internal/obs"
 	"aipan/internal/qa"
 	"aipan/internal/report"
 	"aipan/internal/risk"
@@ -32,15 +36,29 @@ type Server struct {
 	byDomain map[string]*store.Record
 	rep      *report.Report
 	mux      *http.ServeMux
+	reg      *obs.Registry
+	handler  http.Handler
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithRegistry serves and instruments against reg instead of the
+// process-wide default registry.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) { s.reg = reg }
 }
 
 // New builds the API over a dataset.
-func New(records []store.Record) *Server {
+func New(records []store.Record, opts ...Option) *Server {
 	s := &Server{
 		records:  records,
 		byDomain: make(map[string]*store.Record, len(records)),
 		rep:      report.New(records, nil),
 		mux:      http.NewServeMux(),
+	}
+	for _, o := range opts {
+		o(s)
 	}
 	for i := range records {
 		s.byDomain[records[i].Domain] = &records[i]
@@ -52,12 +70,19 @@ func New(records []store.Record) *Server {
 	s.mux.HandleFunc("GET /api/ask/{domain}", s.handleAsk)
 	s.mux.HandleFunc("GET /api/risk", s.handleRisk)
 	s.mux.HandleFunc("GET /api/table/{table}", s.handleTable)
+	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.handler = obs.InstrumentHandler(s.reg, "api", s.mux)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"aipan/internal/annotate"
+	"aipan/internal/obs"
 	"aipan/internal/store"
 	"aipan/internal/taxonomy"
 )
@@ -189,4 +190,36 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := httptest.NewServer(New(testRecords(), WithRegistry(reg)))
+	t.Cleanup(srv.Close)
+
+	// Drive one API request so the instrumentation has something to show.
+	if code, _ := get(t, srv.URL+"/api/summary"); code != 200 {
+		t.Fatalf("summary status = %d", code)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), `aipan_http_requests_total{handler="api",code="200"} 1`) {
+		t.Errorf("request counter missing from exposition:\n%s", body)
+	}
+
+	// pprof rides along on the same mux.
+	if code, body := get(t, srv.URL+"/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("pprof cmdline: status %d, %d bytes", code, len(body))
+	}
 }
