@@ -231,6 +231,31 @@ func ReadDataset(path string) ([]Record, error) {
 	return store.ReadJSONL(path)
 }
 
+// DatasetStore is the pluggable record storage interface behind
+// checkpointing, resume, and the dataset server. Backends: append-only
+// JSONL file, hash-sharded multi-file directory, and in-memory (see
+// internal/store and DESIGN.md §10). Pass one via PipelineConfig.Store
+// to control where a run streams its records.
+type DatasetStore = store.Store
+
+// DatasetStoreMeta is the run metadata (seed, shard count) a store
+// carries so a checkpoint refuses to resume under a different seed.
+type DatasetStoreMeta = store.Meta
+
+// OpenDatasetStore opens a storage backend from a spec: "jsonl" (or "")
+// for a single append-only JSONL file at path, "sharded:N" for a
+// directory of N hash-sharded JSONL files, "mem" for an in-memory store
+// (path ignored).
+func OpenDatasetStore(spec, path string) (DatasetStore, error) {
+	return store.OpenSpec(spec, path)
+}
+
+// ExportDataset writes a store's records to a flat JSONL file
+// (atomically), converting any backend into the release format.
+func ExportDataset(path string, st DatasetStore) error {
+	return store.SaveJSONL(path, st)
+}
+
 // FunnelTable renders the paper-vs-measured funnel.
 func FunnelTable(f Funnel) *Table {
 	return report.FunnelTable(report.FunnelNumbers{
@@ -355,6 +380,12 @@ func Ask(question string, anns []Annotation) (QAAnswer, bool) {
 // question answering, risk scores, paper tables).
 func NewDatasetServer(records []Record) http.Handler {
 	return server.New(records)
+}
+
+// NewDatasetServerFromStore exposes a dataset held in any store backend
+// over the same HTTP/JSON API, without an intermediate JSONL export.
+func NewDatasetServerFromStore(st DatasetStore) (http.Handler, error) {
+	return server.NewFromStore(st)
 }
 
 // WriteAnnotationsCSV / WriteDomainsCSV export the dataset in the flat

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--metrics-addr :9090]
+//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--checkpoint ck.jsonl --store jsonl|sharded:N|mem [--resume]] [--metrics-addr :9090]
 //	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
 //	aipan validate --data aipan.jsonl [--seed 3000]
 //	aipan compare-models [--n 20] [--seed 3000]
@@ -116,12 +116,59 @@ func (o *obsFlags) register(fs *flag.FlagSet) {
 		"emit structured logs to stderr at this level: debug | info | warn | error (default off)")
 }
 
-func runPipeline(out string, limit, workers int, seed int64, model, checkpoint string, progress bool, of obsFlags) (*core.Result, *aipan.Pipeline, error) {
+// runFlags are the pipeline knobs shared by run and all, validated as a
+// set before any work starts.
+type runFlags struct {
+	limit      int
+	workers    int
+	checkpoint string
+	storeSpec  string
+	resume     bool
+}
+
+// validate rejects nonsensical flag combinations up front with a usage
+// error, instead of surfacing them later as a crawl that silently does
+// nothing or a store open failure mid-run.
+func (rf *runFlags) validate() error {
+	if rf.workers < 0 {
+		return fmt.Errorf("--workers must be non-negative (got %d)", rf.workers)
+	}
+	if rf.limit < 0 {
+		return fmt.Errorf("--limit must be non-negative (got %d)", rf.limit)
+	}
+	if rf.resume && rf.checkpoint == "" {
+		return fmt.Errorf("--resume requires --checkpoint (the checkpoint to resume from)")
+	}
+	switch {
+	case rf.storeSpec == "" || rf.storeSpec == "jsonl" || rf.storeSpec == "mem":
+	case strings.HasPrefix(rf.storeSpec, "sharded:"):
+		if rf.checkpoint == "" {
+			return fmt.Errorf("--store=%s needs --checkpoint to name its shard directory", rf.storeSpec)
+		}
+	default:
+		return fmt.Errorf("--store must be jsonl, sharded:N, or mem (got %q)", rf.storeSpec)
+	}
+	return nil
+}
+
+func runPipeline(out string, rf runFlags, seed int64, model string, progress bool, of obsFlags) (*core.Result, *aipan.Pipeline, error) {
+	if err := rf.validate(); err != nil {
+		return nil, nil, err
+	}
 	bot, err := botFor(model)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := aipan.PipelineConfig{Seed: seed, Limit: limit, Workers: workers, Bot: bot, Checkpoint: checkpoint}
+	cfg := aipan.PipelineConfig{Seed: seed, Limit: rf.limit, Workers: rf.workers, Bot: bot, Checkpoint: rf.checkpoint}
+	if rf.storeSpec != "" && rf.storeSpec != "jsonl" {
+		st, err := aipan.OpenDatasetStore(rf.storeSpec, rf.checkpoint)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer st.Close()
+		cfg.Store = st
+		cfg.Checkpoint = ""
+	}
 	if of.logLevel != "" {
 		logger, err := aipan.NewLogger(os.Stderr, of.logLevel)
 		if err != nil {
@@ -173,7 +220,9 @@ func cmdRun(args []string) error {
 	model := fs.String("model", "sim-gpt4", "chatbot backend")
 	csvPrefix := fs.String("csv", "", "also write <prefix>-annotations.csv and <prefix>-domains.csv")
 	taxPath := fs.String("taxonomy", "", "JSON taxonomy extension to merge before annotating")
-	checkpoint := fs.String("checkpoint", "", "stream records to this JSONL and resume from it on restart")
+	checkpoint := fs.String("checkpoint", "", "stream records to this path and resume from it on restart")
+	storeSpec := fs.String("store", "jsonl", "checkpoint storage backend: jsonl | sharded:N | mem")
+	resume := fs.Bool("resume", false, "resume an interrupted run from --checkpoint")
 	var of obsFlags
 	of.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -184,7 +233,8 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	res, _, err := runPipeline(*out, *limit, *workers, *seed, *model, *checkpoint, true, of)
+	rf := runFlags{limit: *limit, workers: *workers, checkpoint: *checkpoint, storeSpec: *storeSpec, resume: *resume}
+	res, _, err := runPipeline(*out, rf, *seed, *model, true, of)
 	if err != nil {
 		return err
 	}
@@ -419,20 +469,33 @@ func cmdDiff(args []string) error {
 
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	data := fs.String("data", "aipan.jsonl", "dataset path")
+	data := fs.String("data", "aipan.jsonl", "dataset path (file, or shard directory with --store=sharded:N)")
+	storeSpec := fs.String("store", "jsonl", "dataset storage backend: jsonl | sharded:N")
 	addr := fs.String("addr", ":8090", "listen address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	records, err := aipan.ReadDataset(*data)
+	if *storeSpec == "mem" {
+		return fmt.Errorf("serve needs a persistent dataset; --store must be jsonl or sharded:N")
+	}
+	st, err := aipan.OpenDatasetStore(*storeSpec, *data)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	n, err := st.Len()
+	if err != nil {
+		return err
+	}
+	handler, err := aipan.NewDatasetServerFromStore(st)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "serving %d records on %s — try GET /api/summary, /api/label/<domain>, /api/ask/<domain>?q=...\n",
-		len(records), *addr)
+		n, *addr)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           aipan.NewDatasetServer(records),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return srv.ListenAndServe()
@@ -449,7 +512,7 @@ func cmdAll(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res, p, err := runPipeline(*out, *limit, *workers, *seed, "sim-gpt4", "", true, of)
+	res, p, err := runPipeline(*out, runFlags{limit: *limit, workers: *workers}, *seed, "sim-gpt4", true, of)
 	if err != nil {
 		return err
 	}

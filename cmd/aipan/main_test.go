@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		rf      runFlags
+		wantErr string // substring; "" = valid
+	}{
+		{"defaults", runFlags{workers: 8}, ""},
+		{"zero workers fall back in core", runFlags{}, ""},
+		{"negative workers", runFlags{workers: -3}, "--workers"},
+		{"negative limit", runFlags{limit: -1}, "--limit"},
+		{"resume without checkpoint", runFlags{resume: true}, "--resume requires --checkpoint"},
+		{"resume with checkpoint", runFlags{checkpoint: "ck.jsonl", resume: true}, ""},
+		{"jsonl store", runFlags{storeSpec: "jsonl", checkpoint: "ck.jsonl"}, ""},
+		{"mem store", runFlags{storeSpec: "mem"}, ""},
+		{"sharded store with checkpoint", runFlags{storeSpec: "sharded:4", checkpoint: "dir"}, ""},
+		{"sharded store without checkpoint", runFlags{storeSpec: "sharded:4"}, "shard directory"},
+		{"unknown store", runFlags{storeSpec: "bolt"}, "--store must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.rf.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", tc.rf, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%+v) = %v, want error containing %q", tc.rf, err, tc.wantErr)
+			}
+		})
+	}
+}

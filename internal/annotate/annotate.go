@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"aipan/internal/chatbot"
+	"aipan/internal/engine"
 	"aipan/internal/nlp"
 	"aipan/internal/obs"
 	"aipan/internal/segment"
@@ -102,7 +103,7 @@ func WithSectionFirst(on bool) Option {
 // WithRegistry routes the annotator's metrics to reg instead of the
 // process-wide default registry.
 func WithRegistry(reg *obs.Registry) Option {
-	return func(a *Annotator) { a.met = newAnnMetrics(reg) }
+	return func(a *Annotator) { a.reg = reg; a.met = newAnnMetrics(reg) }
 }
 
 // Annotator runs the §3.2.2 annotation tasks through a chatbot.
@@ -111,7 +112,9 @@ type Annotator struct {
 	glossarySize int
 	verify       bool
 	sectionFirst bool
+	reg          *obs.Registry
 	met          *annMetrics
+	aspects      *engine.Stage[aspectCall, Result]
 }
 
 // annMetrics instruments the per-aspect annotation chains.
@@ -144,7 +147,24 @@ func New(bot chatbot.Chatbot, opts ...Option) *Annotator {
 	if a.met == nil {
 		a.met = newAnnMetrics(nil)
 	}
+	a.aspects = engine.NewStage(a.reg, "annotate", engine.Policy{Workers: engine.Unbounded},
+		func(ctx context.Context, call aspectCall) (Result, error) {
+			partial := Result{FallbackUsed: map[string]bool{}}
+			actx, span := obs.StartSpan(ctx, "annotate."+call.name)
+			start := time.Now()
+			err := call.fn(actx, call.dc, &partial)
+			a.met.aspectDur.With(call.name).Observe(time.Since(start).Seconds())
+			span.End()
+			return partial, err
+		})
 	return a
+}
+
+// aspectCall is one aspect's unit of work on the annotate engine stage.
+type aspectCall struct {
+	name string
+	dc   *docContext
+	fn   func(context.Context, *docContext, *Result) error
 }
 
 // docContext bundles the per-document state shared by the four aspect
@@ -170,44 +190,27 @@ func (dc *docContext) index() *docIndex {
 // Annotate produces all annotations for one rendered, segmented policy.
 //
 // The four aspects (types, purposes, handling, rights) are annotated
-// concurrently — each is an independent chain of chatbot calls, so a
-// shared concurrency-bounded chatbot.Client sees up to four in-flight
-// requests per policy instead of one. Each aspect accumulates into its own
-// partial Result; the partials are merged in fixed aspect order, so the
-// output is byte-identical to a sequential run.
+// concurrently on the engine's annotate stage — each is an independent
+// chain of chatbot calls, so a shared concurrency-bounded chatbot.Client
+// sees up to four in-flight requests per policy instead of one. Each
+// aspect accumulates into its own partial Result; the partials are merged
+// in fixed aspect order, so the output is byte-identical to a sequential
+// run.
 func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *segment.Result) (*Result, error) {
 	dc := &docContext{doc: doc, seg: seg, numbered: doc.NumberedText()}
-	aspects := []struct {
-		name string
-		fn   func(context.Context, *docContext, *Result) error
-	}{
-		{"types", an.annotateTypes},
-		{"purposes", an.annotatePurposes},
-		{"handling", an.annotateHandling},
-		{"rights", an.annotateRights},
+	calls := []aspectCall{
+		{"types", dc, an.annotateTypes},
+		{"purposes", dc, an.annotatePurposes},
+		{"handling", dc, an.annotateHandling},
+		{"rights", dc, an.annotateRights},
 	}
-	partials := make([]Result, len(aspects))
-	errs := make([]error, len(aspects))
-	var wg sync.WaitGroup
-	for i := range aspects {
-		partials[i].FallbackUsed = map[string]bool{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			actx, span := obs.StartSpan(ctx, "annotate."+aspects[i].name)
-			start := time.Now()
-			errs[i] = aspects[i].fn(actx, dc, &partials[i])
-			an.met.aspectDur.With(aspects[i].name).Observe(time.Since(start).Seconds())
-			span.End()
-		}(i)
+	partials, err := an.aspects.Map(ctx, calls)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	res := &Result{FallbackUsed: map[string]bool{}}
 	for i := range partials {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		res.Annotations = append(res.Annotations, partials[i].Annotations...)
 		res.Dropped += partials[i].Dropped
 		for a := range partials[i].FallbackUsed {

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"aipan/internal/engine"
 	"aipan/internal/obs"
 )
 
@@ -21,7 +22,7 @@ import (
 // accounting.
 type Client struct {
 	bot         Chatbot
-	sem         chan struct{}
+	lim         *engine.Limiter
 	maxRetries  int
 	retryDelay  time.Duration
 	mu          sync.Mutex
@@ -72,12 +73,7 @@ type ClientOption func(*Client)
 
 // WithConcurrency bounds in-flight completions (default 8).
 func WithConcurrency(n int) ClientOption {
-	return func(c *Client) {
-		if n < 1 {
-			n = 1
-		}
-		c.sem = make(chan struct{}, n)
-	}
+	return func(c *Client) { c.lim = engine.NewLimiter(n) }
 }
 
 // WithRetries sets the retry budget for failed completions (default 2).
@@ -113,7 +109,7 @@ func WithRegistry(reg *obs.Registry) ClientOption {
 func NewClient(bot Chatbot, opts ...ClientOption) *Client {
 	c := &Client{
 		bot:        bot,
-		sem:        make(chan struct{}, 8),
+		lim:        engine.NewLimiter(8),
 		maxRetries: 2,
 		retryDelay: 50 * time.Millisecond,
 		cache:      map[string]Response{},
@@ -155,12 +151,10 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 
-	select {
-	case c.sem <- struct{}{}:
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
+	if err := c.lim.Acquire(ctx); err != nil {
+		return Response{}, err
 	}
-	defer func() { <-c.sem }()
+	defer c.lim.Release()
 	c.met.inflight.Inc()
 	defer c.met.inflight.Dec()
 	start := time.Now()
@@ -171,15 +165,7 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 	for attempt := 0; attempt <= c.maxRetries; attempt++ {
 		if attempt > 0 {
 			c.met.retries.Inc()
-			// time.NewTimer instead of time.After: when the context wins the
-			// race the timer is released immediately rather than lingering
-			// until it fires — under high LLM concurrency a canceled run
-			// would otherwise strand one timer per in-flight backoff.
-			t := time.NewTimer(c.retryDelay << (attempt - 1))
-			select {
-			case <-t.C:
-			case <-ctx.Done():
-				t.Stop()
+			if !engine.Sleep(ctx, c.retryDelay<<(attempt-1)) {
 				return Response{}, ctx.Err()
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"aipan/internal/annotate"
 	"aipan/internal/chatbot"
 	"aipan/internal/crawler"
+	"aipan/internal/engine"
 	"aipan/internal/obs"
 	"aipan/internal/russell"
 	"aipan/internal/stats"
@@ -64,8 +65,17 @@ type Config struct {
 	Progress func(stage string, done, total int)
 	// Checkpoint, when set, streams each completed record to this JSONL
 	// file and, on start, skips domains already present in it — an
-	// interrupted multi-hour crawl resumes where it stopped.
+	// interrupted multi-hour crawl resumes where it stopped. The
+	// checkpoint is stamped with the run Seed; resuming it under a
+	// different seed is refused (the synthetic web, and therefore every
+	// record, is a function of the seed — mixing seeds would silently
+	// corrupt the dataset).
 	Checkpoint string
+	// Store, when set, overrides Checkpoint with a caller-supplied
+	// backend (in-memory, sharded, ...). Completed records stream into
+	// it, domains already present are skipped on start, and the caller
+	// keeps ownership: the pipeline never closes it.
+	Store store.Store
 	// Registry receives all pipeline metrics — its own and those of the
 	// crawler, chatbot client, and annotator it builds (default: the
 	// process-wide obs.Default() registry). Tests pass a fresh registry
@@ -89,12 +99,15 @@ type Pipeline struct {
 	reg       *obs.Registry
 	log       *obs.Logger
 	met       *pipeMetrics
+	procStage *engine.Stage[russell.DomainInfo, store.Record]
+	pageStage *engine.Stage[*crawler.Page, pageOutcome]
 }
 
-// pipeMetrics instruments the orchestration layer: dispatch backlog,
-// throughput, checkpoint IO, and the end-of-run funnel snapshot.
+// pipeMetrics instruments the orchestration layer: throughput,
+// checkpoint IO, and the end-of-run funnel snapshot. Dispatch backlog
+// and in-flight counts come from the engine stages
+// (aipan_engine_queue_depth, aipan_engine_inflight).
 type pipeMetrics struct {
-	queueDepth *obs.Gauge
 	domains    *obs.Counter
 	ckptWrites *obs.Counter
 	ckptErrors *obs.Counter
@@ -106,8 +119,6 @@ func newPipeMetrics(reg *obs.Registry) *pipeMetrics {
 		reg = obs.Default()
 	}
 	return &pipeMetrics{
-		queueDepth: reg.Gauge("aipan_pipeline_queue_depth",
-			"Domains waiting to be dispatched to a worker."),
 		domains: reg.Counter("aipan_pipeline_domains_processed_total",
 			"Domains fully processed (crawl through annotate) this process."),
 		ckptWrites: reg.Counter("aipan_pipeline_checkpoint_writes_total",
@@ -213,6 +224,20 @@ func New(cfg Config) (*Pipeline, error) {
 	// WithRegistry goes first so caller-supplied options can override it.
 	aopts := append([]annotate.Option{annotate.WithRegistry(cfg.Registry)}, cfg.AnnotateOptions...)
 	p.annotator = annotate.New(p.bot, aopts...)
+
+	// The two engine stages this pipeline dispatches onto: domains fan
+	// out across cfg.Workers, and each domain's privacy pages fan out
+	// unbounded (page count per domain is small and each page is an
+	// independent extract→segment→annotate chain; the chatbot client's
+	// limiter is the real throttle).
+	p.procStage = engine.NewStage(cfg.Registry, "process", engine.Policy{Workers: cfg.Workers},
+		func(ctx context.Context, d russell.DomainInfo) (store.Record, error) {
+			rec := p.processDomain(ctx, d)
+			p.met.domains.Inc()
+			return rec, nil
+		})
+	p.pageStage = engine.NewStage(cfg.Registry, "page", engine.Policy{Workers: engine.Unbounded},
+		p.processPage)
 	return p, nil
 }
 
@@ -269,41 +294,53 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	}
 	defer finish()
 
-	// Resume from a checkpoint: pre-fill finished domains and skip them.
-	processed := map[string]bool{}
-	var appender *store.Appender
-	if p.cfg.Checkpoint != "" {
-		prior, err := store.LoadCheckpoint(p.cfg.Checkpoint)
+	// Storage: a caller-supplied Store wins; otherwise Checkpoint names a
+	// JSONL store the pipeline owns (and closes). Records stream in as
+	// they complete and domains already present are skipped.
+	st := p.cfg.Store
+	if st == nil && p.cfg.Checkpoint != "" {
+		js, err := store.OpenJSONL(p.cfg.Checkpoint)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		byDomain := map[string]*store.Record{}
-		for i := range prior {
-			byDomain[prior[i].Domain] = &prior[i]
+		defer js.Close()
+		st = js
+	}
+	processed := map[string]bool{}
+	if st != nil {
+		if err := p.stampSeed(st); err != nil {
+			return nil, err
+		}
+		prior := map[string]store.Record{}
+		err := st.Scan(func(r *store.Record) error {
+			prior[r.Domain] = *r
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
 		}
 		for i, d := range domains {
-			if rec, ok := byDomain[d.Domain]; ok {
-				records[i] = *rec
+			if rec, ok := prior[d.Domain]; ok {
+				records[i] = rec
 				processed[d.Domain] = true
 			}
 		}
-		appender, err = store.OpenAppender(p.cfg.Checkpoint)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		defer appender.Close()
 	}
 	done = len(processed)
 	p.log.Info("run starting", "domains", len(domains), "resumed", len(processed),
 		"workers", p.cfg.Workers, "llm_concurrency", p.cfg.LLMConcurrency)
 
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	// appendMu guards only the checkpoint write; progressMu serializes the
-	// user's Progress callback (callbacks are not required to be
-	// goroutine-safe). Keeping them separate means a slow checkpoint fsync
-	// never blocks progress reporting, and vice versa.
-	var appendMu sync.Mutex
+	// The unprocessed tail, in submission order; todoIdx maps each item
+	// back to its slot in records.
+	var todo []russell.DomainInfo
+	var todoIdx []int
+	for i := range domains {
+		if !processed[domains[i].Domain] {
+			todo = append(todo, domains[i])
+			todoIdx = append(todoIdx, i)
+		}
+	}
+
 	report := func(stage string, done, total int) {
 		if p.cfg.Progress == nil {
 			return
@@ -312,62 +349,43 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		defer progressMu.Unlock()
 		p.cfg.Progress(stage, done, total)
 	}
-	for w := 0; w < p.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				records[i] = p.processDomain(ctx, domains[i])
-				p.met.domains.Inc()
-				if appender != nil && ctx.Err() == nil {
-					// Skip the write once the run is canceled: a domain
-					// interrupted mid-processing produces a truncated record
-					// that would poison the checkpoint and be trusted as
-					// complete on resume.
-					appendMu.Lock()
-					err := appender.Append(&records[i])
-					appendMu.Unlock()
-					if err != nil {
-						p.met.ckptErrors.Inc()
-						p.log.Error("checkpoint append failed", "domain", domains[i].Domain, "err", err)
-						report("checkpoint-error", 0, 0)
-					} else {
-						p.met.ckptWrites.Inc()
-					}
-				}
-				progressMu.Lock()
-				done++
-				d := done
-				if d == len(domains) {
-					finalSent = true // this tick IS the terminal tick
-				}
-				if p.cfg.Progress != nil {
-					p.cfg.Progress("process", d, len(domains))
-				}
-				progressMu.Unlock()
+	// deliver runs serialized and in submission order (the engine's
+	// ordered-delivery contract), so checkpoint appends land in domain
+	// order regardless of worker count and progress ticks are strictly
+	// increasing without extra locking around the store.
+	deliver := func(i int, rec store.Record, _ error) {
+		records[todoIdx[i]] = rec
+		if st != nil && ctx.Err() == nil {
+			// Skip the write once the run is canceled: a domain
+			// interrupted mid-processing produces a truncated record
+			// that would poison the checkpoint and be trusted as
+			// complete on resume.
+			if err := st.Append(&records[todoIdx[i]]); err != nil {
+				p.met.ckptErrors.Inc()
+				p.log.Error("checkpoint append failed", "domain", rec.Domain, "err", err)
+				report("checkpoint-error", 0, 0)
+			} else {
+				p.met.ckptWrites.Inc()
 			}
-		}()
-	}
-	pending := len(domains) - len(processed)
-	p.met.queueDepth.Set(float64(pending))
-	for i := range domains {
-		if processed[domains[i].Domain] {
-			continue
 		}
-		select {
-		case jobs <- i:
-			pending--
-			p.met.queueDepth.Set(float64(pending))
-		case <-ctx.Done():
-			close(jobs)
-			wg.Wait()
-			p.log.Warn("run canceled", "dispatched", len(domains)-len(processed)-pending,
-				"domains", len(domains))
-			return nil, ctx.Err()
+		progressMu.Lock()
+		done++
+		d := done
+		if d == len(domains) {
+			finalSent = true // this tick IS the terminal tick
 		}
+		if p.cfg.Progress != nil {
+			p.cfg.Progress("process", d, len(domains))
+		}
+		progressMu.Unlock()
 	}
-	close(jobs)
-	wg.Wait()
+	if _, err := p.procStage.MapDeliver(ctx, todo, deliver); err != nil {
+		progressMu.Lock()
+		dispatched := done - len(processed)
+		progressMu.Unlock()
+		p.log.Warn("run canceled", "dispatched", dispatched, "domains", len(domains))
+		return nil, err
+	}
 	endRun()
 
 	res := &Result{Records: records}
@@ -378,6 +396,33 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		"crawl_ok", res.Funnel.CrawlOK, "extract_ok", res.Funnel.ExtractOK,
 		"annotated", res.Funnel.Annotated)
 	return res, nil
+}
+
+// stampSeed enforces the checkpoint/seed contract on store backends that
+// carry metadata: a store stamped by a run with a different seed refuses
+// to resume (every record is a deterministic function of the seed, so
+// mixing seeds would silently corrupt the dataset), and an unstamped
+// store is stamped with this run's seed before any record is appended.
+func (p *Pipeline) stampSeed(st store.Store) error {
+	ms, ok := st.(store.MetaStore)
+	if !ok {
+		return nil
+	}
+	m, stamped, err := ms.Meta()
+	if err != nil {
+		return fmt.Errorf("core: reading store metadata: %w", err)
+	}
+	if stamped && m.Seed != p.cfg.Seed {
+		return fmt.Errorf("core: checkpoint was written by a run with seed %d; refusing to resume it with seed %d (use the original seed or start a fresh checkpoint)",
+			m.Seed, p.cfg.Seed)
+	}
+	if !stamped {
+		m.Seed = p.cfg.Seed
+		if err := ms.SetMeta(m); err != nil {
+			return fmt.Errorf("core: stamping store metadata: %w", err)
+		}
+	}
+	return nil
 }
 
 // ProcessDomains runs crawl → extract → annotate for a specific domain
@@ -435,53 +480,19 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		return rec
 	}
 
-	// Extract + segment + annotate each privacy page — concurrently, since
-	// pages are independent — then fold the outcomes in page order so every
-	// aggregate (coreWords sum, first-wins main-page tie break, merge input
-	// order) matches the sequential loop byte for byte. The whole-text
-	// annotation fallback is reported for the domain's main policy page
-	// only (§3.2.2 counts fallbacks per policy; auxiliary choices/cookie
-	// pages always fall back for their missing aspects and would swamp the
-	// statistic).
-	type pageOutcome struct {
-		segOK        bool
-		usedFallback bool
-		pageWords    int
-		annOK        bool
-		anns         []annotate.Annotation
-		annFallbacks map[string]bool
-	}
-	outcomes := make([]pageOutcome, len(cres.PrivacyPages))
-	var pwg sync.WaitGroup
+	// Extract + segment + annotate each privacy page — concurrently on the
+	// page stage, since pages are independent — then fold the outcomes in
+	// page order so every aggregate (coreWords sum, first-wins main-page
+	// tie break, merge input order) matches the sequential loop byte for
+	// byte. The whole-text annotation fallback is reported for the
+	// domain's main policy page only (§3.2.2 counts fallbacks per policy;
+	// auxiliary choices/cookie pages always fall back for their missing
+	// aspects and would swamp the statistic).
+	pages := make([]*crawler.Page, len(cres.PrivacyPages))
 	for pi := range cres.PrivacyPages {
-		pwg.Add(1)
-		go func(pi int) {
-			defer pwg.Done()
-			out := &outcomes[pi]
-			pctx, pspan := obs.StartSpan(ctx, "page")
-			defer pspan.End()
-			doc := textify.Render(parseHTML(cres.PrivacyPages[pi].Body))
-			sctx, sspan := obs.StartSpan(pctx, "segment")
-			seg, err := segpkg.Segment(sctx, p.bot, doc)
-			sspan.End()
-			if err != nil || !seg.Success() {
-				return
-			}
-			out.segOK = true
-			out.usedFallback = seg.UsedFallback
-			out.pageWords = seg.CoreWordCount()
-			actx, aspan := obs.StartSpan(pctx, "annotate")
-			ares, err := p.annotator.Annotate(actx, doc, seg)
-			aspan.End()
-			if err != nil {
-				return
-			}
-			out.annOK = true
-			out.anns = ares.Annotations
-			out.annFallbacks = ares.FallbackUsed
-		}(pi)
+		pages[pi] = &cres.PrivacyPages[pi]
 	}
-	pwg.Wait()
+	outcomes, _ := p.pageStage.Map(ctx, pages)
 
 	var pageAnns [][]annotate.Annotation
 	fallbacks := map[string]bool{}
@@ -522,6 +533,46 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 	}
 	sort.Strings(rec.AnnotationFallback)
 	return rec
+}
+
+// pageOutcome is one privacy page's extract → segment → annotate result.
+type pageOutcome struct {
+	segOK        bool
+	usedFallback bool
+	pageWords    int
+	annOK        bool
+	anns         []annotate.Annotation
+	annFallbacks map[string]bool
+}
+
+// processPage is the page stage's unit of work: render, segment, and
+// annotate one privacy page. Per-page failures fold into the outcome (a
+// page that fails to segment or annotate simply contributes nothing), so
+// the stage function never reports an error.
+func (p *Pipeline) processPage(ctx context.Context, page *crawler.Page) (pageOutcome, error) {
+	var out pageOutcome
+	pctx, pspan := obs.StartSpan(ctx, "page")
+	defer pspan.End()
+	doc := textify.Render(parseHTML(page.Body))
+	sctx, sspan := obs.StartSpan(pctx, "segment")
+	seg, err := segpkg.Segment(sctx, p.bot, doc)
+	sspan.End()
+	if err != nil || !seg.Success() {
+		return out, nil
+	}
+	out.segOK = true
+	out.usedFallback = seg.UsedFallback
+	out.pageWords = seg.CoreWordCount()
+	actx, aspan := obs.StartSpan(pctx, "annotate")
+	ares, err := p.annotator.Annotate(actx, doc, seg)
+	aspan.End()
+	if err != nil {
+		return out, nil
+	}
+	out.annOK = true
+	out.anns = ares.Annotations
+	out.annFallbacks = ares.FallbackUsed
+	return out, nil
 }
 
 // funnel aggregates the Figure 1 / §3.1 / §4 counts.

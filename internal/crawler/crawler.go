@@ -18,9 +18,9 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
-	"sync"
 	"time"
 
+	"aipan/internal/engine"
 	"aipan/internal/htmlx"
 	"aipan/internal/langid"
 	"aipan/internal/obs"
@@ -147,6 +147,9 @@ type Crawler struct {
 	cfg Config
 	met *metrics
 	log *obs.Logger
+	// fetch is the engine stage behind every concurrent fetch burst; the
+	// per-site page budget (applied at planning time) bounds its fan-out.
+	fetch *engine.Stage[*pageSlot, struct{}]
 }
 
 // metrics is the crawler's instrument set (see DESIGN.md §9).
@@ -204,11 +207,17 @@ func New(cfg Config) (*Crawler, error) {
 	if cfg.Client == nil {
 		return nil, fmt.Errorf("crawler: Config.Client is required")
 	}
-	return &Crawler{
+	c := &Crawler{
 		cfg: cfg.withDefaults(),
 		met: newMetrics(cfg.Registry),
 		log: cfg.Logger.With("crawler"),
-	}, nil
+	}
+	c.fetch = engine.NewStage(cfg.Registry, "fetch", engine.Policy{Workers: engine.Unbounded},
+		func(ctx context.Context, s *pageSlot) (struct{}, error) {
+			c.fetchSlot(ctx, s)
+			return struct{}{}, nil
+		})
+	return c, nil
 }
 
 // pageSlot is one planned fetch: the placeholder Page plus whether the
@@ -261,8 +270,9 @@ func (cp *crawlPlan) plan(u *url.URL, candidate bool) *Page {
 }
 
 // run executes the current stage's pending fetches. With no politeness
-// delay the stage fans out concurrently (the per-site page cap bounds the
-// goroutines); with Delay > 0 it serializes, pausing between requests.
+// delay the stage fans out through the crawler's engine fetch stage (the
+// per-site page cap bounds the fan-out); with Delay > 0 it serializes,
+// pausing between requests.
 func (cp *crawlPlan) run(ctx context.Context) {
 	pending := cp.pending
 	cp.pending = nil
@@ -271,51 +281,30 @@ func (cp *crawlPlan) run(ctx context.Context) {
 			if cp.done > 0 && cp.c.cfg.Delay > 0 {
 				cp.c.met.politenessWaits.Inc()
 				cp.c.met.politenessSecs.Add(cp.c.cfg.Delay.Seconds())
-				if !sleepCtx(ctx, cp.c.cfg.Delay) {
+				if !engine.Sleep(ctx, cp.c.cfg.Delay) {
 					return // canceled: remaining slots stay unfetched
 				}
 			}
-			cp.fetchSlot(ctx, s)
+			cp.c.fetchSlot(ctx, s)
 			cp.done++
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for _, s := range pending {
-		wg.Add(1)
-		go func(s *pageSlot) {
-			defer wg.Done()
-			cp.fetchSlot(ctx, s)
-		}(s)
-	}
-	wg.Wait()
+	// Cancellation mid-stage leaves the unclaimed slots unfetched, exactly
+	// like the serial path; the plan keeps them out of Result.Pages.
+	_, _ = cp.c.fetch.Map(ctx, pending)
 	cp.done += len(pending)
 }
 
 // fetchSlot performs the GET for one slot, preserving the planned
 // Candidate flag. cp.done is updated by run, not here, so the concurrent
 // path stays race-free.
-func (cp *crawlPlan) fetchSlot(ctx context.Context, s *pageSlot) {
+func (c *Crawler) fetchSlot(ctx context.Context, s *pageSlot) {
 	candidate := s.page.Candidate
-	p := cp.c.fetchPage(ctx, s.u)
+	p := c.fetchPage(ctx, s.u)
 	p.Candidate = candidate
 	*s.page = *p
 	s.fetched = true
-}
-
-// sleepCtx pauses for d, returning false if ctx was canceled first. Unlike
-// a bare time.After, the timer is released immediately on cancellation —
-// a politeness crawl over thousands of domains would otherwise strand one
-// timer allocation per in-flight delay.
-func sleepCtx(ctx context.Context, d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-ctx.Done():
-		return false
-	}
 }
 
 // CrawlDomain runs the full discovery policy against one domain.
@@ -577,32 +566,17 @@ func mustParse(raw, fallbackHost string) *url.URL {
 }
 
 // CrawlAll crawls domains with a bounded worker pool, preserving input
-// order in the result slice.
+// order in the result slice. Domains a cancellation left uncrawled get a
+// placeholder Result carrying the context error.
 func (c *Crawler) CrawlAll(ctx context.Context, domains []string, workers int) []*Result {
 	if workers < 1 {
 		workers = 1
 	}
-	results := make([]*Result, len(domains))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = c.CrawlDomain(ctx, domains[i])
-			}
-		}()
-	}
-	for i := range domains {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			i = len(domains)
-		}
-	}
-	close(jobs)
-	wg.Wait()
+	stage := engine.NewStage(c.cfg.Registry, "crawl", engine.Policy{Workers: workers},
+		func(ctx context.Context, domain string) (*Result, error) {
+			return c.CrawlDomain(ctx, domain), nil
+		})
+	results, _ := stage.Map(ctx, domains)
 	for i := range results {
 		if results[i] == nil {
 			results[i] = &Result{Domain: domains[i], HomeErr: ctx.Err().Error()}

@@ -1,0 +1,232 @@
+// Package engine is the unified execution runtime behind every
+// concurrent stage of the Figure 1 pipeline. The pipeline's domain
+// workers, the crawler's fetch staging, the per-page segment+annotate
+// fan-out, and the annotator's per-aspect fan-out all used to carry
+// their own worker pools; they now all run through one audited
+// implementation: a Stage[In, Out] with a bounded-concurrency Map
+// runner, submission-order result delivery, a per-stage retry/backoff
+// policy, and cancellation that drains cleanly (no goroutine outlives a
+// Map call).
+//
+// Determinism is structural: Map writes results by submission index and
+// delivers them in submission order, so a stage's output never depends
+// on worker count or completion interleaving.
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aipan/internal/obs"
+)
+
+// Unbounded, as Policy.Workers, runs every item of a Map call
+// concurrently (the per-call item count is the only bound). Use it for
+// stages whose fan-out is already capped upstream, like the crawler's
+// per-site page budget.
+const Unbounded = -1
+
+// Policy bounds a stage's concurrency and failure handling.
+type Policy struct {
+	// Workers is the maximum number of items in flight per Map call:
+	// 0 runs serially, Unbounded (-1) runs all items concurrently.
+	Workers int
+	// Retries is how many times a failed item is re-attempted after its
+	// first try (0 = no retries). Context cancellation is never retried.
+	Retries int
+	// Backoff is the pause before the first retry, doubling per attempt
+	// (0 = retry immediately).
+	Backoff time.Duration
+}
+
+// Stage is a named unit of concurrent work: a function from In to Out
+// run under a Policy. A Stage is created once and reused; Map calls are
+// safe to run concurrently (the crawler shares one fetch stage across
+// all in-flight domains).
+type Stage[In, Out any] struct {
+	name string
+	pol  Policy
+	fn   func(context.Context, In) (Out, error)
+	met  *stageMetrics
+}
+
+// stageMetrics feeds the obs registry. All engine stages share four
+// families, labeled by stage name, so a dashboard sees every pool
+// through the same instruments.
+type stageMetrics struct {
+	queue    *obs.Gauge
+	inflight *obs.Gauge
+	dur      *obs.Histogram
+	retries  *obs.Counter
+	items    *obs.CounterVec // by result (ok, error)
+}
+
+func newStageMetrics(reg *obs.Registry, stage string) *stageMetrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &stageMetrics{
+		queue: reg.GaugeVec("aipan_engine_queue_depth",
+			"Items submitted to an engine stage and not yet dispatched to a worker.",
+			"stage").With(stage),
+		inflight: reg.GaugeVec("aipan_engine_inflight",
+			"Items currently executing in an engine stage.", "stage").With(stage),
+		dur: reg.HistogramVec("aipan_engine_item_duration_seconds",
+			"Per-item wall time in an engine stage, including retries and backoff.",
+			nil, "stage").With(stage),
+		retries: reg.CounterVec("aipan_engine_retries_total",
+			"Item re-attempts after a failed try, by stage.", "stage").With(stage),
+		items: reg.CounterVec("aipan_engine_items_total",
+			"Items completed by an engine stage, by stage and result.", "stage", "result"),
+	}
+}
+
+// NewStage builds a reusable stage. reg routes the stage's metrics
+// (nil = the process-wide default registry); name labels them.
+func NewStage[In, Out any](reg *obs.Registry, name string, pol Policy,
+	fn func(context.Context, In) (Out, error)) *Stage[In, Out] {
+	return &Stage[In, Out]{name: name, pol: pol, fn: fn, met: newStageMetrics(reg, name)}
+}
+
+// Map runs fn over every item with at most Policy.Workers in flight and
+// returns the results in submission order. See MapDeliver for the error
+// and cancellation contract.
+func (s *Stage[In, Out]) Map(ctx context.Context, items []In) ([]Out, error) {
+	return s.MapDeliver(ctx, items, nil)
+}
+
+// MapDeliver is Map with streaming delivery: deliver (when non-nil) is
+// invoked exactly once per executed item, serialized, in submission
+// order — result i is delivered only after results 0..i-1, as soon as
+// that prefix is complete. The pipeline streams checkpoint writes and
+// progress ticks through it, which is what makes checkpoint files
+// deterministic across worker counts.
+//
+// Failure contract: a failed item is retried per the Policy; once
+// retries are exhausted its error is recorded (and delivered) but the
+// remaining items still run — Map reports the lowest-index error after
+// the whole stage drains. Cancellation contract: workers stop claiming
+// items once ctx is done and the call returns ctx.Err() if any item was
+// never executed; every started item runs to completion (fn observes
+// the canceled ctx and is expected to return quickly), so no goroutine
+// outlives the call.
+func (s *Stage[In, Out]) MapDeliver(ctx context.Context, items []In,
+	deliver func(i int, out Out, err error)) ([]Out, error) {
+	n := len(items)
+	out := make([]Out, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	workers := s.pol.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	if workers < 0 || workers > n {
+		workers = n
+	}
+
+	s.met.queue.Add(float64(n))
+	// Submission-order delivery: completion marks ready[i]; whoever
+	// completes the head of the contiguous prefix flushes it.
+	var mu sync.Mutex
+	ready := make([]bool, n)
+	cursor := 0
+	complete := func(i int) {
+		if deliver == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		ready[i] = true
+		for cursor < n && ready[cursor] {
+			deliver(cursor, out[cursor], errs[cursor])
+			cursor++
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s.met.queue.Dec()
+				out[i], errs[i] = s.runItem(ctx, items[i])
+				complete(i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	dispatched := int(next.Load())
+	if dispatched > n {
+		dispatched = n
+	}
+	s.met.queue.Add(float64(dispatched - n)) // undispatched items left the queue
+	if err := ctx.Err(); err != nil && dispatched < n {
+		return out, err
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			return out, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// runItem executes one item through the retry loop, recording latency
+// and outcome.
+func (s *Stage[In, Out]) runItem(ctx context.Context, item In) (Out, error) {
+	s.met.inflight.Inc()
+	start := time.Now()
+	defer func() {
+		s.met.inflight.Dec()
+		s.met.dur.Observe(time.Since(start).Seconds())
+	}()
+
+	var out Out
+	var err error
+	for attempt := 0; ; attempt++ {
+		out, err = s.fn(ctx, item)
+		if err == nil || attempt >= s.pol.Retries || ctx.Err() != nil {
+			break
+		}
+		s.met.retries.Inc()
+		if !Sleep(ctx, s.pol.Backoff<<attempt) {
+			break
+		}
+	}
+	if err != nil {
+		s.met.items.With(s.name, "error").Inc()
+	} else {
+		s.met.items.With(s.name, "ok").Inc()
+	}
+	return out, err
+}
+
+// Sleep pauses for d, returning false if ctx is canceled first (or if d
+// elapses while ctx is already done). Unlike a bare time.After, the
+// timer is released immediately on cancellation — at corpus scale a
+// canceled run would otherwise strand one timer per in-flight backoff
+// or politeness delay.
+func Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aipan/internal/obs"
+)
+
+func newTestStage[In, Out any](t *testing.T, pol Policy,
+	fn func(context.Context, In) (Out, error)) *Stage[In, Out] {
+	t.Helper()
+	return NewStage(obs.NewRegistry(), "test", pol, fn)
+}
+
+func TestMapZeroItems(t *testing.T) {
+	delivered := 0
+	st := newTestStage[int, int](t, Policy{Workers: 8}, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	})
+	out, err := st.MapDeliver(context.Background(), nil, func(int, int, error) { delivered++ })
+	if err != nil {
+		t.Fatalf("Map over zero items: %v", err)
+	}
+	if len(out) != 0 || delivered != 0 {
+		t.Fatalf("zero items produced %d results, %d deliveries", len(out), delivered)
+	}
+}
+
+func TestMapOrderedDeliveryMaxConcurrency(t *testing.T) {
+	// Every item runs concurrently and later items finish first (item i
+	// sleeps inversely to its index), the worst case for ordered
+	// delivery: the head of the prefix completes last.
+	const n = 48
+	st := newTestStage[int, int](t, Policy{Workers: Unbounded}, func(_ context.Context, v int) (int, error) {
+		time.Sleep(time.Duration(n-v) * time.Millisecond / 4)
+		return v * v, nil
+	})
+	var order []int
+	out, err := st.MapDeliver(context.Background(), seq(n), func(i int, v int, err error) {
+		if err != nil {
+			t.Errorf("item %d: unexpected error %v", i, err)
+		}
+		if v != i*i {
+			t.Errorf("item %d delivered %d, want %d", i, v, i*i)
+		}
+		order = append(order, i)
+	})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if len(order) != n {
+		t.Fatalf("delivered %d of %d items", len(order), n)
+	}
+	for i, idx := range order {
+		if idx != i {
+			t.Fatalf("delivery order %v: position %d got index %d", order[:i+1], i, idx)
+		}
+	}
+}
+
+func TestMapSerialWhenWorkersZero(t *testing.T) {
+	var inflight, maxInflight atomic.Int64
+	st := newTestStage[int, int](t, Policy{}, func(_ context.Context, v int) (int, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		if cur > maxInflight.Load() {
+			maxInflight.Store(cur)
+		}
+		time.Sleep(time.Millisecond)
+		return v, nil
+	})
+	if _, err := st.Map(context.Background(), seq(10)); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if maxInflight.Load() != 1 {
+		t.Fatalf("Workers=0 ran %d items concurrently, want serial", maxInflight.Load())
+	}
+}
+
+func TestMapErrorAfterRetriesExhausted(t *testing.T) {
+	attempts := make([]atomic.Int64, 8)
+	boom := errors.New("boom")
+	st := newTestStage[int, int](t, Policy{Workers: 4, Retries: 2}, func(_ context.Context, v int) (int, error) {
+		attempts[v].Add(1)
+		if v == 3 || v == 6 {
+			return 0, fmt.Errorf("item %d: %w", v, boom)
+		}
+		return v + 1, nil
+	})
+	var delivered []error
+	out, err := st.MapDeliver(context.Background(), seq(8), func(i int, _ int, err error) {
+		delivered = append(delivered, err)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want wrapped boom", err)
+	}
+	// The lowest-index failure wins, and the rest of the stage still ran.
+	if got := err.Error(); got != "item 3: boom" {
+		t.Fatalf("Map returned %q, want the lowest-index error", got)
+	}
+	for i := 0; i < 8; i++ {
+		want := int64(1)
+		if i == 3 || i == 6 {
+			want = 3 // initial try + 2 retries
+		}
+		if attempts[i].Load() != want {
+			t.Fatalf("item %d ran %d times, want %d", i, attempts[i].Load(), want)
+		}
+		if i != 3 && i != 6 && out[i] != i+1 {
+			t.Fatalf("out[%d] = %d, want %d (healthy items must still run)", i, out[i], i+1)
+		}
+	}
+	if len(delivered) != 8 || delivered[3] == nil || delivered[6] == nil || delivered[0] != nil {
+		t.Fatalf("per-item errors not delivered: %v", delivered)
+	}
+}
+
+func TestMapRetryRecovers(t *testing.T) {
+	var tries atomic.Int64
+	st := newTestStage[int, string](t, Policy{Workers: 2, Retries: 3, Backoff: time.Microsecond},
+		func(_ context.Context, v int) (string, error) {
+			if tries.Add(1) < 3 {
+				return "", errors.New("transient")
+			}
+			return "ok", nil
+		})
+	out, err := st.Map(context.Background(), []int{1})
+	if err != nil {
+		t.Fatalf("Map: %v (attempts=%d)", err, tries.Load())
+	}
+	if out[0] != "ok" || tries.Load() != 3 {
+		t.Fatalf("got %q after %d tries, want ok after 3", out[0], tries.Load())
+	}
+}
+
+func TestMapCancellationDrainsCleanly(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 4)
+	var executed atomic.Int64
+	st := newTestStage[int, int](t, Policy{Workers: 4}, func(ctx context.Context, v int) (int, error) {
+		started <- struct{}{}
+		executed.Add(1)
+		<-ctx.Done() // simulate an item in flight when the run is canceled
+		return v, nil
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := st.Map(ctx, seq(64))
+		done <- err
+	}()
+	for i := 0; i < 4; i++ {
+		<-started // all four workers are mid-item
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Map after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not drain after cancellation")
+	}
+	if n := executed.Load(); n >= 64 {
+		t.Fatalf("cancellation did not stop dispatch: %d items executed", n)
+	}
+	// Every worker goroutine must have exited: poll until the count
+	// returns to the pre-Map baseline (the runtime needs a moment).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutines leaked by canceled Map: %d before, %d after", before, now)
+	}
+}
+
+func TestMapCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int64
+	st := newTestStage[int, int](t, Policy{Workers: 2}, func(_ context.Context, v int) (int, error) {
+		executed.Add(1)
+		return v, nil
+	})
+	_, err := st.Map(ctx, seq(8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map on canceled ctx = %v, want context.Canceled", err)
+	}
+	if executed.Load() != 0 {
+		t.Fatalf("%d items ran under an already-canceled context", executed.Load())
+	}
+}
+
+func TestMapNoRetryOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var tries atomic.Int64
+	st := newTestStage[int, int](t, Policy{Workers: 1, Retries: 5}, func(context.Context, int) (int, error) {
+		tries.Add(1)
+		cancel() // fail and cancel on the first attempt
+		return 0, errors.New("boom")
+	})
+	if _, err := st.Map(ctx, seq(1)); err == nil {
+		t.Fatal("Map: expected an error")
+	}
+	if tries.Load() != 1 {
+		t.Fatalf("canceled item was retried %d times, want none", tries.Load()-1)
+	}
+}
+
+func TestLimiter(t *testing.T) {
+	l := NewLimiter(2)
+	if l.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", l.Cap())
+	}
+	ctx := context.Background()
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The limiter is full: a third Acquire must block until Release.
+	acquired := make(chan struct{})
+	go func() {
+		if err := l.Acquire(ctx); err == nil {
+			close(acquired)
+		}
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire succeeded beyond the limiter's capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Release()
+	select {
+	case <-acquired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire did not proceed after Release")
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := l.Acquire(canceled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestSleep(t *testing.T) {
+	if !Sleep(context.Background(), time.Microsecond) {
+		t.Fatal("Sleep returned false without cancellation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if Sleep(ctx, time.Hour) {
+		t.Fatal("Sleep ignored a canceled context")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep took %v to notice cancellation", elapsed)
+	}
+	if Sleep(ctx, 0) {
+		t.Fatal("zero-duration Sleep must still report a canceled context")
+	}
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}

@@ -1,0 +1,38 @@
+package engine
+
+import "context"
+
+// Limiter is a context-aware counting semaphore — the primitive behind
+// cross-stage concurrency bounds that a single Map call cannot express,
+// like the chatbot client's global in-flight completion cap shared by
+// every domain worker.
+type Limiter struct {
+	slots chan struct{}
+}
+
+// NewLimiter builds a limiter admitting up to n concurrent holders
+// (n < 1 is treated as 1).
+func NewLimiter(n int) *Limiter {
+	if n < 1 {
+		n = 1
+	}
+	return &Limiter{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning
+// ctx.Err() in the latter case. Every successful Acquire must be paired
+// with exactly one Release.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot taken by Acquire.
+func (l *Limiter) Release() { <-l.slots }
+
+// Cap reports the limiter's concurrency bound.
+func (l *Limiter) Cap() int { return cap(l.slots) }

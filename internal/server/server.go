@@ -80,6 +80,21 @@ func New(records []store.Record, opts ...Option) *Server {
 	return s
 }
 
+// NewFromStore builds the API over a dataset held in a store backend.
+// The records are materialized with one Scan, so any backend — JSONL
+// file, shard directory, in-memory — can back the API directly, without
+// first being exported to a flat JSONL file.
+func NewFromStore(st store.Store, opts ...Option) (*Server, error) {
+	var records []store.Record
+	if err := st.Scan(func(r *store.Record) error {
+		records = append(records, *r)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("server: loading records: %w", err)
+	}
+	return New(records, opts...), nil
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)

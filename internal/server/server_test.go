@@ -223,3 +223,44 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("pprof cmdline: status %d, %d bytes", code, len(body))
 	}
 }
+
+// TestNewFromStore serves the same API straight from a store backend —
+// here the sharded one, whose scan order differs from the record slice,
+// to prove the server does not depend on load order.
+func TestNewFromStore(t *testing.T) {
+	recs := testRecords()
+	st, err := store.OpenSharded(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := range recs {
+		if err := st.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewFromStore(st, WithRegistry(obs.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	code, body := get(t, srv.URL+"/api/summary")
+	if code != 200 {
+		t.Fatalf("summary from store: status %d", code)
+	}
+	var sum Summary
+	if err := json.Unmarshal([]byte(body), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Domains != len(recs) || sum.CrawlOK != 1 || sum.Annotated != 1 {
+		t.Fatalf("summary from store = %+v", sum)
+	}
+	if code, _ := get(t, srv.URL+"/api/domain/acme.example.com"); code != 200 {
+		t.Fatalf("domain lookup from store: status %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/api/domain/missing.example.com"); code != 404 {
+		t.Fatalf("missing domain from store: status %d, want 404", code)
+	}
+}

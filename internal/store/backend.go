@@ -1,0 +1,388 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is the pluggable dataset backend: the pipeline streams each
+// completed record through Append (the checkpoint path), Scan replays
+// the persisted records in a deterministic order (the resume and serve
+// paths), and Len counts them. Implementations are safe for concurrent
+// use; the *Record passed to a Scan callback is only valid for the
+// duration of the call and must not be retained or mutated.
+type Store interface {
+	Append(*Record) error
+	Scan(func(*Record) error) error
+	Len() (int, error)
+	Close() error
+}
+
+// Meta stamps a store with the run parameters that produced it, so a
+// resume under incompatible parameters is refused instead of silently
+// mixing datasets.
+type Meta struct {
+	// Seed is the corpus seed the records were generated under.
+	Seed int64 `json:"seed"`
+	// Shards is the shard count of a sharded store (0 otherwise).
+	Shards int `json:"shards,omitempty"`
+}
+
+// MetaStore is the optional stamping interface every shipped backend
+// implements. Meta reports the stamp and whether one is present; a
+// store written before stamping existed reports ok=false and is
+// accepted as-is.
+type MetaStore interface {
+	Meta() (Meta, bool, error)
+	SetMeta(Meta) error
+}
+
+// ------------------------------------------------------------ JSONL file
+
+// JSONL is the single-file backend: one JSON record per line, appended
+// and flushed per record so an interrupted run keeps everything
+// processed so far. It is the checkpoint format the pipeline has always
+// written; the seed stamp lives in a ".meta" sidecar next to the file.
+type JSONL struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+	buf  *bufio.Writer
+	enc  *json.Encoder
+}
+
+// OpenJSONL opens (or creates) a JSONL store at path for appending.
+func OpenJSONL(path string) (*JSONL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	buf := bufio.NewWriter(f)
+	return &JSONL{path: path, f: f, buf: buf, enc: json.NewEncoder(buf)}, nil
+}
+
+// Append writes one record and flushes it to disk.
+func (s *JSONL) Append(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(rec); err != nil {
+		return fmt.Errorf("store: appending %s: %w", rec.Domain, err)
+	}
+	if err := s.buf.Flush(); err != nil {
+		return fmt.Errorf("store: flushing %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Scan replays the file's records in append order. A store that was
+// never written to scans as empty.
+func (s *JSONL) Scan(fn func(*Record) error) error {
+	return scanFile(s.path, fn)
+}
+
+// Len counts the persisted records.
+func (s *JSONL) Len() (int, error) { return scanLen(s) }
+
+// Close flushes and closes the file.
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("store: flushing %s: %w", s.path, err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: closing %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Meta reads the sidecar stamp.
+func (s *JSONL) Meta() (Meta, bool, error) { return readMetaFile(s.path + ".meta") }
+
+// SetMeta writes the sidecar stamp atomically.
+func (s *JSONL) SetMeta(m Meta) error { return writeMetaFile(s.path+".meta", m) }
+
+// -------------------------------------------------------------- in-memory
+
+// Mem is the in-memory backend for tests and benchmarks: nothing
+// touches disk, and Scan replays records in append order.
+type Mem struct {
+	mu      sync.RWMutex
+	recs    []Record
+	meta    Meta
+	stamped bool
+}
+
+// NewMem builds an empty in-memory store.
+func NewMem() *Mem { return &Mem{} }
+
+// Append stores a copy of rec.
+func (s *Mem) Append(rec *Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, *rec)
+	return nil
+}
+
+// Scan replays the stored records in append order.
+func (s *Mem) Scan(fn func(*Record) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i := range s.recs {
+		if err := fn(&s.recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of stored records.
+func (s *Mem) Len() (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs), nil
+}
+
+// Close is a no-op.
+func (s *Mem) Close() error { return nil }
+
+// Meta reports the in-memory stamp.
+func (s *Mem) Meta() (Meta, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.meta, s.stamped, nil
+}
+
+// SetMeta records the stamp.
+func (s *Mem) SetMeta(m Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta, s.stamped = m, true
+	return nil
+}
+
+// ----------------------------------------------------------- hash-sharded
+
+// Sharded is the multi-file backend for large runs: records are
+// distributed across shard-%02d.jsonl files in a directory by a hash of
+// the domain, so no single file (or its flush lock) becomes the
+// bottleneck and shards can be processed independently downstream. Scan
+// replays shards in index order; within a shard, append order — which
+// the engine's submission-order delivery makes deterministic. The shard
+// count and seed are stamped in the directory's meta.json, and
+// reopening with a different shard count is refused (records would hash
+// to the wrong files).
+type Sharded struct {
+	dir    string
+	shards int
+	mu     sync.Mutex
+	files  []*JSONL // lazily opened per shard
+}
+
+// OpenSharded opens (or creates) a sharded store in dir with the given
+// shard count (1..99, so shard files keep their two-digit names).
+func OpenSharded(dir string, shards int) (*Sharded, error) {
+	if shards < 1 || shards > 99 {
+		return nil, fmt.Errorf("store: shard count %d out of range 1..99", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating shard dir: %w", err)
+	}
+	s := &Sharded{dir: dir, shards: shards, files: make([]*JSONL, shards)}
+	if m, ok, err := s.Meta(); err != nil {
+		return nil, err
+	} else if ok && m.Shards != 0 && m.Shards != shards {
+		return nil, fmt.Errorf("store: %s was created with %d shards, reopened with %d",
+			dir, m.Shards, shards)
+	}
+	return s, nil
+}
+
+func (s *Sharded) shardPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%02d.jsonl", i))
+}
+
+func (s *Sharded) shardOf(domain string) int {
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	return int(h.Sum32() % uint32(s.shards))
+}
+
+// Append routes rec to its domain's shard.
+func (s *Sharded) Append(rec *Record) error {
+	i := s.shardOf(rec.Domain)
+	s.mu.Lock()
+	f := s.files[i]
+	if f == nil {
+		var err error
+		f, err = OpenJSONL(s.shardPath(i))
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.files[i] = f
+	}
+	s.mu.Unlock()
+	return f.Append(rec)
+}
+
+// Scan replays every shard in index order (missing shard files read as
+// empty).
+func (s *Sharded) Scan(fn func(*Record) error) error {
+	for i := 0; i < s.shards; i++ {
+		if err := scanFile(s.shardPath(i), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len counts records across all shards.
+func (s *Sharded) Len() (int, error) { return scanLen(s) }
+
+// Close closes every opened shard file.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for i, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.files[i] = nil
+	}
+	return first
+}
+
+// Meta reads the directory's meta.json stamp.
+func (s *Sharded) Meta() (Meta, bool, error) {
+	return readMetaFile(filepath.Join(s.dir, "meta.json"))
+}
+
+// SetMeta writes the stamp, always recording the shard count.
+func (s *Sharded) SetMeta(m Meta) error {
+	m.Shards = s.shards
+	return writeMetaFile(filepath.Join(s.dir, "meta.json"), m)
+}
+
+// ---------------------------------------------------------------- helpers
+
+// scanFile streams a JSONL file through fn; a missing file is empty.
+func scanFile(path string, fn func(*Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+		}
+		if err := fn(&r); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return nil
+}
+
+// scanLen implements Len by counting a Scan.
+func scanLen(s Store) (int, error) {
+	n := 0
+	err := s.Scan(func(*Record) error { n++; return nil })
+	return n, err
+}
+
+func readMetaFile(path string) (Meta, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Meta{}, false, nil
+		}
+		return Meta{}, false, fmt.Errorf("store: reading meta %s: %w", path, err)
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, false, fmt.Errorf("store: parsing meta %s: %w", path, err)
+	}
+	return m, true, nil
+}
+
+func writeMetaFile(path string, m Meta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("store: encoding meta: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: writing meta: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: committing meta %s: %w", path, err)
+	}
+	return nil
+}
+
+// SaveJSONL atomically materializes a store's records as one JSONL file
+// (temp file + rename), sorted by domain — the final-dataset write
+// shared by every backend. Sorting makes the output a pure function of
+// the record set: a sharded store (whose Scan order is shard-major) and
+// a JSONL checkpoint (append order) holding the same records export
+// byte-identical files.
+func SaveJSONL(path string, st Store) error {
+	var records []Record
+	if err := st.Scan(func(r *Record) error {
+		records = append(records, *r)
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Domain < records[j].Domain })
+	return WriteJSONL(path, records)
+}
+
+// OpenSpec opens a backend from a CLI spec: "jsonl" (or "") is the
+// single-file store at path, "sharded:N" is an N-way sharded store in
+// the directory at path, and "mem" is the in-memory store (path is
+// ignored).
+func OpenSpec(spec, path string) (Store, error) {
+	switch {
+	case spec == "" || spec == "jsonl":
+		return OpenJSONL(path)
+	case spec == "mem":
+		return NewMem(), nil
+	case strings.HasPrefix(spec, "sharded:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "sharded:"))
+		if err != nil {
+			return nil, fmt.Errorf("store: bad shard count in %q (want sharded:N)", spec)
+		}
+		return OpenSharded(path, n)
+	}
+	return nil, fmt.Errorf("store: unknown backend %q (jsonl, sharded:N, mem)", spec)
+}

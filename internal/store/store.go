@@ -113,50 +113,8 @@ func ReadJSONL(path string) ([]Record, error) {
 	return out, nil
 }
 
-// Appender writes records incrementally — the pipeline's checkpoint
-// stream. Unlike WriteJSONL it appends and flushes per record, so an
-// interrupted run keeps everything processed so far.
-type Appender struct {
-	f   *os.File
-	buf *bufio.Writer
-	enc *json.Encoder
-}
-
-// OpenAppender opens (or creates) a checkpoint file for appending.
-func OpenAppender(path string) (*Appender, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: opening checkpoint %s: %w", path, err)
-	}
-	buf := bufio.NewWriter(f)
-	return &Appender{f: f, buf: buf, enc: json.NewEncoder(buf)}, nil
-}
-
-// Append writes one record and flushes it to disk.
-func (a *Appender) Append(rec *Record) error {
-	if err := a.enc.Encode(rec); err != nil {
-		return fmt.Errorf("store: appending %s: %w", rec.Domain, err)
-	}
-	if err := a.buf.Flush(); err != nil {
-		return fmt.Errorf("store: flushing checkpoint: %w", err)
-	}
-	return nil
-}
-
-// Close flushes and closes the checkpoint.
-func (a *Appender) Close() error {
-	if err := a.buf.Flush(); err != nil {
-		a.f.Close()
-		return fmt.Errorf("store: flushing checkpoint: %w", err)
-	}
-	if err := a.f.Close(); err != nil {
-		return fmt.Errorf("store: closing checkpoint: %w", err)
-	}
-	return nil
-}
-
-// LoadCheckpoint reads a checkpoint written by Appender; a missing file
-// returns an empty slice (fresh start).
+// LoadCheckpoint reads a checkpoint written by a JSONL store; a missing
+// file returns an empty slice (fresh start).
 func LoadCheckpoint(path string) ([]Record, error) {
 	recs, err := ReadJSONL(path)
 	if err != nil {
