@@ -8,6 +8,7 @@
 //	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
 //	aipan validate --data aipan.jsonl [--seed 3000]
 //	aipan compare-models [--n 20] [--seed 3000]
+//	aipan vet      [-json] [-baseline aipanvet.baseline|none] [-checks a,b] ./...
 //	aipan all      --out aipan.jsonl [--limit N]
 package main
 
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"aipan"
+	"aipan/internal/analysis"
 	"aipan/internal/chatbot"
 	"aipan/internal/core"
 	"aipan/internal/obs"
@@ -53,6 +55,8 @@ func main() {
 		err = cmdDiff(args)
 	case "serve":
 		err = cmdServe(args)
+	case "vet":
+		os.Exit(analysis.Main(args, os.Stdout, os.Stderr))
 	case "all":
 		err = cmdAll(args)
 	case "help", "-h", "--help":
@@ -81,6 +85,7 @@ commands:
   prompts         print the chatbot task prompts (Figure 2 / Appendix C)
   diff            compare two dataset snapshots (trend analysis)
   serve           expose a dataset over an HTTP/JSON API
+  vet             run the repo's own static-analysis checkers (aipanvet)
   all             run + funnel + all tables + validation in one go`)
 }
 

@@ -1,0 +1,22 @@
+// Command aipanvet is the repo's self-hosted static-analysis gate: a
+// stdlib-only driver (go/parser + go/types, no x/tools) that enforces
+// the pipeline's determinism, concurrency, and observability invariants
+// mechanically. `aipanvet ./...` must exit 0 on this repository — every
+// finding is fixed or carries a justified entry in aipanvet.baseline.
+//
+// Usage:
+//
+//	aipanvet [-C dir] [-json] [-baseline file|none] [-checks a,b] [-write-baseline file] [./...]
+//
+// The same registry backs the `aipan vet` subcommand.
+package main
+
+import (
+	"os"
+
+	"aipan/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

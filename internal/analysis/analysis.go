@@ -1,0 +1,226 @@
+// Package analysis is aipanvet: a from-scratch static-analysis driver on
+// the stdlib go/parser, go/ast, and go/types (no x/tools — the module
+// stays dependency-free) that loads every package in the module and runs
+// a registry of repo-specific checkers. Each checker mechanically
+// enforces one invariant the AIPAN-3k reproduction's guarantees rest on:
+//
+//   - determinism: the packages that produce dataset bytes never read the
+//     wall clock, the global math/rand source, or map iteration order
+//     (§3/§5 reproducibility — byte-identical output across worker counts
+//     and store backends).
+//   - goroutine: all concurrency routes through internal/engine — no
+//     naked go statements elsewhere, so every pool inherits the audited
+//     ordered-delivery and cancellation-drain semantics.
+//   - ctxthread: exported functions that transitively block (network I/O,
+//     sleeps, channel operations) take a context.Context first parameter,
+//     keeping corpus-scale runs cancellable end to end.
+//   - metricname: metric names registered with internal/obs match
+//     ^aipan_[a-z0-9_]+$ and the per-kind unit suffix conventions, so the
+//     /metrics surface stays scrapeable by one dashboard config.
+//   - errwrap: fmt.Errorf with an error operand uses %w, and pipeline
+//     code never silently discards an error return.
+//
+// Diagnostics are emitted as "file:line: [check] message" with
+// deterministic ordering; a committed baseline file grandfathers known
+// findings, each with a one-line justification.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the checker that produced it,
+// and a message. File is the module-root-relative, slash-separated path.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical "file:line: [check] msg"
+// form the gate and the baseline file use.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Check, d.Message)
+}
+
+// Key is the line-insensitive identity used for baseline matching:
+// "file: [check] message". Dropping the line number keeps baseline
+// entries stable under unrelated edits to the same file.
+func (d Diagnostic) Key() string {
+	return fmt.Sprintf("%s: [%s] %s", d.File, d.Check, d.Message)
+}
+
+// Checker is one registered invariant. Run receives the loaded module
+// and reports findings through the pass.
+type Checker struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands a checker the loaded module plus reporting plumbing.
+type Pass struct {
+	Module *Module
+	Cfg    Config
+	check  string
+	out    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.Module.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	*p.out = append(*p.out, Diagnostic{
+		File: file, Line: position.Line, Col: position.Column,
+		Check: p.check, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Config scopes the checkers to the repo's architecture. Allowlists are
+// structural ("by construction"): a package listed here is exempt from
+// the matching rule entirely, which is different from a baselined
+// finding (a known violation carried with a justification).
+type Config struct {
+	// DeterministicPkgs are the import paths whose output bytes must be
+	// reproducible; the determinism checker applies only here. The
+	// seeded-random generators (webgen, russell, downstream) and the
+	// wall-clock-reading observability layer (obs) are allowlisted by
+	// construction simply by not being listed.
+	DeterministicPkgs []string
+	// GoroutinePkgs are the import paths allowed to contain go
+	// statements; everything else must route concurrency through
+	// engine.Stage / engine.Limiter.
+	GoroutinePkgs []string
+	// MetricPrefix is the mandatory metric-name prefix (default "aipan").
+	MetricPrefix string
+}
+
+// DefaultConfig is the repo's own scoping: the packages on the dataset
+// byte path are deterministic, and only engine and obs may spawn
+// goroutines.
+func DefaultConfig() Config {
+	return Config{
+		DeterministicPkgs: []string{
+			"aipan/internal/core",
+			"aipan/internal/annotate",
+			"aipan/internal/segment",
+			"aipan/internal/taxonomy",
+			"aipan/internal/stats",
+			"aipan/internal/store",
+			"aipan/internal/report",
+		},
+		GoroutinePkgs: []string{
+			"aipan/internal/engine",
+			"aipan/internal/obs",
+		},
+		MetricPrefix: "aipan",
+	}
+}
+
+func (c Config) deterministic(path string) bool { return containsString(c.DeterministicPkgs, path) }
+func (c Config) goroutineOK(path string) bool   { return containsString(c.GoroutinePkgs, path) }
+
+func containsString(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Checkers returns the full registry in registration order. The order
+// never affects output: diagnostics are sorted before they are returned.
+func Checkers() []*Checker {
+	return []*Checker{
+		determinismChecker,
+		goroutineChecker,
+		ctxthreadChecker,
+		metricnameChecker,
+		errwrapChecker,
+	}
+}
+
+// CheckerByName returns the named checker, or nil.
+func CheckerByName(name string) *Checker {
+	for _, c := range Checkers() {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Run executes the given checkers over the module and returns the
+// findings in deterministic order (file, line, column, check, message),
+// independent of package load order and checker registration order.
+func Run(mod *Module, cfg Config, checkers []*Checker) []Diagnostic {
+	var diags []Diagnostic
+	for _, c := range checkers {
+		pass := &Pass{Module: mod, Cfg: cfg, check: c.Name, out: &diags}
+		c.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	// Dedup: two checkers (or one checker on re-walked syntax) must not
+	// double-report the same finding.
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// funcObj resolves the called function object of a call expression, or
+// nil for calls through function values, interface methods the checker
+// cannot see, and type conversions.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of a function's package ("" for
+// builtins).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

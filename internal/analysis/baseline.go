@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A baseline file grandfathers known findings so the gate can be
+// adopted without a flag day, while still failing on anything new. One
+// entry per line, in Diagnostic.Key form (line numbers are omitted so
+// entries survive unrelated edits), with a mandatory trailing
+// justification comment:
+//
+//	internal/engine/limiter.go: [ctxthread] exported Release ... # never blocks: slot held by contract
+//
+// Entries are a contract in both directions: a finding without an entry
+// fails the gate, and an entry without a finding is stale and fails the
+// gate too — fixed findings must leave the baseline in the same change.
+type BaselineEntry struct {
+	Key           string `json:"key"`
+	Justification string `json:"justification"`
+	Line          int    `json:"-"` // line in the baseline file, for stale reports
+}
+
+// ParseBaseline parses the baseline format: '#'-prefixed comment lines
+// and blank lines are skipped; every other line is "key # justification".
+func ParseBaseline(data []byte) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		key, just, found := strings.Cut(trimmed, " # ")
+		if !found || strings.TrimSpace(just) == "" {
+			return nil, fmt.Errorf("analysis: baseline line %d: every entry needs a ' # justification' suffix", i+1)
+		}
+		key = strings.TrimSpace(key)
+		if !strings.Contains(key, ": [") {
+			return nil, fmt.Errorf("analysis: baseline line %d: entry %q is not in 'file: [check] message' form", i+1, key)
+		}
+		entries = append(entries, BaselineEntry{Key: key, Justification: strings.TrimSpace(just), Line: i + 1})
+	}
+	return entries, nil
+}
+
+// ApplyBaseline splits findings into active (not baselined) and reports
+// stale entries (baselined but no longer found). One entry suppresses
+// every diagnostic with its key: a message that appears twice in a file
+// is one decision, not two.
+func ApplyBaseline(entries []BaselineEntry, diags []Diagnostic) (active []Diagnostic, stale []BaselineEntry) {
+	matched := make([]bool, len(entries))
+	byKey := map[string]int{}
+	for i, e := range entries {
+		if _, dup := byKey[e.Key]; !dup {
+			byKey[e.Key] = i
+		}
+	}
+	for _, d := range diags {
+		if i, ok := byKey[d.Key()]; ok {
+			matched[i] = true
+			continue
+		}
+		active = append(active, d)
+	}
+	for i, e := range entries {
+		if !matched[i] {
+			stale = append(stale, e)
+		}
+	}
+	return active, stale
+}
+
+// Check extracts the checker name from the entry key, "" if malformed.
+func (e BaselineEntry) Check() string {
+	_, rest, ok := strings.Cut(e.Key, ": [")
+	if !ok {
+		return ""
+	}
+	name, _, ok := strings.Cut(rest, "]")
+	if !ok {
+		return ""
+	}
+	return name
+}
+
+// FilterBaseline keeps the entries belonging to the given checkers.
+// When only a subset of checkers runs (-checks), entries for the
+// others are out of scope — neither matched nor stale.
+func FilterBaseline(entries []BaselineEntry, checkers []*Checker) []BaselineEntry {
+	names := map[string]bool{}
+	for _, c := range checkers {
+		names[c.Name] = true
+	}
+	var out []BaselineEntry
+	for _, e := range entries {
+		if names[e.Check()] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FormatBaseline renders findings as a baseline file skeleton, one
+// entry per unique key with a placeholder justification to be filled in
+// by hand. Keys are sorted and deduplicated.
+func FormatBaseline(diags []Diagnostic) []byte {
+	seen := map[string]bool{}
+	var keys []string
+	for _, d := range diags {
+		if k := d.Key(); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# aipanvet baseline — grandfathered findings, one per line.\n")
+	b.WriteString("# Every entry carries a justification after ' # '. Stale entries fail the gate.\n")
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString(" # TODO: justify or fix\n")
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func fakeDiags() []Diagnostic {
+	return []Diagnostic{
+		{File: "internal/a/a.go", Line: 10, Check: "determinism", Message: "call to time.Now in deterministic package a"},
+		{File: "internal/b/b.go", Line: 3, Check: "errwrap", Message: "error return of Close silently discarded"},
+		{File: "internal/b/b.go", Line: 9, Check: "errwrap", Message: "error return of Close silently discarded"},
+	}
+}
+
+// TestBaselineRoundTrip is the add/expire lifecycle: format the current
+// findings into a baseline, justify it, and the gate is clean; fix a
+// finding and its entry turns stale; introduce a finding and it is
+// active.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := fakeDiags()
+
+	skeleton := FormatBaseline(diags)
+	entries, err := ParseBaseline(skeleton)
+	if err != nil {
+		t.Fatalf("ParseBaseline(FormatBaseline(...)): %v", err)
+	}
+	// Two distinct keys: the duplicated Close finding collapses to one
+	// entry (one decision, not two).
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	}
+
+	active, stale := ApplyBaseline(entries, diags)
+	if len(active) != 0 || len(stale) != 0 {
+		t.Fatalf("fresh baseline should fully suppress: active=%v stale=%v", active, stale)
+	}
+
+	// Expire: the time.Now finding is fixed, its entry must go stale.
+	fixed := diags[1:]
+	active, stale = ApplyBaseline(entries, fixed)
+	if len(active) != 0 {
+		t.Fatalf("no new findings expected, got %v", active)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Key, "determinism") {
+		t.Fatalf("want the determinism entry stale, got %+v", stale)
+	}
+
+	// Regress: a brand-new finding is active regardless of the baseline.
+	regressed := append(fakeDiags(), Diagnostic{
+		File: "internal/c/c.go", Line: 1, Check: "goroutine", Message: "naked go statement in c",
+	})
+	active, stale = ApplyBaseline(entries, regressed)
+	if len(active) != 1 || active[0].Check != "goroutine" {
+		t.Fatalf("want exactly the new goroutine finding active, got %v", active)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("want no stale entries, got %+v", stale)
+	}
+}
+
+func TestParseBaselineRejectsUnjustifiedEntries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // error substring; "" = valid
+	}{
+		{"comment and blank lines", "# header\n\n# more\n", ""},
+		{"justified entry", "internal/a/a.go: [determinism] msg # because reasons\n", ""},
+		{"missing justification", "internal/a/a.go: [determinism] msg\n", "justification"},
+		{"empty justification", "internal/a/a.go: [determinism] msg # \n", "justification"},
+		{"malformed key", "not a key # but justified\n", "file: [check] message"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseBaseline([]byte(tc.in))
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("ParseBaseline(%q) = %v, want nil", tc.in, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("ParseBaseline(%q) = %v, want error containing %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFilterBaselineScopesToSelectedCheckers: running a -checks subset
+// must not report entries for unselected checkers as stale.
+func TestFilterBaselineScopesToSelectedCheckers(t *testing.T) {
+	entries := []BaselineEntry{
+		{Key: "internal/a/a.go: [determinism] msg", Justification: "j"},
+		{Key: "internal/b/b.go: [ctxthread] msg", Justification: "j"},
+	}
+	if got := entries[1].Check(); got != "ctxthread" {
+		t.Fatalf("Check() = %q, want ctxthread", got)
+	}
+	kept := FilterBaseline(entries, []*Checker{CheckerByName("determinism")})
+	if len(kept) != 1 || kept[0].Check() != "determinism" {
+		t.Fatalf("FilterBaseline kept %+v, want only the determinism entry", kept)
+	}
+	// The out-of-scope ctxthread entry must not surface as stale.
+	_, stale := ApplyBaseline(kept, nil)
+	if len(stale) != 1 || stale[0].Check() != "determinism" {
+		t.Fatalf("want exactly the in-scope entry stale against no findings, got %+v", stale)
+	}
+}
+
+// TestBaselineKeyIgnoresLine: moving a finding within its file must not
+// invalidate the entry.
+func TestBaselineKeyIgnoresLine(t *testing.T) {
+	a := Diagnostic{File: "f.go", Line: 10, Check: "c", Message: "m"}
+	b := Diagnostic{File: "f.go", Line: 99, Check: "c", Message: "m"}
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ across lines: %q vs %q", a.Key(), b.Key())
+	}
+	if a.String() == b.String() {
+		t.Fatal("String() should include the line number")
+	}
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DefaultBaselineName is the committed baseline file at the module root.
+const DefaultBaselineName = "aipanvet.baseline"
+
+// VetFlags are the shared CLI knobs behind `aipanvet` and `aipan vet`,
+// validated as a set before any loading starts.
+type VetFlags struct {
+	Dir           string // module directory (or any directory inside it)
+	JSON          bool   // machine-readable report on stdout
+	Baseline      string // baseline path ("" = <root>/aipanvet.baseline if present, "none" = ignore)
+	WriteBaseline string // regenerate the baseline skeleton here and exit
+	Checks        string // comma-separated checker subset ("" = all)
+}
+
+// Validate rejects nonsensical flag combinations up front, in the style
+// of the run command's flag validation.
+func (vf *VetFlags) Validate() error {
+	if vf.Dir == "" {
+		return fmt.Errorf("-C must name a directory inside the module (got empty)")
+	}
+	if vf.JSON && vf.WriteBaseline != "" {
+		return fmt.Errorf("-json and -write-baseline are mutually exclusive (the baseline skeleton is the output)")
+	}
+	if vf.Checks != "" {
+		for _, name := range strings.Split(vf.Checks, ",") {
+			if CheckerByName(strings.TrimSpace(name)) == nil {
+				return fmt.Errorf("-checks: unknown checker %q (have %s)", name, checkerNames())
+			}
+		}
+	}
+	return nil
+}
+
+func checkerNames() string {
+	var names []string
+	for _, c := range Checkers() {
+		names = append(names, c.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// selected resolves the -checks subset.
+func (vf *VetFlags) selected() []*Checker {
+	if vf.Checks == "" {
+		return Checkers()
+	}
+	var out []*Checker
+	for _, name := range strings.Split(vf.Checks, ",") {
+		out = append(out, CheckerByName(strings.TrimSpace(name)))
+	}
+	return out
+}
+
+// jsonReport is the -json output shape, scrapeable by CI.
+type jsonReport struct {
+	ModulePath  string          `json:"module"`
+	Checkers    []string        `json:"checkers"`
+	Diagnostics []Diagnostic    `json:"diagnostics"`
+	Baselined   int             `json:"baselined"`
+	Stale       []BaselineEntry `json:"stale_baseline"`
+}
+
+// Main is the whole tool: parse flags from argv, load the module, run
+// the checkers, apply the baseline, print the report. Both cmd/aipanvet
+// and the `aipan vet` subcommand delegate here. Exit codes: 0 clean,
+// 1 findings (or stale baseline entries), 2 usage or load failure.
+func Main(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aipanvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	vf := VetFlags{}
+	fs.StringVar(&vf.Dir, "C", ".", "module directory (or any directory inside it)")
+	fs.BoolVar(&vf.JSON, "json", false, "emit a machine-readable JSON report on stdout")
+	fs.StringVar(&vf.Baseline, "baseline", "",
+		"baseline file (default <module>/"+DefaultBaselineName+" when present; 'none' disables)")
+	fs.StringVar(&vf.WriteBaseline, "write-baseline", "",
+		"write a baseline skeleton for the current findings to this path and exit")
+	fs.StringVar(&vf.Checks, "checks", "", "comma-separated checker subset (default all: "+checkerNames()+")")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: aipanvet [flags] [./...]")
+		fmt.Fprintln(stderr, "\nCheckers:")
+		for _, c := range Checkers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", c.Name, c.Doc)
+		}
+		fmt.Fprintln(stderr, "\nFlags:")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	for _, arg := range fs.Args() {
+		// The only supported pattern is the whole module; accept the
+		// conventional spellings of it.
+		if arg != "./..." && arg != "all" {
+			fmt.Fprintf(stderr, "aipanvet: unsupported package pattern %q (the tool always checks the whole module; use ./...)\n", arg)
+			return 2
+		}
+	}
+	if err := vf.Validate(); err != nil {
+		fmt.Fprintln(stderr, "aipanvet:", err)
+		return 2
+	}
+
+	root, err := FindModuleRoot(vf.Dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "aipanvet:", err)
+		return 2
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "aipanvet:", err)
+		return 2
+	}
+	diags := Run(mod, DefaultConfig(), vf.selected())
+
+	if vf.WriteBaseline != "" {
+		if err := os.WriteFile(vf.WriteBaseline, FormatBaseline(diags), 0o644); err != nil {
+			fmt.Fprintln(stderr, "aipanvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "aipanvet: wrote %d baseline entries to %s (justifications pending)\n",
+			len(diags), vf.WriteBaseline)
+		return 0
+	}
+
+	var entries []BaselineEntry
+	switch vf.Baseline {
+	case "none":
+	case "":
+		if data, err := os.ReadFile(filepath.Join(root, DefaultBaselineName)); err == nil {
+			if entries, err = ParseBaseline(data); err != nil {
+				fmt.Fprintln(stderr, "aipanvet:", err)
+				return 2
+			}
+		}
+	default:
+		data, err := os.ReadFile(vf.Baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "aipanvet:", err)
+			return 2
+		}
+		if entries, err = ParseBaseline(data); err != nil {
+			fmt.Fprintln(stderr, "aipanvet:", err)
+			return 2
+		}
+	}
+	active, stale := ApplyBaseline(FilterBaseline(entries, vf.selected()), diags)
+
+	if vf.JSON {
+		var names []string
+		for _, c := range vf.selected() {
+			names = append(names, c.Name)
+		}
+		rep := jsonReport{
+			ModulePath: mod.Path, Checkers: names,
+			Diagnostics: active, Baselined: len(diags) - len(active), Stale: stale,
+		}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []Diagnostic{}
+		}
+		if rep.Stale == nil {
+			rep.Stale = []BaselineEntry{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "aipanvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range active {
+			fmt.Fprintln(stdout, d.String())
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stderr, "aipanvet: stale baseline entry (line %d, finding fixed? remove it): %s\n", e.Line, e.Key)
+		}
+	}
+	if len(active) > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
+}

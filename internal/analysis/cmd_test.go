@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVetFlagsValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		vf      VetFlags
+		wantErr string // substring; "" = valid
+	}{
+		{"defaults", VetFlags{Dir: "."}, ""},
+		{"empty dir", VetFlags{}, "-C must name a directory"},
+		{"json report", VetFlags{Dir: ".", JSON: true}, ""},
+		{"write baseline", VetFlags{Dir: ".", WriteBaseline: "b.txt"}, ""},
+		{"json and write-baseline", VetFlags{Dir: ".", JSON: true, WriteBaseline: "b.txt"}, "mutually exclusive"},
+		{"one checker", VetFlags{Dir: ".", Checks: "determinism"}, ""},
+		{"checker subset with spaces", VetFlags{Dir: ".", Checks: "goroutine, errwrap"}, ""},
+		{"unknown checker", VetFlags{Dir: ".", Checks: "determinism,spellcheck"}, "unknown checker"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.vf.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate(%+v) = %v, want nil", tc.vf, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate(%+v) = %v, want error containing %q", tc.vf, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestMainUsageErrors exercises the argv-level contract shared by
+// cmd/aipanvet and `aipan vet`: bad input is a usage error (exit 2)
+// before any module loading happens.
+func TestMainUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string // stderr substring
+	}{
+		{"unknown flag", []string{"-frobnicate"}, "flag provided but not defined"},
+		{"package pattern", []string{"./internal/core"}, "unsupported package pattern"},
+		{"json with write-baseline", []string{"-json", "-write-baseline", "b.txt", "./..."}, "mutually exclusive"},
+		{"unknown checker", []string{"-checks", "nope", "./..."}, "unknown checker"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errBuf strings.Builder
+			if code := Main(tc.argv, &out, &errBuf); code != 2 {
+				t.Fatalf("Main(%v) = %d, want 2 (stderr: %s)", tc.argv, code, errBuf.String())
+			}
+			if !strings.Contains(errBuf.String(), tc.want) {
+				t.Fatalf("Main(%v) stderr = %q, want substring %q", tc.argv, errBuf.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestVetSelectedResolvesSubset pins that -checks runs exactly the
+// named checkers, in the order given.
+func TestVetSelectedResolvesSubset(t *testing.T) {
+	vf := VetFlags{Dir: ".", Checks: "errwrap,determinism"}
+	got := vf.selected()
+	if len(got) != 2 || got[0].Name != "errwrap" || got[1].Name != "determinism" {
+		t.Fatalf("selected() = %v, want [errwrap determinism]", got)
+	}
+	if all := (&VetFlags{Dir: "."}).selected(); len(all) != len(Checkers()) {
+		t.Fatalf("empty -checks selected %d checkers, want all %d", len(all), len(Checkers()))
+	}
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// determinismChecker guards the paper's reproducibility claim (§3, §5):
+// the packages that produce dataset bytes must be pure functions of
+// (seed, corpus, taxonomy). Three nondeterminism sources are banned
+// inside Config.DeterministicPkgs:
+//
+//  1. time.Now — wall-clock reads belong to obs (inject obs.Clock).
+//  2. the global math/rand source — rand.Intn and friends share
+//     process-global state; only seeded *rand.Rand instances
+//     (rand.New(rand.NewSource(seed))) are deterministic.
+//  3. map iteration feeding output — ranging over a map and appending,
+//     sending, or writing rows leaks Go's randomized map order into the
+//     result, unless the enclosing function sorts afterwards
+//     (collect-then-sort is the repo's sanctioned pattern).
+//
+// webgen/russell/downstream (seeded rand) and obs (wall clock) are
+// allowlisted by construction: they are not in DeterministicPkgs.
+var determinismChecker = &Checker{
+	Name: "determinism",
+	Doc:  "no wall clock, global rand, or unsorted map iteration in dataset-producing packages",
+	Run:  runDeterminism,
+}
+
+// globalRandOK are the math/rand package-level functions that construct
+// seeded sources rather than draw from the global one.
+var globalRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runDeterminism(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if !p.Cfg.deterministic(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkDeterminismCall(p, pkg, n)
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						checkMapRanges(p, pkg, n.Body)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkDeterminismCall(p *Pass, pkg *Package, call *ast.CallExpr) {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	switch pkgPathOf(fn) {
+	case "time":
+		if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+			p.Reportf(call.Pos(),
+				"call to time.Now in deterministic package %s (inject an obs.Clock seam instead)", pkg.Path)
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() == nil && !globalRandOK[fn.Name()] {
+			p.Reportf(call.Pos(),
+				"use of the global math/rand source (rand.%s) in deterministic package %s (use a seeded rand.New(rand.NewSource(seed)))",
+				fn.Name(), pkg.Path)
+		}
+	}
+}
+
+// checkMapRanges walks one function body and flags map-range loops that
+// feed output without a later sort in the same function.
+func checkMapRanges(p *Pass, pkg *Package, body *ast.BlockStmt) {
+	// Collect the positions after which a sort call occurs.
+	var sortPositions []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcObj(pkg.Info, call); fn != nil {
+			switch pkgPathOf(fn) {
+			case "sort", "slices":
+				sortPositions = append(sortPositions, call.Pos())
+			}
+		}
+		return true
+	})
+	sortedAfter := func(pos token.Pos) bool {
+		for _, sp := range sortPositions {
+			if sp > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if reason := feedsOutput(pkg, rng.Body); reason != "" && !sortedAfter(rng.End()) {
+			p.Reportf(rng.Pos(),
+				"map iteration %s without a following sort leaks randomized map order into output in deterministic package %s",
+				reason, pkg.Path)
+		}
+		return true
+	})
+}
+
+// feedsOutput reports how a map-range body makes iteration order
+// observable: appending to a slice, sending on a channel, or calling an
+// order-sensitive sink method. Pure numeric accumulation and map/set
+// writes are commutative and therefore fine.
+func feedsOutput(pkg *Package, body *ast.BlockStmt) string {
+	// Order-sensitive sink methods in this codebase: table row builders
+	// and stream writers.
+	sinks := map[string]bool{
+		"Append": true, "AddRow": true, "Write": true, "WriteString": true,
+		"WriteRune": true, "WriteByte": true, "Fprintf": true, "Fprintln": true, "Fprint": true,
+		"Print": true, "Printf": true, "Println": true,
+	}
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			reason = "sending on a channel"
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "append" {
+					if _, isBuiltin := pkg.Info.Uses[fun].(*types.Builtin); isBuiltin {
+						reason = "appending to a slice"
+					}
+				}
+			case *ast.SelectorExpr:
+				if sinks[fun.Sel.Name] {
+					reason = "calling " + fun.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}

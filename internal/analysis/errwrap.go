@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errwrapChecker enforces the error-chain discipline resume and
+// refusal paths depend on: store/engine callers match sentinel and
+// wrapped errors with errors.Is/As, which only works when every
+// fmt.Errorf that carries an error operand uses %w. It also flags
+// silently discarded error returns (a bare `f()` expression statement
+// dropping an error) in non-test pipeline code — an ignored Append or
+// Close is how checkpoint corruption escapes unnoticed. An explicit
+// `_ = f()` stays legal: it is a visible, reviewable statement of
+// intent.
+var errwrapChecker = &Checker{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error operand uses %w; no silently discarded error returns",
+	Run:  runErrwrap,
+}
+
+// discardOK lists callees whose error returns are conventionally
+// meaningless to check: terminal printing (an error writing to stderr
+// has no recovery path) and in-memory builders documented never to fail.
+func discardOK(fn *types.Func) bool {
+	switch pkgPathOf(fn) {
+	case "fmt":
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// isHashInterface reports whether t is one of package hash's interfaces
+// (hash.Hash, hash.Hash32, hash.Hash64).
+func isHashInterface(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "hash" && strings.HasPrefix(named.Obj().Name(), "Hash")
+}
+
+func runErrwrap(p *Pass) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, pkg := range p.Module.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorf(p, pkg, n, errType)
+				case *ast.ExprStmt:
+					checkDiscard(p, pkg, n, errType)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls that format an error operand with
+// anything other than %w.
+func checkErrorf(p *Pass, pkg *Package, call *ast.CallExpr, errType *types.Interface) {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pkg.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.Implements(tv.Type, errType) || types.Implements(types.NewPointer(tv.Type), errType) {
+			p.Reportf(arg.Pos(),
+				"fmt.Errorf formats an error operand without %%w (breaks errors.Is/As matching up the chain)")
+			return
+		}
+	}
+}
+
+// checkDiscard flags expression statements whose call result includes an
+// error that nothing consumes.
+func checkDiscard(p *Pass, pkg *Package, stmt *ast.ExprStmt, errType *types.Interface) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || discardOK(fn) {
+		return
+	}
+	// hash.Hash.Write (reached through the embedded io.Writer method) is
+	// documented to never return an error; recognize it by the static
+	// receiver type at the call site.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := pkg.Info.Types[sel.X]; ok && isHashInterface(tv.Type) {
+			return
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Implements(sig.Results().At(i).Type(), errType) {
+			p.Reportf(call.Pos(),
+				"error return of %s silently discarded (handle it, or discard explicitly with _ =)", fn.Name())
+			return
+		}
+	}
+}

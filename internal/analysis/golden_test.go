@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The module is loaded once and shared by every test in the package:
+// from-source type-checking of the stdlib closure is the dominant cost.
+var (
+	modOnce sync.Once
+	modVal  *Module
+	modErr  error
+
+	tdOnce sync.Once
+	tdPkgs map[string]*Package
+	tdErr  error
+)
+
+func loadRepo(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			modErr = err
+			return
+		}
+		modVal, modErr = LoadModule(root)
+	})
+	if modErr != nil {
+		t.Fatalf("LoadModule: %v", modErr)
+	}
+	return modVal
+}
+
+// loadTestdata loads every golden corpus package exactly once, against
+// the shared module (met imports the real internal/obs).
+func loadTestdata(t *testing.T) map[string]*Package {
+	t.Helper()
+	mod := loadRepo(t)
+	tdOnce.Do(func() {
+		tdPkgs = map[string]*Package{}
+		for _, name := range []string{"det", "gor", "ctx", "met", "wrap"} {
+			pkg, err := mod.LoadPackageDir(filepath.Join("testdata", "src", name), name)
+			if err != nil {
+				tdErr = fmt.Errorf("loading testdata %s: %w", name, err)
+				return
+			}
+			tdPkgs[name] = pkg
+		}
+	})
+	if tdErr != nil {
+		t.Fatalf("%v", tdErr)
+	}
+	return tdPkgs
+}
+
+// testModule wraps one testdata package as a standalone analysis target.
+// Path is empty so the ctxthread call graph treats the package's own
+// functions as module-internal.
+func testModule(mod *Module, pkg *Package) *Module {
+	return &Module{Root: mod.Root, Path: "", Fset: mod.Fset, Pkgs: []*Package{pkg}}
+}
+
+// wantAt extracts `// want <regex>` expectations per line of the
+// package's files.
+func wantAt(t *testing.T, mod *Module, pkg *Package) map[int]*regexp.Regexp {
+	t.Helper()
+	wants := map[int]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				re, err := regexp.Compile(strings.TrimSpace(text))
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", text, err)
+				}
+				wants[mod.Fset.Position(c.Pos()).Line] = re
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata package %s has no // want annotations", pkg.Path)
+	}
+	return wants
+}
+
+// runGolden checks one checker against one testdata package: every want
+// line must produce a matching diagnostic, and no diagnostic may appear
+// on an unannotated line.
+func runGolden(t *testing.T, checker, pkgName string, cfg Config) {
+	t.Helper()
+	mod := loadRepo(t)
+	pkg := loadTestdata(t)[pkgName]
+	view := testModule(mod, pkg)
+	diags := Run(view, cfg, []*Checker{CheckerByName(checker)})
+	wants := wantAt(t, mod, pkg)
+	matched := map[int]bool{}
+	for _, d := range diags {
+		re, ok := wants[d.Line]
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s", d.File, d.Line, d.Check, d.Message)
+			continue
+		}
+		if !re.MatchString(d.Message) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", d.File, d.Line, d.Message, re)
+			continue
+		}
+		matched[d.Line] = true
+	}
+	for line, re := range wants {
+		if !matched[line] {
+			t.Errorf("missing diagnostic at line %d: want match for %q", line, re)
+		}
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DeterministicPkgs = []string{"det"}
+	runGolden(t, "determinism", "det", cfg)
+}
+
+// TestDeterminismOutOfScope is the by-construction allowlist: the same
+// corpus in a package that is not deterministic (a seeded generator, the
+// obs layer) produces nothing.
+func TestDeterminismOutOfScope(t *testing.T) {
+	mod := loadRepo(t)
+	view := testModule(mod, loadTestdata(t)["det"])
+	cfg := DefaultConfig() // det is not in DeterministicPkgs
+	if diags := Run(view, cfg, []*Checker{CheckerByName("determinism")}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestGoroutineGolden(t *testing.T) {
+	runGolden(t, "goroutine", "gor", DefaultConfig())
+}
+
+// TestGoroutineAllowlisted: the identical package inside GoroutinePkgs
+// (how internal/engine and internal/obs are exempted) is silent.
+func TestGoroutineAllowlisted(t *testing.T) {
+	mod := loadRepo(t)
+	view := testModule(mod, loadTestdata(t)["gor"])
+	cfg := DefaultConfig()
+	cfg.GoroutinePkgs = append(cfg.GoroutinePkgs, "gor")
+	if diags := Run(view, cfg, []*Checker{CheckerByName("goroutine")}); len(diags) != 0 {
+		t.Fatalf("allowlisted package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestCtxthreadGolden(t *testing.T) {
+	runGolden(t, "ctxthread", "ctx", DefaultConfig())
+}
+
+func TestMetricnameGolden(t *testing.T) {
+	runGolden(t, "metricname", "met", DefaultConfig())
+}
+
+func TestErrwrapGolden(t *testing.T) {
+	runGolden(t, "errwrap", "wrap", DefaultConfig())
+}
+
+// TestDiagnosticOrderIsLoadOrderInvariant runs the full registry over
+// the module with the package list reversed and rotated; the report
+// must be byte-identical — diagnostic ordering is a sort guarantee, not
+// a load-order accident.
+func TestDiagnosticOrderIsLoadOrderInvariant(t *testing.T) {
+	mod := loadRepo(t)
+	baseline := Run(mod, DefaultConfig(), Checkers())
+	render := func(ds []Diagnostic) string {
+		var b strings.Builder
+		for _, d := range ds {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	want := render(baseline)
+
+	perms := [][]*Package{reversed(mod.Pkgs), rotated(mod.Pkgs, 7), rotated(mod.Pkgs, len(mod.Pkgs)/2)}
+	for i, pkgs := range perms {
+		shuffled := &Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: pkgs}
+		if got := render(Run(shuffled, DefaultConfig(), Checkers())); got != want {
+			t.Errorf("permutation %d changed the report:\nwant:\n%s\ngot:\n%s", i, want, got)
+		}
+	}
+}
+
+func reversed(pkgs []*Package) []*Package {
+	out := make([]*Package, len(pkgs))
+	for i, p := range pkgs {
+		out[len(pkgs)-1-i] = p
+	}
+	return out
+}
+
+func rotated(pkgs []*Package, by int) []*Package {
+	if len(pkgs) == 0 {
+		return nil
+	}
+	by %= len(pkgs)
+	return append(append([]*Package{}, pkgs[by:]...), pkgs[:by]...)
+}
+
+// TestCheckerDocs: every registered checker is named, documented, and
+// findable by name.
+func TestCheckerDocs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Checkers() {
+		if c.Name == "" || c.Doc == "" || c.Run == nil {
+			t.Errorf("checker %+v is missing name, doc, or run", c)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate checker name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if CheckerByName(c.Name) != c {
+			t.Errorf("CheckerByName(%q) did not return the registered checker", c.Name)
+		}
+	}
+	if CheckerByName("no-such-checker") != nil {
+		t.Error("CheckerByName of unknown name should be nil")
+	}
+}

@@ -1,0 +1,33 @@
+package analysis
+
+import "go/ast"
+
+// goroutineChecker enforces the engine monopoly on concurrency: outside
+// Config.GoroutinePkgs (internal/engine and internal/obs), no package
+// may contain a go statement. Everything else must run through
+// engine.Stage or engine.Limiter, which is what guarantees
+// submission-order delivery (determinism across worker counts) and
+// cancellation drain (no goroutine outlives its Map call). A naked
+// goroutine added anywhere on the pipeline path silently forfeits both.
+var goroutineChecker = &Checker{
+	Name: "goroutine",
+	Doc:  "go statements only in internal/engine and internal/obs; use engine.Stage/Limiter elsewhere",
+	Run:  runGoroutine,
+}
+
+func runGoroutine(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if p.Cfg.goroutineOK(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.Reportf(g.Pos(),
+						"naked go statement in %s: route concurrency through engine.Stage or engine.Limiter", pkg.Path)
+				}
+				return true
+			})
+		}
+	}
+}

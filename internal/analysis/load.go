@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module.
+type Package struct {
+	Path  string // import path ("aipan/internal/core")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the fully loaded target: every non-test package under the
+// module root, type-checked against a from-source stdlib importer.
+type Module struct {
+	Root string // absolute module root (directory of go.mod)
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*Package // sorted by import path
+
+	imp *moduleImporter
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod []byte) (string, error) {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: go.mod has no module directive")
+}
+
+// moduleImporter resolves module-internal imports from the loaded set
+// and everything else (the stdlib) through a from-source importer, so
+// the tool needs no compiled export data and no third-party loader.
+type moduleImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (skipping testdata, hidden, and scripts directories). Test files are
+// excluded: the invariants govern shipped pipeline code, and test-only
+// wall-clock or goroutine use is legitimate.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s is not a module root: %w", root, err)
+	}
+	modPath, err := modulePath(gomod)
+	if err != nil {
+		return nil, err
+	}
+
+	// The stdlib is type-checked from GOROOT source; cgo variants of net
+	// et al. cannot be (no preprocessor), so force the pure-Go builds.
+	build.Default.CgoEnabled = false
+
+	fset := token.NewFileSet()
+	mod := &Module{
+		Root: root, Path: modPath, Fset: fset,
+		imp: &moduleImporter{
+			pkgs:     map[string]*types.Package{},
+			fallback: importer.ForCompiler(fset, "source", nil),
+		},
+	}
+
+	type parsed struct {
+		pkg     *Package
+		imports map[string]bool
+	}
+	var order []string
+	byPath := map[string]*parsed{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "scripts" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := byPath[importPath]
+		if p == nil {
+			p = &parsed{pkg: &Package{Path: importPath, Dir: dir}, imports: map[string]bool{}}
+			byPath[importPath] = p
+			order = append(order, importPath)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		p.pkg.Files = append(p.pkg.Files, f)
+		for _, im := range f.Imports {
+			p.imports[strings.Trim(im.Path.Value, `"`)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+
+	// Type-check module packages in dependency order: repeatedly check
+	// every package whose module-internal imports are already done.
+	done := 0
+	for done < len(order) {
+		progress := false
+		for _, path := range order {
+			p := byPath[path]
+			if p.pkg.Types != nil {
+				continue
+			}
+			ready := true
+			for im := range p.imports {
+				if byPath[im] != nil && byPath[im].pkg.Types == nil {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if err := mod.typeCheck(p.pkg); err != nil {
+				return nil, err
+			}
+			done++
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("analysis: import cycle among module packages")
+		}
+	}
+	for _, path := range order {
+		mod.Pkgs = append(mod.Pkgs, byPath[path].pkg)
+	}
+	return mod, nil
+}
+
+// typeCheck populates pkg.Types and pkg.Info and registers the package
+// with the module importer.
+func (m *Module) typeCheck(pkg *Package) error {
+	// Deterministic type-check input: files in name order regardless of
+	// directory-walk order.
+	sort.Slice(pkg.Files, func(i, j int) bool {
+		return m.Fset.File(pkg.Files[i].Pos()).Name() < m.Fset.File(pkg.Files[j].Pos()).Name()
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: m.imp}
+	tpkg, err := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types, pkg.Info = tpkg, info
+	m.imp.pkgs[pkg.Path] = tpkg
+	return nil
+}
+
+// LoadPackageDir parses and type-checks one extra directory (a checker's
+// testdata package) as importPath, resolving module-internal imports
+// against the already loaded module. The package is returned but not
+// added to mod.Pkgs.
+func (m *Module) LoadPackageDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Path: importPath, Dir: dir}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	if err := m.typeCheck(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}

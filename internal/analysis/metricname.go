@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// metricnameChecker keeps the /metrics surface coherent: every metric
+// name registered through the internal/obs constructors must be a
+// string literal (greppable, diffable) matching ^<prefix>_[a-z0-9_]+$,
+// and must carry the unit suffix its kind mandates — counters end in
+// _total, histograms in _seconds or _bytes, and gauges in neither
+// (a gauge named like a counter lies to every dashboard that rates it).
+var metricnameChecker = &Checker{
+	Name: "metricname",
+	Doc:  "obs metric names are literals matching ^aipan_[a-z0-9_]+$ with kind-correct unit suffixes",
+	Run:  runMetricname,
+}
+
+// metricKinds maps obs.Registry constructor names to the metric kind
+// they register.
+var metricKinds = map[string]string{
+	"Counter": "counter", "CounterVec": "counter",
+	"Gauge": "gauge", "GaugeVec": "gauge",
+	"Histogram": "histogram", "HistogramVec": "histogram",
+}
+
+var metricNameShape = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runMetricname(p *Pass) {
+	prefix := p.Cfg.MetricPrefix
+	if prefix == "" {
+		prefix = "aipan"
+	}
+	for _, pkg := range p.Module.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObj(pkg.Info, call)
+				if fn == nil || pkgPathOf(fn) != "aipan/internal/obs" {
+					return true
+				}
+				kind, ok := metricKinds[fn.Name()]
+				if !ok || !isRegistryMethod(fn) || len(call.Args) == 0 {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				tv, ok := pkg.Info.Types[arg]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					p.Reportf(call.Args[0].Pos(),
+						"metric name passed to obs.Registry.%s must be a string constant", fn.Name())
+					return true
+				}
+				checkMetricName(p, arg, kind, prefix, constant.StringVal(tv.Value))
+				return true
+			})
+		}
+	}
+}
+
+// isRegistryMethod confirms the callee is a method on *obs.Registry —
+// obs.Counter the instrument type has methods with colliding names.
+func isRegistryMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+func checkMetricName(p *Pass, arg ast.Expr, kind, prefix, name string) {
+	if !strings.HasPrefix(name, prefix+"_") {
+		p.Reportf(arg.Pos(), "metric %q must start with %q", name, prefix+"_")
+		return
+	}
+	if !metricNameShape.MatchString(name) {
+		p.Reportf(arg.Pos(), "metric %q must match ^%s_[a-z0-9_]+$ (lowercase snake_case only)", name, prefix)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			p.Reportf(arg.Pos(), "counter %q must end in _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			p.Reportf(arg.Pos(), "histogram %q must end in a unit suffix (_seconds or _bytes)", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			p.Reportf(arg.Pos(), "gauge %q must not end in _total (that suffix marks counters)", name)
+		}
+	}
+}

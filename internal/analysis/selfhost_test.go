@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfHost is the tier-1 gate: aipanvet run over its own repository
+// must be clean — zero non-baselined diagnostics and zero stale
+// baseline entries. Deliberately inserting a time.Now() into
+// internal/annotate or a naked `go func` into internal/core fails this
+// test (and therefore `go test ./...`).
+func TestSelfHost(t *testing.T) {
+	mod := loadRepo(t)
+	diags := Run(mod, DefaultConfig(), Checkers())
+
+	var entries []BaselineEntry
+	data, err := os.ReadFile(filepath.Join(mod.Root, DefaultBaselineName))
+	if err == nil {
+		entries, err = ParseBaseline(data)
+		if err != nil {
+			t.Fatalf("committed baseline is malformed: %v", err)
+		}
+	} else if !os.IsNotExist(err) {
+		t.Fatalf("reading baseline: %v", err)
+	}
+
+	active, stale := ApplyBaseline(entries, diags)
+	for _, d := range active {
+		t.Errorf("non-baselined finding: %s", d.String())
+	}
+	for _, e := range stale {
+		t.Errorf("stale baseline entry (finding fixed? remove line %d): %s", e.Line, e.Key)
+	}
+}
+
+// TestSelfHostCoversDeterministicPackages pins the gate's scope: the
+// packages on the dataset byte path must stay in the determinism
+// checker's scope, and the engine/obs goroutine monopoly must hold.
+// Narrowing DefaultConfig silently would disarm the acceptance
+// guarantee above.
+func TestSelfHostCoversDeterministicPackages(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, must := range []string{
+		"aipan/internal/core", "aipan/internal/annotate", "aipan/internal/segment",
+		"aipan/internal/taxonomy", "aipan/internal/stats", "aipan/internal/store",
+		"aipan/internal/report",
+	} {
+		if !cfg.deterministic(must) {
+			t.Errorf("DeterministicPkgs no longer covers %s", must)
+		}
+	}
+	if cfg.deterministic("aipan/internal/webgen") || cfg.deterministic("aipan/internal/obs") {
+		t.Error("seeded generators and obs must stay allowlisted by construction, not scoped in")
+	}
+	if !cfg.goroutineOK("aipan/internal/engine") || !cfg.goroutineOK("aipan/internal/obs") {
+		t.Error("engine and obs must remain the only goroutine-bearing packages")
+	}
+	if cfg.goroutineOK("aipan/internal/core") {
+		t.Error("core must not be allowed naked goroutines")
+	}
+}

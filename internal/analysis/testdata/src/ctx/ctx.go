@@ -1,0 +1,51 @@
+// Package ctx is the ctxthread checker's golden corpus.
+package ctx
+
+import (
+	"context"
+	"time"
+)
+
+func Nap() { // want exported Nap blocks \(time\.Sleep\)
+	time.Sleep(time.Millisecond)
+}
+
+// NapCtx blocks but takes ctx first — the contract the checker wants.
+func NapCtx(ctx context.Context, d time.Duration) {
+	_ = ctx
+	time.Sleep(d)
+}
+
+func Indirect() { // want exported Indirect blocks \(calls helper \(time\.Sleep\)\)
+	helper()
+}
+
+func helper() { time.Sleep(time.Millisecond) }
+
+func Recv(ch chan int) int { // want exported Recv blocks \(channel receive\)
+	return <-ch
+}
+
+// Spawn hands the blocking send to a goroutine; the spawner itself
+// returns immediately, so it needs no ctx.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// TryRecv uses a select with default: non-blocking by construction.
+func TryRecv(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+type waiter struct{ ch chan int }
+
+// Wait blocks, but its receiver type is unexported — not public API,
+// so the exported-surface contract does not apply.
+func (w waiter) Wait() int {
+	return <-w.ch
+}

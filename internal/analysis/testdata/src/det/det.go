@@ -1,0 +1,51 @@
+// Package det is the determinism checker's golden corpus: each site
+// marked `// want <regex>` must produce exactly that finding, and the
+// unmarked sites are the sanctioned patterns that must stay silent.
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want call to time\.Now in deterministic package
+}
+
+func draw() int {
+	return rand.Intn(10) // want global math/rand source \(rand\.Intn\)
+}
+
+// seeded is the allowlisted pattern: an explicit seeded source.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want map iteration appending to a slice without a following sort
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted is the sanctioned collect-then-sort pattern.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sum accumulates commutatively; iteration order cannot leak.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

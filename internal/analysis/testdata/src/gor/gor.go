@@ -1,0 +1,14 @@
+// Package gor is the goroutine checker's golden corpus. The same
+// package is loaded twice by the test: once outside the allowlist
+// (the want below fires) and once inside it (nothing fires) — the
+// allowlisted negative.
+package gor
+
+func spawn(f func()) {
+	go f() // want naked go statement
+}
+
+// serial is ordinary code: calling a function value is not spawning.
+func serial(f func()) {
+	f()
+}

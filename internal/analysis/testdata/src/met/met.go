@@ -1,0 +1,21 @@
+// Package met is the metricname checker's golden corpus; it registers
+// against the real internal/obs constructors.
+package met
+
+import "aipan/internal/obs"
+
+// goodName is the allowlisted shape: a named string constant still
+// resolves and validates.
+const goodName = "aipan_demo_items_total"
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.Counter(goodName, "ok")
+	reg.Counter("demo_total", "x")                  // want metric "demo_total" must start with "aipan_"
+	reg.Counter("aipan_demo", "x")                  // want counter "aipan_demo" must end in _total
+	reg.Gauge("aipan_items_total", "x")             // want gauge "aipan_items_total" must not end in _total
+	reg.Histogram("aipan_latency", "x", nil)        // want histogram "aipan_latency" must end in a unit suffix
+	reg.Histogram("aipan_latency_seconds", "x", nil)
+	reg.GaugeVec("aipan_queue_depth", "ok", "stage")
+	reg.CounterVec("aipan_Bad_total", "x", "l") // want lowercase snake_case
+	reg.Counter(dynamic, "x")                   // want must be a string constant
+}

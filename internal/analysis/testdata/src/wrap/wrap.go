@@ -1,0 +1,38 @@
+// Package wrap is the errwrap checker's golden corpus.
+package wrap
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// wrapped is the contract: error operands travel through %w.
+func wrapped(err error) error {
+	return fmt.Errorf("doing thing: %w", err)
+}
+
+func unwrapped(err error) error {
+	return fmt.Errorf("doing thing: %v", err) // want fmt\.Errorf formats an error operand without %w
+}
+
+// noErrOperand formats plain data; nothing to wrap.
+func noErrOperand(name string) error {
+	return fmt.Errorf("unknown task %q", name)
+}
+
+func discard(path string) {
+	os.Remove(path) // want error return of Remove silently discarded
+}
+
+// explicit is the sanctioned spelling of an intentional discard.
+func explicit(path string) {
+	_ = os.Remove(path)
+}
+
+// printing exercises the conventional allowlist: terminal printing and
+// in-memory builders never have a recovery path.
+func printing(b *strings.Builder) {
+	fmt.Println("hi")
+	b.WriteString("x")
+}

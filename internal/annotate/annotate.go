@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"aipan/internal/chatbot"
 	"aipan/internal/engine"
@@ -106,6 +105,13 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(a *Annotator) { a.reg = reg; a.met = newAnnMetrics(reg) }
 }
 
+// WithClock replaces the annotator's time source for its latency metrics
+// (default obs.SystemClock). Annotation content never reads the clock —
+// that is the determinism contract aipanvet enforces.
+func WithClock(clock obs.Clock) Option {
+	return func(a *Annotator) { a.clock = clock }
+}
+
 // Annotator runs the §3.2.2 annotation tasks through a chatbot.
 type Annotator struct {
 	bot          chatbot.Chatbot
@@ -114,6 +120,7 @@ type Annotator struct {
 	sectionFirst bool
 	reg          *obs.Registry
 	met          *annMetrics
+	clock        obs.Clock
 	aspects      *engine.Stage[aspectCall, Result]
 }
 
@@ -140,7 +147,7 @@ func newAnnMetrics(reg *obs.Registry) *annMetrics {
 
 // New builds an Annotator around a chatbot backend.
 func New(bot chatbot.Chatbot, opts ...Option) *Annotator {
-	a := &Annotator{bot: bot, glossarySize: 0, verify: true, sectionFirst: true}
+	a := &Annotator{bot: bot, glossarySize: 0, verify: true, sectionFirst: true, clock: obs.SystemClock}
 	for _, o := range opts {
 		o(a)
 	}
@@ -151,9 +158,9 @@ func New(bot chatbot.Chatbot, opts ...Option) *Annotator {
 		func(ctx context.Context, call aspectCall) (Result, error) {
 			partial := Result{FallbackUsed: map[string]bool{}}
 			actx, span := obs.StartSpan(ctx, "annotate."+call.name)
-			start := time.Now()
+			start := a.clock()
 			err := call.fn(actx, call.dc, &partial)
-			a.met.aspectDur.With(call.name).Observe(time.Since(start).Seconds())
+			a.met.aspectDur.With(call.name).Observe(a.clock().Sub(start).Seconds())
 			span.End()
 			return partial, err
 		})

@@ -34,6 +34,7 @@ type Client struct {
 	cacheHits   int
 	failedCalls int
 	met         *clientMetrics
+	clock       obs.Clock
 }
 
 // clientMetrics is the client's instrument set: call latency per task,
@@ -105,6 +106,12 @@ func WithRegistry(reg *obs.Registry) ClientOption {
 	return func(c *Client) { c.met = newClientMetrics(reg) }
 }
 
+// WithClock replaces the client's time source for its latency metrics
+// (default obs.SystemClock).
+func WithClock(clock obs.Clock) ClientOption {
+	return func(c *Client) { c.clock = clock }
+}
+
 // NewClient wraps bot.
 func NewClient(bot Chatbot, opts ...ClientOption) *Client {
 	c := &Client{
@@ -114,6 +121,7 @@ func NewClient(bot Chatbot, opts ...ClientOption) *Client {
 		retryDelay: 50 * time.Millisecond,
 		cache:      map[string]Response{},
 		cacheOn:    true,
+		clock:      obs.SystemClock,
 	}
 	for _, o := range opts {
 		o(c)
@@ -157,8 +165,8 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 	defer c.lim.Release()
 	c.met.inflight.Inc()
 	defer c.met.inflight.Dec()
-	start := time.Now()
-	defer func() { c.met.callDur.With(req.Task).Observe(time.Since(start).Seconds()) }()
+	start := c.clock()
+	defer func() { c.met.callDur.With(req.Task).Observe(c.clock().Sub(start).Seconds()) }()
 
 	var resp Response
 	var err error

@@ -46,10 +46,11 @@ type Policy struct {
 // safe to run concurrently (the crawler shares one fetch stage across
 // all in-flight domains).
 type Stage[In, Out any] struct {
-	name string
-	pol  Policy
-	fn   func(context.Context, In) (Out, error)
-	met  *stageMetrics
+	name  string
+	pol   Policy
+	fn    func(context.Context, In) (Out, error)
+	met   *stageMetrics
+	clock obs.Clock
 }
 
 // stageMetrics feeds the obs registry. All engine stages share four
@@ -87,7 +88,17 @@ func newStageMetrics(reg *obs.Registry, stage string) *stageMetrics {
 // (nil = the process-wide default registry); name labels them.
 func NewStage[In, Out any](reg *obs.Registry, name string, pol Policy,
 	fn func(context.Context, In) (Out, error)) *Stage[In, Out] {
-	return &Stage[In, Out]{name: name, pol: pol, fn: fn, met: newStageMetrics(reg, name)}
+	return &Stage[In, Out]{name: name, pol: pol, fn: fn,
+		met: newStageMetrics(reg, name), clock: obs.SystemClock}
+}
+
+// WithClock replaces the stage's time source for its duration metrics
+// (default obs.SystemClock) and returns the stage for chaining. Item
+// execution itself never reads the clock, so a frozen clock does not
+// change stage semantics — only the recorded latencies.
+func (s *Stage[In, Out]) WithClock(c obs.Clock) *Stage[In, Out] {
+	s.clock = c
+	return s
 }
 
 // Map runs fn over every item with at most Policy.Workers in flight and
@@ -186,10 +197,10 @@ func (s *Stage[In, Out]) MapDeliver(ctx context.Context, items []In,
 // and outcome.
 func (s *Stage[In, Out]) runItem(ctx context.Context, item In) (Out, error) {
 	s.met.inflight.Inc()
-	start := time.Now()
+	start := s.clock()
 	defer func() {
 		s.met.inflight.Dec()
-		s.met.dur.Observe(time.Since(start).Seconds())
+		s.met.dur.Observe(s.clock().Sub(start).Seconds())
 	}()
 
 	var out Out

@@ -1,0 +1,17 @@
+package obs
+
+import "time"
+
+// Clock is an injectable time source. Wall-clock reads are an
+// observability concern: latency histograms, span durations, and log
+// timestamps need one, but the deterministic pipeline packages must not
+// call time.Now directly (the aipanvet determinism checker enforces
+// this). Components that measure time take a Clock and default to
+// SystemClock, so tests can freeze time and the checker can whitelist
+// the single seam instead of every call site.
+type Clock func() time.Time
+
+// SystemClock is the production Clock: the real wall clock. It is the
+// one audited place outside obs internals where pipeline timing reads
+// originate.
+func SystemClock() time.Time { return time.Now() }

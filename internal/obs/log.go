@@ -60,7 +60,7 @@ type Logger struct {
 	out       io.Writer
 	level     *atomic.Int32
 	component string
-	now       func() time.Time
+	now       Clock
 }
 
 // NewLogger builds a logger writing one line per event to w, dropping
@@ -68,7 +68,7 @@ type Logger struct {
 func NewLogger(w io.Writer, level Level) *Logger {
 	lv := &atomic.Int32{}
 	lv.Store(int32(level))
-	return &Logger{mu: &sync.Mutex{}, out: w, level: lv, now: time.Now}
+	return &Logger{mu: &sync.Mutex{}, out: w, level: lv, now: SystemClock}
 }
 
 // With returns a child logger scoped to a component; nested scopes join

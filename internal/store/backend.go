@@ -96,7 +96,7 @@ func (s *JSONL) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.buf.Flush(); err != nil {
-		s.f.Close()
+		_ = s.f.Close()
 		return fmt.Errorf("store: flushing %s: %w", s.path, err)
 	}
 	if err := s.f.Close(); err != nil {

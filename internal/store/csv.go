@@ -24,7 +24,7 @@ func WriteAnnotationsCSV(path string, records []Record) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write(annotationHeader); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 	for i := range records {
@@ -38,14 +38,14 @@ func WriteAnnotationsCSV(path string, records []Record) error {
 				a.Scope,
 			}
 			if err := w.Write(row); err != nil {
-				f.Close()
+				_ = f.Close()
 				return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
 			}
 		}
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: flushing csv: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -69,7 +69,7 @@ func WriteDomainsCSV(path string, records []Record) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write(domainHeader); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 	for i := range records {
@@ -84,13 +84,13 @@ func WriteDomainsCSV(path string, records []Record) error {
 			strconv.Itoa(len(rec.Annotations)),
 		}
 		if err := w.Write(row); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
 		}
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: flushing csv: %w", err)
 	}
 	if err := f.Close(); err != nil {

@@ -67,12 +67,12 @@ func WriteJSONL(path string, records []Record) error {
 	enc := json.NewEncoder(w)
 	for i := range records {
 		if err := enc.Encode(&records[i]); err != nil {
-			tmp.Close()
+			_ = tmp.Close()
 			return fmt.Errorf("store: encoding record %d (%s): %w", i, records[i].Domain, err)
 		}
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("store: flushing: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

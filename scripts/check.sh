@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the aipan repo: build, vet (both Go's and ours), and
+# test — including the race detector over the concurrency-bearing
+# packages. CI and the verify skill run exactly this script; if it
+# passes, the PR is mergeable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> aipanvet ./... (repo-specific static analysis)"
+go run ./cmd/aipanvet ./...
+
+echo "==> go test -race (engine, core, obs)"
+go test -race ./internal/engine/... ./internal/core/... ./internal/obs/...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "OK: all tier-1 checks passed"
