@@ -375,15 +375,60 @@ func Ask(question string, anns []Annotation) (QAAnswer, bool) {
 	return qa.Ask(question, anns)
 }
 
-// NewDatasetServer exposes a dataset over the HTTP/JSON API documented in
-// internal/server (summary, domains, per-domain records, nutrition labels,
-// question answering, risk scores, paper tables).
-func NewDatasetServer(records []Record) http.Handler {
+// DatasetServer serves a dataset over the versioned HTTP/JSON API
+// documented in internal/server: /v1/summary, paginated /v1/domains,
+// per-domain records, nutrition labels, question answering, risk
+// scores, and paper tables, with response caching, conditional GET,
+// rate limiting, and load shedding built in. It implements
+// http.Handler.
+type DatasetServer = server.Server
+
+// DatasetSource supplies the records a DatasetServer indexes; Refresh
+// re-reads it to serve a new dataset generation.
+type DatasetSource = server.Source
+
+// ServerOption configures a DatasetServer (see WithServerRegistry,
+// WithServerRateLimit, WithServerCacheSize, and friends).
+type ServerOption = server.Option
+
+// DatasetRecords adapts an in-memory record slice into a DatasetSource.
+func DatasetRecords(records []Record) DatasetSource { return server.Records(records) }
+
+// DatasetFromStore adapts any store backend into a DatasetSource,
+// without an intermediate JSONL export.
+func DatasetFromStore(st DatasetStore) DatasetSource { return server.FromStore(st) }
+
+// NewDatasetServer builds the production dataset server: it loads and
+// indexes src once, then serves every read from immutable precomputed
+// views.
+func NewDatasetServer(src DatasetSource, opts ...ServerOption) (*DatasetServer, error) {
+	return server.NewServer(src, opts...)
+}
+
+// Server options, re-exported so callers can tune the serving layer
+// without importing internal packages.
+var (
+	WithServerRegistry       = server.WithRegistry
+	WithServerLogger         = server.WithLogger
+	WithServerRateLimit      = server.WithRateLimit
+	WithServerCacheSize      = server.WithCacheSize
+	WithServerMaxInflight    = server.WithMaxInflight
+	WithServerRequestTimeout = server.WithRequestTimeout
+)
+
+// NewDatasetServerFromRecords exposes an in-memory dataset over the
+// HTTP/JSON API.
+//
+// Deprecated: use NewDatasetServer(DatasetRecords(records)) — it
+// returns the configurable *DatasetServer instead of a bare handler.
+func NewDatasetServerFromRecords(records []Record) http.Handler {
 	return server.New(records)
 }
 
 // NewDatasetServerFromStore exposes a dataset held in any store backend
-// over the same HTTP/JSON API, without an intermediate JSONL export.
+// over the same HTTP/JSON API.
+//
+// Deprecated: use NewDatasetServer(DatasetFromStore(st)).
 func NewDatasetServerFromStore(st DatasetStore) (http.Handler, error) {
 	return server.NewFromStore(st)
 }

@@ -8,6 +8,7 @@
 //	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
 //	aipan validate --data aipan.jsonl [--seed 3000]
 //	aipan compare-models [--n 20] [--seed 3000]
+//	aipan serve    --data aipan.jsonl [--store sharded:N] [--addr :8090] [--rps 50 --burst 100] [--max-inflight 256] [--cache-size 1024] [--request-timeout 15s] [--drain-timeout 10s] [--log-level info]
 //	aipan vet      [-json] [-baseline aipanvet.baseline|none] [-checks a,b] ./...
 //	aipan all      --out aipan.jsonl [--limit N]
 package main
@@ -18,7 +19,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"aipan"
@@ -84,7 +87,7 @@ commands:
   train           distill the chatbot annotations into an offline classifier
   prompts         print the chatbot task prompts (Figure 2 / Appendix C)
   diff            compare two dataset snapshots (trend analysis)
-  serve           expose a dataset over an HTTP/JSON API
+  serve           expose a dataset over the versioned /v1 HTTP/JSON API
   vet             run the repo's own static-analysis checkers (aipanvet)
   all             run + funnel + all tables + validation in one go`)
 }
@@ -472,18 +475,63 @@ func cmdDiff(args []string) error {
 	return nil
 }
 
+// serveFlags are the serving-layer knobs, validated as a set before the
+// store is opened (mirrors runFlags.validate for the pipeline commands).
+type serveFlags struct {
+	storeSpec      string
+	rps            float64
+	burst          int
+	maxInflight    int
+	requestTimeout time.Duration
+	cacheSize      int
+	drainTimeout   time.Duration
+}
+
+func (sf *serveFlags) validate() error {
+	if sf.storeSpec == "mem" {
+		return fmt.Errorf("serve needs a persistent dataset; --store must be jsonl or sharded:N")
+	}
+	if sf.rps < 0 {
+		return fmt.Errorf("--rps must be non-negative (got %g; 0 disables rate limiting)", sf.rps)
+	}
+	if sf.burst < 0 {
+		return fmt.Errorf("--burst must be non-negative (got %d; 0 derives it from --rps)", sf.burst)
+	}
+	if sf.maxInflight < 1 {
+		return fmt.Errorf("--max-inflight must be positive (got %d)", sf.maxInflight)
+	}
+	if sf.requestTimeout <= 0 {
+		return fmt.Errorf("--request-timeout must be positive (got %v)", sf.requestTimeout)
+	}
+	if sf.cacheSize < 0 {
+		return fmt.Errorf("--cache-size must be non-negative (got %d; 0 disables caching)", sf.cacheSize)
+	}
+	if sf.drainTimeout <= 0 {
+		return fmt.Errorf("--drain-timeout must be positive (got %v)", sf.drainTimeout)
+	}
+	return nil
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	data := fs.String("data", "aipan.jsonl", "dataset path (file, or shard directory with --store=sharded:N)")
-	storeSpec := fs.String("store", "jsonl", "dataset storage backend: jsonl | sharded:N")
 	addr := fs.String("addr", ":8090", "listen address")
+	logLevel := fs.String("log-level", "", "structured request logs to stderr: debug | info | warn | error (default off)")
+	var sf serveFlags
+	fs.StringVar(&sf.storeSpec, "store", "jsonl", "dataset storage backend: jsonl | sharded:N")
+	fs.Float64Var(&sf.rps, "rps", 50, "per-client rate limit in requests/second (0 disables)")
+	fs.IntVar(&sf.burst, "burst", 100, "per-client burst allowance (0 derives it from --rps)")
+	fs.IntVar(&sf.maxInflight, "max-inflight", 256, "concurrent requests admitted before shedding with 503")
+	fs.DurationVar(&sf.requestTimeout, "request-timeout", 15*time.Second, "per-request handler deadline")
+	fs.IntVar(&sf.cacheSize, "cache-size", 1024, "response cache capacity in entries (0 disables)")
+	fs.DurationVar(&sf.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *storeSpec == "mem" {
-		return fmt.Errorf("serve needs a persistent dataset; --store must be jsonl or sharded:N")
+	if err := sf.validate(); err != nil {
+		return err
 	}
-	st, err := aipan.OpenDatasetStore(*storeSpec, *data)
+	st, err := aipan.OpenDatasetStore(sf.storeSpec, *data)
 	if err != nil {
 		return err
 	}
@@ -492,18 +540,42 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	handler, err := aipan.NewDatasetServerFromStore(st)
+
+	var logger *aipan.Logger
+	if *logLevel != "" {
+		if logger, err = aipan.NewLogger(os.Stderr, *logLevel); err != nil {
+			return err
+		}
+	}
+	s, err := aipan.NewDatasetServer(aipan.DatasetFromStore(st),
+		aipan.WithServerRegistry(obs.NewRegistry()),
+		aipan.WithServerLogger(logger),
+		aipan.WithServerRateLimit(sf.rps, sf.burst),
+		aipan.WithServerMaxInflight(sf.maxInflight),
+		aipan.WithServerRequestTimeout(sf.requestTimeout),
+		aipan.WithServerCacheSize(sf.cacheSize),
+	)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serving %d records on %s — try GET /api/summary, /api/label/<domain>, /api/ask/<domain>?q=...\n",
+	fmt.Fprintf(os.Stderr, "serving %d records on %s — try GET /v1/summary, /v1/domains, /v1/domains/<domain>/label, /v1/domains/<domain>/ask?q=... (/metrics for telemetry)\n",
 		n, *addr)
-	srv := &http.Server{
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	// Flip readiness the moment drain starts, so load balancers polling
+	// /v1/readyz stop routing new traffic while in-flight requests finish.
+	httpSrv.RegisterOnShutdown(func() { s.SetReady(false) })
+	err = obs.ListenAndServeContext(ctx, httpSrv, sf.drainTimeout, logger)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
 }
 
 func cmdAll(args []string) error {

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunFlagsValidate(t *testing.T) {
@@ -34,6 +35,46 @@ func TestRunFlagsValidate(t *testing.T) {
 			}
 			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 				t.Fatalf("validate(%+v) = %v, want error containing %q", tc.rf, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestServeFlagsValidate(t *testing.T) {
+	valid := serveFlags{
+		storeSpec: "jsonl", rps: 50, burst: 100, maxInflight: 256,
+		requestTimeout: 15 * time.Second, cacheSize: 1024, drainTimeout: 10 * time.Second,
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*serveFlags)
+		wantErr string // substring; "" = valid
+	}{
+		{"defaults", func(*serveFlags) {}, ""},
+		{"rate limiting disabled", func(sf *serveFlags) { sf.rps, sf.burst = 0, 0 }, ""},
+		{"cache disabled", func(sf *serveFlags) { sf.cacheSize = 0 }, ""},
+		{"sharded store", func(sf *serveFlags) { sf.storeSpec = "sharded:4" }, ""},
+		{"mem store", func(sf *serveFlags) { sf.storeSpec = "mem" }, "persistent dataset"},
+		{"negative rps", func(sf *serveFlags) { sf.rps = -1 }, "--rps"},
+		{"negative burst", func(sf *serveFlags) { sf.burst = -1 }, "--burst"},
+		{"zero inflight", func(sf *serveFlags) { sf.maxInflight = 0 }, "--max-inflight"},
+		{"zero timeout", func(sf *serveFlags) { sf.requestTimeout = 0 }, "--request-timeout"},
+		{"negative cache", func(sf *serveFlags) { sf.cacheSize = -1 }, "--cache-size"},
+		{"zero drain", func(sf *serveFlags) { sf.drainTimeout = 0 }, "--drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sf := valid
+			tc.mutate(&sf)
+			err := sf.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate(%+v) = %v, want nil", sf, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate(%+v) = %v, want error containing %q", sf, err, tc.wantErr)
 			}
 		})
 	}

@@ -142,15 +142,39 @@ func TestCSVFacade(t *testing.T) {
 
 func TestDatasetServerFacade(t *testing.T) {
 	records := facadeDataset(t)
-	srv := httptest.NewServer(aipan.NewDatasetServer(records))
+	s, err := aipan.NewDatasetServer(aipan.DatasetRecords(records),
+		aipan.WithServerCacheSize(16), aipan.WithServerRateLimit(1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
 	defer srv.Close()
-	resp, err := srv.Client().Get(srv.URL + "/api/summary")
+	resp, err := srv.Client().Get(srv.URL + "/v1/summary")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Errorf("summary status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Error("summary response missing ETag")
+	}
+
+	// The deprecated record-slice constructor still serves, and the old
+	// unversioned paths redirect permanently onto /v1.
+	legacy := httptest.NewServer(aipan.NewDatasetServerFromRecords(records))
+	defer legacy.Close()
+	resp2, err := legacy.Client().Get(legacy.URL + "/api/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Errorf("legacy summary status = %d", resp2.StatusCode)
+	}
+	if got := resp2.Request.URL.Path; got != "/v1/summary" {
+		t.Errorf("legacy path landed on %q, want redirect to /v1/summary", got)
 	}
 }
 

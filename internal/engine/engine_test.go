@@ -257,6 +257,29 @@ func TestLimiter(t *testing.T) {
 	}
 }
 
+func TestLimiterTryAcquire(t *testing.T) {
+	l := NewLimiter(2)
+	if !l.TryAcquire() || !l.TryAcquire() {
+		t.Fatal("TryAcquire failed with free slots")
+	}
+	if l.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", l.InUse())
+	}
+	// Full: a third try must shed, not block.
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire succeeded beyond capacity")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release freed a slot")
+	}
+	l.Release()
+	l.Release()
+	if l.InUse() != 0 {
+		t.Fatalf("InUse after full release = %d, want 0", l.InUse())
+	}
+}
+
 func TestSleep(t *testing.T) {
 	if !Sleep(context.Background(), time.Microsecond) {
 		t.Fatal("Sleep returned false without cancellation")

@@ -31,7 +31,26 @@ func (l *Limiter) Acquire(ctx context.Context) error {
 	}
 }
 
-// Release frees a slot taken by Acquire.
+// TryAcquire takes a slot only if one is free right now, reporting
+// whether it did. It never blocks, which makes it the load-shedding
+// primitive: a server that cannot admit a request immediately answers
+// with backpressure (429/503 + Retry-After) instead of queueing into
+// latency collapse. A true return must be paired with exactly one
+// Release, like Acquire.
+func (l *Limiter) TryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// InUse reports the number of currently held slots (approximate under
+// concurrent use; exact when callers are quiesced).
+func (l *Limiter) InUse() int { return len(l.slots) }
+
+// Release frees a slot taken by Acquire or a successful TryAcquire.
 func (l *Limiter) Release() { <-l.slots }
 
 // Cap reports the limiter's concurrency bound.

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -47,6 +48,39 @@ func StartDebugServer(addr string, reg *Registry, log *Logger) (*http.Server, er
 		}
 	}()
 	return srv, nil
+}
+
+// ListenAndServeContext serves srv until ctx is done, then drains
+// gracefully: in-flight requests get up to drainTimeout to complete
+// before the listener is torn down (http.Server.Shutdown semantics).
+// It returns nil after a clean drain, the shutdown error if the drain
+// deadline expired, or the serve error if the listener failed first.
+// This is the one place a serving process spawns a goroutine, so it
+// lives in obs alongside StartDebugServer (the goroutine checker keeps
+// naked go statements out of server and cmd code).
+func ListenAndServeContext(ctx context.Context, srv *http.Server, drainTimeout time.Duration, log *Logger) error {
+	ln, err := net.Listen("tcp", srv.Addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("draining", "addr", srv.Addr, "timeout", drainTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err = srv.Shutdown(sctx)
+	<-errc // Serve has returned http.ErrServerClosed
+	if err != nil {
+		log.Error("drain incomplete", "addr", srv.Addr, "err", err)
+		return err
+	}
+	log.Info("drained", "addr", srv.Addr)
+	return nil
 }
 
 // InstrumentHandler wraps next with request-count and latency metrics:

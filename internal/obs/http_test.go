@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestListenAndServeContextDrains proves graceful shutdown: a request
+// in flight when the serve context is canceled still completes with its
+// full response, and ListenAndServeContext only returns after it has.
+func TestListenAndServeContextDrains(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "drained-ok")
+	})
+	// ListenAndServeContext binds srv.Addr itself, so reserve a concrete
+	// kernel-assigned port first (":0" would not be observable back).
+	addr, err := netListen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	servErr := make(chan error, 1)
+	go func() { servErr <- ListenAndServeContext(ctx, srv, 5*time.Second, nil) }()
+
+	// Wait for the listener to come up before firing the request.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", srv.Addr)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never started listening: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Fire the slow request and wait until the handler is running.
+	resC := make(chan string, 1)
+	errC := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr + "/slow")
+		if err != nil {
+			errC <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			errC <- err
+			return
+		}
+		resC <- string(b)
+	}()
+	select {
+	case <-started:
+	case err := <-errC:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never started")
+	}
+
+	// Cancel the serve context: shutdown begins, but the in-flight
+	// request must be allowed to finish.
+	cancel()
+	select {
+	case err := <-servErr:
+		t.Fatalf("ListenAndServeContext returned %v before the in-flight request completed", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case body := <-resC:
+		if body != "drained-ok" {
+			t.Fatalf("in-flight response = %q, want drained-ok", body)
+		}
+	case err := <-errC:
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-servErr:
+		if err != nil {
+			t.Fatalf("ListenAndServeContext = %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ListenAndServeContext did not return after drain")
+	}
+
+	// New connections after drain must be refused.
+	if _, err := http.Get("http://" + srv.Addr + "/slow"); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+}
+
+// netListen reserves a kernel-assigned localhost port and returns its
+// address, closing the probe listener so ListenAndServeContext can bind
+// it. The tiny race with other processes is acceptable in tests.
+func netListen(t *testing.T) (string, error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	if err := ln.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}

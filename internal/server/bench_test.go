@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aipan/internal/obs"
+	"aipan/internal/store"
+)
+
+// paperDatasetSize matches the corpus size in the source paper (2,892
+// privacy policies), so the speedup is measured at the scale the server
+// actually runs at.
+const paperDatasetSize = 2892
+
+// naiveHandler is the pre-redesign serving strategy: every request
+// walks the full record slice and re-encodes the response from scratch.
+// It exists only as the benchmark baseline.
+func naiveHandler(recs []store.Record) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var payload any
+		switch r.URL.Path {
+		case "/v1/summary":
+			sum := Summary{ByAspect: map[string]int{}, SectorCounts: map[string]int{}}
+			for i := range recs {
+				rec := &recs[i]
+				sum.Domains++
+				if rec.Crawl.Success {
+					sum.CrawlOK++
+				}
+				if rec.Extraction.Success {
+					sum.ExtractOK++
+				}
+				if rec.Annotated() {
+					sum.Annotated++
+				}
+				sum.SectorCounts[rec.SectorAbbrev]++
+				sum.Annotations += len(rec.Annotations)
+				for _, a := range rec.Annotations {
+					sum.ByAspect[a.Aspect]++
+				}
+			}
+			payload = sum
+		case "/v1/domains":
+			sector := r.URL.Query().Get("sector")
+			page := DomainsPage{Domains: []DomainSummary{}}
+			for i := range recs {
+				rec := &recs[i]
+				if sector != "" && !strings.EqualFold(rec.SectorAbbrev, sector) {
+					continue
+				}
+				page.Domains = append(page.Domains, DomainSummary{
+					Domain: rec.Domain, Company: rec.Company, Sector: rec.SectorAbbrev,
+					Annotations: len(rec.Annotations), CrawlOK: rec.Crawl.Success,
+				})
+			}
+			page.Total = len(page.Domains)
+			payload = page
+		default:
+			http.NotFound(w, r)
+			return
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), 500)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(append(data, '\n'))
+	})
+}
+
+// BenchmarkServerQPS compares the indexed+cached /v1 query engine
+// against the naive full-scan baseline at the paper's dataset size.
+// The acceptance bar for the redesign is >=5x on both routes.
+func BenchmarkServerQPS(b *testing.B) {
+	recs := makeRecords(paperDatasetSize)
+	s, err := NewServer(Records(recs), WithRegistry(obs.NewRegistry()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive := naiveHandler(recs)
+
+	bench := func(h http.Handler, path string, wantStatus int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				req.RemoteAddr = "10.0.0.1:12345"
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != wantStatus {
+					b.Fatalf("%s: status %d, want %d", path, rec.Code, wantStatus)
+				}
+			}
+		}
+	}
+
+	b.Run("summary/naive", bench(naive, "/v1/summary", 200))
+	b.Run("summary/indexed", bench(s, "/v1/summary", 200))
+	b.Run("domains_sector/naive", bench(naive, "/v1/domains?sector=fs", 200))
+	b.Run("domains_sector/indexed", bench(s, "/v1/domains?sector=fs", 200))
+}
+
+// BenchmarkViewBuild prices the startup/refresh cost the request path
+// no longer pays: one full index + table + risk build per generation.
+func BenchmarkViewBuild(b *testing.B) {
+	recs := makeRecords(paperDatasetSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := buildView(recs, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheEntry is one cached response: the encoded body, its content
+// type, and the strong ETag derived from (generation, body).
+type cacheEntry struct {
+	contentType string
+	body        []byte
+	etag        string
+}
+
+// respCache is a concurrency-safe LRU response cache keyed by
+// normalized request. Entries carry the dataset generation they were
+// built from; a Refresh bumps the server's generation, so every stale
+// entry misses (and is evicted lazily) without any flush coordination.
+type respCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key   string
+	gen   uint64
+	entry *cacheEntry
+}
+
+func newRespCache(max int) *respCache {
+	return &respCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *respCache) get(key string, gen uint64) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	it := el.Value.(*cacheItem)
+	if it.gen != gen {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return it.entry, true
+}
+
+func (c *respCache) put(key string, gen uint64, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*cacheItem)
+		it.gen, it.entry = gen, e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, gen: gen, entry: e})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheItem).key)
+	}
+}
+
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey normalizes a request into its cache identity: the path plus
+// the query parameters sorted by name. Filter parameters are matched
+// case-insensitively by the handlers, so their values are lowercased
+// here too — ?sector=FS and ?sector=fs share one entry.
+func cacheKey(r *http.Request) string {
+	q := r.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k, vs := range q {
+		if len(vs) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(r.URL.Path)
+	for _, k := range keys {
+		v := strings.Join(q[k], ",")
+		if caseInsensitiveParams[k] {
+			v = strings.ToLower(v)
+		}
+		b.WriteByte('&')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// caseInsensitiveParams are the query parameters whose values the
+// handlers normalize, so differently-cased spellings hit one entry.
+var caseInsensitiveParams = map[string]bool{"sector": true, "aspect": true, "label": true}
+
+// etagFor builds the strong ETag for a response body served from a
+// dataset generation. The generation is part of the tag, so a Refresh
+// invalidates every conditional request even if a body happens to be
+// byte-identical across generations.
+func etagFor(gen uint64, body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("\"%d-%016x\"", gen, h.Sum64())
+}
+
+// etagMatch implements If-None-Match: a comma-separated list of tags,
+// compared strongly (a W/ prefix is stripped, then exact match), with
+// "*" matching anything.
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aipan/internal/nutrition"
+	"aipan/internal/qa"
+)
+
+// Pagination bounds for /v1/domains.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// routes wires the /v1 surface. Dataset routes are cacheable and
+// subject to shedding; the health pair is neither.
+func (s *Server) routes() *router {
+	rt := &router{}
+	rt.add(http.MethodGet, "/v1/summary", s.v1Summary, true, true)
+	rt.add(http.MethodGet, "/v1/domains", s.v1Domains, true, true)
+	rt.add(http.MethodGet, "/v1/domains/{domain}", s.v1Domain, true, true)
+	rt.add(http.MethodGet, "/v1/domains/{domain}/label", s.v1Label, true, true)
+	rt.add(http.MethodGet, "/v1/domains/{domain}/ask", s.v1Ask, true, true)
+	rt.add(http.MethodGet, "/v1/risk", s.v1Risk, true, true)
+	rt.add(http.MethodGet, "/v1/tables/{table}", s.v1Table, true, true)
+	rt.add(http.MethodGet, "/v1/healthz", s.v1Healthz, false, false)
+	rt.add(http.MethodGet, "/v1/readyz", s.v1Readyz, false, false)
+	return rt
+}
+
+func (s *Server) v1Summary(v *view, _ params, _ *http.Request) (*result, *apiErr) {
+	return &result{raw: v.summaryJSON}, nil
+}
+
+func (s *Server) v1Domains(v *view, _ params, r *http.Request) (*result, *apiErr) {
+	query := r.URL.Query()
+	q := domainsQuery{
+		sector: query.Get("sector"),
+		aspect: query.Get("aspect"),
+		label:  query.Get("label"),
+		limit:  defaultPageLimit,
+	}
+	if raw := query.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return nil, errBadRequest("limit must be a positive integer (got %q)", raw)
+		}
+		if n > maxPageLimit {
+			return nil, errBadRequest("limit must be at most %d (got %d)", maxPageLimit, n)
+		}
+		q.limit = n
+	}
+	if raw := query.Get("cursor"); raw != "" {
+		domain, err := decodeCursor(raw)
+		if err != nil {
+			return nil, errBadRequest("cursor is not a token from a previous response")
+		}
+		q.cursor = domain
+	}
+	return &result{obj: v.domainsPage(q)}, nil
+}
+
+// domainRecord resolves the {domain} path parameter against the hash
+// index shared by the per-domain routes.
+func (v *view) domainRecord(ps params) (int, *apiErr) {
+	domain := ps["domain"]
+	i, ok := v.byDomain[domain]
+	if !ok {
+		return 0, errNotFound("domain %q not in dataset", domain)
+	}
+	return i, nil
+}
+
+func (s *Server) v1Domain(v *view, ps params, _ *http.Request) (*result, *apiErr) {
+	i, aerr := v.domainRecord(ps)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return &result{obj: &v.records[i]}, nil
+}
+
+func (s *Server) v1Label(v *view, ps params, _ *http.Request) (*result, *apiErr) {
+	i, aerr := v.domainRecord(ps)
+	if aerr != nil {
+		return nil, aerr
+	}
+	rec := &v.records[i]
+	return &result{text: nutrition.Build(rec.Annotations).Render(rec.Company)}, nil
+}
+
+// AskResponse is the /v1/domains/{domain}/ask payload.
+type AskResponse struct {
+	Question  string   `json:"question"`
+	Answer    string   `json:"answer"`
+	Evidence  []string `json:"evidence"`
+	Confident bool     `json:"confident"`
+}
+
+func (s *Server) v1Ask(v *view, ps params, r *http.Request) (*result, *apiErr) {
+	i, aerr := v.domainRecord(ps)
+	if aerr != nil {
+		return nil, aerr
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return nil, errBadRequest("missing ?q= question")
+	}
+	ans, ok := qa.Ask(q, v.records[i].Annotations)
+	if !ok {
+		return nil, &apiErr{http.StatusUnprocessableEntity, "unsupported_question",
+			"unsupported question; families: " + strings.Join(qa.Intents(), ", ")}
+	}
+	return &result{obj: AskResponse{
+		Question: q, Answer: ans.Text, Evidence: ans.Evidence, Confident: ans.Confident,
+	}}, nil
+}
+
+func (s *Server) v1Risk(v *view, _ params, r *http.Request) (*result, *apiErr) {
+	top := 25
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return nil, errBadRequest("top must be a positive integer (got %q)", raw)
+		}
+		top = n
+	}
+	scores := v.risk
+	if len(scores) > top {
+		scores = scores[:top]
+	}
+	return &result{obj: RiskPage{Scores: scores, Total: len(v.risk)}}, nil
+}
+
+func (s *Server) v1Table(v *view, ps params, _ *http.Request) (*result, *apiErr) {
+	table, ok := v.tables[ps["table"]]
+	if !ok {
+		ids := append([]string(nil), tableIDs...)
+		sort.Strings(ids)
+		return nil, errNotFound("unknown table %q (have: %s)", ps["table"], strings.Join(ids, ", "))
+	}
+	return &result{text: table}, nil
+}
+
+// healthStatus is the /v1/healthz and /v1/readyz payload.
+type healthStatus struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Records    int    `json:"records"`
+}
+
+func (s *Server) v1Healthz(v *view, _ params, _ *http.Request) (*result, *apiErr) {
+	return &result{obj: healthStatus{Status: "ok", Generation: v.gen, Records: len(v.records)}}, nil
+}
+
+func (s *Server) v1Readyz(v *view, _ params, _ *http.Request) (*result, *apiErr) {
+	if !s.ready.Load() {
+		return nil, &apiErr{http.StatusServiceUnavailable, "draining", "server is draining"}
+	}
+	return &result{obj: healthStatus{Status: "ready", Generation: v.gen, Records: len(v.records)}}, nil
+}

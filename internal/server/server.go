@@ -1,43 +1,102 @@
-// Package server exposes a completed AIPAN dataset over a small HTTP/JSON
-// API — the form in which downstream consumers (dashboards, risk tools,
-// browser extensions) would actually use the paper's dataset. Endpoints:
+// Package server exposes a completed AIPAN dataset over a versioned
+// HTTP/JSON API — the form in which downstream consumers (dashboards,
+// risk tools, browser extensions) actually use the paper's dataset —
+// built to hold up under production traffic: every read endpoint is
+// O(result) against immutable indexed views, responses are cached and
+// revalidated with strong ETags, and overload is shed with 429/503 +
+// Retry-After instead of queueing into latency collapse.
 //
-//	GET /api/summary                 corpus funnel + aspect counts
-//	GET /api/domains?sector=FS       domain list (filterable)
-//	GET /api/domain/{domain}         one record with all annotations
-//	GET /api/label/{domain}          privacy nutrition label (text/plain)
-//	GET /api/ask/{domain}?q=...      grounded question answering
-//	GET /api/risk?top=25             exposure scores
-//	GET /api/table/{1|2a|2b|3|4|5|6} regenerated paper tables (text/plain)
-//	GET /metrics                     Prometheus text exposition
-//	GET /debug/pprof/...             net/http/pprof profiles
+// Routes (all JSON unless noted; errors use the uniform envelope
+// {"error":{"code","message"}}):
+//
+//	GET /v1/summary                        corpus funnel + aspect/sector counts
+//	GET /v1/domains?sector=&aspect=&label= cursor-paginated domain listing
+//	              &limit=&cursor=
+//	GET /v1/domains/{domain}               one record with all annotations
+//	GET /v1/domains/{domain}/label         privacy nutrition label (text/plain)
+//	GET /v1/domains/{domain}/ask?q=...     grounded question answering
+//	GET /v1/risk?top=25                    exposure scores
+//	GET /v1/tables/{1|2a|2b|3|4|5|6}       regenerated paper tables (text/plain)
+//	GET /v1/healthz, /v1/readyz            liveness / readiness probes
+//	GET /metrics                           Prometheus text exposition
+//	GET /debug/pprof/...                   net/http/pprof profiles
+//
+// The legacy unversioned /api/... paths answer with deprecated 308
+// redirects to their /v1 equivalents.
 package server
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"net/http"
-	"net/http/pprof"
-	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
-	"aipan/internal/nutrition"
+	"aipan/internal/engine"
 	"aipan/internal/obs"
-	"aipan/internal/qa"
-	"aipan/internal/report"
-	"aipan/internal/risk"
 	"aipan/internal/store"
 )
 
-// Server is the dataset API.
+// Source supplies the dataset a Server serves. Refresh re-Loads it, so
+// a Source backed by a live store picks up appended records.
+type Source interface {
+	Load() ([]store.Record, error)
+}
+
+// Records adapts an in-memory record slice into a Source.
+func Records(records []store.Record) Source { return recordsSource(records) }
+
+type recordsSource []store.Record
+
+func (rs recordsSource) Load() ([]store.Record, error) { return rs, nil }
+
+// FromStore adapts any store backend — JSONL file, shard directory,
+// in-memory — into a Source, without an intermediate flat-file export.
+func FromStore(st store.Store) Source { return storeSource{st} }
+
+type storeSource struct{ st store.Store }
+
+func (s storeSource) Load() ([]store.Record, error) {
+	var records []store.Record
+	if err := s.st.Scan(func(r *store.Record) error {
+		records = append(records, *r)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("server: loading records: %w", err)
+	}
+	return records, nil
+}
+
+// Server is the dataset API. The zero value is not usable; build one
+// with NewServer.
 type Server struct {
-	records  []store.Record
-	byDomain map[string]*store.Record
-	rep      *report.Report
-	mux      *http.ServeMux
-	reg      *obs.Registry
-	handler  http.Handler
+	src   Source
+	reg   *obs.Registry
+	log   *obs.Logger
+	clock obs.Clock
+
+	view  atomic.Pointer[view]
+	gen   atomic.Uint64
+	ready atomic.Bool
+
+	cache    *respCache   // nil = response caching disabled
+	rate     *rateLimiter // nil = rate limiting disabled
+	inflight *engine.Limiter
+	timeout  time.Duration
+	router   *router
+	debug    http.Handler // /metrics + /debug/pprof
+
+	mRequests    *obs.CounterVec
+	mDuration    *obs.HistogramVec
+	mCacheHits   *obs.CounterVec
+	mCacheMisses *obs.CounterVec
+	mShed        *obs.CounterVec
+	mInflight    *obs.Gauge
+	mPanics      *obs.Counter
+	mGeneration  *obs.Gauge
+	mRecords     *obs.Gauge
 }
 
 // Option configures a Server.
@@ -49,234 +108,334 @@ func WithRegistry(reg *obs.Registry) Option {
 	return func(s *Server) { s.reg = reg }
 }
 
-// New builds the API over a dataset.
-func New(records []store.Record, opts ...Option) *Server {
+// WithLogger emits request-scoped structured logs to log (nil, the
+// default, disables them).
+func WithLogger(log *obs.Logger) Option {
+	return func(s *Server) { s.log = log }
+}
+
+// WithRateLimit admits at most rps requests per second per client IP,
+// with the given burst allowance (burst < 1 defaults to ceil(rps)).
+// rps <= 0 — the default — disables rate limiting.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(s *Server) {
+		if rps > 0 {
+			s.rate = newRateLimiter(rps, burst)
+		} else {
+			s.rate = nil
+		}
+	}
+}
+
+// WithCacheSize bounds the response cache to n entries (LRU). n <= 0
+// disables response caching; the default is 1024.
+func WithCacheSize(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.cache = newRespCache(n)
+		} else {
+			s.cache = nil
+		}
+	}
+}
+
+// WithMaxInflight caps concurrently served dataset requests; beyond
+// the cap requests are shed with 503 + Retry-After. The default is 256.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) { s.inflight = engine.NewLimiter(n) }
+}
+
+// WithRequestTimeout bounds each request's context (default 15s;
+// d <= 0 disables the bound).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
+}
+
+// WithClock injects the time source used for latency metrics and
+// rate-limit refill — tests freeze it to make shedding deterministic.
+func WithClock(clock obs.Clock) Option {
+	return func(s *Server) { s.clock = clock }
+}
+
+// NewServer builds the API over src, loading and indexing the dataset
+// once up front. The returned server is ready: /v1/readyz answers 200
+// until SetReady(false) (typically wired to shutdown drain).
+func NewServer(src Source, opts ...Option) (*Server, error) {
 	s := &Server{
-		records:  records,
-		byDomain: make(map[string]*store.Record, len(records)),
-		rep:      report.New(records, nil),
-		mux:      http.NewServeMux(),
+		src:      src,
+		clock:    obs.SystemClock,
+		cache:    newRespCache(1024),
+		inflight: engine.NewLimiter(256),
+		timeout:  15 * time.Second,
 	}
 	for _, o := range opts {
 		o(s)
 	}
-	for i := range records {
-		s.byDomain[records[i].Domain] = &records[i]
+	if s.reg == nil {
+		s.reg = obs.Default()
 	}
-	s.mux.HandleFunc("GET /api/summary", s.handleSummary)
-	s.mux.HandleFunc("GET /api/domains", s.handleDomains)
-	s.mux.HandleFunc("GET /api/domain/{domain}", s.handleDomain)
-	s.mux.HandleFunc("GET /api/label/{domain}", s.handleLabel)
-	s.mux.HandleFunc("GET /api/ask/{domain}", s.handleAsk)
-	s.mux.HandleFunc("GET /api/risk", s.handleRisk)
-	s.mux.HandleFunc("GET /api/table/{table}", s.handleTable)
-	s.mux.Handle("GET /metrics", obs.MetricsHandler(s.reg))
-	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
-	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
-	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
-	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
-	s.handler = obs.InstrumentHandler(s.reg, "api", s.mux)
+	s.log = s.log.With("server")
+
+	s.mRequests = s.reg.CounterVec("aipan_server_requests_total",
+		"Dataset API requests served, by route and status class.", "route", "class")
+	s.mDuration = s.reg.HistogramVec("aipan_server_request_duration_seconds",
+		"Dataset API request latency by route.", nil, "route")
+	s.mCacheHits = s.reg.CounterVec("aipan_server_cache_hits_total",
+		"Response-cache hits by route.", "route")
+	s.mCacheMisses = s.reg.CounterVec("aipan_server_cache_misses_total",
+		"Response-cache misses by route.", "route")
+	s.mShed = s.reg.CounterVec("aipan_server_shed_total",
+		"Requests shed by backpressure, by reason (rate_limit, inflight).", "reason")
+	s.mInflight = s.reg.Gauge("aipan_server_inflight",
+		"Dataset API requests currently being served.")
+	s.mPanics = s.reg.Counter("aipan_server_panics_total",
+		"Handler panics recovered into 500 responses.")
+	s.mGeneration = s.reg.Gauge("aipan_server_dataset_generation",
+		"Generation of the dataset view currently being served.")
+	s.mRecords = s.reg.Gauge("aipan_server_dataset_records",
+		"Records in the dataset view currently being served.")
+
+	s.router = s.routes()
+	s.debug = obs.DebugMux(s.reg)
+	if err := s.Refresh(context.Background()); err != nil {
+		return nil, err
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// New builds the API over an in-memory dataset.
+//
+// Deprecated: use NewServer(Records(records), opts...).
+func New(records []store.Record, opts ...Option) *Server {
+	s, err := NewServer(Records(records), opts...)
+	if err != nil {
+		// Unreachable: an in-memory Source cannot fail to load.
+		panic(err)
+	}
 	return s
 }
 
 // NewFromStore builds the API over a dataset held in a store backend.
-// The records are materialized with one Scan, so any backend — JSONL
-// file, shard directory, in-memory — can back the API directly, without
-// first being exported to a flat JSONL file.
+//
+// Deprecated: use NewServer(FromStore(st), opts...).
 func NewFromStore(st store.Store, opts ...Option) (*Server, error) {
-	var records []store.Record
-	if err := st.Scan(func(r *store.Record) error {
-		records = append(records, *r)
-		return nil
-	}); err != nil {
-		return nil, fmt.Errorf("server: loading records: %w", err)
-	}
-	return New(records, opts...), nil
+	return NewServer(FromStore(st), opts...)
 }
+
+// Refresh re-Loads the Source and atomically swaps in a freshly
+// indexed view under the next generation. In-flight requests keep the
+// view they started with; the generation bump invalidates every cached
+// response and ETag.
+func (s *Server) Refresh(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	records, err := s.src.Load()
+	if err != nil {
+		return err
+	}
+	gen := s.gen.Add(1)
+	v, err := buildView(records, gen)
+	if err != nil {
+		return err
+	}
+	s.view.Store(v)
+	s.mGeneration.Set(float64(gen))
+	s.mRecords.Set(float64(len(v.records)))
+	s.log.Info("dataset view refreshed", "generation", gen, "records", len(v.records))
+	return nil
+}
+
+// Generation reports the generation of the currently served view.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// SetReady flips the /v1/readyz answer; wire SetReady(false) into
+// shutdown (e.g. http.Server.RegisterOnShutdown) so load balancers
+// stop routing to a draining process.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.handler.ServeHTTP(w, r)
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
-// Summary is the /api/summary payload.
-type Summary struct {
-	Domains      int            `json:"domains"`
-	CrawlOK      int            `json:"crawl_ok"`
-	ExtractOK    int            `json:"extract_ok"`
-	Annotated    int            `json:"annotated"`
-	Annotations  int            `json:"annotations"`
-	ByAspect     map[string]int `json:"by_aspect"`
-	SectorCounts map[string]int `json:"sector_counts"`
-}
-
-func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
-	sum := Summary{
-		Domains:      len(s.records),
-		ByAspect:     map[string]int{},
-		SectorCounts: map[string]int{},
-	}
-	for i := range s.records {
-		rec := &s.records[i]
-		if rec.Crawl.Success {
-			sum.CrawlOK++
-		}
-		if rec.Extraction.Success {
-			sum.ExtractOK++
-		}
-		if rec.Annotated() {
-			sum.Annotated++
-		}
-		sum.SectorCounts[rec.SectorAbbrev]++
-		sum.Annotations += len(rec.Annotations)
-		for _, a := range rec.Annotations {
-			sum.ByAspect[a.Aspect]++
-		}
-	}
-	writeJSON(w, sum)
-}
-
-// DomainSummary is one /api/domains row.
-type DomainSummary struct {
-	Domain      string `json:"domain"`
-	Company     string `json:"company"`
-	Sector      string `json:"sector"`
-	Annotations int    `json:"annotations"`
-	CrawlOK     bool   `json:"crawl_ok"`
-}
-
-func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	sector := strings.ToUpper(r.URL.Query().Get("sector"))
-	limit := 0
-	if v := r.URL.Query().Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
-			return
-		}
-		limit = n
-	}
-	var out []DomainSummary
-	for i := range s.records {
-		rec := &s.records[i]
-		if sector != "" && rec.SectorAbbrev != sector {
-			continue
-		}
-		out = append(out, DomainSummary{
-			Domain: rec.Domain, Company: rec.Company, Sector: rec.SectorAbbrev,
-			Annotations: len(rec.Annotations), CrawlOK: rec.Crawl.Success,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
-	}
-	writeJSON(w, out)
-}
-
-func (s *Server) record(w http.ResponseWriter, r *http.Request) *store.Record {
-	domain := r.PathValue("domain")
-	rec, ok := s.byDomain[domain]
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("domain %q not in dataset", domain))
-		return nil
-	}
-	return rec
-}
-
-func (s *Server) handleDomain(w http.ResponseWriter, r *http.Request) {
-	if rec := s.record(w, r); rec != nil {
-		writeJSON(w, rec)
-	}
-}
-
-func (s *Server) handleLabel(w http.ResponseWriter, r *http.Request) {
-	rec := s.record(w, r)
-	if rec == nil {
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, nutrition.Build(rec.Annotations).Render(rec.Company))
-}
-
-func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
-	rec := s.record(w, r)
-	if rec == nil {
-		return
-	}
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		writeError(w, http.StatusBadRequest, "missing ?q= question")
-		return
-	}
-	ans, ok := qa.Ask(q, rec.Annotations)
-	if !ok {
-		writeError(w, http.StatusUnprocessableEntity,
-			fmt.Sprintf("unsupported question; families: %s", strings.Join(qa.Intents(), ", ")))
-		return
-	}
-	writeJSON(w, map[string]any{
-		"question":  q,
-		"answer":    ans.Text,
-		"evidence":  ans.Evidence,
-		"confident": ans.Confident,
-	})
-}
-
-func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
-	top := 25
-	if v := r.URL.Query().Get("top"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "top must be a positive integer")
-			return
-		}
-		top = n
-	}
-	scores := risk.ScoreAll(s.records, risk.DefaultWeights())
-	if len(scores) > top {
-		scores = scores[:top]
-	}
-	writeJSON(w, scores)
-}
-
-func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
-	var out string
-	switch r.PathValue("table") {
-	case "1":
-		out = s.rep.Table1(false).Render()
-	case "4":
-		out = s.rep.Table1(true).Render()
-	case "2a":
-		out = s.rep.Table2Types(false).Render()
-	case "5":
-		out = s.rep.Table2Types(true).Render()
-	case "2b":
-		out = s.rep.Table2Purposes().Render()
-	case "3":
-		out = s.rep.Table3().Render()
-	case "6":
-		out = s.rep.Table6(4).Render()
+	path := r.URL.Path
+	switch {
+	case path == "/metrics" || strings.HasPrefix(path, "/debug/pprof"):
+		s.debug.ServeHTTP(w, r)
+	case strings.HasPrefix(path, "/api/"):
+		s.redirectLegacy(w, r)
 	default:
-		writeError(w, http.StatusNotFound, "unknown table (1, 2a, 2b, 3, 4, 5, 6)")
+		s.serveV1(w, r)
+	}
+}
+
+// serveV1 is the dispatch pipeline for the versioned API: match →
+// panic guard → shed → cache → handle → encode → ETag → flush, with
+// per-route metrics and a request-scoped log line around the lot.
+func (s *Server) serveV1(w http.ResponseWriter, r *http.Request) {
+	start := s.clock()
+	rt, ps, allow := s.router.match(r.Method, r.URL.Path)
+	name := "unmatched"
+	if rt != nil {
+		name = rt.name
+	}
+	rec := newRecorder()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.mPanics.Inc()
+				s.log.Error("handler panic", "route", name, "path", r.URL.Path, "panic", fmt.Sprint(p))
+				rec.reset()
+				writeAPIError(rec, errInternal("internal server error"))
+			}
+		}()
+		s.handle(rec, r, rt, ps, allow)
+	}()
+	rec.flush(w)
+	s.mRequests.With(name, statusClass(rec.status)).Inc()
+	s.mDuration.With(name).Observe(s.clock().Sub(start).Seconds())
+	if s.log.Enabled(obs.LevelDebug) {
+		s.log.Debug("request",
+			"method", r.Method, "path", r.URL.Path, "route", name,
+			"status", rec.status, "client", clientKey(r),
+			"dur_ms", s.clock().Sub(start).Milliseconds())
+	}
+}
+
+func (s *Server) handle(w *responseRecorder, r *http.Request, rt *route, ps params, allow []string) {
+	if rt == nil {
+		if len(allow) > 0 {
+			w.Header().Set("Allow", strings.Join(allow, ", "))
+			writeAPIError(w, &apiErr{http.StatusMethodNotAllowed, "method_not_allowed",
+				fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(allow, ", "))})
+			return
+		}
+		writeAPIError(w, errNotFound("no such endpoint %q; see /v1/summary, /v1/domains, /v1/risk, /v1/tables", r.URL.Path))
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, out)
+
+	if rt.shed {
+		if !s.inflight.TryAcquire() {
+			s.mShed.With("inflight").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeAPIError(w, &apiErr{http.StatusServiceUnavailable, "overloaded",
+				"server at its in-flight capacity; retry shortly"})
+			return
+		}
+		defer func() {
+			s.inflight.Release()
+			s.mInflight.Dec()
+		}()
+		s.mInflight.Inc()
+		if s.rate != nil {
+			if ok, wait := s.rate.allow(clientKey(r), s.clock()); !ok {
+				s.mShed.With("rate_limit").Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
+				writeAPIError(w, &apiErr{http.StatusTooManyRequests, "rate_limited",
+					"client request rate exceeded; slow down"})
+				return
+			}
+		}
+	}
+
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
+	v := s.view.Load()
+	var key string
+	cacheable := rt.cacheable && s.cache != nil
+	if cacheable {
+		key = cacheKey(r)
+		if e, ok := s.cache.get(key, v.gen); ok {
+			s.mCacheHits.With(rt.name).Inc()
+			s.serveBody(w, r, e.contentType, e.body, e.etag)
+			return
+		}
+		s.mCacheMisses.With(rt.name).Inc()
+	}
+
+	res, aerr := rt.h(v, ps, r)
+	if aerr == nil && r.Context().Err() != nil {
+		aerr = &apiErr{http.StatusServiceUnavailable, "timeout", "request deadline exceeded"}
+	}
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	body, ct, aerr := encodeResult(res)
+	if aerr != nil {
+		s.log.Error("response encoding failed", "route", rt.name, "err", aerr.message)
+		writeAPIError(w, aerr)
+		return
+	}
+	var etag string
+	if cacheable {
+		etag = etagFor(v.gen, body)
+		s.cache.put(key, v.gen, &cacheEntry{contentType: ct, body: body, etag: etag})
+	}
+	s.serveBody(w, r, ct, body, etag)
+}
+
+// serveBody writes a 200 (or, under a matching If-None-Match, a bare
+// 304) with the Content-Type set before the first body byte.
+func (s *Server) serveBody(w *responseRecorder, r *http.Request, ct string, body []byte, etag string) {
+	h := w.Header()
+	if etag != "" {
+		h.Set("ETag", etag)
+		h.Set("Cache-Control", "no-cache") // revalidate with If-None-Match
+		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	h.Set("Content-Type", ct)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// redirectLegacy answers the pre-/v1 routes with permanent redirects —
+// 308 preserves the method — so existing consumers keep working while
+// the Deprecation header tells them to move.
+func (s *Server) redirectLegacy(w http.ResponseWriter, r *http.Request) {
+	target, ok := legacyTarget(r.URL.Path)
+	if !ok {
+		rec := newRecorder()
+		writeAPIError(rec, errNotFound("no such endpoint %q; the API moved under /v1", r.URL.Path))
+		rec.flush(w)
+		s.mRequests.With("legacy", statusClass(rec.status)).Inc()
+		return
+	}
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	w.Header().Set("Deprecation", "true")
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
+	s.mRequests.With("legacy", "3xx").Inc()
+}
+
+// legacyTarget maps a deprecated /api path onto its /v1 equivalent.
+func legacyTarget(path string) (string, bool) {
+	switch path {
+	case "/api/summary":
+		return "/v1/summary", true
+	case "/api/domains":
+		return "/v1/domains", true
+	case "/api/risk":
+		return "/v1/risk", true
+	}
+	if d, ok := strings.CutPrefix(path, "/api/domain/"); ok && d != "" {
+		return "/v1/domains/" + d, true
+	}
+	if d, ok := strings.CutPrefix(path, "/api/label/"); ok && d != "" {
+		return "/v1/domains/" + d + "/label", true
+	}
+	if d, ok := strings.CutPrefix(path, "/api/ask/"); ok && d != "" {
+		return "/v1/domains/" + d + "/ask", true
+	}
+	if tb, ok := strings.CutPrefix(path, "/api/table/"); ok && tb != "" {
+		return "/v1/tables/" + tb, true
+	}
+	return "", false
 }

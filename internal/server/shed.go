@@ -1,0 +1,92 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token bucket. Buckets refill lazily from
+// elapsed time at admission, so no background goroutine runs (the repo
+// routes all spawned concurrency through internal/engine) and a frozen
+// test clock makes admission decisions exactly reproducible.
+type rateLimiter struct {
+	mu         sync.Mutex
+	rps        float64 // tokens added per second
+	burst      float64 // bucket capacity
+	maxClients int     // bound on tracked buckets
+	buckets    map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = int(math.Ceil(math.Max(rps, 1)))
+	}
+	return &rateLimiter{
+		rps: rps, burst: float64(burst),
+		maxClients: 10000,
+		buckets:    map[string]*tokenBucket{},
+	}
+}
+
+// allow admits one request from client at now, or reports how long
+// until the next token accrues (the Retry-After hint).
+func (rl *rateLimiter) allow(client string, now time.Time) (bool, time.Duration) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[client]
+	if b == nil {
+		if len(rl.buckets) >= rl.maxClients {
+			rl.prune(now)
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(rl.burst, b.tokens+elapsed*rl.rps)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / rl.rps * float64(time.Second))
+}
+
+// prune forgets buckets that have fully refilled: an idle client's
+// fresh bucket admits the same burst, so dropping it is lossless. Runs
+// under the lock, only when the client table hits its bound.
+func (rl *rateLimiter) prune(now time.Time) {
+	for k, b := range rl.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*rl.rps >= rl.burst {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the requesting client for rate limiting: the
+// remote IP without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds rounds a wait up to the whole seconds Retry-After
+// requires, never less than 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

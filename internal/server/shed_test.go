@@ -1,0 +1,262 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aipan/internal/obs"
+)
+
+// fakeClock is a hand-cranked obs.Clock for deterministic admission.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestRateLimit429 drives the per-client token bucket with a frozen
+// clock: the burst admits, the next request sheds with 429 and a
+// Retry-After, and advancing the clock re-admits.
+func TestRateLimit429(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1700000000, 0)}
+	reg := obs.NewRegistry()
+	s, err := NewServer(Records(testRecords()),
+		WithRegistry(reg), WithClock(clock.Now), WithRateLimit(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		if status, body := get(t, srv.URL+"/v1/summary"); status != 200 {
+			t.Fatalf("burst request %d: status %d: %s", i, status, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\" (1 rps, empty bucket)", ra)
+	}
+	if !strings.Contains(string(body), `"rate_limited"`) {
+		t.Errorf("429 body: %s", body)
+	}
+	// Health stays reachable while the dataset surface sheds.
+	if status, _ := get(t, srv.URL+"/v1/healthz"); status != 200 {
+		t.Errorf("healthz rate-limited")
+	}
+
+	// One token accrues per second of clock time.
+	clock.Advance(time.Second)
+	if status, _ := get(t, srv.URL+"/v1/summary"); status != 200 {
+		t.Errorf("post-refill status = %d, want 200", status)
+	}
+	if status, _ := get(t, srv.URL+"/v1/summary"); status != http.StatusTooManyRequests {
+		t.Errorf("second post-refill request should shed again, got %d", status)
+	}
+	if n := metricValue(t, reg, `aipan_server_shed_total{reason="rate_limit"}`); n < 2 {
+		t.Errorf("shed counter = %v, want >= 2", n)
+	}
+}
+
+// TestRateLimiterPerClient checks buckets are keyed by client IP, not
+// shared, and that prune only forgets refilled buckets.
+func TestRateLimiterPerClient(t *testing.T) {
+	rl := newRateLimiter(1, 2)
+	now := time.Unix(1700000000, 0)
+	// Drain the first client's burst of 2 entirely.
+	for i := 0; i < 2; i++ {
+		if ok, _ := rl.allow("10.0.0.1", now); !ok {
+			t.Fatalf("first client request %d denied", i)
+		}
+	}
+	if ok, wait := rl.allow("10.0.0.1", now); ok || wait <= 0 {
+		t.Fatalf("drained bucket admitted (wait %v)", wait)
+	}
+	// A second client has its own full bucket.
+	if ok, _ := rl.allow("10.0.0.2", now); !ok {
+		t.Fatal("second client shares first client's bucket")
+	}
+
+	rl.maxClients = 2
+	// After 1s at 1 rps: 10.0.0.1 holds 1 of 2 tokens (not prunable),
+	// 10.0.0.2 is back to full (prunable losslessly).
+	if ok, _ := rl.allow("10.0.0.3", now.Add(time.Second)); !ok {
+		t.Fatal("third client denied")
+	}
+	rl.mu.Lock()
+	_, drained := rl.buckets["10.0.0.1"]
+	_, refilled := rl.buckets["10.0.0.2"]
+	rl.mu.Unlock()
+	if !drained {
+		t.Error("prune dropped a drained bucket (would reset a hot client's limit)")
+	}
+	if refilled {
+		t.Error("prune kept a fully-refilled bucket")
+	}
+}
+
+// TestInflightShed503 fills the in-flight ceiling white-box and checks
+// the next request sheds with 503 + Retry-After instead of queueing.
+func TestInflightShed503(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewServer(Records(testRecords()), WithRegistry(reg), WithMaxInflight(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		if !s.inflight.TryAcquire() {
+			t.Fatalf("could not take slot %d", i)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/v1/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if !strings.Contains(string(body), `"overloaded"`) {
+		t.Errorf("503 body: %s", body)
+	}
+	if n := metricValue(t, reg, `aipan_server_shed_total{reason="inflight"}`); n != 1 {
+		t.Errorf("shed counter = %v, want 1", n)
+	}
+
+	// Releasing the slots restores service.
+	s.inflight.Release()
+	s.inflight.Release()
+	if status, _ := get(t, srv.URL+"/v1/summary"); status != 200 {
+		t.Errorf("post-release status = %d", status)
+	}
+}
+
+// TestInflightCeilingUnderBurst fires a burst well beyond the ceiling
+// at a handler that blocks, and requires at least one shed plus zero
+// failures that aren't clean 200/503 responses.
+func TestInflightCeilingUnderBurst(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewServer(Records(testRecords()), WithRegistry(reg), WithMaxInflight(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s.router.add(http.MethodGet, "/v1/block", func(*view, params, *http.Request) (*result, *apiErr) {
+		<-release
+		return &result{text: "done"}, nil
+	}, false, true)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	const burst = 12
+	statuses := make(chan int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/block")
+			if err != nil {
+				statuses <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Wait for the ceiling to fill, then let the in-flight pair finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.InUse() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(statuses)
+
+	counts := map[int]int{}
+	for st := range statuses {
+		counts[st]++
+	}
+	if counts[-1] > 0 {
+		t.Fatalf("transport errors during burst: %v", counts)
+	}
+	if counts[200]+counts[503] != burst {
+		t.Fatalf("unexpected statuses: %v", counts)
+	}
+	if counts[503] == 0 {
+		t.Fatalf("burst of %d over ceiling 2 shed nothing: %v", burst, counts)
+	}
+	if counts[200] < 2 {
+		t.Fatalf("blocked requests inside the ceiling should complete: %v", counts)
+	}
+}
+
+// TestRequestTimeout gives the request context a tiny deadline and a
+// handler that waits it out; the response is a 503 timeout envelope.
+func TestRequestTimeout(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewServer(Records(testRecords()), WithRegistry(reg), WithRequestTimeout(10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.router.add(http.MethodGet, "/v1/slow", func(_ *view, _ params, r *http.Request) (*result, *apiErr) {
+		<-r.Context().Done()
+		return &result{text: "too late"}, nil
+	}, false, true)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	status, body := get(t, srv.URL+"/v1/slow")
+	if status != http.StatusServiceUnavailable || !strings.Contains(body, `"timeout"`) {
+		t.Errorf("slow route: status %d, body %s", status, body)
+	}
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	} {
+		if got := retryAfterSeconds(tc.d); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

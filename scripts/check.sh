@@ -15,8 +15,8 @@ go vet ./...
 echo "==> aipanvet ./... (repo-specific static analysis)"
 go run ./cmd/aipanvet ./...
 
-echo "==> go test -race (engine, core, obs)"
-go test -race ./internal/engine/... ./internal/core/... ./internal/obs/...
+echo "==> go test -race (engine, core, obs, server)"
+go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/...
 
 echo "==> go test ./..."
 go test ./...
