@@ -19,6 +19,10 @@
 //     /metrics surface stays scrapeable by one dashboard config.
 //   - errwrap: fmt.Errorf with an error operand uses %w, and pipeline
 //     code never silently discards an error return.
+//   - bytechurn: the per-document byte path (htmlx → textify → segment →
+//     taxonomy) never round-trips string/[]byte copies or calls the
+//     allocating strings case folders inside function bodies, so the
+//     pooled-buffer discipline survives future edits.
 //
 // Diagnostics are emitted as "file:line: [check] message" with
 // deterministic ordering; a committed baseline file grandfathers known
@@ -104,6 +108,10 @@ type Config struct {
 	GoroutinePkgs []string
 	// MetricPrefix is the mandatory metric-name prefix (default "aipan").
 	MetricPrefix string
+	// BytePathPkgs are the import paths on the per-document hot byte path
+	// (HTML tokenization through numbered-text rendering); the bytechurn
+	// checker applies only here.
+	BytePathPkgs []string
 }
 
 // DefaultConfig is the repo's own scoping: the packages on the dataset
@@ -125,11 +133,18 @@ func DefaultConfig() Config {
 			"aipan/internal/obs",
 		},
 		MetricPrefix: "aipan",
+		BytePathPkgs: []string{
+			"aipan/internal/htmlx",
+			"aipan/internal/textify",
+			"aipan/internal/segment",
+			"aipan/internal/taxonomy",
+		},
 	}
 }
 
 func (c Config) deterministic(path string) bool { return containsString(c.DeterministicPkgs, path) }
 func (c Config) goroutineOK(path string) bool   { return containsString(c.GoroutinePkgs, path) }
+func (c Config) bytePath(path string) bool      { return containsString(c.BytePathPkgs, path) }
 
 func containsString(xs []string, s string) bool {
 	for _, x := range xs {
@@ -149,6 +164,7 @@ func Checkers() []*Checker {
 		ctxthreadChecker,
 		metricnameChecker,
 		errwrapChecker,
+		bytechurnChecker,
 	}
 }
 

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// bytechurnChecker polices the hot byte path (Config.BytePathPkgs): the
+// packages that turn raw HTML into numbered text run per document, per
+// node, and per line, so a stray copy conversion there multiplies into
+// megabytes of garbage per crawl. Two patterns are flagged inside function
+// bodies:
+//
+//  1. string([]byte) / []byte(string) conversions — each copies the whole
+//     payload. The zero-alloc forms the compiler recognizes are exempt:
+//     a conversion used directly as a map index (m[string(b)]) or as an
+//     operand of ==/!= against a string.
+//  2. strings.ToLower / strings.ToUpper calls — the byte path owns its
+//     case folding (ASCII tables, lazy copies); the strings versions
+//     allocate a fresh string per call even when nothing changes case on
+//     non-ASCII input paths.
+//
+// Package-level declarations are not walked: one-time table construction
+// is initialization, not churn. Legitimate per-call conversions (e.g. the
+// final []byte→string hand-off of an owned buffer) are carried in the
+// baseline with a justification.
+var bytechurnChecker = &Checker{
+	Name: "bytechurn",
+	Doc:  "no string/[]byte copy conversions or strings case folding inside hot byte-path functions",
+	Run:  runBytechurn,
+}
+
+func runBytechurn(p *Pass) {
+	for _, pkg := range p.Module.Pkgs {
+		if !p.Cfg.bytePath(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			exempt := exemptConversions(pkg, f)
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				checkBytechurnFunc(p, pkg, fn.Body, exempt)
+			}
+		}
+	}
+}
+
+// exemptConversions collects the positions of conversions the compiler
+// performs without a copy: map probes keyed by string(b) and string
+// comparisons against string(b).
+func exemptConversions(pkg *Package, f *ast.File) map[token.Pos]bool {
+	exempt := map[token.Pos]bool{}
+	mark := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if call, ok := e.(*ast.CallExpr); ok {
+			exempt[call.Pos()] = true
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mark(n.Index)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				mark(n.X)
+				mark(n.Y)
+			}
+		}
+		return true
+	})
+	return exempt
+}
+
+func checkBytechurnFunc(p *Pass, pkg *Package, body *ast.BlockStmt, exempt map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// strings.ToLower / strings.ToUpper.
+		if fn := funcObj(pkg.Info, call); fn != nil && pkgPathOf(fn) == "strings" {
+			switch fn.Name() {
+			case "ToLower", "ToUpper":
+				p.Reportf(call.Pos(),
+					"strings.%s allocates per call on the hot byte path of %s (use the package's ASCII fold or a lazy-copy tokenizer)",
+					fn.Name(), pkg.Path)
+			}
+			return true
+		}
+		// Copy conversions.
+		if len(call.Args) != 1 {
+			return true
+		}
+		tv, ok := pkg.Info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		argTv, ok := pkg.Info.Types[call.Args[0]]
+		if !ok {
+			return true
+		}
+		switch {
+		case isStringType(tv.Type) && isByteSlice(argTv.Type):
+			if !exempt[call.Pos()] {
+				p.Reportf(call.Pos(),
+					"string([]byte) conversion copies the payload on the hot byte path of %s (keep the []byte, or baseline the owned-buffer hand-off)",
+					pkg.Path)
+			}
+		case isByteSlice(tv.Type) && isStringType(argTv.Type):
+			p.Reportf(call.Pos(),
+				"[]byte(string) conversion copies the payload on the hot byte path of %s (index the string directly)",
+				pkg.Path)
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

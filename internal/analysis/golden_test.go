@@ -44,7 +44,7 @@ func loadTestdata(t *testing.T) map[string]*Package {
 	mod := loadRepo(t)
 	tdOnce.Do(func() {
 		tdPkgs = map[string]*Package{}
-		for _, name := range []string{"det", "gor", "ctx", "met", "wrap"} {
+		for _, name := range []string{"det", "gor", "ctx", "met", "wrap", "churn"} {
 			pkg, err := mod.LoadPackageDir(filepath.Join("testdata", "src", name), name)
 			if err != nil {
 				tdErr = fmt.Errorf("loading testdata %s: %w", name, err)
@@ -166,6 +166,23 @@ func TestMetricnameGolden(t *testing.T) {
 
 func TestErrwrapGolden(t *testing.T) {
 	runGolden(t, "errwrap", "wrap", DefaultConfig())
+}
+
+func TestBytechurnGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BytePathPkgs = []string{"churn"}
+	runGolden(t, "bytechurn", "churn", cfg)
+}
+
+// TestBytechurnOutOfScope: the identical package outside BytePathPkgs is
+// silent — the rule scopes to the hot byte path, not the whole module.
+func TestBytechurnOutOfScope(t *testing.T) {
+	mod := loadRepo(t)
+	view := testModule(mod, loadTestdata(t)["churn"])
+	cfg := DefaultConfig() // churn is not in BytePathPkgs
+	if diags := Run(view, cfg, []*Checker{CheckerByName("bytechurn")}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics: %v", len(diags), diags)
+	}
 }
 
 // TestDiagnosticOrderIsLoadOrderInvariant runs the full registry over

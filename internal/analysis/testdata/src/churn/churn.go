@@ -1,0 +1,44 @@
+// Package churn is the bytechurn golden corpus: each annotated line must
+// produce exactly the diagnostic its want regexp describes, and the
+// unannotated lines (compiler-recognized zero-copy forms, package-level
+// tables) must stay silent.
+package churn
+
+import "strings"
+
+// roundTrip is the classic churn pattern: both directions copy.
+func roundTrip(b []byte) []byte {
+	s := string(b)   // want string\(\[\]byte\) conversion copies
+	return []byte(s) // want \[\]byte\(string\) conversion copies
+}
+
+// mapProbe is exempt: m[string(b)] compiles to a zero-copy map lookup.
+func mapProbe(m map[string]int, b []byte) int {
+	return m[string(b)]
+}
+
+// compare is exempt: string(b) == lit compiles to a zero-copy comparison.
+func compare(b []byte) bool {
+	return string(b) == "privacy" || string(b) != "policy"
+}
+
+// fold flags the allocating strings case folders.
+func fold(s string) string {
+	if strings.ToUpper(s) == s { // want strings\.ToUpper allocates per call
+		return s
+	}
+	return strings.ToLower(s) // want strings\.ToLower allocates per call
+}
+
+// nonByte conversions are not the checker's business.
+func nonByte(rs []rune, r rune) string {
+	return string(rs) + string(r)
+}
+
+// table is package-level initialization, not churn: no finding.
+var table = []byte("privacy policy")
+
+// titleOK: other strings helpers stay allowed.
+func titleOK(s string) string {
+	return strings.TrimSpace(s)
+}

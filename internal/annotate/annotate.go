@@ -466,23 +466,31 @@ func (an *Annotator) labeled(ctx context.Context, req chatbot.Request) ([]chatbo
 	return chatbot.ParseLabeledMentions(resp.Content)
 }
 
-// validLabels returns the allowed (group, label) pairs for an aspect, so
-// labels invented by weak models are discarded.
-func validLabels(aspect taxonomy.Aspect) map[string]bool {
-	v := map[string]bool{}
-	var groups [][]taxonomy.Label
-	switch aspect {
-	case taxonomy.AspectHandling:
-		groups = [][]taxonomy.Label{taxonomy.RetentionLabels(), taxonomy.ProtectionLabels()}
-	case taxonomy.AspectRights:
-		groups = [][]taxonomy.Label{taxonomy.ChoiceLabels(), taxonomy.AccessLabels()}
-	}
-	for _, ls := range groups {
-		for _, l := range ls {
-			v[l.Group+"|"+l.Name] = true
+// validLabelSets builds the allowed (group, label) pairs once per aspect:
+// the label vocabulary is static, and the old per-document rebuild showed
+// up in allocation profiles. The returned maps are shared — read-only.
+var validLabelSets = sync.OnceValue(func() map[taxonomy.Aspect]map[string]bool {
+	sets := map[taxonomy.Aspect]map[string]bool{}
+	for aspect, groups := range map[taxonomy.Aspect][][]taxonomy.Label{
+		taxonomy.AspectHandling: {taxonomy.RetentionLabels(), taxonomy.ProtectionLabels()},
+		taxonomy.AspectRights:   {taxonomy.ChoiceLabels(), taxonomy.AccessLabels()},
+	} {
+		v := map[string]bool{}
+		for _, ls := range groups {
+			for _, l := range ls {
+				v[l.Group+"|"+l.Name] = true
+			}
 		}
+		sets[aspect] = v
 	}
-	return v
+	return sets
+})
+
+// validLabels returns the allowed (group, label) pairs for an aspect, so
+// labels invented by weak models are discarded. Aspects without label
+// vocabularies yield a nil map, which rejects every lookup.
+func validLabels(aspect taxonomy.Aspect) map[string]bool {
+	return validLabelSets()[aspect]
 }
 
 // ScopeAnonymized marks practices that apply to anonymized/aggregated

@@ -14,24 +14,36 @@ import (
 // check only runs the ordered-subsequence match on lines that contain
 // every token of the phrase.
 type docIndex struct {
-	// lines holds the stemmed token sequence of each rendered line,
-	// indexed by line number - 1.
-	lines [][]string
+	// toks holds the stemmed tokens of every line back-to-back in one
+	// shared buffer; lineOff[i]..lineOff[i+1] delimits line i. One backing
+	// array for the whole document replaces the per-line slice the old
+	// representation allocated.
+	toks    []string
+	lineOff []int32
 	// byWord maps a stemmed token to the ascending indexes of the lines
 	// containing it.
 	byWord map[string][]int
 }
 
+// line returns the stemmed token sequence of the line at index li.
+func (ix *docIndex) line(li int) []string {
+	return ix.toks[ix.lineOff[li]:ix.lineOff[li+1]]
+}
+
 // indexDocument tokenizes and stems every line of doc once.
 func indexDocument(doc *textify.Document) *docIndex {
-	ix := &docIndex{lines: make([][]string, len(doc.Lines)), byWord: map[string][]int{}}
+	ix := &docIndex{
+		lineOff: make([]int32, len(doc.Lines)+1),
+		byWord:  map[string][]int{},
+	}
 	for i, l := range doc.Lines {
-		ws := nlp.Words(l.Text)
-		for j, w := range ws {
-			ws[j] = nlp.Singular(w)
+		start := len(ix.toks)
+		ix.toks = nlp.AppendWords(ix.toks, l.Text)
+		for j := start; j < len(ix.toks); j++ {
+			ix.toks[j] = nlp.Singular(ix.toks[j])
 		}
-		ix.lines[i] = ws
-		for _, w := range ws {
+		ix.lineOff[i+1] = int32(len(ix.toks))
+		for _, w := range ix.toks[start:] {
 			post := ix.byWord[w]
 			if len(post) == 0 || post[len(post)-1] != i {
 				ix.byWord[w] = append(post, i)
@@ -55,11 +67,11 @@ func stemmedWords(phrase string) []string {
 // pre-stemmed tokens pw) as an ordered, possibly discontinuous
 // subsequence — exactly nlp.ContainsWords(lineText, phrase).
 func (ix *docIndex) lineContains(li int, pw []string) bool {
-	if len(pw) == 0 || li < 0 || li >= len(ix.lines) {
+	if len(pw) == 0 || li < 0 || li >= len(ix.lineOff)-1 {
 		return false
 	}
 	j := 0
-	for _, w := range ix.lines[li] {
+	for _, w := range ix.line(li) {
 		if j < len(pw) && w == pw[j] {
 			j++
 		}

@@ -19,7 +19,14 @@ type tokenPos struct {
 // spans can be reported verbatim ("pinpoint the exact word(s) used in the
 // text").
 func tokenize(line string) []tokenPos {
-	var out []tokenPos
+	return tokenizeInto(nil, line)
+}
+
+// tokenizeInto appends line's tokens to out — per-line loops pass a reused
+// scratch slice (out[:0]) so the token buffer is allocated once per task
+// instead of once per line. Nothing downstream retains the slice: matchers
+// and span wideners only read it within the line's iteration.
+func tokenizeInto(out []tokenPos, line string) []tokenPos {
 	i := 0
 	for i < len(line) {
 		r := rune(line[i])
@@ -102,7 +109,13 @@ type matchSpan struct {
 // find returns non-overlapping matches in line, greedy left-to-right and
 // longest-first at each position.
 func (m *phraseMatcher) find(line string) []matchSpan {
-	toks := tokenize(line)
+	return m.findToks(line, tokenize(line))
+}
+
+// findToks is find over an already-tokenized line, letting callers that
+// run several matchers (or matcher + noun-phrase passes) over the same
+// line tokenize it once.
+func (m *phraseMatcher) findToks(line string, toks []tokenPos) []matchSpan {
 	var out []matchSpan
 	for i := 0; i < len(toks); i++ {
 		cands := m.byFirst[toks[i].stem]
@@ -157,8 +170,7 @@ var npStop = map[string]bool{
 // noun phrases ending in a data-ish head ("pet adoption records") that did
 // not overlap a glossary match. It emulates the chatbot "generating
 // descriptors of its own for data types not listed in the glossary".
-func findNovelNounPhrases(line string, taken []matchSpan) []matchSpan {
-	toks := tokenize(line)
+func findNovelNounPhrases(line string, toks []tokenPos, taken []matchSpan) []matchSpan {
 	used := make([]bool, len(toks))
 	for _, s := range taken {
 		for i := s.startTok; i < s.endTok && i < len(used); i++ {

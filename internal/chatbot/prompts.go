@@ -3,12 +3,49 @@ package chatbot
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"aipan/internal/taxonomy"
 )
 
 // persona is the system message shared by all tasks (Figure 2).
 const persona = "Assume the role of a data privacy expert tasked with analyzing website privacy policies. Carefully follow the instructions, using the provided glossary and example as a guide. Print only the JSON-formatted string in your output without adding any extra information."
+
+// Every task message below is a pure function of (task, glossary size,
+// taxonomy generation): the variable input always rides in its own message.
+// The pipeline builds these prompts once per document aspect — hundreds of
+// thousands of times at corpus scale — so the rendered skeletons are
+// premarshaled here and invalidated only when the taxonomy generation
+// moves (a registered or cleared extension changes the glossaries).
+type promptKey struct {
+	task     string
+	glossary int
+}
+
+var promptCache struct {
+	mu   sync.Mutex
+	gen  uint64
+	msgs map[promptKey]string
+}
+
+// cachedTaskMsg returns the premarshaled task message for (task, glossary),
+// rendering it with build on the first request of a generation.
+func cachedTaskMsg(task string, glossary int, build func() string) string {
+	gen := taxonomy.Generation()
+	promptCache.mu.Lock()
+	defer promptCache.mu.Unlock()
+	if promptCache.msgs == nil || promptCache.gen != gen {
+		promptCache.gen = gen
+		promptCache.msgs = map[promptKey]string{}
+	}
+	k := promptKey{task: task, glossary: glossary}
+	if m, ok := promptCache.msgs[k]; ok {
+		return m
+	}
+	m := build()
+	promptCache.msgs[k] = m
+	return m
+}
 
 func newRequest(task, taskMsg, input string) Request {
 	return Request{
@@ -26,6 +63,11 @@ func newRequest(task, taskMsg, input string) Request {
 // (one heading per line, "[n]"-numbered, indented by hierarchy) with the
 // nine section aspects.
 func HeadingLabelsRequest(numberedHeadings string) Request {
+	msg := cachedTaskMsg(TaskHeadingLabels, 0, buildHeadingLabelsMsg)
+	return newRequest(TaskHeadingLabels, msg, numberedHeadings)
+}
+
+func buildHeadingLabelsMsg() string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskHeadingLabels + "\n")
 	b.WriteString("**Task:** Use the provided glossary to label a list of section headings (extracted from text that may contain a privacy policy) according to the categories given below:\n\n")
@@ -47,13 +89,18 @@ The glossary below includes phrases relevant to each category. This glossary is 
 `)
 	writeAspectGlossary(&b)
 	b.WriteString("\n### Example:\nInput:\n[1] Information We Collect\n[2]   Cookies\nOutput:\n[[1, [\"types\"]], [2, [\"types\", \"methods\"]]]\n")
-	return newRequest(TaskHeadingLabels, b.String(), numberedHeadings)
+	return b.String()
 }
 
 // SegmentTextRequest builds the Appendix B fallback task: divide an entire
 // policy text into sections and label every line with the aspects it
 // belongs to.
 func SegmentTextRequest(numberedText string) Request {
+	msg := cachedTaskMsg(TaskSegmentText, 0, buildSegmentTextMsg)
+	return newRequest(TaskSegmentText, msg, numberedText)
+}
+
+func buildSegmentTextMsg() string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskSegmentText + "\n")
 	b.WriteString("**Task:** Divide the privacy policy text provided in the next message into sections and label each line according to the categories given below:\n\n")
@@ -69,7 +116,7 @@ func SegmentTextRequest(numberedText string) Request {
 `)
 	writeAspectGlossary(&b)
 	b.WriteString("\n### Example:\nInput:\n[1] We collect your name and email.\nOutput:\n[[1, [\"types\"]]]\n")
-	return newRequest(TaskSegmentText, b.String(), numberedText)
+	return b.String()
 }
 
 // ExtractTypesRequest builds the Figure 2b task: extract verbatim mentions
@@ -77,6 +124,13 @@ func SegmentTextRequest(numberedText string) Request {
 // include every descriptor; the paper attaches the compiled glossary to
 // provide "more context").
 func ExtractTypesRequest(numberedText string, glossaryPerCategory int) Request {
+	msg := cachedTaskMsg(TaskExtractTypes, glossaryPerCategory, func() string {
+		return buildExtractTypesMsg(glossaryPerCategory)
+	})
+	return newRequest(TaskExtractTypes, msg, numberedText)
+}
+
+func buildExtractTypesMsg(glossaryPerCategory int) string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskExtractTypes + "\n")
 	b.WriteString("**Task:** Meticulously extract and catalog specific data types that are mentioned as being collected.\n")
@@ -99,13 +153,20 @@ The glossary below includes some examples of data types. This glossary is **not*
 		b.WriteString(taxonomy.TypeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\n[4] We collect your email address and browsing history.\nOutput:\n[[4, \"email address\"], [4, \"browsing history\"]]\n")
-	return newRequest(TaskExtractTypes, b.String(), numberedText)
+	return b.String()
 }
 
 // NormalizeTypesRequest builds the second types task (§3.2.2): categorize
 // extracted mentions and generate normalized descriptors, using the
 // compiled glossary, inventing descriptors for out-of-vocabulary terms.
 func NormalizeTypesRequest(mentions []string, glossaryPerCategory int) Request {
+	msg := cachedTaskMsg(TaskNormalizeTypes, glossaryPerCategory, func() string {
+		return buildNormalizeTypesMsg(glossaryPerCategory)
+	})
+	return newRequest(TaskNormalizeTypes, msg, strings.Join(mentions, "\n"))
+}
+
+func buildNormalizeTypesMsg(glossaryPerCategory int) string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskNormalizeTypes + "\n")
 	b.WriteString("**Task:** Categorize the extracted data types provided in the next message and generate normalized descriptors (e.g., mapping both \"mailing address\" and \"home address\" to \"postal address\" and categorizing them as \"Contact info\").\n")
@@ -122,11 +183,18 @@ func NormalizeTypesRequest(mentions []string, glossaryPerCategory int) Request {
 		b.WriteString(taxonomy.TypeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\nmailing address\nOutput:\n[[\"mailing address\", \"Physical profile\", \"Contact info\", \"postal address\"]]\n")
-	return newRequest(TaskNormalizeTypes, b.String(), strings.Join(mentions, "\n"))
+	return b.String()
 }
 
 // ExtractPurposesRequest builds the purposes extraction task.
 func ExtractPurposesRequest(numberedText string, glossaryPerCategory int) Request {
+	msg := cachedTaskMsg(TaskExtractPurposes, glossaryPerCategory, func() string {
+		return buildExtractPurposesMsg(glossaryPerCategory)
+	})
+	return newRequest(TaskExtractPurposes, msg, numberedText)
+}
+
+func buildExtractPurposesMsg(glossaryPerCategory int) string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskExtractPurposes + "\n")
 	b.WriteString("**Task:** Meticulously extract and catalog specific purposes for which data is collected, used, or processed.\n")
@@ -145,11 +213,18 @@ func ExtractPurposesRequest(numberedText string, glossaryPerCategory int) Reques
 		b.WriteString(taxonomy.PurposeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\n[2] We use your data for fraud prevention and analytics.\nOutput:\n[[2, \"fraud prevention\"], [2, \"analytics\"]]\n")
-	return newRequest(TaskExtractPurposes, b.String(), numberedText)
+	return b.String()
 }
 
 // NormalizePurposesRequest builds the purposes normalization task.
 func NormalizePurposesRequest(mentions []string, glossaryPerCategory int) Request {
+	msg := cachedTaskMsg(TaskNormalizePurposes, glossaryPerCategory, func() string {
+		return buildNormalizePurposesMsg(glossaryPerCategory)
+	})
+	return newRequest(TaskNormalizePurposes, msg, strings.Join(mentions, "\n"))
+}
+
+func buildNormalizePurposesMsg(glossaryPerCategory int) string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskNormalizePurposes + "\n")
 	b.WriteString("**Task:** Categorize the extracted data-collection purposes provided in the next message and generate normalized descriptors according to the glossary.\n")
@@ -165,12 +240,17 @@ func NormalizePurposesRequest(mentions []string, glossaryPerCategory int) Reques
 		b.WriteString(taxonomy.PurposeGlossary(glossaryPerCategory))
 	}
 	b.WriteString("\n### Example:\nInput:\nprevent fraud\nOutput:\n[[\"prevent fraud\", \"Legal\", \"Security\", \"fraud prevention\"]]\n")
-	return newRequest(TaskNormalizePurposes, b.String(), strings.Join(mentions, "\n"))
+	return b.String()
 }
 
 // HandlingLabelsRequest builds the data retention/protection task: extract
 // relevant mentions and label them with the Table 1 practice labels.
 func HandlingLabelsRequest(numberedText string) Request {
+	msg := cachedTaskMsg(TaskHandlingLabels, 0, buildHandlingLabelsMsg)
+	return newRequest(TaskHandlingLabels, msg, numberedText)
+}
+
+func buildHandlingLabelsMsg() string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskHandlingLabels + "\n")
 	b.WriteString("**Task:** Extract mentions of data retention periods and specific data protection measures, and label them according to the practices listed below.\n\n")
@@ -189,11 +269,16 @@ Input:
 Output:
 [[3, "Data retention", "Stated", "six (6) years"], [3, "Data protection", "Access limit", "restrict access to employees on a need-to-know basis"]]
 `)
-	return newRequest(TaskHandlingLabels, b.String(), numberedText)
+	return b.String()
 }
 
 // RightsLabelsRequest builds the user choices/access task.
 func RightsLabelsRequest(numberedText string) Request {
+	msg := cachedTaskMsg(TaskRightsLabels, 0, buildRightsLabelsMsg)
+	return newRequest(TaskRightsLabels, msg, numberedText)
+}
+
+func buildRightsLabelsMsg() string {
 	var b strings.Builder
 	b.WriteString("### Task-ID: " + TaskRightsLabels + "\n")
 	b.WriteString("**Task:** Extract mentions of user choices (opt-in/opt-out, privacy settings) and user access rights (view, edit, delete, export), and label them according to the practices listed below.\n\n")
@@ -211,7 +296,7 @@ Input:
 Output:
 [[5, "User choices", "Opt-out via link", "opt out by clicking the unsubscribe link"], [5, "User access", "Export", "request a copy of your data"]]
 `)
-	return newRequest(TaskRightsLabels, b.String(), numberedText)
+	return b.String()
 }
 
 func writeAspectList(b *strings.Builder) {

@@ -3,9 +3,9 @@ package chatbot
 import (
 	"context"
 	"fmt"
-	"hash/fnv"
 	"strconv"
 	"strings"
+	"sync"
 
 	"aipan/internal/nlp"
 	"aipan/internal/taxonomy"
@@ -212,16 +212,66 @@ func parseNumbered(input string) []numLine {
 	return out
 }
 
+// fnvHash is an inline FNV-1a accumulator. The sim draws several decisions
+// per input line; hashing in place (instead of fnv.New64a + Fprintf per
+// draw) keeps the hot path allocation-free while producing bit-identical
+// sums to the hash/fnv implementation it replaces.
+type fnvHash uint64
+
+const (
+	fnvOffset64 fnvHash = 14695981039346656037
+	fnvPrime64  fnvHash = 1099511628211
+)
+
+func (h fnvHash) byte(b byte) fnvHash { return (h ^ fnvHash(b)) * fnvPrime64 }
+
+func (h fnvHash) str(s string) fnvHash {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ fnvHash(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// num hashes the decimal digits of n, matching the byte stream the old
+// fmt.Fprintf("%d") / strconv.Itoa key parts produced.
+func (h fnvHash) num(n int64) fnvHash {
+	var buf [20]byte
+	for _, c := range strconv.AppendInt(buf[:0], n, 10) {
+		h = h.byte(c)
+	}
+	return h
+}
+
+// unum is num for unsigned values (the profile seed), matching %d on a
+// uint64 across the full range.
+func (h fnvHash) unum(n uint64) fnvHash {
+	var buf [20]byte
+	for _, c := range strconv.AppendUint(buf[:0], n, 10) {
+		h = h.byte(c)
+	}
+	return h
+}
+
+func (h fnvHash) draw() float64 { return float64(uint64(h)%1e9) / 1e9 }
+
+func (s *Sim) decideBase() fnvHash {
+	return fnvOffset64.unum(s.profile.Seed)
+}
+
 // decide returns a deterministic pseudo-random draw in [0,1) for the given
 // decision key, so that identical runs reproduce identical "mistakes".
 func (s *Sim) decide(parts ...string) float64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d", s.profile.Seed)
+	h := s.decideBase()
 	for _, p := range parts {
-		h.Write([]byte{0})
-		h.Write([]byte(p))
+		h = h.byte(0).str(p)
 	}
-	return float64(h.Sum64()%1e9) / 1e9
+	return h.draw()
+}
+
+// decideLine is decide(kind, strconv.Itoa(n), part) without materializing
+// the line-number string — the dominant decision shape in extraction.
+func (s *Sim) decideLine(kind string, n int, part string) float64 {
+	return s.decideBase().byte(0).str(kind).byte(0).num(int64(n)).byte(0).str(part).draw()
 }
 
 // ---------------------------------------------------------------- aspects
@@ -245,16 +295,11 @@ var headingRules = []aspectRule{
 }
 
 func (s *Sim) classifyHeading(text string) []string {
-	low := strings.ToLower(text)
-	var labels []string
-	for _, r := range headingRules {
-		for _, c := range r.cues {
-			if strings.Contains(low, c) {
-				labels = append(labels, string(r.aspect))
-				break
-			}
-		}
-	}
+	return s.classifyHeadingLow(strings.ToLower(text))
+}
+
+func (s *Sim) classifyHeadingLow(low string) []string {
+	labels := headingRuleMatcher().classify(low)
 	if len(labels) == 0 {
 		labels = []string{string(taxonomy.AspectOther)}
 	}
@@ -262,9 +307,9 @@ func (s *Sim) classifyHeading(text string) []string {
 }
 
 // classifyBody labels a body line by its content for the full-text
-// segmentation fallback.
-func (s *Sim) classifyBody(text string) []string {
-	low := strings.ToLower(text)
+// segmentation fallback; low and toks are the caller's lowercased and
+// tokenized forms of text.
+func (s *Sim) classifyBody(text, low string, toks []tokenPos) []string {
 	var labels []string
 	add := func(a taxonomy.Aspect) {
 		for _, l := range labels {
@@ -274,16 +319,16 @@ func (s *Sim) classifyBody(text string) []string {
 		}
 		labels = append(labels, string(a))
 	}
-	if matchesAnyCue(low, retentionCues()) || matchesAnyCue(low, protectionCues()) {
+	if retentionMatcher().any(low) || protectionMatcher().any(low) {
 		add(taxonomy.AspectHandling)
 	}
-	if matchesAnyCue(low, choiceCues()) || matchesAnyCue(low, accessCues()) {
+	if choiceMatcher().any(low) || accessMatcher().any(low) {
 		add(taxonomy.AspectRights)
 	}
-	if len(s.purposeMatcher.find(text)) > 0 {
+	if len(s.purposeMatcher.findToks(text, toks)) > 0 {
 		add(taxonomy.AspectPurposes)
 	}
-	if len(s.typeMatcher.find(text)) > 0 {
+	if len(s.typeMatcher.findToks(text, toks)) > 0 {
 		add(taxonomy.AspectTypes)
 	}
 	for _, w := range []string{"share", "disclose", "third part"} {
@@ -310,6 +355,7 @@ func (s *Sim) classifyBody(text string) []string {
 func (s *Sim) labelLines(input string, headingsOnly bool) []LineLabels {
 	lines := parseNumbered(input)
 	out := make([]LineLabels, 0, len(lines))
+	var scratch []tokenPos
 	for _, l := range lines {
 		var labels []string
 		if headingsOnly {
@@ -318,7 +364,9 @@ func (s *Sim) labelLines(input string, headingsOnly bool) []LineLabels {
 			// Fallback mode: a line may mix heading-style cues and body
 			// content (short policies collapse to few lines), so take the
 			// union of both classifiers.
-			labels = unionLabels(s.classifyHeading(l.text), s.classifyBody(l.text))
+			low := strings.ToLower(l.text)
+			scratch = tokenizeInto(scratch[:0], l.text)
+			labels = unionLabels(s.classifyHeadingLow(low), s.classifyBody(l.text, low, scratch))
 		}
 		out = append(out, LineLabels{Line: l.n, Labels: labels})
 	}
@@ -362,12 +410,15 @@ func hasCollectionContext(low string) bool {
 
 func (s *Sim) extractTypes(input string) []Extraction {
 	var out []Extraction
+	var scratch []tokenPos
 	for _, l := range parseNumbered(input) {
 		low := strings.ToLower(l.text)
-		spans := s.typeMatcher.find(l.text)
+		scratch = tokenizeInto(scratch[:0], l.text)
+		toks := scratch
+		spans := s.typeMatcher.findToks(l.text, toks)
 		if s.profile.NoveltyZeal > 0 && hasCollectionContext(low) {
-			for _, np := range findNovelNounPhrases(l.text, spans) {
-				if s.decide("novel", strconv.Itoa(l.n), np.text) < s.profile.NoveltyZeal {
+			for _, np := range findNovelNounPhrases(l.text, toks, spans) {
+				if s.decideLine("novel", l.n, np.text) < s.profile.NoveltyZeal {
 					spans = append(spans, np)
 				}
 			}
@@ -378,16 +429,16 @@ func (s *Sim) extractTypes(input string) []Extraction {
 			}
 			text := sp.text
 			if s.profile.SpanSloppiness > 0 &&
-				s.decide("sloppy", strconv.Itoa(l.n), sp.text) < s.profile.SpanSloppiness {
-				text = s.sloppySpan(l.text, sp)
+				s.decideLine("sloppy", l.n, sp.text) < s.profile.SpanSloppiness {
+				text = s.sloppySpan(l.text, toks, sp)
 			}
 			out = append(out, Extraction{Line: l.n, Text: text})
 		}
 		// Vendor confusion: weak models extract product names as data types.
 		if s.profile.VendorConfusion > 0 {
-			for _, t := range tokenize(l.text) {
+			for _, t := range toks {
 				if s.vendorSet[t.word] &&
-					s.decide("vendor", strconv.Itoa(l.n), t.word) < s.profile.VendorConfusion {
+					s.decideLine("vendor", l.n, t.word) < s.profile.VendorConfusion {
 					out = append(out, Extraction{Line: l.n, Text: l.text[t.start:t.end]})
 				}
 			}
@@ -398,8 +449,10 @@ func (s *Sim) extractTypes(input string) []Extraction {
 
 func (s *Sim) extractPurposes(input string) []Extraction {
 	var out []Extraction
+	var scratch []tokenPos
 	for _, l := range parseNumbered(input) {
-		for _, sp := range s.purposeMatcher.find(l.text) {
+		scratch = tokenizeInto(scratch[:0], l.text)
+		for _, sp := range s.purposeMatcher.findToks(l.text, scratch) {
 			if s.skipMention(l, sp) {
 				continue
 			}
@@ -415,12 +468,12 @@ func (s *Sim) skipMention(l numLine, sp matchSpan) bool {
 	if nlp.IsNegatedMention(sentence, sp.text) {
 		// Instruction-faithful models skip; weak models extract anyway with
 		// probability NegationErrorRate.
-		if s.decide("neg", strconv.Itoa(l.n), sp.text) >= s.profile.NegationErrorRate {
+		if s.decideLine("neg", l.n, sp.text) >= s.profile.NegationErrorRate {
 			return true
 		}
 		return false
 	}
-	return s.decide("miss", strconv.Itoa(l.n), sp.text) < s.profile.MissRate
+	return s.decideLine("miss", l.n, sp.text) < s.profile.MissRate
 }
 
 // ---------------------------------------------------------- normalization
@@ -456,53 +509,20 @@ func (s *Sim) normalize(input string, ix *taxonomy.Index, cats []taxonomy.Catego
 
 // ------------------------------------------------------- handling/rights
 
-func retentionCues() map[string]string  { return cueMap(taxonomy.RetentionLabels()) }
-func protectionCues() map[string]string { return cueMap(taxonomy.ProtectionLabels()) }
-func choiceCues() map[string]string     { return cueMap(taxonomy.ChoiceLabels()) }
-func accessCues() map[string]string     { return cueMap(taxonomy.AccessLabels()) }
+// The Table 1 label sets are static literals, but the taxonomy functions
+// rebuild them (and this file used to rebuild the flattened cue maps) on
+// every call — once per input LINE on the labeling paths. Build each once.
+var (
+	retentionLabels  = sync.OnceValue(taxonomy.RetentionLabels)
+	protectionLabels = sync.OnceValue(taxonomy.ProtectionLabels)
+	choiceLabels     = sync.OnceValue(taxonomy.ChoiceLabels)
+	accessLabels     = sync.OnceValue(taxonomy.AccessLabels)
 
-// cueMap flattens labels into cue→label lookups. Longest cues win, so the
-// caller iterates via matchLabelCues.
-func cueMap(labels []taxonomy.Label) map[string]string {
-	m := map[string]string{}
-	for _, l := range labels {
-		for _, c := range l.Cues {
-			m[c] = l.Name
-		}
-	}
-	return m
-}
+)
 
-func matchesAnyCue(low string, cues map[string]string) bool {
-	for c := range cues {
-		if strings.Contains(low, c) {
-			return true
-		}
-	}
-	return false
-}
-
-// matchLabelCues returns (label, matched cue) pairs found in low, longest
-// cue first per label.
-func matchLabelCues(low string, labels []taxonomy.Label) []struct{ Label, Cue string } {
-	var out []struct{ Label, Cue string }
-	for _, l := range labels {
-		best := ""
-		for _, c := range l.Cues {
-			if strings.Contains(low, c) && len(c) > len(best) {
-				best = c
-			}
-		}
-		if best != "" {
-			out = append(out, struct{ Label, Cue string }{l.Name, best})
-		}
-	}
-	return out
-}
-
-// verbatim recovers the original-case substring of line matching cue.
-func verbatim(line, cue string) string {
-	low := strings.ToLower(line)
+// verbatim recovers the original-case substring of line matching cue; low
+// is the caller's already-lowercased copy of line.
+func verbatim(line, low, cue string) string {
 	if i := strings.Index(low, cue); i >= 0 {
 		return line[i : i+len(cue)]
 	}
@@ -514,35 +534,35 @@ func (s *Sim) labelHandling(input string) []LabeledMention {
 	for _, l := range parseNumbered(input) {
 		low := strings.ToLower(l.text)
 		// Retention: a parsed duration beats the unspecific labels.
-		if p, ok := nlp.ParseRetention(l.text); ok && matchesAnyCue(low, retentionCues()) {
-			if s.decide("hmiss", strconv.Itoa(l.n), "stated") >= s.profile.MissRate {
+		if p, ok := nlp.ParseRetention(l.text); ok && retentionMatcher().any(low) {
+			if s.decideLine("hmiss", l.n, "stated") >= s.profile.MissRate {
 				out = append(out, LabeledMention{
 					Line: l.n, Group: taxonomy.GroupRetention,
 					Label: taxonomy.RetentionStated, Text: statedVerbatim(l.text, p.Raw),
 				})
 			}
 		} else {
-			for _, m := range matchLabelCues(low, taxonomy.RetentionLabels()) {
+			for _, m := range retentionMatcher().match(low) {
 				if m.Label == taxonomy.RetentionStated {
 					continue // anchors alone don't make a stated period
 				}
-				if s.decide("hmiss", strconv.Itoa(l.n), m.Label) < s.profile.MissRate {
+				if s.decideLine("hmiss", l.n, m.Label) < s.profile.MissRate {
 					continue
 				}
 				out = append(out, LabeledMention{
 					Line: l.n, Group: taxonomy.GroupRetention,
-					Label: m.Label, Text: verbatim(l.text, m.Cue),
+					Label: m.Label, Text: verbatim(l.text, low, m.Cue),
 				})
 				break // one retention label per line
 			}
 		}
-		for _, m := range matchLabelCues(low, taxonomy.ProtectionLabels()) {
-			if s.decide("pmiss", strconv.Itoa(l.n), m.Label) < s.profile.MissRate {
+		for _, m := range protectionMatcher().match(low) {
+			if s.decideLine("pmiss", l.n, m.Label) < s.profile.MissRate {
 				continue
 			}
 			out = append(out, LabeledMention{
 				Line: l.n, Group: taxonomy.GroupProtection,
-				Label: m.Label, Text: verbatim(l.text, m.Cue),
+				Label: m.Label, Text: verbatim(l.text, low, m.Cue),
 			})
 		}
 	}
@@ -576,22 +596,22 @@ func (s *Sim) labelRights(input string) []LabeledMention {
 	var out []LabeledMention
 	for _, l := range parseNumbered(input) {
 		low := strings.ToLower(l.text)
-		for _, m := range matchLabelCues(low, taxonomy.ChoiceLabels()) {
-			if s.decide("cmiss", strconv.Itoa(l.n), m.Label) < s.profile.MissRate {
+		for _, m := range choiceMatcher().match(low) {
+			if s.decideLine("cmiss", l.n, m.Label) < s.profile.MissRate {
 				continue
 			}
 			out = append(out, LabeledMention{
 				Line: l.n, Group: taxonomy.GroupChoices,
-				Label: m.Label, Text: verbatim(l.text, m.Cue),
+				Label: m.Label, Text: verbatim(l.text, low, m.Cue),
 			})
 		}
-		for _, m := range matchLabelCues(low, taxonomy.AccessLabels()) {
-			if s.decide("amiss", strconv.Itoa(l.n), m.Label) < s.profile.MissRate {
+		for _, m := range accessMatcher().match(low) {
+			if s.decideLine("amiss", l.n, m.Label) < s.profile.MissRate {
 				continue
 			}
 			out = append(out, LabeledMention{
 				Line: l.n, Group: taxonomy.GroupAccess,
-				Label: m.Label, Text: verbatim(l.text, m.Cue),
+				Label: m.Label, Text: verbatim(l.text, low, m.Cue),
 			})
 		}
 	}
@@ -601,8 +621,7 @@ func (s *Sim) labelRights(input string) []LabeledMention {
 // sloppySpan widens an extraction by up to two preceding tokens — the
 // boundary error weak models make ("collect your email address" instead
 // of "email address").
-func (s *Sim) sloppySpan(line string, sp matchSpan) string {
-	toks := tokenize(line)
+func (s *Sim) sloppySpan(line string, toks []tokenPos, sp matchSpan) string {
 	if sp.startTok <= 0 || sp.startTok > len(toks) || sp.endTok > len(toks) {
 		return sp.text
 	}

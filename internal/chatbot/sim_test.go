@@ -398,7 +398,7 @@ func TestSloppySpanWidens(t *testing.T) {
 	if len(spans) != 1 {
 		t.Fatalf("spans: %+v", spans)
 	}
-	wide := s.sloppySpan(line, spans[0])
+	wide := s.sloppySpan(line, tokenize(line), spans[0])
 	if !strings.HasSuffix(wide, "email address") {
 		t.Errorf("sloppy span %q lost the mention", wide)
 	}
@@ -408,16 +408,16 @@ func TestSloppySpanWidens(t *testing.T) {
 	// Span at line start cannot widen.
 	line2 := "email address is required."
 	spans2 := s.typeMatcher.find(line2)
-	if got := s.sloppySpan(line2, spans2[0]); got != spans2[0].text {
+	if got := s.sloppySpan(line2, tokenize(line2), spans2[0]); got != spans2[0].text {
 		t.Errorf("start-of-line span changed: %q", got)
 	}
 }
 
 func TestVerbatimHelper(t *testing.T) {
-	if got := verbatim("You may OPT OUT by contacting us", "opt out by contacting"); got != "OPT OUT by contacting" {
+	if got := verbatim("You may OPT OUT by contacting us", strings.ToLower("You may OPT OUT by contacting us"), "opt out by contacting"); got != "OPT OUT by contacting" {
 		t.Errorf("verbatim = %q", got)
 	}
-	if got := verbatim("no match here", "absent cue"); got != "absent cue" {
+	if got := verbatim("no match here", "no match here", "absent cue"); got != "absent cue" {
 		t.Errorf("fallback = %q", got)
 	}
 }

@@ -490,13 +490,41 @@ func (c *Crawler) doFetch(ctx context.Context, u *url.URL) *Page {
 		ct = ct[:i]
 	}
 	p.ContentType = strings.TrimSpace(ct)
-	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes))
+	body, err := readBody(resp, c.cfg.MaxBodyBytes)
 	if err != nil {
 		p.FetchErr = err.Error()
 		return p
 	}
 	p.Body = string(body)
 	return p
+}
+
+// readBody reads at most max bytes of the response body. When the server
+// declares a credible Content-Length the buffer is allocated at full size
+// up front — io.ReadAll's grow-from-512 doubling was one of the crawl
+// path's largest allocation sources.
+func readBody(resp *http.Response, max int64) ([]byte, error) {
+	lr := io.LimitReader(resp.Body, max)
+	n := resp.ContentLength
+	if n < 0 || n > max {
+		return io.ReadAll(lr)
+	}
+	// One spare byte so the final EOF-detecting read has room without
+	// triggering a growth cycle.
+	buf := make([]byte, 0, n+1)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		m, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+m]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 func (c *Crawler) fetchRobots(ctx context.Context, domain string) robotsRules {

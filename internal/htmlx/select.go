@@ -77,6 +77,9 @@ func parseSimple(s string) simpleSelector {
 		cur = nil
 	}
 	flush()
+	// Node names are stored lowercase; folding the tag here keeps matches
+	// a plain comparison per visited node.
+	sel.tag = strings.ToLower(sel.tag)
 	return sel
 }
 
@@ -84,7 +87,7 @@ func (s simpleSelector) matches(n *Node) bool {
 	if n.Type != ElementNode {
 		return false
 	}
-	if s.tag != "" && s.tag != "*" && n.Data != strings.ToLower(s.tag) {
+	if s.tag != "" && s.tag != "*" && n.Data != s.tag {
 		return false
 	}
 	if s.id != "" && n.ID() != s.id {

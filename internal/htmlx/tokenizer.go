@@ -132,7 +132,7 @@ func (z *Tokenizer) nextEndTag() Token {
 	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	name := strings.ToLower(z.src[start:z.pos])
+	name := lowerASCII(z.src[start:z.pos])
 	// Skip to '>'.
 	if i := strings.IndexByte(z.src[z.pos:], '>'); i >= 0 {
 		z.pos += i + 1
@@ -148,7 +148,7 @@ func (z *Tokenizer) nextStartTag() Token {
 	for z.pos < len(z.src) && isNameChar(z.src[z.pos]) {
 		z.pos++
 	}
-	name := strings.ToLower(z.src[start:z.pos])
+	name := lowerASCII(z.src[start:z.pos])
 	tok := Token{Type: StartTagToken, Data: name}
 
 	for {
@@ -198,7 +198,7 @@ func (z *Tokenizer) nextAttr() (key, val string, ok bool) {
 		z.pos++
 		return "", "", false
 	}
-	key = strings.ToLower(z.src[start:z.pos])
+	key = lowerASCII(z.src[start:z.pos])
 	z.skipSpace()
 	if z.pos >= len(z.src) || z.src[z.pos] != '=' {
 		return key, "", true
@@ -234,11 +234,20 @@ func (z *Tokenizer) nextAttr() (key, val string, ok bool) {
 	return key, unescape(val), true
 }
 
+// rawClosers precomputes the "</name" search needle for each raw-text
+// element, so the scan loop below allocates nothing.
+var rawClosers = map[string]string{
+	"script": "</script", "style": "</style", "textarea": "</textarea",
+	"title": "</title", "noscript": "</noscript",
+}
+
 // nextRawText scans the content of a raw-text element up to its end tag.
 func (z *Tokenizer) nextRawText() Token {
-	closer := "</" + z.rawTag
-	low := strings.ToLower(z.src[z.pos:])
-	i := strings.Index(low, closer)
+	closer, ok := rawClosers[z.rawTag]
+	if !ok {
+		closer = "</" + z.rawTag
+	}
+	i := indexFoldASCII(z.src[z.pos:], closer)
 	if i < 0 {
 		text := z.src[z.pos:]
 		z.pos = len(z.src)
@@ -278,4 +287,56 @@ func isAlpha(c byte) bool {
 
 func isNameChar(c byte) bool {
 	return isAlpha(c) || (c >= '0' && c <= '9') || c == '-' || c == '_' || c == ':'
+}
+
+// lowerASCII lowercases a tag/attribute name. Names are scanned with
+// isNameChar, so they are pure ASCII; the common already-lowercase case
+// returns s unchanged without allocating.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' {
+			b := []byte(s)
+			for j := i; j < len(b); j++ {
+				if b[j] >= 'A' && b[j] <= 'Z' {
+					b[j] += 'a' - 'A'
+				}
+			}
+			return string(b)
+		}
+	}
+	return s
+}
+
+// indexFoldASCII returns the index of the first ASCII-case-insensitive
+// occurrence of sub (which must be lowercase ASCII) in s, or -1. It
+// replaces lowercasing the entire remaining source per raw-text scan.
+func indexFoldASCII(s, sub string) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	c0 := sub[0]
+	u0 := c0
+	if c0 >= 'a' && c0 <= 'z' {
+		u0 = c0 - ('a' - 'A')
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i] != c0 && s[i] != u0 {
+			continue
+		}
+		match := true
+		for j := 1; j < len(sub); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
 }

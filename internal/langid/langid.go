@@ -6,8 +6,8 @@
 package langid
 
 import (
-	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Lang is an ISO-639-1 language code.
@@ -57,31 +57,85 @@ var profileSets = func() map[Lang]map[string]bool {
 	return m
 }()
 
+// langOrder fixes the scoring order (and therefore tie-breaking) instead
+// of ranging over the profile map.
+var langOrder = [...]Lang{English, German, French, Spanish}
+
 // Detect returns the best-scoring language and its score (fraction of
 // tokens found in that language's stopword profile). Texts under 5 tokens
 // or with no stopword hits return Unknown.
+//
+// Tokens are scored as they are produced — the detector runs on every
+// fetched page, and materializing a token slice per page was one of the
+// crawl path's largest allocation sources. Mixed-case tokens are lowercased
+// into a reused scratch buffer; the map probes via string(scratch) compile
+// to lookups without a string copy.
 func Detect(text string) (Lang, float64) {
-	words := tokenize(text)
-	if len(words) < 5 {
+	var sets [len(langOrder)]map[string]bool
+	for i, l := range langOrder {
+		sets[i] = profileSets[l]
+	}
+	var hits [len(langOrder)]int
+	total := 0
+	var scratch []byte
+	for i := 0; i < len(text) && total < 4000; {
+		r, sz := decodeRuneAt(text, i)
+		if !unicode.IsLetter(r) {
+			i += sz
+			continue
+		}
+		start := i
+		needsLower := unicode.ToLower(r) != r
+		i += sz
+		for i < len(text) {
+			r, sz = decodeRuneAt(text, i)
+			if !unicode.IsLetter(r) {
+				break
+			}
+			if unicode.ToLower(r) != r {
+				needsLower = true
+			}
+			i += sz
+		}
+		tok := text[start:i]
+		total++
+		if needsLower {
+			scratch = appendLower(scratch[:0], tok)
+			for j := range sets {
+				if sets[j][string(scratch)] {
+					hits[j]++
+				}
+			}
+			continue
+		}
+		for j := range sets {
+			if sets[j][tok] {
+				hits[j]++
+			}
+		}
+	}
+	if total < 5 {
 		return Unknown, 0
 	}
 	best, bestScore := Unknown, 0.0
-	for lang, set := range profileSets {
-		hits := 0
-		for _, w := range words {
-			if set[w] {
-				hits++
-			}
-		}
-		score := float64(hits) / float64(len(words))
+	for j, l := range langOrder {
+		score := float64(hits[j]) / float64(total)
 		if score > bestScore {
-			best, bestScore = lang, score
+			best, bestScore = l, score
 		}
 	}
 	if bestScore < 0.05 {
 		return Unknown, bestScore
 	}
 	return best, bestScore
+}
+
+// appendLower appends the lowercase form of tok to dst.
+func appendLower(dst []byte, tok string) []byte {
+	for _, r := range tok {
+		dst = utf8.AppendRune(dst, unicode.ToLower(r))
+	}
+	return dst
 }
 
 // IsEnglish reports whether text is detected as English. This is the
@@ -93,22 +147,11 @@ func IsEnglish(text string) bool {
 	return lang == English
 }
 
-func tokenize(s string) []string {
-	var out []string
-	var b strings.Builder
-	for _, r := range s {
-		if unicode.IsLetter(r) {
-			b.WriteRune(unicode.ToLower(r))
-		} else if b.Len() > 0 {
-			out = append(out, b.String())
-			b.Reset()
-		}
-		if len(out) >= 4000 {
-			return out // plenty for a confident decision
-		}
+// decodeRuneAt reads the rune starting at byte i, with a single-byte fast
+// path for ASCII.
+func decodeRuneAt(s string, i int) (rune, int) {
+	if c := s[i]; c < utf8.RuneSelf {
+		return rune(c), 1
 	}
-	if b.Len() > 0 {
-		out = append(out, b.String())
-	}
-	return out
+	return utf8.DecodeRuneInString(s[i:])
 }

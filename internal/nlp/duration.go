@@ -62,8 +62,12 @@ func ParseRetention(text string) (RetentionPeriod, bool) {
 }
 
 func parseNumber(w string) (int, bool) {
-	if n, err := strconv.Atoi(w); err == nil && n > 0 && n < 1000 {
-		return n, true
+	// Only digit-leading tokens can parse as numerals; skipping the rest
+	// avoids a strconv error allocation per ordinary word.
+	if w != "" && w[0] >= '0' && w[0] <= '9' {
+		if n, err := strconv.Atoi(w); err == nil && n > 0 && n < 1000 {
+			return n, true
+		}
 	}
 	if n, ok := numberWords[w]; ok {
 		return n, true

@@ -118,10 +118,27 @@ func findIn(ws []string, phrase string) (int, int, bool) {
 
 // SentenceOf returns the sentence of text that contains the phrase
 // (stemmed, in order), or the whole text if none matches. It is used to
-// recover the "context" column of Table 6.
+// recover the "context" column of Table 6. The phrase is stemmed once and
+// each sentence is tokenized into a reused scratch buffer — the per-call
+// behavior of ContainsWords without its per-sentence re-tokenization.
 func SentenceOf(text, phrase string) string {
+	pw := Words(phrase)
+	if len(pw) == 0 {
+		return text
+	}
+	for i, w := range pw {
+		pw[i] = Singular(w)
+	}
+	var scratch []string
 	for _, s := range Sentences(text) {
-		if ContainsWords(s, phrase) {
+		scratch = AppendWords(scratch[:0], s)
+		j := 0
+		for _, w := range scratch {
+			if j < len(pw) && Singular(w) == pw[j] {
+				j++
+			}
+		}
+		if j == len(pw) {
 			return s
 		}
 	}

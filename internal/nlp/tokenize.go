@@ -8,92 +8,221 @@ package nlp
 import (
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Words splits s into lowercase word tokens. A token is a maximal run of
 // letters, digits, or internal apostrophes/hyphens ("don't", "opt-out").
+// Tokens that are already lowercase — the common case in rendered policy
+// text — are returned as subslices of s without copying, so the per-call
+// allocation cost is the output slice plus one copy per mixed-case token.
 func Words(s string) []string {
-	var out []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			out = append(out, strings.ToLower(b.String()))
-			b.Reset()
+	return AppendWords(nil, s)
+}
+
+// AppendWords appends the word tokens of s to out and returns it — the
+// allocation-conscious core of Words: it scans bytes, decodes runes only
+// where the input is non-ASCII, and defers the lowercase copy until a
+// token is known to need one. Callers indexing many lines reuse one
+// backing slice across calls instead of paying a fresh slice per line.
+func AppendWords(out []string, s string) []string {
+	for i := 0; i < len(s); {
+		r, sz := decodeRuneAt(s, i)
+		if !isWordRune(r) {
+			i += sz
+			continue
 		}
-	}
-	runes := []rune(s)
-	for i, r := range runes {
-		switch {
-		case unicode.IsLetter(r) || unicode.IsDigit(r):
-			b.WriteRune(r)
-		case (r == '\'' || r == '-' || r == '’') && b.Len() > 0 &&
-			i+1 < len(runes) && (unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
-			if r == '’' {
-				b.WriteRune('\'')
-			} else {
-				b.WriteRune(r)
+		start := i
+		needsCopy := unicode.ToLower(r) != r
+		i += sz
+		for i < len(s) {
+			r, sz = decodeRuneAt(s, i)
+			if isWordRune(r) {
+				if unicode.ToLower(r) != r {
+					needsCopy = true
+				}
+				i += sz
+				continue
 			}
-		default:
-			flush()
+			// Internal apostrophes/hyphens join a token only when followed
+			// by another word rune.
+			if (r == '\'' || r == '-' || r == '’') && i+sz < len(s) {
+				if nr, _ := decodeRuneAt(s, i+sz); isWordRune(nr) {
+					if r == '’' {
+						needsCopy = true // rewritten to ASCII '\''
+					}
+					i += sz
+					continue
+				}
+			}
+			break
 		}
+		tok := s[start:i]
+		if needsCopy {
+			tok = lowerToken(tok)
+		}
+		out = append(out, tok)
 	}
-	flush()
 	return out
+}
+
+// decodeRuneAt reads the rune starting at byte i, with a single-byte fast
+// path for ASCII.
+func decodeRuneAt(s string, i int) (rune, int) {
+	if c := s[i]; c < utf8.RuneSelf {
+		return rune(c), 1
+	}
+	return utf8.DecodeRuneInString(s[i:])
+}
+
+func isWordRune(r rune) bool {
+	if r < utf8.RuneSelf {
+		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9'
+	}
+	return unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lowerToken lowercases a token and folds the typographic apostrophe to
+// ASCII, in one pass and one allocation.
+func lowerToken(tok string) string {
+	var b strings.Builder
+	b.Grow(len(tok))
+	for _, r := range tok {
+		if r == '’' {
+			b.WriteByte('\'')
+			continue
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
 }
 
 // Sentences splits s into sentences on ., !, ? and ; boundaries, keeping
 // abbreviation-like splits (single capital letters, "e.g.", "i.e.") intact.
+// Sentences are returned as subslices of s — no per-sentence copies.
 func Sentences(s string) []string {
 	var out []string
 	start := 0
-	runes := []rune(s)
-	for i := 0; i < len(runes); i++ {
-		r := runes[i]
-		if r != '.' && r != '!' && r != '?' && r != ';' {
+	// The boundary characters are all ASCII, so a byte scan finds exactly
+	// the positions a rune scan would (UTF-8 continuation bytes are ≥ 0x80).
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '.' && c != '!' && c != '?' && c != ';' {
 			continue
 		}
-		if r == '.' {
+		if c == '.' {
 			// Don't split inside "e.g.", "i.e.", "U.S." or single initials.
-			tail := strings.ToLower(trailingWord(runes[start : i+1]))
+			tail := strings.ToLower(trailingWord(s[start : i+1]))
 			if tail == "e.g." || tail == "i.e." || tail == "etc." ||
 				(len(tail) == 2 && tail[1] == '.') {
 				continue
 			}
 			// Don't split decimals like "3.5".
-			if i > 0 && i+1 < len(runes) && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+			if i > 0 && i+1 < len(s) && isDigitBefore(s, i) && isDigitAt(s, i+1) {
 				continue
 			}
 		}
-		sent := strings.TrimSpace(string(runes[start : i+1]))
+		sent := strings.TrimSpace(s[start : i+1])
 		if sent != "" {
 			out = append(out, sent)
 		}
 		start = i + 1
 	}
-	if rest := strings.TrimSpace(string(runes[start:])); rest != "" {
+	if rest := strings.TrimSpace(s[start:]); rest != "" {
 		out = append(out, rest)
 	}
 	return out
 }
 
-func trailingWord(rs []rune) string {
-	end := len(rs)
-	i := end
-	for i > 0 && !unicode.IsSpace(rs[i-1]) {
-		i--
+// isDigitBefore reports whether the rune ending at byte i is a digit.
+func isDigitBefore(s string, i int) bool {
+	if c := s[i-1]; c < utf8.RuneSelf {
+		return c >= '0' && c <= '9'
 	}
-	return string(rs[i:end])
+	r, _ := utf8.DecodeLastRuneInString(s[:i])
+	return unicode.IsDigit(r)
+}
+
+// isDigitAt reports whether the rune starting at byte i is a digit.
+func isDigitAt(s string, i int) bool {
+	r, _ := decodeRuneAt(s, i)
+	return unicode.IsDigit(r)
+}
+
+// trailingWord returns the suffix of s after the last whitespace rune.
+func trailingWord(s string) string {
+	i := len(s)
+	for i > 0 {
+		r, sz := utf8.DecodeLastRuneInString(s[:i])
+		if unicode.IsSpace(r) {
+			break
+		}
+		i -= sz
+	}
+	return s[i:]
+}
+
+// isCanonical reports whether s is already in Words-joined form: non-empty
+// tokens of lowercase ASCII letters/digits separated by single spaces, with
+// no leading or trailing space. For such strings Words(s) returns exactly
+// the space-separated tokens, so Join(Words(s), " ") == s.
+func isCanonical(s string) bool {
+	if s == "" {
+		return false
+	}
+	prevSpace := true // a space here would be leading/double
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			prevSpace = false
+		case c == ' ':
+			if prevSpace {
+				return false
+			}
+			prevSpace = true
+		default:
+			return false
+		}
+	}
+	return !prevSpace
 }
 
 // Normalize lowercases s and collapses whitespace and punctuation edges;
-// it is the canonical form used for descriptor/glossary keys.
+// it is the canonical form used for descriptor/glossary keys. Keys on the
+// hot path are usually already canonical, in which case s is returned
+// without allocating.
 func Normalize(s string) string {
+	if isCanonical(s) {
+		return s
+	}
 	return strings.Join(Words(s), " ")
 }
 
 // NormalizeStemmed returns the stemmed canonical form ("email addresses" →
-// "email address") used for repetition dedup and glossary lookup.
+// "email address") used for repetition dedup and glossary lookup. Canonical
+// input whose tokens are already singular is returned without allocating.
 func NormalizeStemmed(s string) string {
+	if isCanonical(s) {
+		changed := false
+		for i := 0; i < len(s); {
+			j := strings.IndexByte(s[i:], ' ')
+			var tok string
+			if j < 0 {
+				tok = s[i:]
+				i = len(s)
+			} else {
+				tok = s[i : i+j]
+				i += j + 1
+			}
+			if Singular(tok) != tok {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			return s
+		}
+	}
 	ws := Words(s)
 	for i, w := range ws {
 		ws[i] = Singular(w)

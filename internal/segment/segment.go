@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"aipan/internal/chatbot"
 	"aipan/internal/taxonomy"
@@ -69,7 +70,7 @@ func (r *Result) CoreWordCount() int {
 		for _, l := range lines {
 			if !seen[l.Number] {
 				seen[l.Number] = true
-				n += len(strings.Fields(l.Text))
+				n += textify.CountFields(l.Text)
 			}
 		}
 	}
@@ -80,11 +81,16 @@ func (r *Result) CoreWordCount() int {
 // format, preserving original line numbers so downstream annotations refer
 // back to the source document.
 func (r *Result) NumberedText(a taxonomy.Aspect) string {
-	var b strings.Builder
-	for _, l := range r.Sections[a] {
-		fmt.Fprintf(&b, "[%d] %s\n", l.Number, l.Text)
+	lines := r.Sections[a]
+	size := 0
+	for _, l := range lines {
+		size += len(l.Text) + 12
 	}
-	return b.String()
+	buf := make([]byte, 0, size)
+	for _, l := range lines {
+		buf = textify.AppendNumbered(buf, l.Number, l.Text)
+	}
+	return string(buf)
 }
 
 // DetectHeadings extracts the table of contents from a rendered document,
@@ -112,11 +118,18 @@ func DetectHeadings(doc *textify.Document) []Heading {
 // tocText renders the numbered, indented table of contents for the
 // heading-labeling prompt.
 func tocText(hs []Heading) string {
-	var b strings.Builder
+	var buf []byte
 	for _, h := range hs {
-		fmt.Fprintf(&b, "[%d] %s%s\n", h.Line.Number, strings.Repeat("  ", h.Depth), h.Line.Text)
+		buf = append(buf, '[')
+		buf = fmt.Appendf(buf, "%d", h.Line.Number)
+		buf = append(buf, ']', ' ')
+		for i := 0; i < h.Depth; i++ {
+			buf = append(buf, ' ', ' ')
+		}
+		buf = append(buf, h.Line.Text...)
+		buf = append(buf, '\n')
 	}
-	return b.String()
+	return string(buf)
 }
 
 // Segment runs the two-step cascade over a rendered page.
@@ -220,17 +233,31 @@ func segmentByText(ctx context.Context, bot chatbot.Chatbot, doc *textify.Docume
 	return res, nil
 }
 
+// aspectSet memoizes the fixed aspect vocabulary for byte-wise lookup, so
+// the per-line label path below avoids the old linear scan over Aspects().
+var aspectSet = sync.OnceValue(func() map[string]taxonomy.Aspect {
+	m := make(map[string]taxonomy.Aspect, len(taxonomy.Aspects()))
+	for _, a := range taxonomy.Aspects() {
+		m[string(a)] = a
+	}
+	return m
+})
+
 // toAspects converts label strings to known aspects, dropping junk labels
-// a weaker model might emit.
+// a weaker model might emit. Labels arrive already trimmed and lowercase
+// from well-behaved models, so the fast path allocates nothing; only
+// mixed-case stragglers pay for a ToLower copy.
 func toAspects(labels []string) []taxonomy.Aspect {
 	var out []taxonomy.Aspect
+	known := aspectSet()
 	for _, l := range labels {
-		a := taxonomy.Aspect(strings.ToLower(strings.TrimSpace(l)))
-		for _, known := range taxonomy.Aspects() {
-			if a == known {
-				out = append(out, a)
-				break
-			}
+		t := strings.TrimSpace(l)
+		a, ok := known[t]
+		if !ok {
+			a, ok = known[strings.ToLower(t)]
+		}
+		if ok {
+			out = append(out, a)
 		}
 	}
 	return out

@@ -183,3 +183,18 @@ func TestSuccessRequiresCoreAspect(t *testing.T) {
 		t.Error("types section should make it a success")
 	}
 }
+
+// BenchmarkSegment is the hot-path microbenchmark referenced in
+// CHANGES.md: heading detection plus the full chatbot-driven aspect
+// segmentation over a rendered policy document.
+func BenchmarkSegment(b *testing.B) {
+	doc := textify.RenderHTML(policyHTML)
+	bot := chatbot.NewSim(chatbot.GPT4Profile())
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Segment(ctx, bot, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

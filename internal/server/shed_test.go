@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -181,6 +182,7 @@ func TestInflightCeilingUnderBurst(t *testing.T) {
 
 	const burst = 12
 	statuses := make(chan int, burst)
+	var answered atomic.Int32
 	var wg sync.WaitGroup
 	for i := 0; i < burst; i++ {
 		wg.Add(1)
@@ -193,12 +195,20 @@ func TestInflightCeilingUnderBurst(t *testing.T) {
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			answered.Add(1)
 			statuses <- resp.StatusCode
 		}()
 	}
-	// Wait for the ceiling to fill, then let the in-flight pair finish.
+	// Wait for the ceiling to fill, then for a response to come back
+	// while both slots are still blocked — necessarily a shed (the two
+	// admitted requests cannot answer before release closes) — and only
+	// then let the in-flight pair finish. Closing on ceiling-full alone
+	// races the other ten arrivals: a fast drain serves them all 200.
 	deadline := time.Now().Add(5 * time.Second)
 	for s.inflight.InUse() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	for answered.Load() == 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	close(release)

@@ -1,0 +1,177 @@
+package taxonomy
+
+// Aho–Corasick automaton over trigger lemmas. The zero-shot stage of
+// Index.Lookup used to walk every word of the phrase against every trigger
+// and then substring-scan every multi-word lemma (allocating " "+s+" "
+// padding per probe). The automaton replaces both loops with one pass over
+// the phrase and zero allocations, while reproducing the legacy resolution
+// order exactly (see resolve below). It is built once per Index — and
+// indexes themselves are cached per taxonomy generation in cache.go — so
+// construction cost is off the hot path.
+//
+// Edges are stored as small slices, not maps: node fan-out is tiny (the
+// alphabet is lowercase letters, digits, space), linear probing beats map
+// overhead at that size, and slice order keeps construction deterministic
+// — the package is under the determinism vet gate, which bans unsorted
+// map ranges feeding results.
+
+// acOutput records one pattern ending at a node.
+type acOutput struct {
+	length int32 // pattern length in bytes
+	trig   int32 // smallest trigger index sharing this lemma
+	multi  bool  // lemma contains a space (legacy "loop 2" candidate)
+}
+
+type acEdge struct {
+	c  byte
+	to int32
+}
+
+type acNode struct {
+	edges []acEdge
+	fail  int32
+	out   []acOutput
+}
+
+func (n *acNode) edge(c byte) (int32, bool) {
+	for _, e := range n.edges {
+		if e.c == c {
+			return e.to, true
+		}
+	}
+	return 0, false
+}
+
+type acAutomaton struct {
+	nodes []acNode
+}
+
+// newTriggerAutomaton builds the automaton over the trigger lemmas.
+// Duplicate lemmas are deduplicated to the smallest trigger index, which is
+// the index the legacy scans would have returned for that surface form.
+func newTriggerAutomaton(triggers []triggerRule) *acAutomaton {
+	a := &acAutomaton{nodes: make([]acNode, 1, 64)}
+	seen := map[string]bool{}
+	for i, t := range triggers {
+		if t.lemma == "" || seen[t.lemma] {
+			continue
+		}
+		seen[t.lemma] = true
+		a.insert(t.lemma, int32(i))
+	}
+	a.buildFailLinks()
+	return a
+}
+
+func (a *acAutomaton) insert(pat string, trig int32) {
+	st := int32(0)
+	multi := false
+	for i := 0; i < len(pat); i++ {
+		c := pat[i]
+		if c == ' ' {
+			multi = true
+		}
+		nxt, ok := a.nodes[st].edge(c)
+		if !ok {
+			nxt = int32(len(a.nodes))
+			a.nodes[st].edges = append(a.nodes[st].edges, acEdge{c: c, to: nxt})
+			a.nodes = append(a.nodes, acNode{})
+		}
+		st = nxt
+	}
+	a.nodes[st].out = append(a.nodes[st].out, acOutput{
+		length: int32(len(pat)), trig: trig, multi: multi,
+	})
+}
+
+// buildFailLinks runs the standard BFS, merging each node's fail-node
+// outputs into its own list so matching never chases fail chains.
+func (a *acAutomaton) buildFailLinks() {
+	queue := make([]int32, 0, len(a.nodes))
+	for _, e := range a.nodes[0].edges {
+		a.nodes[e.to].fail = 0
+		queue = append(queue, e.to)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range a.nodes[cur].edges {
+			queue = append(queue, e.to)
+			f := a.nodes[cur].fail
+			for f != 0 {
+				if g, ok := a.nodes[f].edge(e.c); ok {
+					f = g
+					break
+				}
+				f = a.nodes[f].fail
+			}
+			if f == 0 {
+				// Fell back to the root: follow its edge if one exists
+				// (it never leads back to e.to, which sits at depth ≥ 2).
+				if g, ok := a.nodes[0].edge(e.c); ok {
+					f = g
+				}
+			}
+			a.nodes[e.to].fail = f
+			a.nodes[e.to].out = append(a.nodes[e.to].out, a.nodes[f].out...)
+		}
+	}
+}
+
+// step advances the automaton from state st on byte c.
+func (a *acAutomaton) step(st int32, c byte) int32 {
+	for {
+		if nxt, ok := a.nodes[st].edge(c); ok {
+			return nxt
+		}
+		if st == 0 {
+			return 0
+		}
+		st = a.nodes[st].fail
+	}
+}
+
+// resolve scans s (a normalized, single-space-joined phrase) and returns
+// the trigger index the legacy double loop would have selected:
+//
+//   - single-word lemmas replicate "loop 1" (first matching word wins;
+//     equal surface forms resolve to the smallest trigger index), keyed by
+//     match start offset — word order and offset order coincide;
+//   - multi-word lemmas replicate "loop 2" (smallest trigger index whose
+//     lemma appears as a whole-word substring), and lose to any
+//     single-word match, because loop 1 ran first.
+//
+// A match only counts when flanked by string edges or spaces — the same
+// boundary the legacy code bought by allocating " "+s+" " padding.
+func (a *acAutomaton) resolve(s string) (int32, bool) {
+	st := int32(0)
+	singleStart, singleTrig := -1, int32(-1)
+	multiTrig := int32(-1)
+	for i := 0; i < len(s); i++ {
+		st = a.step(st, s[i])
+		for _, o := range a.nodes[st].out {
+			end := i + 1
+			start := end - int(o.length)
+			if start > 0 && s[start-1] != ' ' {
+				continue
+			}
+			if end < len(s) && s[end] != ' ' {
+				continue
+			}
+			if o.multi {
+				if multiTrig < 0 || o.trig < multiTrig {
+					multiTrig = o.trig
+				}
+			} else if singleStart < 0 || start < singleStart {
+				singleStart, singleTrig = start, o.trig
+			}
+		}
+	}
+	if singleStart >= 0 {
+		return singleTrig, true
+	}
+	if multiTrig >= 0 {
+		return multiTrig, true
+	}
+	return -1, false
+}

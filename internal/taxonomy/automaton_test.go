@@ -1,0 +1,161 @@
+package taxonomy
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// resolveViaAutomaton mirrors Lookup's zero-shot arm: automaton index →
+// Match. Keeping the construction here (instead of exporting a helper)
+// pins the test to exactly what Lookup does with a resolve hit.
+func resolveViaAutomaton(ix *Index, stripped string) (Match, bool) {
+	i, ok := ix.ac.resolve(stripped)
+	if !ok {
+		return Match{}, false
+	}
+	t := ix.triggers[i]
+	return Match{Meta: t.meta, Category: t.category, Descriptor: stripped, Novel: true}, true
+}
+
+// triggerVocab collects the automaton's own lemmas (split into words) plus
+// near-miss mutations — the adversarial vocabulary for the property test.
+func triggerVocab(ix *Index) []string {
+	seen := map[string]bool{}
+	var vocab []string
+	add := func(w string) {
+		if w != "" && !seen[w] {
+			seen[w] = true
+			vocab = append(vocab, w)
+		}
+	}
+	for _, t := range ix.triggers {
+		add(t.lemma)
+		for _, w := range strings.Fields(t.lemma) {
+			add(w)
+			add(w + "s")    // plural-ish suffix: boundary check must reject
+			add("x" + w)    // prefixed: boundary check must reject
+			add(w + "like") // suffixed
+		}
+	}
+	for _, w := range []string{"the", "data", "info", "about", "misc", "q"} {
+		add(w)
+	}
+	return vocab
+}
+
+// TestAutomatonAgreesWithTriggerScan is the equivalence property: on
+// randomized phrases drawn from the trigger vocabulary (heavily seeded
+// with boundary-adversarial near-misses), the automaton's resolution is
+// identical to the legacy double-loop scan — same hit/miss, same winning
+// trigger.
+func TestAutomatonAgreesWithTriggerScan(t *testing.T) {
+	for name, ix := range map[string]*Index{
+		"types":    NewTypeIndex(),
+		"purposes": NewPurposeIndex(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			vocab := triggerVocab(ix)
+			for seed := int64(1); seed <= 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < 4000; i++ {
+					n := 1 + rng.Intn(7)
+					words := make([]string, n)
+					for j := range words {
+						words[j] = vocab[rng.Intn(len(vocab))]
+					}
+					phrase := strings.Join(words, " ")
+					got, gotOK := resolveViaAutomaton(ix, phrase)
+					want, wantOK := ix.lookupTriggerScan(phrase)
+					if gotOK != wantOK || got != want {
+						t.Fatalf("seed %d phrase %q:\n  automaton: %+v ok=%v\n  scan:      %+v ok=%v",
+							seed, phrase, got, gotOK, want, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAutomatonGoldenTieBreaks pins the resolution-order contract on a
+// hand-built index where the overlaps are visible:
+//
+//   - a single-word lemma match anywhere beats a multi-word lemma match,
+//     even an earlier and longer one (word-position-major loop 1 ran
+//     before the multi-word loop 2);
+//   - among single-word matches, the earliest word position wins, and the
+//     smallest trigger index breaks position ties;
+//   - among multi-word matches (when no single-word lemma hits), trigger
+//     registration order wins regardless of position in the phrase;
+//   - lemmas match whole words only — embedding in a longer token is not
+//     a match.
+func TestAutomatonGoldenTieBreaks(t *testing.T) {
+	ix := NewIndex([]Category{
+		{Meta: "m1", Name: "alpha", Triggers: []string{"credit card", "card"}},
+		{Meta: "m2", Name: "beta", Triggers: []string{"credit", "social media"}},
+		{Meta: "m3", Name: "gamma", Triggers: []string{"media card"}},
+	})
+	cases := []struct {
+		phrase   string
+		wantOK   bool
+		category string
+	}{
+		// "credit card ..." contains multi "credit card" (alpha, first
+		// registered) but loop 1 finds single-word "credit" (beta) at word 0.
+		{"credit card number", true, "beta"},
+		// Earliest word position wins among single-word lemmas: "card"
+		// (word 1) beats "credit" (word 2) even though "credit"'s trigger
+		// has... both are singles; position decides.
+		{"number card credit", true, "alpha"},
+		// No single-word lemma present: multi-word triggers resolve in
+		// registration order — "credit card" (alpha) is checked before
+		// "media card" (gamma) even though "media card" starts earlier.
+		{"media card credit card", true, "alpha"},
+		// Multi-word only, one candidate.
+		{"likes social media posts", true, "beta"},
+		// Whole-word boundaries: embedded lemmas do not match.
+		{"carded discredit cardinal", false, ""},
+		{"socialmedia mediacard", false, ""},
+		// Multi-word lemma must match as consecutive whole words.
+		{"social and media", false, ""},
+		{"media social", false, ""},
+	}
+	for _, c := range cases {
+		got, ok := resolveViaAutomaton(ix, c.phrase)
+		want, wantOK := ix.lookupTriggerScan(c.phrase)
+		if ok != wantOK || got != want {
+			t.Errorf("%q: automaton %+v ok=%v disagrees with scan %+v ok=%v",
+				c.phrase, got, ok, want, wantOK)
+		}
+		if ok != c.wantOK {
+			t.Errorf("%q: ok=%v, want %v", c.phrase, ok, c.wantOK)
+			continue
+		}
+		if ok && got.Category != c.category {
+			t.Errorf("%q: category %q, want %q", c.phrase, got.Category, c.category)
+		}
+		if ok && (!got.Novel || got.Descriptor != c.phrase) {
+			t.Errorf("%q: zero-shot match must be Novel with the stripped phrase as descriptor, got %+v", c.phrase, got)
+		}
+	}
+}
+
+// BenchmarkTaxonomyLookup measures the zero-shot path (glossary miss →
+// automaton) on phrases of growing length.
+func BenchmarkTaxonomyLookup(b *testing.B) {
+	ix := NewTypeIndex()
+	phrases := []string{
+		"miscellaneous telemetry readings",
+		"aggregated regional broadcast preferences and slots",
+		"completely unrelated administrative filing codes with several more words attached",
+	}
+	for _, p := range phrases {
+		b.Run(fmt.Sprintf("words=%d", len(strings.Fields(p))), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Lookup(p)
+			}
+		})
+	}
+}

@@ -46,6 +46,11 @@ func generation() uint64 {
 	return extGen
 }
 
+// Generation exposes the extension generation counter so other packages can
+// key their own taxonomy-derived caches (e.g. premarshaled chatbot prompt
+// skeletons) and rebuild exactly when the merged taxonomy can have changed.
+func Generation() uint64 { return generation() }
+
 // LoadExtension decodes an Extension from JSON.
 func LoadExtension(r io.Reader) (Extension, error) {
 	var ext Extension

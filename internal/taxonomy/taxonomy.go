@@ -159,6 +159,10 @@ type Index struct {
 	exact      map[string]Match // stemmed surface form → match
 	categories []Category
 	triggers   []triggerRule
+	// ac matches all trigger lemmas in one pass over the phrase; see
+	// automaton.go. Built in NewIndex, so it is constructed once per
+	// taxonomy generation via the index cache in cache.go.
+	ac *acAutomaton
 
 	knownOnce sync.Once
 	known     map[string]bool
@@ -187,6 +191,7 @@ func NewIndex(categories []Category) *Index {
 			})
 		}
 	}
+	ix.ac = newTriggerAutomaton(ix.triggers)
 	return ix
 }
 
@@ -223,7 +228,22 @@ func (ix *Index) Lookup(phrase string) (Match, bool) {
 	if m, ok := ix.fuzzy(stripped); ok {
 		return m, true
 	}
-	// Zero-shot: categorize by trigger lemma, synthesize a novel descriptor.
+	// Zero-shot: categorize by trigger lemma, synthesize a novel
+	// descriptor. One automaton pass replaces the legacy per-word and
+	// per-trigger substring scans (kept below as lookupTriggerScan for
+	// equivalence tests).
+	if i, ok := ix.ac.resolve(stripped); ok {
+		t := ix.triggers[i]
+		return Match{Meta: t.meta, Category: t.category, Descriptor: stripped, Novel: true}, true
+	}
+	return Match{}, false
+}
+
+// lookupTriggerScan is the legacy zero-shot trigger resolution: word-major
+// exact scan, then trigger-major whole-word substring scan. It is retained
+// only as the reference implementation the automaton is property-tested
+// against; Lookup no longer calls it.
+func (ix *Index) lookupTriggerScan(stripped string) (Match, bool) {
 	for _, w := range strings.Fields(stripped) {
 		for _, t := range ix.triggers {
 			if w == t.lemma {
@@ -274,12 +294,21 @@ var qualifierWords = map[string]bool{
 	"any": true, "some": true, "personal": false, // "personal" is meaningful
 }
 
+// stripQualifiers drops leading qualifier words. Keys are already
+// normalized (single-space-joined, no edge whitespace), so stripping is a
+// matter of slicing past leading words — no Fields/Join allocations, and
+// the common nothing-to-strip case returns key unchanged.
 func stripQualifiers(key string) string {
-	ws := strings.Fields(key)
-	for len(ws) > 1 && qualifierWords[ws[0]] {
-		ws = ws[1:]
+	for {
+		sp := strings.IndexByte(key, ' ')
+		if sp < 0 {
+			return key // single word: never stripped
+		}
+		if !qualifierWords[key[:sp]] {
+			return key
+		}
+		key = key[sp+1:]
 	}
-	return strings.Join(ws, " ")
 }
 
 // Categories returns the categories backing this index.

@@ -6,8 +6,11 @@
 package textify
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
+	"sync"
+	"unicode"
+	"unicode/utf8"
 
 	"aipan/internal/htmlx"
 )
@@ -53,28 +56,69 @@ type Document struct {
 
 // Text returns the plain text, one line per Line.
 func (d *Document) Text() string {
-	parts := make([]string, len(d.Lines))
-	for i, l := range d.Lines {
-		parts[i] = l.Text
+	size := 0
+	for _, l := range d.Lines {
+		size += len(l.Text) + 1
 	}
-	return strings.Join(parts, "\n")
+	var b strings.Builder
+	b.Grow(size)
+	for i, l := range d.Lines {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(l.Text)
+	}
+	return b.String()
 }
 
 // NumberedText renders the document in the "[n] text" format the paper's
-// prompts require.
+// prompts require. It sizes the output once and appends line numbers
+// without fmt, so the whole rendering is a single allocation.
 func (d *Document) NumberedText() string {
-	var b strings.Builder
+	size := 0
 	for _, l := range d.Lines {
-		fmt.Fprintf(&b, "[%d] %s\n", l.Number, l.Text)
+		size += len(l.Text) + 12 // "[n] " + text + "\n"
 	}
-	return b.String()
+	buf := make([]byte, 0, size)
+	for _, l := range d.Lines {
+		buf = AppendNumbered(buf, l.Number, l.Text)
+	}
+	return string(buf)
+}
+
+// AppendNumbered appends one "[n] text\n" prompt line to buf — the shared
+// byte-path formatting primitive (segment's section renderers reuse it).
+func AppendNumbered(buf []byte, n int, text string) []byte {
+	buf = append(buf, '[')
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	buf = append(buf, ']', ' ')
+	buf = append(buf, text...)
+	return append(buf, '\n')
 }
 
 // WordCount returns the total number of whitespace-delimited words.
 func (d *Document) WordCount() int {
 	n := 0
 	for _, l := range d.Lines {
-		n += len(strings.Fields(l.Text))
+		n += CountFields(l.Text)
+	}
+	return n
+}
+
+// CountFields counts whitespace-delimited fields like len(strings.Fields)
+// without building the slice.
+func CountFields(s string) int {
+	n := 0
+	inField := false
+	for i := 0; i < len(s); {
+		r, sz := decodeRuneAt(s, i)
+		if isSpaceRune(r) {
+			inField = false
+		} else if !inField {
+			inField = true
+			n++
+		}
+		i += sz
 	}
 	return n
 }
@@ -106,43 +150,106 @@ var skipElements = map[string]bool{
 	"button": true,
 }
 
+// renderer accumulates the current line in a reused byte buffer and emits
+// completed Lines directly. One renderer (and its scratch capacity) is
+// recycled across Render calls via rendererPool; the only per-line
+// allocation left is the final Text string.
 type renderer struct {
-	lines []lineBuf
-	cur   lineBuf
-}
-
-type lineBuf struct {
-	b          strings.Builder
+	lines      []Line
+	cur        []byte
 	sawBold    bool
 	sawPlain   bool
 	headingLvl int
 	listItem   bool
 }
 
+var rendererPool = sync.Pool{New: func() any { return new(renderer) }}
+
 func (r *renderer) breakLine() {
-	if strings.TrimSpace(r.cur.b.String()) != "" {
-		r.lines = append(r.lines, r.cur)
+	// cur holds whitespace-collapsed fields joined by ASCII spaces (plus
+	// table spacers), so only trailing ' ' bytes can need trimming and a
+	// byte-level trim matches strings.TrimSpace exactly.
+	text := r.cur
+	for len(text) > 0 && text[len(text)-1] == ' ' {
+		text = text[:len(text)-1]
 	}
-	r.cur = lineBuf{}
+	for len(text) > 0 && text[0] == ' ' {
+		text = text[1:]
+	}
+	if len(text) > 0 {
+		r.lines = append(r.lines, Line{
+			Number:       len(r.lines) + 1,
+			Text:         string(text),
+			HeadingLevel: r.headingLvl,
+			Bold:         r.sawBold && !r.sawPlain,
+			ListItem:     r.listItem,
+		})
+	}
+	r.cur = r.cur[:0]
+	r.sawBold, r.sawPlain, r.listItem = false, false, false
+	r.headingLvl = 0
 }
 
 func (r *renderer) appendText(s string, boldDepth, headingLvl int) {
-	fields := strings.Fields(s)
-	if len(fields) == 0 {
+	var wrote bool
+	r.cur, wrote = appendCollapsed(r.cur, s)
+	if !wrote {
 		return
 	}
-	if r.cur.b.Len() > 0 {
-		r.cur.b.WriteByte(' ')
-	}
-	r.cur.b.WriteString(strings.Join(fields, " "))
 	if boldDepth > 0 {
-		r.cur.sawBold = true
+		r.sawBold = true
 	} else {
-		r.cur.sawPlain = true
+		r.sawPlain = true
 	}
-	if headingLvl > r.cur.headingLvl {
-		r.cur.headingLvl = headingLvl
+	if headingLvl > r.headingLvl {
+		r.headingLvl = headingLvl
 	}
+}
+
+// appendCollapsed appends the whitespace-delimited fields of s to dst,
+// separated by single spaces (also from any existing dst content). It
+// replicates strings.Fields' notion of whitespace, including multi-byte
+// runes like   from &nbsp;. wrote reports whether any field was added.
+func appendCollapsed(dst []byte, s string) ([]byte, bool) {
+	wrote := false
+	for i := 0; i < len(s); {
+		r, sz := decodeRuneAt(s, i)
+		if isSpaceRune(r) {
+			i += sz
+			continue
+		}
+		start := i
+		i += sz
+		for i < len(s) {
+			r, sz = decodeRuneAt(s, i)
+			if isSpaceRune(r) {
+				break
+			}
+			i += sz
+		}
+		if len(dst) > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = append(dst, s[start:i]...)
+		wrote = true
+	}
+	return dst, wrote
+}
+
+// decodeRuneAt reads the rune starting at byte i, with a single-byte fast
+// path for ASCII.
+func decodeRuneAt(s string, i int) (rune, int) {
+	if c := s[i]; c < utf8.RuneSelf {
+		return rune(c), 1
+	}
+	return utf8.DecodeRuneInString(s[i:])
+}
+
+func isSpaceRune(r rune) bool {
+	if r < utf8.RuneSelf {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\v' || r == '\f' || r == '\r'
+	}
+	return unicode.IsSpace(r)
 }
 
 func (r *renderer) walk(n *htmlx.Node, boldDepth, headingLvl int) {
@@ -174,15 +281,15 @@ func (r *renderer) walk(n *htmlx.Node, boldDepth, headingLvl int) {
 		case "h1", "h2", "h3", "h4", "h5", "h6":
 			headingLvl = int(name[1] - '0')
 		case "li":
-			r.cur.listItem = true
+			r.listItem = true
 			r.appendText("*", boldDepth, headingLvl)
 			// reset sawPlain: the bullet itself shouldn't count as plain text
 			// for bold-line detection, but keeping it is harmless since list
 			// items are excluded from the bold-heading heuristic anyway.
 		case "td", "th":
 			// Cells are joined on the row's line with a spacer.
-			if r.cur.b.Len() > 0 {
-				r.cur.b.WriteString("  ")
+			if len(r.cur) > 0 {
+				r.cur = append(r.cur, ' ', ' ')
 			}
 		}
 		for c := n.FirstChild; c != nil; c = c.NextSibling {
@@ -200,24 +307,17 @@ func (r *renderer) walk(n *htmlx.Node, boldDepth, headingLvl int) {
 
 // Render converts a parsed HTML tree into a Document.
 func Render(root *htmlx.Node) *Document {
-	r := &renderer{}
+	r := rendererPool.Get().(*renderer)
 	r.walk(root, 0, 0)
 	r.breakLine()
 
-	doc := &Document{}
+	doc := &Document{Lines: r.lines}
 	if t := root.Find(func(n *htmlx.Node) bool { return n.IsElement("title") }); t != nil {
 		doc.Title = t.Text()
 	}
-	for i := range r.lines {
-		lb := &r.lines[i]
-		doc.Lines = append(doc.Lines, Line{
-			Number:       i + 1,
-			Text:         strings.TrimSpace(lb.b.String()),
-			HeadingLevel: lb.headingLvl,
-			Bold:         lb.sawBold && !lb.sawPlain,
-			ListItem:     lb.listItem,
-		})
-	}
+	// Hand the lines slice to the Document; keep the scratch capacity.
+	r.lines = nil
+	rendererPool.Put(r)
 	return doc
 }
 

@@ -137,6 +137,19 @@ func TestEmptyDocument(t *testing.T) {
 	}
 }
 
+// BenchmarkTextify is the hot-path microbenchmark referenced in
+// CHANGES.md: full HTML → Document rendering on a policy-shaped page,
+// exercising the pooled tokenizer and line-builder buffers.
+func BenchmarkTextify(b *testing.B) {
+	page := `<html><head><title>Privacy</title></head><body><h1>Privacy Policy</h1>` + strings.Repeat(
+		`<h2>Data We Collect</h2><p>We collect your <em>email address</em>, phone number, device identifiers and precise geolocation when you use the service.</p><h3>Sharing</h3><p>We share aggregated analytics with our advertising partners and service providers for fraud prevention.</p><ol><li>browsing history</li><li>payment information</li></ol>`, 60) + `</body></html>`
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RenderHTML(page)
+	}
+}
+
 func BenchmarkRender(b *testing.B) {
 	page := `<html><body>` + strings.Repeat(
 		`<h2>Section</h2><p>We collect your <b>email address</b>, phone number and postal address for customer service.</p><ul><li>cookies</li><li>ip address</li></ul>`, 100) + `</body></html>`

@@ -124,6 +124,7 @@ func (g *Generator) layoutPaths(s *Site) (entry string, footer, header []link) {
 				"/legal/privacy-policy", "/about/privacy",
 			})
 		}
+		putRng(rng)
 	}
 
 	footer = []link{{"/about", "About"}, {"/careers", "Careers"}, {"/terms", "Terms of Use"}}
@@ -176,7 +177,10 @@ func (g *Generator) addAuxiliaryPages(s *Site, pages map[string]Page, entry stri
 		pages["/privacy-policy"] = Page{RedirectTo: entry, Status: 301}
 	}
 	if l.WellKnownPrivacy && entry != "/privacy" {
-		if g.rngFor(s.Domain, "alias").Float64() < 0.5 {
+		rng := g.rngFor(s.Domain, "alias")
+		alias := rng.Float64() < 0.5
+		putRng(rng)
+		if alias {
 			pages["/privacy"] = Page{RedirectTo: entry, Status: 301}
 		} else if p, ok := pages[entry]; ok {
 			pages["/privacy"] = p // duplicate content → dedup by hash

@@ -125,13 +125,23 @@ func bulk(rng *rand.Rand, nWords int) string {
 				words++
 			}
 		}
-		sentence := fmt.Sprintf("%s %s %s %s.",
-			subjects[rng.Intn(len(subjects))],
-			verbs[rng.Intn(len(verbs))],
-			objects[rng.Intn(len(objects))],
-			tails[rng.Intn(len(tails))])
-		b.WriteString(sentence)
-		words += len(strings.Fields(sentence))
+		// Write the fragments straight into the builder; the fragments are
+		// single-spaced with no edge whitespace, so each one's word count
+		// is its space count plus one (no Sprintf/Fields scratch).
+		subj := subjects[rng.Intn(len(subjects))]
+		verb := verbs[rng.Intn(len(verbs))]
+		obj := objects[rng.Intn(len(objects))]
+		tail := tails[rng.Intn(len(tails))]
+		b.WriteString(subj)
+		b.WriteByte(' ')
+		b.WriteString(verb)
+		b.WriteByte(' ')
+		b.WriteString(obj)
+		b.WriteByte(' ')
+		b.WriteString(tail)
+		b.WriteByte('.')
+		words += strings.Count(subj, " ") + strings.Count(verb, " ") +
+			strings.Count(obj, " ") + strings.Count(tail, " ") + 4
 	}
 	return b.String()
 }
@@ -148,6 +158,7 @@ var fillerParagraphs = []string{
 // of sections that renderers turn into one or more HTML pages.
 func (g *Generator) generatePolicy(s *Site) []policySection {
 	rng := g.rngFor(s.Domain, "policy")
+	defer putRng(rng)
 	var secs []policySection
 
 	// Introduction.

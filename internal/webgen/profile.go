@@ -3,6 +3,7 @@ package webgen
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"aipan/internal/taxonomy"
 )
@@ -61,6 +62,7 @@ var rareDescriptors = map[string]float64{
 // distributions. Failed sites get layout quirks but (mostly) no truth.
 func (g *Generator) sample(s *Site) {
 	rng := g.rngFor(s.Domain, "profile")
+	defer putRng(rng)
 	s.Layout = g.sampleLayout(rng, s)
 	switch s.Failure {
 	case FailNoPolicy, FailBlocked, FailTimeout, FailStub, FailNonEnglish,
@@ -307,14 +309,29 @@ func phi(x float64) float64 {
 	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
 }
 
+// permWeightCache shares the rank-weight vectors across calls: the weights
+// are a pure function of n, the generator runs once per synthetic section,
+// and the distinct n values are just the taxonomy's category sizes. The
+// cached slices are read-only.
+var permWeightCache sync.Map // int → []float64
+
+func permWeights(n int) []float64 {
+	if v, ok := permWeightCache.Load(n); ok {
+		return v.([]float64)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), 1.6)
+	}
+	v, _ := permWeightCache.LoadOrStore(n, w)
+	return v.([]float64)
+}
+
 // weightedPerm returns a permutation biased toward low indices (weight
 // ∝ 1/(rank+1)^1.6), so the paper's top descriptors dominate the way
 // Table 4's within-category percentages do.
 func weightedPerm(rng *rand.Rand, n int) []int {
-	weights := make([]float64, n)
-	for i := range weights {
-		weights[i] = 1 / math.Pow(float64(i+1), 1.6)
-	}
+	weights := permWeights(n)
 	out := make([]int, 0, n)
 	taken := make([]bool, n)
 	for len(out) < n {

@@ -9,11 +9,11 @@
 package webgen
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
+	"sync"
 
 	"aipan/internal/russell"
 )
@@ -228,11 +228,37 @@ func (g *Generator) assignFailures() {
 	}
 }
 
-// rngFor derives a per-domain deterministic RNG.
+// rngPool recycles rand.Rand instances across page renders: the underlying
+// rngSource is a ~5KB allocation, and Seed fully re-derives its state, so a
+// pooled generator reseeded per call draws the same sequence a fresh one
+// would.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// putRng returns a generator obtained from rngFor to the pool.
+func putRng(r *rand.Rand) { rngPool.Put(r) }
+
+// rngFor derives a per-domain deterministic RNG. The seed is the FNV-1a
+// hash of "seed|domain|purpose", computed inline to produce the exact sum
+// the previous fnv.New64a + Fprintf version did, without either allocation.
+// Callers hand the generator back via putRng when done with it.
 func (g *Generator) rngFor(domain, purpose string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%s|%s", g.seed, domain, purpose)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	var tmp [20]byte
+	for _, b := range strconv.AppendInt(tmp[:0], g.seed, 10) {
+		h = (h ^ uint64(b)) * prime
+	}
+	h = (h ^ '|') * prime
+	for i := 0; i < len(domain); i++ {
+		h = (h ^ uint64(domain[i])) * prime
+	}
+	h = (h ^ '|') * prime
+	for i := 0; i < len(purpose); i++ {
+		h = (h ^ uint64(purpose[i])) * prime
+	}
+	r := rngPool.Get().(*rand.Rand)
+	r.Seed(int64(h))
+	return r
 }
 
 // pinRetentionExtremes forces the §5 extremes: two domains with a 1-day

@@ -21,4 +21,21 @@ go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./int
 echo "==> go test ./..."
 go test ./...
 
+echo "==> funnel allocation ceiling (BenchmarkFigure1PipelineFunnel <= ${AIPAN_FUNNEL_ALLOC_CEILING:=400000} allocs/op)"
+# Wall-clock on this box swings ±15% run to run, so the gate pins the
+# allocation count instead: it is deterministic for a fixed workload and
+# regresses immediately if a hot-path buffer stops being reused.
+bench_out=$(go test -run NONE -bench 'BenchmarkFigure1PipelineFunnel$' -benchtime 3x -benchmem . 2>&1)
+echo "$bench_out" | grep Benchmark || { echo "$bench_out"; echo "FAIL: funnel benchmark did not run"; exit 1; }
+allocs=$(echo "$bench_out" | awk '/BenchmarkFigure1PipelineFunnel/ { for (i=1; i<NF; i++) if ($(i+1) == "allocs/op") print $i }')
+if [ -z "$allocs" ]; then
+  echo "FAIL: could not parse allocs/op from benchmark output"
+  exit 1
+fi
+if [ "$allocs" -gt "$AIPAN_FUNNEL_ALLOC_CEILING" ]; then
+  echo "FAIL: funnel ran at $allocs allocs/op, above the $AIPAN_FUNNEL_ALLOC_CEILING ceiling"
+  exit 1
+fi
+echo "funnel allocations: $allocs allocs/op (ceiling $AIPAN_FUNNEL_ALLOC_CEILING)"
+
 echo "OK: all tier-1 checks passed"
