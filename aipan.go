@@ -33,6 +33,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"aipan/internal/annotate"
 	"aipan/internal/chatbot"
@@ -414,7 +415,61 @@ var (
 	WithServerCacheSize      = server.WithCacheSize
 	WithServerMaxInflight    = server.WithMaxInflight
 	WithServerRequestTimeout = server.WithRequestTimeout
+	WithServerEvents         = server.WithEvents
+	WithServerSLO            = server.WithSLO
 )
+
+// --- Durable telemetry (DESIGN.md §14) -------------------------------
+//
+// Trace export, the per-domain flight recorder, and the runtime/SLO
+// collectors, re-exported for the CLI and library embedders.
+
+// TraceExporter receives completed spans; set one on
+// PipelineConfig.TraceExporter to stream the run's span tree to disk.
+type TraceExporter = obs.Exporter
+
+// SpanRecord is one exported span as read back by ReadTrace.
+type SpanRecord = obs.SpanRecord
+
+// SLOConfig tunes the serving-layer SLO monitor (see WithServerSLO).
+type SLOConfig = obs.SLOConfig
+
+// NewTraceFileExporter opens a length-prefixed JSONL trace file. Pass
+// sorted=true (with PipelineConfig.TelemetryTimings off) for the
+// deterministic, byte-comparable export mode.
+func NewTraceFileExporter(path string, sorted bool) (TraceExporter, error) {
+	return obs.NewFileExporter(path, sorted)
+}
+
+// ReadTrace parses a trace file written by NewTraceFileExporter.
+func ReadTrace(path string) ([]SpanRecord, error) { return obs.ReadTrace(path) }
+
+// DeriveRunID maps a corpus seed to the run identifier stamped on every
+// log line, span, and flight-recorder event of that run.
+func DeriveRunID(seed int64) string { return obs.DeriveRunID(seed) }
+
+// StartRuntimeSampler publishes aipan_runtime_* gauges (heap, GC,
+// goroutines) into reg every interval; the returned stop function is
+// idempotent.
+func StartRuntimeSampler(reg *Metrics, interval time.Duration) func() {
+	return obs.StartRuntimeSampler(reg, interval)
+}
+
+// FlightEvent is one per-domain flight-recorder record.
+type FlightEvent = store.Event
+
+// EventStore is a readable flight-recorder stream (see WithServerEvents).
+type EventStore = store.EventStore
+
+// OpenEventLog creates (or reopens) a sharded flight-recorder stream in
+// dir; set it as PipelineConfig.Events to record a run.
+func OpenEventLog(dir string, shards int) (*store.EventLog, error) {
+	return store.OpenEventLog(dir, shards)
+}
+
+// OpenEventDir reopens an existing flight-recorder directory, inferring
+// the shard count.
+func OpenEventDir(dir string) (*store.EventLog, error) { return store.OpenEventDir(dir) }
 
 // NewDatasetServerFromRecords exposes an in-memory dataset over the
 // HTTP/JSON API.

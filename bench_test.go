@@ -26,6 +26,7 @@ import (
 	"aipan/internal/obs"
 	"aipan/internal/report"
 	"aipan/internal/segment"
+	"aipan/internal/store"
 	"aipan/internal/textify"
 	"aipan/internal/virtualweb"
 	"aipan/internal/webgen"
@@ -67,14 +68,16 @@ func benchFixture(b *testing.B) (*report.Report, *core.Result) {
 // extract → annotate → funnel) per 50 domains — the system of Figure 1.
 // The throughput is published through the metrics registry and read back
 // from the gauge, so the bench doubles as an integration check of the
-// observability path.
+// observability path. The flight recorder stays enabled so the per-domain
+// wide-event cost is part of the guarded allocation budget.
 func BenchmarkFigure1PipelineFunnel(b *testing.B) {
 	reg := obs.NewRegistry()
 	rate := reg.Gauge("aipan_bench_domains_per_second",
 		"End-to-end pipeline throughput measured by BenchmarkFigure1PipelineFunnel.")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		p, err := core.New(core.Config{Limit: 50, Workers: 8, Registry: reg})
+		p, err := core.New(core.Config{Limit: 50, Workers: 8, Registry: reg,
+			Events: store.NewMemEvents()})
 		if err != nil {
 			b.Fatal(err)
 		}

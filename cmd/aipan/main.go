@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--checkpoint ck.jsonl --store jsonl|sharded:N|mem [--resume]] [--metrics-addr :9090]
+//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--checkpoint ck.jsonl --store jsonl|sharded:N|mem [--resume]] [--metrics-addr :9090] [--trace-out run.trace] [--events-out events/] [--telemetry-timings]
 //	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
 //	aipan validate --data aipan.jsonl [--seed 3000]
 //	aipan compare-models [--n 20] [--seed 3000]
-//	aipan serve    --data aipan.jsonl [--store sharded:N] [--addr :8090] [--rps 50 --burst 100] [--max-inflight 256] [--cache-size 1024] [--request-timeout 15s] [--drain-timeout 10s] [--log-level info]
+//	aipan serve    --data aipan.jsonl [--store sharded:N] [--addr :8090] [--rps 50 --burst 100] [--max-inflight 256] [--cache-size 1024] [--request-timeout 15s] [--drain-timeout 10s] [--log-level info] [--events events/] [--slo-latency-target 250ms]
+//	aipan debug    trace <file> | events <dir>
 //	aipan vet      [-json] [-baseline aipanvet.baseline|none] [-checks a,b] ./...
 //	aipan all      --out aipan.jsonl [--limit N]
 package main
@@ -58,6 +59,8 @@ func main() {
 		err = cmdDiff(args)
 	case "serve":
 		err = cmdServe(args)
+	case "debug":
+		err = cmdDebug(args)
 	case "vet":
 		os.Exit(analysis.Main(args, os.Stdout, os.Stderr))
 	case "all":
@@ -88,6 +91,7 @@ commands:
   prompts         print the chatbot task prompts (Figure 2 / Appendix C)
   diff            compare two dataset snapshots (trend analysis)
   serve           expose a dataset over the versioned /v1 HTTP/JSON API
+  debug           inspect durable telemetry: debug trace <file> | debug events <dir>
   vet             run the repo's own static-analysis checkers (aipanvet)
   all             run + funnel + all tables + validation in one go`)
 }
@@ -113,8 +117,11 @@ func botFor(name string) (aipan.Chatbot, error) {
 
 // obsFlags are the observability knobs shared by run and all.
 type obsFlags struct {
-	metricsAddr string
-	logLevel    string
+	metricsAddr      string
+	logLevel         string
+	traceOut         string
+	eventsOut        string
+	telemetryTimings bool
 }
 
 func (o *obsFlags) register(fs *flag.FlagSet) {
@@ -122,6 +129,12 @@ func (o *obsFlags) register(fs *flag.FlagSet) {
 		"serve /metrics and /debug/pprof on this address for the run's lifetime (e.g. :9090)")
 	fs.StringVar(&o.logLevel, "log-level", "",
 		"emit structured logs to stderr at this level: debug | info | warn | error (default off)")
+	fs.StringVar(&o.traceOut, "trace-out", "",
+		"export the run's span tree to this trace file (byte-identical across same-seed runs unless --telemetry-timings)")
+	fs.StringVar(&o.eventsOut, "events-out", "",
+		"record one flight-recorder event per domain into this directory (serve it later with serve --events)")
+	fs.BoolVar(&o.telemetryTimings, "telemetry-timings", false,
+		"include wall-clock timings in traces and events (trades byte-identical telemetry for latency data)")
 }
 
 // runFlags are the pipeline knobs shared by run and all, validated as a
@@ -167,7 +180,37 @@ func runPipeline(out string, rf runFlags, seed int64, model string, progress boo
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := aipan.PipelineConfig{Seed: seed, Limit: rf.limit, Workers: rf.workers, Bot: bot, Checkpoint: rf.checkpoint}
+	cfg := aipan.PipelineConfig{
+		Seed: seed, Limit: rf.limit, Workers: rf.workers, Bot: bot,
+		Checkpoint: rf.checkpoint, TelemetryTimings: of.telemetryTimings,
+	}
+	// Telemetry outputs close after the run so the sorted trace exporter
+	// can write its deterministic file; close errors are surfaced on
+	// stderr rather than failing a run whose dataset already landed.
+	var telemetryClosers []func() error
+	defer func() {
+		for _, closeFn := range telemetryClosers {
+			if cerr := closeFn(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "aipan: telemetry:", cerr)
+			}
+		}
+	}()
+	if of.traceOut != "" {
+		exp, err := aipan.NewTraceFileExporter(of.traceOut, !of.telemetryTimings)
+		if err != nil {
+			return nil, nil, err
+		}
+		telemetryClosers = append(telemetryClosers, exp.Close)
+		cfg.TraceExporter = exp
+	}
+	if of.eventsOut != "" {
+		ev, err := aipan.OpenEventLog(of.eventsOut, 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		telemetryClosers = append(telemetryClosers, ev.Close)
+		cfg.Events = ev
+	}
 	if rf.storeSpec != "" && rf.storeSpec != "jsonl" {
 		st, err := aipan.OpenDatasetStore(rf.storeSpec, rf.checkpoint)
 		if err != nil {
@@ -215,6 +258,16 @@ func runPipeline(out string, rf runFlags, seed int64, model string, progress boo
 			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(res.Records), out)
+	}
+	if of.traceOut != "" || of.eventsOut != "" {
+		fmt.Fprintf(os.Stderr, "telemetry for run %s:", p.RunID())
+		if of.traceOut != "" {
+			fmt.Fprintf(os.Stderr, " trace=%s", of.traceOut)
+		}
+		if of.eventsOut != "" {
+			fmt.Fprintf(os.Stderr, " events=%s", of.eventsOut)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 	return res, p, nil
 }
@@ -525,6 +578,10 @@ func cmdServe(args []string) error {
 	fs.DurationVar(&sf.requestTimeout, "request-timeout", 15*time.Second, "per-request handler deadline")
 	fs.IntVar(&sf.cacheSize, "cache-size", 1024, "response cache capacity in entries (0 disables)")
 	fs.DurationVar(&sf.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	eventsDir := fs.String("events", "",
+		"flight-recorder directory from a --events-out run; enables /v1/events and /v1/domains/{domain}/provenance")
+	sloTarget := fs.Duration("slo-latency-target", 250*time.Millisecond,
+		"request latency the SLO monitor counts as slow; burn degrades /v1/readyz")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -547,17 +604,30 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
-	s, err := aipan.NewDatasetServer(aipan.DatasetFromStore(st),
-		aipan.WithServerRegistry(obs.NewRegistry()),
+	reg := obs.NewRegistry()
+	opts := []aipan.ServerOption{
+		aipan.WithServerRegistry(reg),
 		aipan.WithServerLogger(logger),
 		aipan.WithServerRateLimit(sf.rps, sf.burst),
 		aipan.WithServerMaxInflight(sf.maxInflight),
 		aipan.WithServerRequestTimeout(sf.requestTimeout),
 		aipan.WithServerCacheSize(sf.cacheSize),
-	)
+		aipan.WithServerSLO(aipan.SLOConfig{SlowTarget: *sloTarget}),
+	}
+	if *eventsDir != "" {
+		ev, err := aipan.OpenEventDir(*eventsDir)
+		if err != nil {
+			return err
+		}
+		defer ev.Close()
+		opts = append(opts, aipan.WithServerEvents(ev))
+	}
+	s, err := aipan.NewDatasetServer(aipan.DatasetFromStore(st), opts...)
 	if err != nil {
 		return err
 	}
+	stopSampler := aipan.StartRuntimeSampler(reg, 10*time.Second)
+	defer stopSampler()
 	fmt.Fprintf(os.Stderr, "serving %d records on %s — try GET /v1/summary, /v1/domains, /v1/domains/<domain>/label, /v1/domains/<domain>/ask?q=... (/metrics for telemetry)\n",
 		n, *addr)
 
@@ -568,10 +638,11 @@ func cmdServe(args []string) error {
 		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	// Flip readiness the moment drain starts, so load balancers polling
-	// /v1/readyz stop routing new traffic while in-flight requests finish.
-	httpSrv.RegisterOnShutdown(func() { s.SetReady(false) })
-	err = obs.ListenAndServeContext(ctx, httpSrv, sf.drainTimeout, logger)
+	// Flip readiness the moment drain starts — strictly before Shutdown
+	// closes the listener — so load balancers polling /v1/readyz stop
+	// routing new traffic while in-flight requests finish.
+	err = obs.ListenAndServeContext(ctx, httpSrv, sf.drainTimeout, logger,
+		func() { s.SetReady(false) })
 	if err == http.ErrServerClosed {
 		return nil
 	}

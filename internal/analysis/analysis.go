@@ -23,6 +23,10 @@
 //     taxonomy) never round-trips string/[]byte copies or calls the
 //     allocating strings case folders inside function bodies, so the
 //     pooled-buffer discipline survives future edits.
+//   - spanend: every span started with obs.StartSpan/StartSpanWith in
+//     non-test code is ended on all paths (defer span.End(), an
+//     always-run closure, or straight-line End with no return between),
+//     so exported traces never silently drop subtrees.
 //
 // Diagnostics are emitted as "file:line: [check] message" with
 // deterministic ordering; a committed baseline file grandfathers known
@@ -165,6 +169,7 @@ func Checkers() []*Checker {
 		metricnameChecker,
 		errwrapChecker,
 		bytechurnChecker,
+		spanendChecker,
 	}
 }
 

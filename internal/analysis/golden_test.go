@@ -44,7 +44,7 @@ func loadTestdata(t *testing.T) map[string]*Package {
 	mod := loadRepo(t)
 	tdOnce.Do(func() {
 		tdPkgs = map[string]*Package{}
-		for _, name := range []string{"det", "gor", "ctx", "met", "wrap", "churn"} {
+		for _, name := range []string{"det", "gor", "ctx", "met", "wrap", "churn", "spanend"} {
 			pkg, err := mod.LoadPackageDir(filepath.Join("testdata", "src", name), name)
 			if err != nil {
 				tdErr = fmt.Errorf("loading testdata %s: %w", name, err)
@@ -162,6 +162,10 @@ func TestCtxthreadGolden(t *testing.T) {
 
 func TestMetricnameGolden(t *testing.T) {
 	runGolden(t, "metricname", "met", DefaultConfig())
+}
+
+func TestSpanendGolden(t *testing.T) {
+	runGolden(t, "spanend", "spanend", DefaultConfig())
 }
 
 func TestErrwrapGolden(t *testing.T) {

@@ -101,5 +101,12 @@ func checkMetricName(p *Pass, arg ast.Expr, kind, prefix, name string) {
 		if strings.HasSuffix(name, "_total") {
 			p.Reportf(arg.Pos(), "gauge %q must not end in _total (that suffix marks counters)", name)
 		}
+		for _, reserved := range []string{"_sum", "_count", "_bucket"} {
+			if strings.HasSuffix(name, reserved) {
+				p.Reportf(arg.Pos(),
+					"gauge %q must not end in %s (Prometheus reserves that suffix for histogram series)",
+					name, reserved)
+			}
+		}
 	}
 }

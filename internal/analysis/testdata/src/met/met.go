@@ -16,6 +16,9 @@ func register(reg *obs.Registry, dynamic string) {
 	reg.Histogram("aipan_latency", "x", nil)        // want histogram "aipan_latency" must end in a unit suffix
 	reg.Histogram("aipan_latency_seconds", "x", nil)
 	reg.GaugeVec("aipan_queue_depth", "ok", "stage")
+	reg.Gauge("aipan_latency_sum", "x")       // want gauge "aipan_latency_sum" must not end in _sum
+	reg.Gauge("aipan_request_count", "x")     // want gauge "aipan_request_count" must not end in _count
+	reg.GaugeVec("aipan_le_bucket", "x", "l") // want gauge "aipan_le_bucket" must not end in _bucket
 	reg.CounterVec("aipan_Bad_total", "x", "l") // want lowercase snake_case
 	reg.Counter(dynamic, "x")                   // want must be a string constant
 }

@@ -74,6 +74,22 @@ type Result struct {
 	FallbackUsed map[string]bool
 	// Dropped counts mentions removed by the hallucination filter.
 	Dropped int
+	// Aspects breaks the outcome down per aspect in pipeline call order
+	// (types, purposes, handling, rights) — the flight recorder persists
+	// it so provenance queries can see which aspect dropped or fell back.
+	Aspects []AspectStats
+}
+
+// AspectStats is one aspect's share of a Result.
+type AspectStats struct {
+	// Aspect is the aspect name ("types", "purposes", ...).
+	Aspect string
+	// Annotations kept for this aspect after filtering.
+	Annotations int
+	// Dropped counts this aspect's hallucination-filter removals.
+	Dropped int
+	// Fallback is true when the aspect annotated from the whole text.
+	Fallback bool
 }
 
 // Option configures an Annotator.
@@ -216,13 +232,19 @@ func (an *Annotator) Annotate(ctx context.Context, doc *textify.Document, seg *s
 		return nil, err
 	}
 
-	res := &Result{FallbackUsed: map[string]bool{}}
+	res := &Result{FallbackUsed: map[string]bool{}, Aspects: make([]AspectStats, 0, len(partials))}
 	for i := range partials {
 		res.Annotations = append(res.Annotations, partials[i].Annotations...)
 		res.Dropped += partials[i].Dropped
 		for a := range partials[i].FallbackUsed {
 			res.FallbackUsed[a] = true
 		}
+		res.Aspects = append(res.Aspects, AspectStats{
+			Aspect:      calls[i].name,
+			Annotations: len(partials[i].Annotations),
+			Dropped:     partials[i].Dropped,
+			Fallback:    partials[i].FallbackUsed[calls[i].name],
+		})
 	}
 	res.recordMetrics(an.met)
 	return res, nil

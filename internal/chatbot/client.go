@@ -165,6 +165,11 @@ func (c *Client) Complete(ctx context.Context, req Request) (Response, error) {
 	defer c.lim.Release()
 	c.met.inflight.Inc()
 	defer c.met.inflight.Dec()
+	// The span covers the backend call including retries (cache hits
+	// return above without one); the task attribute keys the exported
+	// record the same way the latency histogram is keyed.
+	_, span := obs.StartSpanWith(ctx, "chatbot.call", obs.A("task", req.Task))
+	defer span.End()
 	start := c.clock()
 	defer func() { c.met.callDur.With(req.Task).Observe(c.clock().Sub(start).Seconds()) }()
 

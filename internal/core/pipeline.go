@@ -11,12 +11,14 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
 	"aipan/internal/annotate"
 	"aipan/internal/chatbot"
 	"aipan/internal/crawler"
 	"aipan/internal/engine"
 	"aipan/internal/obs"
+	"aipan/internal/risk"
 	"aipan/internal/russell"
 	"aipan/internal/stats"
 	"aipan/internal/store"
@@ -82,8 +84,30 @@ type Config struct {
 	// for isolation.
 	Registry *obs.Registry
 	// Logger, when set, receives structured run events, scoped per
-	// component ("core", "crawler", ...). Nil disables logging.
+	// component ("core", "crawler", ...). Nil disables logging. Every
+	// line carries the run ID so interleaved multi-run streams separate.
 	Logger *obs.Logger
+	// RunID labels this run's logs, spans, and flight-recorder events
+	// (default: obs.DeriveRunID(Seed) — seed-derived, so same-seed runs
+	// carry the same ID and their telemetry is byte-comparable).
+	RunID string
+	// TraceExporter, when set, receives every completed span (see
+	// obs.NewFileExporter). The caller owns Close. Unless
+	// TelemetryTimings is set, spans export with deterministic IDs and
+	// without wall-clock fields.
+	TraceExporter obs.Exporter
+	// Events, when set, receives one flight-recorder store.Event per
+	// processed domain, in submission order (emitted from the serialized
+	// delivery callback). The caller owns the sink's lifecycle.
+	Events store.EventSink
+	// TelemetryTimings includes wall-clock fields (span start/duration,
+	// event latency class and stage millis) in exported telemetry. Off
+	// by default so same-seed exports are byte-identical — the
+	// determinism property check.sh's telemetry smoke asserts.
+	TelemetryTimings bool
+	// Clock is the time source for event timings (default
+	// obs.SystemClock). Only read when TelemetryTimings is set.
+	Clock obs.Clock
 }
 
 // Pipeline is a configured end-to-end run.
@@ -99,7 +123,8 @@ type Pipeline struct {
 	reg       *obs.Registry
 	log       *obs.Logger
 	met       *pipeMetrics
-	procStage *engine.Stage[russell.DomainInfo, store.Record]
+	riskW     risk.Weights
+	procStage *engine.Stage[russell.DomainInfo, domainOutcome]
 	pageStage *engine.Stage[*crawler.Page, pageOutcome]
 }
 
@@ -185,8 +210,20 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.LLMConcurrency <= 0 {
 		cfg.LLMConcurrency = 4 * cfg.Workers
 	}
+	if cfg.RunID == "" {
+		cfg.RunID = obs.DeriveRunID(cfg.Seed)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = obs.SystemClock
+	}
+	// Bind the run ID before any component logger is derived, so the
+	// crawler's and annotator's lines carry it too.
+	cfg.Logger = cfg.Logger.WithAttrs("run", cfg.RunID)
 	p := &Pipeline{cfg: cfg, reg: cfg.Registry, log: cfg.Logger.With("core")}
 	p.met = newPipeMetrics(cfg.Registry)
+	// One weights table for the whole run: the flight recorder scores
+	// every annotated record, and DefaultWeights allocates maps.
+	p.riskW = risk.DefaultWeights()
 
 	// Universe, domain resolution (§3.1), and the synthetic web — all a
 	// deterministic function of the seed, shared across pipelines.
@@ -231,10 +268,10 @@ func New(cfg Config) (*Pipeline, error) {
 	// independent extract→segment→annotate chain; the chatbot client's
 	// limiter is the real throttle).
 	p.procStage = engine.NewStage(cfg.Registry, "process", engine.Policy{Workers: cfg.Workers},
-		func(ctx context.Context, d russell.DomainInfo) (store.Record, error) {
-			rec := p.processDomain(ctx, d)
+		func(ctx context.Context, d russell.DomainInfo) (domainOutcome, error) {
+			rec, ev := p.processDomain(ctx, d)
 			p.met.domains.Inc()
-			return rec, nil
+			return domainOutcome{rec: rec, ev: ev}, nil
 		})
 	p.pageStage = engine.NewStage(cfg.Registry, "page", engine.Policy{Workers: engine.Unbounded},
 		p.processPage)
@@ -250,6 +287,9 @@ func (p *Pipeline) Domains() []russell.DomainInfo { return p.domains }
 // Bot exposes the chatbot in use.
 func (p *Pipeline) Bot() chatbot.Chatbot { return p.bot }
 
+// RunID exposes the run identifier stamped on this run's telemetry.
+func (p *Pipeline) RunID() string { return p.cfg.RunID }
+
 // Run executes the full pipeline.
 func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	domains := p.domains
@@ -259,8 +299,17 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	records := make([]store.Record, len(domains))
 
 	// One tracer per run; spans started anywhere below nest into its
-	// stage tree, which is attached to the Result as Trace.
-	tracer := obs.NewTracer(p.reg)
+	// stage tree, which is attached to the Result as Trace. With an
+	// exporter configured, completed spans also stream to it — with
+	// deterministic IDs unless the caller asked for wall timings.
+	topts := []obs.TracerOption{obs.WithRunID(p.cfg.RunID), obs.WithTracerClock(p.cfg.Clock)}
+	if p.cfg.TraceExporter != nil {
+		topts = append(topts, obs.WithExporter(p.cfg.TraceExporter))
+		if !p.cfg.TelemetryTimings {
+			topts = append(topts, obs.WithDeterministicIDs(p.cfg.Seed))
+		}
+	}
+	tracer := obs.NewTracer(p.reg, topts...)
 	ctx = obs.WithTracer(ctx, tracer)
 	ctx, runSpan := obs.StartSpan(ctx, "run")
 	runEnded := false
@@ -353,7 +402,8 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	// ordered-delivery contract), so checkpoint appends land in domain
 	// order regardless of worker count and progress ticks are strictly
 	// increasing without extra locking around the store.
-	deliver := func(i int, rec store.Record, _ error) {
+	deliver := func(i int, out domainOutcome, _ error) {
+		rec := out.rec
 		records[todoIdx[i]] = rec
 		if st != nil && ctx.Err() == nil {
 			// Skip the write once the run is canceled: a domain
@@ -366,6 +416,15 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				report("checkpoint-error", 0, 0)
 			} else {
 				p.met.ckptWrites.Inc()
+			}
+		}
+		if p.cfg.Events != nil && ctx.Err() == nil {
+			// Emitting here — not in the worker — keeps the event
+			// stream in submission order (deliver is serialized), which
+			// is what makes same-seed event shards byte-identical.
+			out.ev.Seq = todoIdx[i]
+			if err := p.cfg.Events.Append(&out.ev); err != nil {
+				p.log.Error("event append failed", "domain", rec.Domain, "err", err)
 			}
 		}
 		progressMu.Lock()
@@ -441,13 +500,71 @@ func (p *Pipeline) ProcessDomains(ctx context.Context, domains []string) ([]stor
 		if !ok {
 			return nil, fmt.Errorf("core: domain %q is not in the study universe", dom)
 		}
-		out = append(out, p.processDomain(ctx, info))
+		rec, _ := p.processDomain(ctx, info)
+		out = append(out, rec)
 	}
 	return out, nil
 }
 
-// processDomain runs crawl → extract → annotate for one domain.
-func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) store.Record {
+// domainOutcome pairs a domain's dataset record with its flight-recorder
+// event; the engine carries both to the serialized delivery callback,
+// which appends them to the store and the event sink respectively.
+type domainOutcome struct {
+	rec store.Record
+	ev  store.Event
+}
+
+// toAspectOutcomes converts the annotator's per-aspect stats into the
+// flight recorder's persisted form.
+func toAspectOutcomes(in []annotate.AspectStats) []store.AspectOutcome {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]store.AspectOutcome, len(in))
+	for i, a := range in {
+		out[i] = store.AspectOutcome{
+			Aspect:      a.Aspect,
+			Annotations: a.Annotations,
+			Dropped:     a.Dropped,
+			Fallback:    a.Fallback,
+		}
+	}
+	return out
+}
+
+// latencyClass buckets a domain's wall time for the flight recorder.
+func latencyClass(d time.Duration) string {
+	switch {
+	case d < 100*time.Millisecond:
+		return "fast"
+	case d < time.Second:
+		return "ok"
+	}
+	return "slow"
+}
+
+// processDomain runs crawl → extract → annotate for one domain,
+// producing its dataset record and flight-recorder event. Wall-clock
+// fields are only measured (and the clock only read) when
+// TelemetryTimings is on, keeping the default event stream a pure
+// function of the seed.
+func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) (store.Record, store.Event) {
+	if !p.cfg.TelemetryTimings {
+		return p.domainWork(ctx, d, nil)
+	}
+	start := p.cfg.Clock()
+	stages := map[string]int64{}
+	rec, ev := p.domainWork(ctx, d, stages)
+	wall := p.cfg.Clock().Sub(start)
+	ev.WallMillis = wall.Milliseconds()
+	ev.LatencyClass = latencyClass(wall)
+	ev.StageMillis = stages
+	return rec, ev
+}
+
+// domainWork is processDomain's body; stages, when non-nil, receives
+// per-stage wall millis.
+func (p *Pipeline) domainWork(ctx context.Context, d russell.DomainInfo, stages map[string]int64) (store.Record, store.Event) {
 	rec := store.Record{
 		Domain:       d.Domain,
 		Company:      d.Companies[0].Name,
@@ -458,12 +575,20 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		rec.Tickers = append(rec.Tickers, c.Ticker)
 	}
 	sort.Strings(rec.Tickers)
+	ev := store.Event{RunID: p.cfg.RunID, Domain: d.Domain, Sector: d.Sector}
 
-	ctx, dspan := obs.StartSpan(ctx, "domain")
+	ctx, dspan := obs.StartSpanWith(ctx, "domain", obs.A("domain", d.Domain))
 	defer dspan.End()
 
 	cctx, cspan := obs.StartSpan(ctx, "crawl")
+	var crawlStart time.Time
+	if stages != nil {
+		crawlStart = p.cfg.Clock()
+	}
 	cres := p.crawler.CrawlDomain(cctx, d.Domain)
+	if stages != nil {
+		stages["crawl"] = p.cfg.Clock().Sub(crawlStart).Milliseconds()
+	}
 	cspan.End()
 	rec.Crawl = store.CrawlInfo{
 		Success:          cres.Success,
@@ -476,8 +601,28 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		WellKnownPrivacy: cres.WellKnownPrivacyOK,
 		Error:            cres.HomeErr,
 	}
+	ev.FetchStatus = cres.HomeStatus()
+	ev.FetchClass = cres.HomeClass()
+	ev.PagesFetched = cres.PagesFetched()
+	ev.PolicyPages = len(cres.PrivacyPages)
+	if cres.HomeErr != "" {
+		ev.Errors = append(ev.Errors, "crawl: "+cres.HomeErr)
+	}
+	switch {
+	case len(cres.PrivacyPages) > 0:
+		ev.Language = "en"
+	case cres.NonEnglish > 0:
+		// Every candidate was filtered as non-English — the §3.1
+		// language-based exclusion.
+		ev.Language = "non-english"
+	}
 	if !cres.Success || len(cres.PrivacyPages) == 0 {
-		return rec
+		if !cres.Success {
+			ev.Outcome = store.OutcomeCrawlFailed
+		} else {
+			ev.Outcome = store.OutcomeNoPolicy
+		}
+		return rec, ev
 	}
 
 	// Extract + segment + annotate each privacy page — concurrently on the
@@ -507,6 +652,8 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		anySuccess = true
 		anyFallbackSeg = anyFallbackSeg || out.usedFallback
 		coreWords += out.pageWords
+		ev.Segments += out.segSections
+		ev.Clauses += out.segLines
 		if !out.annOK {
 			continue
 		}
@@ -517,6 +664,10 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 			for a := range out.annFallbacks {
 				fallbacks[a] = true
 			}
+			// The main policy page also supplies the event's per-aspect
+			// breakdown (auxiliary pages would swamp it, same rationale
+			// as the fallback accounting above).
+			ev.Aspects = toAspectOutcomes(out.aspects)
 		}
 	}
 	rec.Extraction = store.ExtractionInfo{
@@ -524,15 +675,32 @@ func (p *Pipeline) processDomain(ctx context.Context, d russell.DomainInfo) stor
 		UsedFallback: anyFallbackSeg,
 		CoreWords:    coreWords,
 	}
+	ev.Words = coreWords
 	if !anySuccess {
-		return rec
+		ev.Outcome = store.OutcomeExtractFailed
+		ev.Errors = append(ev.Errors, "extract: no privacy page segmented")
+		return rec, ev
 	}
 	rec.Annotations = annotate.Merge(pageAnns...)
 	for a := range fallbacks {
 		rec.AnnotationFallback = append(rec.AnnotationFallback, a)
 	}
 	sort.Strings(rec.AnnotationFallback)
-	return rec
+
+	ev.Annotations = len(rec.Annotations)
+	for i := range rec.Annotations {
+		if !rec.Annotations[i].Novel {
+			ev.TaxonomyHits++
+		}
+	}
+	if len(rec.Annotations) == 0 {
+		ev.Outcome = store.OutcomeAnnotateFailed
+		ev.Errors = append(ev.Errors, "annotate: no annotations kept")
+		return rec, ev
+	}
+	ev.Outcome = store.OutcomeAnnotated
+	ev.RiskScore = risk.ScoreRecord(&rec, p.riskW).Total
+	return rec, ev
 }
 
 // pageOutcome is one privacy page's extract → segment → annotate result.
@@ -540,9 +708,12 @@ type pageOutcome struct {
 	segOK        bool
 	usedFallback bool
 	pageWords    int
+	segSections  int
+	segLines     int
 	annOK        bool
 	anns         []annotate.Annotation
 	annFallbacks map[string]bool
+	aspects      []annotate.AspectStats
 }
 
 // processPage is the page stage's unit of work: render, segment, and
@@ -551,7 +722,7 @@ type pageOutcome struct {
 // the stage function never reports an error.
 func (p *Pipeline) processPage(ctx context.Context, page *crawler.Page) (pageOutcome, error) {
 	var out pageOutcome
-	pctx, pspan := obs.StartSpan(ctx, "page")
+	pctx, pspan := obs.StartSpanWith(ctx, "page", obs.A("path", page.Path))
 	defer pspan.End()
 	doc := textify.Render(parseHTML(page.Body))
 	sctx, sspan := obs.StartSpan(pctx, "segment")
@@ -563,6 +734,8 @@ func (p *Pipeline) processPage(ctx context.Context, page *crawler.Page) (pageOut
 	out.segOK = true
 	out.usedFallback = seg.UsedFallback
 	out.pageWords = seg.CoreWordCount()
+	out.segSections = seg.SectionCount()
+	out.segLines = seg.LineCount()
 	actx, aspan := obs.StartSpan(pctx, "annotate")
 	ares, err := p.annotator.Annotate(actx, doc, seg)
 	aspan.End()
@@ -572,6 +745,7 @@ func (p *Pipeline) processPage(ctx context.Context, page *crawler.Page) (pageOut
 	out.annOK = true
 	out.anns = ares.Annotations
 	out.annFallbacks = ares.FallbackUsed
+	out.aspects = ares.Aspects
 	return out, nil
 }
 

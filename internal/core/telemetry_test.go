@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aipan/internal/obs"
+	"aipan/internal/store"
+	"aipan/internal/webgen"
+)
+
+// TestTelemetryByteIdenticalAcrossRuns is the acceptance bar for durable
+// telemetry (DESIGN.md §14): two runs over the same seed must export
+// byte-identical trace files and flight-recorder event streams, even at
+// different worker counts. Deterministic mode (no TelemetryTimings)
+// derives span IDs from content and strips wall-clock fields, and the
+// flight recorder stamps events with the serialized delivery sequence,
+// so concurrency never leaks into the exported bytes.
+func TestTelemetryByteIdenticalAcrossRuns(t *testing.T) {
+	const limit = 12
+	run := func(workers int) (traceFile, eventDir string) {
+		t.Helper()
+		dir := t.TempDir()
+		traceFile = filepath.Join(dir, "run.trace")
+		eventDir = filepath.Join(dir, "events")
+		exp, err := obs.NewFileExporter(traceFile, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := store.OpenEventLog(eventDir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{Limit: limit, Workers: workers,
+			TraceExporter: exp, Events: ev})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ev.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return traceFile, eventDir
+	}
+
+	trace1, events1 := run(1)
+	trace2, events2 := run(16)
+
+	b1, err := os.ReadFile(trace1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(trace2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) == 0 {
+		t.Fatal("trace export is empty")
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("trace bytes differ across same-seed runs (%d vs %d bytes)", len(b1), len(b2))
+	}
+
+	// Every event shard must match byte for byte. Shard files are created
+	// lazily, so compare the union of both directories.
+	names := map[string]bool{}
+	for _, dir := range []string{events1, events2} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			names[e.Name()] = true
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no event files written")
+	}
+	for name := range names {
+		s1, err1 := os.ReadFile(filepath.Join(events1, name))
+		s2, err2 := os.ReadFile(filepath.Join(events2, name))
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s exists in only one run: %v vs %v", name, err1, err2)
+		}
+		if string(s1) != string(s2) {
+			t.Errorf("%s differs across same-seed runs", name)
+		}
+	}
+
+	// The exported spans must parse, share the seed-derived run ID, and
+	// carry no wall-clock fields in deterministic mode.
+	recs, err := obs.ReadTrace(trace1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("trace parsed to zero spans")
+	}
+	wantRun := obs.DeriveRunID(webgen.Seed)
+	for i := range recs {
+		if recs[i].RunID != wantRun {
+			t.Fatalf("span %d run ID = %q, want %q", i, recs[i].RunID, wantRun)
+		}
+		if recs[i].StartUnixNano != 0 || recs[i].DurationNanos != 0 {
+			t.Fatalf("span %d (%s) carries wall-clock timings in deterministic mode", i, recs[i].Path)
+		}
+	}
+
+	// The recorded event stream must cover every processed domain.
+	log, err := store.OpenEventDir(events1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if n, err := log.Len(); err != nil || n != limit {
+		t.Fatalf("event stream holds %d events, %v; want %d", n, err, limit)
+	}
+}

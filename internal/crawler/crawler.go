@@ -142,6 +142,25 @@ type Result struct {
 // 5.1 average).
 func (r *Result) PagesFetched() int { return len(r.Pages) }
 
+// HomeStatus reports the homepage HTTP status (0 when the crawl never
+// fetched a homepage or the fetch failed at the transport layer).
+func (r *Result) HomeStatus() int {
+	if len(r.Pages) == 0 || r.Pages[0].FetchErr != "" {
+		return 0
+	}
+	return r.Pages[0].Status
+}
+
+// HomeClass buckets the homepage fetch outcome ("2xx".."5xx", "error")
+// the way the fetch metrics do — the flight recorder stores it per
+// domain.
+func (r *Result) HomeClass() string {
+	if len(r.Pages) == 0 {
+		return "error"
+	}
+	return statusClass(&r.Pages[0])
+}
+
 // Crawler crawls domains for privacy policies.
 type Crawler struct {
 	cfg Config

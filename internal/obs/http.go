@@ -55,10 +55,17 @@ func StartDebugServer(addr string, reg *Registry, log *Logger) (*http.Server, er
 // before the listener is torn down (http.Server.Shutdown semantics).
 // It returns nil after a clean drain, the shutdown error if the drain
 // deadline expired, or the serve error if the listener failed first.
+//
+// onDrain hooks run after ctx fires but strictly before srv.Shutdown —
+// unlike http.Server.RegisterOnShutdown, which gives no ordering
+// guarantee versus listener close. Flip readiness (SetReady(false))
+// here so load balancers see a failing /v1/readyz while the listener
+// still accepts the final in-flight requests.
+//
 // This is the one place a serving process spawns a goroutine, so it
 // lives in obs alongside StartDebugServer (the goroutine checker keeps
 // naked go statements out of server and cmd code).
-func ListenAndServeContext(ctx context.Context, srv *http.Server, drainTimeout time.Duration, log *Logger) error {
+func ListenAndServeContext(ctx context.Context, srv *http.Server, drainTimeout time.Duration, log *Logger, onDrain ...func()) error {
 	ln, err := net.Listen("tcp", srv.Addr)
 	if err != nil {
 		return err
@@ -69,6 +76,9 @@ func ListenAndServeContext(ctx context.Context, srv *http.Server, drainTimeout t
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+	}
+	for _, hook := range onDrain {
+		hook()
 	}
 	log.Info("draining", "addr", srv.Addr, "timeout", drainTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)

@@ -60,6 +60,7 @@ type Logger struct {
 	out       io.Writer
 	level     *atomic.Int32
 	component string
+	bound     string // preformatted " k=v" pairs from WithAttrs
 	now       Clock
 }
 
@@ -83,6 +84,31 @@ func (l *Logger) With(component string) *Logger {
 	} else {
 		child.component = component
 	}
+	return &child
+}
+
+// WithAttrs returns a child logger that prepends the given key/value
+// pairs to every line it writes (before per-call pairs). The pairs are
+// formatted once here, not per log call — this is how the run ID gets
+// onto every pipeline line without per-line cost.
+func (l *Logger) WithAttrs(kvs ...any) *Logger {
+	if l == nil || len(kvs) == 0 {
+		return l
+	}
+	var b strings.Builder
+	b.WriteString(l.bound)
+	for i := 0; i < len(kvs); i += 2 {
+		key, val := "!BADKEY", kvs[i]
+		if i+1 < len(kvs) {
+			key, val = fmt.Sprint(kvs[i]), kvs[i+1]
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		writeLogValue(&b, fmt.Sprint(val))
+	}
+	child := *l
+	child.bound = b.String()
 	return &child
 }
 
@@ -127,6 +153,7 @@ func (l *Logger) log(level Level, msg string, kvs []any) {
 	}
 	b.WriteString(" msg=")
 	writeLogValue(&b, msg)
+	b.WriteString(l.bound)
 	for i := 0; i < len(kvs); i += 2 {
 		key, val := "!BADKEY", kvs[i]
 		if i+1 < len(kvs) {

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime gauge/counter names. Kept as constants so the exposition
+// golden test and the check.sh telemetry smoke reference the same
+// spellings the sampler registers.
+const (
+	RuntimeHeapAllocMetric    = "aipan_runtime_heap_alloc_bytes"
+	RuntimeHeapSysMetric      = "aipan_runtime_heap_sys_bytes"
+	RuntimeHeapObjectsMetric  = "aipan_runtime_heap_objects"
+	RuntimeGoroutinesMetric   = "aipan_runtime_goroutines"
+	RuntimeGCPauseLastMetric  = "aipan_runtime_gc_pause_last_seconds"
+	RuntimeGCPauseTotalMetric = "aipan_runtime_gc_pause_seconds_total"
+	RuntimeGCCyclesMetric     = "aipan_runtime_gc_cycles_total"
+)
+
+// runtimeGauges bundles the instruments the sampler publishes.
+type runtimeGauges struct {
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	goroutines  *Gauge
+	gcPauseLast *Gauge
+	gcPauseTot  *Counter
+	gcCycles    *Counter
+
+	lastPauseNs uint64
+	lastNumGC   uint32
+}
+
+func newRuntimeGauges(reg *Registry) *runtimeGauges {
+	return &runtimeGauges{
+		heapAlloc: reg.Gauge(RuntimeHeapAllocMetric,
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc)."),
+		heapSys: reg.Gauge(RuntimeHeapSysMetric,
+			"Bytes of heap memory obtained from the OS (runtime.MemStats.HeapSys)."),
+		heapObjects: reg.Gauge(RuntimeHeapObjectsMetric,
+			"Number of live heap objects (runtime.MemStats.HeapObjects)."),
+		goroutines: reg.Gauge(RuntimeGoroutinesMetric,
+			"Current goroutine count (runtime.NumGoroutine)."),
+		gcPauseLast: reg.Gauge(RuntimeGCPauseLastMetric,
+			"Duration of the most recent GC stop-the-world pause."),
+		gcPauseTot: reg.Counter(RuntimeGCPauseTotalMetric,
+			"Cumulative GC stop-the-world pause time."),
+		gcCycles: reg.Counter(RuntimeGCCyclesMetric,
+			"Completed GC cycles."),
+	}
+}
+
+// sample reads runtime stats once and publishes them. Counters advance
+// by deltas against the previous sample so restarts of the sampler (not
+// the process) never double-count.
+func (g *runtimeGauges) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	g.heapAlloc.Set(float64(ms.HeapAlloc))
+	g.heapSys.Set(float64(ms.HeapSys))
+	g.heapObjects.Set(float64(ms.HeapObjects))
+	g.goroutines.Set(float64(runtime.NumGoroutine()))
+	if ms.NumGC > 0 {
+		g.gcPauseLast.Set(float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+	}
+	if d := ms.PauseTotalNs - g.lastPauseNs; d > 0 {
+		g.gcPauseTot.Add(float64(d) / 1e9)
+	}
+	g.lastPauseNs = ms.PauseTotalNs
+	if d := ms.NumGC - g.lastNumGC; d > 0 {
+		g.gcCycles.Add(float64(d))
+	}
+	g.lastNumGC = ms.NumGC
+}
+
+// StartRuntimeSampler publishes aipan_runtime_* metrics into reg (nil =
+// Default()) every interval (<=0 defaults to 10s) until the returned
+// stop function is called. The first sample is taken synchronously, so
+// the gauges are non-zero before the function returns — scrapes and the
+// exposition golden never see a registered-but-never-set family. The
+// sampling goroutine lives here because obs is one of the two packages
+// allowed to spawn goroutines (aipanvet goroutine checker); stop blocks
+// until the goroutine has exited.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	g := newRuntimeGauges(reg)
+	g.sample()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				g.sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO metric names published by the monitor.
+const (
+	SLOSlowBurnMetric = "aipan_slo_latency_burn_ratio"
+	SLOErrBurnMetric  = "aipan_slo_error_burn_ratio"
+	SLORequestsMetric = "aipan_slo_window_requests"
+)
+
+// SLOConfig defines the service objective a monitor tracks.
+type SLOConfig struct {
+	// SlowTarget is the latency threshold: a request slower than this is
+	// "bad" for the latency objective. Default 250ms.
+	SlowTarget time.Duration
+	// Window is the rolling evaluation window. Default 5m.
+	Window time.Duration
+	// Buckets is the ring granularity inside Window. Default 30 (10s
+	// buckets under the default window).
+	Buckets int
+	// SlowBudget is the tolerated fraction of slow requests in the
+	// window (0.05 = 5%). Default 0.05.
+	SlowBudget float64
+	// ErrorBudget is the tolerated fraction of 5xx responses. Default 0.01.
+	ErrorBudget float64
+	// MinSamples gates burn evaluation: below this many requests in the
+	// window the monitor never reports burning (small-sample noise would
+	// otherwise flap readiness on the first slow request after idle).
+	// Default 20.
+	MinSamples int
+}
+
+func (c *SLOConfig) fill() {
+	if c.SlowTarget <= 0 {
+		c.SlowTarget = 250 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 30
+	}
+	if c.SlowBudget <= 0 {
+		c.SlowBudget = 0.05
+	}
+	if c.ErrorBudget <= 0 {
+		c.ErrorBudget = 0.01
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 20
+	}
+}
+
+// SLOStatus is one evaluation of the rolling window.
+type SLOStatus struct {
+	// Requests in the window.
+	Requests int `json:"requests"`
+	// SlowBurn / ErrorBurn are burn-rate ratios: observed bad fraction
+	// divided by budget. 1.0 means the budget is being consumed exactly
+	// at the sustainable rate; above 1.0 the objective fails if the rate
+	// holds.
+	SlowBurn  float64 `json:"slow_burn"`
+	ErrorBurn float64 `json:"error_burn"`
+	// Burning is true when either ratio is >= 1 with enough samples.
+	Burning bool `json:"burning"`
+	// Warning is a human-readable summary when Burning ("" otherwise);
+	// the server copies it into the /v1/readyz body.
+	Warning string `json:"warning,omitempty"`
+}
+
+type sloBucket struct {
+	epoch int64
+	total int
+	slow  int
+	errs  int
+}
+
+// SLOMonitor tracks request latency and error outcomes over a rolling
+// window and publishes aipan_slo_* burn-rate gauges. It holds no
+// goroutine: the ring rotates lazily on Observe/Status, driven by the
+// injected clock, so tests can step time and the aipanvet goroutine
+// rules stay trivially satisfied. Safe for concurrent use.
+type SLOMonitor struct {
+	cfg   SLOConfig
+	clock Clock
+
+	mu      sync.Mutex
+	buckets []sloBucket
+
+	gSlowBurn *Gauge
+	gErrBurn  *Gauge
+	gRequests *Gauge
+}
+
+// NewSLOMonitor builds a monitor registering its gauges in reg (nil =
+// Default()). clock nil defaults to SystemClock.
+func NewSLOMonitor(reg *Registry, cfg SLOConfig, clock Clock) *SLOMonitor {
+	if reg == nil {
+		reg = Default()
+	}
+	if clock == nil {
+		clock = SystemClock
+	}
+	cfg.fill()
+	return &SLOMonitor{
+		cfg:     cfg,
+		clock:   clock,
+		buckets: make([]sloBucket, cfg.Buckets),
+		gSlowBurn: reg.Gauge(SLOSlowBurnMetric,
+			"Latency SLO burn rate: fraction of slow requests in the window divided by the slow budget."),
+		gErrBurn: reg.Gauge(SLOErrBurnMetric,
+			"Error SLO burn rate: fraction of 5xx responses in the window divided by the error budget."),
+		gRequests: reg.Gauge(SLORequestsMetric,
+			"Requests observed in the current SLO window."),
+	}
+}
+
+// bucketDur is the time width of one ring slot.
+func (m *SLOMonitor) bucketDur() time.Duration {
+	return m.cfg.Window / time.Duration(len(m.buckets))
+}
+
+// slot returns the live bucket for epoch, resetting it if it still
+// holds data from a previous rotation.
+func (m *SLOMonitor) slot(epoch int64) *sloBucket {
+	b := &m.buckets[int(epoch%int64(len(m.buckets)))]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	return b
+}
+
+// Observe records one served request.
+func (m *SLOMonitor) Observe(latency time.Duration, isError bool) {
+	epoch := m.clock().UnixNano() / int64(m.bucketDur())
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.slot(epoch)
+	b.total++
+	if latency > m.cfg.SlowTarget {
+		b.slow++
+	}
+	if isError {
+		b.errs++
+	}
+}
+
+// Status evaluates the window and refreshes the aipan_slo_* gauges.
+func (m *SLOMonitor) Status() SLOStatus {
+	epoch := m.clock().UnixNano() / int64(m.bucketDur())
+	oldest := epoch - int64(len(m.buckets)) + 1
+	m.mu.Lock()
+	var total, slow, errs int
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		if b.epoch >= oldest && b.epoch <= epoch {
+			total += b.total
+			slow += b.slow
+			errs += b.errs
+		}
+	}
+	m.mu.Unlock()
+
+	st := SLOStatus{Requests: total}
+	if total > 0 {
+		st.SlowBurn = float64(slow) / float64(total) / m.cfg.SlowBudget
+		st.ErrorBurn = float64(errs) / float64(total) / m.cfg.ErrorBudget
+	}
+	if total >= m.cfg.MinSamples {
+		switch {
+		case st.SlowBurn >= 1 && st.ErrorBurn >= 1:
+			st.Burning = true
+			st.Warning = fmt.Sprintf("slo: latency burn %.1fx and error burn %.1fx budget over %s",
+				st.SlowBurn, st.ErrorBurn, m.cfg.Window)
+		case st.SlowBurn >= 1:
+			st.Burning = true
+			st.Warning = fmt.Sprintf("slo: latency burn %.1fx budget (>%s) over %s",
+				st.SlowBurn, m.cfg.SlowTarget, m.cfg.Window)
+		case st.ErrorBurn >= 1:
+			st.Burning = true
+			st.Warning = fmt.Sprintf("slo: error burn %.1fx budget over %s",
+				st.ErrorBurn, m.cfg.Window)
+		}
+	}
+	m.gSlowBurn.Set(st.SlowBurn)
+	m.gErrBurn.Set(st.ErrorBurn)
+	m.gRequests.Set(float64(total))
+	return st
+}

@@ -2,10 +2,14 @@ package obs
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,8 +21,22 @@ const StageDurationMetric = "aipan_stage_duration_seconds"
 // created per pipeline run, attached to the context with WithTracer, and
 // summarized into core.Result when the run completes. All methods are
 // safe for concurrent use.
+//
+// A Tracer can additionally stream completed spans through an Exporter
+// (WithExporter) — that is the durable-telemetry path. Span identity is
+// either counter-issued (wall mode) or derived from (run, parent, name,
+// attrs) in deterministic mode (WithDeterministicIDs), where timing
+// fields are also withheld from exported records so same-seed runs
+// export byte-identical traces.
 type Tracer struct {
 	hist *HistogramVec
+
+	runID         string
+	exporter      Exporter
+	deterministic bool
+	idBase        uint64
+	idCtr         atomic.Uint64
+	clock         Clock
 
 	mu   sync.Mutex
 	root map[string]*stageAgg
@@ -31,18 +49,62 @@ type stageAgg struct {
 	children map[string]*stageAgg
 }
 
+// TracerOption configures a Tracer.
+type TracerOption func(*Tracer)
+
+// WithRunID labels every exported span with id (default: no label).
+func WithRunID(id string) TracerOption {
+	return func(t *Tracer) { t.runID = id }
+}
+
+// WithExporter streams every completed span to e.
+func WithExporter(e Exporter) TracerOption {
+	return func(t *Tracer) { t.exporter = e }
+}
+
+// WithDeterministicIDs derives span IDs from the seed and the span's
+// position in the trace tree — (parent ID, name, attributes) — instead
+// of issuing them from a counter, and withholds wall-clock fields from
+// exported records. Two same-seed runs then export the same record
+// multiset regardless of scheduling; pair with a sorted FileExporter
+// for byte-identical files.
+func WithDeterministicIDs(seed int64) TracerOption {
+	return func(t *Tracer) {
+		t.deterministic = true
+		h := fnv.New64a()
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(seed))
+		h.Write(b[:])
+		t.idBase = h.Sum64()
+	}
+}
+
+// WithTracerClock injects the exporter's time source (default
+// SystemClock); deterministic mode never reads it for exported fields.
+func WithTracerClock(c Clock) TracerOption {
+	return func(t *Tracer) { t.clock = c }
+}
+
 // NewTracer builds a tracer recording span durations into reg (nil =
 // Default()).
-func NewTracer(reg *Registry) *Tracer {
+func NewTracer(reg *Registry, opts ...TracerOption) *Tracer {
 	if reg == nil {
 		reg = Default()
 	}
-	return &Tracer{
+	t := &Tracer{
 		hist: reg.HistogramVec(StageDurationMetric,
 			"Wall time of pipeline stages, labeled by span name.", nil, "stage"),
-		root: map[string]*stageAgg{},
+		root:  map[string]*stageAgg{},
+		clock: SystemClock,
 	}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
 }
+
+// RunID reports the tracer's run label ("" when unset).
+func (t *Tracer) RunID() string { return t.runID }
 
 type tracerKey struct{}
 
@@ -64,7 +126,11 @@ func TracerFrom(ctx context.Context) *Tracer {
 // tree. A nil *Span (no tracer in the context) is a no-op.
 type Span struct {
 	tracer *Tracer
+	name   string
 	path   []string
+	attrs  []Attr
+	id     uint64
+	parent uint64
 	start  time.Time
 }
 
@@ -73,28 +139,112 @@ type Span struct {
 // region completes. Without a Tracer in ctx it returns ctx unchanged and
 // a nil (no-op) span.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return StartSpanWith(ctx, name)
+}
+
+// StartSpanWith begins a span carrying attributes. Attributes identify
+// the span's subject ("domain" → "acme.example") and, in deterministic
+// mode, disambiguate sibling spans that share a name.
+func StartSpanWith(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
 	tr := TracerFrom(ctx)
 	if tr == nil {
 		return ctx, nil
 	}
 	var path []string
+	var parentID uint64
 	if parent, ok := ctx.Value(spanKey{}).(*Span); ok && parent != nil {
 		path = make([]string, 0, len(parent.path)+1)
 		path = append(append(path, parent.path...), name)
+		parentID = parent.id
 	} else {
 		path = []string{name}
 	}
-	s := &Span{tracer: tr, path: path, start: time.Now()}
+	s := &Span{tracer: tr, name: name, path: path, attrs: attrs,
+		parent: parentID, start: time.Now()}
+	s.id = tr.spanID(s)
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
+// spanID issues the span's identity: content-derived in deterministic
+// mode (stable across runs and scheduling), counter-issued otherwise.
+func (t *Tracer) spanID(s *Span) uint64 {
+	if !t.deterministic {
+		return t.idCtr.Add(1)
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], t.idBase)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], s.parent)
+	h.Write(b[:])
+	h.Write([]byte(s.name))
+	for _, a := range s.attrs {
+		h.Write([]byte{0})
+		h.Write([]byte(a.Key))
+		h.Write([]byte{'='})
+		h.Write([]byte(a.Value))
+	}
+	return h.Sum64()
+}
+
+// SetAttr appends an attribute to a started span. Attributes set after
+// start do not affect the span's deterministic ID (identity is fixed at
+// StartSpanWith); they do appear in the exported record. Safe on a nil
+// span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
 // End records the span's duration into the stage histogram and the trace
-// tree. Safe on a nil span.
+// tree, and exports the span if the tracer carries an Exporter. Safe on
+// a nil span.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	s.tracer.record(s.path, time.Since(s.start))
+	d := time.Since(s.start)
+	s.tracer.record(s.path, d)
+	if e := s.tracer.exporter; e != nil {
+		rec := &SpanRecord{
+			RunID:  s.tracer.runID,
+			SpanID: spanIDString(s.id),
+			Name:   s.name,
+			Path:   strings.Join(s.path, "/"),
+			Attrs:  s.attrs,
+		}
+		if s.parent != 0 {
+			rec.ParentID = spanIDString(s.parent)
+		}
+		if !s.tracer.deterministic {
+			rec.StartUnixNano = s.start.UnixNano()
+			rec.DurationNanos = int64(d)
+		}
+		e.ExportSpan(rec)
+	}
+}
+
+// spanIDString renders an ID as 16 lowercase hex digits (JSON-safe:
+// uint64s overflow float64 precision in many consumers).
+func spanIDString(id uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseSpanID parses a 16-hex-digit span ID back to its uint64 form.
+func ParseSpanID(s string) (uint64, error) {
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: invalid span id %q: %w", s, err)
+	}
+	return id, nil
 }
 
 func (t *Tracer) record(path []string, d time.Duration) {

@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ------------------------------------------------------------ trace export
+
+// exportTrace runs one small span tree through a sorted FileExporter in
+// deterministic-ID mode and returns the raw file bytes.
+func exportTrace(t *testing.T, path string, seed int64) []byte {
+	t.Helper()
+	exp, err := NewFileExporter(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	tr := NewTracer(reg, WithRunID(DeriveRunID(seed)), WithExporter(exp), WithDeterministicIDs(seed))
+	ctx := WithTracer(context.Background(), tr)
+
+	rctx, run := StartSpan(ctx, "run")
+	for _, domain := range []string{"b.example", "a.example"} {
+		dctx, dspan := StartSpanWith(rctx, "domain", A("domain", domain))
+		_, cspan := StartSpan(dctx, "crawl")
+		cspan.End()
+		dspan.End()
+	}
+	run.End()
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestTraceExportDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	a := exportTrace(t, filepath.Join(dir, "a.trace"), 42)
+	b := exportTrace(t, filepath.Join(dir, "b.trace"), 42)
+	if string(a) != string(b) {
+		t.Fatalf("same-seed exports differ:\n%s\n---\n%s", a, b)
+	}
+	c := exportTrace(t, filepath.Join(dir, "c.trace"), 43)
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical trace bytes")
+	}
+
+	recs, err := ReadTrace(filepath.Join(dir, "a.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("got %d spans, want 5", len(recs))
+	}
+	wantRun := DeriveRunID(42)
+	byID := map[string]*SpanRecord{}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.RunID != wantRun {
+			t.Errorf("span %s run_id = %q, want %q", rec.Name, rec.RunID, wantRun)
+		}
+		if rec.StartUnixNano != 0 || rec.DurationNanos != 0 {
+			t.Errorf("deterministic span %s carries wall-clock timing", rec.Name)
+		}
+		if rec.SpanID == "" {
+			t.Errorf("span %s has no span_id", rec.Name)
+		}
+		byID[rec.SpanID] = rec
+	}
+	// Parent links resolve and paths chain root → leaf.
+	for _, rec := range byID {
+		if rec.ParentID == "" {
+			if rec.Name != "run" {
+				t.Errorf("unexpected root span %q", rec.Name)
+			}
+			continue
+		}
+		parent, ok := byID[rec.ParentID]
+		if !ok {
+			t.Errorf("span %s parent %s not exported", rec.Name, rec.ParentID)
+			continue
+		}
+		if rec.Path != parent.Path+"/"+rec.Name {
+			t.Errorf("span path %q does not extend parent path %q", rec.Path, parent.Path)
+		}
+	}
+}
+
+func TestReadTraceRejectsCorruptFrames(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("9 {\"x\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(path); err == nil {
+		t.Fatal("mismatched length prefix was accepted")
+	}
+}
+
+// ------------------------------------------------------------- run ID logs
+
+func TestLoggerWithAttrsBindsRunID(t *testing.T) {
+	var buf strings.Builder
+	log := NewLogger(&buf, LevelInfo)
+	runID := DeriveRunID(7)
+	log = log.WithAttrs("run", runID)
+
+	log.Info("starting", "domains", 3)
+	log.With("crawler").Info("fetching", "domain", "a.example")
+	log.With("annotator").Error("fallback", "aspect", "types")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, " run="+runID) {
+			t.Errorf("line %d missing run=%s: %s", i, runID, line)
+		}
+	}
+	// Bound attrs sit between msg and per-call pairs.
+	if !strings.Contains(lines[0], "msg=starting run="+runID+" domains=3") {
+		t.Errorf("bound attr ordering wrong: %s", lines[0])
+	}
+}
+
+// --------------------------------------------------------- runtime sampler
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Hour) // first sample is synchronous
+	defer stop()
+
+	expo := reg.Expose()
+	for _, name := range []string{
+		RuntimeHeapAllocMetric, RuntimeHeapSysMetric, RuntimeHeapObjectsMetric,
+		RuntimeGoroutinesMetric, RuntimeGCPauseLastMetric,
+		RuntimeGCPauseTotalMetric, RuntimeGCCyclesMetric,
+	} {
+		if !strings.Contains(expo, "\n"+name+" ") && !strings.HasPrefix(expo, name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+	if g := reg.Gauge(RuntimeHeapAllocMetric, ""); g.Value() <= 0 {
+		t.Errorf("%s = %v, want > 0", RuntimeHeapAllocMetric, g.Value())
+	}
+	if g := reg.Gauge(RuntimeGoroutinesMetric, ""); g.Value() < 1 {
+		t.Errorf("%s = %v, want >= 1", RuntimeGoroutinesMetric, g.Value())
+	}
+	stop() // idempotent
+}
+
+// -------------------------------------------------------------- SLO monitor
+
+func TestSLOMonitorBurnsAndRecovers(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(d)
+	}
+	reg := NewRegistry()
+	m := NewSLOMonitor(reg, SLOConfig{
+		SlowTarget: 250 * time.Millisecond,
+		Window:     time.Minute,
+		Buckets:    6,
+		MinSamples: 5,
+	}, clock)
+
+	// Below MinSamples the monitor never claims a burn.
+	for i := 0; i < 4; i++ {
+		m.Observe(time.Second, false)
+	}
+	if st := m.Status(); st.Burning {
+		t.Fatalf("burning below MinSamples: %+v", st)
+	}
+
+	// All-slow traffic past the sample floor burns the latency budget.
+	for i := 0; i < 20; i++ {
+		m.Observe(time.Second, false)
+	}
+	st := m.Status()
+	if !st.Burning || st.Warning == "" {
+		t.Fatalf("all-slow traffic did not burn: %+v", st)
+	}
+	if st.SlowBurn < 1 {
+		t.Errorf("SlowBurn = %v, want >= 1", st.SlowBurn)
+	}
+	if g := reg.Gauge(SLOSlowBurnMetric, ""); g.Value() != st.SlowBurn {
+		t.Errorf("gauge %s = %v, want %v", SLOSlowBurnMetric, g.Value(), st.SlowBurn)
+	}
+
+	// Errors burn their own budget independently of latency.
+	m.Observe(time.Millisecond, true)
+	if st := m.Status(); !st.Burning || st.ErrorBurn < 1 {
+		t.Errorf("5xx did not burn the error budget: %+v", st)
+	}
+
+	// Rotating past the window forgets the bad minute.
+	advance(2 * time.Minute)
+	for i := 0; i < 10; i++ {
+		m.Observe(time.Millisecond, false)
+	}
+	if st := m.Status(); st.Burning {
+		t.Errorf("still burning after the window rotated: %+v", st)
+	}
+}
+
+// --------------------------------------------------- drain hook ordering
+
+// TestListenAndServeContextDrainHookOrdering pins the shutdown sequence
+// the server relies on to flip /v1/readyz before connections close: on
+// context cancellation the onDrain hooks run strictly before Shutdown
+// begins, while in-flight requests are still being served — and those
+// requests still complete.
+func TestListenAndServeContextDrainHookOrdering(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	hookRan := make(chan struct{})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		fmt.Fprint(w, "ok")
+	})
+	addr, err := netListen(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Addr: addr, Handler: mux}
+	ctx, cancel := context.WithCancel(context.Background())
+
+	servErr := make(chan error, 1)
+	go func() {
+		servErr <- ListenAndServeContext(ctx, srv, 5*time.Second, nil, func() { close(hookRan) })
+	}()
+	waitListening(t, addr)
+
+	bodyC := make(chan string, 1)
+	errC := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			errC <- err
+			return
+		}
+		defer resp.Body.Close()
+		var b [64]byte
+		n, _ := resp.Body.Read(b[:])
+		bodyC <- string(b[:n])
+	}()
+	select {
+	case <-started:
+	case err := <-errC:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never started")
+	}
+
+	cancel()
+	// The hook must fire while the in-flight request is still open —
+	// i.e. before Shutdown has completed (the server can't have
+	// returned yet because /slow is still blocked).
+	select {
+	case <-hookRan:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onDrain hook never ran")
+	}
+	select {
+	case err := <-servErr:
+		t.Fatalf("server returned (%v) before the in-flight request finished", err)
+	default:
+	}
+
+	close(release)
+	select {
+	case body := <-bodyC:
+		if body != "ok" {
+			t.Fatalf("in-flight body = %q", body)
+		}
+	case err := <-errC:
+		t.Fatalf("in-flight request failed: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-servErr:
+		if err != nil {
+			t.Fatalf("ListenAndServeContext = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never returned after drain")
+	}
+}
+
+// waitListening polls until the address accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never started listening: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -77,6 +77,29 @@ func (r *Result) CoreWordCount() int {
 	return n
 }
 
+// LineCount counts distinct body lines assigned to any section — the
+// flight recorder's clause count.
+func (r *Result) LineCount() int {
+	seen := map[int]bool{}
+	for _, lines := range r.Sections {
+		for _, l := range lines {
+			seen[l.Number] = true
+		}
+	}
+	return len(seen)
+}
+
+// SectionCount counts aspects that received at least one line.
+func (r *Result) SectionCount() int {
+	n := 0
+	for _, lines := range r.Sections {
+		if len(lines) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // NumberedText renders an aspect's section in the "[n] text" prompt
 // format, preserving original line numbers so downstream annotations refer
 // back to the source document.

@@ -111,7 +111,7 @@ func BenchmarkViewBuild(b *testing.B) {
 	recs := makeRecords(paperDatasetSize)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := buildView(recs, uint64(i+1)); err != nil {
+		if _, err := buildView(recs, nil, uint64(i+1)); err != nil {
 			b.Fatal(err)
 		}
 	}

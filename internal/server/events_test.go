@@ -1,0 +1,234 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"aipan/internal/obs"
+	"aipan/internal/store"
+)
+
+func testEvents() *store.MemEvents {
+	m := store.NewMemEvents()
+	_ = m.Append(&store.Event{
+		RunID: "r1", Seq: 0, Domain: "acme.example.com", Sector: "Financials",
+		Outcome: store.OutcomeAnnotated, FetchStatus: 200, FetchClass: "2xx",
+		Language: "en", PagesFetched: 5, PolicyPages: 1, Annotations: 4,
+		TaxonomyHits: 4, RiskScore: 3.5,
+		Aspects: []store.AspectOutcome{{Aspect: "types", Annotations: 2}},
+	})
+	_ = m.Append(&store.Event{
+		RunID: "r1", Seq: 1, Domain: "other.example.com", Sector: "Energy",
+		Outcome: store.OutcomeCrawlFailed, FetchClass: "error",
+		Errors: []string{"crawl: timeout"},
+	})
+	return m
+}
+
+func newEventsServer(t *testing.T, opts ...Option) (*Server, *httptest.Server) {
+	t.Helper()
+	opts = append([]Option{WithRegistry(obs.NewRegistry()), WithEvents(testEvents())}, opts...)
+	s, err := NewServer(Records(testRecords()), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func TestProvenanceEndpoint(t *testing.T) {
+	_, srv := newEventsServer(t)
+	status, body := get(t, srv.URL+"/v1/domains/acme.example.com/provenance")
+	if status != 200 {
+		t.Fatalf("status = %d, body: %s", status, body)
+	}
+	var page ProvenancePage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Domain != "acme.example.com" || page.Total != 1 || len(page.Events) != 1 {
+		t.Fatalf("unexpected page: %+v", page)
+	}
+	ev := page.Events[0]
+	if ev.Outcome != store.OutcomeAnnotated || ev.RunID != "r1" || ev.RiskScore != 3.5 {
+		t.Errorf("event round-trip mismatch: %+v", ev)
+	}
+	if len(ev.Aspects) != 1 || ev.Aspects[0].Aspect != "types" {
+		t.Errorf("aspects lost in transit: %+v", ev.Aspects)
+	}
+
+	if status, _ := get(t, srv.URL+"/v1/domains/nosuch.example.com/provenance"); status != 404 {
+		t.Errorf("unknown domain: status = %d, want 404", status)
+	}
+}
+
+func TestProvenanceETagRevalidation(t *testing.T) {
+	_, srv := newEventsServer(t)
+	resp, err := http.Get(srv.URL + "/v1/domains/acme.example.com/provenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("provenance response carries no ETag")
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/domains/acme.example.com/provenance", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", resp2.StatusCode)
+	}
+}
+
+func TestEventsEndpointFilterAndPagination(t *testing.T) {
+	_, srv := newEventsServer(t)
+
+	status, body := get(t, srv.URL+"/v1/events?outcome=crawl_failed")
+	if status != 200 {
+		t.Fatalf("status = %d, body: %s", status, body)
+	}
+	var page EventsPage
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 1 || len(page.Events) != 1 || page.Events[0].Domain != "other.example.com" {
+		t.Fatalf("outcome filter: %+v", page)
+	}
+
+	// limit=1 pages through both events via the cursor.
+	status, body = get(t, srv.URL+"/v1/events?limit=1")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var page1 EventsPage
+	if err := json.Unmarshal([]byte(body), &page1); err != nil {
+		t.Fatal(err)
+	}
+	if page1.Total != 2 || len(page1.Events) != 1 || page1.NextCursor == "" {
+		t.Fatalf("page 1: %+v", page1)
+	}
+	status, body = get(t, srv.URL+"/v1/events?limit=1&cursor="+page1.NextCursor)
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	var page2 EventsPage
+	if err := json.Unmarshal([]byte(body), &page2); err != nil {
+		t.Fatal(err)
+	}
+	if len(page2.Events) != 1 || page2.Events[0].Domain == page1.Events[0].Domain || page2.NextCursor != "" {
+		t.Fatalf("page 2: %+v", page2)
+	}
+
+	if status, _ := get(t, srv.URL+"/v1/events?cursor=not-a-position"); status != 400 {
+		t.Errorf("bad cursor: status = %d, want 400", status)
+	}
+}
+
+func TestEventsRoutesWithoutStream(t *testing.T) {
+	_, srv := newTestServer(t)
+	if status, _ := get(t, srv.URL+"/v1/events"); status != 404 {
+		t.Errorf("/v1/events without stream: status = %d, want 404", status)
+	}
+	if status, _ := get(t, srv.URL+"/v1/domains/acme.example.com/provenance"); status != 404 {
+		t.Errorf("provenance without stream: status = %d, want 404", status)
+	}
+}
+
+// steppingClock advances a fixed amount per read, so every request
+// appears slow to the latency SLO without any real sleeping.
+type steppingClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *steppingClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestReadyzDegradesUnderSLOBurn(t *testing.T) {
+	clk := &steppingClock{now: time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC), step: 300 * time.Millisecond}
+	s, srv := newTestServer(t,
+		WithClock(clk.Now),
+		WithSLO(obs.SLOConfig{SlowTarget: 250 * time.Millisecond, MinSamples: 3}))
+
+	// Before any traffic the monitor has nothing to burn.
+	status, body := get(t, srv.URL+"/v1/readyz")
+	if status != 200 || !jsonStatusIs(t, body, "ready") {
+		t.Fatalf("idle readyz: status = %d, body: %s", status, body)
+	}
+
+	// Each request reads the stepping clock several times, so its
+	// measured latency far exceeds the 250ms slow target.
+	for i := 0; i < 5; i++ {
+		if status, _ := get(t, srv.URL+"/v1/summary"); status != 200 {
+			t.Fatalf("summary status = %d", status)
+		}
+	}
+
+	status, body = get(t, srv.URL+"/v1/readyz")
+	if status != 200 {
+		t.Fatalf("burning readyz must stay 200 (got %d): pulling a slow process from rotation makes things worse", status)
+	}
+	var hs healthStatus
+	if err := json.Unmarshal([]byte(body), &hs); err != nil {
+		t.Fatal(err)
+	}
+	if hs.Status != "degraded" || hs.Warning == "" {
+		t.Fatalf("burning readyz = %+v, want degraded + warning", hs)
+	}
+
+	// The burn-rate gauges are published for scrapes.
+	expo := obsExpo(s)
+	if !containsMetric(expo, obs.SLOSlowBurnMetric) || !containsMetric(expo, obs.SLORequestsMetric) {
+		t.Errorf("exposition missing aipan_slo_* gauges:\n%s", expo)
+	}
+}
+
+func jsonStatusIs(t *testing.T, body, want string) bool {
+	t.Helper()
+	var hs healthStatus
+	if err := json.Unmarshal([]byte(body), &hs); err != nil {
+		t.Fatal(err)
+	}
+	return hs.Status == want
+}
+
+func obsExpo(s *Server) string { return s.reg.Expose() }
+
+func containsMetric(expo, name string) bool {
+	for _, line := range splitLines(expo) {
+		if len(line) >= len(name) && line[:len(name)] == name {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -25,6 +25,8 @@ func (s *Server) routes() *router {
 	rt.add(http.MethodGet, "/v1/domains/{domain}", s.v1Domain, true, true)
 	rt.add(http.MethodGet, "/v1/domains/{domain}/label", s.v1Label, true, true)
 	rt.add(http.MethodGet, "/v1/domains/{domain}/ask", s.v1Ask, true, true)
+	rt.add(http.MethodGet, "/v1/domains/{domain}/provenance", s.v1Provenance, true, true)
+	rt.add(http.MethodGet, "/v1/events", s.v1Events, true, true)
 	rt.add(http.MethodGet, "/v1/risk", s.v1Risk, true, true)
 	rt.add(http.MethodGet, "/v1/tables/{table}", s.v1Table, true, true)
 	rt.add(http.MethodGet, "/v1/healthz", s.v1Healthz, false, false)
@@ -119,6 +121,51 @@ func (s *Server) v1Ask(v *view, ps params, r *http.Request) (*result, *apiErr) {
 	}}, nil
 }
 
+func (s *Server) v1Provenance(v *view, ps params, _ *http.Request) (*result, *apiErr) {
+	if s.events == nil {
+		return nil, errNotFound("no event stream attached; start the server with --events")
+	}
+	domain := ps["domain"]
+	if _, inDataset := v.byDomain[domain]; !inDataset && len(v.eventsByDomain[domain]) == 0 {
+		return nil, errNotFound("domain %q not in dataset", domain)
+	}
+	return &result{obj: v.provenance(domain)}, nil
+}
+
+func (s *Server) v1Events(v *view, _ params, r *http.Request) (*result, *apiErr) {
+	if s.events == nil {
+		return nil, errNotFound("no event stream attached; start the server with --events")
+	}
+	query := r.URL.Query()
+	q := eventsQuery{
+		outcome: query.Get("outcome"),
+		limit:   defaultPageLimit,
+		cursor:  -1,
+	}
+	if raw := query.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			return nil, errBadRequest("limit must be a positive integer (got %q)", raw)
+		}
+		if n > maxPageLimit {
+			return nil, errBadRequest("limit must be at most %d (got %d)", maxPageLimit, n)
+		}
+		q.limit = n
+	}
+	if raw := query.Get("cursor"); raw != "" {
+		decoded, err := decodeCursor(raw)
+		if err != nil {
+			return nil, errBadRequest("cursor is not a token from a previous response")
+		}
+		pos, err := strconv.Atoi(decoded)
+		if err != nil || pos < 0 {
+			return nil, errBadRequest("cursor is not a token from a previous response")
+		}
+		q.cursor = pos
+	}
+	return &result{obj: v.eventsPage(q)}, nil
+}
+
 func (s *Server) v1Risk(v *view, _ params, r *http.Request) (*result, *apiErr) {
 	top := 25
 	if raw := r.URL.Query().Get("top"); raw != "" {
@@ -145,11 +192,16 @@ func (s *Server) v1Table(v *view, ps params, _ *http.Request) (*result, *apiErr)
 	return &result{text: table}, nil
 }
 
-// healthStatus is the /v1/healthz and /v1/readyz payload.
+// healthStatus is the /v1/healthz and /v1/readyz payload. Warning is
+// set (and Status says "degraded") while the SLO monitor sees a budget
+// burning — readyz still answers 200, because pulling a slow-but-alive
+// process out of rotation would convert a latency problem into an
+// availability one, but probes and dashboards surface the warning.
 type healthStatus struct {
 	Status     string `json:"status"`
 	Generation uint64 `json:"generation"`
 	Records    int    `json:"records"`
+	Warning    string `json:"warning,omitempty"`
 }
 
 func (s *Server) v1Healthz(v *view, _ params, _ *http.Request) (*result, *apiErr) {
@@ -160,5 +212,10 @@ func (s *Server) v1Readyz(v *view, _ params, _ *http.Request) (*result, *apiErr)
 	if !s.ready.Load() {
 		return nil, &apiErr{http.StatusServiceUnavailable, "draining", "server is draining"}
 	}
-	return &result{obj: healthStatus{Status: "ready", Generation: v.gen, Records: len(v.records)}}, nil
+	hs := healthStatus{Status: "ready", Generation: v.gen, Records: len(v.records)}
+	if st := s.slo.Status(); st.Burning {
+		hs.Status = "degraded"
+		hs.Warning = st.Warning
+	}
+	return &result{obj: hs}, nil
 }

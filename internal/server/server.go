@@ -15,6 +15,8 @@
 //	GET /v1/domains/{domain}               one record with all annotations
 //	GET /v1/domains/{domain}/label         privacy nutrition label (text/plain)
 //	GET /v1/domains/{domain}/ask?q=...     grounded question answering
+//	GET /v1/domains/{domain}/provenance    flight-recorder events for one domain
+//	GET /v1/events?outcome=&limit=&cursor= cursor-paginated flight-recorder stream
 //	GET /v1/risk?top=25                    exposure scores
 //	GET /v1/tables/{1|2a|2b|3|4|5|6}       regenerated paper tables (text/plain)
 //	GET /v1/healthz, /v1/readyz            liveness / readiness probes
@@ -88,6 +90,10 @@ type Server struct {
 	router   *router
 	debug    http.Handler // /metrics + /debug/pprof
 
+	events store.EventStore // nil = provenance/events routes answer 404
+	slo    *obs.SLOMonitor
+	sloCfg obs.SLOConfig
+
 	mRequests    *obs.CounterVec
 	mDuration    *obs.HistogramVec
 	mCacheHits   *obs.CounterVec
@@ -97,6 +103,7 @@ type Server struct {
 	mPanics      *obs.Counter
 	mGeneration  *obs.Gauge
 	mRecords     *obs.Gauge
+	mEvents      *obs.Gauge
 }
 
 // Option configures a Server.
@@ -157,6 +164,23 @@ func WithClock(clock obs.Clock) Option {
 	return func(s *Server) { s.clock = clock }
 }
 
+// WithEvents serves the pipeline's flight-recorder stream alongside the
+// dataset: /v1/domains/{domain}/provenance and /v1/events read from ev,
+// re-scanned into the immutable view on every Refresh (so they get the
+// same ETag/304 treatment as dataset routes). The caller keeps
+// ownership of ev and closes it after the server stops.
+func WithEvents(ev store.EventStore) Option {
+	return func(s *Server) { s.events = ev }
+}
+
+// WithSLO overrides the server's latency/error objective (zero fields
+// keep the defaults: 250ms slow target, 5m window, 5% slow and 1%
+// error budget, 20-sample minimum). The monitor watches every served
+// request and degrades /v1/readyz with a warning while a budget burns.
+func WithSLO(cfg obs.SLOConfig) Option {
+	return func(s *Server) { s.sloCfg = cfg }
+}
+
 // NewServer builds the API over src, loading and indexing the dataset
 // once up front. The returned server is ready: /v1/readyz answers 200
 // until SetReady(false) (typically wired to shutdown drain).
@@ -194,6 +218,9 @@ func NewServer(src Source, opts ...Option) (*Server, error) {
 		"Generation of the dataset view currently being served.")
 	s.mRecords = s.reg.Gauge("aipan_server_dataset_records",
 		"Records in the dataset view currently being served.")
+	s.mEvents = s.reg.Gauge("aipan_server_dataset_events",
+		"Flight-recorder events in the dataset view currently being served.")
+	s.slo = obs.NewSLOMonitor(s.reg, s.sloCfg, s.clock)
 
 	s.router = s.routes()
 	s.debug = obs.DebugMux(s.reg)
@@ -235,15 +262,26 @@ func (s *Server) Refresh(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	var events []store.Event
+	if s.events != nil {
+		if err := s.events.Scan(func(e *store.Event) error {
+			events = append(events, *e)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("server: loading events: %w", err)
+		}
+	}
 	gen := s.gen.Add(1)
-	v, err := buildView(records, gen)
+	v, err := buildView(records, events, gen)
 	if err != nil {
 		return err
 	}
 	s.view.Store(v)
 	s.mGeneration.Set(float64(gen))
 	s.mRecords.Set(float64(len(v.records)))
-	s.log.Info("dataset view refreshed", "generation", gen, "records", len(v.records))
+	s.mEvents.Set(float64(len(v.events)))
+	s.log.Info("dataset view refreshed", "generation", gen, "records", len(v.records),
+		"events", len(v.events))
 	return nil
 }
 
@@ -293,6 +331,7 @@ func (s *Server) serveV1(w http.ResponseWriter, r *http.Request) {
 	rec.flush(w)
 	s.mRequests.With(name, statusClass(rec.status)).Inc()
 	s.mDuration.With(name).Observe(s.clock().Sub(start).Seconds())
+	s.slo.Observe(s.clock().Sub(start), rec.status >= 500)
 	if s.log.Enabled(obs.LevelDebug) {
 		s.log.Debug("request",
 			"method", r.Method, "path", r.URL.Path, "route", name,

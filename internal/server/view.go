@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"aipan/internal/report"
@@ -38,6 +39,14 @@ type view struct {
 	summaryJSON []byte
 	tables      map[string]string
 	risk        []RiskEntry
+
+	// Flight-recorder events, sorted by (Seq, RunID, Domain) so event
+	// order — and cursor pagination over it — is deterministic for any
+	// EventStore scan order. The indexes hold ascending positions into
+	// events, mirroring the record indexes above.
+	events          []store.Event
+	eventsByDomain  map[string][]int
+	eventsByOutcome map[string][]int
 }
 
 // Summary is the /v1/summary payload: the corpus funnel plus aspect and
@@ -94,10 +103,11 @@ type RiskPage struct {
 // tableIDs are the /v1/tables/{table} identifiers, in display order.
 var tableIDs = []string{"1", "2a", "2b", "3", "4", "5", "6"}
 
-// buildView indexes a dataset snapshot. The input slice is not
+// buildView indexes a dataset snapshot. The input slices are not
 // retained: records are copied and sorted by domain so row order (and
-// therefore pagination order) is deterministic for any Source.
-func buildView(records []store.Record, gen uint64) (*view, error) {
+// therefore pagination order) is deterministic for any Source, and
+// events are copied and sorted by run order.
+func buildView(records []store.Record, events []store.Event, gen uint64) (*view, error) {
 	recs := append([]store.Record(nil), records...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Domain < recs[j].Domain })
 
@@ -181,6 +191,25 @@ func buildView(records []store.Record, gen uint64) (*view, error) {
 			Total: sc.Total, SectorPercentile: sc.SectorPercentile,
 		})
 	}
+
+	v.events = append([]store.Event(nil), events...)
+	sort.Slice(v.events, func(i, j int) bool {
+		a, b := &v.events[i], &v.events[j]
+		if a.Seq != b.Seq {
+			return a.Seq < b.Seq
+		}
+		if a.RunID != b.RunID {
+			return a.RunID < b.RunID
+		}
+		return a.Domain < b.Domain
+	})
+	v.eventsByDomain = map[string][]int{}
+	v.eventsByOutcome = map[string][]int{}
+	for i := range v.events {
+		e := &v.events[i]
+		v.eventsByDomain[e.Domain] = append(v.eventsByDomain[e.Domain], i)
+		v.eventsByOutcome[normKey(e.Outcome)] = append(v.eventsByOutcome[normKey(e.Outcome)], i)
+	}
 	return v, nil
 }
 
@@ -232,6 +261,67 @@ func (v *view) domainsPage(q domainsQuery) *DomainsPage {
 	}
 	if end < len(idx) {
 		page.NextCursor = encodeCursor(v.rows[idx[end-1]].Domain)
+	}
+	return page
+}
+
+// EventsPage is the paginated /v1/events payload.
+type EventsPage struct {
+	Events     []store.Event `json:"events"`
+	Total      int           `json:"total"`
+	NextCursor string        `json:"next_cursor,omitempty"`
+}
+
+// ProvenancePage is the /v1/domains/{domain}/provenance payload.
+type ProvenancePage struct {
+	Domain string        `json:"domain"`
+	Events []store.Event `json:"events"`
+	Total  int           `json:"total"`
+}
+
+// eventsQuery is a parsed, validated /v1/events request. cursor is the
+// view-local position of the last event served (-1 = start); positions
+// are stable for the lifetime of a generation, and the generation-keyed
+// ETag invalidates any cursor that outlives a refresh.
+type eventsQuery struct {
+	outcome string
+	limit   int
+	cursor  int
+}
+
+// eventsPage filters the event stream by outcome and paginates it.
+func (v *view) eventsPage(q eventsQuery) *EventsPage {
+	idx := v.eventsByOutcome[normKey(q.outcome)]
+	if q.outcome == "" {
+		idx = make([]int, len(v.events))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	pos := 0
+	if q.cursor >= 0 {
+		pos = sort.SearchInts(idx, q.cursor+1)
+	}
+	page := &EventsPage{Total: len(idx), Events: []store.Event{}}
+	end := pos + q.limit
+	if end > len(idx) {
+		end = len(idx)
+	}
+	for _, i := range idx[pos:end] {
+		page.Events = append(page.Events, v.events[i])
+	}
+	if end < len(idx) {
+		page.NextCursor = encodeCursor(strconv.Itoa(idx[end-1]))
+	}
+	return page
+}
+
+// provenance returns every recorded event for one domain, in run order.
+func (v *view) provenance(domain string) *ProvenancePage {
+	idx := v.eventsByDomain[domain]
+	page := &ProvenancePage{Domain: domain, Events: []store.Event{}, Total: len(idx)}
+	for _, i := range idx {
+		page.Events = append(page.Events, v.events[i])
 	}
 	return page
 }

@@ -38,4 +38,37 @@ if [ "$allocs" -gt "$AIPAN_FUNNEL_ALLOC_CEILING" ]; then
 fi
 echo "funnel allocations: $allocs allocs/op (ceiling $AIPAN_FUNNEL_ALLOC_CEILING)"
 
+echo "==> telemetry smoke (same-seed byte-identical export + runtime/SLO gauges)"
+# Two identical seeded runs must export byte-identical traces and event
+# shards (deterministic telemetry, DESIGN.md §14), and the server must
+# expose the runtime sampler and SLO monitor gauge families.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/aipan" ./cmd/aipan
+for i in 1 2; do
+  "$smokedir/aipan" run --limit 8 --out "$smokedir/ds$i.jsonl" \
+    --trace-out "$smokedir/run$i.trace" --events-out "$smokedir/ev$i" >/dev/null
+done
+cmp "$smokedir/run1.trace" "$smokedir/run2.trace" \
+  || { echo "FAIL: same-seed trace exports differ"; exit 1; }
+diff -r "$smokedir/ev1" "$smokedir/ev2" >/dev/null \
+  || { echo "FAIL: same-seed event streams differ"; exit 1; }
+"$smokedir/aipan" serve --addr 127.0.0.1:18123 --data "$smokedir/ds1.jsonl" \
+  --events "$smokedir/ev1" >/dev/null 2>&1 &
+serve_pid=$!
+metrics=""
+for _ in $(seq 1 50); do
+  if metrics=$(curl -fsS http://127.0.0.1:18123/metrics 2>/dev/null); then break; fi
+  sleep 0.1
+done
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+# Plain grep (not -q) reads the whole stream, so pipefail never trips on
+# an early-exit SIGPIPE.
+echo "$metrics" | grep '^aipan_runtime_heap_alloc_bytes' >/dev/null \
+  || { echo "FAIL: aipan_runtime_* gauges missing from /metrics"; exit 1; }
+echo "$metrics" | grep '^aipan_slo_latency_burn_ratio' >/dev/null \
+  || { echo "FAIL: aipan_slo_* gauges missing from /metrics"; exit 1; }
+echo "telemetry smoke: byte-identical exports, runtime + SLO gauges live"
+
 echo "OK: all tier-1 checks passed"
