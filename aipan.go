@@ -245,16 +245,51 @@ type DatasetStoreMeta = store.Meta
 
 // OpenDatasetStore opens a storage backend from a spec: "jsonl" (or "")
 // for a single append-only JSONL file at path, "sharded:N" for a
-// directory of N hash-sharded JSONL files, "mem" for an in-memory store
-// (path ignored).
+// directory of N hash-sharded JSONL files, "binary:N" for a directory of
+// N compacted binary segment files with per-shard domain indexes (the
+// 100k+-domain format), "mem" for an in-memory store (path ignored).
 func OpenDatasetStore(spec, path string) (DatasetStore, error) {
 	return store.OpenSpec(spec, path)
 }
 
 // ExportDataset writes a store's records to a flat JSONL file
-// (atomically), converting any backend into the release format.
+// (atomically), converting any backend into the release format. The
+// export streams through a per-shard merge in domain order, so it never
+// materializes the dataset; every backend holding the same records
+// exports byte-identical files.
 func ExportDataset(path string, st DatasetStore) error {
 	return store.SaveJSONL(path, st)
+}
+
+// ExportAnnotationsCSV / ExportDomainsCSV stream a store straight into
+// the release CSV forms, in domain order, without materializing the
+// records — the large-run counterparts of WriteAnnotationsCSV and
+// WriteDomainsCSV.
+func ExportAnnotationsCSV(path string, st DatasetStore) error {
+	return store.ExportAnnotationsCSV(path, st)
+}
+
+// ExportDomainsCSV streams one CSV row per domain from a store.
+func ExportDomainsCSV(path string, st DatasetStore) error {
+	return store.ExportDomainsCSV(path, st)
+}
+
+// ErrStoreTruncated matches (via errors.Is) the refusal reported when a
+// store's final record is torn — the signature of a crash mid-append.
+// RepairDatasetStore truncates the store back to its last good record.
+var ErrStoreTruncated = store.ErrTruncated
+
+// RepairDatasetStore truncates the store at path (any OpenDatasetStore
+// spec) back to the end of its last well-formed record, returning the
+// bytes dropped. Run it when an open refuses with ErrStoreTruncated.
+func RepairDatasetStore(spec, path string) (int64, error) {
+	return store.Repair(spec, path)
+}
+
+// RepairEventDir truncates each flight-recorder shard in dir back to
+// its last well-formed event, returning the bytes dropped.
+func RepairEventDir(dir string) (int64, error) {
+	return store.RepairEventDir(dir)
 }
 
 // FunnelTable renders the paper-vs-measured funnel.

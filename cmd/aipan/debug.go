@@ -11,23 +11,61 @@ import (
 	"aipan"
 )
 
-// cmdDebug dispatches the telemetry inspection surfaces: `debug trace`
+// cmdDebug dispatches the telemetry and recovery surfaces: `debug trace`
 // renders an exported span tree, `debug events` summarizes a
-// flight-recorder stream.
+// flight-recorder stream, `debug repair` truncates a crash-torn store or
+// event directory back to its last good record.
 func cmdDebug(args []string) error {
 	if len(args) < 1 {
 		fmt.Fprintln(os.Stderr, `usage:
-  aipan debug trace <file>   render an exported trace (--trace-out) as a tree
-  aipan debug events <dir>   summarize a flight-recorder stream (--events-out)`)
-		return fmt.Errorf("debug needs a subcommand (trace | events)")
+  aipan debug trace <file>                 render an exported trace (--trace-out) as a tree
+  aipan debug events <dir>                 summarize a flight-recorder stream (--events-out)
+  aipan debug repair --store <spec> <path> truncate a torn checkpoint store to its last good record
+  aipan debug repair --events <dir>        truncate torn flight-recorder shards`)
+		return fmt.Errorf("debug needs a subcommand (trace | events | repair)")
 	}
 	switch args[0] {
 	case "trace":
 		return debugTrace(args[1:])
 	case "events":
 		return debugEvents(args[1:])
+	case "repair":
+		return debugRepair(args[1:])
 	}
-	return fmt.Errorf("unknown debug subcommand %q (trace | events)", args[0])
+	return fmt.Errorf("unknown debug subcommand %q (trace | events | repair)", args[0])
+}
+
+// debugRepair is the recovery path behind the ErrStoreTruncated refusal:
+// a run killed mid-append leaves a half-written final record, opens
+// refuse it, and this truncates back to the last record the store can
+// vouch for so the run resumes from everything durably written.
+func debugRepair(args []string) error {
+	fs := flag.NewFlagSet("debug repair", flag.ExitOnError)
+	spec := fs.String("store", "jsonl", "store spec to repair: jsonl | sharded:N | binary:N")
+	eventsDir := fs.String("events", "", "repair a flight-recorder directory instead of a record store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *eventsDir != "" {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("debug repair --events takes no positional arguments")
+		}
+		dropped, err := aipan.RepairEventDir(*eventsDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repaired %s: %d bytes truncated\n", *eventsDir, dropped)
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("debug repair needs the store path (or --events <dir>)")
+	}
+	dropped, err := aipan.RepairDatasetStore(*spec, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repaired %s: %d bytes truncated\n", fs.Arg(0), dropped)
+	return nil
 }
 
 // stageStat aggregates every span sharing one tree path.

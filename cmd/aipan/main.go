@@ -4,23 +4,25 @@
 //
 // Usage:
 //
-//	aipan run      --out aipan.jsonl [--limit N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--checkpoint ck.jsonl --store jsonl|sharded:N|mem [--resume]] [--metrics-addr :9090] [--trace-out run.trace] [--events-out events/] [--telemetry-timings]
+//	aipan run      --out aipan.jsonl [--limit N] [--universe N] [--window N] [--model sim-gpt4] [--workers 8] [--seed 3000] [--checkpoint ck.jsonl --store jsonl|sharded:N|binary:N|mem [--resume]] [--stats-out stats.json] [--metrics-addr :9090] [--trace-out run.trace] [--events-out events/] [--telemetry-timings]
 //	aipan report   --data aipan.jsonl --table funnel|1|2a|2b|3|4|5|6|dist|retention [--seed 3000]
 //	aipan validate --data aipan.jsonl [--seed 3000]
 //	aipan compare-models [--n 20] [--seed 3000]
 //	aipan serve    --data aipan.jsonl [--store sharded:N] [--addr :8090] [--rps 50 --burst 100] [--max-inflight 256] [--cache-size 1024] [--request-timeout 15s] [--drain-timeout 10s] [--log-level info] [--events events/] [--slo-latency-target 250ms]
-//	aipan debug    trace <file> | events <dir>
+//	aipan debug    trace <file> | events <dir> | repair --store <spec> <path> | repair --events <dir>
 //	aipan vet      [-json] [-baseline aipanvet.baseline|none] [-checks a,b] ./...
 //	aipan all      --out aipan.jsonl [--limit N]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -142,9 +144,13 @@ func (o *obsFlags) register(fs *flag.FlagSet) {
 type runFlags struct {
 	limit      int
 	workers    int
+	universe   int
+	window     int
 	checkpoint string
 	storeSpec  string
 	resume     bool
+	csvPrefix  string
+	statsOut   string
 }
 
 // validate rejects nonsensical flag combinations up front with a usage
@@ -157,17 +163,23 @@ func (rf *runFlags) validate() error {
 	if rf.limit < 0 {
 		return fmt.Errorf("--limit must be non-negative (got %d)", rf.limit)
 	}
+	if rf.universe < 0 {
+		return fmt.Errorf("--universe must be non-negative (got %d; 0 = the paper's 2,892 domains)", rf.universe)
+	}
+	if rf.window < 0 {
+		return fmt.Errorf("--window must be non-negative (got %d; 0 derives it from --workers)", rf.window)
+	}
 	if rf.resume && rf.checkpoint == "" {
 		return fmt.Errorf("--resume requires --checkpoint (the checkpoint to resume from)")
 	}
 	switch {
 	case rf.storeSpec == "" || rf.storeSpec == "jsonl" || rf.storeSpec == "mem":
-	case strings.HasPrefix(rf.storeSpec, "sharded:"):
+	case strings.HasPrefix(rf.storeSpec, "sharded:") || strings.HasPrefix(rf.storeSpec, "binary:"):
 		if rf.checkpoint == "" {
 			return fmt.Errorf("--store=%s needs --checkpoint to name its shard directory", rf.storeSpec)
 		}
 	default:
-		return fmt.Errorf("--store must be jsonl, sharded:N, or mem (got %q)", rf.storeSpec)
+		return fmt.Errorf("--store must be jsonl, sharded:N, binary:N, or mem (got %q)", rf.storeSpec)
 	}
 	return nil
 }
@@ -182,6 +194,7 @@ func runPipeline(out string, rf runFlags, seed int64, model string, progress boo
 	}
 	cfg := aipan.PipelineConfig{
 		Seed: seed, Limit: rf.limit, Workers: rf.workers, Bot: bot,
+		UniverseDomains: rf.universe, Window: rf.window,
 		Checkpoint: rf.checkpoint, TelemetryTimings: of.telemetryTimings,
 	}
 	// Telemetry outputs close after the run so the sorted trace exporter
@@ -211,14 +224,18 @@ func runPipeline(out string, rf runFlags, seed int64, model string, progress boo
 		telemetryClosers = append(telemetryClosers, ev.Close)
 		cfg.Events = ev
 	}
+	var st aipan.DatasetStore
 	if rf.storeSpec != "" && rf.storeSpec != "jsonl" {
-		st, err := aipan.OpenDatasetStore(rf.storeSpec, rf.checkpoint)
-		if err != nil {
+		if st, err = aipan.OpenDatasetStore(rf.storeSpec, rf.checkpoint); err != nil {
 			return nil, nil, err
 		}
 		defer st.Close()
 		cfg.Store = st
 		cfg.Checkpoint = ""
+		// Records live in the store; streaming them into the Result too
+		// would hold the whole dataset in memory for nothing — exports
+		// below read back through the store instead.
+		cfg.DiscardRecords = true
 	}
 	if of.logLevel != "" {
 		logger, err := aipan.NewLogger(os.Stderr, of.logLevel)
@@ -249,15 +266,43 @@ func runPipeline(out string, rf runFlags, seed int64, model string, progress boo
 	if err != nil {
 		return nil, nil, err
 	}
+	start := time.Now()
 	res, err := p.Run(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
+	wall := time.Since(start)
 	if out != "" {
-		if err := aipan.WriteDataset(out, res.Records); err != nil {
+		if st != nil {
+			if err := aipan.ExportDataset(out, st); err != nil {
+				return nil, nil, err
+			}
+		} else if err := aipan.WriteDataset(out, res.Records); err != nil {
 			return nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(res.Records), out)
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", res.Funnel.Domains, out)
+	}
+	if rf.csvPrefix != "" {
+		if st != nil {
+			err = aipan.ExportAnnotationsCSV(rf.csvPrefix+"-annotations.csv", st)
+			if err == nil {
+				err = aipan.ExportDomainsCSV(rf.csvPrefix+"-domains.csv", st)
+			}
+		} else {
+			err = aipan.WriteAnnotationsCSV(rf.csvPrefix+"-annotations.csv", res.Records)
+			if err == nil {
+				err = aipan.WriteDomainsCSV(rf.csvPrefix+"-domains.csv", res.Records)
+			}
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s-annotations.csv and %s-domains.csv\n", rf.csvPrefix, rf.csvPrefix)
+	}
+	if rf.statsOut != "" {
+		if err := writeRunStats(rf.statsOut, res.Funnel.Domains, wall); err != nil {
+			return nil, nil, err
+		}
 	}
 	if of.traceOut != "" || of.eventsOut != "" {
 		fmt.Fprintf(os.Stderr, "telemetry for run %s:", p.RunID())
@@ -277,13 +322,16 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "aipan.jsonl", "output dataset path")
 	limit := fs.Int("limit", 0, "process only the first N domains (0 = all)")
 	workers := fs.Int("workers", 8, "concurrent domains")
+	universe := fs.Int("universe", 0, "scale the study universe to N unique domains (0 = the paper's 2,892)")
+	window := fs.Int("window", 0, "delivery lookahead: completed records held before in-order delivery (0 = 4×workers)")
 	seed := fs.Int64("seed", aipan.DefaultSeed, "corpus seed")
 	model := fs.String("model", "sim-gpt4", "chatbot backend")
 	csvPrefix := fs.String("csv", "", "also write <prefix>-annotations.csv and <prefix>-domains.csv")
 	taxPath := fs.String("taxonomy", "", "JSON taxonomy extension to merge before annotating")
 	checkpoint := fs.String("checkpoint", "", "stream records to this path and resume from it on restart")
-	storeSpec := fs.String("store", "jsonl", "checkpoint storage backend: jsonl | sharded:N | mem")
+	storeSpec := fs.String("store", "jsonl", "checkpoint storage backend: jsonl | sharded:N | binary:N | mem")
 	resume := fs.Bool("resume", false, "resume an interrupted run from --checkpoint")
+	statsOut := fs.String("stats-out", "", "write run statistics (domains, wall secs, domains/sec, peak RSS) as JSON here")
 	var of obsFlags
 	of.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -294,22 +342,67 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
-	rf := runFlags{limit: *limit, workers: *workers, checkpoint: *checkpoint, storeSpec: *storeSpec, resume: *resume}
+	rf := runFlags{
+		limit: *limit, workers: *workers, universe: *universe, window: *window,
+		checkpoint: *checkpoint, storeSpec: *storeSpec, resume: *resume,
+		csvPrefix: *csvPrefix, statsOut: *statsOut,
+	}
 	res, _, err := runPipeline(*out, rf, *seed, *model, true, of)
 	if err != nil {
 		return err
 	}
-	if *csvPrefix != "" {
-		if err := aipan.WriteAnnotationsCSV(*csvPrefix+"-annotations.csv", res.Records); err != nil {
-			return err
-		}
-		if err := aipan.WriteDomainsCSV(*csvPrefix+"-domains.csv", res.Records); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s-annotations.csv and %s-domains.csv\n", *csvPrefix, *csvPrefix)
-	}
 	fmt.Println(aipan.FunnelTable(res.Funnel).Render())
 	return nil
+}
+
+// runStats is the --stats-out payload: the scale harness reads it to
+// gate throughput parity and peak memory.
+type runStats struct {
+	Domains       int     `json:"domains"`
+	WallSecs      float64 `json:"wall_secs"`
+	DomainsPerSec float64 `json:"domains_per_sec"`
+	PeakRSSBytes  int64   `json:"peak_rss_bytes"`
+}
+
+func writeRunStats(path string, domains int, wall time.Duration) error {
+	st := runStats{Domains: domains, WallSecs: wall.Seconds(), PeakRSSBytes: peakRSSBytes()}
+	if st.WallSecs > 0 {
+		st.DomainsPerSec = float64(domains) / st.WallSecs
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stats: %d domains in %.1fs (%.1f domains/sec, peak RSS %d MiB) → %s\n",
+		st.Domains, st.WallSecs, st.DomainsPerSec, st.PeakRSSBytes>>20, path)
+	return nil
+}
+
+// peakRSSBytes reads the process's peak resident set (VmHWM) from
+// /proc/self/status; 0 when unavailable (non-Linux).
+func peakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
 }
 
 func loadReport(data string, seed int64) (*aipan.Report, error) {

@@ -8,14 +8,21 @@ import (
 	"aipan/internal/webgen"
 )
 
-// corpus is the deterministic study substrate for one seed: the synthetic
-// Russell 3000 universe, its search-resolved domains, and the generated
-// web. Everything in it is a pure function of the seed and read-only after
-// construction, but building it costs roughly a third of a 50-domain
-// pipeline run — so pipelines sharing a seed share one corpus instead of
-// regenerating 2,892 sites each.
+// corpus is the deterministic study substrate for one (seed, size): the
+// synthetic Russell-like universe, its search-resolved domains, and the
+// generated web. Everything in it is a pure function of the key and
+// read-only after construction, but building it costs roughly a third of
+// a 50-domain pipeline run — so pipelines sharing a key share one corpus
+// instead of regenerating the sites each.
+//
+// At the paper's default size the web is generated eagerly (the
+// historical, byte-identical path). A scaled universe (Config.
+// UniverseDomains) switches to the lazy generator: only the company
+// roster is materialized, and each domain's site is derived on demand
+// from the seed — which is what keeps a 100k-domain run's memory flat.
 type corpus struct {
 	seed      int64
+	size      int // unique domains; 0 = the paper's default universe
 	companies []russell.Company
 	domains   []russell.DomainInfo
 	corrected int
@@ -25,25 +32,41 @@ type corpus struct {
 var (
 	corpusMu sync.Mutex
 	// corpusLast caches the most recently built corpus only: repeated runs
-	// almost always reuse one seed, and a single entry bounds memory.
+	// almost always reuse one key, and a single entry bounds memory.
 	corpusLast *corpus
 )
 
-// corpusFor returns the (possibly cached) corpus for seed.
-func corpusFor(seed int64) *corpus {
+// corpusFor returns the (possibly cached) corpus for seed at size unique
+// domains (0 = the paper's 2,892-domain default).
+func corpusFor(seed int64, size int) *corpus {
+	if size == russell.NumDomains {
+		size = 0 // the explicit paper size is the default universe
+	}
 	corpusMu.Lock()
 	defer corpusMu.Unlock()
-	if corpusLast != nil && corpusLast.seed == seed {
+	if corpusLast != nil && corpusLast.seed == seed && corpusLast.size == size {
 		return corpusLast
 	}
-	companies := russell.Universe(seed)
+	var companies []russell.Company
+	if size == 0 {
+		companies = russell.Universe(seed)
+	} else {
+		companies = russell.UniverseSized(seed, size)
+	}
 	res := search.ResolveUniverse(search.NewEngine(companies, seed), companies)
+	var gen *webgen.Generator
+	if size == 0 {
+		gen = webgen.New(seed, res.Domains)
+	} else {
+		gen = webgen.NewLazy(seed, res.Domains)
+	}
 	corpusLast = &corpus{
 		seed:      seed,
+		size:      size,
 		companies: companies,
 		domains:   res.Domains,
 		corrected: res.Corrected,
-		gen:       webgen.New(seed, res.Domains),
+		gen:       gen,
 	}
 	return corpusLast
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"aipan/internal/stats"
+	"aipan/internal/store"
+)
+
+// funnelCell is the fixed-size funnel contribution of one domain — the
+// only thing the streaming pipeline retains per record. Cells are
+// position-indexed by the domain's slot in the (sorted) study list, so
+// the end-of-run aggregation visits them in exactly the order the
+// retained-records path visits its record slice and every float sum
+// reduces in the same order, whichever mode produced them.
+type funnelCell struct {
+	pages     float64
+	privPages float64 // meaningful when crawlOK
+	words     float64 // meaningful when extractOK
+	crawlOK   bool
+	wkPolicy  bool
+	wkPriv    bool
+	extractOK bool
+	annotated bool
+	fallback  bool
+}
+
+// cellOf reduces one record to its funnel contribution.
+func cellOf(r *store.Record) funnelCell {
+	return funnelCell{
+		pages:     float64(r.Crawl.PagesFetched),
+		privPages: float64(r.Crawl.PrivacyPages),
+		words:     float64(r.Extraction.CoreWords),
+		crawlOK:   r.Crawl.Success,
+		wkPolicy:  r.Crawl.WellKnownPolicy,
+		wkPriv:    r.Crawl.WellKnownPrivacy,
+		extractOK: r.Extraction.Success,
+		annotated: r.Annotated(),
+		fallback:  len(r.AnnotationFallback) > 0,
+	}
+}
+
+// funnelFromCells aggregates the Figure 1 / §3.1 / §4 counts from the
+// per-domain cells.
+func (p *Pipeline) funnelFromCells(cells []funnelCell) Funnel {
+	f := Funnel{
+		Companies:       len(p.companies),
+		Domains:         len(cells),
+		SearchCorrected: p.corrected,
+	}
+	var pages []float64
+	var privacyPages []float64
+	var words []float64
+	for i := range cells {
+		c := &cells[i]
+		pages = append(pages, c.pages)
+		if c.crawlOK {
+			f.CrawlOK++
+			privacyPages = append(privacyPages, c.privPages)
+		}
+		if c.wkPolicy {
+			f.WellKnownPolicy++
+		}
+		if c.wkPriv {
+			f.WellKnownPriv++
+		}
+		if c.extractOK {
+			f.ExtractOK++
+			words = append(words, c.words)
+		}
+		if c.annotated {
+			f.Annotated++
+		}
+		if c.fallback {
+			f.FallbackUsed++
+		}
+	}
+	f.AvgPagesCrawled = stats.Mean(pages)
+	f.AvgPrivacyPages = stats.Mean(privacyPages)
+	f.MedianWords = stats.Median(words)
+	return f
+}

@@ -20,7 +20,6 @@ import (
 	"aipan/internal/obs"
 	"aipan/internal/risk"
 	"aipan/internal/russell"
-	"aipan/internal/stats"
 	"aipan/internal/store"
 	"aipan/internal/textify"
 	"aipan/internal/virtualweb"
@@ -46,8 +45,27 @@ type Config struct {
 	// aspects concurrently). Ignored when Bot is supplied: a caller-built
 	// chatbot carries its own concurrency limit.
 	LLMConcurrency int
-	// Limit processes only the first N domains (0 = all 2,892).
+	// Limit processes only the first N domains (0 = all).
 	Limit int
+	// UniverseDomains scales the study universe to N unique domains
+	// (0 = the paper's 2,892). A scaled universe extends the synthetic
+	// index with a long-tail sector mix and generates sites lazily —
+	// only the company roster is held in memory, each site derived on
+	// demand from the seed — so runs of 100k+ domains keep a flat
+	// footprint. The default size is byte-identical to prior releases.
+	UniverseDomains int
+	// Window bounds the delivery lookahead: at most Window domain
+	// outcomes are in flight or parked awaiting in-order delivery at
+	// once (default 4×Workers, min Workers). The pipeline never holds
+	// more than this many completed-but-undelivered records, whatever
+	// the universe size.
+	Window int
+	// DiscardRecords drops the per-domain records from the returned
+	// Result (Result.Records is nil): records stream to Store/Checkpoint
+	// and the funnel accumulates incrementally, so a 100k-domain run's
+	// memory stays flat instead of growing with the dataset. Requires a
+	// Store or Checkpoint if the records are wanted afterwards.
+	DiscardRecords bool
 	// AnnotateOptions tune the annotator (glossary size, filters, ...).
 	AnnotateOptions []annotate.Option
 	// Crawler overrides crawl policy knobs (Client is filled in by the
@@ -190,6 +208,9 @@ type Funnel struct {
 
 // Result is a completed run.
 type Result struct {
+	// Records holds one record per study domain, in domain order — nil
+	// when the run was configured with DiscardRecords (the records then
+	// live only in the configured store).
 	Records []store.Record
 	Funnel  Funnel
 	// Trace is the per-run stage tree with aggregated wall times. It is
@@ -226,8 +247,9 @@ func New(cfg Config) (*Pipeline, error) {
 	p.riskW = risk.DefaultWeights()
 
 	// Universe, domain resolution (§3.1), and the synthetic web — all a
-	// deterministic function of the seed, shared across pipelines.
-	corp := corpusFor(cfg.Seed)
+	// deterministic function of (seed, universe size), shared across
+	// pipelines.
+	corp := corpusFor(cfg.Seed, cfg.UniverseDomains)
 	p.companies = corp.companies
 	p.domains = corp.domains
 	p.corrected = corp.corrected
@@ -296,7 +318,16 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	if p.cfg.Limit > 0 && p.cfg.Limit < len(domains) {
 		domains = domains[:p.cfg.Limit]
 	}
-	records := make([]store.Record, len(domains))
+	// The streaming pipeline's fixed per-domain state: a funnel cell
+	// (a few dozen bytes) always; the full record only when the caller
+	// wants Result.Records. DiscardRecords is what keeps a 100k-domain
+	// run's memory flat — records then exist only in flight (bounded by
+	// Window) and in the store.
+	cells := make([]funnelCell, len(domains))
+	var records []store.Record
+	if !p.cfg.DiscardRecords {
+		records = make([]store.Record, len(domains))
+	}
 
 	// One tracer per run; spans started anywhere below nest into its
 	// stage tree, which is attached to the Result as Trace. With an
@@ -355,36 +386,50 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		defer js.Close()
 		st = js
 	}
-	processed := map[string]bool{}
+	// Resume bookkeeping is positional: the study list is domain-sorted
+	// (search.ResolveUniverse sorts it), so a binary search maps each
+	// checkpointed record to its slot without holding a map of full
+	// records — the store streams through once and only the cells (and,
+	// in retained mode, the record slots) are kept.
+	processed := make([]bool, len(domains))
+	resumed := 0
 	if st != nil {
 		if err := p.stampSeed(st); err != nil {
 			return nil, err
 		}
-		prior := map[string]store.Record{}
+		names := make([]string, len(domains))
+		for i := range domains {
+			names[i] = domains[i].Domain
+		}
 		err := st.Scan(func(r *store.Record) error {
-			prior[r.Domain] = *r
+			i := sort.SearchStrings(names, r.Domain)
+			if i >= len(names) || names[i] != r.Domain {
+				return nil // outside this run's (possibly limited) universe
+			}
+			if !processed[i] {
+				resumed++
+			}
+			processed[i] = true
+			cells[i] = cellOf(r)
+			if records != nil {
+				records[i] = *r
+			}
 			return nil
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		for i, d := range domains {
-			if rec, ok := prior[d.Domain]; ok {
-				records[i] = rec
-				processed[d.Domain] = true
-			}
-		}
 	}
-	done = len(processed)
-	p.log.Info("run starting", "domains", len(domains), "resumed", len(processed),
+	done = resumed
+	p.log.Info("run starting", "domains", len(domains), "resumed", resumed,
 		"workers", p.cfg.Workers, "llm_concurrency", p.cfg.LLMConcurrency)
 
 	// The unprocessed tail, in submission order; todoIdx maps each item
-	// back to its slot in records.
+	// back to its slot in the study list.
 	var todo []russell.DomainInfo
 	var todoIdx []int
 	for i := range domains {
-		if !processed[domains[i].Domain] {
+		if !processed[i] {
 			todo = append(todo, domains[i])
 			todoIdx = append(todoIdx, i)
 		}
@@ -403,14 +448,18 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	// order regardless of worker count and progress ticks are strictly
 	// increasing without extra locking around the store.
 	deliver := func(i int, out domainOutcome, _ error) {
-		rec := out.rec
-		records[todoIdx[i]] = rec
+		rec := &out.rec
+		idx := todoIdx[i]
+		cells[idx] = cellOf(rec)
+		if records != nil {
+			records[idx] = out.rec
+		}
 		if st != nil && ctx.Err() == nil {
 			// Skip the write once the run is canceled: a domain
 			// interrupted mid-processing produces a truncated record
 			// that would poison the checkpoint and be trusted as
 			// complete on resume.
-			if err := st.Append(&records[todoIdx[i]]); err != nil {
+			if err := st.Append(rec); err != nil {
 				p.met.ckptErrors.Inc()
 				p.log.Error("checkpoint append failed", "domain", rec.Domain, "err", err)
 				report("checkpoint-error", 0, 0)
@@ -422,7 +471,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			// Emitting here — not in the worker — keeps the event
 			// stream in submission order (deliver is serialized), which
 			// is what makes same-seed event shards byte-identical.
-			out.ev.Seq = todoIdx[i]
+			out.ev.Seq = idx
 			if err := p.cfg.Events.Append(&out.ev); err != nil {
 				p.log.Error("event append failed", "domain", rec.Domain, "err", err)
 			}
@@ -438,9 +487,21 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		}
 		progressMu.Unlock()
 	}
-	if _, err := p.procStage.MapDeliver(ctx, todo, deliver); err != nil {
+	// Dispatch through the bounded stream: the stage holds at most
+	// window outcomes in flight or parked for in-order delivery, so the
+	// producer→stage→sink chain runs in constant memory however long the
+	// study list is.
+	window := p.cfg.Window
+	if window <= 0 {
+		window = 4 * p.cfg.Workers
+	}
+	if window < p.cfg.Workers {
+		window = p.cfg.Workers
+	}
+	item := func(i int) russell.DomainInfo { return todo[i] }
+	if err := p.procStage.StreamDeliver(ctx, len(todo), window, item, deliver); err != nil {
 		progressMu.Lock()
-		dispatched := done - len(processed)
+		dispatched := done - resumed
 		progressMu.Unlock()
 		p.log.Warn("run canceled", "dispatched", dispatched, "domains", len(domains))
 		return nil, err
@@ -448,7 +509,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	endRun()
 
 	res := &Result{Records: records}
-	res.Funnel = p.funnel(records)
+	res.Funnel = p.funnelFromCells(cells)
 	p.met.setFunnel(res.Funnel)
 	res.Trace = tracer.Summary()
 	p.log.Info("run complete", "domains", len(domains),
@@ -749,42 +810,7 @@ func (p *Pipeline) processPage(ctx context.Context, page *crawler.Page) (pageOut
 	return out, nil
 }
 
-// funnel aggregates the Figure 1 / §3.1 / §4 counts.
-func (p *Pipeline) funnel(records []store.Record) Funnel {
-	f := Funnel{
-		Companies:       len(p.companies),
-		Domains:         len(records),
-		SearchCorrected: p.corrected,
-	}
-	var pages []float64
-	var privacyPages []float64
-	var words []float64
-	for i := range records {
-		r := &records[i]
-		pages = append(pages, float64(r.Crawl.PagesFetched))
-		if r.Crawl.Success {
-			f.CrawlOK++
-			privacyPages = append(privacyPages, float64(r.Crawl.PrivacyPages))
-		}
-		if r.Crawl.WellKnownPolicy {
-			f.WellKnownPolicy++
-		}
-		if r.Crawl.WellKnownPrivacy {
-			f.WellKnownPriv++
-		}
-		if r.Extraction.Success {
-			f.ExtractOK++
-			words = append(words, float64(r.Extraction.CoreWords))
-		}
-		if r.Annotated() {
-			f.Annotated++
-		}
-		if len(r.AnnotationFallback) > 0 {
-			f.FallbackUsed++
-		}
-	}
-	f.AvgPagesCrawled = stats.Mean(pages)
-	f.AvgPrivacyPages = stats.Mean(privacyPages)
-	f.MedianWords = stats.Median(words)
-	return f
-}
+// The Figure 1 / §3.1 / §4 funnel aggregation lives in funnel.go: each
+// record reduces to a fixed-size funnelCell as it is delivered (or
+// resumed), and funnelFromCells folds the cells in study-list order —
+// identical arithmetic whether records were retained or discarded.

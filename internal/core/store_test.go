@@ -45,7 +45,11 @@ func TestPipelineDeterminismAcrossStoreBackends(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return map[string]store.Store{"jsonl": js, "sharded4": sh, "mem": store.NewMem()}
+		bn, err := store.OpenBinary(dir+"/bins", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return map[string]store.Store{"jsonl": js, "sharded4": sh, "binary4": bn, "mem": store.NewMem()}
 	}
 	for _, workers := range []int{1, 16} {
 		for name, st := range backends(t) {

@@ -189,6 +189,12 @@ type nameGen struct {
 	tickers map[string]bool
 	domains map[string]bool
 	duped   map[string]bool
+	// sized switches next to the scaled naming path (UniverseSized),
+	// which numbers colliding domains instead of rejecting them; seq and
+	// tickSeq are its per-base collision counters.
+	sized   bool
+	seq     map[string]int
+	tickSeq map[string]int
 }
 
 func newNameGen(rng *rand.Rand) *nameGen {
@@ -198,6 +204,8 @@ func newNameGen(rng *rand.Rand) *nameGen {
 		tickers: map[string]bool{},
 		domains: map[string]bool{},
 		duped:   map[string]bool{},
+		seq:     map[string]int{},
+		tickSeq: map[string]int{},
 	}
 }
 
@@ -234,6 +242,9 @@ var sectorFlavors = map[string][]string{
 var legalSuffixes = []string{"Inc", "Corp", "Group", "Co", "Ltd", "PLC", "Holdings"}
 
 func (g *nameGen) next(sector string) (name, ticker, domain string) {
+	if g.sized {
+		return g.nextSized(sector)
+	}
 	flavors := sectorFlavors[sector]
 	for tries := 0; ; tries++ {
 		root := nameRoots[g.rng.Intn(len(nameRoots))]

@@ -1,0 +1,71 @@
+package russell
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestUniverseSizedDefaultIdentical: the paper-sized call is the paper
+// universe, byte for byte.
+func TestUniverseSizedDefaultIdentical(t *testing.T) {
+	if !reflect.DeepEqual(UniverseSized(3000, NumDomains), Universe(3000)) {
+		t.Fatal("UniverseSized(seed, NumDomains) diverged from Universe(seed)")
+	}
+	if !reflect.DeepEqual(UniverseSized(3000, 0), Universe(3000)) {
+		t.Fatal("UniverseSized(seed, 0) diverged from Universe(seed)")
+	}
+}
+
+// TestUniverseSizedCardinalities: a scaled universe hits the requested
+// unique-domain count exactly, with duplicates at the head rate, every
+// sector represented, and full determinism.
+func TestUniverseSizedCardinalities(t *testing.T) {
+	const n = 10_000
+	u := UniverseSized(3000, n)
+	wantDup := n * (NumCompanies - NumDomains) / NumDomains
+	if len(u) != n+wantDup {
+		t.Fatalf("companies = %d, want %d (+%d dups)", len(u), n+wantDup, wantDup)
+	}
+	domains := UniqueDomains(u)
+	if len(domains) != n {
+		t.Fatalf("unique domains = %d, want %d", len(domains), n)
+	}
+	bySector := map[string]int{}
+	for _, d := range domains {
+		bySector[d.Sector]++
+	}
+	for _, s := range Sectors() {
+		if bySector[s] == 0 {
+			t.Fatalf("sector %q has no domains at n=%d", s, n)
+		}
+	}
+	if !reflect.DeepEqual(u, UniverseSized(3000, n)) {
+		t.Fatal("UniverseSized is not deterministic")
+	}
+}
+
+// TestUniverseSizedLongTailFlattens: beyond the paper's head, the tail
+// mix flattens — small sectors take a larger share of the tail than of
+// the head, so their overall share grows with the universe.
+func TestUniverseSizedLongTailFlattens(t *testing.T) {
+	share := func(domains []DomainInfo, sector string) float64 {
+		n := 0
+		for _, d := range domains {
+			if d.Sector == sector {
+				n++
+			}
+		}
+		return float64(n) / float64(len(domains))
+	}
+	head := UniqueDomains(Universe(3000))
+	tail := UniqueDomains(UniverseSized(3000, 50_000))
+	// Consumer staples is one of the smallest head sectors (4%).
+	if share(tail, ConsumerStaples) <= share(head, ConsumerStaples) {
+		t.Fatalf("long tail did not flatten: staples share %f -> %f",
+			share(head, ConsumerStaples), share(tail, ConsumerStaples))
+	}
+	if share(tail, Industrials) >= share(head, Industrials) {
+		t.Fatalf("long tail did not flatten: industrials share %f -> %f",
+			share(head, Industrials), share(tail, Industrials))
+	}
+}

@@ -55,8 +55,18 @@ type recordsSource []store.Record
 func (rs recordsSource) Load() ([]store.Record, error) { return rs, nil }
 
 // FromStore adapts any store backend — JSONL file, shard directory,
-// in-memory — into a Source, without an intermediate flat-file export.
-func FromStore(st store.Store) Source { return storeSource{st} }
+// binary segment store, in-memory — into a Source, without an
+// intermediate flat-file export. Backends exposing per-shard views
+// (every shipped backend does) load incrementally: each Refresh
+// re-scans only the shards whose change stamp moved since the previous
+// generation, so refreshing a mostly-quiet large store costs stat
+// calls, not a dataset re-read.
+func FromStore(st store.Store) Source {
+	if sv, ok := st.(store.ShardView); ok {
+		return &shardedSource{sv: sv}
+	}
+	return storeSource{st}
+}
 
 type storeSource struct{ st store.Store }
 

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"aipan/internal/store"
+)
+
+// shardedSource is the incremental Source behind FromStore for backends
+// that expose per-shard views: each shard's records are cached alongside
+// its change stamp, and a Refresh re-scans only the shards whose stamp
+// moved. Under the pipeline's hash-sharded append pattern all shards
+// grow during a run, but once a run finishes — or between appends — a
+// refresh costs NumShards stat calls instead of a full dataset scan,
+// and a crash-recovery restart re-reads nothing that was already
+// indexed. Load still returns the full record slice (buildView indexes
+// from scratch per generation); the caching removes the disk re-scan,
+// which is what dominates refresh time on large stores.
+type shardedSource struct {
+	mu      sync.Mutex
+	sv      store.ShardView
+	scanned []bool
+	stamps  []string
+	shards  [][]store.Record
+}
+
+// Load implements Source.
+func (s *shardedSource) Load() ([]store.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.sv.NumShards()
+	if len(s.shards) != n {
+		s.shards = make([][]store.Record, n)
+		s.stamps = make([]string, n)
+		s.scanned = make([]bool, n)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		stamp, err := s.sv.ShardStamp(i)
+		if err != nil {
+			return nil, fmt.Errorf("server: stamping shard %d: %w", i, err)
+		}
+		if !s.scanned[i] || stamp != s.stamps[i] {
+			var recs []store.Record
+			if err := s.sv.ScanShard(i, func(r *store.Record) error {
+				recs = append(recs, *r)
+				return nil
+			}); err != nil {
+				return nil, fmt.Errorf("server: loading shard %d: %w", i, err)
+			}
+			s.shards[i] = recs
+			s.stamps[i] = stamp
+			s.scanned[i] = true
+		}
+		total += len(s.shards[i])
+	}
+	out := make([]store.Record, 0, total)
+	for _, recs := range s.shards {
+		out = append(out, recs...)
+	}
+	return out, nil
+}

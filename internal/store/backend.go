@@ -7,7 +7,6 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -34,6 +33,11 @@ type Meta struct {
 	Seed int64 `json:"seed"`
 	// Shards is the shard count of a sharded store (0 otherwise).
 	Shards int `json:"shards,omitempty"`
+	// Format names the on-disk layout ("binary" for the segment store;
+	// empty for JSONL layouts, which predate the field).
+	Format string `json:"format,omitempty"`
+	// Codec is the binary record codec version (0 for JSONL layouts).
+	Codec int `json:"codec,omitempty"`
 }
 
 // MetaStore is the optional stamping interface every shipped backend
@@ -200,9 +204,14 @@ func OpenSharded(dir string, shards int) (*Sharded, error) {
 	s := &Sharded{dir: dir, shards: shards, files: make([]*JSONL, shards)}
 	if m, ok, err := s.Meta(); err != nil {
 		return nil, err
-	} else if ok && m.Shards != 0 && m.Shards != shards {
-		return nil, fmt.Errorf("store: %s was created with %d shards, reopened with %d",
-			dir, m.Shards, shards)
+	} else if ok {
+		if m.Format != "" {
+			return nil, fmt.Errorf("store: %s holds a %q store, not a sharded JSONL one", dir, m.Format)
+		}
+		if m.Shards != 0 && m.Shards != shards {
+			return nil, fmt.Errorf("store: %s was created with %d shards, reopened with %d",
+				dir, m.Shards, shards)
+		}
 	}
 	return s, nil
 }
@@ -300,7 +309,7 @@ func scanFile(path string, fn func(*Record) error) error {
 		}
 		var r Record
 		if err := json.Unmarshal(line, &r); err != nil {
-			return fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+			return classifyLineErr(sc, path, lineNo, err)
 		}
 		if err := fn(&r); err != nil {
 			return err
@@ -349,28 +358,31 @@ func writeMetaFile(path string, m Meta) error {
 	return nil
 }
 
-// SaveJSONL atomically materializes a store's records as one JSONL file
-// (temp file + rename), sorted by domain — the final-dataset write
-// shared by every backend. Sorting makes the output a pure function of
-// the record set: a sharded store (whose Scan order is shard-major) and
-// a JSONL checkpoint (append order) holding the same records export
-// byte-identical files.
+// SaveJSONL atomically writes a store's records as one JSONL file (temp
+// file + rename), sorted by domain — the final-dataset write shared by
+// every backend. Sorting makes the output a pure function of the record
+// set: a sharded store (whose Scan order is shard-major) and a JSONL
+// checkpoint (append order) holding the same records export
+// byte-identical files. The sort is a streaming k-way merge over the
+// store's shards (each appends in domain order), so the export runs in
+// O(shards) memory; see sortedScan.
 func SaveJSONL(path string, st Store) error {
-	var records []Record
-	if err := st.Scan(func(r *Record) error {
-		records = append(records, *r)
-		return nil
-	}); err != nil {
-		return err
-	}
-	sort.Slice(records, func(i, j int) bool { return records[i].Domain < records[j].Domain })
-	return WriteJSONL(path, records)
+	return exportStaged(path, func(w *bufio.Writer, scan scanFunc) error {
+		enc := json.NewEncoder(w)
+		return scan(st, func(r *Record) error {
+			if err := enc.Encode(r); err != nil {
+				return fmt.Errorf("store: encoding record %s: %w", r.Domain, err)
+			}
+			return nil
+		})
+	})
 }
 
 // OpenSpec opens a backend from a CLI spec: "jsonl" (or "") is the
-// single-file store at path, "sharded:N" is an N-way sharded store in
-// the directory at path, and "mem" is the in-memory store (path is
-// ignored).
+// single-file store at path, "sharded:N" is an N-way sharded JSONL
+// store in the directory at path, "binary:N" is an N-way binary segment
+// store in the directory at path, and "mem" is the in-memory store
+// (path is ignored).
 func OpenSpec(spec, path string) (Store, error) {
 	switch {
 	case spec == "" || spec == "jsonl":
@@ -383,6 +395,12 @@ func OpenSpec(spec, path string) (Store, error) {
 			return nil, fmt.Errorf("store: bad shard count in %q (want sharded:N)", spec)
 		}
 		return OpenSharded(path, n)
+	case strings.HasPrefix(spec, "binary:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(spec, "binary:"))
+		if err != nil {
+			return nil, fmt.Errorf("store: bad shard count in %q (want binary:N)", spec)
+		}
+		return OpenBinary(path, n)
 	}
-	return nil, fmt.Errorf("store: unknown backend %q (jsonl, sharded:N, mem)", spec)
+	return nil, fmt.Errorf("store: unknown backend %q (jsonl, sharded:N, binary:N, mem)", spec)
 }

@@ -35,7 +35,11 @@ func openBackends(t *testing.T, dir string) map[string]Store {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return map[string]Store{"jsonl": js, "sharded": sh, "mem": NewMem()}
+	bn, err := OpenBinary(filepath.Join(dir, "bins"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"jsonl": js, "sharded": sh, "binary": bn, "mem": NewMem()}
 }
 
 func TestBackendsRoundTrip(t *testing.T) {
@@ -226,8 +230,10 @@ func TestSaveJSONLByteIdenticalAcrossBackends(t *testing.T) {
 		outputs[name] = data
 		st.Close()
 	}
-	if !bytes.Equal(outputs["jsonl"], outputs["sharded"]) || !bytes.Equal(outputs["jsonl"], outputs["mem"]) {
-		t.Fatal("SaveJSONL output differs across backends holding the same records")
+	for name, data := range outputs {
+		if !bytes.Equal(outputs["jsonl"], data) {
+			t.Fatalf("SaveJSONL output from %s differs from jsonl backend holding the same records", name)
+		}
 	}
 	// And the export is a loadable dataset with every record present.
 	loaded, err := ReadJSONL(filepath.Join(dir, "mem-export.jsonl"))
@@ -250,8 +256,11 @@ func TestOpenSpec(t *testing.T) {
 		{"jsonl", filepath.Join(dir, "b.jsonl"), "*store.JSONL", false},
 		{"mem", "", "*store.Mem", false},
 		{"sharded:4", filepath.Join(dir, "sh"), "*store.Sharded", false},
+		{"binary:4", filepath.Join(dir, "bin"), "*store.Binary", false},
 		{"sharded:nope", dir, "", true},
 		{"sharded:0", dir, "", true},
+		{"binary:nope", dir, "", true},
+		{"binary:0", dir, "", true},
 		{"bolt", dir, "", true},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,441 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrTruncated marks a store whose final record is incomplete or whose
+// tail is not valid frames — the signature of a crash mid-append or of
+// on-disk corruption. Opens refuse it (errors.Is-matchable) instead of
+// silently serving a prefix; Repair truncates the file back to its last
+// good record.
+var ErrTruncated = errors.New("truncated or corrupt record at end of store")
+
+// maxFramePayload bounds a frame's declared payload length. A record is
+// a few KB; anything near this bound is a corrupt length prefix, and
+// refusing it keeps a flipped bit from provoking a GB-sized allocation.
+const maxFramePayload = 1 << 26
+
+// Binary is the compacted segment-store backend for large runs: records
+// are framed (length prefix + payload + CRC32) into seg-%02d.bin files
+// sharded by domain hash, with a seg-%02d.idx sidecar per shard mapping
+// each domain to its frame so point lookups and reopen never re-parse
+// the segment. The binary codec (codec.go) is ~3× denser than JSONL and
+// decodes without reflection, which is what keeps Scan off the
+// allocation hot path at 100k domains.
+//
+// The idx sidecar is a cache, not truth: on open it is validated
+// against the segment, entries the segment does not back are discarded,
+// and frames the sidecar missed (a crash between the two appends) are
+// recovered by scanning the segment's uncovered tail. A tail that is
+// not a well-formed frame refuses the open with ErrTruncated.
+type Binary struct {
+	dir    string
+	shards int
+
+	mu     sync.Mutex
+	bins   []*os.File // lazily opened for append
+	idxs   []*os.File
+	sizes  []int64           // current .bin sizes
+	counts []int             // records per shard
+	index  map[string]recLoc // domain → latest frame (point lookups)
+	encBuf []byte            // reused Append encode buffer
+}
+
+// recLoc locates one record's frame.
+type recLoc struct {
+	shard int
+	off   int64
+	n     int // full frame length (header + payload + CRC)
+}
+
+// OpenBinary opens (or creates) a binary segment store in dir with the
+// given shard count (1..99).
+func OpenBinary(dir string, shards int) (*Binary, error) {
+	if shards < 1 || shards > 99 {
+		return nil, fmt.Errorf("store: shard count %d out of range 1..99", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating segment dir: %w", err)
+	}
+	s := &Binary{
+		dir:    dir,
+		shards: shards,
+		bins:   make([]*os.File, shards),
+		idxs:   make([]*os.File, shards),
+		sizes:  make([]int64, shards),
+		counts: make([]int, shards),
+		index:  map[string]recLoc{},
+	}
+	if m, ok, err := s.Meta(); err != nil {
+		return nil, err
+	} else if ok {
+		if m.Format != "" && m.Format != FormatBinary {
+			return nil, fmt.Errorf("store: %s holds a %q store, not a binary one", dir, m.Format)
+		}
+		if m.Shards != 0 && m.Shards != shards {
+			return nil, fmt.Errorf("store: %s was created with %d shards, reopened with %d",
+				dir, m.Shards, shards)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		if err := s.loadShard(i); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// FormatBinary is the Meta.Format stamp of a Binary store.
+const FormatBinary = "binary"
+
+func (s *Binary) binPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%02d.bin", i))
+}
+
+func (s *Binary) idxPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%02d.idx", i))
+}
+
+func (s *Binary) shardOf(domain string) int {
+	h := fnv.New32a()
+	h.Write([]byte(domain))
+	return int(h.Sum32() % uint32(s.shards))
+}
+
+// idxEntry is one sidecar row.
+type idxEntry struct {
+	domain string
+	off    int64
+	n      int
+}
+
+// loadShard validates shard i's sidecar against its segment, recovers
+// sidecar-missed frames from the segment tail, and refuses a tail that
+// is not well-formed frames.
+func (s *Binary) loadShard(i int) error {
+	binPath := s.binPath(i)
+	st, err := os.Stat(binPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: statting %s: %w", binPath, err)
+	}
+	binSize := st.Size()
+
+	idxData, err := os.ReadFile(s.idxPath(i))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: reading %s: %w", s.idxPath(i), err)
+	}
+
+	// Accept sidecar entries only while they are well-formed and tile
+	// the segment contiguously from offset 0.
+	var entries []idxEntry
+	covered := int64(0)
+	rest := idxData
+	stale := false
+	for len(rest) > 0 {
+		e, next, ok := parseIdxEntry(rest)
+		if !ok || e.off != covered || e.off+int64(e.n) > binSize {
+			stale = true
+			break
+		}
+		entries = append(entries, e)
+		covered = e.off + int64(e.n)
+		rest = next
+	}
+
+	// Recover any frames the sidecar does not cover by scanning the
+	// segment tail. This is the crash-between-appends path; a malformed
+	// tail refuses the open.
+	recovered, err := scanFrames(binPath, covered, binSize, func(e idxEntry, rec *Record) error {
+		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if stale || recovered > 0 {
+		if err := writeIdx(s.idxPath(i), entries); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range entries {
+		s.index[e.domain] = recLoc{shard: i, off: e.off, n: e.n}
+	}
+	s.counts[i] = len(entries)
+	s.sizes[i] = binSize
+	return nil
+}
+
+// parseIdxEntry decodes one sidecar row: uvarint domain length, domain
+// bytes, uvarint offset, uvarint frame length.
+func parseIdxEntry(buf []byte) (idxEntry, []byte, bool) {
+	dl, n := binary.Uvarint(buf)
+	if n <= 0 || dl > uint64(len(buf)-n) {
+		return idxEntry{}, nil, false
+	}
+	buf = buf[n:]
+	domain := string(buf[:dl])
+	buf = buf[dl:]
+	off, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return idxEntry{}, nil, false
+	}
+	buf = buf[n:]
+	fl, n := binary.Uvarint(buf)
+	if n <= 0 || fl > maxFramePayload+frameOverhead {
+		return idxEntry{}, nil, false
+	}
+	return idxEntry{domain: domain, off: int64(off), n: int(fl)}, buf[n:], true
+}
+
+func appendIdxEntry(buf []byte, e idxEntry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(e.domain)))
+	buf = append(buf, e.domain...)
+	buf = binary.AppendUvarint(buf, uint64(e.off))
+	return binary.AppendUvarint(buf, uint64(e.n))
+}
+
+// writeIdx atomically rewrites a shard's sidecar.
+func writeIdx(path string, entries []idxEntry) error {
+	var buf []byte
+	for _, e := range entries {
+		buf = appendIdxEntry(buf, e)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("store: writing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// frameOverhead is the non-payload bytes of a frame: 4-byte little-
+// endian payload length up front, 4-byte CRC32 (IEEE) of the payload
+// behind.
+const frameOverhead = 8
+
+// scanFrames walks [from, to) of a segment file, validating and
+// decoding every frame and handing each to fn. It returns the number of
+// frames seen. Any malformed tail — short header, implausible length
+// prefix, short payload, CRC mismatch, undecodable payload — returns an
+// error wrapping ErrTruncated that names the file and offset.
+func scanFrames(path string, from, to int64, fn func(idxEntry, *Record) error) (int, error) {
+	if from >= to {
+		return 0, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: seeking %s: %w", path, err)
+	}
+
+	refuse := func(off int64, what string) error {
+		return fmt.Errorf("store: %s: %s at offset %d: %w (run `aipan debug repair` to truncate to the last good record)",
+			path, what, off, ErrTruncated)
+	}
+
+	var hdr [4]byte
+	var payload []byte
+	var rec Record
+	count := 0
+	off := from
+	for off < to {
+		if to-off < int64(len(hdr)) {
+			return count, refuse(off, "short frame header")
+		}
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return count, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		plen := int64(binary.LittleEndian.Uint32(hdr[:]))
+		if plen == 0 || plen > maxFramePayload {
+			return count, refuse(off, fmt.Sprintf("implausible frame length %d", plen))
+		}
+		if off+int64(frameOverhead)+plen > to {
+			return count, refuse(off, "frame extends past end of file")
+		}
+		if int64(cap(payload)) < plen+4 {
+			payload = make([]byte, plen+4)
+		}
+		payload = payload[:plen+4]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return count, fmt.Errorf("store: reading %s: %w", path, err)
+		}
+		body, sum := payload[:plen], binary.LittleEndian.Uint32(payload[plen:])
+		if crc32.ChecksumIEEE(body) != sum {
+			return count, refuse(off, "frame CRC mismatch")
+		}
+		if err := decodeRecord(body, &rec); err != nil {
+			return count, refuse(off, err.Error())
+		}
+		e := idxEntry{domain: rec.Domain, off: off, n: int(frameOverhead + plen)}
+		if err := fn(e, &rec); err != nil {
+			return count, err
+		}
+		count++
+		off += frameOverhead + plen
+	}
+	return count, nil
+}
+
+// Append frames rec into its domain's segment and records it in the
+// sidecar and the in-memory index.
+func (s *Binary) Append(rec *Record) error {
+	i := s.shardOf(rec.Domain)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.bins[i] == nil {
+		bin, err := os.OpenFile(s.binPath(i), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: opening %s: %w", s.binPath(i), err)
+		}
+		idx, err := os.OpenFile(s.idxPath(i), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			_ = bin.Close()
+			return fmt.Errorf("store: opening %s: %w", s.idxPath(i), err)
+		}
+		s.bins[i], s.idxs[i] = bin, idx
+	}
+
+	// Assemble the whole frame in the reused buffer so each append is
+	// one write: [len u32][payload][crc u32].
+	buf := append(s.encBuf[:0], 0, 0, 0, 0)
+	buf = appendRecord(buf, rec)
+	plen := len(buf) - 4
+	binary.LittleEndian.PutUint32(buf[:4], uint32(plen))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf[4:]))
+	buf = append(buf, crc[:]...)
+	s.encBuf = buf
+
+	if _, err := s.bins[i].Write(buf); err != nil {
+		return fmt.Errorf("store: appending %s to %s: %w", rec.Domain, s.binPath(i), err)
+	}
+	e := idxEntry{domain: rec.Domain, off: s.sizes[i], n: len(buf)}
+	if _, err := s.idxs[i].Write(appendIdxEntry(nil, e)); err != nil {
+		return fmt.Errorf("store: appending %s to %s: %w", rec.Domain, s.idxPath(i), err)
+	}
+	s.sizes[i] += int64(len(buf))
+	s.counts[i]++
+	s.index[rec.Domain] = recLoc{shard: i, off: e.off, n: e.n}
+	return nil
+}
+
+// Scan replays every shard in index order; within a shard, append
+// order. The *Record passed to fn is reused between calls.
+func (s *Binary) Scan(fn func(*Record) error) error {
+	for i := 0; i < s.shards; i++ {
+		if err := s.ScanShard(i, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanShard replays one shard in append order.
+func (s *Binary) ScanShard(i int, fn func(*Record) error) error {
+	if i < 0 || i >= s.shards {
+		return fmt.Errorf("store: shard %d out of range 0..%d", i, s.shards-1)
+	}
+	s.mu.Lock()
+	size := s.sizes[i]
+	s.mu.Unlock()
+	_, err := scanFrames(s.binPath(i), 0, size, func(_ idxEntry, rec *Record) error {
+		return fn(rec)
+	})
+	return err
+}
+
+// Get is the point lookup: the record for domain via the in-memory
+// index, without scanning. The returned record is the caller's copy.
+func (s *Binary) Get(domain string) (*Record, bool, error) {
+	s.mu.Lock()
+	loc, ok := s.index[domain]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	f, err := os.Open(s.binPath(loc.shard))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: opening %s: %w", s.binPath(loc.shard), err)
+	}
+	defer f.Close()
+	frame := make([]byte, loc.n)
+	if _, err := f.ReadAt(frame, loc.off); err != nil {
+		return nil, false, fmt.Errorf("store: reading %s @%d: %w", s.binPath(loc.shard), loc.off, err)
+	}
+	plen := int(binary.LittleEndian.Uint32(frame[:4]))
+	if plen+frameOverhead != loc.n {
+		return nil, false, fmt.Errorf("store: %s @%d: index and frame disagree on length", s.binPath(loc.shard), loc.off)
+	}
+	body := frame[4 : 4+plen]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(frame[4+plen:]) {
+		return nil, false, fmt.Errorf("store: %s @%d: frame CRC mismatch", s.binPath(loc.shard), loc.off)
+	}
+	rec := new(Record)
+	if err := decodeRecord(body, rec); err != nil {
+		return nil, false, err
+	}
+	return rec, true, nil
+}
+
+// Len counts the stored records from the shard counters — no scan.
+func (s *Binary) Len() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, c := range s.counts {
+		n += c
+	}
+	return n, nil
+}
+
+// Close closes every opened shard file.
+func (s *Binary) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for i := range s.bins {
+		for _, f := range []*os.File{s.bins[i], s.idxs[i]} {
+			if f == nil {
+				continue
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.bins[i], s.idxs[i] = nil, nil
+	}
+	return first
+}
+
+// Meta reads the directory's meta.json stamp.
+func (s *Binary) Meta() (Meta, bool, error) {
+	return readMetaFile(filepath.Join(s.dir, "meta.json"))
+}
+
+// SetMeta writes the stamp, always recording the shard count, format,
+// and codec version.
+func (s *Binary) SetMeta(m Meta) error {
+	m.Shards = s.shards
+	m.Format = FormatBinary
+	m.Codec = codecVersion
+	return writeMetaFile(filepath.Join(s.dir, "meta.json"), m)
+}

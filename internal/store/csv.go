@@ -16,6 +16,23 @@ var annotationHeader = []string{
 	"scope",
 }
 
+// writeAnnotationRows emits rec's annotation rows to w.
+func writeAnnotationRows(w *csv.Writer, rec *Record) error {
+	for _, a := range rec.Annotations {
+		row := []string{
+			rec.Domain, rec.Company, rec.SectorAbbrev,
+			a.Aspect, a.Meta, a.Category, a.Descriptor, a.Text,
+			strconv.Itoa(a.Line), a.Context,
+			strconv.FormatBool(a.Novel), strconv.Itoa(a.RetentionDays),
+			a.Scope,
+		}
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
+		}
+	}
+	return nil
+}
+
 // WriteAnnotationsCSV writes one row per annotation across all records.
 func WriteAnnotationsCSV(path string, records []Record) error {
 	f, err := os.Create(path)
@@ -28,19 +45,9 @@ func WriteAnnotationsCSV(path string, records []Record) error {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 	for i := range records {
-		rec := &records[i]
-		for _, a := range rec.Annotations {
-			row := []string{
-				rec.Domain, rec.Company, rec.SectorAbbrev,
-				a.Aspect, a.Meta, a.Category, a.Descriptor, a.Text,
-				strconv.Itoa(a.Line), a.Context,
-				strconv.FormatBool(a.Novel), strconv.Itoa(a.RetentionDays),
-				a.Scope,
-			}
-			if err := w.Write(row); err != nil {
-				_ = f.Close()
-				return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
-			}
+		if err := writeAnnotationRows(w, &records[i]); err != nil {
+			_ = f.Close()
+			return err
 		}
 	}
 	w.Flush()
@@ -61,6 +68,23 @@ var domainHeader = []string{
 	"annotations",
 }
 
+// writeDomainRow emits rec's summary row to w.
+func writeDomainRow(w *csv.Writer, rec *Record) error {
+	row := []string{
+		rec.Domain, rec.Company, join(rec.Tickers), rec.SectorAbbrev,
+		strconv.FormatBool(rec.Crawl.Success),
+		strconv.Itoa(rec.Crawl.PagesFetched),
+		strconv.Itoa(rec.Crawl.PrivacyPages),
+		strconv.FormatBool(rec.Extraction.Success),
+		strconv.Itoa(rec.Extraction.CoreWords),
+		strconv.Itoa(len(rec.Annotations)),
+	}
+	if err := w.Write(row); err != nil {
+		return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
+	}
+	return nil
+}
+
 // WriteDomainsCSV writes one row per domain.
 func WriteDomainsCSV(path string, records []Record) error {
 	f, err := os.Create(path)
@@ -73,19 +97,9 @@ func WriteDomainsCSV(path string, records []Record) error {
 		return fmt.Errorf("store: writing header: %w", err)
 	}
 	for i := range records {
-		rec := &records[i]
-		row := []string{
-			rec.Domain, rec.Company, join(rec.Tickers), rec.SectorAbbrev,
-			strconv.FormatBool(rec.Crawl.Success),
-			strconv.Itoa(rec.Crawl.PagesFetched),
-			strconv.Itoa(rec.Crawl.PrivacyPages),
-			strconv.FormatBool(rec.Extraction.Success),
-			strconv.Itoa(rec.Extraction.CoreWords),
-			strconv.Itoa(len(rec.Annotations)),
-		}
-		if err := w.Write(row); err != nil {
+		if err := writeDomainRow(w, &records[i]); err != nil {
 			_ = f.Close()
-			return fmt.Errorf("store: writing row for %s: %w", rec.Domain, err)
+			return err
 		}
 	}
 	w.Flush()

@@ -352,7 +352,7 @@ func scanEventFile(path string, fn func(*Event) error) error {
 		}
 		var ev Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("store: %s line %d: %w", path, lineNo, err)
+			return classifyLineErr(sc, path, lineNo, err)
 		}
 		if err := fn(&ev); err != nil {
 			return err

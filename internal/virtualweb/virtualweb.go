@@ -30,13 +30,24 @@ var ErrTimeout = errors.New("virtualweb: request timed out")
 type Transport struct {
 	provider Provider
 	requests atomic.Int64
-	// cache avoids re-rendering a site for every request.
-	cache atomicMap
+	// cache avoids re-rendering a site for every request. It is a
+	// bounded LRU (defaultRenderCacheCap hosts), so memory stays flat
+	// however many domains the run visits.
+	cache renderCache
 }
 
 // NewTransport builds a RoundTripper over the provider.
 func NewTransport(p Provider) *Transport {
 	return &Transport{provider: p}
+}
+
+// WithCacheSize bounds the render cache to at most n hosts (default
+// defaultRenderCacheCap) and returns the transport for chaining.
+func (t *Transport) WithCacheSize(n int) *Transport {
+	t.cache.mu.Lock()
+	t.cache.cap = n
+	t.cache.mu.Unlock()
+	return t
 }
 
 // Client returns an http.Client using this transport.

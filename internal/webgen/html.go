@@ -35,7 +35,7 @@ werden; die jeweils aktuelle Fassung finden Sie auf dieser Seite.`
 
 // RenderSite produces every page of a site, keyed by URL path.
 func (g *Generator) RenderSite(domain string) map[string]Page {
-	s := g.sites[domain]
+	s := g.Site(domain)
 	if s == nil {
 		return nil
 	}

@@ -1,0 +1,73 @@
+package webgen
+
+import (
+	"reflect"
+	"testing"
+
+	"aipan/internal/russell"
+)
+
+// TestLazyMatchesEagerAtPaperSize: at the paper's universe size the
+// scaled failure plan reduces to the paper's counts, so a lazy
+// generator must derive the exact site an eager one materializes —
+// except the three §5 retention-extreme sites, whose pinning is a
+// global eager-only pass.
+func TestLazyMatchesEagerAtPaperSize(t *testing.T) {
+	domains := russell.UniqueDomains(russell.Universe(Seed))
+	eager := New(Seed, domains)
+	lazy := NewLazy(Seed, domains)
+	if !lazy.Lazy() || eager.Lazy() {
+		t.Fatal("Lazy() flags wrong")
+	}
+	diverged := 0
+	for _, d := range eager.Domains() {
+		es, ls := eager.Site(d), lazy.Site(d)
+		if es.statedExtreme != 0 {
+			diverged++
+			continue // pinned retention extremes exist only eagerly
+		}
+		if !reflect.DeepEqual(*es, *ls) {
+			t.Fatalf("lazy site %s diverged from eager", d)
+		}
+	}
+	if diverged != 3 {
+		t.Fatalf("expected exactly 3 pinned retention-extreme sites, saw %d", diverged)
+	}
+}
+
+// TestLazySiteDeterministic: repeated lazy derivations of the same site
+// are identical, and renders through the lazy path match too.
+func TestLazySiteDeterministic(t *testing.T) {
+	domains := russell.UniqueDomains(russell.UniverseSized(Seed, 4000))
+	g := NewLazy(Seed, domains)
+	d := g.Domains()[17]
+	if !reflect.DeepEqual(*g.Site(d), *g.Site(d)) {
+		t.Fatal("lazy Site is not deterministic")
+	}
+	if !reflect.DeepEqual(g.RenderSite(d), g.RenderSite(d)) {
+		t.Fatal("lazy RenderSite is not deterministic")
+	}
+}
+
+// TestLazyScaledFailurePlan: a scaled universe keeps every §4 failure
+// class represented, at roughly the paper's rates.
+func TestLazyScaledFailurePlan(t *testing.T) {
+	const n = 20_000
+	domains := russell.UniqueDomains(russell.UniverseSized(Seed, n))
+	g := NewLazy(Seed, domains)
+	byClass := map[FailureClass]int{}
+	for _, c := range g.failures {
+		byClass[c]++
+	}
+	scale := float64(n) / float64(russell.NumDomains)
+	for _, fp := range failurePlan {
+		got := byClass[fp.class]
+		want := int(float64(fp.count) * scale)
+		if got == 0 {
+			t.Fatalf("failure class %q unrepresented at n=%d", fp.class, n)
+		}
+		if got < want*9/10 || got > want*11/10+1 {
+			t.Fatalf("failure class %q count %d far from scaled target %d", fp.class, got, want)
+		}
+	}
+}

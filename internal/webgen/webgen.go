@@ -163,11 +163,29 @@ type Site struct {
 	statedExtreme int
 }
 
-// Generator produces and caches sites for a universe.
+// Generator produces and caches sites for a universe. The default
+// (eager) form materializes every site up front; the lazy form
+// (NewLazy) holds only the domain roster and failure assignments and
+// re-derives each site on demand — constant marginal memory per domain,
+// which is what lets the synthetic web scale to 100k–1M domains.
 type Generator struct {
 	seed  int64
 	sites map[string]*Site
 	order []string
+
+	// Lazy mode: instead of the sites map, keep one compact info entry
+	// per domain plus the (sparse) failure assignment; Site re-samples
+	// on demand, which is deterministic because sampling is a pure
+	// function of (seed, domain, failure class).
+	lazy     bool
+	info     map[string]siteInfo
+	failures map[string]FailureClass
+}
+
+// siteInfo is the per-domain roster entry retained in lazy mode.
+type siteInfo struct {
+	company string
+	sector  string
 }
 
 // New builds the generator for a deduplicated domain list.
@@ -197,14 +215,66 @@ func NewDefault() *Generator {
 	return New(Seed, russell.UniqueDomains(russell.Universe(Seed)))
 }
 
-// Site returns the site for a domain (nil if unknown).
-func (g *Generator) Site(domain string) *Site { return g.sites[domain] }
+// NewLazy builds a generator that derives sites on demand instead of
+// materializing the corpus: only the domain roster and the failure
+// assignment are retained, so memory is O(domains), not O(rendered
+// corpus). Two deliberate differences from the eager form, both
+// scale-only (the paper's default universe always uses New):
+//   - the failure plan is scaled proportionally from the paper's 2,892
+//     counts, with every §4 class kept represented so failure-mode
+//     diversity survives at any size;
+//   - the §5 retention-extreme pinning is skipped (it is a global pass
+//     over all sites, and the extremes are a paper-reproduction detail,
+//     not a scale property).
+func NewLazy(seed int64, domains []russell.DomainInfo) *Generator {
+	g := &Generator{
+		seed:     seed,
+		lazy:     true,
+		info:     make(map[string]siteInfo, len(domains)),
+		failures: map[string]FailureClass{},
+		order:    make([]string, 0, len(domains)),
+	}
+	for _, d := range domains {
+		g.info[d.Domain] = siteInfo{company: d.Companies[0].Name, sector: d.Sector}
+		g.order = append(g.order, d.Domain)
+	}
+	sort.Strings(g.order)
+	g.assignFailuresScaled()
+	return g
+}
 
-// Sites returns all sites in deterministic (domain-sorted) order.
+// Lazy reports whether the generator derives sites on demand.
+func (g *Generator) Lazy() bool { return g.lazy }
+
+// Site returns the site for a domain (nil if unknown). In lazy mode the
+// site is derived on each call — identical bytes every time, since
+// sampling is seeded per domain — and the caller owns the value.
+func (g *Generator) Site(domain string) *Site {
+	if !g.lazy {
+		return g.sites[domain]
+	}
+	inf, ok := g.info[domain]
+	if !ok {
+		return nil
+	}
+	s := &Site{
+		Domain:       domain,
+		Company:      inf.company,
+		Sector:       inf.sector,
+		SectorAbbrev: russell.Abbrev(inf.sector),
+		Failure:      g.failures[domain],
+	}
+	g.sample(s)
+	return s
+}
+
+// Sites returns all sites in deterministic (domain-sorted) order. In
+// lazy mode this materializes every site — intended for reports over
+// small universes, not for the streaming pipeline.
 func (g *Generator) Sites() []*Site {
 	out := make([]*Site, len(g.order))
 	for i, d := range g.order {
-		out[i] = g.sites[d]
+		out[i] = g.Site(d)
 	}
 	return out
 }
@@ -223,6 +293,28 @@ func (g *Generator) assignFailures() {
 	for _, fp := range failurePlan {
 		for n := 0; n < fp.count && i < len(perm); n++ {
 			g.sites[g.order[perm[i]]].Failure = fp.class
+			i++
+		}
+	}
+}
+
+// assignFailuresScaled is the lazy-mode failure assignment: the paper's
+// per-class counts scale proportionally with the universe, each class
+// floored at one domain once the universe is at least paper-sized, and
+// only failing domains are stored (the failure map stays ~12% of the
+// corpus).
+func (g *Generator) assignFailuresScaled() {
+	n := len(g.order)
+	rng := rand.New(rand.NewSource(g.seed ^ 0xFA11))
+	perm := rng.Perm(n)
+	i := 0
+	for _, fp := range failurePlan {
+		count := int(math.Round(float64(fp.count) * float64(n) / float64(russell.NumDomains)))
+		if count == 0 && n >= russell.NumDomains {
+			count = 1
+		}
+		for k := 0; k < count && i < n; k++ {
+			g.failures[g.order[perm[i]]] = fp.class
 			i++
 		}
 	}

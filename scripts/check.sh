@@ -15,8 +15,8 @@ go vet ./...
 echo "==> aipanvet ./... (repo-specific static analysis)"
 go run ./cmd/aipanvet ./...
 
-echo "==> go test -race (engine, core, obs, server)"
-go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/...
+echo "==> go test -race (engine, core, obs, server, store)"
+go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/...
 
 echo "==> go test ./..."
 go test ./...
@@ -70,5 +70,42 @@ echo "$metrics" | grep '^aipan_runtime_heap_alloc_bytes' >/dev/null \
 echo "$metrics" | grep '^aipan_slo_latency_burn_ratio' >/dev/null \
   || { echo "FAIL: aipan_slo_* gauges missing from /metrics"; exit 1; }
 echo "telemetry smoke: byte-identical exports, runtime + SLO gauges live"
+
+echo "==> streaming scale smoke (flat RSS + throughput parity, DESIGN.md §15)"
+# A paper-sized run sets the throughput baseline, then a scaled-universe
+# run through the binary segment store must hold peak RSS under the
+# ceiling and domains/sec within the parity fraction of the baseline —
+# the constant-memory contract of the streaming pipeline. Both rates
+# come from the same box in the same invocation, so the gate is
+# relative, not machine-dependent. Scale up the smoke (e.g.
+# AIPAN_SCALE_DOMAINS=100000) for the full acceptance run.
+scale_domains=${AIPAN_SCALE_DOMAINS:-6000}
+rss_ceiling=${AIPAN_SCALE_RSS_CEILING:-536870912}
+min_rate_frac=${AIPAN_SCALE_MIN_RATE_FRAC:-0.80}
+"$smokedir/aipan" run --store binary:4 --checkpoint "$smokedir/base-ck" \
+  --out "$smokedir/base.jsonl" --stats-out "$smokedir/base-stats.json" >/dev/null 2>&1
+"$smokedir/aipan" run --universe "$scale_domains" --limit "$scale_domains" \
+  --store binary:16 --checkpoint "$smokedir/scale-ck" \
+  --out "$smokedir/scale.jsonl" --stats-out "$smokedir/scale-stats.json" >/dev/null 2>&1
+stat_of() { sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1"; }
+base_rate=$(stat_of "$smokedir/base-stats.json" domains_per_sec)
+scale_rate=$(stat_of "$smokedir/scale-stats.json" domains_per_sec)
+scale_rss=$(stat_of "$smokedir/scale-stats.json" peak_rss_bytes)
+[ -n "$base_rate" ] && [ -n "$scale_rate" ] && [ -n "$scale_rss" ] \
+  || { echo "FAIL: could not parse run stats"; exit 1; }
+exported=$(wc -l < "$smokedir/scale.jsonl")
+if [ "$exported" -ne "$scale_domains" ]; then
+  echo "FAIL: scaled export holds $exported records, want $scale_domains"
+  exit 1
+fi
+if [ "$scale_rss" -gt "$rss_ceiling" ]; then
+  echo "FAIL: scaled run peaked at $scale_rss bytes RSS, above the $rss_ceiling ceiling"
+  exit 1
+fi
+if [ "$(awk -v a="$scale_rate" -v b="$base_rate" -v f="$min_rate_frac" 'BEGIN{print (a >= b*f) ? 1 : 0}')" != 1 ]; then
+  echo "FAIL: scaled run at $scale_rate domains/s, under ${min_rate_frac}x the $base_rate baseline"
+  exit 1
+fi
+echo "scale smoke: $scale_domains domains at $scale_rate/s (baseline $base_rate/s), peak RSS $scale_rss bytes (ceiling $rss_ceiling)"
 
 echo "OK: all tier-1 checks passed"
