@@ -41,6 +41,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the checker that produced it,
@@ -67,17 +68,26 @@ func (d Diagnostic) Key() string {
 }
 
 // Checker is one registered invariant. Run receives the loaded module
-// and reports findings through the pass.
+// and reports findings through the pass. Doc is the one-line summary
+// shown in -help; Rationale and Example feed `aipanvet -explain <name>`
+// (and the DESIGN.md §11 table), so baseline justifications can cite a
+// stable, versioned explanation of what each checker proves.
 type Checker struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Rationale string // one paragraph: what the checker proves and why it matters
+	Example   string // one representative finding, in canonical report form
+	Run       func(*Pass)
 }
 
-// Pass hands a checker the loaded module plus reporting plumbing.
+// Pass hands a checker the loaded module plus reporting plumbing. Graph
+// is the shared whole-module call graph, built once per Run and reused
+// by every interprocedural checker (ctxthread, nondetflow, lockorder,
+// leakcheck).
 type Pass struct {
 	Module *Module
 	Cfg    Config
+	Graph  *CallGraph
 	check  string
 	out    *[]Diagnostic
 }
@@ -116,6 +126,32 @@ type Config struct {
 	// (HTML tokenization through numbered-text rendering); the bytechurn
 	// checker applies only here.
 	BytePathPkgs []string
+	// TaintSinks are the functions whose arguments must never carry a
+	// value derived from the wall clock, the global math/rand source, or
+	// map-iteration order (the nondetflow checker). A sink matches any
+	// function or method with the given name declared in the given
+	// package — covering every store backend's Append and the interface
+	// method in one entry.
+	TaintSinks []TaintSink
+	// LockBlockers are module functions treated as blocking operations by
+	// the lockorder checker when called with a mutex held (store appends
+	// and scans: disk I/O under a caller's lock serializes the fleet),
+	// in addition to channel ops and the known-blocking stdlib set.
+	LockBlockers []PkgFunc
+}
+
+// TaintSink names one nondeterminism sink: any function or method
+// called Name declared in package Pkg, described as Desc in reports.
+type TaintSink struct {
+	Pkg  string
+	Name string
+	Desc string
+}
+
+// PkgFunc names a function or method by package path and name.
+type PkgFunc struct {
+	Pkg  string
+	Name string
 }
 
 // DefaultConfig is the repo's own scoping: the packages on the dataset
@@ -142,6 +178,25 @@ func DefaultConfig() Config {
 			"aipan/internal/textify",
 			"aipan/internal/segment",
 			"aipan/internal/taxonomy",
+		},
+		TaintSinks: []TaintSink{
+			// Dataset bytes: every store backend's Append (and the Store
+			// interface method) plus the event log's.
+			{Pkg: "aipan/internal/store", Name: "Append", Desc: "store record append"},
+			// Export writers: the byte-identity contract covers all of them.
+			{Pkg: "aipan/internal/store", Name: "SaveJSONL", Desc: "JSONL export"},
+			{Pkg: "aipan/internal/store", Name: "ExportAnnotationsCSV", Desc: "CSV export"},
+			{Pkg: "aipan/internal/store", Name: "ExportDomainsCSV", Desc: "CSV export"},
+			// Trace bytes: same-seed runs must export identical traces.
+			{Pkg: "aipan/internal/obs", Name: "ExportSpan", Desc: "trace export"},
+			// Serving: ETags and /v1 response bodies must be pure
+			// functions of (generation, request).
+			{Pkg: "aipan/internal/server", Name: "etagFor", Desc: "ETag computation"},
+			{Pkg: "aipan/internal/server", Name: "encodeResult", Desc: "/v1 response body"},
+		},
+		LockBlockers: []PkgFunc{
+			{Pkg: "aipan/internal/store", Name: "Append"},
+			{Pkg: "aipan/internal/store", Name: "Scan"},
 		},
 	}
 }
@@ -170,6 +225,9 @@ func Checkers() []*Checker {
 		errwrapChecker,
 		bytechurnChecker,
 		spanendChecker,
+		nondetflowChecker,
+		lockorderChecker,
+		leakcheckChecker,
 	}
 }
 
@@ -183,14 +241,37 @@ func CheckerByName(name string) *Checker {
 	return nil
 }
 
+// CheckerTiming is one checker's wall time within a Run, plus the
+// shared call-graph build as its own entry ("callgraph").
+type CheckerTiming struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
 // Run executes the given checkers over the module and returns the
 // findings in deterministic order (file, line, column, check, message),
 // independent of package load order and checker registration order.
 func Run(mod *Module, cfg Config, checkers []*Checker) []Diagnostic {
+	diags, _ := RunTimed(mod, cfg, checkers)
+	return diags
+}
+
+// RunTimed is Run plus per-checker wall times (registration order: the
+// shared call-graph build first, then one entry per checker). Timings
+// are observability, never part of the report bytes — the diagnostic
+// ordering contract is unchanged.
+func RunTimed(mod *Module, cfg Config, checkers []*Checker) ([]Diagnostic, []CheckerTiming) {
+	var timings []CheckerTiming
+	start := time.Now()
+	graph := mod.Graph()
+	timings = append(timings, CheckerTiming{Name: "callgraph", Duration: time.Since(start)})
+
 	var diags []Diagnostic
 	for _, c := range checkers {
-		pass := &Pass{Module: mod, Cfg: cfg, check: c.Name, out: &diags}
+		start = time.Now()
+		pass := &Pass{Module: mod, Cfg: cfg, Graph: graph, check: c.Name, out: &diags}
 		c.Run(pass)
+		timings = append(timings, CheckerTiming{Name: c.Name, Duration: time.Since(start)})
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -217,7 +298,7 @@ func Run(mod *Module, cfg Config, checkers []*Checker) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, timings
 }
 
 // funcObj resolves the called function object of a call expression, or

@@ -10,6 +10,11 @@ func fakeDiags() []Diagnostic {
 		{File: "internal/a/a.go", Line: 10, Check: "determinism", Message: "call to time.Now in deterministic package a"},
 		{File: "internal/b/b.go", Line: 3, Check: "errwrap", Message: "error return of Close silently discarded"},
 		{File: "internal/b/b.go", Line: 9, Check: "errwrap", Message: "error return of Close silently discarded"},
+		// Two interprocedural checkers reporting on the same line of the
+		// same file: distinct keys, independently baselineable.
+		{File: "internal/d/d.go", Line: 7, Check: "nondetflow", Message: "value derived from time.Now flows into store record append via save"},
+		{File: "internal/d/d.go", Line: 7, Check: "lockorder", Message: "lock (S).mu held across call to save (Append (store I/O))"},
+		{File: "internal/e/e.go", Line: 4, Check: "leakcheck", Message: "goroutine has no provable termination path (needs a ctx.Done/ctx.Err gate, a closed-channel receive, a channel range, or a finite body)"},
 	}
 }
 
@@ -25,10 +30,11 @@ func TestBaselineRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseBaseline(FormatBaseline(...)): %v", err)
 	}
-	// Two distinct keys: the duplicated Close finding collapses to one
-	// entry (one decision, not two).
-	if len(entries) != 2 {
-		t.Fatalf("got %d entries, want 2: %+v", len(entries), entries)
+	// Distinct keys: the duplicated Close finding collapses to one entry
+	// (one decision, not two), while the same-line nondetflow/lockorder
+	// pair stays two entries — the check name is part of the key.
+	if len(entries) != 5 {
+		t.Fatalf("got %d entries, want 5: %+v", len(entries), entries)
 	}
 
 	active, stale := ApplyBaseline(entries, diags)
@@ -44,6 +50,22 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	if len(stale) != 1 || !strings.Contains(stale[0].Key, "determinism") {
 		t.Fatalf("want the determinism entry stale, got %+v", stale)
+	}
+
+	// Expire half of a same-line pair: fixing the lockorder finding while
+	// the nondetflow one remains must stale exactly the lockorder entry.
+	var sansLockorder []Diagnostic
+	for _, d := range diags {
+		if d.Check != "lockorder" {
+			sansLockorder = append(sansLockorder, d)
+		}
+	}
+	active, stale = ApplyBaseline(entries, sansLockorder)
+	if len(active) != 0 {
+		t.Fatalf("no new findings expected, got %v", active)
+	}
+	if len(stale) != 1 || stale[0].Check() != "lockorder" {
+		t.Fatalf("want exactly the lockorder entry stale, got %+v", stale)
 	}
 
 	// Regress: a brand-new finding is active regardless of the baseline.

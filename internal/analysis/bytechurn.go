@@ -28,7 +28,13 @@ import (
 var bytechurnChecker = &Checker{
 	Name: "bytechurn",
 	Doc:  "no string/[]byte copy conversions or strings case folding inside hot byte-path functions",
-	Run:  runBytechurn,
+	Rationale: "The per-document byte path (htmlx → textify → segment → taxonomy) runs " +
+		"millions of times per corpus and was tuned to near-zero allocations with pooled " +
+		"buffers; one casual string([]byte) round-trip or strings.ToLower in a hot function " +
+		"reintroduces a per-document copy that the funnel allocation ceiling then catches " +
+		"only after the regression lands. This checker catches it at vet time instead.",
+	Example: `internal/textify/textify.go:204: [bytechurn] string([]byte) conversion copies the payload on the hot byte path of aipan/internal/textify (keep the []byte, or baseline the owned-buffer hand-off)`,
+	Run:     runBytechurn,
 }
 
 func runBytechurn(p *Pass) {

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared interprocedural substrate: one whole-module
+// call graph, built once per Run and reused by every checker that needs
+// to reason across function boundaries (ctxthread, nondetflow,
+// lockorder, leakcheck). Building it once is what keeps the analyzer's
+// wall time flat as interprocedural checkers accumulate: the expensive
+// parts — parsing, type-checking, and the per-function AST walk that
+// extracts call edges — happen exactly once per module load.
+//
+// The graph is position-stable by construction: node order is sorted by
+// (package path, file name, declaration offset), never by package load
+// order, so every fixpoint that iterates Order produces identical
+// summaries — and therefore identical diagnostic messages — regardless
+// of how the module's packages were enumerated.
+
+// CallSite is one static call edge out of a function: the resolved
+// callee plus where the call sits relative to concurrency constructs.
+// Checkers choose which sites count: ctxthread ignores sites inside go
+// statements and function literals (spawned or deferred work does not
+// block the spawner), while the taint engine follows every site.
+type CallSite struct {
+	Callee *types.Func
+	Call   *ast.CallExpr
+	InGo   bool // inside a go statement's subtree
+	InLit  bool // inside a nested function literal
+}
+
+// FuncNode is the per-function call-graph node: its declaration, its
+// resolved module-internal call sites, and the function's direct
+// blocking fact (the ctxthread seed, computed with identical semantics
+// to the pre-graph checker: goroutine and closure bodies excluded,
+// select-with-default nonblocking, comm-clause channel ops attributed
+// to their select).
+type FuncNode struct {
+	Obj   *types.Func
+	Pkg   *Package
+	Decl  *ast.FuncDecl
+	Sites []CallSite
+
+	// BlockReason is the function's *direct* blocking reason outside go
+	// statements and function literals ("" if none): a channel op, a
+	// select without default, or a call into the known-blocking stdlib
+	// set. Transitive blocking lives in CallGraph.Blocked.
+	BlockReason string
+}
+
+// CallGraph is the whole-module graph plus lazily computed shared
+// fixpoints. One instance is built per Run (cached on the Module) and
+// handed to every checker through the Pass.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+	// Order holds every node's *types.Func sorted by (package path,
+	// file name, declaration offset) — the canonical iteration order for
+	// all fixpoints, invariant under package load order.
+	Order []*types.Func
+
+	// ClosedChans holds every types.Object (variable or struct field)
+	// that some close(x) call in the module closes. leakcheck uses it to
+	// prove a goroutine's receive can terminate.
+	ClosedChans map[types.Object]bool
+
+	blocked map[*types.Func]string // lazy: transitive blocking reasons
+}
+
+// NewCallGraph builds the graph over every function declaration in the
+// module. The walk is a single pass per function body.
+func NewCallGraph(mod *Module) *CallGraph {
+	g := &CallGraph{
+		Nodes:       map[*types.Func]*FuncNode{},
+		ClosedChans: map[types.Object]bool{},
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Obj: obj, Pkg: pkg, Decl: fd}
+				g.buildNode(mod, node)
+				g.Nodes[obj] = node
+				g.Order = append(g.Order, obj)
+			}
+		}
+	}
+	sort.Slice(g.Order, func(i, j int) bool {
+		a, b := g.Nodes[g.Order[i]], g.Nodes[g.Order[j]]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		pa := mod.Fset.Position(a.Decl.Pos())
+		pb := mod.Fset.Position(b.Decl.Pos())
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		return pa.Offset < pb.Offset
+	})
+	return g
+}
+
+// buildNode extracts one function's call sites, direct blocking fact,
+// and module-wide close() registrations.
+func (g *CallGraph) buildNode(mod *Module, node *FuncNode) {
+	pkg, body := node.Pkg, node.Decl.Body
+	inComm := selectCommOps(body)
+	walkFlagged(body, false, false, func(n ast.Node, inGo, inLit bool) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inGo && !inLit && !inComm[n] {
+				node.block("channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !inGo && !inLit && !inComm[n] {
+				node.block("channel receive")
+			}
+		case *ast.SelectStmt:
+			if !inGo && !inLit && !selectHasDefault(n) {
+				node.block("select")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+					if obj := chanObj(pkg, n.Args[0]); obj != nil {
+						g.ClosedChans[obj] = true
+					}
+				}
+			}
+			callee := funcObj(pkg.Info, n)
+			if callee == nil {
+				return
+			}
+			if !inGo && !inLit {
+				if why, ok := blockingCalls[callee.FullName()]; ok {
+					node.block(why)
+				} else if pkgPathOf(callee) == "net" && strings.HasPrefix(callee.Name(), "Dial") {
+					node.block("net." + callee.Name())
+				}
+			}
+			if strings.HasPrefix(pkgPathOf(callee), mod.Path) {
+				node.Sites = append(node.Sites,
+					CallSite{Callee: callee, Call: n, InGo: inGo, InLit: inLit})
+			}
+		}
+	})
+}
+
+// block records the first direct blocking reason (matching the
+// pre-graph ctxthread semantics: first fact in walk order wins).
+func (n *FuncNode) block(why string) {
+	if n.BlockReason == "" {
+		n.BlockReason = why
+	}
+}
+
+// Blocked computes (once) the transitive blocking fixpoint: a function
+// blocks if it blocks directly or calls — outside go statements and
+// function literals — a module function that blocks. The returned map
+// holds a human-readable reason chain per blocking function, identical
+// in form to the pre-graph ctxthread reasons ("calls X (why)").
+func (g *CallGraph) Blocked() map[*types.Func]string {
+	if g.blocked != nil {
+		return g.blocked
+	}
+	blocked := map[*types.Func]string{}
+	for _, obj := range g.Order {
+		if r := g.Nodes[obj].BlockReason; r != "" {
+			blocked[obj] = r
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range g.Order {
+			if _, done := blocked[obj]; done {
+				continue
+			}
+			for _, site := range g.Nodes[obj].Sites {
+				if site.InGo || site.InLit {
+					continue
+				}
+				if why, ok := blocked[site.Callee]; ok {
+					blocked[obj] = "calls " + site.Callee.Name() + " (" + why + ")"
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.blocked = blocked
+	return blocked
+}
+
+// walkFlagged visits every node under root, tracking whether the node
+// sits inside a go statement's subtree or a nested function literal.
+// Both subtree kinds are still visited (unlike ast.Inspect pruning) —
+// checkers decide per-site what the flags mean.
+func walkFlagged(root ast.Node, inGo, inLit bool, visit func(n ast.Node, inGo, inLit bool)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n != root {
+			switch nn := n.(type) {
+			case *ast.GoStmt:
+				visit(n, inGo, inLit)
+				walkFlagged(nn.Call, true, inLit, visit)
+				return false
+			case *ast.FuncLit:
+				visit(n, inGo, inLit)
+				walkFlagged(nn.Body, inGo, true, visit)
+				return false
+			}
+		}
+		visit(n, inGo, inLit)
+		return true
+	})
+}
+
+// chanObj resolves the object a close(x) call closes: a plain variable
+// or, for close(s.done), the struct field — so a goroutine receiving
+// from the same variable or field is provably gated on channel close.
+func chanObj(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // DefaultBaselineName is the committed baseline file at the module root.
@@ -21,6 +22,8 @@ type VetFlags struct {
 	Baseline      string // baseline path ("" = <root>/aipanvet.baseline if present, "none" = ignore)
 	WriteBaseline string // regenerate the baseline skeleton here and exit
 	Checks        string // comma-separated checker subset ("" = all)
+	Timing        bool   // print per-checker wall times to stderr
+	Explain       string // print one checker's rationale and exit (no module load)
 }
 
 // Validate rejects nonsensical flag combinations up front, in the style
@@ -39,7 +42,21 @@ func (vf *VetFlags) Validate() error {
 			}
 		}
 	}
+	if vf.Explain != "" && CheckerByName(vf.Explain) == nil {
+		return fmt.Errorf("-explain: unknown checker %q (have %s)", vf.Explain, checkerNames())
+	}
 	return nil
+}
+
+// Explain prints one checker's one-line doc, rationale paragraph, and a
+// representative finding — the stable reference a baseline justification
+// can cite. It needs no module load.
+func Explain(w io.Writer, c *Checker) {
+	fmt.Fprintf(w, "%s — %s\n\n", c.Name, c.Doc)
+	fmt.Fprintln(w, c.Rationale)
+	if c.Example != "" {
+		fmt.Fprintf(w, "\nExample finding:\n  %s\n", c.Example)
+	}
 }
 
 func checkerNames() string {
@@ -86,6 +103,8 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&vf.WriteBaseline, "write-baseline", "",
 		"write a baseline skeleton for the current findings to this path and exit")
 	fs.StringVar(&vf.Checks, "checks", "", "comma-separated checker subset (default all: "+checkerNames()+")")
+	fs.BoolVar(&vf.Timing, "timing", false, "print per-checker wall times (and the shared call-graph build) to stderr")
+	fs.StringVar(&vf.Explain, "explain", "", "print the named checker's rationale and a representative finding, then exit")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: aipanvet [flags] [./...]")
 		fmt.Fprintln(stderr, "\nCheckers:")
@@ -110,6 +129,10 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "aipanvet:", err)
 		return 2
 	}
+	if vf.Explain != "" {
+		Explain(stdout, CheckerByName(vf.Explain))
+		return 0
+	}
 
 	root, err := FindModuleRoot(vf.Dir)
 	if err != nil {
@@ -121,7 +144,15 @@ func Main(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "aipanvet:", err)
 		return 2
 	}
-	diags := Run(mod, DefaultConfig(), vf.selected())
+	diags, timings := RunTimed(mod, DefaultConfig(), vf.selected())
+	if vf.Timing {
+		var total time.Duration
+		for _, t := range timings {
+			fmt.Fprintf(stderr, "aipanvet: %-12s %v\n", t.Name, t.Duration.Round(time.Microsecond))
+			total += t.Duration
+		}
+		fmt.Fprintf(stderr, "aipanvet: %-12s %v\n", "total", total.Round(time.Microsecond))
+	}
 
 	if vf.WriteBaseline != "" {
 		if err := os.WriteFile(vf.WriteBaseline, FormatBaseline(diags), 0o644); err != nil {

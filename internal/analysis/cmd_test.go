@@ -19,6 +19,9 @@ func TestVetFlagsValidate(t *testing.T) {
 		{"one checker", VetFlags{Dir: ".", Checks: "determinism"}, ""},
 		{"checker subset with spaces", VetFlags{Dir: ".", Checks: "goroutine, errwrap"}, ""},
 		{"unknown checker", VetFlags{Dir: ".", Checks: "determinism,spellcheck"}, "unknown checker"},
+		{"explain known", VetFlags{Dir: ".", Explain: "nondetflow"}, ""},
+		{"explain unknown", VetFlags{Dir: ".", Explain: "spellcheck"}, "unknown checker"},
+		{"timing", VetFlags{Dir: ".", Timing: true}, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -49,6 +52,7 @@ func TestMainUsageErrors(t *testing.T) {
 		{"package pattern", []string{"./internal/core"}, "unsupported package pattern"},
 		{"json with write-baseline", []string{"-json", "-write-baseline", "b.txt", "./..."}, "mutually exclusive"},
 		{"unknown checker", []string{"-checks", "nope", "./..."}, "unknown checker"},
+		{"explain unknown checker", []string{"-explain", "nope"}, "unknown checker"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -73,5 +77,19 @@ func TestVetSelectedResolvesSubset(t *testing.T) {
 	}
 	if all := (&VetFlags{Dir: "."}).selected(); len(all) != len(Checkers()) {
 		t.Fatalf("empty -checks selected %d checkers, want all %d", len(all), len(Checkers()))
+	}
+}
+
+// TestMainExplain: -explain prints the checker's rationale and example
+// without loading the module, and exits 0.
+func TestMainExplain(t *testing.T) {
+	var out, errBuf strings.Builder
+	if code := Main([]string{"-explain", "lockorder"}, &out, &errBuf); code != 0 {
+		t.Fatalf("Main(-explain lockorder) = %d, want 0 (stderr: %s)", code, errBuf.String())
+	}
+	for _, want := range []string{"lockorder — ", lockorderChecker.Rationale, "[lockorder]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-explain output missing %q:\n%s", want, out.String())
+		}
 	}
 }

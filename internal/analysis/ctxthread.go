@@ -3,45 +3,51 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
-	"strings"
 )
 
 // ctxthreadChecker keeps corpus-scale runs cancellable: an exported
 // function that transitively performs network I/O, sleeps, or blocks on
 // a channel must take a context.Context as its first parameter, so a
-// caller can always bound it. The call graph is built over the whole
-// module from static call edges (interface dispatch is invisible to the
-// checker — the repo's interfaces already carry ctx in their method
-// signatures). Goroutine bodies are excluded: `go f()` returns
+// caller can always bound it. Blocking facts and call edges come from
+// the shared module call graph (one build per run, reused by every
+// interprocedural checker); interface dispatch is invisible to the
+// graph — the repo's interfaces already carry ctx in their method
+// signatures. Goroutine bodies are excluded: `go f()` returns
 // immediately in the spawning function.
 var ctxthreadChecker = &Checker{
 	Name: "ctxthread",
 	Doc:  "exported functions that transitively block must take context.Context first",
-	Run:  runCtxthread,
+	Rationale: "A function that can stall on external state — a channel peer, a network " +
+		"round trip, a sleep — must be boundable by its caller, or one wedged stage pins an " +
+		"entire corpus run. The call graph's blocking fixpoint finds transitive blockers " +
+		"(a function is blocking if it blocks directly or calls a module function that does), " +
+		"so the ctx-first convention cannot be laundered through a helper.",
+	Example: `internal/engine/limiter.go:42: [ctxthread] exported Release blocks (channel receive) but does not take context.Context as its first parameter`,
+	Run:     runCtxthread,
 }
 
 // blockingCalls maps a types.Func full name to a short reason. The set
 // is deliberately conservative: only primitives that can stall for
 // unbounded time on external state.
 var blockingCalls = map[string]string{
-	"time.Sleep":                                "time.Sleep",
-	"net/http.Get":                              "http.Get",
-	"net/http.Head":                             "http.Head",
-	"net/http.Post":                             "http.Post",
-	"net/http.PostForm":                         "http.PostForm",
-	"net/http.ListenAndServe":                   "http.ListenAndServe",
-	"net/http.ListenAndServeTLS":                "http.ListenAndServeTLS",
-	"net/http.Serve":                            "http.Serve",
-	"net/http.ServeTLS":                         "http.ServeTLS",
-	"(*net/http.Client).Do":                     "http Client.Do",
-	"(*net/http.Client).Get":                    "http Client.Get",
-	"(*net/http.Client).Head":                   "http Client.Head",
-	"(*net/http.Client).Post":                   "http Client.Post",
-	"(*net/http.Client).PostForm":               "http Client.PostForm",
-	"(*net/http.Server).ListenAndServe":         "http Server.ListenAndServe",
-	"(*net/http.Server).ListenAndServeTLS":      "http Server.ListenAndServeTLS",
-	"(*net/http.Server).Serve":                  "http Server.Serve",
-	"(*net/http.Server).ServeTLS":               "http Server.ServeTLS",
+	"time.Sleep":                           "time.Sleep",
+	"net/http.Get":                         "http.Get",
+	"net/http.Head":                        "http.Head",
+	"net/http.Post":                        "http.Post",
+	"net/http.PostForm":                    "http.PostForm",
+	"net/http.ListenAndServe":              "http.ListenAndServe",
+	"net/http.ListenAndServeTLS":           "http.ListenAndServeTLS",
+	"net/http.Serve":                       "http.Serve",
+	"net/http.ServeTLS":                    "http.ServeTLS",
+	"(*net/http.Client).Do":                "http Client.Do",
+	"(*net/http.Client).Get":               "http Client.Get",
+	"(*net/http.Client).Head":              "http Client.Head",
+	"(*net/http.Client).Post":              "http Client.Post",
+	"(*net/http.Client).PostForm":          "http Client.PostForm",
+	"(*net/http.Server).ListenAndServe":    "http Server.ListenAndServe",
+	"(*net/http.Server).ListenAndServeTLS": "http Server.ListenAndServeTLS",
+	"(*net/http.Server).Serve":             "http Server.Serve",
+	"(*net/http.Server).ServeTLS":          "http Server.ServeTLS",
 }
 
 // fixedSignatures are interface-mandated method names whose signatures
@@ -49,133 +55,26 @@ var blockingCalls = map[string]string{
 // governs them.
 var fixedSignatures = map[string]bool{"ServeHTTP": true}
 
-// funcInfo is the per-function call-graph node.
-type funcInfo struct {
-	pkg     *Package
-	decl    *ast.FuncDecl
-	blocked bool
-	reason  string
-	callees []*types.Func
-}
-
 func runCtxthread(p *Pass) {
-	funcs := map[*types.Func]*funcInfo{}
-	// order carries declaration order (packages are sorted by path,
-	// files by name), so fixpoint propagation — and therefore the
-	// "calls X (why)" reason chains — is deterministic.
-	var order []*types.Func
-
-	// Pass 1: per-function direct blocking facts and static call edges.
-	for _, pkg := range p.Module.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				fi := &funcInfo{pkg: pkg, decl: fd}
-				funcs[obj] = fi
-				order = append(order, obj)
-				inComm := selectCommOps(fd.Body)
-				inspectOutsideGo(fd.Body, func(n ast.Node) {
-					switch n := n.(type) {
-					case *ast.SendStmt:
-						if !inComm[n] {
-							fi.block("channel send")
-						}
-					case *ast.UnaryExpr:
-						if n.Op.String() == "<-" && !inComm[n] {
-							fi.block("channel receive")
-						}
-					case *ast.SelectStmt:
-						if !selectHasDefault(n) {
-							fi.block("select")
-						}
-					case *ast.CallExpr:
-						callee := funcObj(pkg.Info, n)
-						if callee == nil {
-							return
-						}
-						if why, ok := blockingCalls[callee.FullName()]; ok {
-							fi.block(why)
-						} else if pkgPathOf(callee) == "net" &&
-							strings.HasPrefix(callee.Name(), "Dial") {
-							fi.block("net." + callee.Name())
-						} else if strings.HasPrefix(pkgPathOf(callee), p.Module.Path) {
-							fi.callees = append(fi.callees, callee)
-						}
-					}
-				})
-			}
-		}
-	}
-
-	// Pass 2: propagate blocking-ness over call edges to a fixpoint.
-	for changed := true; changed; {
-		changed = false
-		for _, obj := range order {
-			fi := funcs[obj]
-			if fi.blocked {
-				continue
-			}
-			for _, callee := range fi.callees {
-				if cfi := funcs[callee]; cfi != nil && cfi.blocked {
-					fi.blocked = true
-					fi.reason = "calls " + callee.Name() + " (" + cfi.reason + ")"
-					changed = true
-					break
-				}
-			}
-		}
-	}
-
-	// Pass 3: report exported blocking functions without a leading ctx.
-	for _, obj := range order {
-		fi := funcs[obj]
-		if !fi.blocked || !fi.decl.Name.IsExported() || !receiverExported(fi.decl) {
+	g := p.Graph
+	blocked := g.Blocked()
+	for _, obj := range g.Order {
+		node := g.Nodes[obj]
+		reason, ok := blocked[obj]
+		if !ok || !node.Decl.Name.IsExported() || !receiverExported(node.Decl) {
 			continue
 		}
-		if fixedSignatures[fi.decl.Name.Name] {
+		if fixedSignatures[node.Decl.Name.Name] {
 			continue
 		}
 		sig := obj.Type().(*types.Signature)
 		if firstParamIsContext(sig) {
 			continue
 		}
-		p.Reportf(fi.decl.Pos(),
+		p.Reportf(node.Decl.Pos(),
 			"exported %s blocks (%s) but does not take context.Context as its first parameter",
-			obj.Name(), fi.reason)
+			obj.Name(), reason)
 	}
-}
-
-// block records the first direct blocking reason.
-func (fi *funcInfo) block(why string) {
-	if !fi.blocked {
-		fi.blocked = true
-		fi.reason = why
-	}
-}
-
-// inspectOutsideGo walks body, skipping the subtrees of go statements
-// (spawned work does not block the spawner) and of function literals
-// (a closure blocks whoever eventually invokes it — typically an engine
-// stage, whose Map caller holds the ctx — not the function that merely
-// constructs and registers it).
-func inspectOutsideGo(body *ast.BlockStmt, visit func(ast.Node)) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.GoStmt, *ast.FuncLit:
-			return false
-		}
-		if n != nil {
-			visit(n)
-		}
-		return true
-	})
 }
 
 // selectCommOps collects the nodes inside select comm clauses (the

@@ -25,7 +25,14 @@ import (
 var determinismChecker = &Checker{
 	Name: "determinism",
 	Doc:  "no wall clock, global rand, or unsorted map iteration in dataset-producing packages",
-	Run:  runDeterminism,
+	Rationale: "The reproduction's core guarantee is byte-identical dataset output for a " +
+		"given seed, across worker counts and store backends. Any wall-clock read, draw from " +
+		"the unseeded global math/rand source, or map-iteration-ordered output inside the " +
+		"dataset-producing packages breaks that silently. This checker bans the sources " +
+		"syntactically inside Config.DeterministicPkgs; nondetflow complements it by tracking " +
+		"derived values through call chains module-wide.",
+	Example: `internal/core/pipeline.go:101: [determinism] time.Now is nondeterministic; inject obs.Clock or derive from the seed`,
+	Run:     runDeterminism,
 }
 
 // globalRandOK are the math/rand package-level functions that construct

@@ -19,7 +19,12 @@ import (
 var errwrapChecker = &Checker{
 	Name: "errwrap",
 	Doc:  "fmt.Errorf with an error operand uses %w; no silently discarded error returns",
-	Run:  runErrwrap,
+	Rationale: "Corpus runs triage failures by errors.Is/As walking wrapped chains; a %v " +
+		"where %w belongs severs the chain and turns a typed, retryable fetch error into an " +
+		"opaque string. Discarded error returns are worse: a store append that failed " +
+		"silently is a dataset with holes no checksum will explain.",
+	Example: `internal/crawler/fetch.go:131: [errwrap] fmt.Errorf formats an error with %v; use %w so errors.Is/As see the cause`,
+	Run:     runErrwrap,
 }
 
 // discardOK lists callees whose error returns are conventionally

@@ -21,7 +21,7 @@ var (
 	tdErr  error
 )
 
-func loadRepo(t *testing.T) *Module {
+func loadRepo(t testing.TB) *Module {
 	t.Helper()
 	modOnce.Do(func() {
 		root, err := FindModuleRoot(".")
@@ -44,7 +44,7 @@ func loadTestdata(t *testing.T) map[string]*Package {
 	mod := loadRepo(t)
 	tdOnce.Do(func() {
 		tdPkgs = map[string]*Package{}
-		for _, name := range []string{"det", "gor", "ctx", "met", "wrap", "churn", "spanend"} {
+		for _, name := range []string{"det", "gor", "ctx", "met", "wrap", "churn", "spanend", "nondet", "lock", "leak"} {
 			pkg, err := mod.LoadPackageDir(filepath.Join("testdata", "src", name), name)
 			if err != nil {
 				tdErr = fmt.Errorf("loading testdata %s: %w", name, err)
@@ -189,6 +189,90 @@ func TestBytechurnOutOfScope(t *testing.T) {
 	}
 }
 
+func TestNondetflowGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TaintSinks = []TaintSink{{Pkg: "nondet", Name: "Sink", Desc: "test sink"}}
+	runGolden(t, "nondetflow", "nondet", cfg)
+}
+
+// TestNondetflowNoSinkSilent: with no sink configured in the corpus
+// package, the taint fixpoint still runs but nothing is reportable.
+func TestNondetflowNoSinkSilent(t *testing.T) {
+	mod := loadRepo(t)
+	view := testModule(mod, loadTestdata(t)["nondet"])
+	cfg := DefaultConfig() // sinks name aipan/... packages, not nondet
+	if diags := Run(view, cfg, []*Checker{CheckerByName("nondetflow")}); len(diags) != 0 {
+		t.Fatalf("sink-free package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestLockorderGolden(t *testing.T) {
+	runGolden(t, "lockorder", "lock", DefaultConfig())
+}
+
+func TestLeakcheckGolden(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GoroutinePkgs = append(cfg.GoroutinePkgs, "leak")
+	runGolden(t, "leakcheck", "leak", cfg)
+}
+
+// TestLeakcheckOutOfScope: leakcheck only governs the packages allowed
+// to spawn goroutines at all; elsewhere the goroutine checker owns the
+// finding.
+func TestLeakcheckOutOfScope(t *testing.T) {
+	mod := loadRepo(t)
+	view := testModule(mod, loadTestdata(t)["leak"])
+	cfg := DefaultConfig() // leak is not in GoroutinePkgs
+	if diags := Run(view, cfg, []*Checker{CheckerByName("leakcheck")}); len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestTwoCheckersSameLine: determinism (syntactic source) and nondetflow
+// (interprocedural sink flow) both fire on the single line that reads
+// the clock and feeds the sink — and the merged report is byte-identical
+// whichever order the two checkers run in.
+func TestTwoCheckersSameLine(t *testing.T) {
+	mod := loadRepo(t)
+	pkg := loadTestdata(t)["nondet"]
+	cfg := DefaultConfig()
+	cfg.DeterministicPkgs = []string{"nondet"}
+	cfg.TaintSinks = []TaintSink{{Pkg: "nondet", Name: "Sink", Desc: "test sink"}}
+
+	render := func(ds []Diagnostic) string {
+		var b strings.Builder
+		for _, d := range ds {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	fwd := Run(testModule(mod, pkg), cfg,
+		[]*Checker{CheckerByName("determinism"), CheckerByName("nondetflow")})
+	rev := Run(testModule(mod, pkg), cfg,
+		[]*Checker{CheckerByName("nondetflow"), CheckerByName("determinism")})
+	if render(fwd) != render(rev) {
+		t.Errorf("checker order changed the report:\nfwd:\n%s\nrev:\n%s", render(fwd), render(rev))
+	}
+
+	byLine := map[int]map[string]bool{}
+	for _, d := range fwd {
+		if byLine[d.Line] == nil {
+			byLine[d.Line] = map[string]bool{}
+		}
+		byLine[d.Line][d.Check] = true
+	}
+	both := 0
+	for _, checks := range byLine {
+		if checks["determinism"] && checks["nondetflow"] {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Fatalf("no line carries both determinism and nondetflow findings; diags:\n%s", render(fwd))
+	}
+}
+
 // TestDiagnosticOrderIsLoadOrderInvariant runs the full registry over
 // the module with the package list reversed and rotated; the report
 // must be byte-identical — diagnostic ordering is a sort guarantee, not
@@ -212,6 +296,18 @@ func TestDiagnosticOrderIsLoadOrderInvariant(t *testing.T) {
 		if got := render(Run(shuffled, DefaultConfig(), Checkers())); got != want {
 			t.Errorf("permutation %d changed the report:\nwant:\n%s\ngot:\n%s", i, want, got)
 		}
+	}
+
+	// Checker registration order must not matter either: the new
+	// interprocedural checkers share one call graph, and their fixpoint
+	// summaries must not leak state between orderings.
+	revCheckers := make([]*Checker, 0, len(Checkers()))
+	for _, c := range Checkers() {
+		revCheckers = append([]*Checker{c}, revCheckers...)
+	}
+	fresh := &Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: reversed(mod.Pkgs)}
+	if got := render(Run(fresh, DefaultConfig(), revCheckers)); got != want {
+		t.Errorf("reversed checker order changed the report:\nwant:\n%s\ngot:\n%s", want, got)
 	}
 }
 
@@ -239,6 +335,12 @@ func TestCheckerDocs(t *testing.T) {
 		if c.Name == "" || c.Doc == "" || c.Run == nil {
 			t.Errorf("checker %+v is missing name, doc, or run", c)
 		}
+		if c.Rationale == "" || c.Example == "" {
+			t.Errorf("checker %s is missing the rationale or example that -explain prints", c.Name)
+		}
+		if c.Example != "" && !strings.Contains(c.Example, "["+c.Name+"]") {
+			t.Errorf("checker %s: example %q is not in canonical report form", c.Name, c.Example)
+		}
 		if seen[c.Name] {
 			t.Errorf("duplicate checker name %q", c.Name)
 		}
@@ -249,5 +351,21 @@ func TestCheckerDocs(t *testing.T) {
 	}
 	if CheckerByName("no-such-checker") != nil {
 		t.Error("CheckerByName of unknown name should be nil")
+	}
+}
+
+// BenchmarkAipanvet measures one full analysis pass (call-graph build
+// plus every checker) over the already loaded module — the marginal
+// cost of a vet run once parsing and type-checking are paid.
+func BenchmarkAipanvet(b *testing.B) {
+	mod := loadRepo(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh view forces the graph rebuild, so the benchmark covers
+		// the shared substrate, not just the checker walks.
+		view := &Module{Root: mod.Root, Path: mod.Path, Fset: mod.Fset, Pkgs: mod.Pkgs}
+		if diags, _ := RunTimed(view, DefaultConfig(), Checkers()); len(diags) == 0 {
+			b.Fatal("expected baseline findings from the repo module")
+		}
 	}
 }

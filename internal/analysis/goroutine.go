@@ -12,7 +12,13 @@ import "go/ast"
 var goroutineChecker = &Checker{
 	Name: "goroutine",
 	Doc:  "go statements only in internal/engine and internal/obs; use engine.Stage/Limiter elsewhere",
-	Run:  runGoroutine,
+	Rationale: "Ordered delivery, bounded concurrency, and cancellation drain are audited " +
+		"properties of internal/engine's pools — a naked go statement anywhere else creates " +
+		"concurrency those audits never covered. Confining spawns to engine and obs means " +
+		"every goroutine in the module either is part of the audited machinery or sits next " +
+		"to it where leakcheck proves its termination path.",
+	Example: `internal/crawler/crawler.go:88: [goroutine] go statement outside aipan/internal/engine (use engine.Stage or engine.Limiter)`,
+	Run:     runGoroutine,
 }
 
 func runGoroutine(p *Pass) {

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// leakcheckChecker proves every goroutine spawned in the concurrency
+// packages (Config.GoroutinePkgs: engine and obs — the only packages the
+// goroutine checker lets spawn at all) has a termination path the
+// analyzer can actually see. A goroutine is accepted when its body is:
+//
+//   - ctx-gated: it consults ctx.Done() or ctx.Err() somewhere, so
+//     cancellation reaches it;
+//   - closed-channel-gated: it receives from a channel variable or
+//     struct field that some close(x) in the module provably closes
+//     (the obs runtime sampler's `done` channel);
+//   - stage-drained: it ranges over a channel — the engine idiom where
+//     the upstream stage closes its output and the worker drains to
+//     exit; or
+//   - finite: no loops and no blocking operations, so it runs to
+//     completion unconditionally.
+//
+// Anything else — a bare for {}, a receive on a channel nothing closes,
+// a spawned function the graph cannot resolve — is a leak the
+// cancellation-drain audit cannot vouch for, and is reported at the go
+// statement.
+var leakcheckChecker = &Checker{
+	Name: "leakcheck",
+	Doc:  "every goroutine in engine/obs must have a provable termination path (ctx gate, closed channel, stage drain, or finite body)",
+	Rationale: "A goroutine with no reachable exit outlives its run: it pins memory, holds " +
+		"channel peers, and turns graceful shutdown into a hang that only appears at corpus " +
+		"scale. Restricting spawns to engine/obs (the goroutine checker) is not enough — the " +
+		"spawned body must also provably stop. The checker accepts exactly the audited exit " +
+		"idioms: a ctx.Done/ctx.Err gate, a receive from a channel the module closes, a " +
+		"range over a stage channel drained by upstream close, or a finite straight-line body.",
+	Example: `internal/obs/http.go:45: [leakcheck] goroutine has no provable termination path (needs a ctx.Done/ctx.Err gate, a closed-channel receive, a channel range, or a finite body)`,
+	Run:     runLeakcheck,
+}
+
+func runLeakcheck(p *Pass) {
+	g := p.Graph
+	for _, obj := range g.Order {
+		node := g.Nodes[obj]
+		if !p.Cfg.goroutineOK(node.Pkg.Path) {
+			continue
+		}
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(p, node.Pkg, gs)
+			return true
+		})
+	}
+}
+
+// checkGoStmt resolves the spawned body and tests the termination gates.
+func checkGoStmt(p *Pass, pkg *Package, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := funcObj(pkg.Info, gs.Call); fn != nil {
+		if node := p.Graph.Nodes[fn]; node != nil {
+			body = node.Decl.Body
+		}
+	}
+	if body == nil {
+		// A function value or external callee: nothing to prove against.
+		p.Reportf(gs.Pos(), "goroutine body cannot be resolved to a provable termination path")
+		return
+	}
+	if ctxGated(pkg.Info, body) || closedChanGated(p.Graph, pkg, body) || finiteBody(p, pkg, body) {
+		return
+	}
+	p.Reportf(gs.Pos(), "goroutine has no provable termination path "+
+		"(needs a ctx.Done/ctx.Err gate, a closed-channel receive, a channel range, or a finite body)")
+}
+
+// ctxGated reports whether the body consults context cancellation:
+// any call to the Done or Err methods of context.Context.
+func ctxGated(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, call)
+		if fn != nil && pkgPathOf(fn) == "context" && (fn.Name() == "Done" || fn.Name() == "Err") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// closedChanGated reports whether the body receives from a channel the
+// module provably closes, or ranges over a channel at all (the stage
+// drain idiom: upstream close ends the range).
+func closedChanGated(g *CallGraph, pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := chanObj(pkg, n.X); obj != nil && g.ClosedChans[obj] {
+					found = true
+					return false
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// finiteBody reports whether the body provably runs to completion: no
+// loops, no channel operations, no blocking selects, and no calls into
+// known-blocking functions (stdlib set, net dials, configured
+// LockBlockers, or module functions the shared blocking fixpoint marks).
+func finiteBody(p *Pass, pkg *Package, body *ast.BlockStmt) bool {
+	blocked := p.Graph.Blocked()
+	finite := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !finite {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SendStmt:
+			finite = false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				finite = false
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				finite = false
+			}
+		case *ast.CallExpr:
+			fn := funcObj(pkg.Info, n)
+			if fn == nil {
+				return true
+			}
+			if _, ok := blockingCalls[fn.FullName()]; ok {
+				finite = false
+			} else if pkgPathOf(fn) == "net" && strings.HasPrefix(fn.Name(), "Dial") {
+				finite = false
+			} else if _, ok := blocked[fn]; ok {
+				finite = false
+			} else {
+				for _, b := range p.Cfg.LockBlockers {
+					if b.Pkg == pkgPathOf(fn) && b.Name == fn.Name() {
+						finite = false
+						break
+					}
+				}
+			}
+		}
+		return finite
+	})
+	return finite
+}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package of the module.
@@ -32,6 +33,18 @@ type Module struct {
 	Pkgs []*Package // sorted by import path
 
 	imp *moduleImporter
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// Graph returns the module's shared call graph, building it on first
+// use and caching it for every subsequent checker and Run over this
+// Module instance. The graph's iteration order is position-sorted, so a
+// Module with a permuted Pkgs slice still produces an identical graph.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() { m.graph = NewCallGraph(m) })
+	return m.graph
 }
 
 // FindModuleRoot walks up from dir to the nearest directory containing

@@ -1,0 +1,442 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockorderChecker proves two freedom properties over every mutex in
+// the module, interprocedurally:
+//
+//  1. Order: the acquisition graph (an edge L→M whenever M is acquired
+//     — directly or through any call chain — while L is held) has no
+//     cycles. Two goroutines taking the same pair of locks in opposite
+//     orders is the classic unkillable deadlock; the cycle check makes
+//     the whole module's lock hierarchy a DAG by construction.
+//  2. No blocking under a lock: while a mutex is held, the code must
+//     not perform a channel operation, a select without default, a
+//     known-blocking network/http call, or a call into a
+//     Config.LockBlockers function (store appends and scans: disk I/O
+//     under a caller's lock serializes every worker behind one fd).
+//     sync.Cond.Wait is exempt — it releases the mutex while parked.
+//
+// Lock identity is the types.Object of the mutex variable or struct
+// field; goroutine bodies and function literals are separate scopes
+// (their events do not execute under the spawning function's held set),
+// and a deferred Unlock pins the lock as held to the end of the
+// function, exactly like the runtime does.
+var lockorderChecker = &Checker{
+	Name: "lockorder",
+	Doc:  "mutex acquisition graph must be acyclic and locks must not be held across blocking operations",
+	Rationale: "A lock-order inversion deadlocks only under the precise interleaving that " +
+		"production finds and tests do not, and a store append or channel send under a mutex " +
+		"turns one slow disk write into a fleet-wide stall. The checker builds the module-wide " +
+		"acquisition graph from per-function acquire summaries (so an inversion laundered " +
+		"through a helper call is still an edge), rejects cycles, and rejects any blocking " +
+		"operation — channel ops, selects, network calls, store I/O — inside a held region.",
+	Example: `internal/server/cache.go:31: [lockorder] acquiring (pageCache).mu while holding (Server).mu creates a lock-order cycle`,
+	Run:     runLockorder,
+}
+
+// mutexAcquire / mutexRelease classify sync primitive calls by the
+// resolved method's full name (embedding resolves to the same objects).
+var mutexAcquire = map[string]bool{
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).TryLock":   true,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).TryLock": true,
+	"(*sync.RWMutex).RLock":   true,
+}
+
+var mutexRelease = map[string]bool{
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RUnlock": true,
+}
+
+// lockRef pairs a lock's identity with its stable display name.
+type lockRef struct {
+	obj  types.Object
+	name string
+}
+
+// lockSummary is one function's interprocedural lock behavior: every
+// lock it may acquire (transitively, outside go statements and
+// literals) and whether calling it may block.
+type lockSummary struct {
+	acquires []lockRef // sorted by name, deduped by object
+	blocks   string    // "" or a reason chain
+}
+
+func (s *lockSummary) addAcquire(r lockRef) bool {
+	for _, a := range s.acquires {
+		if a.obj == r.obj {
+			return false
+		}
+	}
+	s.acquires = append(s.acquires, r)
+	sort.Slice(s.acquires, func(i, j int) bool { return s.acquires[i].name < s.acquires[j].name })
+	return true
+}
+
+// lockEdge is one acquisition-order edge with the position and call
+// chain that witnesses it.
+type lockEdge struct {
+	from, to lockRef
+	pos      token.Pos
+	via      string // "" for a direct acquire, else the callee name
+}
+
+type lockAnalysis struct {
+	pass      *Pass
+	summaries map[*types.Func]*lockSummary
+	edges     []lockEdge
+	edgeSeen  map[[2]types.Object]bool
+	adj       map[types.Object][]types.Object
+}
+
+func runLockorder(p *Pass) {
+	la := &lockAnalysis{
+		pass:      p,
+		summaries: map[*types.Func]*lockSummary{},
+		edgeSeen:  map[[2]types.Object]bool{},
+		adj:       map[types.Object][]types.Object{},
+	}
+	g := p.Graph
+	// Pass A: per-function summaries, then the transitive fixpoint.
+	for _, obj := range g.Order {
+		la.summaries[obj] = la.directSummary(g.Nodes[obj])
+	}
+	for round := 0; round < 32; round++ {
+		changed := false
+		for _, obj := range g.Order {
+			sum := la.summaries[obj]
+			for _, site := range g.Nodes[obj].Sites {
+				if site.InGo || site.InLit {
+					continue
+				}
+				callee := la.summaries[site.Callee]
+				if callee == nil {
+					continue
+				}
+				for _, a := range callee.acquires {
+					if sum.addAcquire(a) {
+						changed = true
+					}
+				}
+				if sum.blocks == "" && callee.blocks != "" {
+					sum.blocks = "calls " + site.Callee.Name() + " (" + callee.blocks + ")"
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Pass B: held-set walk per function — emits blocking reports and
+	// collects order edges.
+	for _, obj := range g.Order {
+		la.heldWalk(g.Nodes[obj])
+	}
+	// Pass C: cycle detection over the collected edges.
+	for _, e := range la.edges {
+		if la.reachable(e.to.obj, e.from.obj, map[types.Object]bool{}) {
+			msg := "acquiring " + e.to.name + " while holding " + e.from.name + " creates a lock-order cycle"
+			if e.via != "" {
+				msg += " (via call to " + e.via + ")"
+			}
+			la.pass.Reportf(e.pos, "%s", msg)
+		}
+	}
+}
+
+// directSummary computes one function's own acquires and direct
+// blocking reason (outside go statements and function literals).
+func (la *lockAnalysis) directSummary(node *FuncNode) *lockSummary {
+	sum := &lockSummary{}
+	inComm := selectCommOps(node.Decl.Body)
+	walkFlagged(node.Decl.Body, false, false, func(n ast.Node, inGo, inLit bool) {
+		if inGo || inLit {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !inComm[n] && sum.blocks == "" {
+				sum.blocks = "channel send"
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !inComm[n] && sum.blocks == "" {
+				sum.blocks = "channel receive"
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) && sum.blocks == "" {
+				sum.blocks = "select"
+			}
+		case *ast.CallExpr:
+			if ref, ok := la.lockTarget(node.Pkg, n, mutexAcquire); ok {
+				sum.addAcquire(ref)
+				return
+			}
+			callee := funcObj(node.Pkg.Info, n)
+			if callee == nil {
+				return
+			}
+			if why := externalBlockReason(la.pass.Cfg, callee); why != "" && sum.blocks == "" {
+				sum.blocks = why
+			}
+		}
+	})
+	return sum
+}
+
+// externalBlockReason classifies a non-module callee (or a configured
+// LockBlocker) as blocking.
+func externalBlockReason(cfg Config, fn *types.Func) string {
+	if why, ok := blockingCalls[fn.FullName()]; ok {
+		return why
+	}
+	if pkgPathOf(fn) == "net" && strings.HasPrefix(fn.Name(), "Dial") {
+		return "net." + fn.Name()
+	}
+	for _, b := range cfg.LockBlockers {
+		if b.Pkg == pkgPathOf(fn) && b.Name == fn.Name() {
+			return fn.Name() + " (store I/O)"
+		}
+	}
+	return ""
+}
+
+// heldLock is one entry of the walker's held set.
+type heldLock struct {
+	ref    lockRef
+	sticky bool // deferred unlock: held to function end
+}
+
+// lockWalker runs the sequential held-set walk over one scope (a
+// function body or a function literal, each with a fresh held set).
+type lockWalker struct {
+	la     *lockAnalysis
+	node   *FuncNode
+	inComm map[ast.Node]bool
+	held   []heldLock
+}
+
+func (la *lockAnalysis) heldWalk(node *FuncNode) {
+	lw := &lockWalker{la: la, node: node, inComm: selectCommOps(node.Decl.Body)}
+	lw.walk(node.Decl.Body)
+}
+
+// sub analyzes a nested scope (function literal body) with its own
+// empty held set, sharing the comm-op map and edge sink.
+func (lw *lockWalker) sub(body *ast.BlockStmt) {
+	inner := &lockWalker{la: lw.la, node: lw.node, inComm: lw.inComm}
+	inner.walk(body)
+}
+
+func (lw *lockWalker) walk(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Spawned code runs concurrently, not under this held set —
+			// but it is its own scope worth checking.
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				lw.sub(lit.Body)
+			}
+			return false
+		case *ast.FuncLit:
+			lw.sub(n.Body)
+			return false
+		case *ast.DeferStmt:
+			lw.handleDefer(n)
+			return false
+		case *ast.SendStmt:
+			if !lw.inComm[n] {
+				lw.blocking(n.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !lw.inComm[n] {
+				lw.blocking(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				lw.blocking(n.Pos(), "select")
+			}
+		case *ast.CallExpr:
+			lw.call(n)
+		}
+		return true
+	})
+}
+
+// handleDefer pins locks released by a deferred call (or anywhere
+// inside a deferred function literal) as held to the end of the scope.
+func (lw *lockWalker) handleDefer(d *ast.DeferStmt) {
+	pin := func(call *ast.CallExpr) {
+		if ref, ok := lw.la.lockTarget(lw.node.Pkg, call, mutexRelease); ok {
+			for i := range lw.held {
+				if lw.held[i].ref.obj == ref.obj {
+					lw.held[i].sticky = true
+				}
+			}
+		}
+	}
+	pin(d.Call)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				pin(call)
+			}
+			return true
+		})
+	}
+}
+
+func (lw *lockWalker) call(call *ast.CallExpr) {
+	pkg := lw.node.Pkg
+	if ref, ok := lw.la.lockTarget(pkg, call, mutexAcquire); ok {
+		for _, h := range lw.held {
+			if h.ref.obj != ref.obj {
+				lw.la.addEdge(h.ref, ref, call.Pos(), "")
+			}
+		}
+		lw.held = append(lw.held, heldLock{ref: ref})
+		return
+	}
+	if ref, ok := lw.la.lockTarget(pkg, call, mutexRelease); ok {
+		for i := len(lw.held) - 1; i >= 0; i-- {
+			if lw.held[i].ref.obj == ref.obj && !lw.held[i].sticky {
+				lw.held = append(lw.held[:i], lw.held[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	callee := funcObj(pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	// sync.Cond.Wait releases the mutex while parked: exempt.
+	if callee.FullName() == "(*sync.Cond).Wait" {
+		return
+	}
+	if why := externalBlockReason(lw.la.pass.Cfg, callee); why != "" {
+		lw.blocking(call.Pos(), "call to "+callee.Name()+" ("+why+")")
+		return
+	}
+	sum := lw.la.summaries[callee]
+	if sum == nil {
+		return
+	}
+	if sum.blocks != "" {
+		lw.blocking(call.Pos(), "call to "+callee.Name()+" ("+sum.blocks+")")
+	}
+	for _, h := range lw.held {
+		for _, a := range sum.acquires {
+			if h.ref.obj != a.obj {
+				lw.la.addEdge(h.ref, a, call.Pos(), callee.Name())
+			}
+		}
+	}
+}
+
+// blocking reports a blocking operation inside a held region.
+func (lw *lockWalker) blocking(pos token.Pos, what string) {
+	if len(lw.held) == 0 {
+		return
+	}
+	names := make([]string, len(lw.held))
+	for i, h := range lw.held {
+		names[i] = h.ref.name
+	}
+	lw.la.pass.Reportf(pos, "lock %s held across %s", strings.Join(names, ", "), what)
+}
+
+// addEdge records one acquisition-order edge (first witness wins).
+func (la *lockAnalysis) addEdge(from, to lockRef, pos token.Pos, via string) {
+	key := [2]types.Object{from.obj, to.obj}
+	if la.edgeSeen[key] {
+		return
+	}
+	la.edgeSeen[key] = true
+	la.edges = append(la.edges, lockEdge{from: from, to: to, pos: pos, via: via})
+	la.adj[from.obj] = append(la.adj[from.obj], to.obj)
+}
+
+// reachable reports whether `to` is reachable from `from` in the
+// acquisition graph.
+func (la *lockAnalysis) reachable(from, to types.Object, seen map[types.Object]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for _, next := range la.adj[from] {
+		if la.reachable(next, to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockTarget classifies a call as a mutex acquire/release (per the
+// given method set) and resolves the lock's identity and display name.
+func (la *lockAnalysis) lockTarget(pkg *Package, call *ast.CallExpr, set map[string]bool) (lockRef, bool) {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || !set[fn.FullName()] {
+		return lockRef{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, false
+	}
+	return la.lockIdent(pkg, sel.X)
+}
+
+// lockIdent resolves a mutex expression to (object, display name):
+// struct fields render as "(Type).field", package vars as "pkg.var",
+// locals as their name. Embedded mutexes (s.Lock()) identify as the
+// holder variable.
+func (la *lockAnalysis) lockIdent(pkg *Package, e ast.Expr) (lockRef, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[e]
+		if obj == nil {
+			obj = pkg.Info.Defs[e]
+		}
+		if obj == nil {
+			return lockRef{}, false
+		}
+		name := obj.Name()
+		if obj.Parent() == pkg.Types.Scope() {
+			name = pkg.Types.Name() + "." + name
+		}
+		return lockRef{obj: obj, name: name}, true
+	case *ast.SelectorExpr:
+		obj := pkg.Info.Uses[e.Sel]
+		if obj == nil {
+			return lockRef{}, false
+		}
+		name := obj.Name()
+		if tv, ok := pkg.Info.Types[e.X]; ok {
+			t := tv.Type
+			for {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = "(" + named.Obj().Name() + ")." + name
+			}
+		}
+		return lockRef{obj: obj, name: name}, true
+	}
+	return lockRef{}, false
+}

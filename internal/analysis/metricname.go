@@ -17,7 +17,13 @@ import (
 var metricnameChecker = &Checker{
 	Name: "metricname",
 	Doc:  "obs metric names are literals matching ^aipan_[a-z0-9_]+$ with kind-correct unit suffixes",
-	Run:  runMetricname,
+	Rationale: "The /metrics surface is scraped by one dashboard config; a metric that " +
+		"drifts from the aipan_ prefix or the per-kind unit-suffix convention (_total for " +
+		"counters, _seconds/_bytes for histograms) silently vanishes from every panel. " +
+		"Requiring literal names keeps the full metric inventory greppable — no " +
+		"runtime-assembled names the dashboard cannot know about.",
+	Example: `internal/server/api.go:55: [metricname] metric name "requests" must match ^aipan_[a-z0-9_]+$`,
+	Run:     runMetricname,
 }
 
 // metricKinds maps obs.Registry constructor names to the metric kind

@@ -20,7 +20,13 @@ import (
 var spanendChecker = &Checker{
 	Name: "spanend",
 	Doc:  "spans from obs.StartSpan/StartSpanWith are ended on all paths (prefer defer span.End())",
-	Run:  runSpanend,
+	Rationale: "A span that is started but not ended on some return path exports a trace " +
+		"tree with silently missing subtrees — the trace viewer shows a gap, not an error, " +
+		"and the flight recorder's ring retains a half-open span forever. Requiring an " +
+		"End on every path (defer, always-run closure, or straight-line) keeps exported " +
+		"traces structurally complete.",
+	Example: `internal/core/pipeline.go:350: [spanend] span from StartSpan is not ended on all paths (prefer defer span.End())`,
+	Run:     runSpanend,
 }
 
 func runSpanend(p *Pass) {

@@ -1,0 +1,108 @@
+// Package leak is the golden corpus for the leakcheck checker: every
+// goroutine spawned in a concurrency package must have a provable
+// termination path — a ctx gate, a receive from a channel the module
+// closes, a stage-drain range, or a finite body.
+package leak
+
+import "context"
+
+func spin() {
+	go func() { // want goroutine has no provable termination path
+		for {
+		}
+	}()
+}
+
+// ctxGated is clean: the loop consults ctx.Done, so cancellation
+// reaches it.
+func ctxGated(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// errGated is clean: the loop condition consults ctx.Err.
+func errGated(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+type sampler struct {
+	done chan struct{}
+}
+
+// start is clean: the goroutine receives from s.done, and stop's
+// close(s.done) proves the receive can complete.
+func (s *sampler) start() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}
+
+func (s *sampler) stop() {
+	close(s.done)
+}
+
+var never chan struct{}
+
+func waitForever() {
+	go func() { // want goroutine has no provable termination path
+		<-never
+	}()
+}
+
+// logOnce is clean: a finite straight-line body runs to completion.
+func logOnce(f func(string)) {
+	go func() {
+		f("started")
+	}()
+}
+
+func notify(ch chan int) {
+	go func() { // want goroutine has no provable termination path
+		ch <- 1
+	}()
+}
+
+// drain is clean: ranging over a channel is the stage-drain idiom —
+// the upstream close ends the range.
+func drain(in chan int, f func(int)) {
+	go func() {
+		for v := range in {
+			f(v)
+		}
+	}()
+}
+
+type worker struct{ done chan struct{} }
+
+func (w *worker) loop() {
+	<-w.done
+}
+
+// launch is clean: the named method's body receives from a channel
+// that shutdown provably closes.
+func (w *worker) launch() {
+	go w.loop()
+}
+
+func shutdown(w *worker) {
+	close(w.done)
+}
+
+func spawnValue(f func()) {
+	go f() // want goroutine body cannot be resolved to a provable termination path
+}

@@ -1,0 +1,105 @@
+// Package lock is the golden corpus for the lockorder checker: the
+// acquisition graph must be acyclic (including edges discovered through
+// helper calls) and no lock may be held across a blocking operation.
+package lock
+
+import (
+	"sync"
+	"time"
+)
+
+var a, b sync.Mutex
+
+func lockAB() {
+	a.Lock()
+	b.Lock() // want acquiring lock\.b while holding lock\.a creates a lock-order cycle
+	b.Unlock()
+	a.Unlock()
+}
+
+func lockBA() {
+	b.Lock()
+	a.Lock() // want acquiring lock\.a while holding lock\.b creates a lock-order cycle
+	a.Unlock()
+	b.Unlock()
+}
+
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *Q) heldSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want lock \(Q\)\.mu held across channel send
+}
+
+// sendAfterUnlock is clean: the lock is released before the send.
+func (q *Q) sendAfterUnlock(v int) {
+	q.mu.Lock()
+	v++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+type W struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// wait is clean: sync.Cond.Wait releases the mutex while parked.
+func (w *W) wait() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.n == 0 {
+		w.cond.Wait()
+	}
+	w.n--
+}
+
+var c, d sync.Mutex
+
+// lockCthenD takes d *through a helper* while holding c: the inversion
+// against lockDthenC is only visible interprocedurally.
+func lockCthenD() {
+	c.Lock()
+	defer c.Unlock()
+	takeD() // want acquiring lock\.d while holding lock\.c creates a lock-order cycle \(via call to takeD\)
+}
+
+func takeD() {
+	d.Lock()
+	d.Unlock()
+}
+
+func lockDthenC() {
+	d.Lock()
+	c.Lock() // want acquiring lock\.c while holding lock\.d creates a lock-order cycle
+	c.Unlock()
+	d.Unlock()
+}
+
+var e sync.Mutex
+
+func sleepHelper() { time.Sleep(time.Millisecond) }
+
+func heldAcrossSleep() {
+	e.Lock()
+	sleepHelper() // want lock lock\.e held across call to sleepHelper \(time\.Sleep\)
+	e.Unlock()
+}
+
+// litScope is clean: a function literal is its own scope — the lock
+// held in the enclosing function is not held when the literal runs.
+func litScope() {
+	a.Lock()
+	f := func() {
+		var local sync.Mutex
+		local.Lock()
+		local.Unlock()
+	}
+	a.Unlock()
+	f()
+}

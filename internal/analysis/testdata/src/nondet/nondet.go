@@ -1,0 +1,79 @@
+// Package nondet is the golden corpus for the nondetflow checker: taint
+// from wall-clock reads, the global math/rand source, and map-iteration
+// order must not reach the configured sink — through any call chain —
+// unless laundered by a sort or the injected clock seam.
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Sink is the configured taint sink for this corpus (Config.TaintSinks
+// names it with Desc "test sink").
+func Sink(s string) {}
+
+// Clock mirrors the obs.Clock seam: a call through a function value is
+// structurally invisible to the resolver and therefore never a source.
+type Clock func() time.Time
+
+func direct() {
+	Sink(time.Now().String()) // want value derived from time\.Now flows into test sink \(Sink\)
+}
+
+func helperA() string { return helperB() }
+
+func helperB() string { return time.Now().Format(time.RFC3339) }
+
+// laundered demonstrates the interprocedural case the determinism
+// checker cannot see: the wall-clock read is two helpers upstream.
+func laundered() {
+	v := helperA()
+	Sink(v) // want value derived from helperA \(helperB \(time\.Now\)\) flows into test sink \(Sink\)
+}
+
+// emit gives the corpus a function whose parameter flows into the sink,
+// so callers are checked against its summary.
+func emit(v string) { Sink(v) }
+
+func paramFlow() {
+	emit(time.Now().String()) // want value derived from time\.Now flows into test sink via emit
+}
+
+func mapOrder(m map[string]string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	Sink(strings.Join(keys, ",")) // want value derived from map iteration order flows into test sink \(Sink\)
+}
+
+// mapOrderSorted is the sanctioned collect-then-sort pattern: the sort
+// launders ordering-only taint before the sink.
+func mapOrderSorted(m map[string]string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	Sink(strings.Join(keys, ","))
+}
+
+// clockSeam is clean: the injected clock is called through a function
+// value, which the engine treats as deterministic by contract.
+func clockSeam(c Clock) {
+	Sink(c().Format(time.RFC3339))
+}
+
+func globalRand() {
+	Sink(strconv.Itoa(rand.Intn(10))) // want value derived from rand\.Intn flows into test sink \(Sink\)
+}
+
+// seededRand is clean: methods on an explicitly seeded *rand.Rand are
+// reproducible for a given seed.
+func seededRand(r *rand.Rand) {
+	Sink(strconv.Itoa(r.Intn(10)))
+}

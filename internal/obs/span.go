@@ -160,7 +160,7 @@ func StartSpanWith(ctx context.Context, name string, attrs ...Attr) (context.Con
 		path = []string{name}
 	}
 	s := &Span{tracer: tr, name: name, path: path, attrs: attrs,
-		parent: parentID, start: time.Now()}
+		parent: parentID, start: tr.clock()}
 	s.id = tr.spanID(s)
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -205,7 +205,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	d := time.Since(s.start)
+	d := s.tracer.clock().Sub(s.start)
 	s.tracer.record(s.path, d)
 	if e := s.tracer.exporter; e != nil {
 		rec := &SpanRecord{

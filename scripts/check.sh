@@ -12,8 +12,23 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> aipanvet ./... (repo-specific static analysis)"
-go run ./cmd/aipanvet ./...
+echo "==> aipanvet ./... (repo-specific static analysis, wall ceiling ${AIPAN_VET_TIME_CEILING:=120}s)"
+# -timing prints the per-checker breakdown (and the shared call-graph
+# build) to stderr; the wall gate keeps the interprocedural checkers
+# honest — analysis cost must stay flat as checkers accumulate. The
+# ceiling is generous: module load (from-source stdlib type-checking)
+# dominates, and all checkers together run in well under a second.
+vet_start=$(date +%s)
+go run ./cmd/aipanvet -timing ./...
+vet_secs=$(( $(date +%s) - vet_start ))
+if [ "$vet_secs" -gt "$AIPAN_VET_TIME_CEILING" ]; then
+  echo "FAIL: aipanvet took ${vet_secs}s, above the ${AIPAN_VET_TIME_CEILING}s ceiling"
+  exit 1
+fi
+echo "aipanvet wall time: ${vet_secs}s (ceiling ${AIPAN_VET_TIME_CEILING}s)"
+
+echo "==> aipanvet negative fixtures (the gate must bite on seeded violations)"
+scripts/verify-negatives.sh
 
 echo "==> go test -race (engine, core, obs, server, store)"
 go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/...

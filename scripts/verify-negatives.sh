@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Proof that the aipanvet gate actually bites: each fixture patch under
+# scripts/fixtures/ injects exactly one violation of a checker invariant
+# — a lock-order inversion, a goroutine with no termination path, and a
+# wall-clock value laundered through two helpers into the ETag sink.
+# With a fixture applied, aipanvet must fail and name the expected
+# checker; the tree is restored either way. Run from anywhere:
+#
+#   scripts/verify-negatives.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_fixture() {
+  local patch=$1 check=$2
+  echo "==> fixture: $patch (expect a [$check] finding)"
+  git apply "scripts/fixtures/$patch"
+  local out status
+  set +e
+  out=$(go run ./cmd/aipanvet ./... 2>&1)
+  status=$?
+  set -e
+  git apply -R "scripts/fixtures/$patch"
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: aipanvet passed with $patch applied"
+    echo "$out"
+    return 1
+  fi
+  if ! echo "$out" | grep -F "[$check]" >/dev/null; then
+    echo "FAIL: aipanvet failed but produced no [$check] finding with $patch applied"
+    echo "$out"
+    return 1
+  fi
+  echo "$out" | grep -F "[$check]" | head -2
+}
+
+run_fixture lockorder-inversion.patch lockorder
+run_fixture leakcheck-orphan.patch leakcheck
+run_fixture nondetflow-launder.patch nondetflow
+
+echo "OK: every seeded violation tripped the gate"
