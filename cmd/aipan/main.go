@@ -45,6 +45,8 @@ func main() {
 	switch cmd {
 	case "run":
 		err = cmdRun(args)
+	case "work":
+		err = cmdWork(args)
 	case "report":
 		err = cmdReport(args)
 	case "validate":
@@ -85,6 +87,8 @@ func usage() {
 
 commands:
   run             crawl + annotate the corpus, write the JSONL dataset
+                  (--distributed N / --listen fan the study out over the dispatch protocol)
+  work            join a run's coordinator as a worker process (--join <url>)
   report          regenerate a paper table from a dataset
   validate        §4 validation: failure audit + precision vs ground truth
   compare-models  §6 GPT-4- vs Llama- vs GPT-3.5-class comparison
@@ -332,6 +336,13 @@ func cmdRun(args []string) error {
 	storeSpec := fs.String("store", "jsonl", "checkpoint storage backend: jsonl | sharded:N | binary:N | mem")
 	resume := fs.Bool("resume", false, "resume an interrupted run from --checkpoint")
 	statsOut := fs.String("stats-out", "", "write run statistics (domains, wall secs, domains/sec, peak RSS) as JSON here")
+	distributed := fs.Int("distributed", 0,
+		"run the study through the dispatch coordinator with N in-process workers (0 = single-process)")
+	listen := fs.String("listen", "",
+		"serve the dispatch coordinator on this address so external `aipan work` processes can join")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second,
+		"distributed only: reassign a worker's shard after this long without a heartbeat")
+	dispatchShards := fs.Int("dispatch-shards", 8, "distributed only: shard count for the study partition")
 	var of obsFlags
 	of.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -346,6 +357,9 @@ func cmdRun(args []string) error {
 		limit: *limit, workers: *workers, universe: *universe, window: *window,
 		checkpoint: *checkpoint, storeSpec: *storeSpec, resume: *resume,
 		csvPrefix: *csvPrefix, statsOut: *statsOut,
+	}
+	if *distributed > 0 || *listen != "" {
+		return runDistributed(*out, rf, *seed, *model, of, *distributed, *listen, *leaseTTL, *dispatchShards)
 	}
 	res, _, err := runPipeline(*out, rf, *seed, *model, true, of)
 	if err != nil {

@@ -190,9 +190,11 @@ func DefaultConfig() Config {
 			// Trace bytes: same-seed runs must export identical traces.
 			{Pkg: "aipan/internal/obs", Name: "ExportSpan", Desc: "trace export"},
 			// Serving: ETags and /v1 response bodies must be pure
-			// functions of (generation, request).
-			{Pkg: "aipan/internal/server", Name: "etagFor", Desc: "ETag computation"},
-			{Pkg: "aipan/internal/server", Name: "encodeResult", Desc: "/v1 response body"},
+			// functions of (generation, request). The machinery lives
+			// in internal/api, shared by the dataset server and the
+			// dispatch coordinator, so one entry covers both surfaces.
+			{Pkg: "aipan/internal/api", Name: "ETagFor", Desc: "ETag computation"},
+			{Pkg: "aipan/internal/api", Name: "EncodeResult", Desc: "/v1 response body"},
 		},
 		LockBlockers: []PkgFunc{
 			{Pkg: "aipan/internal/store", Name: "Append"},

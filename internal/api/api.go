@@ -1,0 +1,157 @@
+// Package api is the shared machinery behind every versioned HTTP/JSON
+// surface the module serves — today the dataset server
+// (internal/server) and the distributed-run coordinator
+// (internal/dispatch). Both speak the same /v1 conventions: the uniform
+// {"error":{"code","message"}} envelope, snake_case payloads,
+// strong generation-keyed ETags, opaque base64url cursors, and an
+// exact-segment router whose 404/405 responses use the same envelope as
+// every handler. Keeping the machinery in one package is what keeps the
+// two surfaces from drifting.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Error is a failed request: an HTTP status plus the uniform JSON error
+// envelope {"error":{"code","message"}} every /v1 error speaks.
+type Error struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+// Errorf builds an Error with a formatted message.
+func Errorf(status int, code, format string, args ...any) *Error {
+	return &Error{status, code, fmt.Sprintf(format, args...)}
+}
+
+// BadRequestf is a 400 with code "bad_request".
+func BadRequestf(format string, args ...any) *Error {
+	return Errorf(http.StatusBadRequest, "bad_request", format, args...)
+}
+
+// NotFoundf is a 404 with code "not_found".
+func NotFoundf(format string, args ...any) *Error {
+	return Errorf(http.StatusNotFound, "not_found", format, args...)
+}
+
+// Internalf is a 500 with code "internal".
+func Internalf(format string, args ...any) *Error {
+	return Errorf(http.StatusInternalServerError, "internal", format, args...)
+}
+
+// errEnvelope is the wire form of an Error.
+type errEnvelope struct {
+	Error errBody `json:"error"`
+}
+
+type errBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// WriteError emits the envelope. The Content-Type header is set before
+// any byte is written, and the body is marshaled up front so an
+// encoding failure cannot corrupt an already-started response.
+func WriteError(w http.ResponseWriter, e *Error) {
+	body, err := json.MarshalIndent(errEnvelope{errBody{Code: e.Code, Message: e.Message}}, "", "  ")
+	if err != nil {
+		// Unreachable for plain strings, but never send half an envelope.
+		body = []byte(`{"error":{"code":"internal","message":"error encoding failed"}}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.Status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+// Result is a successful handler response in exactly one of three
+// forms: a value to JSON-encode, pre-encoded JSON bytes (precomputed
+// view payloads), or plain text (labels, tables).
+type Result struct {
+	Obj  any
+	Raw  []byte
+	Text string
+}
+
+// EncodeResult renders a Result to body bytes and a Content-Type.
+// Encoding happens before anything touches the wire, so a failure
+// surfaces as a clean 500 envelope instead of a silently truncated 200.
+func EncodeResult(res *Result) ([]byte, string, *Error) {
+	switch {
+	case res.Text != "":
+		return []byte(res.Text), "text/plain; charset=utf-8", nil
+	case res.Raw != nil:
+		return res.Raw, "application/json", nil
+	default:
+		b, err := json.MarshalIndent(res.Obj, "", "  ")
+		if err != nil {
+			return nil, "", Internalf("encoding response: %v", err)
+		}
+		return append(b, '\n'), "application/json", nil
+	}
+}
+
+// Recorder buffers a response so a dispatch layer can compute ETags,
+// populate caches, and recover from handler panics with a clean 500 —
+// nothing reaches the client until Flush.
+type Recorder struct {
+	header http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+// NewRecorder builds an empty Recorder with a 200 status.
+func NewRecorder() *Recorder {
+	return &Recorder{header: http.Header{}, status: http.StatusOK}
+}
+
+// Header implements http.ResponseWriter.
+func (w *Recorder) Header() http.Header { return w.header }
+
+// WriteHeader implements http.ResponseWriter.
+func (w *Recorder) WriteHeader(status int) { w.status = status }
+
+// Write implements http.ResponseWriter.
+func (w *Recorder) Write(b []byte) (int, error) { return w.buf.Write(b) }
+
+// Status reports the buffered status code.
+func (w *Recorder) Status() int { return w.status }
+
+// Reset discards everything buffered so far (the panic-recovery path).
+func (w *Recorder) Reset() {
+	w.header = http.Header{}
+	w.status = http.StatusOK
+	w.buf.Reset()
+}
+
+// Flush replays the buffered response onto the real connection. A
+// write error here means the client is gone; there is no recovery path.
+func (w *Recorder) Flush(dst http.ResponseWriter) {
+	h := dst.Header()
+	for k, vs := range w.header {
+		h[k] = vs
+	}
+	dst.WriteHeader(w.status)
+	if w.buf.Len() > 0 {
+		_, _ = dst.Write(w.buf.Bytes())
+	}
+}
+
+// StatusClass buckets a status code for request counters ("2xx",
+// "3xx", "4xx", "5xx").
+func StatusClass(status int) string {
+	switch {
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}

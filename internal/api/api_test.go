@@ -1,0 +1,153 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, BadRequestf("limit must be positive (got %q)", "x"))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if env.Error.Code != "bad_request" {
+		t.Errorf("code = %q, want bad_request", env.Error.Code)
+	}
+	if want := `limit must be positive (got "x")`; env.Error.Message != want {
+		t.Errorf("message = %q, want %q", env.Error.Message, want)
+	}
+}
+
+func TestErrorConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		err    *Error
+		status int
+		code   string
+	}{
+		{BadRequestf("x"), http.StatusBadRequest, "bad_request"},
+		{NotFoundf("x"), http.StatusNotFound, "not_found"},
+		{Internalf("x"), http.StatusInternalServerError, "internal"},
+		{Errorf(http.StatusConflict, "conflict", "x"), http.StatusConflict, "conflict"},
+	} {
+		if tc.err.Status != tc.status || tc.err.Code != tc.code {
+			t.Errorf("got (%d, %q), want (%d, %q)", tc.err.Status, tc.err.Code, tc.status, tc.code)
+		}
+	}
+}
+
+func TestEncodeResultForms(t *testing.T) {
+	if body, ct, aerr := EncodeResult(&Result{Text: "hello"}); aerr != nil ||
+		string(body) != "hello" || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("text form: body=%q ct=%q err=%v", body, ct, aerr)
+	}
+	raw := []byte(`{"pre":"encoded"}`)
+	if body, ct, aerr := EncodeResult(&Result{Raw: raw}); aerr != nil ||
+		string(body) != string(raw) || ct != "application/json" {
+		t.Errorf("raw form: body=%q ct=%q err=%v", body, ct, aerr)
+	}
+	body, ct, aerr := EncodeResult(&Result{Obj: map[string]int{"n": 1}})
+	if aerr != nil || ct != "application/json" {
+		t.Fatalf("obj form: ct=%q err=%v", ct, aerr)
+	}
+	if !strings.HasSuffix(string(body), "\n") {
+		t.Errorf("obj form body should end in newline: %q", body)
+	}
+	if _, _, aerr := EncodeResult(&Result{Obj: func() {}}); aerr == nil ||
+		aerr.Status != http.StatusInternalServerError {
+		t.Errorf("unencodable obj should yield a 500, got %v", aerr)
+	}
+}
+
+func TestRecorderReplay(t *testing.T) {
+	rec := NewRecorder()
+	rec.Header().Set("X-Test", "1")
+	rec.WriteHeader(http.StatusTeapot)
+	_, _ = rec.Write([]byte("short and stout"))
+	if rec.Status() != http.StatusTeapot {
+		t.Fatalf("Status() = %d", rec.Status())
+	}
+	rec.Reset()
+	if rec.Status() != http.StatusOK || rec.Header().Get("X-Test") != "" {
+		t.Fatalf("Reset did not clear state")
+	}
+	rec.Header().Set("X-Take", "2")
+	_, _ = rec.Write([]byte("ok"))
+	dst := httptest.NewRecorder()
+	rec.Flush(dst)
+	if dst.Code != http.StatusOK || dst.Body.String() != "ok" || dst.Header().Get("X-Take") != "2" {
+		t.Fatalf("Flush replayed %d %q %q", dst.Code, dst.Body.String(), dst.Header())
+	}
+}
+
+func TestStatusClass(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   string
+	}{{200, "2xx"}, {304, "3xx"}, {404, "4xx"}, {500, "5xx"}} {
+		if got := StatusClass(tc.status); got != tc.want {
+			t.Errorf("StatusClass(%d) = %q, want %q", tc.status, got, tc.want)
+		}
+	}
+}
+
+func TestETagForIsStableAndGenerationKeyed(t *testing.T) {
+	a := ETagFor(1, []byte("body"))
+	if a != ETagFor(1, []byte("body")) {
+		t.Errorf("same inputs produced different tags")
+	}
+	if a == ETagFor(2, []byte("body")) {
+		t.Errorf("generation bump did not change the tag")
+	}
+	if a == ETagFor(1, []byte("other")) {
+		t.Errorf("body change did not change the tag")
+	}
+	if !strings.HasPrefix(a, `"1-`) || !strings.HasSuffix(a, `"`) {
+		t.Errorf("tag %q is not a strong generation-prefixed validator", a)
+	}
+}
+
+func TestETagMatch(t *testing.T) {
+	for _, tc := range []struct {
+		header, etag string
+		want         bool
+	}{
+		{"", `"1-ab"`, false},
+		{`"1-ab"`, `"1-ab"`, true},
+		{`W/"1-ab"`, `"1-ab"`, true},
+		{`"x", "1-ab"`, `"1-ab"`, true},
+		{`*`, `"1-ab"`, true},
+		{`"2-ab"`, `"1-ab"`, false},
+	} {
+		if got := ETagMatch(tc.header, tc.etag); got != tc.want {
+			t.Errorf("ETagMatch(%q, %q) = %v, want %v", tc.header, tc.etag, got, tc.want)
+		}
+	}
+}
+
+func TestCursorRoundTrip(t *testing.T) {
+	for _, key := range []string{"", "acme.example", "domain with spaces/and?bytes&", "42"} {
+		got, err := DecodeCursor(EncodeCursor(key))
+		if err != nil || got != key {
+			t.Errorf("round trip of %q: got %q, err %v", key, got, err)
+		}
+	}
+	if _, err := DecodeCursor("!!not-base64!!"); err == nil {
+		t.Errorf("invalid cursor decoded without error")
+	}
+}

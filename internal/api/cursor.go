@@ -1,0 +1,23 @@
+package api
+
+import (
+	"encoding/base64"
+	"fmt"
+)
+
+// EncodeCursor wraps a resume key as an opaque pagination token.
+// base64url without padding keeps it query-string safe; opacity keeps
+// clients from building tokens by hand and then breaking when the key
+// scheme changes.
+func EncodeCursor(key string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(key))
+}
+
+// DecodeCursor unwraps a pagination token produced by EncodeCursor.
+func DecodeCursor(cursor string) (string, error) {
+	b, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return "", fmt.Errorf("api: invalid cursor: %w", err)
+	}
+	return string(b), nil
+}

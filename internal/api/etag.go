@@ -1,0 +1,34 @@
+package api
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// ETagFor derives a strong validator from a state generation and the
+// encoded body. The generation alone is not enough — two different
+// resources share a generation — and the hash alone is not enough
+// either: embedding the generation makes every tag self-describing when
+// it shows up in logs.
+func ETagFor(gen uint64, body []byte) string {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return fmt.Sprintf("\"%d-%016x\"", gen, h.Sum64())
+}
+
+// ETagMatch reports whether an If-None-Match/If-Match header value
+// matches the given tag. Weak validators (W/ prefix) compare by their
+// strong part, and "*" matches anything, per RFC 9110 §8.8.3.
+func ETagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(cand), "W/"))
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package api
+
+// Health is the /v1/healthz and /v1/readyz payload shared by every
+// surface. Warning is set (and Status says "degraded") while the
+// process is impaired but still serving — an SLO budget burning on the
+// dataset server, a lease missing heartbeats on a dispatch coordinator.
+// readyz still answers 200 in that state, because pulling a
+// slow-but-alive process out of rotation would convert a latency
+// problem into an availability one; probes and dashboards surface the
+// warning instead.
+type Health struct {
+	Status     string `json:"status"`
+	Generation uint64 `json:"generation"`
+	Records    int    `json:"records"`
+	Warning    string `json:"warning,omitempty"`
+}

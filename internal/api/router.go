@@ -1,0 +1,105 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Params carries the values captured by {name} segments of a matched
+// route pattern.
+type Params map[string]string
+
+// Route is one registered pattern. H is whatever payload the surface
+// attaches to a route — a handler plus per-route policy flags — which
+// the router carries but never interprets.
+type Route[H any] struct {
+	Method string
+	Name   string // the pattern, e.g. "/v1/jobs/{id}"
+	H      H
+	segs   []string
+}
+
+// Router matches requests against an explicit route table. Patterns are
+// exact-length segment sequences where "{name}" captures one segment;
+// there are no wildcards, so the full API surface is enumerable — the
+// completeness tests that hold the legacy redirect map and the docs to
+// the real route table depend on that.
+type Router[H any] struct {
+	routes []*Route[H]
+}
+
+// Add registers a pattern. Patterns are matched in registration order;
+// register more specific patterns first if they overlap.
+func (rt *Router[H]) Add(method, pattern string, h H) {
+	rt.routes = append(rt.routes, &Route[H]{
+		Method: method,
+		Name:   pattern,
+		H:      h,
+		segs:   splitPath(pattern),
+	})
+}
+
+// Match finds the route for a method and path. A nil route with a
+// non-empty allow list means the path exists under other methods (405
+// with a sorted Allow header); nil route and empty allow means 404.
+// HEAD falls through to GET handlers per RFC 9110 §9.3.2.
+func (rt *Router[H]) Match(method, path string) (*Route[H], Params, []string) {
+	segs := splitPath(path)
+	var allow []string
+	for _, r := range rt.routes {
+		ps, ok := matchSegs(r.segs, segs)
+		if !ok {
+			continue
+		}
+		if r.Method == method || (method == http.MethodHead && r.Method == http.MethodGet) {
+			return r, ps, nil
+		}
+		allow = appendUnique(allow, r.Method)
+	}
+	sort.Strings(allow)
+	return nil, nil, allow
+}
+
+// Routes exposes the table for surface-completeness tests.
+func (rt *Router[H]) Routes() []*Route[H] { return rt.routes }
+
+func matchSegs(pattern, segs []string) (Params, bool) {
+	if len(pattern) != len(segs) {
+		return nil, false
+	}
+	var ps Params
+	for i, p := range pattern {
+		if strings.HasPrefix(p, "{") && strings.HasSuffix(p, "}") {
+			if segs[i] == "" {
+				return nil, false
+			}
+			if ps == nil {
+				ps = Params{}
+			}
+			ps[p[1:len(p)-1]] = segs[i]
+			continue
+		}
+		if p != segs[i] {
+			return nil, false
+		}
+	}
+	return ps, true
+}
+
+func splitPath(p string) []string {
+	p = strings.Trim(p, "/")
+	if p == "" {
+		return nil
+	}
+	return strings.Split(p, "/")
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, have := range list {
+		if have == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

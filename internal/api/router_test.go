@@ -1,0 +1,70 @@
+package api
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func testRouter() *Router[string] {
+	rt := &Router[string]{}
+	rt.Add(http.MethodGet, "/v1/jobs", "list")
+	rt.Add(http.MethodGet, "/v1/jobs/{id}", "get")
+	rt.Add(http.MethodPost, "/v1/jobs/{id}/leases", "lease")
+	rt.Add(http.MethodPost, "/v1/jobs/{id}/leases/{lease}/heartbeat", "beat")
+	return rt
+}
+
+func TestRouterMatch(t *testing.T) {
+	rt := testRouter()
+	r, ps, _ := rt.Match(http.MethodGet, "/v1/jobs")
+	if r == nil || r.H != "list" || len(ps) != 0 {
+		t.Fatalf("exact match failed: %+v %v", r, ps)
+	}
+	r, ps, _ = rt.Match(http.MethodPost, "/v1/jobs/j1/leases/L9/heartbeat")
+	if r == nil || r.H != "beat" {
+		t.Fatalf("capture match failed: %+v", r)
+	}
+	if !reflect.DeepEqual(ps, Params{"id": "j1", "lease": "L9"}) {
+		t.Fatalf("params = %v", ps)
+	}
+	if r, _, _ := rt.Match(http.MethodGet, "/v1/jobs//leases"); r != nil {
+		t.Fatalf("empty capture segment should not match")
+	}
+	if r, _, _ := rt.Match(http.MethodGet, "/v1/nope"); r != nil {
+		t.Fatalf("unknown path should not match")
+	}
+}
+
+func TestRouterHeadFallsThroughToGet(t *testing.T) {
+	rt := testRouter()
+	r, _, _ := rt.Match(http.MethodHead, "/v1/jobs/j1")
+	if r == nil || r.H != "get" {
+		t.Fatalf("HEAD did not fall through to GET: %+v", r)
+	}
+}
+
+func TestRouterMethodNotAllowed(t *testing.T) {
+	rt := testRouter()
+	rt.Add(http.MethodDelete, "/v1/jobs/{id}", "del")
+	r, _, allow := rt.Match(http.MethodPut, "/v1/jobs/j1")
+	if r != nil {
+		t.Fatalf("PUT matched unexpectedly")
+	}
+	if !reflect.DeepEqual(allow, []string{http.MethodDelete, http.MethodGet}) {
+		t.Fatalf("allow = %v, want sorted [DELETE GET]", allow)
+	}
+}
+
+func TestRouterRoutesExposesTable(t *testing.T) {
+	rt := testRouter()
+	var names []string
+	for _, r := range rt.Routes() {
+		names = append(names, r.Name)
+	}
+	want := []string{"/v1/jobs", "/v1/jobs/{id}", "/v1/jobs/{id}/leases",
+		"/v1/jobs/{id}/leases/{lease}/heartbeat"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("Routes() = %v, want %v", names, want)
+	}
+}

@@ -5,71 +5,76 @@ import (
 	"aipan/internal/store"
 )
 
-// funnelCell is the fixed-size funnel contribution of one domain — the
+// FunnelCell is the fixed-size funnel contribution of one domain — the
 // only thing the streaming pipeline retains per record. Cells are
 // position-indexed by the domain's slot in the (sorted) study list, so
 // the end-of-run aggregation visits them in exactly the order the
 // retained-records path visits its record slice and every float sum
-// reduces in the same order, whichever mode produced them.
-type funnelCell struct {
-	pages     float64
-	privPages float64 // meaningful when crawlOK
-	words     float64 // meaningful when extractOK
-	crawlOK   bool
-	wkPolicy  bool
-	wkPriv    bool
-	extractOK bool
-	annotated bool
-	fallback  bool
+// reduces in the same order, whichever mode produced them. Workers of a
+// distributed run ship cells to the coordinator (snake_case JSON), and
+// the coordinator folds them in study-list order, so the aggregate is
+// identical to a single-process run of the same seed.
+type FunnelCell struct {
+	Pages     float64 `json:"pages"`
+	PrivPages float64 `json:"priv_pages,omitempty"` // meaningful when crawlOK
+	Words     float64 `json:"words,omitempty"`      // meaningful when extractOK
+	CrawlOK   bool    `json:"crawl_ok,omitempty"`
+	WkPolicy  bool    `json:"wk_policy,omitempty"`
+	WkPriv    bool    `json:"wk_priv,omitempty"`
+	ExtractOK bool    `json:"extract_ok,omitempty"`
+	Annotated bool    `json:"annotated,omitempty"`
+	Fallback  bool    `json:"fallback,omitempty"`
 }
 
-// cellOf reduces one record to its funnel contribution.
-func cellOf(r *store.Record) funnelCell {
-	return funnelCell{
-		pages:     float64(r.Crawl.PagesFetched),
-		privPages: float64(r.Crawl.PrivacyPages),
-		words:     float64(r.Extraction.CoreWords),
-		crawlOK:   r.Crawl.Success,
-		wkPolicy:  r.Crawl.WellKnownPolicy,
-		wkPriv:    r.Crawl.WellKnownPrivacy,
-		extractOK: r.Extraction.Success,
-		annotated: r.Annotated(),
-		fallback:  len(r.AnnotationFallback) > 0,
+// CellOf reduces one record to its funnel contribution.
+func CellOf(r *store.Record) FunnelCell {
+	return FunnelCell{
+		Pages:     float64(r.Crawl.PagesFetched),
+		PrivPages: float64(r.Crawl.PrivacyPages),
+		Words:     float64(r.Extraction.CoreWords),
+		CrawlOK:   r.Crawl.Success,
+		WkPolicy:  r.Crawl.WellKnownPolicy,
+		WkPriv:    r.Crawl.WellKnownPrivacy,
+		ExtractOK: r.Extraction.Success,
+		Annotated: r.Annotated(),
+		Fallback:  len(r.AnnotationFallback) > 0,
 	}
 }
 
-// funnelFromCells aggregates the Figure 1 / §3.1 / §4 counts from the
-// per-domain cells.
-func (p *Pipeline) funnelFromCells(cells []funnelCell) Funnel {
+// FoldFunnel aggregates the Figure 1 / §3.1 / §4 counts from per-domain
+// cells. cells must be in study-list (sorted-domain) order: the float
+// means and medians reduce in slice order, and byte-identical funnel
+// output across run modes depends on every mode folding the same order.
+func FoldFunnel(companies, corrected int, cells []FunnelCell) Funnel {
 	f := Funnel{
-		Companies:       len(p.companies),
+		Companies:       companies,
 		Domains:         len(cells),
-		SearchCorrected: p.corrected,
+		SearchCorrected: corrected,
 	}
 	var pages []float64
 	var privacyPages []float64
 	var words []float64
 	for i := range cells {
 		c := &cells[i]
-		pages = append(pages, c.pages)
-		if c.crawlOK {
+		pages = append(pages, c.Pages)
+		if c.CrawlOK {
 			f.CrawlOK++
-			privacyPages = append(privacyPages, c.privPages)
+			privacyPages = append(privacyPages, c.PrivPages)
 		}
-		if c.wkPolicy {
+		if c.WkPolicy {
 			f.WellKnownPolicy++
 		}
-		if c.wkPriv {
+		if c.WkPriv {
 			f.WellKnownPriv++
 		}
-		if c.extractOK {
+		if c.ExtractOK {
 			f.ExtractOK++
-			words = append(words, c.words)
+			words = append(words, c.Words)
 		}
-		if c.annotated {
+		if c.Annotated {
 			f.Annotated++
 		}
-		if c.fallback {
+		if c.Fallback {
 			f.FallbackUsed++
 		}
 	}
@@ -77,4 +82,9 @@ func (p *Pipeline) funnelFromCells(cells []funnelCell) Funnel {
 	f.AvgPrivacyPages = stats.Mean(privacyPages)
 	f.MedianWords = stats.Median(words)
 	return f
+}
+
+// funnelFromCells folds this pipeline's study parameters over the cells.
+func (p *Pipeline) funnelFromCells(cells []FunnelCell) Funnel {
+	return FoldFunnel(len(p.companies), p.corrected, cells)
 }

@@ -47,6 +47,13 @@ type Config struct {
 	LLMConcurrency int
 	// Limit processes only the first N domains (0 = all).
 	Limit int
+	// DomainFilter, when set, restricts the run to the study domains the
+	// filter admits, applied after Limit. The filtered list keeps
+	// study-list (sorted-domain) order, so positional resume and
+	// checkpointing work unchanged against the filtered list. The
+	// distributed dispatcher uses this to hand a worker exactly one
+	// store shard's domains.
+	DomainFilter func(domain string) bool
 	// UniverseDomains scales the study universe to N unique domains
 	// (0 = the paper's 2,892). A scaled universe extends the synthetic
 	// index with a long-tail sector mix and generates sites lazily —
@@ -318,12 +325,21 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	if p.cfg.Limit > 0 && p.cfg.Limit < len(domains) {
 		domains = domains[:p.cfg.Limit]
 	}
+	if p.cfg.DomainFilter != nil {
+		kept := make([]russell.DomainInfo, 0, len(domains))
+		for _, d := range domains {
+			if p.cfg.DomainFilter(d.Domain) {
+				kept = append(kept, d)
+			}
+		}
+		domains = kept
+	}
 	// The streaming pipeline's fixed per-domain state: a funnel cell
 	// (a few dozen bytes) always; the full record only when the caller
 	// wants Result.Records. DiscardRecords is what keeps a 100k-domain
 	// run's memory flat — records then exist only in flight (bounded by
 	// Window) and in the store.
-	cells := make([]funnelCell, len(domains))
+	cells := make([]FunnelCell, len(domains))
 	var records []store.Record
 	if !p.cfg.DiscardRecords {
 		records = make([]store.Record, len(domains))
@@ -410,7 +426,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 				resumed++
 			}
 			processed[i] = true
-			cells[i] = cellOf(r)
+			cells[i] = CellOf(r)
 			if records != nil {
 				records[i] = *r
 			}
@@ -450,7 +466,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	deliver := func(i int, out domainOutcome, _ error) {
 		rec := &out.rec
 		idx := todoIdx[i]
-		cells[idx] = cellOf(rec)
+		cells[idx] = CellOf(rec)
 		if records != nil {
 			records[idx] = out.rec
 		}
@@ -811,6 +827,6 @@ func (p *Pipeline) processPage(ctx context.Context, page *crawler.Page) (pageOut
 }
 
 // The Figure 1 / §3.1 / §4 funnel aggregation lives in funnel.go: each
-// record reduces to a fixed-size funnelCell as it is delivered (or
+// record reduces to a fixed-size FunnelCell as it is delivered (or
 // resumed), and funnelFromCells folds the cells in study-list order —
 // identical arithmetic whether records were retained or discarded.

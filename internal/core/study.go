@@ -1,0 +1,39 @@
+package core
+
+import "aipan/internal/webgen"
+
+// Study is the deterministic study list for one (seed, universe,
+// limit): the sorted domain names a pipeline with the same parameters
+// will process, plus the company and search-correction counts the
+// funnel fold needs. It is what a dispatch coordinator partitions
+// across workers — both sides derive it from the same cached corpus, so
+// they agree on every domain and its position without shipping the
+// list over the wire.
+type Study struct {
+	Domains   []string
+	Companies int
+	Corrected int
+}
+
+// StudyFor computes the study list for a seed (0 = the default seed) at
+// universe size (0 = the paper's default) under limit (0 = all). The
+// corpus behind it is cached, so repeated calls with one key are cheap.
+func StudyFor(seed int64, universeDomains, limit int) Study {
+	if seed == 0 {
+		seed = webgen.Seed
+	}
+	corp := corpusFor(seed, universeDomains)
+	domains := corp.domains
+	if limit > 0 && limit < len(domains) {
+		domains = domains[:limit]
+	}
+	names := make([]string, len(domains))
+	for i := range domains {
+		names[i] = domains[i].Domain
+	}
+	return Study{
+		Domains:   names,
+		Companies: len(corp.companies),
+		Corrected: corp.corrected,
+	}
+}

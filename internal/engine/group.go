@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Group runs a set of member goroutines under one shared context:
+// the first member to return a non-nil error cancels every other
+// member, and Wait reports that first error. It exists because the
+// goroutine checker confines go statements to the engine — packages
+// like dispatch and the CLI compose concurrent members through a Group
+// instead of spawning bare goroutines.
+type Group struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewGroup derives a cancelable context from ctx and returns the group
+// together with it. Members receive the derived context; callers that
+// launch non-member work sharing the group's lifetime can use it too.
+func NewGroup(ctx context.Context) (*Group, context.Context) {
+	gctx, cancel := context.WithCancel(ctx)
+	return &Group{ctx: gctx, cancel: cancel}, gctx
+}
+
+// Go starts fn as a member. A member returning a non-nil error cancels
+// the group context; only the first error is kept.
+func (g *Group) Go(fn func(ctx context.Context) error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		if g.ctx.Err() != nil {
+			return
+		}
+		if err := fn(g.ctx); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+			g.cancel()
+		}
+	}()
+}
+
+// Wait blocks until every member has returned, cancels the group
+// context (releasing its resources), and reports the first member
+// error, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.cancel()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsAllMembers(t *testing.T) {
+	g, _ := NewGroup(context.Background())
+	var n atomic.Int32
+	for i := 0; i < 8; i++ {
+		g.Go(func(context.Context) error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v", err)
+	}
+	if n.Load() != 8 {
+		t.Fatalf("ran %d members, want 8", n.Load())
+	}
+}
+
+func TestGroupFirstErrorCancelsTheRest(t *testing.T) {
+	g, gctx := NewGroup(context.Background())
+	boom := errors.New("boom")
+	g.Go(func(context.Context) error { return boom })
+	g.Go(func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return errors.New("member was not canceled")
+		}
+	})
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait() = %v, want boom", err)
+	}
+	if gctx.Err() == nil {
+		t.Fatalf("group context not canceled after Wait")
+	}
+}
+
+func TestGroupParentCancelPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g, _ := NewGroup(ctx)
+	g.Go(func(ctx context.Context) error {
+		<-ctx.Done()
+		return nil
+	})
+	cancel()
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait() = %v, want nil (member chose to swallow cancel)", err)
+	}
+}

@@ -1,134 +1,26 @@
 package server
 
-import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"net/http"
+import "aipan/internal/api"
+
+// The /v1 envelope machinery — error envelope, result encoding,
+// response recorder, ETags, cursors — lives in internal/api, shared
+// with the dispatch coordinator so the two surfaces cannot drift. The
+// aliases and constructors below keep the server's route
+// implementations as terse as they were when the machinery was local.
+type (
+	apiErr       = api.Error
+	result       = api.Result
+	healthStatus = api.Health
 )
 
-// apiErr is a failed request: an HTTP status plus the uniform JSON
-// error envelope {"error":{"code","message"}} every /v1 error speaks.
-type apiErr struct {
-	status  int
-	code    string
-	message string
-}
-
 func errBadRequest(format string, args ...any) *apiErr {
-	return &apiErr{http.StatusBadRequest, "bad_request", fmt.Sprintf(format, args...)}
+	return api.BadRequestf(format, args...)
 }
 
 func errNotFound(format string, args ...any) *apiErr {
-	return &apiErr{http.StatusNotFound, "not_found", fmt.Sprintf(format, args...)}
+	return api.NotFoundf(format, args...)
 }
 
 func errInternal(format string, args ...any) *apiErr {
-	return &apiErr{http.StatusInternalServerError, "internal", fmt.Sprintf(format, args...)}
-}
-
-// errEnvelope is the wire form of an apiErr.
-type errEnvelope struct {
-	Error errBody `json:"error"`
-}
-
-type errBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
-
-// writeAPIError emits the envelope. The Content-Type header is set
-// before any byte is written, and the body is marshaled up front so an
-// encoding failure cannot corrupt an already-started response.
-func writeAPIError(w http.ResponseWriter, e *apiErr) {
-	body, err := json.MarshalIndent(errEnvelope{errBody{Code: e.code, Message: e.message}}, "", "  ")
-	if err != nil {
-		// Unreachable for plain strings, but never send half an envelope.
-		body = []byte(`{"error":{"code":"internal","message":"error encoding failed"}}`)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(e.status)
-	_, _ = w.Write(append(body, '\n'))
-}
-
-// result is a successful handler response in exactly one of three
-// forms: a value to JSON-encode, pre-encoded JSON bytes (precomputed
-// view payloads), or plain text (labels, tables).
-type result struct {
-	obj  any
-	raw  []byte
-	text string
-}
-
-// encodeResult renders a result to body bytes and a Content-Type.
-// Encoding happens before anything touches the wire, so a failure
-// surfaces as a clean 500 envelope instead of a silently truncated
-// 200 — the errwrap-class bug the old writeJSON had.
-func encodeResult(res *result) ([]byte, string, *apiErr) {
-	switch {
-	case res.text != "":
-		return []byte(res.text), "text/plain; charset=utf-8", nil
-	case res.raw != nil:
-		return res.raw, "application/json", nil
-	default:
-		b, err := json.MarshalIndent(res.obj, "", "  ")
-		if err != nil {
-			return nil, "", errInternal("encoding response: %v", err)
-		}
-		return append(b, '\n'), "application/json", nil
-	}
-}
-
-// responseRecorder buffers a response so the dispatch layer can compute
-// ETags, populate the cache, and recover from handler panics with a
-// clean 500 — nothing reaches the client until flush.
-type responseRecorder struct {
-	header http.Header
-	status int
-	buf    bytes.Buffer
-}
-
-func newRecorder() *responseRecorder {
-	return &responseRecorder{header: http.Header{}, status: http.StatusOK}
-}
-
-func (w *responseRecorder) Header() http.Header { return w.header }
-
-func (w *responseRecorder) WriteHeader(status int) { w.status = status }
-
-func (w *responseRecorder) Write(b []byte) (int, error) { return w.buf.Write(b) }
-
-// reset discards everything buffered so far (the panic-recovery path).
-func (w *responseRecorder) reset() {
-	w.header = http.Header{}
-	w.status = http.StatusOK
-	w.buf.Reset()
-}
-
-// flush replays the buffered response onto the real connection. A
-// write error here means the client is gone; there is no recovery path.
-func (w *responseRecorder) flush(dst http.ResponseWriter) {
-	h := dst.Header()
-	for k, vs := range w.header {
-		h[k] = vs
-	}
-	dst.WriteHeader(w.status)
-	if w.buf.Len() > 0 {
-		_, _ = dst.Write(w.buf.Bytes())
-	}
-}
-
-// statusClass buckets a status code for the request counter ("2xx",
-// "3xx", "4xx", "5xx").
-func statusClass(status int) string {
-	switch {
-	case status < 300:
-		return "2xx"
-	case status < 400:
-		return "3xx"
-	case status < 500:
-		return "4xx"
-	default:
-		return "5xx"
-	}
+	return api.Internalf(format, args...)
 }

@@ -2,8 +2,6 @@ package server
 
 import (
 	"container/list"
-	"fmt"
-	"hash/fnv"
 	"net/http"
 	"sort"
 	"strings"
@@ -110,29 +108,3 @@ func cacheKey(r *http.Request) string {
 // caseInsensitiveParams are the query parameters whose values the
 // handlers normalize, so differently-cased spellings hit one entry.
 var caseInsensitiveParams = map[string]bool{"sector": true, "aspect": true, "label": true}
-
-// etagFor builds the strong ETag for a response body served from a
-// dataset generation. The generation is part of the tag, so a Refresh
-// invalidates every conditional request even if a body happens to be
-// byte-identical across generations.
-func etagFor(gen uint64, body []byte) string {
-	h := fnv.New64a()
-	h.Write(body)
-	return fmt.Sprintf("\"%d-%016x\"", gen, h.Sum64())
-}
-
-// etagMatch implements If-None-Match: a comma-separated list of tags,
-// compared strongly (a W/ prefix is stripped, then exact match), with
-// "*" matching anything.
-func etagMatch(header, etag string) bool {
-	if header == "" {
-		return false
-	}
-	for _, part := range strings.Split(header, ",") {
-		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
-		if part == etag || part == "*" {
-			return true
-		}
-	}
-	return false
-}

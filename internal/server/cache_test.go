@@ -202,21 +202,3 @@ func TestCacheKeyNormalization(t *testing.T) {
 		t.Errorf("cursor values were case-folded into one key")
 	}
 }
-
-func TestEtagMatch(t *testing.T) {
-	for _, tc := range []struct {
-		header, etag string
-		want         bool
-	}{
-		{"", `"1-ab"`, false},
-		{`"1-ab"`, `"1-ab"`, true},
-		{`W/"1-ab"`, `"1-ab"`, true},
-		{`"x", "1-ab"`, `"1-ab"`, true},
-		{`*`, `"1-ab"`, true},
-		{`"2-ab"`, `"1-ab"`, false},
-	} {
-		if got := etagMatch(tc.header, tc.etag); got != tc.want {
-			t.Errorf("etagMatch(%q, %q) = %v, want %v", tc.header, tc.etag, got, tc.want)
-		}
-	}
-}

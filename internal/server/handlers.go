@@ -35,7 +35,7 @@ func (s *Server) routes() *router {
 }
 
 func (s *Server) v1Summary(v *view, _ params, _ *http.Request) (*result, *apiErr) {
-	return &result{raw: v.summaryJSON}, nil
+	return &result{Raw: v.summaryJSON}, nil
 }
 
 func (s *Server) v1Domains(v *view, _ params, r *http.Request) (*result, *apiErr) {
@@ -63,7 +63,7 @@ func (s *Server) v1Domains(v *view, _ params, r *http.Request) (*result, *apiErr
 		}
 		q.cursor = domain
 	}
-	return &result{obj: v.domainsPage(q)}, nil
+	return &result{Obj: v.domainsPage(q)}, nil
 }
 
 // domainRecord resolves the {domain} path parameter against the hash
@@ -82,7 +82,7 @@ func (s *Server) v1Domain(v *view, ps params, _ *http.Request) (*result, *apiErr
 	if aerr != nil {
 		return nil, aerr
 	}
-	return &result{obj: &v.records[i]}, nil
+	return &result{Obj: &v.records[i]}, nil
 }
 
 func (s *Server) v1Label(v *view, ps params, _ *http.Request) (*result, *apiErr) {
@@ -91,7 +91,7 @@ func (s *Server) v1Label(v *view, ps params, _ *http.Request) (*result, *apiErr)
 		return nil, aerr
 	}
 	rec := &v.records[i]
-	return &result{text: nutrition.Build(rec.Annotations).Render(rec.Company)}, nil
+	return &result{Text: nutrition.Build(rec.Annotations).Render(rec.Company)}, nil
 }
 
 // AskResponse is the /v1/domains/{domain}/ask payload.
@@ -113,10 +113,10 @@ func (s *Server) v1Ask(v *view, ps params, r *http.Request) (*result, *apiErr) {
 	}
 	ans, ok := qa.Ask(q, v.records[i].Annotations)
 	if !ok {
-		return nil, &apiErr{http.StatusUnprocessableEntity, "unsupported_question",
-			"unsupported question; families: " + strings.Join(qa.Intents(), ", ")}
+		return nil, &apiErr{Status: http.StatusUnprocessableEntity, Code: "unsupported_question",
+			Message: "unsupported question; families: " + strings.Join(qa.Intents(), ", ")}
 	}
-	return &result{obj: AskResponse{
+	return &result{Obj: AskResponse{
 		Question: q, Answer: ans.Text, Evidence: ans.Evidence, Confident: ans.Confident,
 	}}, nil
 }
@@ -129,7 +129,7 @@ func (s *Server) v1Provenance(v *view, ps params, _ *http.Request) (*result, *ap
 	if _, inDataset := v.byDomain[domain]; !inDataset && len(v.eventsByDomain[domain]) == 0 {
 		return nil, errNotFound("domain %q not in dataset", domain)
 	}
-	return &result{obj: v.provenance(domain)}, nil
+	return &result{Obj: v.provenance(domain)}, nil
 }
 
 func (s *Server) v1Events(v *view, _ params, r *http.Request) (*result, *apiErr) {
@@ -163,7 +163,7 @@ func (s *Server) v1Events(v *view, _ params, r *http.Request) (*result, *apiErr)
 		}
 		q.cursor = pos
 	}
-	return &result{obj: v.eventsPage(q)}, nil
+	return &result{Obj: v.eventsPage(q)}, nil
 }
 
 func (s *Server) v1Risk(v *view, _ params, r *http.Request) (*result, *apiErr) {
@@ -179,7 +179,7 @@ func (s *Server) v1Risk(v *view, _ params, r *http.Request) (*result, *apiErr) {
 	if len(scores) > top {
 		scores = scores[:top]
 	}
-	return &result{obj: RiskPage{Scores: scores, Total: len(v.risk)}}, nil
+	return &result{Obj: RiskPage{Scores: scores, Total: len(v.risk)}}, nil
 }
 
 func (s *Server) v1Table(v *view, ps params, _ *http.Request) (*result, *apiErr) {
@@ -189,33 +189,24 @@ func (s *Server) v1Table(v *view, ps params, _ *http.Request) (*result, *apiErr)
 		sort.Strings(ids)
 		return nil, errNotFound("unknown table %q (have: %s)", ps["table"], strings.Join(ids, ", "))
 	}
-	return &result{text: table}, nil
+	return &result{Text: table}, nil
 }
 
-// healthStatus is the /v1/healthz and /v1/readyz payload. Warning is
-// set (and Status says "degraded") while the SLO monitor sees a budget
-// burning — readyz still answers 200, because pulling a slow-but-alive
-// process out of rotation would convert a latency problem into an
-// availability one, but probes and dashboards surface the warning.
-type healthStatus struct {
-	Status     string `json:"status"`
-	Generation uint64 `json:"generation"`
-	Records    int    `json:"records"`
-	Warning    string `json:"warning,omitempty"`
-}
-
+// The /v1/healthz and /v1/readyz payload is the shared api.Health
+// shape (aliased as healthStatus); here Warning is set while the SLO
+// monitor sees a budget burning.
 func (s *Server) v1Healthz(v *view, _ params, _ *http.Request) (*result, *apiErr) {
-	return &result{obj: healthStatus{Status: "ok", Generation: v.gen, Records: len(v.records)}}, nil
+	return &result{Obj: healthStatus{Status: "ok", Generation: v.gen, Records: len(v.records)}}, nil
 }
 
 func (s *Server) v1Readyz(v *view, _ params, _ *http.Request) (*result, *apiErr) {
 	if !s.ready.Load() {
-		return nil, &apiErr{http.StatusServiceUnavailable, "draining", "server is draining"}
+		return nil, &apiErr{Status: http.StatusServiceUnavailable, Code: "draining", Message: "server is draining"}
 	}
 	hs := healthStatus{Status: "ready", Generation: v.gen, Records: len(v.records)}
 	if st := s.slo.Status(); st.Burning {
 		hs.Status = "degraded"
 		hs.Warning = st.Warning
 	}
-	return &result{obj: hs}, nil
+	return &result{Obj: hs}, nil
 }

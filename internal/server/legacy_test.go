@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// legacyExemptRoutes are /v1 routes that postdate the legacy /api
+// surface — there was never an unversioned spelling to redirect from.
+// Everything else in the router table must be reachable through
+// legacyTarget, and every mapping must land on a route that exists.
+var legacyExemptRoutes = map[string]bool{
+	"/v1/domains/{domain}/provenance": true, // added with the event stream (PR 7)
+	"/v1/events":                      true,
+	"/v1/healthz":                     true,
+	"/v1/readyz":                      true,
+}
+
+// sampleLegacyPath builds a concrete legacy request path for a mapping.
+func sampleLegacyPath(m legacyMapping) string {
+	if m.param == "" {
+		return m.legacy
+	}
+	return m.legacy + "sample"
+}
+
+func TestLegacySurfaceComplete(t *testing.T) {
+	s, _ := newTestServer(t)
+
+	// Every mapping must resolve, via legacyTarget, to a path the /v1
+	// router actually serves — no orphan redirects.
+	mapped := map[string]bool{}
+	for _, m := range legacyMappings {
+		target, ok := legacyTarget(sampleLegacyPath(m))
+		if !ok {
+			t.Fatalf("legacyTarget rejected its own mapping %q", m.legacy)
+		}
+		rt, _, _ := s.router.match(http.MethodGet, target)
+		if rt == nil {
+			t.Errorf("legacy %q redirects to %q, which no /v1 route serves", m.legacy, target)
+			continue
+		}
+		if rt.Name != m.v1 {
+			t.Errorf("legacy %q mapped to route %q, want %q", m.legacy, rt.Name, m.v1)
+		}
+		mapped[rt.Name] = true
+	}
+
+	// Every /v1 route must either be covered by a mapping or be on the
+	// explicit exempt list — no unmapped legacy paths hiding behind new
+	// routes, and no stale exemptions for routes that gained a mapping.
+	for _, rt := range s.router.Routes() {
+		switch {
+		case mapped[rt.Name] && legacyExemptRoutes[rt.Name]:
+			t.Errorf("route %q is both mapped and exempt; drop the exemption", rt.Name)
+		case !mapped[rt.Name] && !legacyExemptRoutes[rt.Name]:
+			t.Errorf("route %q has no legacy mapping and no exemption", rt.Name)
+		}
+	}
+	for name := range legacyExemptRoutes {
+		if rt, _, _ := s.router.match(http.MethodGet, strings.NewReplacer(
+			"{domain}", "x", "{table}", "1").Replace(name)); rt == nil || rt.Name != name {
+			t.Errorf("exempt route %q is not in the router table", name)
+		}
+	}
+}
+
+func TestLegacyRedirectCarriesDeprecationHeaders(t *testing.T) {
+	s, _ := newTestServer(t)
+	for _, m := range legacyMappings {
+		req := httptest.NewRequest(http.MethodGet, sampleLegacyPath(m), nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusPermanentRedirect {
+			t.Errorf("%s: status = %d, want 308", m.legacy, rec.Code)
+		}
+		if rec.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s: missing Deprecation header", m.legacy)
+		}
+		if got := rec.Header().Get("Sunset"); got != legacySunset {
+			t.Errorf("%s: Sunset = %q, want %q", m.legacy, got, legacySunset)
+		}
+	}
+}

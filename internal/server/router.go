@@ -2,12 +2,12 @@ package server
 
 import (
 	"net/http"
-	"sort"
-	"strings"
+
+	"aipan/internal/api"
 )
 
 // params carries the path parameters captured by a route match.
-type params map[string]string
+type params = api.Params
 
 // handler is a /v1 route implementation: it computes a response from
 // the immutable dataset view and never touches the wire — the dispatch
@@ -15,93 +15,32 @@ type params map[string]string
 // route gets them uniformly.
 type handler func(v *view, ps params, r *http.Request) (*result, *apiErr)
 
-// route is one registered (method, pattern) pair. name is the pattern
-// itself — the bounded-cardinality metric label for the route. shed
-// marks routes subject to rate limiting and the in-flight ceiling
+// routeRule is the server's per-route policy carried by the shared
+// api.Router: the handler plus whether the route is response-cached and
+// whether it is subject to rate limiting and the in-flight ceiling
 // (health probes are exempt: monitoring must see a drowning server).
-type route struct {
-	method    string
-	name      string
-	segs      []string // pattern segments; "{x}" captures
+type routeRule struct {
 	h         handler
 	cacheable bool
 	shed      bool
 }
 
-// router is a small exact-segment matcher. It exists instead of
-// http.ServeMux so that 404 and 405 speak the same JSON error envelope
-// as every other response, 405 carries a correct Allow header, and each
-// match yields the route's metric label.
+// route is one registered (method, pattern) pair; Name is the pattern
+// itself — the bounded-cardinality metric label for the route.
+type route = api.Route[routeRule]
+
+// router wraps the shared exact-segment matcher (internal/api) so that
+// 404 and 405 speak the same JSON error envelope as every other
+// response, 405 carries a correct Allow header, and each match yields
+// the route's metric label.
 type router struct {
-	routes []*route
+	api.Router[routeRule]
 }
 
 func (rt *router) add(method, pattern string, h handler, cacheable, shed bool) {
-	rt.routes = append(rt.routes, &route{
-		method: method, name: pattern, segs: splitPath(pattern),
-		h: h, cacheable: cacheable, shed: shed,
-	})
+	rt.Add(method, pattern, routeRule{h: h, cacheable: cacheable, shed: shed})
 }
 
-// match resolves a request. Exactly one of the returns is meaningful:
-// a matched route with its captured params, or — when the path exists
-// under other methods — the sorted Allow set for a 405.
 func (rt *router) match(method, path string) (*route, params, []string) {
-	segs := splitPath(path)
-	if method == http.MethodHead {
-		method = http.MethodGet // net/http suppresses the body for HEAD
-	}
-	var allow []string
-	for _, r := range rt.routes {
-		ps, ok := r.matchSegs(segs)
-		if !ok {
-			continue
-		}
-		if r.method == method {
-			return r, ps, nil
-		}
-		allow = appendUnique(allow, r.method)
-	}
-	sort.Strings(allow)
-	return nil, nil, allow
-}
-
-func (r *route) matchSegs(segs []string) (params, bool) {
-	if len(segs) != len(r.segs) {
-		return nil, false
-	}
-	var ps params
-	for i, pat := range r.segs {
-		if strings.HasPrefix(pat, "{") && strings.HasSuffix(pat, "}") {
-			if segs[i] == "" {
-				return nil, false
-			}
-			if ps == nil {
-				ps = params{}
-			}
-			ps[pat[1:len(pat)-1]] = segs[i]
-			continue
-		}
-		if pat != segs[i] {
-			return nil, false
-		}
-	}
-	return ps, true
-}
-
-func splitPath(p string) []string {
-	p = strings.Trim(p, "/")
-	if p == "" {
-		return nil
-	}
-	return strings.Split(p, "/")
-}
-
-func appendUnique(xs []string, s string) []string {
-	for _, x := range xs {
-		if x == s {
-			return xs
-		}
-	}
-	return append(xs, s)
+	return rt.Match(method, path)
 }

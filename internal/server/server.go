@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aipan/internal/api"
 	"aipan/internal/engine"
 	"aipan/internal/obs"
 	"aipan/internal/store"
@@ -324,50 +325,50 @@ func (s *Server) serveV1(w http.ResponseWriter, r *http.Request) {
 	rt, ps, allow := s.router.match(r.Method, r.URL.Path)
 	name := "unmatched"
 	if rt != nil {
-		name = rt.name
+		name = rt.Name
 	}
-	rec := newRecorder()
+	rec := api.NewRecorder()
 	func() {
 		defer func() {
 			if p := recover(); p != nil {
 				s.mPanics.Inc()
 				s.log.Error("handler panic", "route", name, "path", r.URL.Path, "panic", fmt.Sprint(p))
-				rec.reset()
-				writeAPIError(rec, errInternal("internal server error"))
+				rec.Reset()
+				api.WriteError(rec, errInternal("internal server error"))
 			}
 		}()
 		s.handle(rec, r, rt, ps, allow)
 	}()
-	rec.flush(w)
-	s.mRequests.With(name, statusClass(rec.status)).Inc()
+	rec.Flush(w)
+	s.mRequests.With(name, api.StatusClass(rec.Status())).Inc()
 	s.mDuration.With(name).Observe(s.clock().Sub(start).Seconds())
-	s.slo.Observe(s.clock().Sub(start), rec.status >= 500)
+	s.slo.Observe(s.clock().Sub(start), rec.Status() >= 500)
 	if s.log.Enabled(obs.LevelDebug) {
 		s.log.Debug("request",
 			"method", r.Method, "path", r.URL.Path, "route", name,
-			"status", rec.status, "client", clientKey(r),
+			"status", rec.Status(), "client", clientKey(r),
 			"dur_ms", s.clock().Sub(start).Milliseconds())
 	}
 }
 
-func (s *Server) handle(w *responseRecorder, r *http.Request, rt *route, ps params, allow []string) {
+func (s *Server) handle(w *api.Recorder, r *http.Request, rt *route, ps params, allow []string) {
 	if rt == nil {
 		if len(allow) > 0 {
 			w.Header().Set("Allow", strings.Join(allow, ", "))
-			writeAPIError(w, &apiErr{http.StatusMethodNotAllowed, "method_not_allowed",
-				fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(allow, ", "))})
+			api.WriteError(w, &apiErr{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+				Message: fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(allow, ", "))})
 			return
 		}
-		writeAPIError(w, errNotFound("no such endpoint %q; see /v1/summary, /v1/domains, /v1/risk, /v1/tables", r.URL.Path))
+		api.WriteError(w, errNotFound("no such endpoint %q; see /v1/summary, /v1/domains, /v1/risk, /v1/tables", r.URL.Path))
 		return
 	}
 
-	if rt.shed {
+	if rt.H.shed {
 		if !s.inflight.TryAcquire() {
 			s.mShed.With("inflight").Inc()
 			w.Header().Set("Retry-After", "1")
-			writeAPIError(w, &apiErr{http.StatusServiceUnavailable, "overloaded",
-				"server at its in-flight capacity; retry shortly"})
+			api.WriteError(w, &apiErr{Status: http.StatusServiceUnavailable, Code: "overloaded",
+				Message: "server at its in-flight capacity; retry shortly"})
 			return
 		}
 		defer func() {
@@ -379,8 +380,8 @@ func (s *Server) handle(w *responseRecorder, r *http.Request, rt *route, ps para
 			if ok, wait := s.rate.allow(clientKey(r), s.clock()); !ok {
 				s.mShed.With("rate_limit").Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(wait)))
-				writeAPIError(w, &apiErr{http.StatusTooManyRequests, "rate_limited",
-					"client request rate exceeded; slow down"})
+				api.WriteError(w, &apiErr{Status: http.StatusTooManyRequests, Code: "rate_limited",
+					Message: "client request rate exceeded; slow down"})
 				return
 			}
 		}
@@ -394,34 +395,34 @@ func (s *Server) handle(w *responseRecorder, r *http.Request, rt *route, ps para
 
 	v := s.view.Load()
 	var key string
-	cacheable := rt.cacheable && s.cache != nil
+	cacheable := rt.H.cacheable && s.cache != nil
 	if cacheable {
 		key = cacheKey(r)
 		if e, ok := s.cache.get(key, v.gen); ok {
-			s.mCacheHits.With(rt.name).Inc()
+			s.mCacheHits.With(rt.Name).Inc()
 			s.serveBody(w, r, e.contentType, e.body, e.etag)
 			return
 		}
-		s.mCacheMisses.With(rt.name).Inc()
+		s.mCacheMisses.With(rt.Name).Inc()
 	}
 
-	res, aerr := rt.h(v, ps, r)
+	res, aerr := rt.H.h(v, ps, r)
 	if aerr == nil && r.Context().Err() != nil {
-		aerr = &apiErr{http.StatusServiceUnavailable, "timeout", "request deadline exceeded"}
+		aerr = &apiErr{Status: http.StatusServiceUnavailable, Code: "timeout", Message: "request deadline exceeded"}
 	}
 	if aerr != nil {
-		writeAPIError(w, aerr)
+		api.WriteError(w, aerr)
 		return
 	}
-	body, ct, aerr := encodeResult(res)
+	body, ct, aerr := api.EncodeResult(res)
 	if aerr != nil {
-		s.log.Error("response encoding failed", "route", rt.name, "err", aerr.message)
-		writeAPIError(w, aerr)
+		s.log.Error("response encoding failed", "route", rt.Name, "err", aerr.Message)
+		api.WriteError(w, aerr)
 		return
 	}
 	var etag string
 	if cacheable {
-		etag = etagFor(v.gen, body)
+		etag = api.ETagFor(v.gen, body)
 		s.cache.put(key, v.gen, &cacheEntry{contentType: ct, body: body, etag: etag})
 	}
 	s.serveBody(w, r, ct, body, etag)
@@ -429,12 +430,12 @@ func (s *Server) handle(w *responseRecorder, r *http.Request, rt *route, ps para
 
 // serveBody writes a 200 (or, under a matching If-None-Match, a bare
 // 304) with the Content-Type set before the first body byte.
-func (s *Server) serveBody(w *responseRecorder, r *http.Request, ct string, body []byte, etag string) {
+func (s *Server) serveBody(w *api.Recorder, r *http.Request, ct string, body []byte, etag string) {
 	h := w.Header()
 	if etag != "" {
 		h.Set("ETag", etag)
 		h.Set("Cache-Control", "no-cache") // revalidate with If-None-Match
-		if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		if api.ETagMatch(r.Header.Get("If-None-Match"), etag) {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
@@ -444,47 +445,68 @@ func (s *Server) serveBody(w *responseRecorder, r *http.Request, ct string, body
 	_, _ = w.Write(body)
 }
 
+// legacySunset is the date after which the deprecated /api surface may
+// be removed, advertised on every 308 via the Sunset header (RFC 8594).
+// Dashboards should alert on a nonzero rate of
+// aipan_server_requests_total{route="legacy"} well before this date —
+// that counter is the census of consumers still on the old paths.
+const legacySunset = "Sun, 01 Aug 2027 00:00:00 GMT"
+
 // redirectLegacy answers the pre-/v1 routes with permanent redirects —
 // 308 preserves the method — so existing consumers keep working while
-// the Deprecation header tells them to move.
+// the Deprecation and Sunset headers tell them to move, and by when.
 func (s *Server) redirectLegacy(w http.ResponseWriter, r *http.Request) {
 	target, ok := legacyTarget(r.URL.Path)
 	if !ok {
-		rec := newRecorder()
-		writeAPIError(rec, errNotFound("no such endpoint %q; the API moved under /v1", r.URL.Path))
-		rec.flush(w)
-		s.mRequests.With("legacy", statusClass(rec.status)).Inc()
+		rec := api.NewRecorder()
+		api.WriteError(rec, errNotFound("no such endpoint %q; the API moved under /v1", r.URL.Path))
+		rec.Flush(w)
+		s.mRequests.With("legacy", api.StatusClass(rec.Status())).Inc()
 		return
 	}
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
 	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Sunset", legacySunset)
 	http.Redirect(w, r, target, http.StatusPermanentRedirect)
 	s.mRequests.With("legacy", "3xx").Inc()
 }
 
+// legacyMapping pairs a deprecated /api path with the /v1 route pattern
+// it redirects to. exact entries match the legacy path verbatim;
+// prefix entries capture the remainder of the path as {param} and
+// substitute it into the v1 pattern. The table — not ad-hoc string
+// code — is the legacy surface, so TestLegacySurfaceComplete can hold
+// it bijective against the /v1 router table.
+type legacyMapping struct {
+	legacy string // exact path, or prefix ending in "/"
+	v1     string // route pattern, possibly with one {param}
+	param  string // the capture name substituted for prefix mappings
+}
+
+var legacyMappings = []legacyMapping{
+	{legacy: "/api/summary", v1: "/v1/summary"},
+	{legacy: "/api/domains", v1: "/v1/domains"},
+	{legacy: "/api/risk", v1: "/v1/risk"},
+	{legacy: "/api/domain/", v1: "/v1/domains/{domain}", param: "domain"},
+	{legacy: "/api/label/", v1: "/v1/domains/{domain}/label", param: "domain"},
+	{legacy: "/api/ask/", v1: "/v1/domains/{domain}/ask", param: "domain"},
+	{legacy: "/api/table/", v1: "/v1/tables/{table}", param: "table"},
+}
+
 // legacyTarget maps a deprecated /api path onto its /v1 equivalent.
 func legacyTarget(path string) (string, bool) {
-	switch path {
-	case "/api/summary":
-		return "/v1/summary", true
-	case "/api/domains":
-		return "/v1/domains", true
-	case "/api/risk":
-		return "/v1/risk", true
-	}
-	if d, ok := strings.CutPrefix(path, "/api/domain/"); ok && d != "" {
-		return "/v1/domains/" + d, true
-	}
-	if d, ok := strings.CutPrefix(path, "/api/label/"); ok && d != "" {
-		return "/v1/domains/" + d + "/label", true
-	}
-	if d, ok := strings.CutPrefix(path, "/api/ask/"); ok && d != "" {
-		return "/v1/domains/" + d + "/ask", true
-	}
-	if tb, ok := strings.CutPrefix(path, "/api/table/"); ok && tb != "" {
-		return "/v1/tables/" + tb, true
+	for _, m := range legacyMappings {
+		if m.param == "" {
+			if path == m.legacy {
+				return m.v1, true
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(path, m.legacy); ok && rest != "" {
+			return strings.Replace(m.v1, "{"+m.param+"}", rest, 1), true
+		}
 	}
 	return "", false
 }

@@ -175,7 +175,7 @@ func TestInflightCeilingUnderBurst(t *testing.T) {
 	release := make(chan struct{})
 	s.router.add(http.MethodGet, "/v1/block", func(*view, params, *http.Request) (*result, *apiErr) {
 		<-release
-		return &result{text: "done"}, nil
+		return &result{Text: "done"}, nil
 	}, false, true)
 	srv := httptest.NewServer(s)
 	defer srv.Close()
@@ -243,7 +243,7 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	s.router.add(http.MethodGet, "/v1/slow", func(_ *view, _ params, r *http.Request) (*result, *apiErr) {
 		<-r.Context().Done()
-		return &result{text: "too late"}, nil
+		return &result{Text: "too late"}, nil
 	}, false, true)
 	srv := httptest.NewServer(s)
 	defer srv.Close()

@@ -1,13 +1,13 @@
 package server
 
 import (
-	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"aipan/internal/api"
 	"aipan/internal/report"
 	"aipan/internal/risk"
 	"aipan/internal/store"
@@ -345,16 +345,9 @@ func intersect(a, b []int) []int {
 }
 
 // Cursors are opaque to clients: the base64url-encoded domain of the
-// last row served. Encoding keeps clients from treating them as data
-// and keeps URL-unsafe domain bytes out of query strings.
-func encodeCursor(domain string) string {
-	return base64.RawURLEncoding.EncodeToString([]byte(domain))
-}
+// last row served (shared machinery in internal/api). Encoding keeps
+// clients from treating them as data and keeps URL-unsafe domain bytes
+// out of query strings.
+func encodeCursor(domain string) string { return api.EncodeCursor(domain) }
 
-func decodeCursor(s string) (string, error) {
-	b, err := base64.RawURLEncoding.DecodeString(s)
-	if err != nil {
-		return "", fmt.Errorf("server: invalid cursor: %w", err)
-	}
-	return string(b), nil
-}
+func decodeCursor(s string) (string, error) { return api.DecodeCursor(s) }

@@ -221,9 +221,20 @@ func (s *Sharded) shardPath(i int) string {
 }
 
 func (s *Sharded) shardOf(domain string) int {
+	return ShardOf(domain, s.shards)
+}
+
+// ShardOf is the module-wide shard hash: the shard index (FNV-32a mod
+// n) a domain belongs to in any n-way partition. The sharded store
+// backends route appends with it, and the dispatch coordinator
+// partitions the study list with the same function — a worker's leased
+// shard is exactly the set of domains a local n-shard store would put
+// in shard i, so distributed and single-process runs agree on every
+// partition boundary.
+func ShardOf(domain string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(domain))
-	return int(h.Sum32() % uint32(s.shards))
+	return int(h.Sum32() % uint32(n))
 }
 
 // Append routes rec to its domain's shard.

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -106,9 +105,7 @@ func (s *Binary) idxPath(i int) string {
 }
 
 func (s *Binary) shardOf(domain string) int {
-	h := fnv.New32a()
-	h.Write([]byte(domain))
-	return int(h.Sum32() % uint32(s.shards))
+	return ShardOf(domain, s.shards)
 }
 
 // idxEntry is one sidecar row.

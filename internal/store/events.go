@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
@@ -154,9 +153,7 @@ func (l *EventLog) shardPath(i int) string {
 }
 
 func (l *EventLog) shardOf(domain string) int {
-	h := fnv.New32a()
-	h.Write([]byte(domain))
-	return int(h.Sum32() % uint32(l.shards))
+	return ShardOf(domain, l.shards)
 }
 
 // Append routes ev to its domain's shard and flushes it.

@@ -30,8 +30,8 @@ echo "aipanvet wall time: ${vet_secs}s (ceiling ${AIPAN_VET_TIME_CEILING}s)"
 echo "==> aipanvet negative fixtures (the gate must bite on seeded violations)"
 scripts/verify-negatives.sh
 
-echo "==> go test -race (engine, core, obs, server, store)"
-go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/...
+echo "==> go test -race (engine, core, obs, server, store, api, dispatch)"
+go test -race ./internal/engine/... ./internal/core/... ./internal/obs/... ./internal/server/... ./internal/store/... ./internal/api/... ./internal/dispatch/...
 
 echo "==> go test ./..."
 go test ./...
@@ -122,5 +122,35 @@ if [ "$(awk -v a="$scale_rate" -v b="$base_rate" -v f="$min_rate_frac" 'BEGIN{pr
   exit 1
 fi
 echo "scale smoke: $scale_domains domains at $scale_rate/s (baseline $base_rate/s), peak RSS $scale_rss bytes (ceiling $rss_ceiling)"
+
+echo "==> distributed dispatch smoke (coordinator + 2 workers, one SIGKILLed mid-run)"
+# A coordinator leases the study's shards to two external worker
+# processes; one is SIGKILLed mid-run so its shard expires and is
+# reassigned. The merged export must still come out byte-identical to a
+# single-process run of the same seed — the dispatch protocol's
+# determinism contract (DESIGN.md §17).
+dist_port=18127
+dist_limit=${AIPAN_DIST_LIMIT:-400}
+"$smokedir/aipan" run --limit "$dist_limit" --out "$smokedir/dist-single.jsonl" >/dev/null 2>&1
+"$smokedir/aipan" run --limit "$dist_limit" --listen "127.0.0.1:$dist_port" --lease-ttl 2s \
+  --out "$smokedir/dist-merged.jsonl" >"$smokedir/dist-coord.log" 2>&1 &
+dist_coord=$!
+"$smokedir/aipan" work --join "http://127.0.0.1:$dist_port" --id smoke-w1 --workers 2 \
+  >/dev/null 2>&1 &
+dist_w1=$!
+"$smokedir/aipan" work --join "http://127.0.0.1:$dist_port" --id smoke-w2 --workers 2 \
+  >/dev/null 2>&1 &
+dist_w2=$!
+sleep 0.6
+kill -9 "$dist_w1" 2>/dev/null || true
+wait "$dist_coord" \
+  || { echo "FAIL: dispatch coordinator exited nonzero"; cat "$smokedir/dist-coord.log"; kill "$dist_w2" 2>/dev/null || true; exit 1; }
+# The surviving worker may lose its final lease poll to the
+# coordinator's post-job shutdown; its exit code is not the gate.
+wait "$dist_w1" 2>/dev/null || true
+wait "$dist_w2" 2>/dev/null || true
+cmp "$smokedir/dist-single.jsonl" "$smokedir/dist-merged.jsonl" \
+  || { echo "FAIL: distributed export differs from single-process export"; exit 1; }
+echo "distributed smoke: $dist_limit domains merged byte-identical across kill + reassignment"
 
 echo "OK: all tier-1 checks passed"
